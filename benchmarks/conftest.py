@@ -1,0 +1,87 @@
+"""Shared corpora for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper; the corpora
+here mirror the paper's experiment grids (Section 2.1) and are built once
+per session.  Each benchmark prints the reproduced rows/series next to the
+paper's reported values so the shape comparison is immediate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    SKU,
+    paper_corpus,
+    run_experiments,
+    scaling_corpus,
+    workload_by_name,
+)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+@pytest.fixture(scope="session")
+def corpus_16cpu():
+    """Sections 4/5 corpus: five workloads at 16 CPUs, 330 observations."""
+    return paper_corpus(cpus=16, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def table4_corpus():
+    """Table 4 corpus: TPC-C, TPC-H, Twitter on the 16-CPU SKU.
+
+    One concurrency level per workload keeps the pairwise-distance counts
+    tractable for the elastic measures; three repetitions expand to ten
+    sub-experiments each (90 observations).
+    """
+    from repro.workloads.corpus import expand_subexperiments
+
+    full = run_experiments(
+        [workload_by_name(n) for n in ("tpcc", "tpch", "twitter")],
+        [SKU(cpus=16, memory_gb=32.0)],
+        terminals_for=lambda w: (1,) if w.name == "tpch" else (8,),
+        random_state=1,
+    )
+    return expand_subexperiments(full)
+
+
+@pytest.fixture(scope="session")
+def scaling_repo():
+    """Section 6 corpus: TPC-C, Twitter, TPC-H across 2/4/8/16 CPUs."""
+    return scaling_corpus(["tpcc", "twitter", "tpch"], random_state=7)
+
+
+@pytest.fixture(scope="session")
+def two_sku_references():
+    """References on the 2-CPU and 8-CPU SKUs (Figures 10 and 11)."""
+    return run_experiments(
+        [workload_by_name(n) for n in ("tpcc", "twitter", "tpch")],
+        [SKU(cpus=2, memory_gb=32.0), SKU(cpus=8, memory_gb=32.0)],
+        random_state=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def ycsb_2cpu():
+    return run_experiments(
+        [workload_by_name("ycsb")],
+        [SKU(cpus=2, memory_gb=32.0)],
+        terminals_for=lambda w: (32,),
+        random_state=77,
+    )
+
+
+@pytest.fixture(scope="session")
+def ycsb_8cpu():
+    return run_experiments(
+        [workload_by_name("ycsb")],
+        [SKU(cpus=8, memory_gb=32.0)],
+        terminals_for=lambda w: (32,),
+        random_state=78,
+    )

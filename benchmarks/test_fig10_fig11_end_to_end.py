@@ -1,0 +1,125 @@
+"""Figures 10 and 11: the end-to-end prediction framework on YCSB.
+
+Figure 10: Hist-FP + L2,1 similarity of YCSB to TPC-C / Twitter / TPC-H —
+TPC-C must be nearest, closely followed by Twitter, with TPC-H far away.
+
+Figure 11, suite 1: YCSB scaling from 2 to 8 CPUs predicted by the
+nearest reference's pairwise SVM model (paper NRMSE 0.0948).
+
+Figure 11, suite 2: migration S1 (4 CPU / 32 GB) -> S2 (8 CPU / 64 GB);
+prediction via TPC-C lands near the truth (paper MAPE 0.206) while the
+Twitter model under-predicts badly (paper MAPE 0.563).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.core import PipelineConfig, WorkloadPredictionPipeline
+from repro.prediction import PairwiseScalingModel, build_scaling_dataset
+from repro.workloads import (
+    SKU,
+    run_experiments,
+    sku_s1,
+    sku_s2,
+    workload_by_name,
+)
+
+
+def run_suite1(references, ycsb_source, ycsb_target):
+    pipeline = WorkloadPredictionPipeline(PipelineConfig())
+    return pipeline.predict_scaling(
+        references,
+        ycsb_source,
+        SKU(cpus=2, memory_gb=32.0),
+        SKU(cpus=8, memory_gb=32.0),
+        target_validation=ycsb_target,
+    )
+
+
+def run_suite2():
+    source, target = sku_s1(), sku_s2()
+    references = run_experiments(
+        [workload_by_name(n) for n in ("tpcc", "twitter", "tpch")],
+        [source, target],
+        terminals_for=lambda w: (1,) if w.name == "tpch" else (8,),
+        random_state=55,
+    )
+    ycsb = run_experiments(
+        [workload_by_name("ycsb")],
+        [source, target],
+        terminals_for=lambda w: (8,),
+        random_state=56,
+    )
+    actual = float(ycsb.by_sku(target).throughputs().mean())
+    observed = build_scaling_dataset(ycsb, "ycsb", 8, random_state=0)
+    y_source_obs = observed.observations[source.name]
+
+    predictions = {}
+    for reference in ("tpcc", "twitter"):
+        dataset = build_scaling_dataset(
+            references, reference, 8, random_state=0
+        )
+        model = PairwiseScalingModel("SVM", random_state=0)
+        model.fit(
+            dataset.observations[source.name],
+            dataset.observations[target.name],
+            groups=dataset.groups[source.name],
+        )
+        predicted = float(model.transfer(y_source_obs).mean())
+        predictions[reference] = {
+            "predicted": predicted,
+            "mape": abs(predicted - actual) / actual,
+        }
+    return actual, predictions
+
+
+@pytest.mark.benchmark(group="fig10-11")
+def test_fig10_fig11_end_to_end(
+    benchmark, two_sku_references, ycsb_2cpu, ycsb_8cpu
+):
+    def run_all():
+        report = run_suite1(two_sku_references, ycsb_2cpu, ycsb_8cpu)
+        actual, predictions = run_suite2()
+        return report, actual, predictions
+
+    report, actual, predictions = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    print_header("Figure 10 - Hist-FP L2,1 similarity of YCSB")
+    for name, distance in report.similarity.ordered:
+        print(f"  {name:10s} {distance:.3f}")
+    print("Paper reference: TPC-C closest, closely followed by Twitter.")
+
+    print_header("Figure 11 (suite 1) - YCSB 2 -> 8 CPUs via nearest "
+                 "reference pairwise SVM")
+    print(f"  reference used : {report.reference_workload}")
+    print(f"  predicted mean : {report.predicted_mean:10.1f} txn/s")
+    print(f"  actual mean    : {report.actual_mean:10.1f} txn/s")
+    print(f"  MAPE           : {report.mape():.3f}   NRMSE: {report.nrmse():.3f}")
+    print("Paper reference: NRMSE 0.0948 for the TPC-C-based prediction.")
+
+    print_header("Figure 11 (suite 2) - YCSB S1(4cpu/32gb) -> S2(8cpu/64gb)")
+    print(f"  actual throughput: {actual:10.1f} req/s")
+    for reference, row in predictions.items():
+        print(
+            f"  via {reference:8s}: predicted {row['predicted']:10.1f} "
+            f"req/s  MAPE {row['mape']:.3f}"
+        )
+    print("Paper reference: ~1100 predicted vs 1400 actual via TPC-C "
+          "(MAPE 0.206); ~600 via Twitter (MAPE 0.563).")
+
+    # Figure 10 ordering.
+    ordered = [name for name, _ in report.similarity.ordered]
+    assert ordered[0] == "tpcc"
+    assert ordered[-1] == "tpch"
+    # Suite 1: the nearest-reference transfer is accurate.
+    assert report.reference_workload == "tpcc"
+    assert report.mape() < 0.3
+    # Suite 2: TPC-C transfers far better than Twitter, which
+    # under-predicts (it saturates where YCSB still gains from memory).
+    assert predictions["tpcc"]["mape"] < predictions["twitter"]["mape"]
+    assert predictions["twitter"]["predicted"] < actual
+    assert predictions["twitter"]["mape"] > 0.15

@@ -1,0 +1,92 @@
+"""Figure 3: per-workload lasso regularization paths on the 2-CPU SKU.
+
+For each workload, a one-vs-rest lasso path over the 29 standardized
+telemetry features identifies the top-7 features with the largest path
+coefficients.  The paper's observations:
+
+- two runs of the same workload (TPC-C) share most of their top features;
+- TPC-C and Twitter overlap heavily (both point-lookup dominated);
+- either overlaps with TPC-H on at most a couple of features, and TPC-H
+  prioritizes READ_WRITE_RATIO / IOPS_TOTAL;
+- YCSB mixes IO features with plan features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.features.embedded import lasso_path_top_features, one_vs_rest_lasso_path
+from repro.workloads import paper_corpus
+from repro.workloads.features import ALL_FEATURES
+
+
+def run_fig3():
+    corpus = paper_corpus(cpus=2, random_state=0)
+    X = corpus.feature_matrix()
+    labels = np.asarray(corpus.labels())
+    top_features: dict[str, list[str]] = {}
+    for workload in ("tpcc", "twitter", "tpch", "ycsb"):
+        _, coefs = one_vs_rest_lasso_path(X, labels, workload, n_alphas=40)
+        indices = lasso_path_top_features(None, coefs, k=7)
+        top_features[workload] = [ALL_FEATURES[i] for i in indices]
+    # A second, independently seeded TPC-C corpus: run-to-run stability.
+    corpus_b = paper_corpus(cpus=2, random_state=123)
+    _, coefs_b = one_vs_rest_lasso_path(
+        corpus_b.feature_matrix(), np.asarray(corpus_b.labels()), "tpcc",
+        n_alphas=40,
+    )
+    top_features["tpcc (run 2)"] = [
+        ALL_FEATURES[i] for i in lasso_path_top_features(None, coefs_b, k=7)
+    ]
+    return top_features
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_lasso_paths(benchmark):
+    top = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    print_header("Figure 3 - Top-7 lasso-path features per workload (2 CPUs)")
+    for workload, features in top.items():
+        print(f"{workload:14s} {', '.join(features)}")
+
+    def overlap(a, b):
+        return len(set(top[a]) & set(top[b]))
+
+    print(
+        f"\nOverlaps: tpcc~tpcc(run2)={overlap('tpcc', 'tpcc (run 2)')}, "
+        f"tpcc~twitter={overlap('tpcc', 'twitter')}, "
+        f"tpcc~tpch={overlap('tpcc', 'tpch')}, "
+        f"twitter~tpch={overlap('twitter', 'tpch')}"
+    )
+    print("Paper reference: TPC-C/Twitter share ~6 of 7; overlap with "
+          "TPC-H is ~1; repeated TPC-C runs mostly agree.")
+
+    # Run-to-run stability of the same workload's signature.
+    assert overlap("tpcc", "tpcc (run 2)") >= 4
+    # Point-lookup workloads resemble each other far more than TPC-H.
+    assert overlap("tpcc", "twitter") > overlap("tpcc", "tpch")
+    # TPC-H's signature leans on IO / read-write behaviour.
+    assert set(top["tpch"]) & {"READ_WRITE_RATIO", "IOPS_TOTAL", "EstimateIO"}
+
+    # Section 4.3.1's stability observation: aggregating more runs makes
+    # the consensus selection more stable.
+    from repro.features import (
+        FANOVASelector,
+        consensus_stability_curve,
+        rank_features_per_run,
+        selection_stability,
+    )
+    from repro.workloads import paper_corpus
+
+    corpus = paper_corpus(cpus=2, random_state=0)
+    rankings = rank_features_per_run(corpus, FANOVASelector)
+    stability = selection_stability(rankings, k=7)
+    curve = consensus_stability_curve(rankings, k=7, random_state=0)
+    print(f"\nper-run top-7 stability (Jaccard): {stability:.3f}")
+    print("consensus stability vs pooled runs: "
+          + ", ".join(f"{m}:{v:.3f}" for m, v in sorted(curve.items())))
+    assert stability > 0.5  # individual runs largely agree already
+    sizes = sorted(curve)
+    assert curve[sizes[-1]] >= curve[sizes[0]] - 0.05  # pooling stabilizes

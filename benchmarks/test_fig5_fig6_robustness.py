@@ -1,0 +1,100 @@
+"""Figures 5 and 6: similarity bars with error variation (robustness).
+
+Normalized Hist-FP + L2,1 distances from Twitter (Figure 5) and TPC-C
+(Figure 6) to every workload, with the across-run standard deviation as
+the error bar.  The paper's observations: the identical workload sits
+closest, same-type workloads are nearer than different types, top-7
+features separate the groups more crisply than all features, and
+resource-only features have larger error bars (less robust).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.features import RecursiveFeatureElimination
+from repro.similarity import (
+    RepresentationBuilder,
+    distance_matrix,
+    pairwise_workload_distances,
+)
+from repro.similarity.evaluation import representation_matrices
+from repro.similarity.measures import get_measure
+from repro.workloads.features import ALL_FEATURES, RESOURCE_FEATURES
+
+
+def run_fig56(corpus):
+    builder = RepresentationBuilder().fit(corpus)
+    labels = corpus.labels()
+    X = corpus.feature_matrix()
+    selector = RecursiveFeatureElimination("logreg").fit(X, labels)
+    top7 = [ALL_FEATURES[i] for i in selector.top_k(7)]
+    scenarios = {
+        "top-7": top7,
+        "all": list(ALL_FEATURES),
+        "resource-only": list(RESOURCE_FEATURES),
+    }
+    measure = get_measure("L2,1")
+    stats = {}
+    for scenario, features in scenarios.items():
+        matrices = representation_matrices(
+            corpus, builder, "hist", features=features
+        )
+        D = distance_matrix(matrices, measure)
+        stats[scenario] = pairwise_workload_distances(D, labels)
+    return stats
+
+
+@pytest.mark.benchmark(group="fig5-6")
+def test_fig5_fig6_similarity_robustness(benchmark, table4_corpus):
+    stats = benchmark.pedantic(
+        run_fig56, args=(table4_corpus,), rounds=1, iterations=1
+    )
+
+    for source, figure in (("twitter", "Figure 5"), ("tpcc", "Figure 6")):
+        print_header(
+            f"{figure} - {source} similarity (normalized L2,1 on Hist-FP)"
+        )
+        print(f"{'scenario':14s} " + " ".join(
+            f"{name:>16s}" for name in ("tpcc", "tpch", "twitter")
+        ))
+        for scenario in ("top-7", "all", "resource-only"):
+            cells = []
+            for other in ("tpcc", "tpch", "twitter"):
+                mean, std = stats[scenario][(source, other)]
+                cells.append(f"{mean:.3f}±{std:.3f}")
+            print(f"{scenario:14s} " + " ".join(f"{c:>16s}" for c in cells))
+    print("\nPaper reference: identical workload closest; top-7 separates "
+          "more distinctly than all features; resource-only has larger "
+          "error bars.")
+
+    for source in ("twitter", "tpcc"):
+        for scenario in ("top-7", "all"):
+            self_distance = stats[scenario][(source, source)][0]
+            others = [
+                stats[scenario][(source, other)][0]
+                for other in ("tpcc", "tpch", "twitter")
+                if other != source
+            ]
+            assert self_distance < min(others), (source, scenario)
+
+    # Discrimination: top-7 separates nearest-vs-self more crisply than all
+    # features (Section 5.2.2's overfitting observation).
+    def separation(scenario, source):
+        self_distance = stats[scenario][(source, source)][0]
+        nearest_other = min(
+            stats[scenario][(source, other)][0]
+            for other in ("tpcc", "tpch", "twitter")
+            if other != source
+        )
+        return nearest_other - self_distance
+
+    assert separation("top-7", "tpcc") > separation("all", "tpcc") - 0.05
+
+    # Robustness: resource-only error bars exceed top-7 ones on average.
+    def mean_std(scenario):
+        return float(np.mean([std for _, std in stats[scenario].values()]))
+
+    assert mean_std("resource-only") > mean_std("top-7") - 0.02

@@ -1,0 +1,115 @@
+"""Figures 8 and 9: single versus pairwise scaling-model contexts.
+
+TPC-C throughput across the 2/4/8/16-CPU SKUs, modeled per data group
+with LMM (Figure 8) and SVM (Figure 9) in both contexts.  The printed
+series show the single model's curve and each pair's scaling factor; the
+assertion captures Insight 5 — pairwise models track the per-transition
+factors more faithfully than one curve over all SKUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.prediction import (
+    PairwiseModelSet,
+    SingleScalingModel,
+    build_scaling_dataset,
+)
+
+
+def run_fig89(repo):
+    dataset = build_scaling_dataset(repo, "tpcc", 8, random_state=0)
+    output = {"dataset": dataset, "models": {}}
+    cpus = np.array(
+        [dataset.cpu_counts[name] for name in dataset.sku_names], dtype=float
+    )
+    from repro.prediction import single_prediction_interval
+
+    for strategy in ("LMM", "SVM"):
+        pooled_cpus, pooled_y, pooled_groups = dataset.pooled()
+        single = SingleScalingModel(strategy, random_state=0)
+        single.fit(pooled_cpus, pooled_y, groups=pooled_groups)
+        curve = single.predict(cpus, groups=np.zeros(cpus.size))
+        # The paper's Figure 8 shades the model's confidence interval.
+        interval = single_prediction_interval(
+            strategy, pooled_cpus, pooled_y, cpus,
+            groups=pooled_groups, n_bootstrap=60, random_state=0,
+        )
+        pairwise = PairwiseModelSet(strategy, random_state=0).fit(
+            dataset.observations,
+            groups=dataset.groups,
+            cpu_counts=dataset.cpu_counts,
+        )
+        factors = {
+            pair: pairwise.model(*pair).scaling_factor()
+            for pair in pairwise.pairs
+        }
+        output["models"][strategy] = {
+            "curve": curve,
+            "interval": interval,
+            "factors": factors,
+        }
+    return output
+
+
+@pytest.mark.benchmark(group="fig8-9")
+def test_fig8_fig9_single_vs_pairwise(benchmark, scaling_repo):
+    output = benchmark.pedantic(
+        run_fig89, args=(scaling_repo,), rounds=1, iterations=1
+    )
+    dataset = output["dataset"]
+    names = dataset.sku_names
+    observed_means = np.array(
+        [dataset.observations[name].mean() for name in names]
+    )
+    observed_factors = {
+        (a, b): dataset.observations[b].mean() / dataset.observations[a].mean()
+        for i, a in enumerate(names)
+        for b in names[i + 1 :]
+    }
+
+    for strategy, figure in (("LMM", "Figure 8"), ("SVM", "Figure 9")):
+        models = output["models"][strategy]
+        interval = models["interval"]
+        print_header(f"{figure} - {strategy}: single vs pairwise (TPC-C)")
+        print(f"{'SKU':12s} {'observed':>10s} {'single-model':>13s} "
+              f"{'90% CI':>19s}")
+        for i, (name, observed, predicted) in enumerate(
+            zip(names, observed_means, models["curve"])
+        ):
+            ci = f"[{interval.lower[i]:7.1f}, {interval.upper[i]:7.1f}]"
+            print(f"{name:12s} {observed:10.1f} {predicted:13.1f} {ci:>19s}")
+        print(f"{'pair':24s} {'observed factor':>16s} {'pairwise model':>15s}")
+        for pair, factor in models["factors"].items():
+            print(
+                f"{pair[0]:>10s}->{pair[1]:<12s} "
+                f"{observed_factors[pair]:16.3f} {factor:15.3f}"
+            )
+    print("\nPaper reference: the single model captures the overall trend "
+          "but pairwise models capture each transition's factor (Insight 5).")
+
+    for strategy in ("LMM", "SVM"):
+        models = output["models"][strategy]
+        # The single model reproduces the monotone scaling trend.
+        assert list(np.argsort(models["curve"])) == list(range(len(names)))
+        # Pairwise factors track the observed per-transition factors within
+        # a tight margin...
+        pairwise_errors = [
+            abs(models["factors"][pair] - observed_factors[pair])
+            / observed_factors[pair]
+            for pair in models["factors"]
+        ]
+        assert float(np.mean(pairwise_errors)) < 0.1
+        # ...and more tightly than factors read off the single curve.
+        curve = dict(zip(names, models["curve"]))
+        single_errors = [
+            abs(curve[b] / curve[a] - observed_factors[(a, b)])
+            / observed_factors[(a, b)]
+            for (a, b) in models["factors"]
+        ]
+        assert float(np.mean(pairwise_errors)) <= float(
+            np.mean(single_errors)
+        ) + 0.02

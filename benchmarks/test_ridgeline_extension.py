@@ -1,0 +1,92 @@
+"""Ridgeline extension (Section 7 future work): two-dimensional scaling.
+
+The paper proposes combining non-linear strategies with multi-resource
+ceilings (the Ridgeline model [17]) when SKUs vary in several dimensions.
+This bench trains the 2-D Ridgeline predictor on a (CPU x memory) grid of
+YCSB measurements and compares it against a CPU-only Roofline fit on
+held-out configurations where *memory* is the binding resource.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.prediction import RidgelinePredictor, RooflinePredictor
+from repro.workloads import SKU, workload_by_name
+from repro.workloads.engine import ExecutionEngine
+
+TERMINALS = 8
+TRAIN_GRID = [(c, m) for c in (2, 4, 8) for m in (16.0, 32.0, 64.0)]
+TEST_GRID = [(16, 16.0), (16, 32.0), (16, 96.0), (12, 24.0)]
+
+
+def measure(engine, cpus, memory_gb, seed):
+    sku = SKU(cpus=cpus, memory_gb=memory_gb)
+    return engine.steady_state(
+        sku, TERMINALS, random_state=seed
+    ).throughput
+
+
+def run_ridgeline():
+    workload = workload_by_name("ycsb")
+    engine = ExecutionEngine(workload)
+    rows = []
+    for seed_offset, (cpus, memory) in enumerate(TRAIN_GRID * 3):
+        rows.append(
+            (cpus, memory, measure(engine, cpus, memory, seed_offset))
+        )
+    cpus = np.array([r[0] for r in rows], dtype=float)
+    memory = np.array([r[1] for r in rows], dtype=float)
+    throughput = np.array([r[2] for r in rows])
+
+    ridgeline = RidgelinePredictor().fit(cpus, memory, throughput)
+    roofline = RooflinePredictor().fit(cpus, throughput)
+
+    truth, ridge_pred, roof_pred = [], [], []
+    for test_cpus, test_memory in TEST_GRID:
+        actual = engine.steady_state(
+            SKU(cpus=test_cpus, memory_gb=test_memory), TERMINALS,
+            noisy=False,
+        ).throughput
+        truth.append(actual)
+        ridge_pred.append(
+            float(ridgeline.predict([test_cpus], [test_memory])[0])
+        )
+        roof_pred.append(float(roofline.predict([test_cpus])[0]))
+    return ridgeline, np.array(truth), np.array(ridge_pred), np.array(roof_pred)
+
+
+@pytest.mark.benchmark(group="ridgeline")
+def test_ridgeline_two_dimensional_scaling(benchmark):
+    ridgeline, truth, ridge_pred, roof_pred = benchmark.pedantic(
+        run_ridgeline, rounds=1, iterations=1
+    )
+
+    print_header("Ridgeline extension - 2D (CPU x memory) prediction, YCSB")
+    print(f"{'config':16s} {'truth':>9s} {'ridgeline':>10s} "
+          f"{'cpu-roofline':>13s} {'binding':>9s}")
+    for (cpus, memory), actual, ridge, roof in zip(
+        TEST_GRID, truth, ridge_pred, roof_pred
+    ):
+        binding = ridgeline.binding_resource(float(cpus), float(memory))
+        print(
+            f"{cpus:3d} cpu/{memory:5.0f}gb {actual:9.0f} {ridge:10.0f} "
+            f"{roof:13.0f} {binding:>9s}"
+        )
+    ridge_err = np.abs(ridge_pred - truth) / truth
+    roof_err = np.abs(roof_pred - truth) / truth
+    print(f"\nmedian relative error: ridgeline {np.median(ridge_err):.3f}, "
+          f"cpu-only roofline {np.median(roof_err):.3f}")
+    print("Paper reference (future work): multi-dimensional SKU changes "
+          "need multi-resource ceilings; a CPU-only model cannot see the "
+          "memory wall.")
+
+    # The memory-starved 16cpu/16gb configuration is where the CPU-only
+    # model fails and the Ridgeline sees the wall.
+    starved = TEST_GRID.index((16, 16.0))
+    assert ridge_err[starved] < roof_err[starved]
+    assert ridgeline.binding_resource(16.0, 16.0) == "memory"
+    # Overall the 2-D model is at least as accurate.
+    assert np.median(ridge_err) <= np.median(roof_err) + 0.02

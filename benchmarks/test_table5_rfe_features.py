@@ -1,0 +1,66 @@
+"""Table 5: top features selected by RFE with logistic regression.
+
+Reports the top-7 plan features, top-5 resource features, and top-7 of the
+combined set on the 16-CPU corpus.  The paper's lists lead with
+MaxCompileMemory / CachedPlanSize / AvgRowSize on the plan side and find
+the combined list dominated by plan features plus a few resource channels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.features import RecursiveFeatureElimination
+from repro.workloads.features import (
+    ALL_FEATURES,
+    PLAN_FEATURES,
+    RESOURCE_FEATURES,
+)
+
+
+def run_table5(corpus):
+    labels = corpus.labels()
+    X = corpus.feature_matrix()
+    selections = {}
+    for scope_name, pool, k in (
+        ("Top-7 Plan", PLAN_FEATURES, 7),
+        ("Top-5 Resource", RESOURCE_FEATURES, 5),
+        ("Top-7 All", ALL_FEATURES, 7),
+    ):
+        indices = [ALL_FEATURES.index(name) for name in pool]
+        selector = RecursiveFeatureElimination("logreg").fit(
+            X[:, indices], labels
+        )
+        selections[scope_name] = [pool[i] for i in selector.top_k(k)]
+    return selections
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_rfe_logreg_features(benchmark, corpus_16cpu):
+    selections = benchmark.pedantic(
+        run_table5, args=(corpus_16cpu,), rounds=1, iterations=1
+    )
+
+    print_header("Table 5 - RFE LogReg feature selections")
+    for scope, features in selections.items():
+        print(f"{scope:16s} {', '.join(features)}")
+    print("\nPaper reference: Top-7 Plan = MaxCompileMemory, CachedPlanSize, "
+          "AvgRowSize, EstimateIO, StatementSubTreeCost, "
+          "SerialRequiredMemory, CompileMemory; Top-5 Resource = "
+          "LOCK_WAIT_ABS, MEM_UTILIZATION, LOCK_REQ_ABS, CPU_UTILIZATION, "
+          "CPU_EFFECTIVE; Top-7 All mixes both.")
+
+    # Scope containment: each scope only selects from its pool.
+    assert all(f in PLAN_FEATURES for f in selections["Top-7 Plan"])
+    assert all(f in RESOURCE_FEATURES for f in selections["Top-5 Resource"])
+    # The combined list mixes both telemetry kinds, as in the paper.
+    combined = selections["Top-7 All"]
+    assert any(f in PLAN_FEATURES for f in combined)
+    assert any(f in RESOURCE_FEATURES for f in combined)
+    # The paper's headline plan features appear in the plan list.
+    headline = {"AvgRowSize", "CachedPlanSize", "MaxCompileMemory",
+                "CompileMemory", "EstimateIO", "StatementSubTreeCost",
+                "SerialRequiredMemory", "SerialDesiredMemory",
+                "EstimatedPagesCached", "TableCardinality"}
+    assert len(set(selections["Top-7 Plan"]) & headline) >= 4

@@ -1,0 +1,80 @@
+"""Capacity planning: pick the cheapest SKU meeting a throughput target.
+
+Uses :func:`repro.prediction.recommend_sku`, which combines the pipeline's
+building blocks the way a provider would: pairwise scaling models estimate
+each candidate SKU's throughput from measurements on the current SKU, and
+a Roofline check (Appendix B) caps configurations whose extra CPUs are
+wasted because a non-CPU ceiling binds first.
+
+Run with ``python examples/capacity_planning.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction import build_scaling_dataset, recommend_sku
+from repro.workloads import SKU, run_experiments, workload_by_name
+
+TERMINALS = 32
+TARGET_THROUGHPUT = 5000.0  # txn/s the customer must sustain
+CANDIDATES = (
+    SKU(cpus=2, memory_gb=32.0),
+    SKU(cpus=4, memory_gb=32.0),
+    SKU(cpus=8, memory_gb=32.0),
+    SKU(cpus=16, memory_gb=32.0),
+)
+#: Illustrative monthly price per SKU (any currency).
+PRICES = {sku.name: 90.0 * sku.cpus for sku in CANDIDATES}
+
+
+def main() -> None:
+    workload = workload_by_name("ycsb")
+    current = CANDIDATES[0]
+
+    print("measuring the workload across candidate SKUs ...")
+    repo = run_experiments(
+        [workload], list(CANDIDATES),
+        terminals_for=lambda w: (TERMINALS,), random_state=3,
+    )
+    dataset = build_scaling_dataset(repo, workload.name, TERMINALS)
+    current_obs = dataset.observations[current.name]
+    print(f"observed on {current.name}: {current_obs.mean():.0f} txn/s "
+          f"(target {TARGET_THROUGHPUT:.0f})")
+
+    result = recommend_sku(
+        workload, dataset, current.name,
+        target_throughput=TARGET_THROUGHPUT,
+        prices=PRICES, terminals=TERMINALS,
+        skus={sku.name: sku for sku in CANDIDATES},
+    )
+
+    print(f"\n{'SKU':14s} {'price':>7s} {'predicted':>10s} "
+          f"{'ceiling':>9s} {'verdict':>16s}")
+    for assessment in result.assessments:
+        if not assessment.compute_bound:
+            verdict = "ceiling-bound"
+        elif assessment.meets(TARGET_THROUGHPUT):
+            verdict = "meets target"
+        else:
+            verdict = "below target"
+        print(
+            f"{assessment.sku.name:14s} {assessment.price:7.0f} "
+            f"{assessment.effective_throughput:10.0f} "
+            f"{assessment.ceiling:9.0f} {verdict:>16s}"
+        )
+
+    if result.feasible:
+        chosen = result.chosen
+        print(
+            f"\nrecommendation: {chosen.sku.name} at {chosen.price:.0f}/month"
+            f" (predicted {chosen.effective_throughput:.0f} txn/s)"
+        )
+        actual = float(np.mean(dataset.observations[chosen.sku.name]))
+        print(f"ground truth on that SKU: {actual:.0f} txn/s")
+    else:
+        print("\nno candidate SKU meets the target; scale out instead.")
+
+
+if __name__ == "__main__":
+    main()

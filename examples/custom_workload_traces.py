@@ -1,0 +1,116 @@
+"""Custom workload mixtures and real-trace ingestion.
+
+Two adoption paths the library supports beyond the built-in benchmarks:
+
+1. **Custom mixtures** (Example 1 of the paper): compose a workload from
+   existing transaction types — here a read-mostly YCSB variant blended
+   with a slice of TPC-C — and run it through the simulator and pipeline.
+2. **Your own traces**: telemetry collected on a real system (here
+   round-tripped through CSV) becomes a first-class experiment that feeds
+   the same similarity machinery.
+
+Run with ``python examples/custom_workload_traces.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+import tempfile
+
+from repro.similarity import (
+    RepresentationBuilder,
+    distance_matrix,
+    pairwise_workload_distances,
+)
+from repro.similarity.evaluation import representation_matrices
+from repro.similarity.measures import get_measure
+from repro.workloads import (
+    SKU,
+    ExperimentRepository,
+    ExperimentRunner,
+    blend_workloads,
+    experiment_from_traces,
+    plan_rows_from_csv,
+    plan_rows_to_csv,
+    resource_series_from_csv,
+    resource_series_to_csv,
+    reweight_workload,
+    run_experiments,
+    workload_by_name,
+)
+from repro.workloads.corpus import expand_subexperiments
+
+
+def main() -> None:
+    sku = SKU(cpus=8, memory_gb=32.0)
+
+    # --- 1. a custom mixture ----------------------------------------------
+    read_mostly = reweight_workload(
+        workload_by_name("ycsb"),
+        {"ReadRecord": 8.0, "ScanRecord": 1.0, "UpdateRecord": 1.0},
+        name="ycsb-read-mostly",
+    )
+    htap = blend_workloads(
+        [(read_mostly, 2.0), (workload_by_name("tpcc"), 1.0)], name="htap"
+    )
+    print(f"custom mixture    : {htap.name}")
+    print(f"transaction types : {htap.n_transaction_types}")
+    print(f"read-only fraction: {htap.read_only_fraction:.2f} "
+          f"({htap.workload_type.value})")
+
+    runner = ExperimentRunner(htap, random_state=4)
+    custom_run = runner.run(sku, terminals=8)
+    print(f"simulated         : {custom_run.throughput:.0f} txn/s, "
+          f"{custom_run.latency_ms:.1f} ms")
+
+    # --- 2. trace round-trip ------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        resource_csv = Path(tmp) / "resource.csv"
+        plans_csv = Path(tmp) / "plans.csv"
+        resource_series_to_csv(custom_run, resource_csv)
+        plan_rows_to_csv(custom_run, plans_csv)
+        print(f"\nexported telemetry to {resource_csv.name} / {plans_csv.name}")
+
+        resource = resource_series_from_csv(resource_csv)
+        plans, names = plan_rows_from_csv(plans_csv)
+        trace_result = experiment_from_traces(
+            workload_name="customer-trace",
+            workload_type="mixed",
+            sku=sku,
+            terminals=8,
+            resource_series=resource,
+            plan_rows=plans,
+            plan_txn_names=names,
+            throughput_series=custom_run.throughput_series,
+        )
+        print(f"re-imported trace : {trace_result.experiment_id}")
+
+    # --- 3. where does the trace land among the references? ------------------
+    references = expand_subexperiments(
+        run_experiments(
+            [workload_by_name(n) for n in ("tpcc", "tpch", "twitter", "ycsb")],
+            [sku],
+            terminals_for=lambda w: (1,) if w.name == "tpch" else (8,),
+            random_state=5,
+        ),
+        n_subexperiments=5,
+    )
+    corpus = ExperimentRepository(list(references) + [trace_result])
+    builder = RepresentationBuilder().fit(corpus)
+    matrices = representation_matrices(corpus, builder, "hist")
+    D = distance_matrix(matrices, get_measure("L2,1"))
+    stats = pairwise_workload_distances(D, corpus.labels())
+    print("\nnormalized distance from the customer trace:")
+    for reference in ("tpcc", "tpch", "twitter", "ycsb"):
+        mean, std = stats[("customer-trace", reference)]
+        print(f"  -> {reference:8s} {mean:.3f} ± {std:.3f}")
+    nearest = min(
+        ("tpcc", "tpch", "twitter", "ycsb"),
+        key=lambda r: stats[("customer-trace", r)][0],
+    )
+    print(f"nearest reference : {nearest} "
+          "(a YCSB/TPC-C mixture should land between those two)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: simulate a workload, inspect telemetry, compute similarity.
+
+Run with ``python examples/quickstart.py``.
+
+This walks the three pipeline stages on a small corpus:
+1. execute (simulated) experiments and look at the telemetry they produce;
+2. select the most informative telemetry features;
+3. compute workload similarity over the selected features.
+"""
+
+from __future__ import annotations
+
+from repro.features import RecursiveFeatureElimination
+from repro.similarity import (
+    RepresentationBuilder,
+    distance_matrix,
+    knn_accuracy,
+    pairwise_workload_distances,
+)
+from repro.similarity.evaluation import representation_matrices
+from repro.similarity.measures import get_measure
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    paper_corpus,
+    workload_by_name,
+)
+from repro.workloads.features import ALL_FEATURES
+
+
+def main() -> None:
+    # --- 1. run one experiment and inspect it ------------------------------
+    sku = SKU(cpus=8, memory_gb=32.0)
+    runner = ExperimentRunner(workload_by_name("tpcc"), random_state=0)
+    result = runner.run(sku, terminals=8)
+    print(f"experiment        : {result.experiment_id}")
+    print(f"throughput        : {result.throughput:10.1f} txn/s")
+    print(f"mean latency      : {result.latency_ms:10.2f} ms")
+    print(f"bottleneck        : {result.bottleneck}")
+    print(f"resource samples  : {result.resource_series.shape}")
+    print(f"plan observations : {result.plan_matrix.shape}")
+
+    # --- 2. build a corpus and select features -----------------------------
+    print("\nbuilding the five-workload corpus at 16 CPUs ...")
+    corpus = paper_corpus(cpus=16, random_state=0)
+    selector = RecursiveFeatureElimination("logreg")
+    selector.fit(corpus.feature_matrix(), corpus.labels())
+    top7 = [ALL_FEATURES[i] for i in selector.top_k(7)]
+    print("top-7 features    :", ", ".join(top7))
+
+    # --- 3. similarity over the selected features --------------------------
+    builder = RepresentationBuilder().fit(corpus)
+    matrices = representation_matrices(corpus, builder, "hist", features=top7)
+    D = distance_matrix(matrices, get_measure("L2,1"))
+    labels = corpus.labels()
+    print(f"1-NN accuracy     : {knn_accuracy(D, labels):.3f}")
+    stats = pairwise_workload_distances(D, labels)
+    print("\nnormalized distances from tpcc:")
+    for other in corpus.workload_names():
+        mean, std = stats[("tpcc", other)]
+        print(f"  tpcc -> {other:8s} {mean:.3f} ± {std:.3f}")
+
+
+if __name__ == "__main__":
+    main()

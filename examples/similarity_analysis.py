@@ -1,0 +1,85 @@
+"""Similarity analysis: data representations and distance measures.
+
+Shows the three representations (MTS, Hist-FP, Phase-FP) on real simulated
+telemetry, evaluates representative measures on the paper's three axes,
+and reproduces the Appendix A worked example on why *cumulative*
+histograms encode shape proximity.
+
+Run with ``python examples/similarity_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.similarity import (
+    RepresentationBuilder,
+    default_measures,
+    evaluate_measure,
+)
+from repro.workloads import SKU, run_experiments, workload_by_name
+from repro.workloads.corpus import expand_subexperiments
+
+
+def appendix_a_example() -> None:
+    print("Appendix A: why cumulative histograms?")
+    h1 = np.array([1.0, 0, 0, 0, 0])
+    h2 = np.array([0.0, 1, 0, 0, 0])
+    h3 = np.array([0.0, 0, 0, 0, 1])
+    print("  plain   |H1-H2| =", np.abs(h1 - h2).sum(),
+          " |H1-H3| =", np.abs(h1 - h3).sum(), "(cannot tell them apart)")
+    c1, c2, c3 = np.cumsum(h1), np.cumsum(h2), np.cumsum(h3)
+    print("  cumul.  |H1-H2| =", np.abs(c1 - c2).sum(),
+          " |H1-H3| =", np.abs(c1 - c3).sum(), "(H2 correctly nearer)")
+
+
+def main() -> None:
+    appendix_a_example()
+
+    print("\nsimulating TPC-C / TPC-H / Twitter on a 16-CPU SKU ...")
+    corpus = expand_subexperiments(
+        run_experiments(
+            [workload_by_name(n) for n in ("tpcc", "tpch", "twitter")],
+            [SKU(cpus=16, memory_gb=32.0)],
+            terminals_for=lambda w: (1,) if w.name == "tpch" else (8,),
+            random_state=1,
+        ),
+        n_subexperiments=5,  # keeps the elastic-measure sweep quick
+    )
+    builder = RepresentationBuilder().fit(corpus)
+
+    sample = corpus[0]
+    print(f"\nrepresentations of {sample.experiment_id}:")
+    print(f"  MTS      shape {builder.mts(sample).shape} (time x features)")
+    print(f"  Hist-FP  shape {builder.hist_fp(sample).shape} (bins x features)")
+    print(f"  Phase-FP shape {builder.phase_fp(sample).shape} "
+          "(stats*phases x features)")
+
+    print(f"\n{'representation':15s} {'measure':18s} {'1-NN':>6s} "
+          f"{'mAP':>6s} {'NDCG':>6s}")
+    for representation in ("hist", "phase", "mts"):
+        for measure in default_measures(representation):
+            if representation != "mts" and measure.name not in (
+                "L2,1", "Canb"
+            ):
+                continue
+            if representation == "mts" and measure.name not in (
+                "L2,1", "Canb", "Dependent-DTW", "Independent-LCSS"
+            ):
+                continue
+            outcome = evaluate_measure(
+                corpus, builder, representation, measure
+            )
+            print(
+                f"{representation:15s} {measure.name:18s} "
+                f"{outcome.knn_accuracy:6.3f} "
+                f"{outcome.mean_average_precision:6.3f} {outcome.ndcg:6.3f}"
+            )
+    print(
+        "\nTakeaway (Insight 3): Hist-FP with norm distances is reliable "
+        "and discriminative; elastic MTS measures cost more for less."
+    )
+
+
+if __name__ == "__main__":
+    main()

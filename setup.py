@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` on offline machines falls back to the legacy setuptools
+path, which needs this file; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

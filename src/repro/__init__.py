@@ -1,0 +1,35 @@
+"""repro: reproduction of *From Feature Selection to Resource Prediction*.
+
+An end-to-end database workload prediction pipeline (EDBT 2025) comprising:
+
+- :mod:`repro.workloads` — a BenchBase-like workload/telemetry simulator
+  standing in for the paper's SQL Server testbed;
+- :mod:`repro.ml` — the machine-learning substrate (all models from scratch);
+- :mod:`repro.features` — feature selection (Section 4);
+- :mod:`repro.similarity` — workload similarity computation (Section 5);
+- :mod:`repro.prediction` — resource scaling prediction (Section 6);
+- :mod:`repro.core` — the end-to-end pipeline tying the stages together.
+"""
+
+__version__ = "1.0.0"
+
+from repro.exceptions import (
+    ConvergenceError,
+    NotFittedError,
+    PipelineError,
+    RepositoryError,
+    ReproError,
+    ValidationError,
+    WorkloadError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "ConvergenceError",
+    "WorkloadError",
+    "RepositoryError",
+    "PipelineError",
+]

@@ -1,0 +1,245 @@
+"""Command-line interface for the workload-prediction pipeline.
+
+Four subcommands mirror the pipeline stages:
+
+- ``repro simulate`` — run (simulated) experiments and save them to a
+  repository file;
+- ``repro select`` — rank telemetry features on a repository;
+- ``repro similarity`` — 1-NN / mAP / NDCG of a representation+measure
+  combination on a repository;
+- ``repro predict`` — end-to-end scaling prediction from a reference
+  repository and a target repository.
+
+Every subcommand reads/writes the JSON repository format of
+:class:`repro.workloads.repository.ExperimentRepository`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import PipelineConfig, WorkloadPredictionPipeline
+from repro.exceptions import ReproError
+from repro.workloads import (
+    SKU,
+    ExperimentRepository,
+    ExperimentRunner,
+    workload_by_name,
+)
+from repro.workloads.catalog import WORKLOAD_NAMES
+from repro.workloads.features import ALL_FEATURES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Database workload prediction pipeline (EDBT 2025 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run experiments and save a repository"
+    )
+    simulate.add_argument(
+        "--workload", required=True, choices=WORKLOAD_NAMES
+    )
+    simulate.add_argument("--cpus", type=int, default=8)
+    simulate.add_argument("--memory-gb", type=float, default=32.0)
+    simulate.add_argument("--terminals", type=int, default=8)
+    simulate.add_argument("--runs", type=int, default=3)
+    simulate.add_argument("--duration-s", type=float, default=3600.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--out", required=True, help="output JSON path")
+    simulate.add_argument(
+        "--append", action="store_true",
+        help="append to an existing repository file",
+    )
+
+    select = sub.add_parser("select", help="rank features on a repository")
+    select.add_argument("--corpus", required=True)
+    select.add_argument("--strategy", default="RFE LogReg")
+    select.add_argument("--top-k", type=int, default=7)
+
+    similarity = sub.add_parser(
+        "similarity", help="evaluate a similarity method on a repository"
+    )
+    similarity.add_argument("--corpus", required=True)
+    similarity.add_argument(
+        "--representation", default="hist", choices=("hist", "phase", "mts")
+    )
+    similarity.add_argument("--measure", default="L2,1")
+    similarity.add_argument(
+        "--features", default=None,
+        help="comma-separated feature names (default: all 29)",
+    )
+
+    predict = sub.add_parser(
+        "predict", help="end-to-end scaling prediction"
+    )
+    predict.add_argument("--references", required=True)
+    predict.add_argument("--target", required=True)
+    predict.add_argument("--source-cpus", type=int, required=True)
+    predict.add_argument("--target-cpus", type=int, required=True)
+    predict.add_argument("--memory-gb", type=float, default=32.0)
+    predict.add_argument("--strategy", default="SVM")
+    predict.add_argument(
+        "--context", default="pairwise", choices=("pairwise", "single")
+    )
+    predict.add_argument("--top-k", type=int, default=7)
+
+    cluster = sub.add_parser(
+        "cluster", help="group a repository's experiments by similarity"
+    )
+    cluster.add_argument("--corpus", required=True)
+    cluster.add_argument("--clusters", type=int, default=3)
+    cluster.add_argument(
+        "--method", default="agglomerative",
+        choices=("agglomerative", "kmedoids"),
+    )
+    cluster.add_argument("--measure", default="L2,1")
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    workload = workload_by_name(args.workload)
+    runner = ExperimentRunner(workload, random_state=args.seed)
+    sku = SKU(cpus=args.cpus, memory_gb=args.memory_gb)
+    if args.append:
+        repository = ExperimentRepository.load(args.out)
+    else:
+        repository = ExperimentRepository()
+    for run in range(args.runs):
+        result = runner.run(
+            sku,
+            terminals=args.terminals,
+            run_index=run,
+            data_group=run,
+            duration_s=args.duration_s,
+        )
+        repository.add(result)
+        print(
+            f"{result.experiment_id}: {result.throughput:.1f} txn/s, "
+            f"latency {result.latency_ms:.2f} ms, "
+            f"bottleneck {result.bottleneck}"
+        )
+    repository.save(args.out)
+    print(f"saved {len(repository)} experiments to {args.out}")
+    return 0
+
+
+def _cmd_select(args) -> int:
+    from repro.features import strategy_registry
+
+    corpus = ExperimentRepository.load(args.corpus)
+    registry = strategy_registry()
+    if args.strategy not in registry:
+        print(
+            f"unknown strategy {args.strategy!r}; known: "
+            f"{', '.join(sorted(registry))}",
+            file=sys.stderr,
+        )
+        return 2
+    selector = registry[args.strategy]()
+    selector.fit(corpus.feature_matrix(), corpus.labels())
+    print(f"top-{args.top_k} features by {args.strategy}:")
+    for rank, index in enumerate(selector.top_k(args.top_k), start=1):
+        print(f"  {rank:2d}. {ALL_FEATURES[index]}")
+    return 0
+
+
+def _cmd_similarity(args) -> int:
+    from repro.similarity import RepresentationBuilder, evaluate_measure
+    from repro.similarity.measures import get_measure
+
+    corpus = ExperimentRepository.load(args.corpus)
+    features = (
+        tuple(name.strip() for name in args.features.split(","))
+        if args.features
+        else None
+    )
+    builder = RepresentationBuilder().fit(corpus)
+    outcome = evaluate_measure(
+        corpus,
+        builder,
+        args.representation,
+        get_measure(args.measure),
+        features=features,
+    )
+    print(f"representation : {outcome.representation}")
+    print(f"measure        : {outcome.measure}")
+    print(f"features       : {outcome.n_features}")
+    print(f"1-NN accuracy  : {outcome.knn_accuracy:.3f}")
+    print(f"mAP            : {outcome.mean_average_precision:.3f}")
+    print(f"NDCG           : {outcome.ndcg:.3f}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    references = ExperimentRepository.load(args.references)
+    target = ExperimentRepository.load(args.target)
+    source = SKU(cpus=args.source_cpus, memory_gb=args.memory_gb)
+    target_sku = SKU(cpus=args.target_cpus, memory_gb=args.memory_gb)
+    config = PipelineConfig(
+        scaling_strategy=args.strategy,
+        scaling_context=args.context,
+        top_k=args.top_k,
+    )
+    pipeline = WorkloadPredictionPipeline(config)
+    report = pipeline.predict_scaling(references, target, source, target_sku)
+    print(report.summary())
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.reporting import format_table
+    from repro.similarity import (
+        RepresentationBuilder,
+        cluster_purity,
+        cluster_workloads,
+        distance_matrix,
+    )
+    from repro.similarity.evaluation import representation_matrices
+    from repro.similarity.measures import get_measure
+
+    corpus = ExperimentRepository.load(args.corpus)
+    builder = RepresentationBuilder().fit(corpus)
+    matrices = representation_matrices(corpus, builder, "hist")
+    D = distance_matrix(matrices, get_measure(args.measure))
+    result = cluster_workloads(
+        D, n_clusters=args.clusters, method=args.method
+    )
+    groups = result.groups([r.experiment_id for r in corpus])
+    rows = []
+    for cluster_id, members in sorted(groups.items()):
+        workloads = sorted(
+            {member.split("@", 1)[0] for member in members}
+        )
+        rows.append([cluster_id, len(members), ", ".join(workloads)])
+    print(format_table(["cluster", "size", "workloads"], rows))
+    purity = cluster_purity(result.labels, corpus.labels())
+    print(f"purity vs workload labels: {purity:.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "select": _cmd_select,
+    "similarity": _cmd_similarity,
+    "predict": _cmd_predict,
+    "cluster": _cmd_cluster,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

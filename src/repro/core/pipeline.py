@@ -1,0 +1,244 @@
+"""The end-to-end workload prediction pipeline (Sections 2 and 6.2.3).
+
+Given reference workloads observed on both the source and the target SKU,
+and a *new* target workload observed only on the source SKU, the pipeline:
+
+1. selects the top-k telemetry features on the reference corpus,
+2. computes similarity between the target and each reference workload
+   (Hist-FP + L2,1 by default) and picks the nearest reference,
+3. fits that reference's pairwise scaling model (source -> target SKU) and
+   transfers it to the target workload's source observations,
+4. reports the predicted target-SKU performance (with error metrics when
+   validation measurements are supplied).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.report import PredictionReport, SimilarityRanking
+from repro.exceptions import PipelineError, ValidationError
+from repro.features.evaluation import strategy_registry
+from repro.prediction.context import PairwiseScalingModel, SingleScalingModel
+from repro.prediction.evaluation import build_scaling_dataset
+from repro.similarity.evaluation import (
+    distance_matrix,
+    normalized_distances,
+    representation_matrices,
+)
+from repro.similarity.measures import get_measure
+from repro.similarity.representations import RepresentationBuilder
+from repro.utils.rng import as_generator
+from repro.workloads.corpus import expand_subexperiments
+from repro.workloads.features import ALL_FEATURES, PLAN_FEATURES, RESOURCE_FEATURES
+from repro.workloads.repository import ExperimentRepository
+from repro.workloads.sampling import augmented_throughputs
+from repro.workloads.sku import SKU
+
+
+class WorkloadPredictionPipeline:
+    """Feature selection -> similarity -> scaling prediction."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+
+    # -- feature selection stage -----------------------------------------------
+    def _scope_indices(self) -> list[int]:
+        scope = self.config.feature_scope
+        if scope == "plan":
+            names = PLAN_FEATURES
+        elif scope == "resource":
+            names = RESOURCE_FEATURES
+        else:
+            names = ALL_FEATURES
+        return [ALL_FEATURES.index(name) for name in names]
+
+    def select_features(
+        self, references: ExperimentRepository
+    ) -> tuple[str, ...]:
+        """Top-k feature names chosen on the reference corpus."""
+        registry = strategy_registry()
+        try:
+            factory = registry[self.config.selection_strategy]
+        except KeyError:
+            raise PipelineError(
+                f"unknown selection strategy "
+                f"{self.config.selection_strategy!r}"
+            ) from None
+        scope = self._scope_indices()
+        X = references.feature_matrix()[:, scope]
+        labels = references.labels()
+        selector = factory()
+        selector.fit(X, labels)
+        k = min(self.config.top_k, len(scope))
+        chosen = selector.top_k(k)
+        return tuple(ALL_FEATURES[scope[i]] for i in chosen)
+
+    # -- similarity stage -----------------------------------------------------------
+    def rank_similarity(
+        self,
+        references: ExperimentRepository,
+        target: ExperimentRepository,
+        features: tuple[str, ...],
+    ) -> SimilarityRanking:
+        """Rank reference workloads by mean distance to the target."""
+        if len(target) == 0 or len(references) == 0:
+            raise ValidationError("references and target must be non-empty")
+        target_names = set(r.workload_name for r in target)
+        if len(target_names) != 1:
+            raise ValidationError(
+                f"target must contain one workload, got {sorted(target_names)}"
+            )
+        target_name = target_names.pop()
+        combined = ExperimentRepository(list(references) + list(target))
+        builder = RepresentationBuilder(features).fit(combined)
+        matrices = representation_matrices(
+            combined, builder, self.config.representation, features=features
+        )
+        D = normalized_distances(
+            distance_matrix(matrices, get_measure(self.config.measure))
+        )
+        labels = np.asarray([r.workload_name for r in combined])
+        target_rows = np.flatnonzero(labels == target_name)
+        distances: dict[str, float] = {}
+        for reference in references.workload_names():
+            columns = np.flatnonzero(labels == reference)
+            block = D[np.ix_(target_rows, columns)]
+            distances[reference] = float(block.mean())
+        return SimilarityRanking(target=target_name, distances=distances)
+
+    # -- scaling stage ---------------------------------------------------------------
+    def _reference_scaling_model(
+        self,
+        references: ExperimentRepository,
+        reference_name: str,
+        source_sku: SKU,
+        target_sku: SKU,
+    ):
+        two_skus = references.by_workload(reference_name).filter(
+            lambda r: r.sku.name in (source_sku.name, target_sku.name)
+        )
+        terminals = sorted({r.terminals for r in two_skus})
+        if not terminals:
+            raise PipelineError(
+                f"reference {reference_name!r} has no runs on the "
+                f"requested SKUs"
+            )
+        dataset = build_scaling_dataset(
+            two_skus,
+            reference_name,
+            terminals[-1],
+            random_state=self.config.random_state,
+        )
+        y_source = dataset.observations[source_sku.name]
+        y_target = dataset.observations[target_sku.name]
+        groups = dataset.groups[source_sku.name]
+        if self.config.scaling_context == "pairwise":
+            model = PairwiseScalingModel(
+                self.config.scaling_strategy,
+                normalize=True,
+                random_state=self.config.random_state,
+            )
+            model.fit(y_source, y_target, groups=groups)
+            return model
+        # Single context: model normalized throughput against CPU count and
+        # read the scaling factor off the curve at the target CPU count.
+        cpus = np.concatenate(
+            [
+                np.full(y_source.size, source_sku.cpus, dtype=float),
+                np.full(y_target.size, target_sku.cpus, dtype=float),
+            ]
+        )
+        normalized = np.concatenate([y_source, y_target]) / float(
+            y_source.mean()
+        )
+        all_groups = np.concatenate([groups, dataset.groups[target_sku.name]])
+        single = SingleScalingModel(
+            self.config.scaling_strategy, random_state=self.config.random_state
+        )
+        single.fit(cpus, normalized, groups=all_groups)
+        return single
+
+    def predict_scaling(
+        self,
+        references: ExperimentRepository,
+        target_source: ExperimentRepository,
+        source_sku: SKU,
+        target_sku: SKU,
+        *,
+        target_validation: ExperimentRepository | None = None,
+        n_subexperiments: int = 10,
+    ) -> PredictionReport:
+        """Run the full pipeline for one migration.
+
+        Parameters
+        ----------
+        references:
+            Full experiments of the reference workloads on *both* SKUs.
+        target_source:
+            Full experiments of the target workload on the source SKU.
+        target_validation:
+            Optional target-workload experiments on the target SKU, used
+            only to score the prediction.
+        """
+        ref_source = references.by_sku(source_sku)
+        if len(ref_source) == 0:
+            raise PipelineError("references contain no runs on the source SKU")
+        ref_subexp = expand_subexperiments(
+            ref_source, n_subexperiments=n_subexperiments
+        )
+        target_subexp = expand_subexperiments(
+            target_source, n_subexperiments=n_subexperiments
+        )
+        features = self.select_features(ref_subexp)
+        ranking = self.rank_similarity(ref_subexp, target_subexp, features)
+        reference_name = ranking.nearest
+
+        model = self._reference_scaling_model(
+            references, reference_name, source_sku, target_sku
+        )
+        rng = as_generator(self.config.random_state)
+        target_obs = np.concatenate(
+            [
+                augmented_throughputs(
+                    run, random_state=int(rng.integers(0, 2**62))
+                )
+                for run in target_source
+            ]
+        )
+        if isinstance(model, PairwiseScalingModel):
+            predicted = model.transfer(target_obs)
+        else:
+            factors = model.predict(
+                np.full(target_obs.size, float(target_sku.cpus)),
+                groups=np.zeros(target_obs.size),
+            )
+            predicted = factors * float(target_obs.mean())
+
+        actual = None
+        if target_validation is not None and len(target_validation) > 0:
+            actual = np.concatenate(
+                [
+                    augmented_throughputs(
+                        run, random_state=int(rng.integers(0, 2**62))
+                    )
+                    for run in target_validation
+                ]
+            )
+        return PredictionReport(
+            target_workload=ranking.target,
+            source_sku=source_sku.name,
+            target_sku=target_sku.name,
+            selected_features=features,
+            similarity=ranking,
+            reference_workload=reference_name,
+            predicted_throughput=predicted,
+            actual_throughput=actual,
+            details={
+                "strategy": self.config.scaling_strategy,
+                "context": self.config.scaling_context,
+                "representation": self.config.representation,
+                "measure": self.config.measure,
+            },
+        )

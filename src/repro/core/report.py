@@ -1,0 +1,98 @@
+"""Structured outputs of the end-to-end pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class SimilarityRanking:
+    """Reference workloads ordered by similarity to the target."""
+
+    target: str
+    distances: dict[str, float]  # mean normalized distance per reference
+
+    @property
+    def ordered(self) -> list[tuple[str, float]]:
+        """(workload, distance) pairs from most to least similar."""
+        return sorted(self.distances.items(), key=lambda kv: kv[1])
+
+    @property
+    def nearest(self) -> str:
+        """The most similar reference workload."""
+        if not self.distances:
+            raise ValidationError("ranking is empty")
+        return self.ordered[0][0]
+
+
+@dataclass(frozen=True)
+class PredictionReport:
+    """Everything the end-to-end prediction produced.
+
+    ``predicted_throughput`` holds per-observation predictions for the
+    target SKU; ``actual_throughput`` is populated when validation data
+    was supplied, enabling the error metrics.
+    """
+
+    target_workload: str
+    source_sku: str
+    target_sku: str
+    selected_features: tuple[str, ...]
+    similarity: SimilarityRanking
+    reference_workload: str
+    predicted_throughput: np.ndarray
+    actual_throughput: np.ndarray | None = None
+    details: dict = field(default_factory=dict)
+
+    @property
+    def predicted_mean(self) -> float:
+        """Mean predicted throughput on the target SKU."""
+        return float(np.mean(self.predicted_throughput))
+
+    @property
+    def actual_mean(self) -> float | None:
+        """Mean measured throughput (None without validation data)."""
+        if self.actual_throughput is None:
+            return None
+        return float(np.mean(self.actual_throughput))
+
+    def mape(self) -> float:
+        """Mean absolute percentage error of the mean prediction."""
+        actual = self.actual_mean
+        if actual is None:
+            raise ValidationError("no validation data in this report")
+        return abs(self.predicted_mean - actual) / actual
+
+    def nrmse(self) -> float:
+        """NRMSE of per-observation predictions against measurements."""
+        from repro.ml.metrics import normalized_rmse
+
+        if self.actual_throughput is None:
+            raise ValidationError("no validation data in this report")
+        n = min(self.predicted_throughput.size, self.actual_throughput.size)
+        return normalized_rmse(
+            self.actual_throughput[:n], self.predicted_throughput[:n]
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"Target workload: {self.target_workload}",
+            f"Migration: {self.source_sku} -> {self.target_sku}",
+            f"Selected features: {', '.join(self.selected_features)}",
+            "Similarity ranking: "
+            + ", ".join(
+                f"{name} ({distance:.3f})"
+                for name, distance in self.similarity.ordered
+            ),
+            f"Reference workload: {self.reference_workload}",
+            f"Predicted throughput: {self.predicted_mean:.1f} txn/s",
+        ]
+        if self.actual_throughput is not None:
+            lines.append(f"Actual throughput: {self.actual_mean:.1f} txn/s")
+            lines.append(f"MAPE: {self.mape():.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Data-quality validation for prediction pipelines.
+
+The paper's discussion ends on an open question: *"how we can ensure data
+quality within such pipelines"* — a wrong choice upstream "can oftentimes
+have detrimental impact on downstream ML algorithms".  This module makes
+the obvious checks executable:
+
+- :func:`validate_experiment` — per-experiment telemetry health
+  (non-finite values, flatlined or truncated channels, impossible
+  utilizations, inconsistent performance numbers);
+- :func:`validate_corpus` — cross-experiment health (degenerate features,
+  unbalanced label coverage, duplicate identities, mixed schemas);
+- :func:`validate_distance_matrix` — similarity-stage invariants
+  (symmetry, zero diagonal, self-distances below cross-distances).
+
+Each check emits :class:`QualityIssue` records rather than raising, so
+callers can decide which severities gate their pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.workloads.features import RESOURCE_FEATURES
+from repro.workloads.runner import ExperimentResult
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class QualityIssue:
+    """One detected data-quality problem."""
+
+    severity: str  # "error" | "warning"
+    scope: str  # experiment id, feature name, or "corpus"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.scope}: {self.message}"
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """All issues found by a validation pass."""
+
+    issues: tuple[QualityIssue, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings are tolerated)."""
+        return not any(issue.severity == "error" for issue in self.issues)
+
+    def errors(self) -> list[QualityIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    def warnings(self) -> list[QualityIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def summary(self) -> str:
+        """One line per issue, errors first."""
+        ordered = [*self.errors(), *self.warnings()]
+        if not ordered:
+            return "no issues found"
+        return "\n".join(str(issue) for issue in ordered)
+
+
+def _issue(issues: list, severity: str, scope: str, message: str) -> None:
+    issues.append(QualityIssue(severity=severity, scope=scope, message=message))
+
+
+def validate_experiment(
+    result: ExperimentResult,
+    *,
+    expected_samples: int | None = None,
+) -> QualityReport:
+    """Telemetry health checks for one experiment."""
+    issues: list[QualityIssue] = []
+    scope = result.experiment_id
+    resource = result.resource_series
+    plans = result.plan_matrix
+
+    if not np.all(np.isfinite(resource)):
+        _issue(issues, "error", scope, "resource series contains non-finite values")
+    if not np.all(np.isfinite(plans)):
+        _issue(issues, "error", scope, "plan statistics contain non-finite values")
+    if np.any(resource < 0):
+        _issue(issues, "error", scope, "resource series contains negative values")
+
+    if expected_samples is not None and result.n_samples < expected_samples:
+        _issue(
+            issues, "warning", scope,
+            f"only {result.n_samples} of {expected_samples} expected samples "
+            "(collection gap?)",
+        )
+
+    for column, name in enumerate(RESOURCE_FEATURES):
+        channel = resource[:, column]
+        if channel.size and channel.std() == 0:
+            _issue(
+                issues, "warning", f"{scope}/{name}",
+                "channel is perfectly flat (stuck collector?)",
+            )
+    for name in ("CPU_UTILIZATION", "CPU_EFFECTIVE", "MEM_UTILIZATION"):
+        column = RESOURCE_FEATURES.index(name)
+        if np.any(resource[:, column] > 100.0 + 1e-9):
+            _issue(
+                issues, "error", f"{scope}/{name}",
+                "utilization exceeds 100%",
+            )
+
+    if result.throughput <= 0:
+        _issue(issues, "error", scope, "non-positive throughput")
+    if result.latency_ms <= 0:
+        _issue(issues, "error", scope, "non-positive latency")
+    if result.throughput > 0 and result.latency_ms > 0:
+        implied = result.terminals / result.throughput * 1000.0
+        if abs(implied - result.latency_ms) / result.latency_ms > 0.5:
+            _issue(
+                issues, "warning", scope,
+                "latency and throughput disagree with the interactive "
+                f"response-time law (implied {implied:.1f} ms vs recorded "
+                f"{result.latency_ms:.1f} ms)",
+            )
+    weight_total = sum(result.per_txn_weights.values())
+    if abs(weight_total - 1.0) > 1e-6:
+        _issue(
+            issues, "warning", scope,
+            f"per-transaction weights sum to {weight_total:.4f}, not 1",
+        )
+    return QualityReport(issues=tuple(issues))
+
+
+def validate_corpus(
+    corpus: Iterable[ExperimentResult],
+    *,
+    min_per_workload: int = 2,
+) -> QualityReport:
+    """Cross-experiment health checks for a corpus."""
+    results = list(corpus)
+    if not results:
+        raise ValidationError("corpus must not be empty")
+    issues: list[QualityIssue] = []
+
+    seen_ids: dict[str, int] = {}
+    for result in results:
+        seen_ids[result.experiment_id] = seen_ids.get(result.experiment_id, 0) + 1
+    for experiment_id, count in seen_ids.items():
+        if count > 1:
+            _issue(
+                issues, "error", experiment_id,
+                f"duplicate experiment identity ({count} copies)",
+            )
+
+    per_workload: dict[str, int] = {}
+    for result in results:
+        per_workload[result.workload_name] = (
+            per_workload.get(result.workload_name, 0) + 1
+        )
+    for workload, count in per_workload.items():
+        if count < min_per_workload:
+            _issue(
+                issues, "warning", workload,
+                f"only {count} experiment(s); similarity rankings for this "
+                "workload have no same-label neighbours to find",
+            )
+
+    plan_shapes = {r.plan_matrix.shape[1] for r in results}
+    if len(plan_shapes) > 1:
+        _issue(
+            issues, "error", "corpus",
+            f"inconsistent plan-feature widths: {sorted(plan_shapes)}",
+        )
+    resource_shapes = {r.resource_series.shape[1] for r in results}
+    if len(resource_shapes) > 1:
+        _issue(
+            issues, "error", "corpus",
+            f"inconsistent resource-channel counts: {sorted(resource_shapes)}",
+        )
+
+    if len(plan_shapes) == 1 and len(resource_shapes) == 1:
+        matrix = np.vstack([r.feature_vector() for r in results])
+        from repro.workloads.features import ALL_FEATURES
+
+        if matrix.shape[1] == len(ALL_FEATURES):
+            spans = matrix.max(axis=0) - matrix.min(axis=0)
+            for j, name in enumerate(ALL_FEATURES):
+                if spans[j] == 0:
+                    _issue(
+                        issues, "warning", name,
+                        "feature is constant across the corpus "
+                        "(carries no identification signal)",
+                    )
+    return QualityReport(issues=tuple(issues))
+
+
+def validate_distance_matrix(D, labels) -> QualityReport:
+    """Similarity-stage invariants on a computed distance matrix."""
+    D = np.asarray(D, dtype=float)
+    labels = np.asarray(labels)
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise ValidationError("D must be a square matrix")
+    if labels.size != D.shape[0]:
+        raise ValidationError("labels must align with the matrix")
+    issues: list[QualityIssue] = []
+
+    if not np.all(np.isfinite(D)):
+        _issue(issues, "error", "corpus", "distance matrix has non-finite entries")
+        return QualityReport(issues=tuple(issues))
+    if np.any(D < -1e-12):
+        _issue(issues, "error", "corpus", "negative distances found")
+    if not np.allclose(D, D.T, atol=1e-8):
+        _issue(issues, "error", "corpus", "distance matrix is not symmetric")
+    if np.any(np.abs(np.diag(D)) > 1e-8):
+        _issue(issues, "error", "corpus", "non-zero self-distances on the diagonal")
+
+    # Per workload: mean same-label distance should undercut cross-label.
+    for name in dict.fromkeys(labels.tolist()):
+        rows = np.flatnonzero(labels == name)
+        if rows.size < 2:
+            continue
+        others = np.flatnonzero(labels != name)
+        if others.size == 0:
+            continue
+        block = D[np.ix_(rows, rows)]
+        same = block[~np.eye(rows.size, dtype=bool)].mean()
+        cross = D[np.ix_(rows, others)].mean()
+        if same >= cross:
+            _issue(
+                issues, "warning", str(name),
+                f"same-workload distances ({same:.3f}) do not undercut "
+                f"cross-workload distances ({cross:.3f}); the feature set "
+                "may not identify this workload",
+            )
+    return QualityReport(issues=tuple(issues))

@@ -1,0 +1,86 @@
+"""Feature selection strategies (Section 4 of the paper).
+
+Three families, all producing a per-feature importance ranking:
+
+- **Filter** (:mod:`repro.features.filters`): variance threshold, Pearson
+  correlation, fANOVA, mutual information gain — fast, model-free.
+- **Embedded** (:mod:`repro.features.embedded`): Lasso, elastic net, and
+  random-forest importances — selection happens inside model training.
+- **Wrapper** (:mod:`repro.features.wrappers`): recursive feature
+  elimination (RFE) and sequential feature selection (SFS) around linear,
+  decision-tree, and logistic-regression estimators — accurate but
+  orders of magnitude slower (Table 3).
+
+:mod:`repro.features.aggregation` turns per-experiment rankings into a
+top-k choice; :mod:`repro.features.evaluation` scores a feature subset by
+1-NN workload identification, the paper's accuracy metric; and
+:mod:`repro.features.decomposition` holds the PCA/SVD alternatives the
+paper's Appendix C discusses.
+"""
+
+from repro.features.base import (
+    FeatureSelector,
+    RankBasedSelector,
+    ScoreBasedSelector,
+)
+from repro.features.filters import (
+    FANOVASelector,
+    MutualInfoGainSelector,
+    PearsonCorrelationSelector,
+    VarianceThresholdSelector,
+)
+from repro.features.embedded import (
+    ElasticNetSelector,
+    LassoSelector,
+    RandomForestSelector,
+    one_vs_rest_lasso_path,
+)
+from repro.features.wrappers import (
+    RecursiveFeatureElimination,
+    SequentialFeatureSelector,
+)
+from repro.features.aggregation import (
+    BaselineSelector,
+    aggregate_rankings,
+    rank_features_per_run,
+    top_k_features,
+)
+from repro.features.decomposition import PCA, TruncatedSVD
+from repro.features.stability import (
+    consensus_stability_curve,
+    jaccard_similarity,
+    selection_stability,
+)
+from repro.features.evaluation import (
+    classify_accuracy_curve,
+    knn_feature_subset_accuracy,
+    strategy_registry,
+)
+
+__all__ = [
+    "FeatureSelector",
+    "ScoreBasedSelector",
+    "RankBasedSelector",
+    "VarianceThresholdSelector",
+    "PearsonCorrelationSelector",
+    "FANOVASelector",
+    "MutualInfoGainSelector",
+    "LassoSelector",
+    "ElasticNetSelector",
+    "RandomForestSelector",
+    "one_vs_rest_lasso_path",
+    "RecursiveFeatureElimination",
+    "SequentialFeatureSelector",
+    "BaselineSelector",
+    "aggregate_rankings",
+    "rank_features_per_run",
+    "top_k_features",
+    "PCA",
+    "TruncatedSVD",
+    "jaccard_similarity",
+    "selection_stability",
+    "consensus_stability_curve",
+    "knn_feature_subset_accuracy",
+    "classify_accuracy_curve",
+    "strategy_registry",
+]

@@ -1,0 +1,79 @@
+"""Rank aggregation and top-k feature selection (Section 4.2).
+
+The paper produces one importance ranking per experiment and strategy,
+then aggregates ranks across experiments and keeps the k features with the
+lowest aggregate rank.  The baseline strategy of Table 3 applies no
+intelligence at all: it takes features in registry order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.features.base import RankBasedSelector
+from repro.workloads.repository import ExperimentRepository
+
+
+class BaselineSelector(RankBasedSelector):
+    """Table 3's baseline: features ranked by their registry position."""
+
+    name = "Baseline"
+
+    def fit(self, X, y=None) -> "BaselineSelector":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValidationError("X must be 2-dimensional")
+        self.ranking_ = np.arange(1, X.shape[1] + 1)
+        return self
+
+
+def aggregate_rankings(rankings) -> np.ndarray:
+    """Aggregate per-experiment rankings into one consensus ranking.
+
+    ``rankings`` is an iterable of 1-based rank arrays over the same
+    features.  Aggregation is by mean rank (Borda count); ties break on
+    feature index for determinism.  Returns a 1-based consensus ranking.
+    """
+    stacked = np.vstack([np.asarray(r, dtype=float) for r in rankings])
+    if stacked.ndim != 2 or stacked.shape[0] == 0:
+        raise ValidationError("rankings must be a non-empty list of arrays")
+    if np.any(stacked < 1):
+        raise ValidationError("rankings must be 1-based (no rank below 1)")
+    mean_ranks = stacked.mean(axis=0)
+    order = np.argsort(mean_ranks, kind="stable")
+    consensus = np.empty(stacked.shape[1], dtype=int)
+    consensus[order] = np.arange(1, stacked.shape[1] + 1)
+    return consensus
+
+
+def top_k_features(rankings, k: int) -> np.ndarray:
+    """Indices of the k features with the lowest aggregate rank."""
+    consensus = aggregate_rankings(rankings)
+    if not 1 <= k <= consensus.size:
+        raise ValidationError(f"k must be in [1, {consensus.size}], got {k}")
+    order = np.argsort(consensus, kind="stable")
+    return order[:k]
+
+
+def rank_features_per_run(
+    corpus: ExperimentRepository, selector_factory
+) -> list[np.ndarray]:
+    """One ranking per experiment repetition (run index).
+
+    The corpus is partitioned by ``run_index`` — each partition contains
+    every workload's observations from one repetition — and the strategy
+    built by ``selector_factory()`` is fitted on each partition.  The
+    resulting rankings feed :func:`aggregate_rankings` /
+    :func:`top_k_features`.
+    """
+    run_indices = sorted({result.run_index for result in corpus})
+    if not run_indices:
+        raise ValidationError("corpus is empty")
+    rankings = []
+    for run in run_indices:
+        split = corpus.filter(lambda r, run=run: r.run_index == run)
+        selector = selector_factory()
+        selector.fit(split.feature_matrix(), split.labels())
+        rankings.append(selector.ranking())
+    return rankings

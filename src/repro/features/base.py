@@ -1,0 +1,87 @@
+"""Feature-selector protocol: score-based and rank-based strategies.
+
+Section 4.2 of the paper distinguishes strategies whose raw output is a
+continuous importance *score* per feature (filters, Lasso, elastic net,
+forests) from those that natively emit an integer *rank* (RFE, SFS).  Both
+are normalized here to a 1-based ranking (1 = most important) so rank
+aggregation and top-k selection treat all strategies uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.stats import rank_from_scores
+from repro.utils.validation import check_2d, check_consistent_length
+
+
+class FeatureSelector:
+    """Base class for all feature-selection strategies.
+
+    Subclasses implement ``fit(X, y)`` and set either ``scores_`` (higher =
+    more important) or ``ranking_`` (1-based, 1 = most important).
+    """
+
+    #: Human-readable strategy name (used by Table 3 and the registry).
+    name: str = "selector"
+
+    def fit(self, X, y) -> "FeatureSelector":  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _validate(self, X, y) -> tuple[np.ndarray, np.ndarray]:
+        X = check_2d(X, "X")
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        if np.unique(y).size < 2:
+            raise ValidationError(
+                "feature selection needs at least two target classes"
+            )
+        return X, y
+
+    def ranking(self) -> np.ndarray:
+        """1-based importance ranks (1 = most important)."""
+        if hasattr(self, "ranking_"):
+            return np.asarray(self.ranking_, dtype=int)
+        if hasattr(self, "scores_"):
+            return rank_from_scores(self.scores_)
+        raise NotFittedError(
+            f"{type(self).__name__} is not fitted yet; call fit() first"
+        )
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` most important features, best first."""
+        ranks = self.ranking()
+        if not 1 <= k <= ranks.size:
+            raise ValidationError(
+                f"k must be in [1, {ranks.size}], got {k}"
+            )
+        order = np.argsort(ranks, kind="stable")
+        return order[:k]
+
+    @property
+    def is_score_based(self) -> bool:
+        """True when the strategy natively produces continuous scores."""
+        return isinstance(self, ScoreBasedSelector)
+
+
+class ScoreBasedSelector(FeatureSelector):
+    """Marker base for strategies emitting continuous ``scores_``."""
+
+
+class RankBasedSelector(FeatureSelector):
+    """Marker base for strategies emitting integer ``ranking_``."""
+
+
+def encode_labels(y) -> tuple[np.ndarray, np.ndarray]:
+    """Encode arbitrary labels as 0..k-1 integers; returns (codes, classes)."""
+    classes, codes = np.unique(np.asarray(y), return_inverse=True)
+    return codes.astype(int), classes
+
+
+def one_vs_rest_targets(y) -> tuple[np.ndarray, np.ndarray]:
+    """Binary indicator matrix ``(n_samples, n_classes)`` and the classes."""
+    codes, classes = encode_labels(y)
+    indicators = np.zeros((codes.size, classes.size))
+    indicators[np.arange(codes.size), codes] = 1.0
+    return indicators, classes

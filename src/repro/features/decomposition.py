@@ -1,0 +1,93 @@
+"""Dimensionality reduction alternatives (Appendix C of the paper).
+
+PCA and truncated SVD transform the predictor set into a smaller set of
+components capturing data variance.  The paper discusses their drawbacks
+for this pipeline — components are uninterpretable mixtures of telemetry
+channels and insensitive to the modeling objective — and the ablation
+bench contrasts them with the explicit selection strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator
+from repro.utils.validation import check_2d
+
+
+class PCA(BaseEstimator):
+    """Principal component analysis via SVD of the centered data."""
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValidationError(
+                f"n_components must be >= 1, got {n_components}"
+            )
+        self.n_components = n_components
+
+    def fit(self, X) -> "PCA":
+        X = check_2d(X, "X")
+        max_components = min(X.shape)
+        if self.n_components > max_components:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds min(n_samples, "
+                f"n_features)={max_components}"
+            )
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        variances = singular_values**2 / max(X.shape[0] - 1, 1)
+        total = variances.sum()
+        self.explained_variance_ = variances[: self.n_components]
+        self.explained_variance_ratio_ = (
+            self.explained_variance_ / total if total > 0
+            else np.zeros(self.n_components)
+        )
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        X = check_2d(X, "X")
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        X = check_2d(X, "X")
+        return X @ self.components_ + self.mean_
+
+
+class TruncatedSVD(BaseEstimator):
+    """Truncated SVD (no centering), suitable for sparse-like feature sets."""
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise ValidationError(
+                f"n_components must be >= 1, got {n_components}"
+            )
+        self.n_components = n_components
+
+    def fit(self, X) -> "TruncatedSVD":
+        X = check_2d(X, "X")
+        max_components = min(X.shape)
+        if self.n_components > max_components:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds min(n_samples, "
+                f"n_features)={max_components}"
+            )
+        _, singular_values, vt = np.linalg.svd(X, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        self.singular_values_ = singular_values[: self.n_components]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        X = check_2d(X, "X")
+        return X @ self.components_.T
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,145 @@
+"""Embedded feature-selection strategies (Section 4.1.2).
+
+Model training itself performs the selection: Lasso and elastic net zero
+out coefficients; random forests accumulate impurity-decrease importances.
+The regression-based selectors score each feature by its largest absolute
+standardized coefficient across one-vs-rest workload indicators, mirroring
+how Figure 3 of the paper inspects per-workload lasso paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.features.base import ScoreBasedSelector, one_vs_rest_targets
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import ElasticNet, Lasso, lasso_path
+from repro.ml.preprocessing import StandardScaler
+from repro.utils.rng import RandomState
+
+
+class _RegularizedLinearSelector(ScoreBasedSelector):
+    """Shared machinery for the Lasso / elastic-net selectors."""
+
+    def _make_model(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def fit(self, X, y) -> "_RegularizedLinearSelector":
+        X, y = self._validate(X, y)
+        Xs = StandardScaler().fit_transform(X)
+        indicators, classes = one_vs_rest_targets(y)
+        coefs = np.zeros((classes.size, X.shape[1]))
+        for c in range(classes.size):
+            model = self._make_model()
+            model.fit(Xs, indicators[:, c])
+            coefs[c] = model.coef_
+        self.class_coefs_ = coefs
+        self.scores_ = np.max(np.abs(coefs), axis=0)
+        return self
+
+
+class LassoSelector(_RegularizedLinearSelector):
+    """L1-regularized selection: surviving coefficients mark importance."""
+
+    name = "Lasso"
+
+    def __init__(self, alpha: float = 0.01, *, max_iter: int = 5000):
+        if alpha < 0:
+            raise ValidationError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.max_iter = max_iter
+
+    def _make_model(self):
+        return Lasso(alpha=self.alpha, max_iter=self.max_iter)
+
+
+class ElasticNetSelector(_RegularizedLinearSelector):
+    """L1+L2-regularized selection (keeps groups of correlated features)."""
+
+    name = "Elastic Net"
+
+    def __init__(
+        self, alpha: float = 0.01, l1_ratio: float = 0.5, *, max_iter: int = 5000
+    ):
+        if alpha < 0:
+            raise ValidationError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.l1_ratio = l1_ratio
+        self.max_iter = max_iter
+
+    def _make_model(self):
+        return ElasticNet(
+            alpha=self.alpha, l1_ratio=self.l1_ratio, max_iter=self.max_iter
+        )
+
+
+class RandomForestSelector(ScoreBasedSelector):
+    """Impurity-decrease importances from a random-forest classifier."""
+
+    name = "RandomForest"
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        *,
+        max_depth: int | None = None,
+        random_state: RandomState = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestSelector":
+        X, y = self._validate(X, y)
+        forest = RandomForestClassifier(
+            self.n_estimators,
+            max_depth=self.max_depth,
+            random_state=self.random_state,
+        )
+        forest.fit(X, y)
+        self.scores_ = forest.feature_importances_
+        return self
+
+
+def one_vs_rest_lasso_path(
+    X,
+    y,
+    positive_class,
+    *,
+    n_alphas: int = 40,
+    eps: float = 1e-3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lasso regularization path for one workload against the rest.
+
+    This is the computation behind Figure 3: the target is the indicator
+    of ``positive_class`` and the features are standardized, so the path
+    shows which telemetry features identify that workload as the
+    regularization strength decreases.  Returns ``(alphas, coefs)`` with
+    ``coefs`` of shape ``(n_alphas, n_features)``.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if positive_class not in set(y.tolist()):
+        raise ValidationError(
+            f"positive_class {positive_class!r} not present in y"
+        )
+    Xs = StandardScaler().fit_transform(X)
+    target = (y == positive_class).astype(float)
+    return lasso_path(Xs, target, n_alphas=n_alphas, eps=eps)
+
+
+def lasso_path_top_features(
+    alphas: np.ndarray, coefs: np.ndarray, *, k: int = 7
+) -> np.ndarray:
+    """Top-k feature indices from a lasso path (Figure 3's labels).
+
+    Importance of a feature is its largest absolute coefficient anywhere
+    along the path, which matches reading the most deviant curves off the
+    paper's path plots.
+    """
+    if coefs.ndim != 2:
+        raise ValidationError("coefs must be a (n_alphas, n_features) matrix")
+    magnitude = np.max(np.abs(coefs), axis=0)
+    k = min(k, magnitude.size)
+    return np.argsort(-magnitude, kind="stable")[:k]

@@ -1,0 +1,141 @@
+"""Scoring feature subsets by workload-identification accuracy (Table 3).
+
+The paper quantifies a feature-selection strategy by running workload
+similarity computation on the selected subset: each experiment is encoded
+with Hist-FP over the chosen features and its nearest neighbour under the
+L2,1 norm must belong to the same workload (Section 4.3).  The strategy
+registry enumerates the 16 strategies plus the baseline exactly as Table 3
+lists them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.features.aggregation import BaselineSelector
+from repro.features.embedded import (
+    ElasticNetSelector,
+    LassoSelector,
+    RandomForestSelector,
+)
+from repro.features.filters import (
+    FANOVASelector,
+    MutualInfoGainSelector,
+    PearsonCorrelationSelector,
+    VarianceThresholdSelector,
+)
+from repro.features.wrappers import (
+    RecursiveFeatureElimination,
+    SequentialFeatureSelector,
+)
+from repro.similarity.evaluation import (
+    distance_matrix,
+    knn_accuracy,
+    representation_matrices,
+)
+from repro.similarity.measures import get_measure
+from repro.similarity.representations import RepresentationBuilder
+from repro.workloads.features import ALL_FEATURES
+
+
+def knn_feature_subset_accuracy(
+    corpus,
+    feature_indices,
+    *,
+    builder: RepresentationBuilder | None = None,
+    representation: str = "hist",
+    measure_name: str = "L2,1",
+) -> float:
+    """1-NN workload accuracy using only the given features.
+
+    ``feature_indices`` index into
+    :data:`repro.workloads.features.ALL_FEATURES`.  A pre-fitted
+    ``builder`` can be passed to amortize range fitting across many calls
+    (the Table 3 sweep evaluates dozens of subsets on one corpus).
+    """
+    indices = np.asarray(feature_indices, dtype=int)
+    if indices.size == 0:
+        raise ValidationError("feature subset must not be empty")
+    if np.any(indices < 0) or np.any(indices >= len(ALL_FEATURES)):
+        raise ValidationError("feature indices out of range")
+    names = [ALL_FEATURES[i] for i in indices]
+    if builder is None:
+        builder = RepresentationBuilder().fit(corpus)
+    matrices = representation_matrices(
+        corpus, builder, representation, features=names
+    )
+    D = distance_matrix(matrices, get_measure(measure_name))
+    return knn_accuracy(D, [r.workload_name for r in corpus])
+
+
+def strategy_registry(*, fast_only: bool = False) -> dict:
+    """Factories for every Table 3 strategy, keyed by display name.
+
+    ``fast_only=True`` omits the SFS variants, whose runtime is two to
+    three orders of magnitude above the filters (the paper's own finding);
+    useful for quick regression tests.
+    """
+    registry = {
+        "Variance": VarianceThresholdSelector,
+        "fANOVA": FANOVASelector,
+        "MIGain": MutualInfoGainSelector,
+        "Pearson": PearsonCorrelationSelector,
+        "Lasso": LassoSelector,
+        "Elastic Net": ElasticNetSelector,
+        "RandomForest": RandomForestSelector,
+        "RFE Linear": lambda: RecursiveFeatureElimination("linear"),
+        "RFE DecTree": lambda: RecursiveFeatureElimination("dectree"),
+        "RFE LogReg": lambda: RecursiveFeatureElimination("logreg"),
+    }
+    if not fast_only:
+        registry.update(
+            {
+                "Fw SFS Linear": lambda: SequentialFeatureSelector(
+                    "linear", direction="forward"
+                ),
+                "Fw SFS DecTree": lambda: SequentialFeatureSelector(
+                    "dectree", direction="forward"
+                ),
+                "Fw SFS LogReg": lambda: SequentialFeatureSelector(
+                    "logreg", direction="forward"
+                ),
+                "Bw SFS Linear": lambda: SequentialFeatureSelector(
+                    "linear", direction="backward"
+                ),
+                "Bw SFS DecTree": lambda: SequentialFeatureSelector(
+                    "dectree", direction="backward"
+                ),
+                "Bw SFS LogReg": lambda: SequentialFeatureSelector(
+                    "logreg", direction="backward"
+                ),
+            }
+        )
+    registry["Baseline"] = BaselineSelector
+    return registry
+
+
+def classify_accuracy_curve(accuracies, *, tolerance: float = 0.01) -> str:
+    """Classify an accuracy-vs-#features curve (Figure 4's archetypes).
+
+    Returns ``"increasing"`` when accuracy keeps (weakly) improving with
+    more features, ``"peaking"`` when it rises to an interior maximum and
+    then degrades (overfitting on too many features), and
+    ``"inconclusive"`` otherwise.
+    """
+    curve = np.asarray(accuracies, dtype=float)
+    if curve.size < 3:
+        raise ValidationError(
+            "need at least three points to classify a curve"
+        )
+    peak_value = float(curve.max())
+    final = float(curve[-1])
+    diffs = np.diff(curve)
+    if final >= peak_value - tolerance and np.all(diffs >= -tolerance):
+        return "increasing"
+    peak_index = int(np.argmax(curve))
+    rises_to_peak = np.all(diffs[:peak_index] >= -tolerance)
+    falls_after = peak_value - final > tolerance
+    if 0 < peak_index < curve.size - 1 and rises_to_peak and falls_after:
+        return "peaking"
+    return "inconclusive"

@@ -1,0 +1,107 @@
+"""Filter feature-selection strategies (Section 4.1.1).
+
+These score predictors *before* any model is fitted: variance threshold,
+Pearson correlation, fANOVA, and mutual information gain.  They are
+univariate, hence cheap — the paper's Table 3 shows them two to five
+orders of magnitude faster than the wrapper methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.features.base import ScoreBasedSelector, one_vs_rest_targets
+from repro.ml.information import (
+    fanova_importance,
+    mutual_information,
+    pearson_correlation,
+)
+from repro.ml.preprocessing import MinMaxScaler
+
+
+class VarianceThresholdSelector(ScoreBasedSelector):
+    """Rank features by their variance on the [0, 1]-normalized scale.
+
+    Features are min-max normalized first (the raw telemetry channels have
+    wildly different units), then scored by variance; features below
+    ``threshold`` are considered uninformative.  Note the paper's finding:
+    high variance does *not* imply discriminative power — the noisy
+    ``LOCK_WAIT_ABS`` channel wins on variance while being a poor workload
+    identifier.
+    """
+
+    name = "Variance"
+
+    def __init__(self, threshold: float = 0.0):
+        if threshold < 0:
+            raise ValidationError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+
+    def fit(self, X, y=None) -> "VarianceThresholdSelector":
+        # y is accepted for interface uniformity but unused: variance
+        # filtering is fully unsupervised.
+        X = np.asarray(X, dtype=float)
+        normalized = MinMaxScaler().fit_transform(X)
+        self.scores_ = normalized.var(axis=0)
+        self.support_ = self.scores_ > self.threshold
+        return self
+
+
+class PearsonCorrelationSelector(ScoreBasedSelector):
+    """Max absolute Pearson correlation against one-vs-rest indicators.
+
+    With a multiclass workload label, each feature is scored by the
+    strongest linear association it has with *any* single workload's
+    indicator variable.
+    """
+
+    name = "Pearson"
+
+    def fit(self, X, y) -> "PearsonCorrelationSelector":
+        X, y = self._validate(X, y)
+        indicators, _ = one_vs_rest_targets(y)
+        n_features = X.shape[1]
+        scores = np.zeros(n_features)
+        for j in range(n_features):
+            correlations = [
+                abs(pearson_correlation(X[:, j], indicators[:, c]))
+                for c in range(indicators.shape[1])
+            ]
+            scores[j] = max(correlations)
+        self.scores_ = scores
+        return self
+
+
+class FANOVASelector(ScoreBasedSelector):
+    """Functional ANOVA importance: variance explained by the class label."""
+
+    name = "fANOVA"
+
+    def fit(self, X, y) -> "FANOVASelector":
+        X, y = self._validate(X, y)
+        self.scores_ = np.array(
+            [fanova_importance(X[:, j], y) for j in range(X.shape[1])]
+        )
+        return self
+
+
+class MutualInfoGainSelector(ScoreBasedSelector):
+    """Mutual information between each (binned) feature and the label."""
+
+    name = "MIGain"
+
+    def __init__(self, n_bins: int = 10):
+        if n_bins < 2:
+            raise ValidationError(f"n_bins must be >= 2, got {n_bins}")
+        self.n_bins = n_bins
+
+    def fit(self, X, y) -> "MutualInfoGainSelector":
+        X, y = self._validate(X, y)
+        self.scores_ = np.array(
+            [
+                mutual_information(X[:, j], y, n_bins=self.n_bins)
+                for j in range(X.shape[1])
+            ]
+        )
+        return self

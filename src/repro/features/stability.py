@@ -1,0 +1,75 @@
+"""Selection-stability analysis across repeated experiment runs.
+
+Section 4.3.1 observes that "the more often we run feature selection for
+the same workload, the more stable our selected features become".  These
+helpers quantify that: the Jaccard stability of top-k selections across
+runs, and how consensus stability grows with the number of aggregated
+runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.features.aggregation import top_k_features
+
+
+def jaccard_similarity(a, b) -> float:
+    """|A intersect B| / |A union B| for two index collections."""
+    set_a, set_b = set(np.asarray(a).tolist()), set(np.asarray(b).tolist())
+    if not set_a and not set_b:
+        return 1.0
+    return len(set_a & set_b) / len(set_a | set_b)
+
+
+def selection_stability(rankings, k: int) -> float:
+    """Mean pairwise Jaccard similarity of the per-run top-k selections.
+
+    1.0 means every run selects exactly the same k features; values near
+    ``k / n_features`` indicate selections no more stable than chance.
+    """
+    rankings = [np.asarray(r) for r in rankings]
+    if len(rankings) < 2:
+        raise ValidationError("need at least two rankings for stability")
+    tops = []
+    for ranking in rankings:
+        if not 1 <= k <= ranking.size:
+            raise ValidationError(f"k must be in [1, {ranking.size}]")
+        tops.append(np.argsort(ranking, kind="stable")[:k])
+    scores = []
+    for i in range(len(tops)):
+        for j in range(i + 1, len(tops)):
+            scores.append(jaccard_similarity(tops[i], tops[j]))
+    return float(np.mean(scores))
+
+
+def consensus_stability_curve(
+    rankings, k: int, *, n_resamples: int = 20, random_state: int = 0
+) -> dict[int, float]:
+    """Stability of the aggregated top-k as more runs are pooled.
+
+    For each pool size ``m`` (2 .. len(rankings)), random subsets of ``m``
+    rankings are aggregated and the Jaccard similarity of their consensus
+    top-k selections is averaged — larger pools should agree more,
+    reproducing the paper's stability observation.
+    """
+    rankings = [np.asarray(r) for r in rankings]
+    if len(rankings) < 2:
+        raise ValidationError("need at least two rankings")
+    rng = np.random.default_rng(random_state)
+    curve: dict[int, float] = {}
+    for pool_size in range(1, len(rankings) + 1):
+        consensus_tops = []
+        for _ in range(n_resamples):
+            chosen = rng.choice(len(rankings), size=pool_size, replace=True)
+            consensus_tops.append(
+                top_k_features([rankings[i] for i in chosen], k)
+            )
+        scores = [
+            jaccard_similarity(consensus_tops[i], consensus_tops[j])
+            for i in range(len(consensus_tops))
+            for j in range(i + 1, len(consensus_tops))
+        ]
+        curve[pool_size] = float(np.mean(scores))
+    return curve

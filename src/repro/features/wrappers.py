@@ -1,0 +1,201 @@
+"""Wrapper feature-selection strategies: RFE and SFS (Section 4.1.3).
+
+Both iterate model training over feature subsets.  RFE repeatedly drops the
+feature the model deems least important; SFS greedily adds (forward) or
+removes (backward) the feature that most helps cross-validated prediction
+performance.  Either yields a complete elimination/insertion order, i.e. an
+integer rank per feature — the rank-based output class of Section 4.2.
+
+The estimator is chosen by name, matching the paper's variants: ``linear``
+(least squares on integer-encoded labels), ``dectree`` (CART classifier),
+and ``logreg`` (L2 logistic regression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.features.base import RankBasedSelector, encode_labels
+from repro.ml.base import clone
+from repro.ml.linear import LinearRegression
+from repro.ml.logistic import LogisticRegression
+from repro.ml.model_selection import KFold
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+
+ESTIMATOR_NAMES = ("linear", "dectree", "logreg")
+
+
+def _make_estimator(name: str):
+    if name == "linear":
+        return LinearRegression()
+    if name == "dectree":
+        return DecisionTreeClassifier(max_depth=6, random_state=0)
+    if name == "logreg":
+        return LogisticRegression(alpha=1.0, max_iter=50)
+    raise ValidationError(
+        f"unknown estimator {name!r}; expected one of {ESTIMATOR_NAMES}"
+    )
+
+
+def _estimator_is_regressor(name: str) -> bool:
+    return name == "linear"
+
+
+def _importances(model, name: str) -> np.ndarray:
+    if name == "linear":
+        return np.abs(model.coef_)
+    if name == "dectree":
+        return model.feature_importances_
+    return model.feature_importances_  # logreg: L2 norm of class coefs
+
+
+class RecursiveFeatureElimination(RankBasedSelector):
+    """RFE: drop the least important feature until none remain.
+
+    The elimination order *is* the ranking: the last surviving feature has
+    rank 1.  Features are standardized so coefficient magnitudes are
+    comparable across telemetry units.
+    """
+
+    def __init__(self, estimator: str = "logreg", *, step: int = 1):
+        if estimator not in ESTIMATOR_NAMES:
+            raise ValidationError(
+                f"unknown estimator {estimator!r}; expected {ESTIMATOR_NAMES}"
+            )
+        if step < 1:
+            raise ValidationError(f"step must be >= 1, got {step}")
+        self.estimator = estimator
+        self.step = step
+        self.name = f"RFE {estimator}"
+
+    def fit(self, X, y) -> "RecursiveFeatureElimination":
+        X, y = self._validate(X, y)
+        Xs = StandardScaler().fit_transform(X)
+        codes, _ = encode_labels(y)
+        target = codes.astype(float) if _estimator_is_regressor(self.estimator) else y
+        remaining = list(range(X.shape[1]))
+        ranking = np.zeros(X.shape[1], dtype=int)
+        next_rank = X.shape[1]
+        while remaining:
+            if len(remaining) == 1:
+                ranking[remaining[0]] = 1
+                break
+            model = _make_estimator(self.estimator)
+            model.fit(Xs[:, remaining], target)
+            importances = _importances(model, self.estimator)
+            n_drop = min(self.step, len(remaining) - 1)
+            drop_positions = np.argsort(importances, kind="stable")[:n_drop]
+            # Drop the least important; assign them the worst open ranks.
+            for position in sorted(drop_positions, reverse=True):
+                ranking[remaining[position]] = next_rank
+                next_rank -= 1
+                del remaining[position]
+        self.ranking_ = ranking
+        return self
+
+
+class SequentialFeatureSelector(RankBasedSelector):
+    """SFS: greedy forward addition or backward removal of features.
+
+    The scoring metric is cross-validated prediction quality: accuracy for
+    the classifier estimators, R^2 for the linear one.  Running the greedy
+    process to completion yields a full feature ranking — forward order
+    directly, backward order reversed.
+    """
+
+    def __init__(
+        self,
+        estimator: str = "logreg",
+        *,
+        direction: str = "forward",
+        cv: int = 3,
+    ):
+        if estimator not in ESTIMATOR_NAMES:
+            raise ValidationError(
+                f"unknown estimator {estimator!r}; expected {ESTIMATOR_NAMES}"
+            )
+        if direction not in ("forward", "backward"):
+            raise ValidationError(
+                f"direction must be 'forward' or 'backward', got {direction!r}"
+            )
+        if cv < 2:
+            raise ValidationError(f"cv must be >= 2, got {cv}")
+        self.estimator = estimator
+        self.direction = direction
+        self.cv = cv
+        prefix = "Fw" if direction == "forward" else "Bw"
+        self.name = f"{prefix} SFS {estimator}"
+
+    def _cv_score(
+        self, X: np.ndarray, target: np.ndarray, columns: list[int]
+    ) -> float:
+        """Mean CV score of the estimator restricted to ``columns``."""
+        subset = X[:, columns]
+        scores = []
+        splitter = KFold(self.cv, shuffle=True, random_state=0)
+        for train_idx, test_idx in splitter.split(subset):
+            model = clone(_make_estimator(self.estimator))
+            try:
+                model.fit(subset[train_idx], target[train_idx])
+            except Exception:
+                # A degenerate fold (e.g. one class only) scores worst.
+                scores.append(-np.inf)
+                continue
+            scores.append(model.score(subset[test_idx], target[test_idx]))
+        return float(np.mean(scores))
+
+    def fit(self, X, y) -> "SequentialFeatureSelector":
+        X, y = self._validate(X, y)
+        Xs = StandardScaler().fit_transform(X)
+        codes, _ = encode_labels(y)
+        target = (
+            codes.astype(float)
+            if _estimator_is_regressor(self.estimator)
+            else np.asarray(y)
+        )
+        n_features = X.shape[1]
+        if self.direction == "forward":
+            order = self._forward_order(Xs, target, n_features)
+        else:
+            order = self._backward_order(Xs, target, n_features)
+        ranking = np.zeros(n_features, dtype=int)
+        for rank, feature in enumerate(order, start=1):
+            ranking[feature] = rank
+        self.ranking_ = ranking
+        return self
+
+    def _forward_order(self, X, target, n_features: int) -> list[int]:
+        """Features in the order the greedy forward pass adds them."""
+        selected: list[int] = []
+        remaining = list(range(n_features))
+        while remaining:
+            best_feature, best_score = None, -np.inf
+            for feature in remaining:
+                score = self._cv_score(X, target, selected + [feature])
+                if score > best_score:
+                    best_score, best_feature = score, feature
+            selected.append(best_feature)
+            remaining.remove(best_feature)
+        return selected
+
+    def _backward_order(self, X, target, n_features: int) -> list[int]:
+        """Importance order from greedy backward elimination.
+
+        The feature removed first mattered least (worst rank); the final
+        survivor ranks 1.
+        """
+        remaining = list(range(n_features))
+        removal_order: list[int] = []
+        while len(remaining) > 1:
+            best_feature, best_score = None, -np.inf
+            for feature in remaining:
+                candidate = [f for f in remaining if f != feature]
+                score = self._cv_score(X, target, candidate)
+                if score > best_score:
+                    best_score, best_feature = score, feature
+            removal_order.append(best_feature)
+            remaining.remove(best_feature)
+        removal_order.append(remaining[0])
+        return list(reversed(removal_order))

@@ -1,0 +1,83 @@
+"""Estimator base classes mirroring the fit/predict convention.
+
+Estimators store their constructor parameters verbatim (no mutation inside
+``__init__``) so that :func:`clone` can produce an unfitted copy — the same
+contract scikit-learn uses, which the wrapper feature-selection methods
+(RFE, SFS) and cross-validation rely on.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection, cloning, and repr."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, param in signature.parameters.items()
+            if name != "self" and param.kind != inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Return constructor parameters and their current values."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set constructor parameters, validating the names."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters are {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with identical parameters."""
+    params = {
+        name: copy.deepcopy(value) for name, value in estimator.get_params().items()
+    }
+    return type(estimator)(**params)
+
+
+class RegressorMixin:
+    """Mixin adding an R^2 ``score`` method for regressors."""
+
+    def score(self, X, y) -> float:
+        """Coefficient of determination R^2 on ``(X, y)``."""
+        from repro.ml.metrics import r2_score
+
+        return r2_score(y, self.predict(X))
+
+
+class ClassifierMixin:
+    """Mixin adding an accuracy ``score`` method for classifiers."""
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

@@ -1,0 +1,192 @@
+"""Clustering primitives: k-means, k-medoids, and agglomerative linkage.
+
+Workload similarity computation groups workloads so downstream predictors
+can train on clusters instead of single deployments (Section 2 of the
+paper).  K-means works on feature vectors; k-medoids and agglomerative
+clustering consume a precomputed distance matrix, which is what the
+similarity measures of Section 5 produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_2d, check_positive_int
+
+
+class KMeans(BaseEstimator):
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        n_init: int = 5,
+        max_iter: int = 200,
+        tol: float = 1e-6,
+        random_state: RandomState = 0,
+    ):
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator):
+        """k-means++ seeding."""
+        n_samples = X.shape[0]
+        centers = [X[rng.integers(n_samples)]]
+        for _ in range(1, self.n_clusters):
+            distances = np.min(
+                [np.sum((X - c) ** 2, axis=1) for c in centers], axis=0
+            )
+            total = distances.sum()
+            if total <= 0:
+                centers.append(X[rng.integers(n_samples)])
+                continue
+            probabilities = distances / total
+            centers.append(X[rng.choice(n_samples, p=probabilities)])
+        return np.asarray(centers)
+
+    def _run_once(self, X: np.ndarray, rng: np.random.Generator):
+        centers = self._init_centers(X, rng)
+        labels = np.zeros(X.shape[0], dtype=int)
+        inertia = np.inf
+        for _ in range(self.max_iter):
+            distances = np.linalg.norm(
+                X[:, None, :] - centers[None, :, :], axis=2
+            )
+            labels = np.argmin(distances, axis=1)
+            new_inertia = float(
+                np.sum(distances[np.arange(X.shape[0]), labels] ** 2)
+            )
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if members.size:
+                    new_centers[k] = members.mean(axis=0)
+            if inertia - new_inertia < self.tol * max(inertia, 1.0):
+                centers = new_centers
+                inertia = new_inertia
+                break
+            centers = new_centers
+            inertia = new_inertia
+        return centers, labels, inertia
+
+    def fit(self, X) -> "KMeans":
+        X = check_2d(X, "X")
+        check_positive_int(self.n_clusters, "n_clusters")
+        if self.n_clusters > X.shape[0]:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={X.shape[0]}"
+            )
+        rng = as_generator(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._run_once(X, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("cluster_centers_")
+        X = check_2d(X, "X")
+        distances = np.linalg.norm(
+            X[:, None, :] - self.cluster_centers_[None, :, :], axis=2
+        )
+        return np.argmin(distances, axis=1)
+
+
+class KMedoids(BaseEstimator):
+    """PAM-style k-medoids over a precomputed distance matrix."""
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        max_iter: int = 100,
+        random_state: RandomState = 0,
+    ):
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.random_state = random_state
+
+    def fit(self, D) -> "KMedoids":
+        D = np.asarray(D, dtype=float)
+        if D.ndim != 2 or D.shape[0] != D.shape[1]:
+            raise ValidationError("D must be a square distance matrix")
+        n = D.shape[0]
+        check_positive_int(self.n_clusters, "n_clusters")
+        if self.n_clusters > n:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={n}"
+            )
+        rng = as_generator(self.random_state)
+        medoids = rng.choice(n, size=self.n_clusters, replace=False)
+        for _ in range(self.max_iter):
+            labels = np.argmin(D[:, medoids], axis=1)
+            new_medoids = medoids.copy()
+            for k in range(self.n_clusters):
+                members = np.flatnonzero(labels == k)
+                if members.size == 0:
+                    continue
+                costs = D[np.ix_(members, members)].sum(axis=0)
+                new_medoids[k] = members[int(np.argmin(costs))]
+            if np.array_equal(np.sort(new_medoids), np.sort(medoids)):
+                break
+            medoids = new_medoids
+        self.medoid_indices_ = np.sort(medoids)
+        self.labels_ = np.argmin(D[:, self.medoid_indices_], axis=1)
+        self.inertia_ = float(
+            D[np.arange(n), self.medoid_indices_[self.labels_]].sum()
+        )
+        return self
+
+
+def agglomerative_labels(
+    D, n_clusters: int, *, linkage: str = "average"
+) -> np.ndarray:
+    """Agglomerative clustering labels from a distance matrix.
+
+    Supports ``average``, ``single``, and ``complete`` linkage; merges the
+    closest pair of clusters until ``n_clusters`` remain.
+    """
+    D = np.asarray(D, dtype=float)
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise ValidationError("D must be a square distance matrix")
+    if linkage not in ("average", "single", "complete"):
+        raise ValidationError(f"unknown linkage {linkage!r}")
+    n = D.shape[0]
+    check_positive_int(n_clusters, "n_clusters")
+    if n_clusters > n:
+        raise ValidationError(
+            f"n_clusters={n_clusters} exceeds n_samples={n}"
+        )
+    clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+
+    def cluster_distance(a: list[int], b: list[int]) -> float:
+        block = D[np.ix_(a, b)]
+        if linkage == "single":
+            return float(block.min())
+        if linkage == "complete":
+            return float(block.max())
+        return float(block.mean())
+
+    while len(clusters) > n_clusters:
+        keys = list(clusters)
+        best = None
+        for i, key_a in enumerate(keys):
+            for key_b in keys[i + 1 :]:
+                distance = cluster_distance(clusters[key_a], clusters[key_b])
+                if best is None or distance < best[0]:
+                    best = (distance, key_a, key_b)
+        _, key_a, key_b = best
+        clusters[key_a] = clusters[key_a] + clusters.pop(key_b)
+    labels = np.empty(n, dtype=int)
+    for new_label, members in enumerate(clusters.values()):
+        labels[members] = new_label
+    return labels

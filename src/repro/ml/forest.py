@@ -1,0 +1,150 @@
+"""Random forests (Breiman [10]) built on the CART trees.
+
+The embedded feature-selection strategy of Section 4.1.2 reads the
+forest-averaged impurity importances (``feature_importances_``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.utils.rng import RandomState, spawn_generators
+from repro.utils.validation import check_2d, check_consistent_length, check_positive_int
+
+
+def _resolve_max_features(max_features, n_features: int, default: str) -> int | None:
+    """Translate a max_features spec into a concrete feature count."""
+    if max_features is None:
+        max_features = default
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "third":
+            return max(1, n_features // 3)
+        if max_features == "all":
+            return None
+        raise ValidationError(
+            f"unknown max_features spec {max_features!r}; "
+            "expected 'sqrt', 'third', 'all', or an int"
+        )
+    return check_positive_int(max_features, "max_features")
+
+
+class _BaseForest(BaseEstimator):
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        bootstrap: bool = True,
+        random_state: RandomState = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def _fit_trees(self, X: np.ndarray, y: np.ndarray, tree_factory) -> None:
+        check_positive_int(self.n_estimators, "n_estimators")
+        generators = spawn_generators(self.random_state, self.n_estimators)
+        self.estimators_ = []
+        n_samples = X.shape[0]
+        for rng in generators:
+            if self.bootstrap:
+                sample = rng.integers(0, n_samples, size=n_samples)
+            else:
+                sample = np.arange(n_samples)
+            tree = tree_factory(rng)
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean impurity-decrease importance across the ensemble."""
+        self._check_fitted("estimators_")
+        stacked = np.vstack([t.feature_importances_ for t in self.estimators_])
+        importances = stacked.mean(axis=0)
+        total = importances.sum()
+        if total > 0:
+            importances = importances / total
+        return importances
+
+
+class RandomForestRegressor(_BaseForest, RegressorMixin):
+    """Bagged CART regression trees with per-split feature subsampling."""
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X = check_2d(X, "X")
+        y = np.asarray(y, dtype=float).ravel()
+        check_consistent_length(X, y)
+        self._n_features = X.shape[1]
+        resolved = _resolve_max_features(self.max_features, X.shape[1], "third")
+
+        def factory(rng):
+            return DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=resolved,
+                random_state=rng,
+            )
+
+        self._fit_trees(X, y, factory)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_2d(X, "X")
+        predictions = np.vstack([tree.predict(X) for tree in self.estimators_])
+        return predictions.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest, ClassifierMixin):
+    """Bagged CART classification trees voting by averaged probabilities."""
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = check_2d(X, "X")
+        y = np.asarray(y)
+        check_consistent_length(X, y)
+        self.classes_ = np.unique(y)
+        self._n_features = X.shape[1]
+        resolved = _resolve_max_features(self.max_features, X.shape[1], "sqrt")
+
+        def factory(rng):
+            return DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=resolved,
+                random_state=rng,
+            )
+
+        self._fit_trees(X, y, factory)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("estimators_")
+        X = check_2d(X, "X")
+        n_classes = self.classes_.size
+        aggregate = np.zeros((X.shape[0], n_classes))
+        for tree in self.estimators_:
+            probabilities = tree.predict_proba(X)
+            # Map the tree's class order onto the forest's class order.
+            for j, cls in enumerate(tree.classes_):
+                k = int(np.searchsorted(self.classes_, cls))
+                aggregate[:, k] += probabilities[:, j]
+        aggregate /= len(self.estimators_)
+        return aggregate
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

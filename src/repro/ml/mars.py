@@ -1,0 +1,225 @@
+"""Multivariate adaptive regression splines (Friedman [34]).
+
+Forward stage-wise construction of hinge-function pairs followed by backward
+pruning under generalized cross validation (GCV).  Interactions up to
+``max_interaction`` are supported by multiplying new hinges into existing
+basis functions, as in the original algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator, RegressorMixin
+from repro.utils.validation import check_2d, check_consistent_length
+
+
+@dataclass(frozen=True)
+class _Hinge:
+    """One hinge factor ``max(0, sign * (x[variable] - knot))``."""
+
+    variable: int
+    knot: float
+    sign: int  # +1 => max(0, x - knot); -1 => max(0, knot - x)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, self.sign * (X[:, self.variable] - self.knot))
+
+
+@dataclass(frozen=True)
+class _BasisFunction:
+    """Product of hinge factors; the empty product is the intercept."""
+
+    hinges: tuple[_Hinge, ...] = field(default_factory=tuple)
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        values = np.ones(X.shape[0])
+        for hinge in self.hinges:
+            values *= hinge.evaluate(X)
+        return values
+
+    @property
+    def degree(self) -> int:
+        return len(self.hinges)
+
+    def uses_variable(self, variable: int) -> bool:
+        return any(h.variable == variable for h in self.hinges)
+
+
+def _fit_least_squares(B: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+    coef, *_ = np.linalg.lstsq(B, y, rcond=None)
+    residual = y - B @ coef
+    return coef, float(residual @ residual)
+
+
+def _gcv(rss: float, n_samples: int, n_terms: int, penalty: float) -> float:
+    """Generalized cross validation criterion.
+
+    Degenerate (infinite) once the effective parameter count reaches the
+    sample count: such a model is saturated and must never win pruning.
+    """
+    effective = n_terms + penalty * max(n_terms - 1, 0) / 2.0
+    if effective >= n_samples:
+        return np.inf
+    denominator = (1.0 - effective / n_samples) ** 2
+    return (rss / n_samples) / denominator
+
+
+class MARSRegressor(BaseEstimator, RegressorMixin):
+    """MARS: piecewise-linear additive model with optional interactions.
+
+    Parameters
+    ----------
+    max_terms:
+        Upper bound on basis functions after the forward pass (including
+        the intercept).
+    max_interaction:
+        Maximum number of hinge factors multiplied into one basis function
+        (1 = additive model).
+    penalty:
+        GCV smoothing parameter (Friedman recommends 2-4; default 3).
+    n_knot_candidates:
+        Knots are taken from this many quantiles of each variable, which
+        bounds the forward-pass cost on large inputs.
+    """
+
+    def __init__(
+        self,
+        max_terms: int = 21,
+        *,
+        max_interaction: int = 1,
+        penalty: float = 3.0,
+        n_knot_candidates: int = 32,
+    ):
+        self.max_terms = max_terms
+        self.max_interaction = max_interaction
+        self.penalty = penalty
+        self.n_knot_candidates = n_knot_candidates
+
+    # -- forward pass -------------------------------------------------------
+    def _knot_candidates(self, column: np.ndarray) -> np.ndarray:
+        unique = np.unique(column)
+        if unique.size <= self.n_knot_candidates:
+            # interior values only: a knot at the extremes creates a zero
+            # or all-positive hinge identical to the linear term
+            return unique[:-1] if unique.size > 1 else unique
+        quantiles = np.linspace(0.0, 1.0, self.n_knot_candidates + 2)[1:-1]
+        return np.unique(np.quantile(column, quantiles))
+
+    def _forward_pass(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[list[_BasisFunction], np.ndarray]:
+        n_samples, n_features = X.shape
+        basis = [_BasisFunction()]
+        B = np.ones((n_samples, 1))
+        _, best_rss = _fit_least_squares(B, y)
+        while len(basis) + 2 <= self.max_terms:
+            best_addition = None  # (rss, parent_idx, hinge_pair, columns)
+            for parent_index, parent in enumerate(basis):
+                if parent.degree >= self.max_interaction:
+                    continue
+                parent_column = B[:, parent_index]
+                if not np.any(parent_column > 0):
+                    continue
+                for variable in range(n_features):
+                    if parent.uses_variable(variable):
+                        continue
+                    for knot in self._knot_candidates(X[:, variable]):
+                        rise = np.maximum(0.0, X[:, variable] - knot)
+                        fall = np.maximum(0.0, knot - X[:, variable])
+                        col_rise = parent_column * rise
+                        col_fall = parent_column * fall
+                        if not col_rise.any() and not col_fall.any():
+                            continue
+                        candidate_B = np.column_stack([B, col_rise, col_fall])
+                        _, rss = _fit_least_squares(candidate_B, y)
+                        if best_addition is None or rss < best_addition[0]:
+                            hinges = (
+                                _Hinge(variable, float(knot), +1),
+                                _Hinge(variable, float(knot), -1),
+                            )
+                            best_addition = (
+                                rss,
+                                parent_index,
+                                hinges,
+                                (col_rise, col_fall),
+                            )
+            if best_addition is None:
+                break
+            rss, parent_index, hinges, columns = best_addition
+            if best_rss - rss < 1e-10 * max(best_rss, 1.0):
+                break  # no meaningful improvement left
+            parent = basis[parent_index]
+            for hinge, column in zip(hinges, columns):
+                basis.append(_BasisFunction(parent.hinges + (hinge,)))
+                B = np.column_stack([B, column])
+            best_rss = rss
+        return basis, B
+
+    # -- backward pruning ---------------------------------------------------
+    def _backward_pass(
+        self, basis: list[_BasisFunction], B: np.ndarray, y: np.ndarray
+    ) -> list[int]:
+        n_samples = B.shape[0]
+        active = list(range(len(basis)))
+        _, rss = _fit_least_squares(B[:, active], y)
+        best_subset = list(active)
+        best_gcv = _gcv(rss, n_samples, len(active), self.penalty)
+        while len(active) > 1:
+            best_removal = None  # (gcv, index_position)
+            for position, term in enumerate(active):
+                if term == 0:
+                    continue  # keep the intercept
+                trial = active[:position] + active[position + 1 :]
+                _, trial_rss = _fit_least_squares(B[:, trial], y)
+                trial_gcv = _gcv(trial_rss, n_samples, len(trial), self.penalty)
+                if best_removal is None or trial_gcv < best_removal[0]:
+                    best_removal = (trial_gcv, position)
+            if best_removal is None:
+                break
+            _, position = best_removal
+            active = active[:position] + active[position + 1 :]
+            _, rss = _fit_least_squares(B[:, active], y)
+            gcv = _gcv(rss, n_samples, len(active), self.penalty)
+            if gcv < best_gcv:
+                best_gcv = gcv
+                best_subset = list(active)
+        return best_subset
+
+    def fit(self, X, y) -> "MARSRegressor":
+        X = check_2d(X, "X")
+        y = np.asarray(y, dtype=float).ravel()
+        check_consistent_length(X, y)
+        if self.max_terms < 1:
+            raise ValidationError(f"max_terms must be >= 1, got {self.max_terms}")
+        if self.max_interaction < 1:
+            raise ValidationError(
+                f"max_interaction must be >= 1, got {self.max_interaction}"
+            )
+        self._n_features = X.shape[1]
+        basis, B = self._forward_pass(X, y)
+        selected = self._backward_pass(basis, B, y)
+        self.basis_ = [basis[i] for i in selected]
+        self.coef_, self._rss = _fit_least_squares(B[:, selected], y)
+        self.gcv_ = _gcv(self._rss, X.shape[0], len(selected), self.penalty)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("basis_")
+        X = check_2d(X, "X")
+        if X.shape[1] != self._n_features:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self._n_features}"
+            )
+        B = np.column_stack([bf.evaluate(X) for bf in self.basis_])
+        return B @ self.coef_
+
+    @property
+    def n_terms_(self) -> int:
+        """Number of basis functions retained after pruning."""
+        self._check_fitted("basis_")
+        return len(self.basis_)

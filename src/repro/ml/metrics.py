@@ -1,0 +1,142 @@
+"""Evaluation metrics used throughout the paper.
+
+Regression: RMSE, NRMSE (range-normalized, per Shcherbakov et al. [80]),
+MAPE, and R^2.  Ranking: average precision / mean average precision and
+NDCG [51], which the similarity evaluation of Section 5.2 relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_1d, check_consistent_length
+
+
+def _paired(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = check_1d(y_true, "y_true")
+    y_pred = check_1d(y_pred, "y_pred")
+    check_consistent_length(y_true, y_pred)
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def normalized_rmse(y_true, y_pred) -> float:
+    """RMSE normalized by the observed range of ``y_true`` (NRMSE).
+
+    This is the paper's headline prediction metric (Table 6).  When the
+    observed range is zero (a perfectly flat target), the RMSE is normalized
+    by ``max(|y_true|, 1)`` instead so that the metric stays finite and
+    still reflects relative error.
+    """
+    y_true, y_pred = _paired(y_true, y_pred)
+    span = float(np.max(y_true) - np.min(y_true))
+    rmse = root_mean_squared_error(y_true, y_pred)
+    if span <= 0:
+        scale = max(float(np.max(np.abs(y_true))), 1.0)
+        return rmse / scale
+    return rmse / span
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE as a fraction (0.2 == 20%); requires non-zero targets."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise ValidationError("MAPE is undefined when y_true contains zeros")
+    return float(np.mean(np.abs((y_true - y_pred) / y_true)))
+
+
+def absolute_percentage_errors(y_true, y_pred) -> np.ndarray:
+    """Per-observation absolute percentage errors (fractions)."""
+    y_true, y_pred = _paired(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise ValidationError("APE is undefined when y_true contains zeros")
+    return np.abs((y_true - y_pred) / y_true)
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 for a constant target predicted exactly and a large negative
+    value otherwise, following the usual convention.
+    """
+    y_true, y_pred = _paired(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0:
+        return 0.0 if ss_res == 0 else float("-inf")
+    return 1.0 - ss_res / ss_tot
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    check_consistent_length(y_true, y_pred)
+    if y_true.size == 0:
+        raise ValidationError("accuracy is undefined for empty inputs")
+    return float(np.mean(y_true == y_pred))
+
+
+def average_precision(relevances) -> float:
+    """Average precision of a ranked binary relevance list.
+
+    ``relevances`` is ordered from most to least similar; entries are truthy
+    for relevant items.  Returns 1.0 when there are no relevant items, so a
+    query with no possible matches does not penalize mAP.
+    """
+    rel = np.asarray(relevances, dtype=bool)
+    if rel.size == 0:
+        raise ValidationError("relevances must not be empty")
+    if not rel.any():
+        return 1.0
+    positions = np.flatnonzero(rel) + 1
+    hits = np.arange(1, positions.size + 1)
+    return float(np.mean(hits / positions))
+
+
+def mean_average_precision(relevance_lists) -> float:
+    """Mean of :func:`average_precision` over several ranked queries."""
+    lists = list(relevance_lists)
+    if not lists:
+        raise ValidationError("relevance_lists must not be empty")
+    return float(np.mean([average_precision(rel) for rel in lists]))
+
+
+def dcg(gains, *, k: int | None = None) -> float:
+    """Discounted cumulative gain of a ranked list of graded gains."""
+    g = check_1d(gains, "gains", allow_empty=False)
+    if k is not None:
+        g = g[:k]
+    discounts = 1.0 / np.log2(np.arange(2, g.size + 2))
+    return float(np.sum(g * discounts))
+
+
+def ndcg(gains, *, k: int | None = None) -> float:
+    """Normalized DCG: DCG of the ranking divided by the ideal DCG.
+
+    Returns 1.0 when all gains are zero (any order of irrelevant items is
+    equally good).
+    """
+    g = check_1d(gains, "gains", allow_empty=False)
+    ideal = np.sort(g)[::-1]
+    ideal_dcg = dcg(ideal, k=k)
+    if ideal_dcg == 0:
+        return 1.0
+    return dcg(g, k=k) / ideal_dcg

@@ -1,0 +1,187 @@
+"""Linear mixed-effects models (Bates et al. [7], simplified).
+
+The model is ``y = X beta + Z u + e`` with independent Gaussian random
+effects per group: a random intercept and, optionally, random slopes for
+each fixed-effect column.  Variance components are estimated by maximum
+likelihood (profiled over the residual variance) with a Nelder-Mead search
+over the log variance ratios; fixed effects come from GLS at the optimum and
+group-level effects from their BLUPs.
+
+In the paper this is the LMM strategy of Section 6.1.2, where groups are the
+time-of-day "data groups" of the scaling experiments (Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+from scipy.linalg import solve_triangular
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator, RegressorMixin
+from repro.utils.validation import check_2d, check_consistent_length
+
+
+class LinearMixedEffectsModel(BaseEstimator, RegressorMixin):
+    """LMM with per-group random intercepts and optional random slopes.
+
+    Parameters
+    ----------
+    random_slopes:
+        When True, each fixed-effect column also receives an independent
+        per-group random slope.
+    groups:
+        Group labels may be passed at construction (as a fallback) or, more
+        commonly, to :meth:`fit` via the ``groups`` keyword.
+
+    Notes
+    -----
+    ``predict`` uses fixed effects plus the BLUP of any group seen during
+    training; unseen groups (or ``groups=None``) fall back to the
+    population-level fixed effects, which is exactly what the scaling
+    pipeline needs when transferring to a new workload run.
+    """
+
+    def __init__(self, *, random_slopes: bool = True, groups=None):
+        self.random_slopes = random_slopes
+        self.groups = groups
+
+    # -- design helpers ------------------------------------------------------
+    def _random_design(self, X: np.ndarray, group_index: np.ndarray) -> np.ndarray:
+        """Dense Z matrix: per-group columns for intercept (and slopes)."""
+        n_samples = X.shape[0]
+        n_groups = self._n_groups
+        blocks = [np.zeros((n_samples, n_groups))]
+        blocks[0][np.arange(n_samples), group_index] = 1.0
+        if self.random_slopes:
+            for j in range(X.shape[1]):
+                block = np.zeros((n_samples, n_groups))
+                block[np.arange(n_samples), group_index] = X[:, j]
+                blocks.append(block)
+        return np.hstack(blocks)
+
+    def _effect_variances(self, log_ratios: np.ndarray) -> np.ndarray:
+        """Per-Z-column variance ratios from the packed parameter vector.
+
+        Ratios are clipped to a broad but finite range: on (near-)noiseless
+        data the likelihood is maximized by an unbounded ratio, which would
+        make ``V`` numerically singular.
+        """
+        ratios = np.clip(np.exp(log_ratios), 1e-8, 1e6)
+        per_block = [np.full(self._n_groups, ratios[0])]
+        if self.random_slopes:
+            for j in range(1, ratios.size):
+                per_block.append(np.full(self._n_groups, ratios[j]))
+        return np.concatenate(per_block)
+
+    def _profiled_negloglik(
+        self, log_ratios: np.ndarray, X1: np.ndarray, y: np.ndarray, Z: np.ndarray
+    ) -> float:
+        """-2 log likelihood profiled over sigma^2 and beta."""
+        n = y.size
+        d = self._effect_variances(log_ratios)
+        V = np.eye(n) + (Z * d) @ Z.T
+        try:
+            chol = np.linalg.cholesky(V)
+        except np.linalg.LinAlgError:
+            return np.inf
+        log_det = 2.0 * float(np.sum(np.log(np.diag(chol))))
+        # Whiten by the Cholesky factor: solve L a = X1, L b = y.
+        Xw = solve_triangular(chol, X1, lower=True)
+        yw = solve_triangular(chol, y, lower=True)
+        beta, *_ = np.linalg.lstsq(Xw, yw, rcond=None)
+        residual = yw - Xw @ beta
+        rss = float(residual @ residual)
+        if rss <= 0:
+            rss = 1e-12
+        sigma2 = rss / n
+        return n * np.log(sigma2) + log_det + n
+
+    def fit(self, X, y, *, groups=None) -> "LinearMixedEffectsModel":
+        X = check_2d(X, "X")
+        y = np.asarray(y, dtype=float).ravel()
+        check_consistent_length(X, y)
+        if groups is None:
+            groups = self.groups
+        if groups is None:
+            groups = np.zeros(X.shape[0], dtype=int)
+        groups = np.asarray(groups)
+        check_consistent_length(X, groups)
+        self.group_labels_, group_index = np.unique(groups, return_inverse=True)
+        self._n_groups = self.group_labels_.size
+        self._n_features = X.shape[1]
+
+        X1 = np.hstack([np.ones((X.shape[0], 1)), X])
+        Z = self._random_design(X, group_index)
+        n_ratios = 1 + (X.shape[1] if self.random_slopes else 0)
+        start = np.zeros(n_ratios)
+        result = optimize.minimize(
+            self._profiled_negloglik,
+            start,
+            args=(X1, y, Z),
+            method="Nelder-Mead",
+            options={"maxiter": 400 * n_ratios, "xatol": 1e-4, "fatol": 1e-6},
+        )
+        log_ratios = result.x
+        d = self._effect_variances(log_ratios)
+
+        # Final estimates from Henderson's mixed-model equations, which stay
+        # well conditioned even when the variance ratios are extreme:
+        #   [X'X  X'Z      ] [beta]   [X'y]
+        #   [Z'X  Z'Z + 1/d] [u   ] = [Z'y]
+        n = y.size
+        p = X1.shape[1]
+        q = Z.shape[1]
+        top = np.hstack([X1.T @ X1, X1.T @ Z])
+        bottom = np.hstack([Z.T @ X1, Z.T @ Z + np.diag(1.0 / d)])
+        lhs = np.vstack([top, bottom])
+        rhs = np.concatenate([X1.T @ y, Z.T @ y])
+        solution = np.linalg.lstsq(lhs, rhs, rcond=None)[0]
+        beta = solution[:p]
+        u = solution[p : p + q]
+        residual = y - X1 @ beta - Z @ u
+        sigma2 = max(float(residual @ residual) / n, 1e-12)
+
+        self.intercept_ = float(beta[0])
+        self.coef_ = beta[1:]
+        self.sigma2_ = sigma2
+        self.variance_ratios_ = np.exp(log_ratios)
+        self.random_effects_ = self._unpack_random_effects(u)
+        self.converged_ = bool(result.success)
+        return self
+
+    def _unpack_random_effects(self, u: np.ndarray) -> dict:
+        """Map the flat BLUP vector to ``{label: (intercept, slopes)}``."""
+        effects = {}
+        n_groups = self._n_groups
+        for g, label in enumerate(self.group_labels_):
+            intercept_effect = float(u[g])
+            if self.random_slopes:
+                slopes = np.array(
+                    [
+                        u[(1 + j) * n_groups + g]
+                        for j in range(self._n_features)
+                    ]
+                )
+            else:
+                slopes = np.zeros(self._n_features)
+            effects[label] = (intercept_effect, slopes)
+        return effects
+
+    def predict(self, X, *, groups=None) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = check_2d(X, "X")
+        if X.shape[1] != self._n_features:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self._n_features}"
+            )
+        prediction = X @ self.coef_ + self.intercept_
+        if groups is not None:
+            groups = np.asarray(groups)
+            check_consistent_length(X, groups)
+            for i, label in enumerate(groups):
+                if label in self.random_effects_:
+                    intercept_effect, slopes = self.random_effects_[label]
+                    prediction[i] += intercept_effect + float(X[i] @ slopes)
+        return prediction

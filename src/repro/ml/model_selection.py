@@ -1,0 +1,104 @@
+"""Cross-validation utilities.
+
+The paper evaluates every modeling strategy with 5-fold cross validation and
+reports mean NRMSE (Section 6.2); :func:`cross_val_score` is the harness used
+by :mod:`repro.prediction.evaluation` to reproduce Table 6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import normalized_rmse
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_feature_matrix, check_positive_int
+
+
+class KFold:
+    """K-fold cross-validation splitter with optional shuffling."""
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        *,
+        shuffle: bool = False,
+        random_state: RandomState = None,
+    ):
+        self.n_splits = check_positive_int(n_splits, "n_splits", minimum=2)
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        n_samples = np.asarray(X).shape[0]
+        if self.n_splits > n_samples:
+            raise ValidationError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            as_generator(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            stop = start + size
+            test = indices[start:stop]
+            train = np.concatenate([indices[:start], indices[stop:]])
+            yield train, test
+            start = stop
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.25,
+    random_state: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(X, y)`` into train and test partitions."""
+    X, y = check_feature_matrix(X, y)
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError(f"test_size must be in (0, 1), got {test_size}")
+    n_samples = X.shape[0]
+    n_test = max(1, int(round(n_samples * test_size)))
+    if n_test >= n_samples:
+        raise ValidationError(
+            f"test_size={test_size} leaves no training samples for n={n_samples}"
+        )
+    permutation = as_generator(random_state).permutation(n_samples)
+    test_idx = permutation[:n_test]
+    train_idx = permutation[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    *,
+    cv: int | KFold = 5,
+    scorer: Callable[[np.ndarray, np.ndarray], float] = normalized_rmse,
+    shuffle: bool = True,
+    random_state: RandomState = 0,
+) -> np.ndarray:
+    """Evaluate ``estimator`` by cross validation.
+
+    The estimator is cloned for each fold so folds never leak state.  The
+    default scorer is NRMSE, matching the paper's Table 6 methodology; note
+    that for NRMSE lower is better (this is an error, not a reward).
+    """
+    X, y = check_feature_matrix(X, y)
+    if isinstance(cv, int):
+        cv = KFold(cv, shuffle=shuffle, random_state=random_state)
+    scores = []
+    for train_idx, test_idx in cv.split(X):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        predictions = np.asarray(model.predict(X[test_idx]), dtype=float)
+        scores.append(scorer(y[test_idx], predictions))
+    return np.asarray(scores, dtype=float)

@@ -1,0 +1,78 @@
+"""Workload resource (scaling) prediction (Section 6 of the paper).
+
+- :mod:`repro.prediction.strategies` — the six modeling strategies of
+  Section 6.1.2 (Regression, SVM, LMM, GB, MARS, NNet) as a registry.
+- :mod:`repro.prediction.context` — the two modeling contexts of
+  Section 6.1.1: one *single* model across all SKUs versus *pairwise*
+  scaling models per SKU pair.
+- :mod:`repro.prediction.baseline` — the naive inverse-linear scaling
+  baseline of Table 6.
+- :mod:`repro.prediction.evaluation` — the 5-fold cross-validated NRMSE
+  harness reproducing Table 6.
+- :mod:`repro.prediction.latency` — workload-level versus per-transaction
+  latency scaling prediction (the Figure 1 comparison).
+- :mod:`repro.prediction.roofline` — Roofline-augmented piecewise-linear
+  prediction (Appendix B / Figure 12).
+"""
+
+from repro.prediction.strategies import (
+    STRATEGY_NAMES,
+    make_strategy,
+    strategy_uses_groups,
+)
+from repro.prediction.context import (
+    PairwiseModelSet,
+    PairwiseScalingModel,
+    SingleScalingModel,
+)
+from repro.prediction.baseline import InverseLinearBaseline
+from repro.prediction.evaluation import (
+    ScalingDataset,
+    build_scaling_dataset,
+    evaluate_baseline,
+    evaluate_pairwise_strategy,
+    evaluate_single_strategy,
+)
+from repro.prediction.latency import (
+    latency_prediction_errors,
+    per_txn_scaling_factors,
+    workload_scaling_factor,
+)
+from repro.prediction.roofline import RooflinePredictor
+from repro.prediction.ridgeline import RidgelinePredictor
+from repro.prediction.recommend import (
+    Recommendation,
+    SKUAssessment,
+    recommend_sku,
+)
+from repro.prediction.uncertainty import (
+    PredictionInterval,
+    pairwise_prediction_interval,
+    single_prediction_interval,
+)
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "make_strategy",
+    "strategy_uses_groups",
+    "SingleScalingModel",
+    "PairwiseScalingModel",
+    "PairwiseModelSet",
+    "InverseLinearBaseline",
+    "ScalingDataset",
+    "build_scaling_dataset",
+    "evaluate_pairwise_strategy",
+    "evaluate_single_strategy",
+    "evaluate_baseline",
+    "per_txn_scaling_factors",
+    "workload_scaling_factor",
+    "latency_prediction_errors",
+    "RooflinePredictor",
+    "RidgelinePredictor",
+    "SKUAssessment",
+    "Recommendation",
+    "recommend_sku",
+    "PredictionInterval",
+    "pairwise_prediction_interval",
+    "single_prediction_interval",
+]

@@ -1,0 +1,35 @@
+"""Naive inverse-linear scaling baseline (Table 6's "Baseline" row).
+
+Assumes latency shrinks inversely with the CPU count — equivalently,
+throughput grows linearly with it: moving from ``c_a`` CPUs to ``c_b``
+multiplies throughput by ``c_b / c_a``.  Real workloads scale sub-linearly
+(contention, serial fractions, non-CPU bottlenecks), so this baseline
+overshoots dramatically, which is exactly the point of including it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_1d
+
+
+class InverseLinearBaseline:
+    """Predicts target-SKU throughput by pure CPU-count proportionality."""
+
+    def __init__(self, source_cpus: int, target_cpus: int):
+        if source_cpus < 1 or target_cpus < 1:
+            raise ValidationError("CPU counts must be >= 1")
+        self.source_cpus = source_cpus
+        self.target_cpus = target_cpus
+
+    @property
+    def factor(self) -> float:
+        """The assumed throughput multiplier."""
+        return self.target_cpus / self.source_cpus
+
+    def predict(self, y_source) -> np.ndarray:
+        """Scale source observations by the CPU ratio."""
+        y_source = check_1d(y_source, "y_source")
+        return y_source * self.factor

@@ -1,0 +1,209 @@
+"""Modeling contexts: single versus pairwise scaling models (Section 6.1.1).
+
+- :class:`SingleScalingModel` fits one model over all hardware settings:
+  throughput as a function of the CPU count.
+- :class:`PairwiseScalingModel` models one SKU pair: the performance at
+  the target SKU as a function of the performance at the source SKU.  In
+  *normalized* mode (the default) both sides are scaled by the mean source
+  performance, so the model learns a scaling *factor* and transfers across
+  workloads of different absolute throughput — exactly what the
+  end-to-end prediction of Section 6.2.3 requires.
+- :class:`PairwiseModelSet` manages models for every upward SKU pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.prediction.strategies import make_strategy, strategy_uses_groups
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_1d, check_consistent_length
+
+
+def _with_group_column(X: np.ndarray, groups) -> np.ndarray:
+    if groups is None:
+        groups = np.zeros(X.shape[0])
+    groups = np.asarray(groups, dtype=float).reshape(-1, 1)
+    return np.hstack([X, groups])
+
+
+class SingleScalingModel:
+    """One model of throughput versus CPU count across all SKUs.
+
+    The design matrix carries ``[cpus, sqrt(cpus)]``: scaling curves are
+    concave (Amdahl), so the square-root basis lets the linear strategies
+    express the flattening without changing the tree-based ones (monotone
+    transforms are invisible to trees).
+    """
+
+    def __init__(self, strategy: str = "SVM", *, random_state: RandomState = 0):
+        self.strategy = strategy
+        self.random_state = random_state
+
+    @staticmethod
+    def _design(cpus: np.ndarray) -> np.ndarray:
+        return np.column_stack([cpus, np.sqrt(cpus)])
+
+    def fit(self, cpus, throughput, *, groups=None) -> "SingleScalingModel":
+        cpus = check_1d(cpus, "cpus")
+        throughput = check_1d(throughput, "throughput")
+        check_consistent_length(cpus, throughput)
+        X = self._design(cpus)
+        if strategy_uses_groups(self.strategy):
+            X = _with_group_column(X, groups)
+        self._model = make_strategy(self.strategy, random_state=self.random_state)
+        self._model.fit(X, throughput)
+        return self
+
+    def predict(self, cpus, *, groups=None) -> np.ndarray:
+        if not hasattr(self, "_model"):
+            raise NotFittedError("SingleScalingModel is not fitted")
+        cpus = check_1d(cpus, "cpus")
+        X = self._design(cpus)
+        if strategy_uses_groups(self.strategy):
+            X = _with_group_column(X, groups)
+        return np.asarray(self._model.predict(X), dtype=float)
+
+
+class PairwiseScalingModel:
+    """Scaling model for one (source SKU, target SKU) pair.
+
+    With ``normalize=True`` the model is fitted on
+    ``y_target / mean(y_source)`` versus ``y_source / mean(y_source)``:
+    scale-free, so a model trained on one workload's runs can predict
+    another workload's scaling given only its source-SKU observations.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "SVM",
+        *,
+        normalize: bool = True,
+        random_state: RandomState = 0,
+    ):
+        self.strategy = strategy
+        self.normalize = normalize
+        self.random_state = random_state
+
+    def fit(self, y_source, y_target, *, groups=None) -> "PairwiseScalingModel":
+        y_source = check_1d(y_source, "y_source")
+        y_target = check_1d(y_target, "y_target")
+        check_consistent_length(y_source, y_target)
+        self._source_scale = float(y_source.mean()) if self.normalize else 1.0
+        if self._source_scale <= 0:
+            raise ValidationError("source observations must be positive")
+        X = (y_source / self._source_scale).reshape(-1, 1)
+        t = y_target / self._source_scale
+        if strategy_uses_groups(self.strategy):
+            X = _with_group_column(X, groups)
+        self._model = make_strategy(self.strategy, random_state=self.random_state)
+        self._model.fit(X, t)
+        return self
+
+    def predict(self, y_source, *, groups=None) -> np.ndarray:
+        """Predict target-SKU performance for same-workload observations."""
+        if not hasattr(self, "_model"):
+            raise NotFittedError("PairwiseScalingModel is not fitted")
+        y_source = check_1d(y_source, "y_source")
+        X = (y_source / self._source_scale).reshape(-1, 1)
+        if strategy_uses_groups(self.strategy):
+            X = _with_group_column(X, groups)
+        return np.asarray(self._model.predict(X), dtype=float) * self._source_scale
+
+    def transfer(self, y_source_other) -> np.ndarray:
+        """Predict a *different* workload's target performance.
+
+        The other workload's source observations are normalized by their
+        own mean, pushed through the learned scaling relationship, and
+        rescaled back — the cross-workload transfer of Section 6.2.3.
+        Requires a normalized model.
+        """
+        if not hasattr(self, "_model"):
+            raise NotFittedError("PairwiseScalingModel is not fitted")
+        if not self.normalize:
+            raise ValidationError(
+                "cross-workload transfer requires normalize=True"
+            )
+        y_source_other = check_1d(y_source_other, "y_source_other")
+        other_scale = float(y_source_other.mean())
+        if other_scale <= 0:
+            raise ValidationError("source observations must be positive")
+        X = (y_source_other / other_scale).reshape(-1, 1)
+        if strategy_uses_groups(self.strategy):
+            X = _with_group_column(X, None)
+        factors = np.asarray(self._model.predict(X), dtype=float)
+        return factors * other_scale
+
+    def scaling_factor(self) -> float:
+        """The model's predicted factor at the mean source performance."""
+        prediction = self.predict(np.array([self._source_scale]))
+        return float(prediction[0] / self._source_scale)
+
+
+class PairwiseModelSet:
+    """Pairwise models for every upward SKU pair of a scaling dataset."""
+
+    def __init__(
+        self,
+        strategy: str = "SVM",
+        *,
+        normalize: bool = True,
+        random_state: RandomState = 0,
+    ):
+        self.strategy = strategy
+        self.normalize = normalize
+        self.random_state = random_state
+        self._models: dict[tuple[str, str], PairwiseScalingModel] = {}
+
+    def fit(
+        self,
+        observations: dict[str, np.ndarray],
+        *,
+        groups: dict[str, np.ndarray] | None = None,
+        cpu_counts: dict[str, int] | None = None,
+    ) -> "PairwiseModelSet":
+        """Fit one model per upward pair.
+
+        ``observations`` maps SKU name to aligned observation vectors (the
+        i-th entries of two SKUs belong to the same run/subsample).
+        ``cpu_counts`` orders the SKUs; without it, insertion order is
+        treated as ascending capacity.
+        """
+        names = list(observations)
+        if len(names) < 2:
+            raise ValidationError("need at least two SKUs for pairwise models")
+        if cpu_counts is not None:
+            names.sort(key=lambda n: cpu_counts[n])
+        self.sku_order_ = names
+        self._models = {}
+        for i, source in enumerate(names):
+            for target in names[i + 1 :]:
+                model = PairwiseScalingModel(
+                    self.strategy,
+                    normalize=self.normalize,
+                    random_state=self.random_state,
+                )
+                pair_groups = None if groups is None else groups[source]
+                model.fit(
+                    observations[source],
+                    observations[target],
+                    groups=pair_groups,
+                )
+                self._models[(source, target)] = model
+        return self
+
+    def model(self, source: str, target: str) -> PairwiseScalingModel:
+        """The fitted model for one upward pair."""
+        try:
+            return self._models[(source, target)]
+        except KeyError:
+            raise ValidationError(
+                f"no model for pair ({source!r}, {target!r}); "
+                f"available: {sorted(self._models)}"
+            ) from None
+
+    @property
+    def pairs(self) -> list[tuple[str, str]]:
+        """All fitted (source, target) pairs."""
+        return sorted(self._models)

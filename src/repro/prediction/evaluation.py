@@ -1,0 +1,254 @@
+"""Cross-validated NRMSE evaluation of scaling strategies (Table 6).
+
+The methodology follows Section 6.2: each workload setting contributes 30
+throughput observations per SKU (3 runs x 10 random down-samples); models
+are scored by 5-fold cross validation; pairwise results average the NRMSE
+over the six upward scaling pairs among the 2/4/8/16-CPU SKUs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.metrics import normalized_rmse
+from repro.ml.model_selection import KFold
+from repro.prediction.baseline import InverseLinearBaseline
+from repro.prediction.context import PairwiseScalingModel, SingleScalingModel
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.workloads.repository import ExperimentRepository
+from repro.workloads.sampling import augmented_throughputs
+
+
+@dataclass
+class ScalingDataset:
+    """Aligned performance observations of one workload setting per SKU.
+
+    ``observations[sku_name][i]`` and ``observations[other][i]`` stem from
+    the same (run, down-sample) slot, which is what lets pairwise models
+    treat them as before/after measurements of the same execution context.
+    ``metric`` records whether observations are throughput (txn/s) or mean
+    latency (ms) — the two performance metrics of Section 6.1.2.
+    """
+
+    workload: str
+    terminals: int
+    sku_names: list[str]  # ascending CPU order
+    cpu_counts: dict[str, int]
+    observations: dict[str, np.ndarray]
+    groups: dict[str, np.ndarray]
+    metric: str = "throughput"
+    metadata: dict = field(default_factory=dict)
+
+    def upward_pairs(self) -> list[tuple[str, str]]:
+        """All (smaller SKU, larger SKU) combinations, six for four SKUs."""
+        pairs = []
+        for i, source in enumerate(self.sku_names):
+            for target in self.sku_names[i + 1 :]:
+                pairs.append((source, target))
+        return pairs
+
+    def pooled(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All observations pooled: (cpus, throughput, groups)."""
+        cpus, throughput, groups = [], [], []
+        for name in self.sku_names:
+            y = self.observations[name]
+            cpus.append(np.full(y.size, self.cpu_counts[name], dtype=float))
+            throughput.append(y)
+            groups.append(self.groups[name])
+        return (
+            np.concatenate(cpus),
+            np.concatenate(throughput),
+            np.concatenate(groups),
+        )
+
+
+def build_scaling_dataset(
+    repository: ExperimentRepository,
+    workload: str,
+    terminals: int,
+    *,
+    metric: str = "throughput",
+    n_series: int = 10,
+    fraction: float = 0.5,
+    random_state: RandomState = 0,
+) -> ScalingDataset:
+    """Assemble the Table 6 observation set for one workload setting.
+
+    ``metric="latency"`` converts each window's throughput estimate into a
+    mean-latency estimate through the interactive response-time law — the
+    alternative performance metric Section 6.1.2 names.
+    """
+    if metric not in ("throughput", "latency"):
+        raise ValidationError(
+            f"metric must be 'throughput' or 'latency', got {metric!r}"
+        )
+    subset = repository.by_workload(workload).by_terminals(terminals)
+    if len(subset) == 0:
+        raise ValidationError(
+            f"no experiments for workload={workload!r} terminals={terminals}"
+        )
+    skus = sorted(subset.skus(), key=lambda s: s.cpus)
+    observations: dict[str, np.ndarray] = {}
+    groups: dict[str, np.ndarray] = {}
+    rngs = spawn_generators(random_state, len(skus))
+    for sku, rng in zip(skus, rngs):
+        runs = sorted(
+            subset.by_sku(sku), key=lambda r: (r.run_index, r.data_group)
+        )
+        values, value_groups = [], []
+        for run in runs:
+            # The same augmentation seed structure per run keeps slots
+            # aligned across SKUs (run-major, series-minor ordering).
+            samples = augmented_throughputs(
+                run,
+                n_series=n_series,
+                fraction=fraction,
+                random_state=int(rng.integers(0, 2**62)),
+            )
+            if metric == "latency":
+                samples = run.terminals / samples * 1000.0
+            values.append(samples)
+            value_groups.append(np.full(samples.size, run.data_group))
+        observations[sku.name] = np.concatenate(values)
+        groups[sku.name] = np.concatenate(value_groups)
+    lengths = {len(v) for v in observations.values()}
+    if len(lengths) != 1:
+        raise ValidationError(
+            "SKUs have differing observation counts; the repository must "
+            "contain the same runs for every SKU"
+        )
+    return ScalingDataset(
+        workload=workload,
+        terminals=terminals,
+        sku_names=[s.name for s in skus],
+        cpu_counts={s.name: s.cpus for s in skus},
+        observations=observations,
+        groups=groups,
+        metric=metric,
+    )
+
+
+@dataclass(frozen=True)
+class StrategyScore:
+    """CV outcome of one strategy on one workload setting."""
+
+    strategy: str
+    context: str  # "pairwise" | "single"
+    mean_nrmse: float
+    mean_training_time_s: float
+
+
+def evaluate_pairwise_strategy(
+    dataset: ScalingDataset,
+    strategy: str,
+    *,
+    cv: int = 5,
+    random_state: RandomState = 0,
+) -> StrategyScore:
+    """Mean CV NRMSE over the upward SKU pairs (Table 6, pairwise block).
+
+    Folds are drawn over the aligned observation *slots* (run x
+    down-sample), so the same execution context never appears in both the
+    train and test side of one pair.
+    """
+    rng = as_generator(random_state)
+    all_scores, all_times = [], []
+    for source, target in dataset.upward_pairs():
+        y_source = dataset.observations[source]
+        y_target = dataset.observations[target]
+        pair_groups = dataset.groups[source]
+        seed = int(rng.integers(0, 2**31))
+        splitter = KFold(cv, shuffle=True, random_state=seed)
+        for train_idx, test_idx in splitter.split(y_source):
+            model = PairwiseScalingModel(strategy, random_state=seed)
+            start = time.perf_counter()
+            model.fit(
+                y_source[train_idx],
+                y_target[train_idx],
+                groups=pair_groups[train_idx],
+            )
+            all_times.append(time.perf_counter() - start)
+            predictions = model.predict(
+                y_source[test_idx], groups=pair_groups[test_idx]
+            )
+            all_scores.append(normalized_rmse(y_target[test_idx], predictions))
+    return StrategyScore(
+        strategy=strategy,
+        context="pairwise",
+        mean_nrmse=float(np.mean(all_scores)),
+        mean_training_time_s=float(np.mean(all_times)),
+    )
+
+
+def evaluate_single_strategy(
+    dataset: ScalingDataset,
+    strategy: str,
+    *,
+    cv: int = 5,
+    random_state: RandomState = 0,
+) -> StrategyScore:
+    """CV NRMSE of one model over all SKUs (Table 6, single block).
+
+    One model is fitted on the pooled (CPU count, throughput) data of the
+    training slots across every SKU; its error is then scored per upward
+    pair — the prediction at the target SKU's CPU count against that
+    pair's held-out target observations — and averaged over the six pairs,
+    making the value directly comparable to the pairwise context.
+    """
+    n_slots = len(next(iter(dataset.observations.values())))
+    scores, times = [], []
+    splitter = KFold(cv, shuffle=True, random_state=random_state)
+    for train_slots, test_slots in splitter.split(np.arange(n_slots)):
+        cpus, throughput, groups = [], [], []
+        for name in dataset.sku_names:
+            y = dataset.observations[name][train_slots]
+            cpus.append(np.full(y.size, dataset.cpu_counts[name], dtype=float))
+            throughput.append(y)
+            groups.append(dataset.groups[name][train_slots])
+        model = SingleScalingModel(strategy, random_state=random_state)
+        start = time.perf_counter()
+        model.fit(
+            np.concatenate(cpus),
+            np.concatenate(throughput),
+            groups=np.concatenate(groups),
+        )
+        times.append(time.perf_counter() - start)
+        for _, target in dataset.upward_pairs():
+            actual = dataset.observations[target][test_slots]
+            predictions = model.predict(
+                np.full(actual.size, dataset.cpu_counts[target], dtype=float),
+                groups=dataset.groups[target][test_slots],
+            )
+            scores.append(normalized_rmse(actual, predictions))
+    return StrategyScore(
+        strategy=strategy,
+        context="single",
+        mean_nrmse=float(np.mean(scores)),
+        mean_training_time_s=float(np.mean(times)),
+    )
+
+
+def evaluate_baseline(dataset: ScalingDataset) -> float:
+    """Mean NRMSE of the inverse-linear baseline over the upward pairs.
+
+    For throughput data the baseline multiplies by the CPU ratio; for
+    latency data it divides (the paper's "if the number of CPUs increases
+    from 2 to 4, the latency reduces by half").
+    """
+    scores = []
+    for source, target in dataset.upward_pairs():
+        if dataset.metric == "latency":
+            baseline = InverseLinearBaseline(
+                dataset.cpu_counts[target], dataset.cpu_counts[source]
+            )
+        else:
+            baseline = InverseLinearBaseline(
+                dataset.cpu_counts[source], dataset.cpu_counts[target]
+            )
+        predictions = baseline.predict(dataset.observations[source])
+        scores.append(normalized_rmse(dataset.observations[target], predictions))
+    return float(np.mean(scores))

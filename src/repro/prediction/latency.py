@@ -1,0 +1,127 @@
+"""Workload-level versus per-transaction latency prediction (Figure 1).
+
+Example 1 of the paper contrasts two ways of predicting a workload's
+latency on new hardware: scale each transaction type individually with a
+per-query model, or scale the workload's aggregate latency with a single
+workload-level factor.  Individual transaction latencies are much noisier
+(and interact through contention), so per-query predictions carry
+substantially larger errors — 4.75%-16.57% APE versus ~2% workload-level
+in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.workloads.runner import ExperimentResult
+
+
+def _mean_latency(results: list[ExperimentResult]) -> float:
+    if not results:
+        raise ValidationError("need at least one experiment result")
+    return float(np.mean([r.latency_ms for r in results]))
+
+
+def _mean_txn_latencies(results: list[ExperimentResult]) -> dict[str, float]:
+    names = results[0].per_txn_latency_ms.keys()
+    return {
+        name: float(np.mean([r.per_txn_latency_ms[name] for r in results]))
+        for name in names
+    }
+
+
+def workload_scaling_factor(
+    source: list[ExperimentResult], target: list[ExperimentResult]
+) -> float:
+    """Aggregate latency ratio target/source learned from reference runs."""
+    return _mean_latency(target) / _mean_latency(source)
+
+
+def per_txn_scaling_factors(
+    source: list[ExperimentResult], target: list[ExperimentResult]
+) -> dict[str, float]:
+    """Per-transaction-type latency ratios learned from reference runs."""
+    source_latencies = _mean_txn_latencies(source)
+    target_latencies = _mean_txn_latencies(target)
+    missing = set(source_latencies) ^ set(target_latencies)
+    if missing:
+        raise ValidationError(
+            f"transaction types differ between source and target: {missing}"
+        )
+    return {
+        name: target_latencies[name] / source_latencies[name]
+        for name in source_latencies
+    }
+
+
+@dataclass(frozen=True)
+class LatencyPredictionErrors:
+    """APE distributions of the two prediction granularities (Figure 1)."""
+
+    per_txn_ape: dict[str, np.ndarray]  # one APE array per transaction type
+    workload_ape: np.ndarray
+    aggregated_per_txn_ape: np.ndarray  # weighted per-query roll-up errors
+
+    def per_txn_mean_ape(self) -> dict[str, float]:
+        """Mean APE per transaction type."""
+        return {k: float(v.mean()) for k, v in self.per_txn_ape.items()}
+
+    def workload_mean_ape(self) -> float:
+        """Mean APE of the workload-level predictions."""
+        return float(self.workload_ape.mean())
+
+
+def latency_prediction_errors(
+    train_source: list[ExperimentResult],
+    train_target: list[ExperimentResult],
+    test_source: list[ExperimentResult],
+    test_target: list[ExperimentResult],
+) -> LatencyPredictionErrors:
+    """Evaluate both prediction granularities on held-out runs.
+
+    Scaling factors are learned from the training runs; each held-out
+    test pair yields one prediction (and one APE) per granularity:
+
+    - *per-transaction*: every type's source latency is scaled by its own
+      factor and compared to the type's actual target latency; the
+      weighted roll-up of these per-type predictions is also compared to
+      the actual aggregate latency.
+    - *workload-level*: the aggregate source latency is scaled by the
+      single workload factor.
+    """
+    if len(test_source) != len(test_target):
+        raise ValidationError(
+            "test_source and test_target must pair up one-to-one"
+        )
+    txn_factors = per_txn_scaling_factors(train_source, train_target)
+    workload_factor = workload_scaling_factor(train_source, train_target)
+
+    per_txn_errors: dict[str, list[float]] = {name: [] for name in txn_factors}
+    workload_errors: list[float] = []
+    rollup_errors: list[float] = []
+    for source_run, target_run in zip(test_source, test_target):
+        weights = source_run.per_txn_weights
+        rollup_prediction = 0.0
+        rollup_actual = 0.0
+        for name, factor in txn_factors.items():
+            predicted = source_run.per_txn_latency_ms[name] * factor
+            actual = target_run.per_txn_latency_ms[name]
+            per_txn_errors[name].append(abs(predicted - actual) / actual)
+            rollup_prediction += weights[name] * predicted
+            rollup_actual += weights[name] * actual
+        rollup_errors.append(
+            abs(rollup_prediction - rollup_actual) / rollup_actual
+        )
+        predicted_workload = source_run.latency_ms * workload_factor
+        workload_errors.append(
+            abs(predicted_workload - target_run.latency_ms)
+            / target_run.latency_ms
+        )
+    return LatencyPredictionErrors(
+        per_txn_ape={k: np.asarray(v) for k, v in per_txn_errors.items()},
+        workload_ape=np.asarray(workload_errors),
+        aggregated_per_txn_ape=np.asarray(rollup_errors),
+    )

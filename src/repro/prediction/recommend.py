@@ -1,0 +1,109 @@
+"""SKU recommendation: pick the cheapest configuration meeting a target.
+
+Combines the pipeline's pieces the way Section 6's motivation describes:
+pairwise scaling models estimate each candidate SKU's throughput from
+measurements on the current SKU, Roofline ceilings (Appendix B) cap the
+estimates, and the cheapest candidate meeting the target wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.prediction.context import PairwiseScalingModel
+from repro.prediction.evaluation import ScalingDataset
+from repro.utils.rng import RandomState
+from repro.workloads.engine.roofline import hardware_ceilings
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.sku import SKU
+
+
+@dataclass(frozen=True)
+class SKUAssessment:
+    """Predicted viability of one candidate SKU."""
+
+    sku: SKU
+    price: float
+    predicted_throughput: float
+    ceiling: float
+    compute_bound: bool
+
+    @property
+    def effective_throughput(self) -> float:
+        """Prediction capped by the hardware ceiling."""
+        return min(self.predicted_throughput, self.ceiling)
+
+    def meets(self, target: float) -> bool:
+        return self.effective_throughput >= target
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of an SKU search."""
+
+    target_throughput: float
+    assessments: tuple[SKUAssessment, ...]
+    chosen: SKUAssessment | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None
+
+
+def recommend_sku(
+    workload: WorkloadSpec,
+    dataset: ScalingDataset,
+    current_sku_name: str,
+    *,
+    target_throughput: float,
+    prices: dict[str, float],
+    terminals: int,
+    skus: dict[str, SKU],
+    strategy: str = "SVM",
+    random_state: RandomState = 0,
+) -> Recommendation:
+    """Choose the cheapest SKU predicted to sustain the target throughput.
+
+    ``dataset`` must contain aligned observations for the current SKU and
+    every candidate (see :func:`repro.prediction.build_scaling_dataset`);
+    ``prices`` and ``skus`` are keyed by SKU name.
+    """
+    if current_sku_name not in dataset.observations:
+        raise ValidationError(
+            f"current SKU {current_sku_name!r} missing from the dataset"
+        )
+    if target_throughput <= 0:
+        raise ValidationError("target_throughput must be positive")
+    current_obs = dataset.observations[current_sku_name]
+    current_groups = dataset.groups[current_sku_name]
+    assessments = []
+    for name in dataset.sku_names:
+        if name == current_sku_name:
+            continue
+        if name not in prices or name not in skus:
+            raise ValidationError(f"missing price or SKU object for {name!r}")
+        model = PairwiseScalingModel(strategy, random_state=random_state)
+        model.fit(
+            current_obs, dataset.observations[name], groups=current_groups
+        )
+        predicted = float(
+            model.predict(current_obs, groups=current_groups).mean()
+        )
+        ceilings = hardware_ceilings(workload, skus[name], terminals)
+        assessments.append(
+            SKUAssessment(
+                sku=skus[name],
+                price=float(prices[name]),
+                predicted_throughput=predicted,
+                ceiling=float(ceilings.ceiling),
+                compute_bound=ceilings.compute_bound,
+            )
+        )
+    feasible = [a for a in assessments if a.meets(target_throughput)]
+    chosen = min(feasible, key=lambda a: a.price) if feasible else None
+    return Recommendation(
+        target_throughput=float(target_throughput),
+        assessments=tuple(assessments),
+        chosen=chosen,
+    )

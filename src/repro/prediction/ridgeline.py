@@ -1,0 +1,105 @@
+"""Ridgeline model: a two-dimensional Roofline (Checconi et al. [17]).
+
+The paper's future-work section proposes combining non-linear scaling
+strategies with multi-resource ceilings when SKUs vary along several
+dimensions (CPU *and* memory, network, ...).  The Ridgeline predictor
+models throughput as the minimum of per-resource attainable curves:
+
+    throughput(cpus, memory) = min(f_cpu(cpus), f_mem(memory), ceiling)
+
+where each per-resource curve is a concave scaling fit (linear in the
+resource and its square root) learned from configurations where that
+resource was the binding constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.linear import LinearRegression
+from repro.utils.validation import check_1d, check_consistent_length
+
+
+def _concave_design(values: np.ndarray) -> np.ndarray:
+    return np.column_stack([values, np.sqrt(values)])
+
+
+class RidgelinePredictor:
+    """Two-resource piecewise scaling model (CPU x memory).
+
+    Fit on observations spanning several (cpus, memory) configurations;
+    each per-resource curve is estimated from the observations where that
+    resource is (heuristically) the binding one: the bottom quantile of
+    throughput-per-unit-of-resource identifies configurations starved of
+    it.
+    """
+
+    def __init__(self, *, binding_quantile: float = 0.5):
+        if not 0.0 < binding_quantile <= 1.0:
+            raise ValidationError(
+                f"binding_quantile must be in (0, 1], got {binding_quantile}"
+            )
+        self.binding_quantile = binding_quantile
+
+    def fit(self, cpus, memory_gb, throughput) -> "RidgelinePredictor":
+        cpus = check_1d(cpus, "cpus")
+        memory_gb = check_1d(memory_gb, "memory_gb")
+        throughput = check_1d(throughput, "throughput")
+        check_consistent_length(cpus, memory_gb, throughput)
+        if np.unique(cpus).size < 2 or np.unique(memory_gb).size < 2:
+            raise ValidationError(
+                "need at least two distinct values per resource dimension"
+            )
+        self._cpu_curve = self._fit_resource_curve(cpus, memory_gb, throughput)
+        self._mem_curve = self._fit_resource_curve(memory_gb, cpus, throughput)
+        self.ceiling_ = float(throughput.max()) * 1.05
+        return self
+
+    def _fit_resource_curve(
+        self,
+        resource: np.ndarray,
+        other: np.ndarray,
+        throughput: np.ndarray,
+    ) -> LinearRegression:
+        """Fit throughput vs one resource on its binding configurations.
+
+        A configuration is treated as bound by ``resource`` when, among
+        configurations with the same ``resource`` value, it has ample
+        amounts of the *other* resource yet its throughput is low relative
+        to that other resource — i.e. adding more of the other resource
+        did not help.  Practically: keep, per resource level, the
+        observations with the highest ``other`` values (the other resource
+        is then not the constraint).
+        """
+        keep = np.zeros(resource.size, dtype=bool)
+        for level in np.unique(resource):
+            mask = resource == level
+            threshold = np.quantile(other[mask], 1.0 - self.binding_quantile)
+            keep |= mask & (other >= threshold)
+        model = LinearRegression()
+        model.fit(_concave_design(resource[keep]), throughput[keep])
+        return model
+
+    def predict(self, cpus, memory_gb) -> np.ndarray:
+        """Min of the per-resource attainable curves, capped."""
+        if not hasattr(self, "_cpu_curve"):
+            raise NotFittedError("RidgelinePredictor is not fitted")
+        cpus = check_1d(cpus, "cpus")
+        memory_gb = check_1d(memory_gb, "memory_gb")
+        check_consistent_length(cpus, memory_gb)
+        cpu_bound = self._cpu_curve.predict(_concave_design(cpus))
+        mem_bound = self._mem_curve.predict(_concave_design(memory_gb))
+        return np.minimum(
+            np.minimum(cpu_bound, mem_bound), self.ceiling_
+        )
+
+    def binding_resource(self, cpus: float, memory_gb: float) -> str:
+        """Which resource the model predicts is the constraint."""
+        prediction_cpu = float(
+            self._cpu_curve.predict(_concave_design(np.array([cpus])))[0]
+        )
+        prediction_mem = float(
+            self._mem_curve.predict(_concave_design(np.array([memory_gb])))[0]
+        )
+        return "cpu" if prediction_cpu <= prediction_mem else "memory"

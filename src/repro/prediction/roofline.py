@@ -1,0 +1,77 @@
+"""Roofline-augmented scaling prediction (Appendix B, Figure 12).
+
+A plain linear model extrapolates throughput past the hardware's
+performance ceiling; combining it with a Roofline-style cap produces the
+piecewise-linear predictor of Figure 12: linear while compute-bound, flat
+once a non-CPU resource (memory, IO) saturates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.linear import LinearRegression
+from repro.utils.validation import check_1d, check_consistent_length
+
+
+class RooflinePredictor:
+    """Linear throughput-vs-CPUs model capped by a performance ceiling.
+
+    Parameters
+    ----------
+    ceiling:
+        The non-CPU throughput bound.  When omitted, it is estimated at
+        fit time as the maximum observed throughput — appropriate when the
+        training data already includes at least one saturated
+        configuration (otherwise pass the known hardware ceiling, e.g.
+        from :func:`repro.workloads.engine.roofline.hardware_ceilings`).
+    """
+
+    def __init__(self, ceiling: float | None = None):
+        if ceiling is not None and ceiling <= 0:
+            raise ValidationError(f"ceiling must be positive, got {ceiling}")
+        self.ceiling = ceiling
+
+    def fit(self, cpus, throughput) -> "RooflinePredictor":
+        cpus = check_1d(cpus, "cpus")
+        throughput = check_1d(throughput, "throughput")
+        check_consistent_length(cpus, throughput)
+        self._linear = LinearRegression()
+        if self.ceiling is None:
+            self.ceiling_ = float(throughput.max())
+            # Fit the compute-bound region only: points at the ceiling are
+            # saturated and would flatten the linear part's slope.
+            mask = throughput < 0.97 * self.ceiling_
+            if mask.sum() >= 2:
+                self._linear.fit(cpus[mask].reshape(-1, 1), throughput[mask])
+            else:
+                self._linear.fit(cpus.reshape(-1, 1), throughput)
+        else:
+            self.ceiling_ = float(self.ceiling)
+            mask = throughput < 0.97 * self.ceiling_
+            if mask.sum() >= 2:
+                self._linear.fit(cpus[mask].reshape(-1, 1), throughput[mask])
+            else:
+                self._linear.fit(cpus.reshape(-1, 1), throughput)
+        return self
+
+    def predict_linear(self, cpus) -> np.ndarray:
+        """The uncapped linear extrapolation (the red line in Figure 12)."""
+        if not hasattr(self, "_linear"):
+            raise NotFittedError("RooflinePredictor is not fitted")
+        cpus = check_1d(cpus, "cpus")
+        return self._linear.predict(cpus.reshape(-1, 1))
+
+    def predict(self, cpus) -> np.ndarray:
+        """The piecewise-linear prediction (the blue line in Figure 12)."""
+        return np.minimum(self.predict_linear(cpus), self.ceiling_)
+
+    def saturation_point(self) -> float:
+        """CPU count where the linear model meets the ceiling."""
+        if not hasattr(self, "_linear"):
+            raise NotFittedError("RooflinePredictor is not fitted")
+        slope = float(self._linear.coef_[0])
+        if slope <= 1e-9 * max(self.ceiling_, 1.0):
+            return float("inf")
+        return (self.ceiling_ - self._linear.intercept_) / slope

@@ -1,0 +1,138 @@
+"""Bootstrap confidence intervals for scaling predictions.
+
+Figure 8 of the paper shades the confidence interval of each scaling
+model's prediction.  This module provides a model-agnostic bootstrap: the
+training pairs are resampled with replacement, the model refitted, and the
+spread of the refitted predictions at the query points forms the interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.prediction.context import PairwiseScalingModel, SingleScalingModel
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_1d, check_consistent_length
+
+
+@dataclass(frozen=True)
+class PredictionInterval:
+    """Point predictions with bootstrap bounds at one confidence level."""
+
+    prediction: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    confidence: float
+
+    @property
+    def width(self) -> np.ndarray:
+        """Interval widths per query point."""
+        return self.upper - self.lower
+
+    def contains(self, values) -> np.ndarray:
+        """Element-wise membership of ``values`` in the interval."""
+        values = np.asarray(values, dtype=float)
+        return (values >= self.lower) & (values <= self.upper)
+
+
+def _validate(confidence: float, n_bootstrap: int) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if n_bootstrap < 10:
+        raise ValidationError(
+            f"n_bootstrap must be >= 10, got {n_bootstrap}"
+        )
+
+
+def pairwise_prediction_interval(
+    strategy: str,
+    y_source,
+    y_target,
+    query,
+    *,
+    groups=None,
+    confidence: float = 0.9,
+    n_bootstrap: int = 200,
+    random_state: RandomState = 0,
+) -> PredictionInterval:
+    """Bootstrap interval for a pairwise scaling model's predictions.
+
+    ``query`` holds source-SKU performance values at which predictions
+    (and their uncertainty) are wanted.
+    """
+    _validate(confidence, n_bootstrap)
+    y_source = check_1d(y_source, "y_source")
+    y_target = check_1d(y_target, "y_target")
+    check_consistent_length(y_source, y_target)
+    query = check_1d(query, "query")
+    rng = as_generator(random_state)
+
+    reference = PairwiseScalingModel(strategy, random_state=0)
+    reference.fit(y_source, y_target, groups=groups)
+    point = reference.predict(query)
+
+    n = y_source.size
+    replicates = np.empty((n_bootstrap, query.size))
+    for b in range(n_bootstrap):
+        rows = rng.integers(0, n, size=n)
+        model = PairwiseScalingModel(strategy, random_state=0)
+        resampled_groups = (
+            None if groups is None else np.asarray(groups)[rows]
+        )
+        model.fit(y_source[rows], y_target[rows], groups=resampled_groups)
+        replicates[b] = model.predict(query)
+    alpha = (1.0 - confidence) / 2.0
+    return PredictionInterval(
+        prediction=point,
+        lower=np.quantile(replicates, alpha, axis=0),
+        upper=np.quantile(replicates, 1.0 - alpha, axis=0),
+        confidence=confidence,
+    )
+
+
+def single_prediction_interval(
+    strategy: str,
+    cpus,
+    throughput,
+    query_cpus,
+    *,
+    groups=None,
+    confidence: float = 0.9,
+    n_bootstrap: int = 200,
+    random_state: RandomState = 0,
+) -> PredictionInterval:
+    """Bootstrap interval for a single-context scaling model (Figure 8a)."""
+    _validate(confidence, n_bootstrap)
+    cpus = check_1d(cpus, "cpus")
+    throughput = check_1d(throughput, "throughput")
+    check_consistent_length(cpus, throughput)
+    query_cpus = check_1d(query_cpus, "query_cpus")
+    rng = as_generator(random_state)
+
+    reference = SingleScalingModel(strategy, random_state=0)
+    reference.fit(cpus, throughput, groups=groups)
+    query_groups = None if groups is None else np.zeros(query_cpus.size)
+    point = reference.predict(query_cpus, groups=query_groups)
+
+    n = cpus.size
+    replicates = np.empty((n_bootstrap, query_cpus.size))
+    for b in range(n_bootstrap):
+        rows = rng.integers(0, n, size=n)
+        model = SingleScalingModel(strategy, random_state=0)
+        resampled_groups = (
+            None if groups is None else np.asarray(groups)[rows]
+        )
+        model.fit(cpus[rows], throughput[rows], groups=resampled_groups)
+        replicates[b] = model.predict(query_cpus, groups=query_groups)
+    alpha = (1.0 - confidence) / 2.0
+    return PredictionInterval(
+        prediction=point,
+        lower=np.quantile(replicates, alpha, axis=0),
+        upper=np.quantile(replicates, 1.0 - alpha, axis=0),
+        confidence=confidence,
+    )

@@ -1,0 +1,146 @@
+"""Plain-text rendering of pipeline results (tables, bars, matrices).
+
+The benchmarks, CLI, and examples all print tabular results; this module
+centralizes the formatting so output stays consistent and terminal-only
+environments (CI logs, SSH sessions) get readable reports without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+    align_first_left: bool = True,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_format``; everything else through
+    ``str``.  The first column is left-aligned (labels), the rest right-
+    aligned (numbers), unless ``align_first_left`` is False.
+    """
+    if not headers:
+        raise ValidationError("headers must not be empty")
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} headers"
+            )
+        cells = []
+        for value in row:
+            if isinstance(value, float) or isinstance(value, np.floating):
+                cells.append(float_format.format(float(value)))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(line[column]) for line in rendered)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for line_index, line in enumerate(rendered):
+        parts = []
+        for column, cell in enumerate(line):
+            if column == 0 and align_first_left:
+                parts.append(cell.ljust(widths[column]))
+            else:
+                parts.append(cell.rjust(widths[column]))
+        lines.append("  ".join(parts))
+        if line_index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_bars(
+    items: dict[str, float],
+    *,
+    width: int = 40,
+    value_format: str = "{:.3f}",
+    max_value: float | None = None,
+) -> str:
+    """Render a horizontal bar chart with unicode blocks.
+
+    Bars scale to the largest value (or ``max_value``); a similarity
+    ranking printed this way reads like the paper's bar figures.
+    """
+    if not items:
+        raise ValidationError("items must not be empty")
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    values = {k: float(v) for k, v in items.items()}
+    if any(v < 0 for v in values.values()):
+        raise ValidationError("bar values must be non-negative")
+    peak = max_value if max_value is not None else max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        filled = int(round(min(value / peak, 1.0) * width))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(
+            f"{key.ljust(label_width)}  {bar}  {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def format_error_bars(
+    stats: dict[str, tuple[float, float]],
+    *,
+    width: int = 40,
+) -> str:
+    """Render mean±std pairs as bars with a deviation marker.
+
+    ``stats`` maps label -> (mean, std), the shape produced by
+    :func:`repro.similarity.pairwise_workload_distances`.
+    """
+    if not stats:
+        raise ValidationError("stats must not be empty")
+    peak = max(mean + std for mean, std in stats.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in stats)
+    lines = []
+    for key, (mean, std) in stats.items():
+        center = min(int(round(min(mean / peak, 1.0) * width)), width - 1)
+        spread = int(round(min(std / peak, 1.0) * width))
+        bar = list("·" * width)
+        for i in range(max(0, center - spread), min(width, center + spread + 1)):
+            bar[i] = "─"
+        if 0 <= center < width:
+            bar[center] = "█"
+        lines.append(
+            f"{key.ljust(label_width)}  {''.join(bar)}  "
+            f"{mean:.3f} ± {std:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_matrix(
+    labels: Sequence[str],
+    matrix,
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a square matrix (e.g. workload distances) with labels."""
+    M = np.asarray(matrix, dtype=float)
+    if M.ndim != 2 or M.shape[0] != M.shape[1]:
+        raise ValidationError("matrix must be square")
+    if len(labels) != M.shape[0]:
+        raise ValidationError("labels must match the matrix dimension")
+    headers = ["", *labels]
+    rows = [
+        [label, *[float(v) for v in M[i]]]
+        for i, label in enumerate(labels)
+    ]
+    return format_table(headers, rows, float_format=float_format)

@@ -1,0 +1,107 @@
+"""Workload clustering on top of similarity distances.
+
+The pipeline's similarity stage exists so providers can *group* workloads
+and train predictors per group instead of per deployment (Section 2).
+This module turns a distance matrix from
+:func:`repro.similarity.evaluation.distance_matrix` into workload groups
+and scores how well the groups recover ground-truth workload identities
+or types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.cluster import KMedoids, agglomerative_labels
+from repro.utils.rng import RandomState
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Cluster assignment of a corpus of experiments."""
+
+    labels: np.ndarray  # cluster index per experiment
+    method: str
+    n_clusters: int
+
+    def groups(self, names) -> dict[int, list[str]]:
+        """Map cluster index -> member identifiers."""
+        names = list(names)
+        if len(names) != self.labels.size:
+            raise ValidationError("names must align with the labels")
+        out: dict[int, list[str]] = {}
+        for label, name in zip(self.labels, names):
+            out.setdefault(int(label), []).append(name)
+        return out
+
+
+def cluster_workloads(
+    D,
+    n_clusters: int,
+    *,
+    method: str = "agglomerative",
+    linkage: str = "average",
+    random_state: RandomState = 0,
+) -> ClusteringResult:
+    """Cluster experiments from their pairwise distances.
+
+    ``method`` is ``"agglomerative"`` (default; deterministic) or
+    ``"kmedoids"``.
+    """
+    D = np.asarray(D, dtype=float)
+    if method == "agglomerative":
+        labels = agglomerative_labels(D, n_clusters, linkage=linkage)
+    elif method == "kmedoids":
+        model = KMedoids(n_clusters, random_state=random_state).fit(D)
+        labels = model.labels_
+    else:
+        raise ValidationError(
+            f"unknown method {method!r}; use 'agglomerative' or 'kmedoids'"
+        )
+    return ClusteringResult(
+        labels=np.asarray(labels), method=method, n_clusters=n_clusters
+    )
+
+
+def cluster_purity(cluster_labels, true_labels) -> float:
+    """Fraction of experiments in their cluster's majority class."""
+    cluster_labels = np.asarray(cluster_labels)
+    true_labels = np.asarray(true_labels)
+    if cluster_labels.size != true_labels.size or cluster_labels.size == 0:
+        raise ValidationError("label arrays must align and be non-empty")
+    correct = 0
+    for cluster in np.unique(cluster_labels):
+        members = true_labels[cluster_labels == cluster]
+        _, counts = np.unique(members, return_counts=True)
+        correct += int(counts.max())
+    return correct / cluster_labels.size
+
+
+def adjusted_rand_index(labels_a, labels_b) -> float:
+    """Adjusted Rand index between two clusterings (1 = identical)."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.size != b.size or a.size == 0:
+        raise ValidationError("label arrays must align and be non-empty")
+    classes_a, a_codes = np.unique(a, return_inverse=True)
+    classes_b, b_codes = np.unique(b, return_inverse=True)
+    contingency = np.zeros((classes_a.size, classes_b.size), dtype=np.int64)
+    np.add.at(contingency, (a_codes, b_codes), 1)
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(contingency).sum()
+    sum_rows = comb2(contingency.sum(axis=1)).sum()
+    sum_cols = comb2(contingency.sum(axis=0)).sum()
+    total = comb2(a.size)
+    if total == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / total
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))

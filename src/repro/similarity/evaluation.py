@@ -1,0 +1,201 @@
+"""Similarity-method evaluation along the paper's three axes (Section 5.2).
+
+- **Reliability** — does the method find the most similar workload run?
+  Measured by 1-NN workload-identification accuracy and mean Average
+  Precision over the per-experiment similarity rankings.
+- **Discrimination power** — NDCG with graded relevance: another run of
+  the same workload gains 2, a workload of the same type gains 1,
+  anything else 0.
+- **Robustness** — the spread (standard error) of normalized distances
+  between repeated runs of the same workload pair; small bars in
+  Figures 5/6 mean a robust method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ml.metrics import mean_average_precision, ndcg
+from repro.similarity.measures import MeasureSpec
+from repro.similarity.representations import RepresentationBuilder
+
+
+def representation_matrices(
+    corpus,
+    builder: RepresentationBuilder,
+    representation: str,
+    *,
+    features=None,
+) -> list[np.ndarray]:
+    """Build one representation matrix per experiment in the corpus."""
+    matrices = [
+        builder.build(result, representation, features=features)
+        for result in corpus
+    ]
+    if not matrices:
+        raise ValidationError("corpus must not be empty")
+    return matrices
+
+
+def distance_matrix(
+    matrices: list[np.ndarray], measure: MeasureSpec
+) -> np.ndarray:
+    """Symmetric pairwise distance matrix over representation matrices.
+
+    MTS windows can differ in length between experiments; norm measures
+    need aligned shapes, so pairs are truncated to their common prefix.
+    Elastic measures (DTW/LCSS) handle unequal lengths natively.
+    """
+    n = len(matrices)
+    D = np.zeros((n, n))
+    elastic = measure.name.endswith(("DTW", "LCSS"))
+    for i in range(n):
+        for j in range(i + 1, n):
+            A, B = matrices[i], matrices[j]
+            if not elastic and A.shape != B.shape:
+                rows = min(A.shape[0], B.shape[0])
+                if A.shape[1] != B.shape[1]:
+                    raise ValidationError(
+                        "representations have different feature dimensions"
+                    )
+                A, B = A[:rows], B[:rows]
+            D[i, j] = D[j, i] = measure(A, B)
+    return D
+
+
+def normalized_distances(D: np.ndarray) -> np.ndarray:
+    """Scale distances to [0, 1] by the largest off-diagonal entry."""
+    D = np.asarray(D, dtype=float)
+    off_diag = D[~np.eye(D.shape[0], dtype=bool)]
+    peak = float(off_diag.max()) if off_diag.size else 0.0
+    return D / peak if peak > 0 else D.copy()
+
+
+def knn_accuracy(D: np.ndarray, labels) -> float:
+    """1-NN workload identification accuracy over the distance matrix."""
+    labels = np.asarray(labels)
+    n = D.shape[0]
+    if n != labels.size:
+        raise ValidationError("labels must align with the distance matrix")
+    if n < 2:
+        raise ValidationError("need at least two experiments for 1-NN")
+    correct = 0
+    masked = D.copy()
+    np.fill_diagonal(masked, np.inf)
+    nearest = np.argmin(masked, axis=1)
+    correct = int(np.sum(labels[nearest] == labels))
+    return correct / n
+
+
+def _ranked_indices(D: np.ndarray, query: int) -> np.ndarray:
+    order = np.argsort(D[query], kind="stable")
+    return order[order != query]
+
+
+def ranking_mean_average_precision(D: np.ndarray, labels) -> float:
+    """mAP of per-experiment similarity rankings (relevant = same workload)."""
+    labels = np.asarray(labels)
+    relevance_lists = []
+    for query in range(D.shape[0]):
+        ranked = _ranked_indices(D, query)
+        relevance_lists.append(labels[ranked] == labels[query])
+    return mean_average_precision(relevance_lists)
+
+
+def ranking_ndcg(D: np.ndarray, labels, types) -> float:
+    """Mean NDCG with graded gains (same workload 2, same type 1, else 0)."""
+    labels = np.asarray(labels)
+    types = np.asarray(types)
+    if labels.size != types.size or labels.size != D.shape[0]:
+        raise ValidationError("labels/types must align with the distance matrix")
+    scores = []
+    for query in range(D.shape[0]):
+        ranked = _ranked_indices(D, query)
+        gains = np.where(
+            labels[ranked] == labels[query],
+            2.0,
+            np.where(types[ranked] == types[query], 1.0, 0.0),
+        )
+        scores.append(ndcg(gains))
+    return float(np.mean(scores))
+
+
+def pairwise_workload_distances(
+    D: np.ndarray, labels, *, normalize: bool = True
+) -> dict[tuple[str, str], tuple[float, float]]:
+    """Mean and std of (normalized) distances per workload pair.
+
+    This is the data behind the similarity bar charts (Figures 5, 6, 7,
+    and 10): for each ordered pair ``(a, b)`` the value aggregates all
+    cross-run distances between experiments of workload ``a`` and ``b``
+    (self-pairs exclude the zero diagonal).
+    """
+    labels = np.asarray(labels)
+    matrix = normalized_distances(D) if normalize else np.asarray(D, float)
+    names = list(dict.fromkeys(labels.tolist()))
+    stats: dict[tuple[str, str], tuple[float, float]] = {}
+    for a in names:
+        rows = np.flatnonzero(labels == a)
+        for b in names:
+            cols = np.flatnonzero(labels == b)
+            block = matrix[np.ix_(rows, cols)]
+            if a == b:
+                mask = ~np.eye(len(rows), dtype=bool)
+                values = block[mask]
+            else:
+                values = block.ravel()
+            if values.size == 0:
+                continue
+            stats[(a, b)] = (float(values.mean()), float(values.std()))
+    return stats
+
+
+@dataclass(frozen=True)
+class SimilarityEvaluation:
+    """Scores of one (representation, measure, feature-set) combination."""
+
+    representation: str
+    measure: str
+    n_features: int
+    knn_accuracy: float
+    mean_average_precision: float
+    ndcg: float
+
+    @property
+    def perfect_reliability(self) -> bool:
+        """True when the method achieves perfect 1-NN prediction."""
+        return self.knn_accuracy >= 1.0
+
+
+def evaluate_measure(
+    corpus,
+    builder: RepresentationBuilder,
+    representation: str,
+    measure: MeasureSpec,
+    *,
+    features=None,
+) -> SimilarityEvaluation:
+    """Full evaluation of one method combination on a corpus."""
+    if representation not in measure.representations:
+        raise ValidationError(
+            f"measure {measure.name!r} does not support representation "
+            f"{representation!r}"
+        )
+    matrices = representation_matrices(
+        corpus, builder, representation, features=features
+    )
+    D = distance_matrix(matrices, measure)
+    labels = [r.workload_name for r in corpus]
+    types = [r.workload_type for r in corpus]
+    n_features = matrices[0].shape[1]
+    return SimilarityEvaluation(
+        representation=representation,
+        measure=measure.name,
+        n_features=n_features,
+        knn_accuracy=knn_accuracy(D, labels),
+        mean_average_precision=ranking_mean_average_precision(D, labels),
+        ndcg=ranking_ndcg(D, labels, types),
+    )

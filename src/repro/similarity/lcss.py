@@ -1,0 +1,98 @@
+"""Longest common sub-sequence distances (Hirschberg [45]).
+
+LCSS counts the longest alignment of samples that match within an
+``epsilon`` tolerance and a ``delta`` time window, and converts it to a
+distance ``1 - LCSS / min(m, n)``.  The dependent variant requires all
+dimensions of a multivariate sample to match simultaneously; the
+independent variant averages per-dimension LCSS distances [83].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _lcss_length(
+    A: np.ndarray, B: np.ndarray, epsilon: float, delta: int | None
+) -> int:
+    """Length of the longest epsilon/delta-constrained common subsequence.
+
+    ``A`` and ``B`` are ``(time, features)``; a pair matches when every
+    dimension differs by at most ``epsilon``.  The dynamic program runs
+    along anti-diagonals so each step is a vectorized max (the similarity
+    benchmarks evaluate thousands of pairs).
+    """
+    m, n = A.shape[0], B.shape[0]
+    matches = np.all(
+        np.abs(A[:, None, :] - B[None, :, :]) <= epsilon, axis=2
+    )
+    if delta is not None:
+        i_idx = np.arange(m)[:, None]
+        j_idx = np.arange(n)[None, :]
+        matches = matches & (np.abs(i_idx - j_idx) <= delta)
+    table = np.zeros((m + 1, n + 1), dtype=int)
+    for diagonal in range(2, m + n + 1):
+        i_low = max(1, diagonal - n)
+        i_high = min(m, diagonal - 1)
+        if i_low > i_high:
+            continue
+        i = np.arange(i_low, i_high + 1)
+        j = diagonal - i
+        extended = table[i - 1, j - 1] + 1
+        skipped = np.maximum(table[i - 1, j], table[i, j - 1])
+        table[i, j] = np.where(matches[i - 1, j - 1], extended, skipped)
+    return int(table[m, n])
+
+
+def _as_matrix(values, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise ValidationError(f"{name} must be a non-empty (time, features) matrix")
+    return arr
+
+
+def lcss_distance(a, b, *, epsilon: float = 0.1, delta: int | None = None) -> float:
+    """Univariate LCSS distance in [0, 1] (0 = one contains the other)."""
+    A = _as_matrix(a, "a")
+    B = _as_matrix(b, "b")
+    if A.shape[1] != 1 or B.shape[1] != 1:
+        raise ValidationError("lcss_distance expects univariate series")
+    if epsilon < 0:
+        raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+    length = _lcss_length(A, B, epsilon, delta)
+    return 1.0 - length / min(A.shape[0], B.shape[0])
+
+
+def multivariate_lcss(
+    A,
+    B,
+    *,
+    strategy: str = "dependent",
+    epsilon: float = 0.1,
+    delta: int | None = None,
+) -> float:
+    """Multivariate LCSS distance between ``(time, features)`` matrices."""
+    A = _as_matrix(A, "A")
+    B = _as_matrix(B, "B")
+    if A.shape[1] != B.shape[1]:
+        raise ValidationError(
+            f"feature dimensions differ: {A.shape[1]} vs {B.shape[1]}"
+        )
+    if epsilon < 0:
+        raise ValidationError(f"epsilon must be >= 0, got {epsilon}")
+    if strategy == "dependent":
+        length = _lcss_length(A, B, epsilon, delta)
+        return 1.0 - length / min(A.shape[0], B.shape[0])
+    if strategy == "independent":
+        distances = [
+            lcss_distance(A[:, k], B[:, k], epsilon=epsilon, delta=delta)
+            for k in range(A.shape[1])
+        ]
+        return float(np.mean(distances))
+    raise ValidationError(
+        f"strategy must be 'dependent' or 'independent', got {strategy!r}"
+    )

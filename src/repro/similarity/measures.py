@@ -1,0 +1,88 @@
+"""Registry of similarity measures and the representations they fit.
+
+Norm-based measures apply to any same-shape representation (MTS windows,
+Hist-FP, Phase-FP); the elastic measures (DTW, LCSS) exploit temporal
+ordering and therefore only apply to MTS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.similarity.dtw import multivariate_dtw
+from repro.similarity.lcss import multivariate_lcss
+from repro.similarity.norms import NORMS
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """A named distance measure plus the representations it supports."""
+
+    name: str
+    func: Callable[[np.ndarray, np.ndarray], float]
+    representations: tuple[str, ...]
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> float:
+        return self.func(A, B)
+
+
+def _dtw_dependent(A, B):
+    return multivariate_dtw(A, B, strategy="dependent")
+
+
+def _dtw_independent(A, B):
+    return multivariate_dtw(A, B, strategy="independent")
+
+
+def _lcss_dependent(A, B):
+    return multivariate_lcss(A, B, strategy="dependent", epsilon=0.15)
+
+
+def _lcss_independent(A, B):
+    return multivariate_lcss(A, B, strategy="independent", epsilon=0.15)
+
+
+def measure_registry() -> dict[str, MeasureSpec]:
+    """All measures of Section 5.1.2, keyed by display name."""
+    registry: dict[str, MeasureSpec] = {}
+    for name, func in NORMS.items():
+        registry[name] = MeasureSpec(
+            name=name, func=func, representations=("mts", "hist", "phase")
+        )
+    registry["Dependent-DTW"] = MeasureSpec(
+        "Dependent-DTW", _dtw_dependent, ("mts",)
+    )
+    registry["Independent-DTW"] = MeasureSpec(
+        "Independent-DTW", _dtw_independent, ("mts",)
+    )
+    registry["Dependent-LCSS"] = MeasureSpec(
+        "Dependent-LCSS", _lcss_dependent, ("mts",)
+    )
+    registry["Independent-LCSS"] = MeasureSpec(
+        "Independent-LCSS", _lcss_independent, ("mts",)
+    )
+    return registry
+
+
+def get_measure(name: str) -> MeasureSpec:
+    """Look up one measure by name."""
+    registry = measure_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown measure {name!r}; known: {sorted(registry)}"
+        ) from None
+
+
+def default_measures(representation: str) -> list[MeasureSpec]:
+    """Measures applicable to a representation, in registry order."""
+    return [
+        spec
+        for spec in measure_registry().values()
+        if representation in spec.representations
+    ]

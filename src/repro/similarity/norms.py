@@ -1,0 +1,97 @@
+"""Matrix-norm distances between same-shape workload representations.
+
+The paper deploys the L1,1, L2,1, Frobenius, Canberra, Chi-square, and
+Correlation norms (Section 5.1.2).  All functions take two matrices of the
+same shape — Hist-FP/Phase-FP fingerprints or aligned MTS windows — and
+return a non-negative scalar distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def _pair(A, B) -> tuple[np.ndarray, np.ndarray]:
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    if A.shape != B.shape:
+        raise ValidationError(
+            f"matrices must share a shape, got {A.shape} vs {B.shape}"
+        )
+    if A.size == 0:
+        raise ValidationError("matrices must not be empty")
+    if A.ndim == 1:
+        A = A[:, None]
+        B = B[:, None]
+    return A, B
+
+
+def l11_distance(A, B) -> float:
+    """L1,1 norm of the difference: sum of absolute entry differences."""
+    A, B = _pair(A, B)
+    return float(np.sum(np.abs(A - B)))
+
+
+def l21_distance(A, B) -> float:
+    """L2,1 norm of the difference: sum of column-wise Euclidean norms."""
+    A, B = _pair(A, B)
+    return float(np.sum(np.linalg.norm(A - B, axis=0)))
+
+
+def frobenius_distance(A, B) -> float:
+    """Frobenius norm of the difference."""
+    A, B = _pair(A, B)
+    return float(np.linalg.norm(A - B))
+
+
+def canberra_distance(A, B) -> float:
+    """Canberra distance: sum of |a-b| / (|a|+|b|), zero-safe."""
+    A, B = _pair(A, B)
+    numerator = np.abs(A - B)
+    denominator = np.abs(A) + np.abs(B)
+    mask = denominator > 0
+    return float(np.sum(numerator[mask] / denominator[mask]))
+
+
+def chi2_distance(A, B) -> float:
+    """Chi-square histogram distance: 0.5 * sum (a-b)^2 / (a+b).
+
+    Intended for non-negative representations (histograms); magnitudes are
+    used in the denominator so the function stays defined on raw telemetry.
+    """
+    A, B = _pair(A, B)
+    numerator = (A - B) ** 2
+    denominator = np.abs(A) + np.abs(B)
+    mask = denominator > 0
+    return float(0.5 * np.sum(numerator[mask] / denominator[mask]))
+
+
+def correlation_distance(A, B) -> float:
+    """1 - Pearson correlation of the flattened matrices (in [0, 2])."""
+    A, B = _pair(A, B)
+    a = A.ravel()
+    b = B.ravel()
+    a_std = a.std()
+    b_std = b.std()
+    if a_std == 0 or b_std == 0:
+        # A constant representation correlates with nothing; treat equal
+        # matrices as identical and anything else as maximally unrelated.
+        return 0.0 if np.array_equal(a, b) else 1.0
+    correlation = float(
+        np.mean((a - a.mean()) * (b - b.mean())) / (a_std * b_std)
+    )
+    # Clamp float dust: perfectly correlated inputs must yield exactly 0.
+    return max(0.0, 1.0 - correlation)
+
+
+#: Registry of norm names used across the Section 5 experiments.
+NORMS = {
+    "L2,1": l21_distance,
+    "L1,1": l11_distance,
+    "Fro": frobenius_distance,
+    "Canb": canberra_distance,
+    "Chi2": chi2_distance,
+    "Corr": correlation_distance,
+}

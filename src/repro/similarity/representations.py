@@ -1,0 +1,260 @@
+"""Workload data representations: MTS, Hist-FP, and Phase-FP.
+
+All representations normalize every feature to [0, 1] using *corpus-wide*
+ranges (fit once over all experiments being compared, per Section 4.3),
+then encode each experiment as a fixed-shape matrix:
+
+- **MTS**: the normalized resource time-series window itself — only
+  resource features are temporal, so plan features are ignored here.
+- **Hist-FP** (Appendix A, Table 8): per feature, an equi-width cumulative
+  frequency histogram over the experiment's raw observations.  Cumulative
+  bins make entry-wise distances respect histogram *shape* proximity.
+- **Phase-FP** (Appendix A, Table 9): per feature, summary statistics
+  (mean/median/variance) of each phase found by Bayesian change-point
+  detection, zero-padded to a fixed phase count.  Plan features have a
+  single phase by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.similarity.changepoint import bayesian_changepoints, segment_bounds
+from repro.workloads.features import ALL_FEATURES, RESOURCE_FEATURES
+from repro.workloads.runner import ExperimentResult
+
+_PHASE_STATS = ("mean", "median", "variance")
+
+
+def equi_width_cumulative_histogram(
+    values, n_bins: int, *, low: float | None = None, high: float | None = None
+) -> np.ndarray:
+    """Equi-width cumulative relative-frequency histogram (Appendix A).
+
+    Splits ``[low, high]`` (defaults to the sample min/max) into ``n_bins``
+    equal bins, counts relative frequencies, and accumulates them — the
+    Hist-FP encoding of Table 8.  Values outside the range clip into the
+    edge bins.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValidationError("values must not be empty")
+    if n_bins < 1:
+        raise ValidationError(f"n_bins must be >= 1, got {n_bins}")
+    lo = float(arr.min()) if low is None else float(low)
+    hi = float(arr.max()) if high is None else float(high)
+    if hi <= lo:
+        # All mass in the first bin; cumulative distribution is all ones.
+        return np.ones(n_bins)
+    clipped = np.clip(arr, lo, hi)
+    counts, _ = np.histogram(clipped, bins=n_bins, range=(lo, hi))
+    return np.cumsum(counts / arr.size)
+
+
+def _stat(values: np.ndarray, stat: str) -> float:
+    if stat == "mean":
+        return float(values.mean())
+    if stat == "median":
+        return float(np.median(values))
+    if stat == "variance":
+        return float(values.var())
+    raise ValidationError(f"unknown phase statistic {stat!r}")
+
+
+class RepresentationBuilder:
+    """Builds comparable representations for a corpus of experiments.
+
+    Parameters
+    ----------
+    feature_names:
+        The telemetry features available to representations (defaults to
+        all 29); similarity callers typically pass a top-k selection here
+        or to the per-call ``features`` argument.
+    n_bins:
+        Histogram resolution for Hist-FP (the paper's default is 10).
+    max_phases:
+        Fixed phase count Phase-FP pads to.
+    phase_stats:
+        Which statistics summarize each phase.
+    """
+
+    def __init__(
+        self,
+        feature_names: tuple[str, ...] = ALL_FEATURES,
+        *,
+        n_bins: int = 10,
+        max_phases: int = 4,
+        phase_stats: tuple[str, ...] = _PHASE_STATS,
+        changepoint_hazard: float = 1.0 / 20.0,
+    ):
+        if n_bins < 2:
+            raise ValidationError(f"n_bins must be >= 2, got {n_bins}")
+        if max_phases < 1:
+            raise ValidationError(f"max_phases must be >= 1, got {max_phases}")
+        unknown = [s for s in phase_stats if s not in _PHASE_STATS]
+        if unknown:
+            raise ValidationError(f"unknown phase statistics: {unknown}")
+        self.feature_names = tuple(feature_names)
+        self.n_bins = n_bins
+        self.max_phases = max_phases
+        self.phase_stats = tuple(phase_stats)
+        self.changepoint_hazard = changepoint_hazard
+
+    # -- fitting ----------------------------------------------------------------
+    #: Dynamic-range ratio beyond which a feature is log-scaled before
+    #: normalization.  Telemetry such as memory grants and row counts spans
+    #: many orders of magnitude across workloads; on a linear scale an
+    #: equi-width histogram collapses all low-end workloads into bin 0,
+    #: destroying resolution exactly where it is needed.
+    LOG_SCALE_RATIO = 1e3
+
+    def fit(self, corpus) -> "RepresentationBuilder":
+        """Learn corpus-wide [min, max] ranges (and scales) per feature."""
+        self._ranges: dict[str, tuple[float, float]] = {}
+        self._log_floor: dict[str, float | None] = {}
+        experiments = list(corpus)
+        if not experiments:
+            raise ValidationError("corpus must contain at least one experiment")
+        for name in self.feature_names:
+            low, high = np.inf, -np.inf
+            for result in experiments:
+                samples = result.feature_samples(name)
+                low = min(low, float(samples.min()))
+                high = max(high, float(samples.max()))
+            # Soft floor: values are measured against a millionth of the
+            # feature's peak, so the dynamic-range test and the log
+            # transform behave identically for features living at 1e-3 and
+            # at 1e+6 absolute scale.
+            floor = max(high * 1e-6, 1e-12)
+            use_log = low >= 0.0 and (high + floor) / (low + floor) > (
+                self.LOG_SCALE_RATIO
+            )
+            self._log_floor[name] = floor if use_log else None
+            if use_log:
+                low = float(np.log1p(low / floor))
+                high = float(np.log1p(high / floor))
+            self._ranges[name] = (low, high)
+        return self
+
+    def _normalize(self, values: np.ndarray, name: str) -> np.ndarray:
+        if not hasattr(self, "_ranges"):
+            raise NotFittedError(
+                "RepresentationBuilder is not fitted; call fit(corpus) first"
+            )
+        try:
+            low, high = self._ranges[name]
+        except KeyError:
+            raise ValidationError(
+                f"feature {name!r} was not part of the fitted feature set"
+            ) from None
+        floor = self._log_floor[name]
+        if floor is not None:
+            values = np.log1p(np.maximum(values, 0.0) / floor)
+        if high <= low:
+            return np.zeros_like(values)
+        return np.clip((values - low) / (high - low), 0.0, 1.0)
+
+    def _select(self, features) -> tuple[str, ...]:
+        if features is None:
+            return self.feature_names
+        selected = tuple(features)
+        unknown = [f for f in selected if f not in self._ranges]
+        if unknown:
+            raise ValidationError(
+                f"features not covered by the fitted builder: {unknown}"
+            )
+        return selected
+
+    # -- representations -----------------------------------------------------------
+    def mts(
+        self, result: ExperimentResult, *, features=None
+    ) -> np.ndarray:
+        """Normalized resource time-series window, shape ``(time, k)``.
+
+        Only resource features among ``features`` are used — plan
+        statistics are not temporal (the paper's MTS experiments are
+        resource-only for the same reason).
+        """
+        names = [
+            f for f in self._select(features) if f in RESOURCE_FEATURES
+        ]
+        if not names:
+            raise ValidationError(
+                "MTS requires at least one resource feature in the selection"
+            )
+        columns = [
+            self._normalize(result.feature_samples(name), name)
+            for name in names
+        ]
+        return np.column_stack(columns)
+
+    def hist_fp(
+        self, result: ExperimentResult, *, features=None, cumulative: bool = True
+    ) -> np.ndarray:
+        """Histogram fingerprint, shape ``(n_bins, k)``.
+
+        Each column is the relative frequency histogram of one feature's
+        normalized observations; with ``cumulative=True`` (the paper's
+        choice) bins hold the cumulative distribution instead.
+        """
+        names = self._select(features)
+        fingerprint = np.empty((self.n_bins, len(names)))
+        for j, name in enumerate(names):
+            normalized = self._normalize(result.feature_samples(name), name)
+            if cumulative:
+                fingerprint[:, j] = equi_width_cumulative_histogram(
+                    normalized, self.n_bins, low=0.0, high=1.0
+                )
+            else:
+                counts, _ = np.histogram(
+                    normalized, bins=self.n_bins, range=(0.0, 1.0)
+                )
+                fingerprint[:, j] = counts / max(normalized.size, 1)
+        return fingerprint
+
+    def phase_fp(
+        self, result: ExperimentResult, *, features=None
+    ) -> np.ndarray:
+        """Phase-level statistical fingerprint, shape ``(stats*phases, k)``.
+
+        Resource features are segmented with BCPD; plan features form a
+        single phase.  Features with fewer phases than ``max_phases`` are
+        zero-padded so all fingerprints share a shape.
+        """
+        names = self._select(features)
+        n_stats = len(self.phase_stats)
+        fingerprint = np.zeros((n_stats * self.max_phases, len(names)))
+        for j, name in enumerate(names):
+            normalized = self._normalize(result.feature_samples(name), name)
+            if name in RESOURCE_FEATURES:
+                changepoints = bayesian_changepoints(
+                    normalized, hazard=self.changepoint_hazard
+                )
+            else:
+                changepoints = []
+            segments = segment_bounds(normalized.size, changepoints)
+            for phase, (start, stop) in enumerate(segments[: self.max_phases]):
+                window = normalized[start:stop]
+                for s, stat in enumerate(self.phase_stats):
+                    fingerprint[phase * n_stats + s, j] = _stat(window, stat)
+        return fingerprint
+
+    def build(
+        self,
+        result: ExperimentResult,
+        representation: str,
+        *,
+        features=None,
+    ) -> np.ndarray:
+        """Dispatch by representation name: 'mts', 'hist', or 'phase'."""
+        if representation == "mts":
+            return self.mts(result, features=features)
+        if representation == "hist":
+            return self.hist_fp(result, features=features)
+        if representation == "phase":
+            return self.phase_fp(result, features=features)
+        raise ValidationError(
+            f"unknown representation {representation!r}; "
+            "expected 'mts', 'hist', or 'phase'"
+        )

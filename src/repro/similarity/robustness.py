@@ -1,0 +1,186 @@
+"""Robustness evaluation: similarity under data imperfections.
+
+Section 5.2 names robustness — resilience to noise, outliers, and missing
+data — as the third evaluation axis but measures it only via across-run
+variation.  This module makes the axis operational: it injects controlled
+imperfections into a corpus and measures how much a (representation,
+measure) combination's 1-NN accuracy degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.similarity.evaluation import (
+    distance_matrix,
+    knn_accuracy,
+    representation_matrices,
+)
+from repro.similarity.measures import MeasureSpec
+from repro.similarity.representations import RepresentationBuilder
+from repro.utils.rng import RandomState, as_generator
+from repro.workloads.runner import ExperimentResult, clone_with
+
+
+def perturb_experiment(
+    result: ExperimentResult,
+    *,
+    noise_sigma: float = 0.0,
+    outlier_fraction: float = 0.0,
+    missing_fraction: float = 0.0,
+    random_state: RandomState = None,
+) -> ExperimentResult:
+    """Return a copy of ``result`` with injected measurement imperfections.
+
+    - ``noise_sigma``: multiplicative lognormal noise on every sample;
+    - ``outlier_fraction``: fraction of resource samples replaced by a
+      10x spike (collector glitches);
+    - ``missing_fraction``: fraction of resource samples dropped
+      (collection gaps).
+    """
+    for name, value in (
+        ("noise_sigma", noise_sigma),
+        ("outlier_fraction", outlier_fraction),
+        ("missing_fraction", missing_fraction),
+    ):
+        if value < 0:
+            raise ValidationError(f"{name} must be non-negative")
+    if missing_fraction >= 1.0:
+        raise ValidationError("missing_fraction must be < 1")
+    rng = as_generator(random_state)
+    resource = result.resource_series.copy()
+    plans = result.plan_matrix.copy()
+    if noise_sigma > 0:
+        resource *= np.exp(rng.normal(0.0, noise_sigma, resource.shape))
+        plans *= np.exp(rng.normal(0.0, noise_sigma, plans.shape))
+    if outlier_fraction > 0:
+        mask = rng.random(resource.shape) < outlier_fraction
+        resource = np.where(mask, resource * 10.0, resource)
+    if missing_fraction > 0:
+        n_keep = max(4, int(round(resource.shape[0] * (1 - missing_fraction))))
+        rows = np.sort(
+            rng.choice(resource.shape[0], size=n_keep, replace=False)
+        )
+        resource = resource[rows]
+    return clone_with(
+        result,
+        resource_series=resource,
+        plan_matrix=plans,
+        metadata={
+            **result.metadata,
+            "perturbed": {
+                "noise_sigma": noise_sigma,
+                "outlier_fraction": outlier_fraction,
+                "missing_fraction": missing_fraction,
+            },
+        },
+    )
+
+
+def distance_distortion(D_clean, D_perturbed) -> float:
+    """Structure preservation: 1 - Pearson correlation of distances.
+
+    Correlates the off-diagonal entries of the clean and perturbed
+    distance matrices; 0 means the perturbation left the similarity
+    structure intact, values near 1 mean it was destroyed.  This is a
+    far more sensitive robustness probe than 1-NN accuracy, which
+    saturates whenever classes are well separated.
+    """
+    A = np.asarray(D_clean, dtype=float)
+    B = np.asarray(D_perturbed, dtype=float)
+    if A.shape != B.shape or A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValidationError("distance matrices must share a square shape")
+    mask = ~np.eye(A.shape[0], dtype=bool)
+    a = A[mask]
+    b = B[mask]
+    a_std, b_std = a.std(), b.std()
+    # Relative flatness threshold: spreads at float-epsilon scale are
+    # indistinguishable from constant structures.
+    a_flat = a_std <= 1e-12 * max(float(np.abs(a).max()), 1.0)
+    b_flat = b_std <= 1e-12 * max(float(np.abs(b).max()), 1.0)
+    if a_flat and b_flat:
+        # Two flat distance structures carry the same (non-)information.
+        return 0.0
+    if a_flat or b_flat:
+        return 1.0
+    correlation = float(np.mean((a - a.mean()) * (b - b.mean())) / (a_std * b_std))
+    return 1.0 - correlation
+
+
+@dataclass(frozen=True)
+class RobustnessProfile:
+    """Accuracy and structure preservation across perturbation levels."""
+
+    representation: str
+    measure: str
+    clean_accuracy: float
+    accuracy_by_level: dict[float, float]
+    distortion_by_level: dict[float, float]
+
+    def degradation(self) -> float:
+        """Largest accuracy drop relative to the clean corpus."""
+        worst = min(self.accuracy_by_level.values())
+        return self.clean_accuracy - worst
+
+    def worst_distortion(self) -> float:
+        """Largest distance-structure distortion across levels."""
+        return max(self.distortion_by_level.values())
+
+
+def robustness_under_noise(
+    corpus,
+    builder: RepresentationBuilder,
+    representation: str,
+    measure: MeasureSpec,
+    *,
+    features=None,
+    noise_levels=(0.05, 0.15, 0.3),
+    perturbation: str = "noise",
+    random_state: RandomState = 0,
+) -> RobustnessProfile:
+    """Measure 1-NN accuracy as perturbations of one kind intensify.
+
+    ``perturbation`` is ``"noise"``, ``"outliers"``, or ``"missing"``; the
+    values in ``noise_levels`` are the corresponding sigma/fractions.
+    """
+    if perturbation not in ("noise", "outliers", "missing"):
+        raise ValidationError(f"unknown perturbation {perturbation!r}")
+    labels = [r.workload_name for r in corpus]
+    clean_matrices = representation_matrices(
+        corpus, builder, representation, features=features
+    )
+    D_clean = distance_matrix(clean_matrices, measure)
+    clean_accuracy = knn_accuracy(D_clean, labels)
+    rng = as_generator(random_state)
+    accuracy_by_level: dict[float, float] = {}
+    distortion_by_level: dict[float, float] = {}
+    for level in noise_levels:
+        kwargs = {
+            "noise": {"noise_sigma": level},
+            "outliers": {"outlier_fraction": level},
+            "missing": {"missing_fraction": level},
+        }[perturbation]
+        perturbed = [
+            perturb_experiment(
+                result,
+                random_state=int(rng.integers(0, 2**62)),
+                **kwargs,
+            )
+            for result in corpus
+        ]
+        matrices = representation_matrices(
+            perturbed, builder, representation, features=features
+        )
+        D = distance_matrix(matrices, measure)
+        accuracy_by_level[float(level)] = knn_accuracy(D, labels)
+        distortion_by_level[float(level)] = distance_distortion(D_clean, D)
+    return RobustnessProfile(
+        representation=representation,
+        measure=measure.name,
+        clean_accuracy=clean_accuracy,
+        accuracy_by_level=accuracy_by_level,
+        distortion_by_level=distortion_by_level,
+    )

@@ -1,0 +1,30 @@
+"""Shared utilities: RNG handling, validation, and descriptive statistics."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_consistent_length,
+    check_feature_matrix,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.stats import (
+    describe,
+    rank_from_scores,
+    weighted_mean,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_1d",
+    "check_2d",
+    "check_consistent_length",
+    "check_feature_matrix",
+    "check_positive_int",
+    "check_probability",
+    "describe",
+    "rank_from_scores",
+    "weighted_mean",
+]

@@ -1,0 +1,66 @@
+"""Small statistics helpers used across the pipeline components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_1d
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of a 1-D sample."""
+
+    mean: float
+    median: float
+    std: float
+    variance: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+def describe(values) -> Summary:
+    """Compute descriptive statistics for a 1-D array."""
+    arr = check_1d(values, "values")
+    return Summary(
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        std=float(np.std(arr)),
+        variance=float(np.var(arr)),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        count=int(arr.size),
+    )
+
+
+def rank_from_scores(scores, *, descending: bool = True) -> np.ndarray:
+    """Convert importance scores to 1-based ranks (1 = most important).
+
+    Ties are broken by first occurrence, matching the behaviour of sorting on
+    ``(-score, index)``, which makes rank aggregation deterministic.
+    """
+    arr = check_1d(scores, "scores")
+    order = np.argsort(-arr if descending else arr, kind="stable")
+    ranks = np.empty(arr.size, dtype=int)
+    ranks[order] = np.arange(1, arr.size + 1)
+    return ranks
+
+
+def weighted_mean(values, weights) -> float:
+    """Weighted arithmetic mean with validation of weight positivity."""
+    vals = check_1d(values, "values")
+    wts = check_1d(weights, "weights")
+    if vals.shape != wts.shape:
+        raise ValidationError(
+            f"values and weights must align, got {vals.shape} vs {wts.shape}"
+        )
+    total = float(np.sum(wts))
+    if total <= 0:
+        raise ValidationError("weights must sum to a positive value")
+    if np.any(wts < 0):
+        raise ValidationError("weights must be non-negative")
+    return float(np.sum(vals * wts) / total)

@@ -1,0 +1,86 @@
+"""Input validation helpers shared across the library.
+
+These functions convert inputs to well-formed ``numpy`` arrays and raise
+:class:`repro.exceptions.ValidationError` with actionable messages when the
+input cannot be used.  Estimators call them at the top of ``fit``/``predict``
+so that shape errors surface with library-level context rather than deep
+inside numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def check_1d(values, name: str = "array", *, allow_empty: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float array, validating finiteness."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        arr = np.squeeze(arr)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_2d(values, name: str = "matrix", *, allow_empty: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a 2-D float array, validating finiteness."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if not allow_empty and (arr.shape[0] == 0 or arr.shape[1] == 0):
+        raise ValidationError(f"{name} must not be empty, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_consistent_length(*arrays) -> None:
+    """Validate that all arrays share the same first-dimension length."""
+    lengths = {np.asarray(a).shape[0] for a in arrays if a is not None}
+    if len(lengths) > 1:
+        raise ValidationError(
+            f"inconsistent numbers of samples: {sorted(lengths)}"
+        )
+
+
+def check_feature_matrix(X, y=None) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate a supervised-learning (X, y) pair."""
+    X = check_2d(X, "X")
+    if y is None:
+        return X, None
+    y_arr = np.asarray(y, dtype=float)
+    if y_arr.ndim != 1:
+        y_arr = np.squeeze(y_arr)
+    if y_arr.ndim == 0:
+        y_arr = y_arr.reshape(1)
+    if y_arr.ndim != 1:
+        raise ValidationError(f"y must be 1-dimensional, got shape {y_arr.shape}")
+    if not np.all(np.isfinite(y_arr)):
+        raise ValidationError("y contains NaN or infinite values")
+    check_consistent_length(X, y_arr)
+    return X, y_arr
+
+
+def check_positive_int(value, name: str, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer of at least ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    return value

@@ -1,0 +1,179 @@
+"""Standard experiment corpora used by the paper's studies.
+
+Builders here assemble the exact experiment grids the evaluation sections
+rely on:
+
+- :func:`paper_corpus` — the feature-selection / similarity corpus: the
+  five standardized workloads on one hardware setting at their concurrency
+  levels, three repetitions, expanded into ten sub-experiments each
+  (Sections 4 and 5).
+- :func:`scaling_corpus` — workloads across the four CPU SKUs for the
+  resource-prediction study (Section 6).
+- :func:`production_corpus` — PW plus the four reference workloads on the
+  80-vCore instance, plan features only (Section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import RandomState, spawn_generators
+from repro.workloads.catalog import (
+    production_workload,
+    standard_workloads,
+    workload_by_name,
+)
+from repro.workloads.repository import ExperimentRepository
+from repro.workloads.runner import ExperimentRunner
+from repro.workloads.sampling import systematic_subexperiments
+from repro.workloads.sku import SKU, paper_cpu_skus, production_sku
+from repro.workloads.spec import WorkloadSpec
+
+#: Concurrency levels of Section 2.1: all workloads except the serial
+#: analytical ones run with 4, 8, and 32 terminals.
+DEFAULT_TERMINALS = (4, 8, 32)
+
+
+def default_terminals(workload: WorkloadSpec) -> tuple[int, ...]:
+    """Concurrency levels a workload is executed with (Section 2.1)."""
+    if workload.name in ("tpch", "tpcds"):
+        return (1,)  # TPC-H runs serially; TPC-DS is executed the same way
+    return DEFAULT_TERMINALS
+
+
+def run_experiments(
+    workloads: list[WorkloadSpec],
+    skus: list[SKU],
+    *,
+    terminals_for=default_terminals,
+    n_runs: int = 3,
+    duration_s: float = 3600.0,
+    sample_interval_s: float = 10.0,
+    random_state: RandomState = 0,
+) -> ExperimentRepository:
+    """Run the full (workload x SKU x terminals x run) grid."""
+    repository = ExperimentRepository()
+    generators = spawn_generators(random_state, len(workloads))
+    for workload, rng in zip(workloads, generators):
+        runner = ExperimentRunner(workload, random_state=rng)
+        for sku in skus:
+            for terminals in terminals_for(workload):
+                for run in range(n_runs):
+                    repository.add(
+                        runner.run(
+                            sku,
+                            terminals=terminals,
+                            run_index=run,
+                            data_group=run,
+                            duration_s=duration_s,
+                            sample_interval_s=sample_interval_s,
+                        )
+                    )
+    return repository
+
+
+def expand_subexperiments(
+    repository: ExperimentRepository, *, n_subexperiments: int = 10
+) -> ExperimentRepository:
+    """Expand every experiment into its systematic sub-experiments."""
+    expanded = ExperimentRepository()
+    for result in repository:
+        expanded.extend(
+            systematic_subexperiments(result, n_subexperiments=n_subexperiments)
+        )
+    return expanded
+
+
+def paper_corpus(
+    *,
+    cpus: int = 16,
+    memory_gb: float = 32.0,
+    n_runs: int = 3,
+    n_subexperiments: int = 10,
+    duration_s: float = 3600.0,
+    sample_interval_s: float = 10.0,
+    random_state: RandomState = 0,
+) -> ExperimentRepository:
+    """The Sections 4/5 corpus on one hardware setting.
+
+    Five standardized workloads, their concurrency levels, ``n_runs``
+    repetitions, expanded into sub-experiments: with the defaults this is
+    330 observations at 16 CPUs, matching the paper's "at least 360
+    observations" order of magnitude.
+    """
+    sku = SKU(cpus=cpus, memory_gb=memory_gb)
+    full = run_experiments(
+        standard_workloads(),
+        [sku],
+        n_runs=n_runs,
+        duration_s=duration_s,
+        sample_interval_s=sample_interval_s,
+        random_state=random_state,
+    )
+    return expand_subexperiments(full, n_subexperiments=n_subexperiments)
+
+
+def scaling_corpus(
+    workload_names: list[str] | None = None,
+    *,
+    skus: list[SKU] | None = None,
+    terminals_for=default_terminals,
+    n_runs: int = 3,
+    duration_s: float = 3600.0,
+    sample_interval_s: float = 10.0,
+    random_state: RandomState = 7,
+) -> ExperimentRepository:
+    """The Section 6 corpus: workloads across the CPU-scaling SKUs."""
+    if workload_names is None:
+        workload_names = ["tpcc", "twitter", "tpch"]
+    workloads = [workload_by_name(name) for name in workload_names]
+    if skus is None:
+        skus = paper_cpu_skus()
+    return run_experiments(
+        workloads,
+        skus,
+        terminals_for=terminals_for,
+        n_runs=n_runs,
+        duration_s=duration_s,
+        sample_interval_s=sample_interval_s,
+        random_state=random_state,
+    )
+
+
+def production_corpus(
+    *,
+    n_runs: int = 3,
+    n_subexperiments: int = 10,
+    duration_s: float = 3600.0,
+    sample_interval_s: float = 10.0,
+    random_state: RandomState = 11,
+) -> ExperimentRepository:
+    """PW and the four reference workloads on the 80-vCore instance.
+
+    Only plan features are meaningful for PW downstream (the paper lacked
+    resource tracking on that setup); callers should restrict similarity
+    computation to plan features, as the Figure 7 bench does.
+    """
+    workloads = [
+        workload_by_name("tpcc"),
+        workload_by_name("tpch"),
+        workload_by_name("tpcds"),
+        workload_by_name("twitter"),
+        production_workload(),
+    ]
+
+    def terminals_for(workload: WorkloadSpec) -> tuple[int, ...]:
+        if workload.name in ("tpch", "tpcds"):
+            return (1,)
+        if workload.name == "pw":
+            return (16,)  # a production decision-support concurrency level
+        return (8,)
+
+    full = run_experiments(
+        workloads,
+        [production_sku()],
+        terminals_for=terminals_for,
+        n_runs=n_runs,
+        duration_s=duration_s,
+        sample_interval_s=sample_interval_s,
+        random_state=random_state,
+    )
+    return expand_subexperiments(full, n_subexperiments=n_subexperiments)

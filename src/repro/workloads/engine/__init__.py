@@ -1,0 +1,31 @@
+"""Simulated DBMS engine: the causal component models behind the telemetry.
+
+- :mod:`repro.workloads.engine.cpu` — Amdahl-style CPU scalability.
+- :mod:`repro.workloads.engine.bufferpool` — memory/IO behaviour.
+- :mod:`repro.workloads.engine.lockmanager` — data contention.
+- :mod:`repro.workloads.engine.logmanager` — write-ahead-log bandwidth.
+- :mod:`repro.workloads.engine.planner` — query-plan statistics (Table 2).
+- :mod:`repro.workloads.engine.execution` — steady-state operating point
+  (throughput, latency, utilizations) for a workload on an SKU.
+- :mod:`repro.workloads.engine.roofline` — hardware performance ceilings.
+"""
+
+from repro.workloads.engine.cpu import CPUModel, amdahl_speedup
+from repro.workloads.engine.bufferpool import BufferPoolModel
+from repro.workloads.engine.lockmanager import LockManagerModel
+from repro.workloads.engine.logmanager import LogManagerModel
+from repro.workloads.engine.planner import QueryPlanner
+from repro.workloads.engine.execution import ExecutionEngine, OperatingPoint
+from repro.workloads.engine.roofline import hardware_ceilings
+
+__all__ = [
+    "CPUModel",
+    "amdahl_speedup",
+    "BufferPoolModel",
+    "LockManagerModel",
+    "LogManagerModel",
+    "QueryPlanner",
+    "ExecutionEngine",
+    "OperatingPoint",
+    "hardware_ceilings",
+]

@@ -1,0 +1,65 @@
+"""CPU scalability model.
+
+Aggregate workload throughput on ``C`` cores is bounded by an Amdahl-style
+speedup over single-core execution.  The workload's ``parallel_fraction``
+captures *both* intra-query parallelism (analytical workloads: scans and
+joins parallelize well) and inter-transaction scalability losses (latch and
+log serialization in OLTP engines), because from the throughput model's
+point of view they act identically: a serial fraction that added cores
+cannot help.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.sku import SKU
+
+
+def amdahl_speedup(cpus: int, parallel_fraction: float) -> float:
+    """Classic Amdahl speedup of ``cpus`` cores over one core."""
+    if cpus < 1:
+        raise ValidationError(f"cpus must be >= 1, got {cpus}")
+    if not 0.0 <= parallel_fraction < 1.0:
+        raise ValidationError(
+            f"parallel_fraction must be in [0, 1), got {parallel_fraction}"
+        )
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / cpus)
+
+
+class CPUModel:
+    """Per-workload CPU capacity on a given SKU."""
+
+    def __init__(self, workload: WorkloadSpec):
+        self.workload = workload
+
+    def cpu_seconds_per_txn(self) -> float:
+        """Mix-averaged single-core CPU demand of one transaction."""
+        return self.workload.mix_mean("cpu_ms") / 1000.0
+
+    def speedup(self, sku: SKU, terminals: int) -> float:
+        """Effective speedup over single-core execution.
+
+        With a single terminal, intra-query parallelism can use all cores
+        (subject to Amdahl).  With many terminals, inter-transaction
+        parallelism applies, but no more streams than ``terminals`` can be
+        active, so the usable core count is capped at ``terminals`` for
+        strictly serial per-transaction work — analytical workloads (high
+        parallel fraction) blend past that cap via intra-query parallelism.
+        """
+        if terminals < 1:
+            raise ValidationError(f"terminals must be >= 1, got {terminals}")
+        p = self.workload.parallel_fraction
+        full = amdahl_speedup(sku.cpus, p)
+        if terminals >= sku.cpus:
+            return full
+        # Fewer active streams than cores: each stream may still use spare
+        # cores for intra-query work in proportion to the parallel fraction.
+        capped_cores = min(sku.cpus, max(terminals, 1))
+        inter = amdahl_speedup(capped_cores, p)
+        intra_bonus = p * (full - inter)
+        return inter + intra_bonus
+
+    def throughput_bound(self, sku: SKU, terminals: int) -> float:
+        """Maximum transactions/second the CPUs can sustain."""
+        return self.speedup(sku, terminals) / self.cpu_seconds_per_txn()

@@ -1,0 +1,198 @@
+"""Steady-state execution model: the workload's operating point on an SKU.
+
+Throughput is the minimum of three bounds — CPU capacity (Amdahl-scaled),
+storage capacity (IOPS), and closed-loop concurrency (terminals divided by
+contention-inflated service time) — multiplied by environment interference
+(time-of-day data groups) and run noise.  Latency follows the interactive
+response-time law.  All seven resource-utilization telemetry channels
+derive from the same operating point, which is what makes the downstream
+feature-selection and similarity results internally consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import RandomState, as_generator
+from repro.workloads.engine.bufferpool import BufferPoolModel
+from repro.workloads.engine.cpu import CPUModel
+from repro.workloads.engine.lockmanager import LockManagerModel
+from repro.workloads.engine.logmanager import LogManagerModel
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.sku import SKU
+
+#: Per-transaction-type latency noise (lognormal sigma).  Individual
+#: transaction latencies are much noisier than the workload aggregate —
+#: the effect behind Figure 1 of the paper.
+PER_TXN_LATENCY_SIGMA = 0.07
+
+#: Capacity multiplier per time-of-day data group (Section 6.2: three
+#: executions at different times of day see different cloud interference).
+DATA_GROUP_INTERFERENCE = (1.0, 0.97, 0.93)
+
+
+@dataclass
+class OperatingPoint:
+    """Steady-state performance and utilization of one experiment run."""
+
+    throughput: float  # transactions per second
+    latency_ms: float  # mean end-to-end transaction latency
+    per_txn_latency_ms: dict[str, float]
+    cpu_utilization: float  # 0..1
+    cpu_effective: float  # 0..1, utilization net of contention overhead
+    memory_utilization: float  # 0..1
+    iops: float  # physical IO operations per second
+    read_write_ratio: float  # logical reads per logical write (write+1)
+    lock_requests_per_s: float
+    lock_waits_per_s: float
+    bottleneck: str  # "cpu" | "io" | "log" | "concurrency"
+    bounds: dict[str, float] = field(default_factory=dict)
+
+
+class ExecutionEngine:
+    """Computes operating points for (workload, SKU, concurrency) tuples."""
+
+    def __init__(self, workload: WorkloadSpec):
+        self.workload = workload
+        self.cpu_model = CPUModel(workload)
+        self.lock_model = LockManagerModel(workload)
+        self.log_model = LogManagerModel(workload)
+
+    # -- bounds ---------------------------------------------------------------
+    def throughput_bounds(
+        self, sku: SKU, terminals: int, *, interference: float = 1.0
+    ) -> dict[str, float]:
+        """The three capacity bounds (transactions/second), pre-noise."""
+        if terminals < 1:
+            raise ValidationError(f"terminals must be >= 1, got {terminals}")
+        buffer_model = BufferPoolModel(self.workload, sku)
+        cpu_bound = self.cpu_model.throughput_bound(sku, terminals) * interference
+        io_per_txn = buffer_model.io_per_txn() * buffer_model.spill_factor()
+        io_bound = sku.iops_capacity / max(io_per_txn, 1e-9)
+        service = self._service_seconds(sku, terminals, buffer_model)
+        concurrency_bound = terminals / service
+        return {
+            "cpu": cpu_bound,
+            "io": io_bound,
+            "log": self.log_model.throughput_bound(sku),
+            "concurrency": concurrency_bound,
+        }
+
+    def _service_seconds(
+        self, sku: SKU, terminals: int, buffer_model: BufferPoolModel
+    ) -> float:
+        """Contention-inflated per-transaction service time."""
+        per_stream_cores = max(1, sku.cpus // max(terminals, 1))
+        stream_speedup = CPUModel(self.workload).speedup(
+            SKU(cpus=per_stream_cores, memory_gb=sku.memory_gb,
+                iops_capacity=sku.iops_capacity),
+            1,
+        )
+        cpu_seconds = self.cpu_model.cpu_seconds_per_txn() / stream_speedup
+        io_stall = buffer_model.io_stall_seconds_per_txn()
+        inflation = self.lock_model.wait_inflation(terminals)
+        return (cpu_seconds + io_stall) * inflation
+
+    # -- operating point --------------------------------------------------------
+    def steady_state(
+        self,
+        sku: SKU,
+        terminals: int,
+        *,
+        data_group: int = 0,
+        random_state: RandomState = None,
+        noisy: bool = True,
+    ) -> OperatingPoint:
+        """Operating point of one experiment run.
+
+        ``data_group`` selects the time-of-day interference level; with
+        ``noisy=False`` the deterministic model value is returned (useful
+        for tests and for ground-truth scaling curves).
+        """
+        rng = as_generator(random_state)
+        interference = DATA_GROUP_INTERFERENCE[
+            data_group % len(DATA_GROUP_INTERFERENCE)
+        ]
+        bounds = self.throughput_bounds(sku, terminals, interference=interference)
+        bottleneck = min(bounds, key=bounds.get)
+        throughput = bounds[bottleneck]
+        if noisy:
+            throughput *= float(
+                np.exp(rng.normal(0.0, self.workload.base_noise))
+            )
+        throughput = max(throughput, 1e-9)
+        latency_ms = terminals / throughput * 1000.0
+
+        buffer_model = BufferPoolModel(self.workload, sku)
+        per_txn_latency = self._per_txn_latencies(
+            sku, terminals, latency_ms, buffer_model, rng if noisy else None
+        )
+        cpu_seconds = self.cpu_model.cpu_seconds_per_txn()
+        utilization = min(1.0, throughput * cpu_seconds / sku.cpus)
+        conflict = self.lock_model.conflict_probability(terminals)
+        # Contention burns cycles on spinning/retries: effective < raw.
+        effective = utilization * (1.0 - 0.35 * conflict)
+        io_per_txn = buffer_model.io_per_txn() * buffer_model.spill_factor()
+        reads_per_s = throughput * self.workload.mix_mean("logical_reads")
+        writes_per_s = throughput * self.workload.mix_mean("logical_writes")
+        return OperatingPoint(
+            throughput=float(throughput),
+            latency_ms=float(latency_ms),
+            per_txn_latency_ms=per_txn_latency,
+            cpu_utilization=float(utilization),
+            cpu_effective=float(effective),
+            memory_utilization=float(buffer_model.memory_utilization()),
+            iops=float(throughput * io_per_txn),
+            # Operation-rate ratio: read-only workloads sit orders of
+            # magnitude above write-heavy ones, which is what makes this
+            # channel so distinctive for TPC-H in the paper's Figure 3.
+            read_write_ratio=float(reads_per_s / (writes_per_s + 1.0)),
+            lock_requests_per_s=float(
+                throughput * self.lock_model.locks_per_txn()
+            ),
+            lock_waits_per_s=float(
+                throughput * self.lock_model.waits_per_txn(terminals)
+            ),
+            bottleneck=bottleneck,
+            bounds=bounds,
+        )
+
+    def _per_txn_latencies(
+        self,
+        sku: SKU,
+        terminals: int,
+        workload_latency_ms: float,
+        buffer_model: BufferPoolModel,
+        rng: np.random.Generator | None,
+    ) -> dict[str, float]:
+        """Mean latency per transaction type.
+
+        Each type's latency is its share of the workload latency in
+        proportion to its service demand, inflated extra for hot-spot types
+        (they queue behind conflicting peers) and perturbed with
+        type-specific noise.  The weighted mean of these is close to — but
+        noisier than — the aggregate latency, which is exactly the
+        discrepancy Example 1 of the paper illustrates.
+        """
+        conflict = self.lock_model.conflict_probability(terminals)
+        services = {}
+        for txn in self.workload.transactions:
+            base = txn.cpu_ms / 1000.0 + buffer_model.txn_stall_seconds(txn)
+            hot_penalty = 1.0 + 1.5 * conflict * txn.hot_spot_affinity
+            services[txn.name] = base * hot_penalty
+        weights = self.workload.weights
+        mean_service = float(
+            sum(w * services[t.name] for w, t in
+                zip(weights, self.workload.transactions))
+        )
+        slowdown = workload_latency_ms / (mean_service * 1000.0)
+        latencies = {}
+        for txn in self.workload.transactions:
+            value = services[txn.name] * 1000.0 * slowdown
+            if rng is not None:
+                value *= float(np.exp(rng.normal(0.0, PER_TXN_LATENCY_SIGMA)))
+            latencies[txn.name] = float(value)
+        return latencies

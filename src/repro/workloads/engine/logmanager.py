@@ -1,0 +1,59 @@
+"""Write-ahead-log model: the fourth capacity bound.
+
+Write-heavy workloads can saturate the log device before CPUs, storage
+IOPS, or concurrency bind: every transaction appends its redo records, and
+the log is a strictly sequential resource.  The model estimates the log
+volume per transaction from the mix's written rows (plus per-record
+overhead) and bounds throughput by the SKU's log bandwidth.
+
+On the paper's SKUs this bound is far from binding for the standard
+benchmarks — which is itself part of the calibration: the paper's Table 6
+workloads are CPU- or contention-limited — but it becomes the live
+constraint for bulk-write mixtures or log-throttled cloud tiers, and the
+Roofline/Ridgeline predictors treat it as one more ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.sku import SKU
+
+#: Fixed per-record log overhead (header, LSN, checksums), bytes.
+LOG_RECORD_OVERHEAD_BYTES = 96.0
+
+#: Fraction of a written row's bytes that lands in the redo log (row image
+#: plus index entries, net of compression).
+LOG_PAYLOAD_FACTOR = 1.2
+
+
+class LogManagerModel:
+    """Redo-log volume and bandwidth bound for a workload on an SKU."""
+
+    def __init__(self, workload: WorkloadSpec):
+        self.workload = workload
+
+    def bytes_logged_per_txn(self) -> float:
+        """Mix-averaged redo bytes appended per transaction."""
+        weights = self.workload.weights
+        total = 0.0
+        for weight, txn in zip(weights, self.workload.transactions):
+            if txn.logical_writes <= 0:
+                continue
+            payload = txn.logical_writes * (
+                txn.row_size_bytes * LOG_PAYLOAD_FACTOR
+                + LOG_RECORD_OVERHEAD_BYTES
+            )
+            total += weight * payload
+        return float(total)
+
+    def throughput_bound(self, sku: SKU) -> float:
+        """Maximum transactions/second the log device can absorb."""
+        bytes_per_txn = self.bytes_logged_per_txn()
+        if bytes_per_txn <= 0:
+            return float("inf")  # read-only mixes never touch the log
+        bandwidth = sku.log_bandwidth_mb_s * 1024.0 * 1024.0
+        return bandwidth / bytes_per_txn
+
+    def log_volume_mb_s(self, throughput: float) -> float:
+        """Redo volume generated at a given throughput (MB/s)."""
+        return throughput * self.bytes_logged_per_txn() / (1024.0 * 1024.0)

@@ -1,0 +1,77 @@
+"""Hardware performance ceilings (Roofline-style, Williams et al. [96]).
+
+For a fixed workload and memory configuration, throughput grows with the
+CPU count along the compute-bound line until a non-CPU resource (storage
+IOPS or concurrency) caps it; Appendix B of the paper combines such
+ceilings with linear scaling models into piecewise-linear predictors
+(Figure 12).  This module exposes the simulator's true ceilings so the
+prediction-side roofline model (:mod:`repro.prediction.roofline`) can be
+validated against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.engine.execution import ExecutionEngine
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.sku import SKU
+
+
+@dataclass(frozen=True)
+class Ceilings:
+    """Throughput bounds of a workload on one SKU."""
+
+    cpu_bound: float
+    io_bound: float
+    concurrency_bound: float
+    log_bound: float = float("inf")
+
+    @property
+    def ceiling(self) -> float:
+        """The non-CPU ceiling (IO, log, or concurrency limited)."""
+        return min(self.io_bound, self.concurrency_bound, self.log_bound)
+
+    @property
+    def effective(self) -> float:
+        """Actual attainable throughput: min of all bounds."""
+        return min(self.cpu_bound, self.ceiling)
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when adding CPUs would still raise throughput."""
+        return self.cpu_bound < self.ceiling
+
+
+def hardware_ceilings(
+    workload: WorkloadSpec, sku: SKU, terminals: int
+) -> Ceilings:
+    """Compute the simulator's true throughput bounds (no noise)."""
+    engine = ExecutionEngine(workload)
+    bounds = engine.throughput_bounds(sku, terminals)
+    return Ceilings(
+        cpu_bound=bounds["cpu"],
+        io_bound=bounds["io"],
+        concurrency_bound=bounds["concurrency"],
+        log_bound=bounds["log"],
+    )
+
+
+def saturation_cpus(
+    workload: WorkloadSpec,
+    memory_gb: float,
+    terminals: int,
+    *,
+    max_cpus: int = 64,
+    iops_capacity: float = 24000.0,
+) -> int:
+    """Smallest CPU count at which the workload stops being compute-bound.
+
+    Returns ``max_cpus`` if the workload stays compute-bound throughout the
+    sweep (the ceiling is never reached).
+    """
+    for cpus in range(1, max_cpus + 1):
+        sku = SKU(cpus=cpus, memory_gb=memory_gb, iops_capacity=iops_capacity)
+        if not hardware_ceilings(workload, sku, terminals).compute_bound:
+            return cpus
+    return max_cpus

@@ -1,0 +1,80 @@
+"""Telemetry feature registry (Table 2 of the paper).
+
+The pipeline tracks 29 features: 7 resource-utilization channels sampled as
+time-series and 22 query-plan statistics observed per query.  The canonical
+ordering below is also the "Baseline" feature-selection strategy of Table 3
+(take the first k features in registry order, no ranking intelligence).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+
+#: Resource-utilization time-series channels (sampled every interval).
+RESOURCE_FEATURES: tuple[str, ...] = (
+    "CPU_UTILIZATION",
+    "CPU_EFFECTIVE",
+    "MEM_UTILIZATION",
+    "IOPS_TOTAL",
+    "READ_WRITE_RATIO",
+    "LOCK_REQ_ABS",
+    "LOCK_WAIT_ABS",
+)
+
+#: Query-plan statistics (one row per observed query execution plan).
+PLAN_FEATURES: tuple[str, ...] = (
+    "StatementEstRows",
+    "StatementSubTreeCost",
+    "CompileCPU",
+    "TableCardinality",
+    "SerialDesiredMemory",
+    "SerialRequiredMemory",
+    "MaxCompileMemory",
+    "EstimateRebinds",
+    "EstimateRewinds",
+    "EstimatedPagesCached",
+    "EstimatedAvailableDegreeOfParallelism",
+    "EstimatedAvailableMemoryGrant",
+    "CachedPlanSize",
+    "AvgRowSize",
+    "CompileMemory",
+    "EstimateRows",
+    "EstimateIO",
+    "CompileTime",
+    "GrantedMemory",
+    "EstimateCPU",
+    "MaxUsedMemory",
+    "EstimatedRowsRead",
+)
+
+#: All 29 features, resource channels first.
+ALL_FEATURES: tuple[str, ...] = RESOURCE_FEATURES + PLAN_FEATURES
+
+_INDEX = {name: i for i, name in enumerate(ALL_FEATURES)}
+
+
+def feature_index(name: str) -> int:
+    """Position of ``name`` in :data:`ALL_FEATURES`."""
+    try:
+        return _INDEX[name]
+    except KeyError:
+        raise ValidationError(f"unknown feature {name!r}") from None
+
+
+def feature_kind(name: str) -> str:
+    """``"resource"`` or ``"plan"`` for a feature name."""
+    if name in RESOURCE_FEATURES:
+        return "resource"
+    if name in PLAN_FEATURES:
+        return "plan"
+    raise ValidationError(f"unknown feature {name!r}")
+
+
+def resource_indices() -> list[int]:
+    """Indices of resource features within :data:`ALL_FEATURES`."""
+    return [feature_index(name) for name in RESOURCE_FEATURES]
+
+
+def plan_indices() -> list[int]:
+    """Indices of plan features within :data:`ALL_FEATURES`."""
+    return [feature_index(name) for name in PLAN_FEATURES]

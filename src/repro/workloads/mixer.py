@@ -1,0 +1,121 @@
+"""Workload composition: build custom mixtures of transaction types.
+
+Example 1 of the paper considers "a workload that consists of a mixture of
+six different types of transactions from the YCSB workload".  These
+helpers construct such custom workloads — re-weighted subsets of one
+benchmark's transactions, or blends across benchmarks — as first-class
+:class:`WorkloadSpec` objects that the simulator and pipeline accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.exceptions import ValidationError
+from repro.workloads.spec import TransactionType, WorkloadSpec, WorkloadType
+
+
+def reweight_workload(
+    spec: WorkloadSpec, weights: dict[str, float], *, name: str | None = None
+) -> WorkloadSpec:
+    """A copy of ``spec`` restricted to (and re-weighted over) ``weights``.
+
+    ``weights`` maps transaction names to new relative weights; types not
+    listed are dropped.  Useful for "the customer only runs reads and
+    scans" style scenarios.
+    """
+    if not weights:
+        raise ValidationError("weights must not be empty")
+    known = {txn.name for txn in spec.transactions}
+    unknown = set(weights) - known
+    if unknown:
+        raise ValidationError(
+            f"unknown transactions for {spec.name!r}: {sorted(unknown)}"
+        )
+    non_positive = [k for k, v in weights.items() if v <= 0]
+    if non_positive:
+        raise ValidationError(
+            f"weights must be positive; offending: {sorted(non_positive)}"
+        )
+    transactions = tuple(
+        replace(txn, weight=float(weights[txn.name]))
+        for txn in spec.transactions
+        if txn.name in weights
+    )
+    return replace(
+        spec,
+        name=name or f"{spec.name}-custom",
+        transactions=transactions,
+    )
+
+
+def blend_workloads(
+    components: list[tuple[WorkloadSpec, float]],
+    *,
+    name: str = "blend",
+    workload_type: WorkloadType | None = None,
+) -> WorkloadSpec:
+    """Blend several workloads into one mixture.
+
+    Each component contributes its transaction types with weights scaled
+    by the component's share; scalar workload properties (working set,
+    parallel fraction, contention, ...) are share-weighted averages.
+    Transaction names are prefixed with their source workload to stay
+    unique.
+    """
+    if not components:
+        raise ValidationError("components must not be empty")
+    shares = [share for _, share in components]
+    if any(share <= 0 for share in shares):
+        raise ValidationError("component shares must be positive")
+    total = float(sum(shares))
+
+    transactions: list[TransactionType] = []
+    working_set = parallel = contention = checkpoint = skew = noise = 0.0
+    tables = columns = indexes = 0
+    for spec, share in components:
+        fraction = share / total
+        for txn, weight in zip(spec.transactions, spec.weights):
+            transactions.append(
+                replace(
+                    txn,
+                    name=f"{spec.name}:{txn.name}",
+                    weight=float(weight * fraction),
+                )
+            )
+        working_set += fraction * spec.working_set_gb
+        parallel += fraction * spec.parallel_fraction
+        contention += fraction * spec.contention_factor
+        checkpoint += fraction * spec.checkpoint_intensity
+        skew += fraction * spec.access_skew
+        noise += fraction * spec.base_noise
+        tables += spec.tables
+        columns += spec.columns
+        indexes += spec.indexes
+    if workload_type is None:
+        workload_type = _infer_type(transactions)
+    return WorkloadSpec(
+        name=name,
+        workload_type=workload_type,
+        tables=tables,
+        columns=columns,
+        indexes=indexes,
+        transactions=tuple(transactions),
+        working_set_gb=working_set,
+        parallel_fraction=min(parallel, 0.99),
+        contention_factor=contention,
+        checkpoint_intensity=checkpoint,
+        access_skew=min(skew, 1.0),
+        base_noise=noise,
+    )
+
+
+def _infer_type(transactions: list[TransactionType]) -> WorkloadType:
+    """Classify a mixture by its read-only weight share (Section 2)."""
+    total = sum(t.weight for t in transactions)
+    read_share = sum(t.weight for t in transactions if t.read_only) / total
+    if read_share >= 0.95:
+        return WorkloadType.ANALYTICAL
+    if read_share <= 0.2:
+        return WorkloadType.TRANSACTIONAL
+    return WorkloadType.MIXED

@@ -1,0 +1,177 @@
+"""Experiment repository: an in-memory collection with JSON persistence.
+
+The prediction pipeline consumes *collections* of experiments (reference
+workloads observed across SKUs).  The repository provides filtered views
+(by workload, SKU, terminals) and round-trips to a JSON file so expensive
+simulated corpora can be cached between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import RepositoryError
+from repro.workloads.runner import ExperimentResult
+from repro.workloads.sku import SKU
+
+
+def _result_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "workload_name": result.workload_name,
+        "workload_type": result.workload_type,
+        "sku": {
+            "cpus": result.sku.cpus,
+            "memory_gb": result.sku.memory_gb,
+            "iops_capacity": result.sku.iops_capacity,
+            "log_bandwidth_mb_s": result.sku.log_bandwidth_mb_s,
+            "name": result.sku.name,
+        },
+        "terminals": result.terminals,
+        "run_index": result.run_index,
+        "data_group": result.data_group,
+        "sample_interval_s": result.sample_interval_s,
+        "resource_series": result.resource_series.tolist(),
+        "throughput_series": result.throughput_series.tolist(),
+        "plan_matrix": result.plan_matrix.tolist(),
+        "plan_txn_names": list(result.plan_txn_names),
+        "throughput": result.throughput,
+        "latency_ms": result.latency_ms,
+        "per_txn_latency_ms": dict(result.per_txn_latency_ms),
+        "per_txn_weights": dict(result.per_txn_weights),
+        "bottleneck": result.bottleneck,
+        "subsample_index": result.subsample_index,
+        "metadata": dict(result.metadata),
+    }
+
+
+def _result_from_dict(payload: dict) -> ExperimentResult:
+    try:
+        sku = SKU(**payload["sku"])
+        return ExperimentResult(
+            workload_name=payload["workload_name"],
+            workload_type=payload["workload_type"],
+            sku=sku,
+            terminals=int(payload["terminals"]),
+            run_index=int(payload["run_index"]),
+            data_group=int(payload["data_group"]),
+            sample_interval_s=float(payload["sample_interval_s"]),
+            resource_series=np.asarray(payload["resource_series"], dtype=float),
+            throughput_series=np.asarray(
+                payload["throughput_series"], dtype=float
+            ),
+            plan_matrix=np.asarray(payload["plan_matrix"], dtype=float),
+            plan_txn_names=list(payload["plan_txn_names"]),
+            throughput=float(payload["throughput"]),
+            latency_ms=float(payload["latency_ms"]),
+            per_txn_latency_ms=dict(payload["per_txn_latency_ms"]),
+            per_txn_weights=dict(payload["per_txn_weights"]),
+            bottleneck=payload["bottleneck"],
+            subsample_index=payload.get("subsample_index"),
+            metadata=payload.get("metadata", {}),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise RepositoryError(f"malformed experiment payload: {exc}") from exc
+
+
+class ExperimentRepository:
+    """A queryable collection of experiment results."""
+
+    def __init__(self, results: list[ExperimentResult] | None = None):
+        self._results: list[ExperimentResult] = list(results or [])
+
+    # -- collection protocol -------------------------------------------------
+    def add(self, result: ExperimentResult) -> None:
+        """Append one experiment to the repository."""
+        self._results.append(result)
+
+    def extend(self, results) -> None:
+        """Append many experiments."""
+        self._results.extend(results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[ExperimentResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index: int) -> ExperimentResult:
+        return self._results[index]
+
+    # -- queries ---------------------------------------------------------------
+    def filter(
+        self, predicate: Callable[[ExperimentResult], bool]
+    ) -> "ExperimentRepository":
+        """New repository holding results matching ``predicate``."""
+        return ExperimentRepository([r for r in self._results if predicate(r)])
+
+    def by_workload(self, name: str) -> "ExperimentRepository":
+        """Results of one workload."""
+        return self.filter(lambda r: r.workload_name == name)
+
+    def by_sku(self, sku: SKU) -> "ExperimentRepository":
+        """Results on one SKU (matched by name)."""
+        return self.filter(lambda r: r.sku.name == sku.name)
+
+    def by_terminals(self, terminals: int) -> "ExperimentRepository":
+        """Results at one concurrency level."""
+        return self.filter(lambda r: r.terminals == terminals)
+
+    def workload_names(self) -> list[str]:
+        """Distinct workload names, insertion-ordered."""
+        seen: dict[str, None] = {}
+        for result in self._results:
+            seen.setdefault(result.workload_name, None)
+        return list(seen)
+
+    def skus(self) -> list[SKU]:
+        """Distinct SKUs, insertion-ordered."""
+        seen: dict[str, SKU] = {}
+        for result in self._results:
+            seen.setdefault(result.sku.name, result.sku)
+        return list(seen.values())
+
+    def labels(self) -> list[str]:
+        """Workload label of every result (for supervised selection)."""
+        return [r.workload_name for r in self._results]
+
+    def feature_matrix(self) -> np.ndarray:
+        """``(n_results, 29)`` summary feature matrix."""
+        if not self._results:
+            raise RepositoryError("repository is empty")
+        return np.vstack([r.feature_vector() for r in self._results])
+
+    def throughputs(self) -> np.ndarray:
+        """Throughput of every result."""
+        return np.asarray([r.throughput for r in self._results])
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialize all experiments to a JSON file."""
+        path = Path(path)
+        payload = {
+            "version": 1,
+            "experiments": [_result_to_dict(r) for r in self._results],
+        }
+        try:
+            path.write_text(json.dumps(payload))
+        except OSError as exc:
+            raise RepositoryError(f"cannot write {path}: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentRepository":
+        """Load a repository previously written by :meth:`save`."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise RepositoryError(f"cannot read {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise RepositoryError(f"{path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "experiments" not in payload:
+            raise RepositoryError(f"{path} is not an experiment repository file")
+        results = [_result_from_dict(entry) for entry in payload["experiments"]]
+        return cls(results)

@@ -1,0 +1,85 @@
+"""Hardware configurations (stock keeping units).
+
+The paper's experiments span four CPU-only SKUs (2/4/8/16 CPUs), the
+multi-dimensional pair S1 (4 CPUs / 32 GB) and S2 (8 CPUs / 64 GB) of
+Section 6.2.3, and the 80-vCore setup of the production-workload study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class SKU:
+    """One hardware configuration.
+
+    Attributes
+    ----------
+    cpus:
+        Number of (virtual) CPU cores.
+    memory_gb:
+        Buffer-pool memory available to the database.
+    iops_capacity:
+        Storage throughput ceiling in IO operations per second.
+    log_bandwidth_mb_s:
+        Sequential write bandwidth of the redo-log device (MB/s).
+    name:
+        Display name; defaults to ``"<cpus>cpu-<memory>gb"``.
+    """
+
+    cpus: int
+    memory_gb: float
+    iops_capacity: float = 60000.0
+    log_bandwidth_mb_s: float = 200.0
+    name: str = field(default="")
+
+    def __post_init__(self):
+        if self.cpus < 1:
+            raise ValidationError(f"SKU needs at least 1 CPU, got {self.cpus}")
+        if self.memory_gb <= 0:
+            raise ValidationError(
+                f"SKU memory must be positive, got {self.memory_gb}"
+            )
+        if self.iops_capacity <= 0:
+            raise ValidationError(
+                f"SKU iops_capacity must be positive, got {self.iops_capacity}"
+            )
+        if self.log_bandwidth_mb_s <= 0:
+            raise ValidationError(
+                "SKU log_bandwidth_mb_s must be positive, got "
+                f"{self.log_bandwidth_mb_s}"
+            )
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"{self.cpus}cpu-{self.memory_gb:g}gb"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def paper_cpu_skus(memory_gb: float = 32.0) -> list[SKU]:
+    """The four CPU-scaling SKUs of the paper (2, 4, 8, 16 CPUs).
+
+    Memory is held constant (default 32 GB) so only the CPU dimension
+    varies, matching Section 6.2's setup.
+    """
+    return [SKU(cpus=c, memory_gb=memory_gb) for c in (2, 4, 8, 16)]
+
+
+def sku_s1() -> SKU:
+    """S1 of Section 6.2.3: 4 CPUs and 32 GB memory."""
+    return SKU(cpus=4, memory_gb=32.0, name="S1-4cpu-32gb")
+
+
+def sku_s2() -> SKU:
+    """S2 of Section 6.2.3: 8 CPUs and 64 GB memory."""
+    return SKU(cpus=8, memory_gb=64.0, name="S2-8cpu-64gb")
+
+
+def production_sku() -> SKU:
+    """The 80-virtual-core instance hosting the production workload (PW)."""
+    return SKU(cpus=80, memory_gb=512.0, iops_capacity=120000.0, name="80vcore")

@@ -1,0 +1,191 @@
+"""Workload and transaction-type specifications.
+
+A :class:`WorkloadSpec` captures everything the simulator needs about a
+benchmark: schema statistics (Table 1), the transaction mix with per-type
+cost profiles, and the workload-level scalability/contention character.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+class WorkloadType(str, Enum):
+    """Coarse workload categories used as ground truth in Section 5."""
+
+    TRANSACTIONAL = "transactional"
+    ANALYTICAL = "analytical"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class TransactionType:
+    """Cost profile of one transaction (or query template).
+
+    Attributes
+    ----------
+    name:
+        Template identifier (e.g. ``"NewOrder"`` or ``"Q6"``).
+    weight:
+        Relative frequency within the workload mix.
+    read_only:
+        Whether the transaction performs no writes.
+    cpu_ms:
+        CPU service demand per execution on a single core, in milliseconds.
+    logical_reads / logical_writes:
+        Logical page accesses per execution; physical IO is derived from
+        these via the buffer-pool model.
+    rows_touched:
+        Result cardinality the optimizer estimates for the statement.
+    rows_scanned:
+        Rows read to produce the result (scan amplification).
+    row_size_bytes:
+        Average width of returned rows.
+    table_cardinality:
+        Cardinality of the largest base table the plan touches.
+    plan_complexity:
+        1 (trivial point lookup) .. 10 (deep analytical join tree); drives
+        compile cost and cached-plan size.
+    memory_grant_mb:
+        Sort/hash workspace the plan requests.
+    locks_acquired:
+        Lock manager requests per execution.
+    hot_spot_affinity:
+        0..1 propensity to touch contended hot rows (drives lock waits and
+        latch serialization under concurrency).
+    """
+
+    name: str
+    weight: float
+    read_only: bool
+    cpu_ms: float
+    logical_reads: float
+    logical_writes: float
+    rows_touched: float
+    rows_scanned: float
+    row_size_bytes: float
+    table_cardinality: float
+    plan_complexity: float
+    memory_grant_mb: float
+    locks_acquired: float
+    hot_spot_affinity: float = 0.0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValidationError(
+                f"transaction {self.name!r}: weight must be positive"
+            )
+        if self.cpu_ms <= 0:
+            raise ValidationError(
+                f"transaction {self.name!r}: cpu_ms must be positive"
+            )
+        if self.read_only and self.logical_writes > 0:
+            raise ValidationError(
+                f"transaction {self.name!r} is read_only but writes pages"
+            )
+        if not 0.0 <= self.hot_spot_affinity <= 1.0:
+            raise ValidationError(
+                f"transaction {self.name!r}: hot_spot_affinity must be in [0,1]"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Complete simulator-facing description of a benchmark workload.
+
+    Attributes
+    ----------
+    name, workload_type:
+        Identity and ground-truth category (Table 1).
+    tables, columns, indexes:
+        Schema statistics (Table 1), reported for documentation and used to
+        scale compile-time statistics.
+    transactions:
+        The transaction mix.
+    working_set_gb:
+        Hot data volume; interacts with SKU memory through the buffer pool.
+    parallel_fraction:
+        Amdahl parallel fraction of the workload's aggregate CPU work: how
+        much of the critical path benefits from added cores.
+    contention_factor:
+        Strength of data contention (lock/latch conflicts) as concurrency
+        and parallelism grow; transactional and hot-spot workloads are high.
+    checkpoint_intensity:
+        Periodic write-burst amplitude in the IO time-series (phases for
+        Phase-FP/BCPD to find).
+    access_skew:
+        0 (uniform access) .. 1 (extremely skewed, e.g. zipf 0.99); skewed
+        workloads keep their hot set cached even when the working set
+        exceeds memory.
+    base_noise:
+        Multiplicative run-to-run noise level of the measured performance.
+    """
+
+    name: str
+    workload_type: WorkloadType
+    tables: int
+    columns: int
+    indexes: int
+    transactions: tuple[TransactionType, ...]
+    working_set_gb: float
+    parallel_fraction: float
+    contention_factor: float
+    checkpoint_intensity: float = 0.0
+    access_skew: float = 0.0
+    base_noise: float = 0.04
+
+    def __post_init__(self):
+        if not self.transactions:
+            raise ValidationError(f"workload {self.name!r} has no transactions")
+        if not 0.0 <= self.parallel_fraction < 1.0:
+            raise ValidationError(
+                f"workload {self.name!r}: parallel_fraction must be in [0, 1)"
+            )
+        if self.working_set_gb <= 0:
+            raise ValidationError(
+                f"workload {self.name!r}: working_set_gb must be positive"
+            )
+        if not 0.0 <= self.access_skew <= 1.0:
+            raise ValidationError(
+                f"workload {self.name!r}: access_skew must be in [0, 1]"
+            )
+
+    # -- mix aggregates ------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalized transaction weights."""
+        raw = np.array([t.weight for t in self.transactions])
+        return raw / raw.sum()
+
+    @property
+    def n_transaction_types(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def read_only_fraction(self) -> float:
+        """Weighted fraction of read-only transactions (Table 1 column)."""
+        weights = self.weights
+        flags = np.array([t.read_only for t in self.transactions], dtype=float)
+        return float(weights @ flags)
+
+    def mix_mean(self, attribute: str) -> float:
+        """Weight-averaged value of a :class:`TransactionType` attribute."""
+        weights = self.weights
+        values = np.array(
+            [float(getattr(t, attribute)) for t in self.transactions]
+        )
+        return float(weights @ values)
+
+    def transaction(self, name: str) -> TransactionType:
+        """Look up a transaction type by name."""
+        for txn in self.transactions:
+            if txn.name == name:
+                return txn
+        raise ValidationError(
+            f"workload {self.name!r} has no transaction {name!r}"
+        )

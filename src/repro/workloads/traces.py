@@ -1,0 +1,215 @@
+"""Real-trace ingestion and export.
+
+The simulator stands in for the paper's testbed, but the pipeline itself
+only needs telemetry in the Table 2 schema.  This module lets users bring
+*their own* measurements:
+
+- :func:`experiment_from_traces` builds an :class:`ExperimentResult` from
+  raw arrays (resource time-series, plan-statistic rows, throughput
+  samples) collected on a real system;
+- :func:`resource_series_to_csv` / :func:`resource_series_from_csv` and
+  :func:`plan_rows_to_csv` / :func:`plan_rows_from_csv` round-trip the
+  telemetry through plain CSV files for interchange with collectors.
+
+An experiment built from traces is a first-class citizen: it feeds the
+same sub-experiment expansion, representations, and prediction pipeline
+as simulated data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.workloads.features import PLAN_FEATURES, RESOURCE_FEATURES
+from repro.workloads.runner import ExperimentResult
+from repro.workloads.sku import SKU
+
+
+def experiment_from_traces(
+    *,
+    workload_name: str,
+    workload_type: str,
+    sku: SKU,
+    terminals: int,
+    resource_series,
+    plan_rows,
+    plan_txn_names,
+    throughput_series=None,
+    per_txn_latency_ms: dict[str, float] | None = None,
+    per_txn_weights: dict[str, float] | None = None,
+    sample_interval_s: float = 10.0,
+    run_index: int = 0,
+    data_group: int = 0,
+) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` from raw measured telemetry.
+
+    ``resource_series`` must be ``(n_samples, 7)`` in the
+    :data:`RESOURCE_FEATURES` column order; ``plan_rows`` must be
+    ``(n_rows, 22)`` in :data:`PLAN_FEATURES` order with ``plan_txn_names``
+    naming each row's statement.  When ``throughput_series`` is omitted, a
+    flat series at the mean throughput implied by the latency data (or
+    1.0) is synthesized so downstream augmentation still works.
+    """
+    resource = np.asarray(resource_series, dtype=float)
+    if resource.ndim != 2 or resource.shape[1] != len(RESOURCE_FEATURES):
+        raise ValidationError(
+            f"resource_series must be (n_samples, {len(RESOURCE_FEATURES)}) "
+            f"in RESOURCE_FEATURES order, got {resource.shape}"
+        )
+    if resource.shape[0] < 4:
+        raise ValidationError("resource_series needs at least 4 samples")
+    plans = np.asarray(plan_rows, dtype=float)
+    if plans.ndim != 2 or plans.shape[1] != len(PLAN_FEATURES):
+        raise ValidationError(
+            f"plan_rows must be (n_rows, {len(PLAN_FEATURES)}) in "
+            f"PLAN_FEATURES order, got {plans.shape}"
+        )
+    names = list(plan_txn_names)
+    if len(names) != plans.shape[0]:
+        raise ValidationError(
+            "plan_txn_names must name every plan row "
+            f"({len(names)} names for {plans.shape[0]} rows)"
+        )
+    if not np.all(np.isfinite(resource)) or not np.all(np.isfinite(plans)):
+        raise ValidationError("telemetry contains NaN or infinite values")
+
+    if throughput_series is None:
+        throughput = np.full(resource.shape[0], 1.0)
+    else:
+        throughput = np.asarray(throughput_series, dtype=float)
+        if throughput.ndim != 1 or throughput.size < 4:
+            raise ValidationError(
+                "throughput_series must be 1-D with at least 4 samples"
+            )
+        if np.any(throughput <= 0) or not np.all(np.isfinite(throughput)):
+            raise ValidationError(
+                "throughput_series must be positive and finite"
+            )
+    mean_throughput = float(throughput.mean())
+    latency_ms = terminals / mean_throughput * 1000.0
+
+    distinct = list(dict.fromkeys(names))
+    if per_txn_latency_ms is None:
+        per_txn_latency_ms = {name: latency_ms for name in distinct}
+    if per_txn_weights is None:
+        per_txn_weights = {
+            name: names.count(name) / len(names) for name in distinct
+        }
+    return ExperimentResult(
+        workload_name=workload_name,
+        workload_type=workload_type,
+        sku=sku,
+        terminals=int(terminals),
+        run_index=int(run_index),
+        data_group=int(data_group),
+        sample_interval_s=float(sample_interval_s),
+        resource_series=resource,
+        throughput_series=throughput,
+        plan_matrix=plans,
+        plan_txn_names=names,
+        throughput=mean_throughput,
+        latency_ms=latency_ms,
+        per_txn_latency_ms=dict(per_txn_latency_ms),
+        per_txn_weights=dict(per_txn_weights),
+        bottleneck="unknown",
+        metadata={"source": "trace"},
+    )
+
+
+# -- CSV interchange -----------------------------------------------------------
+def resource_series_to_csv(result: ExperimentResult, path: str | Path) -> None:
+    """Write a result's resource time-series as CSV (header = Table 2)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp_s", *RESOURCE_FEATURES])
+        for i, row in enumerate(result.resource_series):
+            writer.writerow(
+                [i * result.sample_interval_s, *map(float, row)]
+            )
+
+
+def resource_series_from_csv(path: str | Path) -> np.ndarray:
+    """Read a resource time-series CSV back into ``(n_samples, 7)``."""
+    rows = _read_csv(path, expected=["timestamp_s", *RESOURCE_FEATURES])
+    return rows[:, 1:]
+
+
+def plan_rows_to_csv(result: ExperimentResult, path: str | Path) -> None:
+    """Write a result's plan-statistic rows as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["statement", *PLAN_FEATURES])
+        for name, row in zip(result.plan_txn_names, result.plan_matrix):
+            writer.writerow([name, *map(float, row)])
+
+
+def plan_rows_from_csv(path: str | Path) -> tuple[np.ndarray, list[str]]:
+    """Read plan rows back as ``(matrix, statement_names)``."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValidationError(f"cannot read {path}: {exc}") from exc
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    expected = ["statement", *PLAN_FEATURES]
+    if header != expected:
+        raise ValidationError(
+            f"{path} header does not match the plan-feature schema"
+        )
+    names, rows = [], []
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(expected):
+            raise ValidationError(
+                f"{path}:{line_number}: expected {len(expected)} columns"
+            )
+        names.append(row[0])
+        try:
+            rows.append([float(value) for value in row[1:]])
+        except ValueError as exc:
+            raise ValidationError(
+                f"{path}:{line_number}: non-numeric value ({exc})"
+            ) from None
+    if not rows:
+        raise ValidationError(f"{path} contains no data rows")
+    return np.asarray(rows, dtype=float), names
+
+
+def _read_csv(path: str | Path, *, expected: list[str]) -> np.ndarray:
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValidationError(f"cannot read {path}: {exc}") from exc
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header != expected:
+        raise ValidationError(
+            f"{path} header does not match the expected schema"
+        )
+    rows = []
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(expected):
+            raise ValidationError(
+                f"{path}:{line_number}: expected {len(expected)} columns"
+            )
+        try:
+            rows.append([float(value) for value in row])
+        except ValueError as exc:
+            raise ValidationError(
+                f"{path}:{line_number}: non-numeric value ({exc})"
+            ) from None
+    if not rows:
+        raise ValidationError(f"{path} contains no data rows")
+    return np.asarray(rows, dtype=float)

@@ -1,0 +1,58 @@
+"""Shared fixtures: small simulated corpora reused across test modules.
+
+Session-scoped because corpus generation, while fast, is pure overhead
+when repeated by every test; everything derived from these fixtures must
+treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    paper_corpus,
+    run_experiments,
+    scaling_corpus,
+    workload_by_name,
+)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A reduced Sections 4/5 corpus (shorter runs, fewer samples)."""
+    return paper_corpus(duration_s=1800.0, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def scaling_repo():
+    """TPC-C + Twitter + TPC-H across the four CPU SKUs."""
+    return scaling_corpus(
+        ["tpcc", "twitter", "tpch"], duration_s=1800.0, random_state=7
+    )
+
+
+@pytest.fixture(scope="session")
+def tpcc_run():
+    """One full TPC-C experiment at 8 terminals on 8 CPUs."""
+    runner = ExperimentRunner(workload_by_name("tpcc"), random_state=3)
+    return runner.run(SKU(cpus=8, memory_gb=32.0), terminals=8)
+
+
+@pytest.fixture(scope="session")
+def two_sku_references():
+    """Reference workloads on 2-CPU and 8-CPU SKUs (pipeline tests)."""
+    return run_experiments(
+        [workload_by_name(n) for n in ("tpcc", "twitter", "tpch")],
+        [SKU(cpus=2, memory_gb=32.0), SKU(cpus=8, memory_gb=32.0)],
+        duration_s=1800.0,
+        random_state=42,
+    )
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

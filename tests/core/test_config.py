@@ -1,0 +1,45 @@
+import pytest
+
+from repro.core import PipelineConfig
+from repro.exceptions import ValidationError
+
+
+class TestDefaults:
+    def test_paper_recommended_defaults(self):
+        config = PipelineConfig()
+        assert config.selection_strategy == "RFE LogReg"
+        assert config.top_k == 7
+        assert config.representation == "hist"
+        assert config.measure == "L2,1"
+        assert config.scaling_strategy == "SVM"
+        assert config.scaling_context == "pairwise"
+
+    def test_frozen(self):
+        config = PipelineConfig()
+        with pytest.raises(AttributeError):
+            config.top_k = 3
+
+
+class TestValidation:
+    def test_invalid_top_k(self):
+        with pytest.raises(ValidationError):
+            PipelineConfig(top_k=0)
+
+    def test_invalid_scope(self):
+        with pytest.raises(ValidationError):
+            PipelineConfig(feature_scope="network")
+
+    def test_invalid_representation(self):
+        with pytest.raises(ValidationError):
+            PipelineConfig(representation="wavelet")
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValidationError):
+            PipelineConfig(scaling_strategy="XGB")
+
+    def test_invalid_context(self):
+        with pytest.raises(ValidationError):
+            PipelineConfig(scaling_context="global")
+
+    def test_plan_scope_accepted(self):
+        assert PipelineConfig(feature_scope="plan").feature_scope == "plan"

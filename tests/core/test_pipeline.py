@@ -1,0 +1,136 @@
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, WorkloadPredictionPipeline
+from repro.exceptions import PipelineError, ValidationError
+from repro.workloads import SKU, run_experiments, workload_by_name
+from repro.workloads.corpus import expand_subexperiments
+from repro.workloads.features import PLAN_FEATURES
+
+
+SOURCE = SKU(cpus=2, memory_gb=32.0)
+TARGET = SKU(cpus=8, memory_gb=32.0)
+
+
+@pytest.fixture(scope="module")
+def ycsb_source():
+    return run_experiments(
+        [workload_by_name("ycsb")],
+        [SOURCE],
+        terminals_for=lambda w: (32,),
+        duration_s=1800.0,
+        random_state=77,
+    )
+
+
+@pytest.fixture(scope="module")
+def ycsb_target():
+    return run_experiments(
+        [workload_by_name("ycsb")],
+        [TARGET],
+        terminals_for=lambda w: (32,),
+        duration_s=1800.0,
+        random_state=78,
+    )
+
+
+class TestFeatureSelectionStage:
+    def test_top_k_names_returned(self, two_sku_references):
+        pipeline = WorkloadPredictionPipeline()
+        subexp = expand_subexperiments(two_sku_references.by_sku(SOURCE))
+        features = pipeline.select_features(subexp)
+        assert len(features) == 7
+        assert len(set(features)) == 7
+
+    def test_plan_scope_restricts(self, two_sku_references):
+        config = PipelineConfig(feature_scope="plan")
+        pipeline = WorkloadPredictionPipeline(config)
+        subexp = expand_subexperiments(two_sku_references.by_sku(SOURCE))
+        features = pipeline.select_features(subexp)
+        assert all(name in PLAN_FEATURES for name in features)
+
+    def test_unknown_strategy_fails_cleanly(self, two_sku_references):
+        # Bypass config validation to exercise the pipeline-level error.
+        config = PipelineConfig()
+        object.__setattr__(config, "selection_strategy", "Made Up")
+        pipeline = WorkloadPredictionPipeline(config)
+        subexp = expand_subexperiments(two_sku_references.by_sku(SOURCE))
+        with pytest.raises(PipelineError, match="unknown selection"):
+            pipeline.select_features(subexp)
+
+
+class TestSimilarityStage:
+    def test_ycsb_nearest_is_tpcc(self, two_sku_references, ycsb_source):
+        """Figure 10: YCSB -> TPC-C, then Twitter, with TPC-H far away."""
+        pipeline = WorkloadPredictionPipeline()
+        refs = expand_subexperiments(two_sku_references.by_sku(SOURCE))
+        target = expand_subexperiments(ycsb_source)
+        features = pipeline.select_features(refs)
+        ranking = pipeline.rank_similarity(refs, target, features)
+        ordered = [name for name, _ in ranking.ordered]
+        assert ordered[0] == "tpcc"
+        assert ordered[-1] == "tpch"
+
+    def test_target_must_be_single_workload(self, two_sku_references):
+        pipeline = WorkloadPredictionPipeline()
+        refs = expand_subexperiments(two_sku_references.by_sku(SOURCE))
+        with pytest.raises(ValidationError, match="one workload"):
+            pipeline.rank_similarity(refs, refs, ("AvgRowSize",))
+
+
+class TestEndToEnd:
+    def test_full_prediction_report(
+        self, two_sku_references, ycsb_source, ycsb_target
+    ):
+        pipeline = WorkloadPredictionPipeline()
+        report = pipeline.predict_scaling(
+            two_sku_references,
+            ycsb_source,
+            SOURCE,
+            TARGET,
+            target_validation=ycsb_target,
+        )
+        assert report.target_workload == "ycsb"
+        assert report.reference_workload == "tpcc"
+        assert len(report.selected_features) == 7
+        # The transferred TPC-C scaling model lands within ~30% of truth.
+        assert report.mape() < 0.3
+        # And predicts an improvement from 2 to 8 CPUs.
+        source_mean = float(
+            np.mean([r.throughput for r in ycsb_source])
+        )
+        assert report.predicted_mean > source_mean
+
+    def test_prediction_without_validation(
+        self, two_sku_references, ycsb_source
+    ):
+        pipeline = WorkloadPredictionPipeline()
+        report = pipeline.predict_scaling(
+            two_sku_references, ycsb_source, SOURCE, TARGET
+        )
+        assert report.actual_throughput is None
+        assert report.predicted_mean > 0
+
+    def test_single_context_pipeline(
+        self, two_sku_references, ycsb_source, ycsb_target
+    ):
+        config = PipelineConfig(scaling_context="single")
+        pipeline = WorkloadPredictionPipeline(config)
+        report = pipeline.predict_scaling(
+            two_sku_references,
+            ycsb_source,
+            SOURCE,
+            TARGET,
+            target_validation=ycsb_target,
+        )
+        assert report.mape() < 0.5
+
+    def test_missing_source_runs_rejected(self, two_sku_references, ycsb_source):
+        pipeline = WorkloadPredictionPipeline()
+        with pytest.raises(PipelineError, match="source SKU"):
+            pipeline.predict_scaling(
+                two_sku_references,
+                ycsb_source,
+                SKU(cpus=64, memory_gb=32.0),
+                TARGET,
+            )

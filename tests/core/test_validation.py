@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    QualityIssue,
+    validate_corpus,
+    validate_distance_matrix,
+    validate_experiment,
+)
+from repro.exceptions import ValidationError
+from repro.workloads import ExperimentRepository
+from repro.workloads.features import RESOURCE_FEATURES
+from repro.workloads.runner import clone_with
+from repro.workloads.sampling import systematic_subexperiments
+
+
+class TestValidateExperiment:
+    def test_clean_simulated_run_passes(self, tpcc_run):
+        report = validate_experiment(tpcc_run)
+        assert report.ok
+        assert report.errors() == []
+
+    def test_nan_flagged_as_error(self, tpcc_run):
+        broken = tpcc_run.resource_series.copy()
+        broken[3, 2] = np.nan
+        report = validate_experiment(
+            clone_with(tpcc_run, resource_series=broken)
+        )
+        assert not report.ok
+        assert any("non-finite" in i.message for i in report.errors())
+
+    def test_negative_values_flagged(self, tpcc_run):
+        broken = tpcc_run.resource_series.copy()
+        broken[0, 0] = -5.0
+        report = validate_experiment(
+            clone_with(tpcc_run, resource_series=broken)
+        )
+        assert any("negative" in i.message for i in report.errors())
+
+    def test_overfull_utilization_flagged(self, tpcc_run):
+        broken = tpcc_run.resource_series.copy()
+        broken[:, RESOURCE_FEATURES.index("CPU_UTILIZATION")] = 140.0
+        report = validate_experiment(
+            clone_with(tpcc_run, resource_series=broken)
+        )
+        assert any("100%" in i.message for i in report.errors())
+
+    def test_flat_channel_warned(self, tpcc_run):
+        flat = tpcc_run.resource_series.copy()
+        flat[:, RESOURCE_FEATURES.index("IOPS_TOTAL")] = 42.0
+        report = validate_experiment(clone_with(tpcc_run, resource_series=flat))
+        assert report.ok  # warnings only
+        assert any("flat" in i.message for i in report.warnings())
+
+    def test_truncated_collection_warned(self, tpcc_run):
+        report = validate_experiment(tpcc_run, expected_samples=2 * 360)
+        assert any("expected samples" in i.message for i in report.warnings())
+
+    def test_latency_throughput_mismatch_warned(self, tpcc_run):
+        report = validate_experiment(
+            clone_with(tpcc_run, latency_ms=tpcc_run.latency_ms * 10)
+        )
+        assert any(
+            "response-time law" in i.message for i in report.warnings()
+        )
+
+    def test_summary_renders(self, tpcc_run):
+        report = validate_experiment(tpcc_run)
+        assert report.summary() == "no issues found"
+        issue = QualityIssue("error", "x", "boom")
+        assert "[error] x: boom" in str(issue)
+
+
+class TestValidateCorpus:
+    def test_clean_corpus_passes(self, small_corpus):
+        subset = small_corpus.filter(lambda r: r.subsample_index in (0, 1))
+        report = validate_corpus(subset)
+        assert report.ok
+
+    def test_duplicate_identity_is_error(self, tpcc_run):
+        subs = systematic_subexperiments(tpcc_run)[:2]
+        report = validate_corpus([subs[0], subs[0], subs[1]])
+        assert not report.ok
+        assert any("duplicate" in i.message for i in report.errors())
+
+    def test_lonely_workload_warned(self, tpcc_run):
+        report = validate_corpus([tpcc_run])
+        assert any("neighbours" in i.message for i in report.warnings())
+
+    def test_constant_feature_warned(self, tpcc_run):
+        subs = systematic_subexperiments(tpcc_run)[:3]
+        flattened = []
+        for sub in subs:
+            resource = sub.resource_series.copy()
+            resource[:, 0] = 7.0  # identical across all experiments
+            flattened.append(clone_with(sub, resource_series=resource))
+        report = validate_corpus(flattened)
+        assert any(
+            i.scope == "CPU_UTILIZATION" and "constant" in i.message
+            for i in report.warnings()
+        )
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_corpus(ExperimentRepository())
+
+
+class TestValidateDistanceMatrix:
+    def test_healthy_matrix_passes(self):
+        D = np.array(
+            [
+                [0.0, 0.1, 0.9],
+                [0.1, 0.0, 0.8],
+                [0.9, 0.8, 0.0],
+            ]
+        )
+        report = validate_distance_matrix(D, ["a", "a", "b"])
+        assert report.ok
+        assert report.warnings() == []
+
+    def test_asymmetry_is_error(self):
+        D = np.array([[0.0, 1.0], [2.0, 0.0]])
+        report = validate_distance_matrix(D, ["a", "b"])
+        assert any("symmetric" in i.message for i in report.errors())
+
+    def test_nonzero_diagonal_is_error(self):
+        D = np.array([[1.0, 1.0], [1.0, 0.0]])
+        report = validate_distance_matrix(D, ["a", "b"])
+        assert any("diagonal" in i.message for i in report.errors())
+
+    def test_non_finite_short_circuits(self):
+        D = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        report = validate_distance_matrix(D, ["a", "b"])
+        assert len(report.issues) == 1
+        assert "non-finite" in report.issues[0].message
+
+    def test_uninformative_feature_set_warned(self):
+        # Same-label distances exceed cross-label ones for "a".
+        D = np.array(
+            [
+                [0.0, 0.9, 0.1],
+                [0.9, 0.0, 0.1],
+                [0.1, 0.1, 0.0],
+            ]
+        )
+        report = validate_distance_matrix(D, ["a", "a", "b"])
+        assert any(i.scope == "a" for i in report.warnings())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            validate_distance_matrix(np.zeros((2, 3)), ["a", "b"])
+        with pytest.raises(ValidationError):
+            validate_distance_matrix(np.zeros((2, 2)), ["a"])

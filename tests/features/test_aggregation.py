@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features import (
+    BaselineSelector,
+    FANOVASelector,
+    aggregate_rankings,
+    rank_features_per_run,
+    top_k_features,
+)
+
+
+class TestBaselineSelector:
+    def test_registry_order(self, rng):
+        X = rng.normal(size=(10, 5))
+        selector = BaselineSelector().fit(X)
+        np.testing.assert_array_equal(selector.ranking(), [1, 2, 3, 4, 5])
+
+    def test_top_k_is_prefix(self, rng):
+        X = rng.normal(size=(10, 5))
+        selector = BaselineSelector().fit(X)
+        np.testing.assert_array_equal(selector.top_k(3), [0, 1, 2])
+
+
+class TestAggregateRankings:
+    def test_single_ranking_identity(self):
+        consensus = aggregate_rankings([[2, 1, 3]])
+        np.testing.assert_array_equal(consensus, [2, 1, 3])
+
+    def test_mean_rank_aggregation(self):
+        consensus = aggregate_rankings([[1, 2, 3], [3, 2, 1]])
+        # Ties on mean rank 2 everywhere -> index order.
+        np.testing.assert_array_equal(consensus, [1, 2, 3])
+
+    def test_majority_wins(self):
+        consensus = aggregate_rankings([[1, 2, 3], [1, 2, 3], [3, 1, 2]])
+        assert consensus[0] == 1
+
+    def test_permutation_output(self, rng):
+        rankings = [rng.permutation(8) + 1 for _ in range(5)]
+        consensus = aggregate_rankings(rankings)
+        assert sorted(consensus) == list(range(1, 9))
+
+    def test_order_of_rankings_irrelevant(self, rng):
+        rankings = [list(rng.permutation(6) + 1) for _ in range(4)]
+        a = aggregate_rankings(rankings)
+        b = aggregate_rankings(list(reversed(rankings)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_based_rank_rejected(self):
+        with pytest.raises(ValidationError, match="1-based"):
+            aggregate_rankings([[0, 1, 2]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            aggregate_rankings([])
+
+
+class TestTopKFeatures:
+    def test_selects_lowest_aggregate_rank(self):
+        top = top_k_features([[1, 3, 2], [1, 3, 2]], k=2)
+        np.testing.assert_array_equal(top, [0, 2])
+
+    def test_k_bounds(self):
+        with pytest.raises(ValidationError):
+            top_k_features([[1, 2, 3]], k=0)
+        with pytest.raises(ValidationError):
+            top_k_features([[1, 2, 3]], k=4)
+
+
+class TestPerRunRankings:
+    def test_one_ranking_per_run(self, small_corpus):
+        rankings = rank_features_per_run(small_corpus, FANOVASelector)
+        assert len(rankings) == 3  # three repetitions in the corpus
+        for ranking in rankings:
+            assert sorted(ranking) == list(range(1, 30))
+
+    def test_aggregation_stabilizes_selection(self, small_corpus):
+        rankings = rank_features_per_run(small_corpus, FANOVASelector)
+        consensus_top = set(top_k_features(rankings, k=7))
+        # The consensus should overlap heavily with each run's own top-7.
+        for ranking in rankings:
+            run_top = set(np.argsort(ranking, kind="stable")[:7])
+            assert len(consensus_top & run_top) >= 4

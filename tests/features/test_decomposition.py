@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features import PCA, TruncatedSVD
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        X = rng.normal(size=(60, 5))
+        pca = PCA(3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_ratio_sums_below_one(self, rng):
+        X = rng.normal(size=(60, 5))
+        pca = PCA(2).fit(X)
+        assert 0 < pca.explained_variance_ratio_.sum() <= 1.0
+
+    def test_full_rank_reconstruction(self, rng):
+        X = rng.normal(size=(30, 4))
+        pca = PCA(4).fit(X)
+        restored = pca.inverse_transform(pca.transform(X))
+        np.testing.assert_allclose(restored, X, atol=1e-10)
+
+    def test_first_component_captures_dominant_direction(self, rng):
+        direction = np.array([1.0, 0.0, 0.0])
+        X = rng.normal(size=(200, 1)) * 10 * direction + rng.normal(
+            0, 0.1, size=(200, 3)
+        )
+        pca = PCA(1).fit(X)
+        assert abs(pca.components_[0, 0]) > 0.99
+
+    def test_transform_centers_data(self, rng):
+        X = rng.normal(5.0, 1.0, size=(50, 3))
+        transformed = PCA(2).fit_transform(X)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0, atol=1e-10)
+
+    def test_too_many_components(self, rng):
+        with pytest.raises(ValidationError, match="n_components"):
+            PCA(10).fit(rng.normal(size=(5, 3)))
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValidationError):
+            PCA(0)
+
+    def test_variance_ordering(self, rng):
+        X = rng.normal(size=(100, 4)) * np.array([10.0, 3.0, 1.0, 0.1])
+        pca = PCA(4).fit(X)
+        variances = pca.explained_variance_
+        assert list(variances) == sorted(variances, reverse=True)
+
+
+class TestTruncatedSVD:
+    def test_transform_shape(self, rng):
+        X = rng.normal(size=(40, 6))
+        assert TruncatedSVD(2).fit_transform(X).shape == (40, 2)
+
+    def test_singular_values_descending(self, rng):
+        X = rng.normal(size=(40, 6))
+        svd = TruncatedSVD(4).fit(X)
+        values = svd.singular_values_
+        assert list(values) == sorted(values, reverse=True)
+
+    def test_matches_numpy_svd(self, rng):
+        X = rng.normal(size=(20, 5))
+        svd = TruncatedSVD(3).fit(X)
+        _, s, _ = np.linalg.svd(X, full_matrices=False)
+        np.testing.assert_allclose(svd.singular_values_, s[:3], atol=1e-10)
+
+    def test_component_bound(self, rng):
+        with pytest.raises(ValidationError):
+            TruncatedSVD(7).fit(rng.normal(size=(4, 6)))

@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features import (
+    ElasticNetSelector,
+    LassoSelector,
+    RandomForestSelector,
+    one_vs_rest_lasso_path,
+)
+from repro.features.embedded import lasso_path_top_features
+
+
+@pytest.fixture
+def class_data(rng):
+    y = np.repeat(["a", "b", "c"], 50)
+    f_a = np.where(y == "a", 3.0, 0.0) + rng.normal(0, 0.3, 150)
+    f_b = np.where(y == "b", 3.0, 0.0) + rng.normal(0, 0.3, 150)
+    noise1 = rng.normal(size=150)
+    noise2 = rng.normal(size=150)
+    return np.column_stack([noise1, f_a, noise2, f_b]), y
+
+
+class TestLassoSelector:
+    def test_informative_features_on_top(self, class_data):
+        X, y = class_data
+        selector = LassoSelector(alpha=0.01).fit(X, y)
+        assert set(selector.top_k(2)) == {1, 3}
+
+    def test_class_coefs_shape(self, class_data):
+        X, y = class_data
+        selector = LassoSelector(alpha=0.01).fit(X, y)
+        assert selector.class_coefs_.shape == (3, 4)
+
+    def test_strong_alpha_zeroes_noise(self, class_data):
+        X, y = class_data
+        selector = LassoSelector(alpha=0.1).fit(X, y)
+        assert selector.scores_[0] == 0.0
+        assert selector.scores_[2] == 0.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            LassoSelector(alpha=-0.1)
+
+
+class TestElasticNetSelector:
+    def test_informative_features_on_top(self, class_data):
+        X, y = class_data
+        selector = ElasticNetSelector(alpha=0.01).fit(X, y)
+        assert set(selector.top_k(2)) == {1, 3}
+
+    def test_keeps_correlated_groups(self, rng):
+        y = np.repeat(["a", "b"], 60)
+        base = np.where(y == "a", 0.0, 2.0) + rng.normal(0, 0.1, 120)
+        twin = base + rng.normal(0, 0.01, 120)
+        X = np.column_stack([base, twin, rng.normal(size=120)])
+        selector = ElasticNetSelector(alpha=0.05, l1_ratio=0.3).fit(X, y)
+        # Both correlated copies should retain non-zero importance.
+        assert selector.scores_[0] > 0 and selector.scores_[1] > 0
+
+
+class TestRandomForestSelector:
+    def test_informative_features_on_top(self, class_data):
+        X, y = class_data
+        selector = RandomForestSelector(50, random_state=0).fit(X, y)
+        assert set(selector.top_k(2)) == {1, 3}
+
+    def test_importances_normalized(self, class_data):
+        X, y = class_data
+        selector = RandomForestSelector(30, random_state=0).fit(X, y)
+        assert selector.scores_.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self, class_data):
+        X, y = class_data
+        a = RandomForestSelector(20, random_state=1).fit(X, y).ranking()
+        b = RandomForestSelector(20, random_state=1).fit(X, y).ranking()
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLassoPathHelpers:
+    def test_one_vs_rest_path_shapes(self, class_data):
+        X, y = class_data
+        alphas, coefs = one_vs_rest_lasso_path(X, y, "a", n_alphas=20)
+        assert alphas.shape == (20,)
+        assert coefs.shape == (20, 4)
+
+    def test_path_identifies_class_feature(self, class_data):
+        X, y = class_data
+        _, coefs = one_vs_rest_lasso_path(X, y, "a", n_alphas=25)
+        top = lasso_path_top_features(None, coefs, k=1)
+        assert top[0] == 1  # f_a identifies class "a"
+
+    def test_unknown_class_rejected(self, class_data):
+        X, y = class_data
+        with pytest.raises(ValidationError, match="positive_class"):
+            one_vs_rest_lasso_path(X, y, "zebra")
+
+    def test_top_features_ordering(self, class_data):
+        X, y = class_data
+        _, coefs = one_vs_rest_lasso_path(X, y, "b", n_alphas=25)
+        top = lasso_path_top_features(None, coefs, k=4)
+        assert top[0] == 3
+        assert len(top) == 4
+
+    def test_top_features_k_capped(self, class_data):
+        X, y = class_data
+        _, coefs = one_vs_rest_lasso_path(X, y, "a", n_alphas=10)
+        assert len(lasso_path_top_features(None, coefs, k=100)) == 4
+
+    def test_bad_coefs_shape(self):
+        with pytest.raises(ValidationError):
+            lasso_path_top_features(None, np.zeros(5), k=2)

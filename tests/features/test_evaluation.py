@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features import (
+    classify_accuracy_curve,
+    knn_feature_subset_accuracy,
+    strategy_registry,
+)
+from repro.similarity import RepresentationBuilder
+from repro.workloads.features import ALL_FEATURES, feature_index
+
+
+class TestKnnAccuracy:
+    def test_good_feature_subset_high_accuracy(self, small_corpus):
+        indices = [
+            feature_index("AvgRowSize"),
+            feature_index("TableCardinality"),
+            feature_index("CachedPlanSize"),
+            feature_index("READ_WRITE_RATIO"),
+            feature_index("IOPS_TOTAL"),
+            feature_index("MEM_UTILIZATION"),
+            feature_index("EstimateIO"),
+        ]
+        accuracy = knn_feature_subset_accuracy(small_corpus, indices)
+        assert accuracy > 0.9
+
+    def test_junk_feature_low_accuracy(self, small_corpus):
+        accuracy = knn_feature_subset_accuracy(
+            small_corpus, [feature_index("LOCK_WAIT_ABS")]
+        )
+        # One environment-driven channel cannot identify workloads.
+        assert accuracy < 0.7
+
+    def test_prefit_builder_reused(self, small_corpus):
+        builder = RepresentationBuilder().fit(small_corpus)
+        a = knn_feature_subset_accuracy(
+            small_corpus, [10, 11], builder=builder
+        )
+        b = knn_feature_subset_accuracy(small_corpus, [10, 11])
+        assert a == pytest.approx(b)
+
+    def test_empty_subset_rejected(self, small_corpus):
+        with pytest.raises(ValidationError):
+            knn_feature_subset_accuracy(small_corpus, [])
+
+    def test_out_of_range_index(self, small_corpus):
+        with pytest.raises(ValidationError):
+            knn_feature_subset_accuracy(small_corpus, [99])
+
+
+class TestStrategyRegistry:
+    def test_full_registry_matches_table3(self):
+        names = set(strategy_registry())
+        assert names == {
+            "Variance",
+            "fANOVA",
+            "MIGain",
+            "Pearson",
+            "Lasso",
+            "Elastic Net",
+            "RandomForest",
+            "RFE Linear",
+            "RFE DecTree",
+            "RFE LogReg",
+            "Fw SFS Linear",
+            "Fw SFS DecTree",
+            "Fw SFS LogReg",
+            "Bw SFS Linear",
+            "Bw SFS DecTree",
+            "Bw SFS LogReg",
+            "Baseline",
+        }
+
+    def test_fast_only_excludes_sfs(self):
+        names = set(strategy_registry(fast_only=True))
+        assert not any(name.startswith(("Fw", "Bw")) for name in names)
+        assert "Baseline" in names
+
+    def test_factories_produce_fresh_selectors(self):
+        registry = strategy_registry(fast_only=True)
+        a = registry["fANOVA"]()
+        b = registry["fANOVA"]()
+        assert a is not b
+
+
+class TestAccuracyCurves:
+    def test_increasing(self):
+        assert classify_accuracy_curve([0.5, 0.7, 0.9, 0.95]) == "increasing"
+
+    def test_flat_counts_as_increasing(self):
+        assert classify_accuracy_curve([0.9, 0.9, 0.9]) == "increasing"
+
+    def test_peaking(self):
+        assert classify_accuracy_curve([0.5, 0.9, 0.99, 0.8]) == "peaking"
+
+    def test_inconclusive(self):
+        assert classify_accuracy_curve([0.9, 0.3, 0.8, 0.4]) == "inconclusive"
+
+    def test_tolerance_absorbs_jitter(self):
+        curve = [0.90, 0.905, 0.9, 0.91]
+        assert classify_accuracy_curve(curve, tolerance=0.01) == "increasing"
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValidationError):
+            classify_accuracy_curve([0.5, 0.6])

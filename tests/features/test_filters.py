@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.features import (
+    FANOVASelector,
+    MutualInfoGainSelector,
+    PearsonCorrelationSelector,
+    VarianceThresholdSelector,
+)
+
+
+@pytest.fixture
+def labeled_data(rng):
+    """Three features: strong signal, weak signal, pure noise."""
+    y = np.repeat(["a", "b"], 60)
+    strong = np.where(y == "a", 0.0, 10.0) + rng.normal(0, 0.5, 120)
+    weak = np.where(y == "a", 0.0, 1.0) + rng.normal(0, 1.0, 120)
+    noise = rng.normal(size=120)
+    return np.column_stack([noise, weak, strong]), y
+
+
+class TestVarianceThreshold:
+    def test_ranks_by_normalized_variance(self, rng):
+        # Column 0: bimodal at the extremes (max variance after min-max);
+        # column 1: concentrated.
+        bimodal = np.concatenate([np.zeros(50), np.ones(50)])
+        narrow = rng.normal(0.5, 0.01, size=100)
+        X = np.column_stack([narrow, bimodal])
+        selector = VarianceThresholdSelector().fit(X)
+        assert selector.top_k(1)[0] == 1
+
+    def test_support_mask(self, rng):
+        X = np.column_stack([np.full(20, 3.0), rng.normal(size=20)])
+        selector = VarianceThresholdSelector(threshold=0.0).fit(X)
+        assert not selector.support_[0]  # constant feature excluded
+        assert selector.support_[1]
+
+    def test_unsupervised_ignores_y(self, rng):
+        X = rng.normal(size=(30, 3))
+        a = VarianceThresholdSelector().fit(X).ranking()
+        b = VarianceThresholdSelector().fit(X, y=None).ranking()
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            VarianceThresholdSelector(threshold=-0.1)
+
+
+class TestPearson:
+    def test_signal_ranked_first(self, labeled_data):
+        X, y = labeled_data
+        selector = PearsonCorrelationSelector().fit(X, y)
+        assert selector.top_k(1)[0] == 2
+
+    def test_scores_in_unit_interval(self, labeled_data):
+        X, y = labeled_data
+        selector = PearsonCorrelationSelector().fit(X, y)
+        assert np.all(selector.scores_ >= 0)
+        assert np.all(selector.scores_ <= 1.0 + 1e-9)
+
+    def test_multiclass_one_vs_rest(self, rng):
+        y = np.repeat(["a", "b", "c"], 40)
+        # Feature separates only class "c" from the others.
+        feature = np.where(y == "c", 5.0, 0.0) + rng.normal(0, 0.1, 120)
+        X = np.column_stack([feature, rng.normal(size=120)])
+        selector = PearsonCorrelationSelector().fit(X, y)
+        assert selector.top_k(1)[0] == 0
+
+
+class TestFANOVA:
+    def test_signal_ranked_first(self, labeled_data):
+        X, y = labeled_data
+        assert FANOVASelector().fit(X, y).top_k(1)[0] == 2
+
+    def test_score_ordering_matches_signal_strength(self, labeled_data):
+        X, y = labeled_data
+        scores = FANOVASelector().fit(X, y).scores_
+        assert scores[2] > scores[1] > scores[0]
+
+
+class TestMutualInfoGain:
+    def test_signal_ranked_first(self, labeled_data):
+        X, y = labeled_data
+        assert MutualInfoGainSelector().fit(X, y).top_k(1)[0] == 2
+
+    def test_scores_non_negative(self, labeled_data):
+        X, y = labeled_data
+        assert np.all(MutualInfoGainSelector().fit(X, y).scores_ >= 0)
+
+    def test_bin_count_validated(self):
+        with pytest.raises(ValidationError):
+            MutualInfoGainSelector(n_bins=1)
+
+
+class TestSelectorProtocol:
+    def test_ranking_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PearsonCorrelationSelector().ranking()
+
+    def test_single_class_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValidationError, match="two target classes"):
+            FANOVASelector().fit(X, np.zeros(10))
+
+    def test_top_k_bounds(self, labeled_data):
+        X, y = labeled_data
+        selector = FANOVASelector().fit(X, y)
+        with pytest.raises(ValidationError):
+            selector.top_k(0)
+        with pytest.raises(ValidationError):
+            selector.top_k(4)
+
+    def test_top_k_ordered_by_importance(self, labeled_data):
+        X, y = labeled_data
+        selector = FANOVASelector().fit(X, y)
+        top = selector.top_k(3)
+        scores = selector.scores_[top]
+        assert list(scores) == sorted(scores, reverse=True)
+
+    def test_is_score_based_flag(self, labeled_data):
+        X, y = labeled_data
+        assert FANOVASelector().fit(X, y).is_score_based

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features import (
+    FANOVASelector,
+    consensus_stability_curve,
+    jaccard_similarity,
+    rank_features_per_run,
+    selection_stability,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity([1, 2, 3], [2, 3, 4]) == 0.5
+
+    def test_empty_sets(self):
+        assert jaccard_similarity([], []) == 1.0
+
+
+class TestSelectionStability:
+    def test_identical_rankings_perfectly_stable(self):
+        ranking = np.arange(1, 11)
+        assert selection_stability([ranking, ranking, ranking], k=3) == 1.0
+
+    def test_reversed_rankings_unstable_at_small_k(self):
+        forward = np.arange(1, 11)
+        backward = forward[::-1]
+        assert selection_stability([forward, backward], k=3) == 0.0
+
+    def test_full_k_always_stable(self):
+        a = np.random.default_rng(0).permutation(8) + 1
+        b = np.random.default_rng(1).permutation(8) + 1
+        assert selection_stability([a, b], k=8) == 1.0
+
+    def test_needs_two_rankings(self):
+        with pytest.raises(ValidationError):
+            selection_stability([np.arange(1, 5)], k=2)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValidationError):
+            selection_stability([np.arange(1, 5), np.arange(1, 5)], k=9)
+
+
+class TestConsensusCurve:
+    def test_stability_grows_with_pool_size(self, small_corpus):
+        """The paper's observation: more runs -> more stable selections."""
+        rankings = rank_features_per_run(small_corpus, FANOVASelector)
+        # Duplicate with jitter to have more than three rankings.
+        rng = np.random.default_rng(0)
+        jittered = []
+        for ranking in rankings * 2:
+            noise_order = np.argsort(
+                np.asarray(ranking) + rng.normal(0, 2.0, len(ranking))
+            )
+            jittery = np.empty(len(ranking), dtype=int)
+            jittery[noise_order] = np.arange(1, len(ranking) + 1)
+            jittered.append(jittery)
+        curve = consensus_stability_curve(jittered, k=7, random_state=0)
+        sizes = sorted(curve)
+        assert curve[sizes[-1]] >= curve[sizes[0]] - 0.05
+
+    def test_curve_keys(self):
+        rankings = [np.arange(1, 6), np.arange(1, 6)[::-1], np.arange(1, 6)]
+        curve = consensus_stability_curve(rankings, k=2, n_resamples=5)
+        assert sorted(curve) == [1, 2, 3]
+
+    def test_values_in_unit_interval(self):
+        rankings = [np.arange(1, 6), np.arange(1, 6)[::-1]]
+        curve = consensus_stability_curve(rankings, k=2, n_resamples=8)
+        assert all(0.0 <= v <= 1.0 for v in curve.values())

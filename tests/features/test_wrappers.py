@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features import RecursiveFeatureElimination, SequentialFeatureSelector
+
+
+@pytest.fixture
+def wrapped_data(rng):
+    y = np.repeat(["a", "b"], 50)
+    signal = np.where(y == "a", 0.0, 4.0) + rng.normal(0, 0.4, 100)
+    helper = np.where(y == "a", 0.0, 1.0) + rng.normal(0, 0.8, 100)
+    noise = rng.normal(size=(100, 2))
+    return np.column_stack([noise[:, 0], signal, noise[:, 1], helper]), y
+
+
+class TestRFE:
+    @pytest.mark.parametrize("estimator", ["linear", "dectree", "logreg"])
+    def test_ranking_is_permutation(self, wrapped_data, estimator):
+        X, y = wrapped_data
+        rfe = RecursiveFeatureElimination(estimator).fit(X, y)
+        assert sorted(rfe.ranking()) == [1, 2, 3, 4]
+
+    @pytest.mark.parametrize("estimator", ["linear", "logreg"])
+    def test_signal_feature_ranked_first(self, wrapped_data, estimator):
+        X, y = wrapped_data
+        rfe = RecursiveFeatureElimination(estimator).fit(X, y)
+        assert rfe.top_k(1)[0] == 1
+
+    def test_step_greater_than_one(self, wrapped_data):
+        X, y = wrapped_data
+        rfe = RecursiveFeatureElimination("logreg", step=2).fit(X, y)
+        assert sorted(rfe.ranking()) == [1, 2, 3, 4]
+
+    def test_unknown_estimator(self):
+        with pytest.raises(ValidationError):
+            RecursiveFeatureElimination("svm")
+
+    def test_invalid_step(self):
+        with pytest.raises(ValidationError):
+            RecursiveFeatureElimination("logreg", step=0)
+
+    def test_name_attribute(self):
+        assert RecursiveFeatureElimination("logreg").name == "RFE logreg"
+
+    def test_rank_based_output(self, wrapped_data):
+        X, y = wrapped_data
+        rfe = RecursiveFeatureElimination("logreg").fit(X, y)
+        assert not rfe.is_score_based
+
+
+class TestSFS:
+    @pytest.mark.parametrize("direction", ["forward", "backward"])
+    def test_ranking_is_permutation(self, wrapped_data, direction):
+        X, y = wrapped_data
+        sfs = SequentialFeatureSelector(
+            "logreg", direction=direction
+        ).fit(X, y)
+        assert sorted(sfs.ranking()) == [1, 2, 3, 4]
+
+    def test_forward_finds_signal_first(self, wrapped_data):
+        X, y = wrapped_data
+        sfs = SequentialFeatureSelector("logreg", direction="forward").fit(X, y)
+        assert sfs.top_k(1)[0] == 1
+
+    def test_backward_keeps_signal_longest(self, wrapped_data):
+        X, y = wrapped_data
+        sfs = SequentialFeatureSelector("dectree", direction="backward").fit(
+            X, y
+        )
+        assert 1 in sfs.top_k(2)
+
+    def test_linear_estimator_regresses_encoded_labels(self, wrapped_data):
+        X, y = wrapped_data
+        sfs = SequentialFeatureSelector("linear", direction="forward").fit(X, y)
+        assert sorted(sfs.ranking()) == [1, 2, 3, 4]
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValidationError):
+            SequentialFeatureSelector("logreg", direction="sideways")
+
+    def test_invalid_cv(self):
+        with pytest.raises(ValidationError):
+            SequentialFeatureSelector("logreg", cv=1)
+
+    def test_name_encodes_direction(self):
+        assert (
+            SequentialFeatureSelector("linear", direction="backward").name
+            == "Bw SFS linear"
+        )
+
+    def test_wrappers_much_slower_than_filters(self, wrapped_data):
+        """The Table 3 cost story: wrappers cost orders of magnitude more."""
+        import time
+
+        from repro.features import FANOVASelector
+
+        X, y = wrapped_data
+        start = time.perf_counter()
+        FANOVASelector().fit(X, y)
+        filter_time = time.perf_counter() - start
+        start = time.perf_counter()
+        SequentialFeatureSelector("logreg", direction="forward").fit(X, y)
+        wrapper_time = time.perf_counter() - start
+        assert wrapper_time > 10 * filter_time

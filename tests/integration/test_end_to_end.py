@@ -1,0 +1,113 @@
+"""Integration tests: the full pipeline under varied configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, WorkloadPredictionPipeline
+from repro.workloads import SKU, ExperimentRepository, run_experiments, workload_by_name
+
+SOURCE = SKU(cpus=2, memory_gb=32.0)
+TARGET = SKU(cpus=8, memory_gb=32.0)
+
+
+@pytest.fixture(scope="module")
+def small_references():
+    return run_experiments(
+        [workload_by_name(n) for n in ("tpcc", "twitter", "tpch")],
+        [SOURCE, TARGET],
+        duration_s=1200.0,
+        random_state=9,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_target():
+    return run_experiments(
+        [workload_by_name("ycsb")],
+        [SOURCE],
+        terminals_for=lambda w: (32,),
+        duration_s=1200.0,
+        random_state=10,
+    )
+
+
+CONFIG_MATRIX = [
+    PipelineConfig(),
+    PipelineConfig(selection_strategy="fANOVA", top_k=5),
+    PipelineConfig(representation="phase", measure="L1,1"),
+    PipelineConfig(representation="mts", measure="Canb",
+                   feature_scope="resource", top_k=5),
+    PipelineConfig(feature_scope="plan"),
+    PipelineConfig(scaling_strategy="GB"),
+    PipelineConfig(scaling_strategy="Regression", scaling_context="single"),
+    PipelineConfig(scaling_strategy="LMM"),
+]
+
+
+class TestConfigurationMatrix:
+    @pytest.mark.parametrize(
+        "config", CONFIG_MATRIX,
+        ids=[
+            "defaults", "fanova-top5", "phase-l11", "mts-resource",
+            "plan-scope", "gb", "single-regression", "lmm",
+        ],
+    )
+    def test_pipeline_runs_under_config(
+        self, config, small_references, small_target
+    ):
+        pipeline = WorkloadPredictionPipeline(config)
+        report = pipeline.predict_scaling(
+            small_references, small_target, SOURCE, TARGET
+        )
+        assert report.target_workload == "ycsb"
+        assert report.predicted_throughput.size > 0
+        assert np.all(np.isfinite(report.predicted_throughput))
+        assert report.predicted_mean > 0
+        # Every config should predict *some* scale-up for 2 -> 8 CPUs.
+        source_mean = float(
+            np.mean([r.throughput for r in small_target])
+        )
+        assert report.predicted_mean > 0.8 * source_mean
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self, small_references, small_target):
+        def run():
+            pipeline = WorkloadPredictionPipeline(
+                PipelineConfig(random_state=5)
+            )
+            return pipeline.predict_scaling(
+                small_references, small_target, SOURCE, TARGET
+            )
+
+        a, b = run(), run()
+        assert a.selected_features == b.selected_features
+        assert a.reference_workload == b.reference_workload
+        np.testing.assert_array_equal(
+            a.predicted_throughput, b.predicted_throughput
+        )
+
+
+class TestRepositoryRoundTripThroughPipeline:
+    def test_prediction_survives_persistence(
+        self, small_references, small_target, tmp_path
+    ):
+        path_refs = tmp_path / "references.json"
+        path_target = tmp_path / "target.json"
+        small_references.save(path_refs)
+        ExperimentRepository(list(small_target)).save(path_target)
+        loaded_refs = ExperimentRepository.load(path_refs)
+        loaded_target = ExperimentRepository.load(path_target)
+
+        pipeline = WorkloadPredictionPipeline(PipelineConfig(random_state=3))
+        fresh = pipeline.predict_scaling(
+            small_references, small_target, SOURCE, TARGET
+        )
+        reloaded = pipeline.predict_scaling(
+            loaded_refs, loaded_target, SOURCE, TARGET
+        )
+        assert fresh.reference_workload == reloaded.reference_workload
+        assert fresh.selected_features == reloaded.selected_features
+        np.testing.assert_allclose(
+            fresh.predicted_throughput, reloaded.predicted_throughput
+        )

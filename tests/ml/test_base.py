@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml import LinearRegression, Ridge, clone
+from repro.ml.base import BaseEstimator
+
+
+class TestGetSetParams:
+    def test_get_params(self):
+        model = Ridge(alpha=2.5, fit_intercept=False)
+        assert model.get_params() == {"alpha": 2.5, "fit_intercept": False}
+
+    def test_set_params(self):
+        model = Ridge()
+        model.set_params(alpha=9.0)
+        assert model.alpha == 9.0
+
+    def test_set_invalid_param(self):
+        with pytest.raises(ValueError, match="invalid parameter"):
+            Ridge().set_params(bogus=1)
+
+    def test_repr_contains_params(self):
+        assert "alpha=1.0" in repr(Ridge())
+
+
+class TestClone:
+    def test_clone_copies_params(self):
+        original = Ridge(alpha=3.0)
+        copy = clone(original)
+        assert copy is not original
+        assert copy.alpha == 3.0
+
+    def test_clone_is_unfitted(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.arange(10, dtype=float)
+        original = Ridge().fit(X, y)
+        copy = clone(original)
+        assert not hasattr(copy, "coef_")
+
+    def test_clone_deep_copies_mutable_params(self):
+        model = LinearRegression()
+        copy = clone(model)
+        assert copy.get_params() == model.get_params()
+
+
+class TestNotFitted:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError, match="fit"):
+            LinearRegression().predict([[1.0]])
+
+
+class TestScoreMixins:
+    def test_regressor_score_is_r2(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = 2 * X.ravel() + 1
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+    def test_param_names_excludes_self(self):
+        class Dummy(BaseEstimator):
+            def __init__(self, a=1, b=2):
+                self.a = a
+                self.b = b
+
+        assert Dummy._param_names() == ["a", "b"]

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import GradientBoostingRegressor
+
+
+@pytest.fixture
+def curve_data(rng):
+    X = rng.uniform(0, 4, size=(150, 1))
+    y = np.sin(2 * X.ravel()) + 0.05 * rng.normal(size=150)
+    return X, y
+
+
+class TestGradientBoosting:
+    def test_fits_smooth_curve(self, curve_data):
+        X, y = curve_data
+        model = GradientBoostingRegressor(200, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_training_error_decreases(self, curve_data):
+        X, y = curve_data
+        model = GradientBoostingRegressor(100, random_state=0).fit(X, y)
+        errors = np.asarray(model.train_errors_)
+        assert errors[-1] < errors[0]
+        # Squared-error boosting on the full sample decreases monotonically.
+        assert np.all(np.diff(errors) <= 1e-10)
+
+    def test_zero_stages_prediction_is_mean(self, curve_data):
+        X, y = curve_data
+        model = GradientBoostingRegressor(
+            1, learning_rate=1e-12, random_state=0
+        ).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y.mean(), atol=1e-6)
+
+    def test_more_stages_fit_tighter(self, curve_data):
+        X, y = curve_data
+        few = GradientBoostingRegressor(10, random_state=0).fit(X, y)
+        many = GradientBoostingRegressor(200, random_state=0).fit(X, y)
+        assert many.score(X, y) > few.score(X, y)
+
+    def test_stochastic_subsample(self, curve_data):
+        X, y = curve_data
+        model = GradientBoostingRegressor(
+            100, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_feature_importances(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = 3.0 * X[:, 0] + 0.01 * rng.normal(size=200)
+        model = GradientBoostingRegressor(50, random_state=0).fit(X, y)
+        assert np.argmax(model.feature_importances_) == 0
+
+    def test_deterministic(self, curve_data):
+        X, y = curve_data
+        a = GradientBoostingRegressor(20, random_state=3).fit(X, y).predict(X)
+        b = GradientBoostingRegressor(20, random_state=3).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_learning_rate(self, curve_data):
+        X, y = curve_data
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(10, learning_rate=0.0).fit(X, y)
+
+    def test_invalid_subsample(self, curve_data):
+        X, y = curve_data
+        with pytest.raises(ValidationError):
+            GradientBoostingRegressor(10, subsample=1.5).fit(X, y)
+
+    def test_feature_count_checked_at_predict(self, curve_data):
+        X, y = curve_data
+        model = GradientBoostingRegressor(5, random_state=0).fit(X, y)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((2, 3)))

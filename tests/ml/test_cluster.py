@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.cluster import KMeans, KMedoids, agglomerative_labels
+
+
+@pytest.fixture
+def three_blobs(rng):
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    X = np.vstack([rng.normal(c, 0.5, size=(30, 2)) for c in centers])
+    truth = np.repeat([0, 1, 2], 30)
+    return X, truth
+
+
+def clusters_match(labels, truth) -> bool:
+    """Whether the clustering equals the truth up to label permutation."""
+    mapping = {}
+    for label, true in zip(labels, truth):
+        mapping.setdefault(label, true)
+        if mapping[label] != true:
+            return False
+    return len(set(mapping.values())) == len(set(truth))
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, three_blobs):
+        X, truth = three_blobs
+        model = KMeans(3, random_state=0).fit(X)
+        assert clusters_match(model.labels_, truth)
+
+    def test_predict_consistent_with_fit(self, three_blobs):
+        X, _ = three_blobs
+        model = KMeans(3, random_state=0).fit(X)
+        np.testing.assert_array_equal(model.predict(X), model.labels_)
+
+    def test_inertia_decreases_with_k(self, three_blobs):
+        X, _ = three_blobs
+        inertia = [
+            KMeans(k, random_state=0).fit(X).inertia_ for k in (1, 3, 9)
+        ]
+        assert inertia[0] > inertia[1] > inertia[2]
+
+    def test_deterministic(self, three_blobs):
+        X, _ = three_blobs
+        a = KMeans(3, random_state=2).fit(X).labels_
+        b = KMeans(3, random_state=2).fit(X).labels_
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_many_clusters(self, rng):
+        with pytest.raises(ValidationError):
+            KMeans(10).fit(rng.normal(size=(4, 2)))
+
+
+class TestKMedoids:
+    def test_recovers_blobs_from_distances(self, three_blobs):
+        X, truth = three_blobs
+        D = np.linalg.norm(X[:, None] - X[None, :], axis=2)
+        model = KMedoids(3, random_state=0).fit(D)
+        assert clusters_match(model.labels_, truth)
+
+    def test_medoids_are_members(self, three_blobs):
+        X, _ = three_blobs
+        D = np.linalg.norm(X[:, None] - X[None, :], axis=2)
+        model = KMedoids(3, random_state=0).fit(D)
+        assert all(0 <= m < X.shape[0] for m in model.medoid_indices_)
+
+    def test_requires_square_matrix(self):
+        with pytest.raises(ValidationError):
+            KMedoids(2).fit(np.zeros((3, 4)))
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", ["average", "single", "complete"])
+    def test_recovers_blobs(self, three_blobs, linkage):
+        X, truth = three_blobs
+        D = np.linalg.norm(X[:, None] - X[None, :], axis=2)
+        labels = agglomerative_labels(D, 3, linkage=linkage)
+        assert clusters_match(labels, truth)
+
+    def test_n_clusters_respected(self, three_blobs):
+        X, _ = three_blobs
+        D = np.linalg.norm(X[:, None] - X[None, :], axis=2)
+        for k in (1, 2, 5):
+            labels = agglomerative_labels(D, k)
+            assert len(set(labels.tolist())) == k
+
+    def test_unknown_linkage(self):
+        with pytest.raises(ValidationError):
+            agglomerative_labels(np.zeros((3, 3)), 2, linkage="ward")

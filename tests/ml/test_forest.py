@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import (
+    DecisionTreeRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.ml.forest import _resolve_max_features
+
+
+@pytest.fixture
+def friedman_like(rng):
+    X = rng.uniform(size=(200, 5))
+    y = 10 * np.sin(np.pi * X[:, 0] * X[:, 1]) + 5 * X[:, 2] + 0.1 * rng.normal(
+        size=200
+    )
+    return X, y
+
+
+class TestRegressor:
+    def test_fits_nonlinear_signal(self, friedman_like):
+        X, y = friedman_like
+        model = RandomForestRegressor(50, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_number_of_estimators(self, friedman_like):
+        X, y = friedman_like
+        model = RandomForestRegressor(7, random_state=0).fit(X, y)
+        assert len(model.estimators_) == 7
+
+    def test_averaging_smooths_vs_single_tree(self, friedman_like):
+        X, y = friedman_like
+        from repro.ml.model_selection import cross_val_score
+
+        tree_scores = cross_val_score(
+            DecisionTreeRegressor(max_depth=None), X, y, random_state=0
+        )
+        forest_scores = cross_val_score(
+            RandomForestRegressor(40, random_state=0), X, y, random_state=0
+        )
+        assert forest_scores.mean() <= tree_scores.mean()  # lower NRMSE
+
+    def test_importances_sum_to_one(self, friedman_like):
+        X, y = friedman_like
+        model = RandomForestRegressor(20, random_state=0).fit(X, y)
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+        # Features 0..2 carry the signal, features 3..4 are noise.
+        importances = model.feature_importances_
+        assert importances[:3].sum() > importances[3:].sum()
+
+    def test_deterministic_given_seed(self, friedman_like):
+        X, y = friedman_like
+        a = RandomForestRegressor(10, random_state=1).fit(X, y).predict(X)
+        b = RandomForestRegressor(10, random_state=1).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_no_bootstrap(self, friedman_like):
+        X, y = friedman_like
+        model = RandomForestRegressor(
+            5, bootstrap=False, max_features="all", random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+
+class TestClassifier:
+    @pytest.fixture
+    def blobs(self, rng):
+        X = np.vstack(
+            [
+                rng.normal([0, 0], 0.6, (60, 2)),
+                rng.normal([3, 3], 0.6, (60, 2)),
+                rng.normal([0, 3], 0.6, (60, 2)),
+            ]
+        )
+        y = np.repeat(["a", "b", "c"], 60)
+        return X, y
+
+    def test_accuracy(self, blobs):
+        X, y = blobs
+        model = RandomForestClassifier(30, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_proba_normalized(self, blobs):
+        X, y = blobs
+        proba = RandomForestClassifier(10, random_state=0).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_class_order_alignment(self, blobs):
+        X, y = blobs
+        model = RandomForestClassifier(10, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        predicted = model.classes_[np.argmax(proba, axis=1)]
+        np.testing.assert_array_equal(predicted, model.predict(X))
+
+
+class TestMaxFeatures:
+    def test_sqrt(self):
+        assert _resolve_max_features("sqrt", 29, "sqrt") == 5
+
+    def test_third(self):
+        assert _resolve_max_features("third", 29, "third") == 9
+
+    def test_all_is_none(self):
+        assert _resolve_max_features("all", 29, "sqrt") is None
+
+    def test_int_passthrough(self):
+        assert _resolve_max_features(4, 29, "sqrt") == 4
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValidationError, match="max_features"):
+            _resolve_max_features("bogus", 29, "sqrt")

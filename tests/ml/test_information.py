@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.information import (
+    conditional_entropy,
+    discretize,
+    entropy,
+    f_statistic,
+    fanova_importance,
+    mutual_information,
+    pearson_correlation,
+)
+
+
+class TestEntropy:
+    def test_uniform_two_values(self):
+        assert entropy([0, 1]) == pytest.approx(np.log(2))
+
+    def test_constant_is_zero(self):
+        assert entropy([5, 5, 5]) == 0.0
+
+    def test_more_classes_more_entropy(self):
+        assert entropy([0, 1, 2, 3]) > entropy([0, 0, 1, 1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            entropy([])
+
+
+class TestConditionalEntropy:
+    def test_perfect_predictor_zero(self):
+        labels = [0, 0, 1, 1]
+        conditions = [10, 10, 20, 20]
+        assert conditional_entropy(labels, conditions) == 0.0
+
+    def test_independent_condition_full_entropy(self):
+        labels = [0, 1, 0, 1]
+        conditions = [0, 0, 1, 1]
+        assert conditional_entropy(labels, conditions) == pytest.approx(
+            entropy(labels)
+        )
+
+
+class TestDiscretize:
+    def test_codes_in_range(self, rng):
+        codes = discretize(rng.normal(size=100), n_bins=10)
+        assert codes.min() >= 0 and codes.max() <= 9
+
+    def test_constant_feature_single_bin(self):
+        codes = discretize(np.full(10, 3.0))
+        assert set(codes) == {0}
+
+    def test_monotone_in_value(self):
+        codes = discretize(np.array([0.0, 5.0, 10.0]), n_bins=2)
+        assert codes[0] <= codes[1] <= codes[2]
+
+
+class TestMutualInformation:
+    def test_informative_feature_positive(self, rng):
+        target = np.repeat([0, 1], 100)
+        feature = target * 10.0 + rng.normal(0, 0.1, size=200)
+        assert mutual_information(feature, target) > 0.5
+
+    def test_independent_feature_near_zero(self, rng):
+        target = np.repeat([0, 1], 200)
+        feature = rng.normal(size=400)
+        assert mutual_information(feature, target) < 0.05
+
+    def test_never_negative(self, rng):
+        for _ in range(5):
+            value = mutual_information(
+                rng.normal(size=50), rng.integers(0, 3, size=50)
+            )
+            assert value >= 0.0
+
+
+class TestFANOVA:
+    def test_perfect_separation_near_one(self):
+        target = np.repeat([0, 1], 50)
+        feature = np.repeat([0.0, 10.0], 50)
+        assert fanova_importance(feature, target) == pytest.approx(1.0)
+
+    def test_constant_feature_zero(self):
+        assert fanova_importance(np.ones(20), np.repeat([0, 1], 10)) == 0.0
+
+    def test_bounded_unit_interval(self, rng):
+        value = fanova_importance(
+            rng.normal(size=60), rng.integers(0, 3, size=60)
+        )
+        assert 0.0 <= value <= 1.0
+
+
+class TestFStatistic:
+    def test_large_for_separated_groups(self, rng):
+        target = np.repeat([0, 1], 50)
+        feature = target * 5 + rng.normal(0, 0.5, size=100)
+        assert f_statistic(feature, target) > 100
+
+    def test_small_for_noise(self, rng):
+        assert f_statistic(rng.normal(size=100), np.repeat([0, 1], 50)) < 10
+
+    def test_single_class_zero(self):
+        assert f_statistic([1.0, 2.0], [0, 0]) == 0.0
+
+    def test_zero_within_variance_infinite(self):
+        assert f_statistic([1.0, 1.0, 2.0, 2.0], [0, 0, 1, 1]) == np.inf
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=80)
+        y = x + rng.normal(size=80)
+        expected = np.corrcoef(x, y)[0, 1]
+        assert pearson_correlation(x, y) == pytest.approx(expected)

@@ -1,0 +1,180 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import (
+    ElasticNet,
+    Lasso,
+    LinearRegression,
+    PolynomialRegression,
+    Ridge,
+    lasso_path,
+)
+from repro.ml.linear import max_lasso_alpha
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.normal(size=(100, 4))
+    w = np.array([2.0, -1.0, 0.0, 0.5])
+    y = X @ w + 3.0 + 0.01 * rng.normal(size=100)
+    return X, y, w
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        X, y, w = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, w, atol=0.02)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.02)
+
+    def test_matches_normal_equations(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = rng.normal(size=50)
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        expected = np.linalg.solve(X.T @ X, X.T @ y)
+        np.testing.assert_allclose(model.coef_, expected, atol=1e-10)
+
+    def test_no_intercept(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([1.0, 2.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_predict_shape(self, linear_data):
+        X, y, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        assert model.predict(X).shape == (100,)
+
+    def test_rank_deficient_design_survives(self, rng):
+        X = rng.normal(size=(20, 2))
+        X = np.hstack([X, X[:, :1]])  # duplicated column
+        y = rng.normal(size=20)
+        model = LinearRegression().fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self, linear_data):
+        X, y, _ = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_monotone(self, linear_data):
+        X, y, _ = linear_data
+        norms = [
+            np.linalg.norm(Ridge(alpha=a).fit(X, y).coef_)
+            for a in (0.0, 1.0, 100.0)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_negative_alpha_rejected(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValidationError):
+            Ridge(alpha=-1.0).fit(X, y)
+
+    def test_intercept_unpenalized(self, rng):
+        X = rng.normal(size=(200, 1))
+        y = 100.0 + 0.0 * X.ravel() + 0.01 * rng.normal(size=200)
+        model = Ridge(alpha=1e6).fit(X, y)
+        assert model.intercept_ == pytest.approx(100.0, abs=0.1)
+
+
+class TestLasso:
+    def test_orthogonal_soft_threshold(self):
+        # On an orthonormal design the lasso solution is soft-thresholded OLS.
+        n = 64
+        X = np.eye(n)
+        y = np.zeros(n)
+        y[0], y[1] = 2.0, 0.5
+        model = Lasso(alpha=1.0 / n, fit_intercept=False).fit(X, y)
+        # threshold = alpha * n / n = ... soft_threshold(y_j, alpha*n/1)
+        # With column_norms = 1/n and penalty alpha/n: w = st(y/n, a/n)/(1/n).
+        assert model.coef_[0] == pytest.approx(1.0, abs=1e-6)
+        assert model.coef_[1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_sparsity_increases_with_alpha(self, linear_data):
+        X, y, _ = linear_data
+        small = Lasso(alpha=0.001).fit(X, y).n_nonzero_
+        large = Lasso(alpha=0.5).fit(X, y).n_nonzero_
+        assert large <= small
+
+    def test_alpha_max_zeroes_everything(self, linear_data):
+        X, y, _ = linear_data
+        alpha_max = max_lasso_alpha(X, y)
+        model = Lasso(alpha=alpha_max * 1.01).fit(X, y)
+        assert model.n_nonzero_ == 0
+
+    def test_irrelevant_feature_dropped(self, linear_data):
+        X, y, w = linear_data
+        model = Lasso(alpha=0.05).fit(X, y)
+        assert model.coef_[2] == 0.0  # true coefficient is zero
+
+
+class TestElasticNet:
+    def test_l1_ratio_one_is_lasso(self, linear_data):
+        X, y, _ = linear_data
+        enet = ElasticNet(alpha=0.05, l1_ratio=1.0).fit(X, y)
+        lasso = Lasso(alpha=0.05).fit(X, y)
+        np.testing.assert_allclose(enet.coef_, lasso.coef_, atol=1e-6)
+
+    def test_l1_ratio_zero_is_ridge_like(self, linear_data):
+        X, y, _ = linear_data
+        enet = ElasticNet(alpha=0.5, l1_ratio=0.0).fit(X, y)
+        assert enet.n_nonzero_ == 4  # pure L2: no exact zeros
+
+    def test_invalid_l1_ratio(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValidationError):
+            ElasticNet(l1_ratio=1.5).fit(X, y)
+
+
+class TestLassoPath:
+    def test_path_shape_and_monotone_alphas(self, linear_data):
+        X, y, _ = linear_data
+        alphas, coefs = lasso_path(X, y, n_alphas=25)
+        assert coefs.shape == (25, 4)
+        assert np.all(np.diff(alphas) < 0)
+
+    def test_path_starts_empty_ends_dense(self, linear_data):
+        X, y, _ = linear_data
+        _, coefs = lasso_path(X, y, n_alphas=30)
+        assert np.count_nonzero(coefs[0]) == 0
+        assert np.count_nonzero(coefs[-1]) >= 3
+
+    def test_explicit_alphas_sorted_internally(self, linear_data):
+        X, y, _ = linear_data
+        alphas, coefs = lasso_path(X, y, alphas=[0.01, 1.0, 0.1])
+        assert list(alphas) == sorted(alphas, reverse=True)
+        assert coefs.shape == (3, 4)
+
+    def test_empty_alphas_rejected(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValidationError):
+            lasso_path(X, y, alphas=[])
+
+
+class TestPolynomialRegression:
+    def test_fits_quadratic(self, rng):
+        x = rng.uniform(-2, 2, size=80)
+        y = 1.0 + 2.0 * x - 3.0 * x**2
+        model = PolynomialRegression(degree=2).fit(x.reshape(-1, 1), y)
+        assert model.score(x.reshape(-1, 1), y) == pytest.approx(1.0)
+
+    def test_degree_one_is_linear(self, linear_data):
+        X, y, _ = linear_data
+        poly = PolynomialRegression(degree=1).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(poly.coef_, ols.coef_, atol=1e-8)
+
+    def test_feature_mismatch_raises(self, linear_data):
+        X, y, _ = linear_data
+        model = PolynomialRegression(degree=2).fit(X, y)
+        with pytest.raises(ValidationError):
+            model.predict(X[:, :2])
+
+    def test_invalid_degree(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValidationError):
+            PolynomialRegression(degree=0).fit(X, y)

@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import LogisticRegression
+
+
+@pytest.fixture
+def binary_data(rng):
+    X = rng.normal(size=(200, 3))
+    logits = X @ np.array([2.0, -1.5, 0.0]) + 0.5
+    y = (logits > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture
+def multiclass_data(rng):
+    centers = np.array([[0, 0], [4, 0], [0, 4]])
+    X = np.vstack([rng.normal(c, 0.6, size=(40, 2)) for c in centers])
+    y = np.repeat(["a", "b", "c"], 40)
+    return X, y
+
+
+class TestBinary:
+    def test_high_training_accuracy(self, binary_data):
+        X, y = binary_data
+        model = LogisticRegression(alpha=0.1).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_classes_sorted(self, binary_data):
+        X, y = binary_data
+        model = LogisticRegression().fit(X, y)
+        np.testing.assert_array_equal(model.classes_, [0, 1])
+
+    def test_coef_shape(self, binary_data):
+        X, y = binary_data
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_.shape == (1, 3)
+
+    def test_probabilities_sum_to_one(self, binary_data):
+        X, y = binary_data
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_decision_function_sign_matches_prediction(self, binary_data):
+        X, y = binary_data
+        model = LogisticRegression().fit(X, y)
+        scores = model.decision_function(X)
+        predictions = model.predict(X)
+        np.testing.assert_array_equal(predictions, (scores > 0).astype(int))
+
+    def test_irrelevant_feature_small_coef(self, binary_data):
+        X, y = binary_data
+        model = LogisticRegression(alpha=1.0).fit(X, y)
+        coefs = np.abs(model.coef_[0])
+        assert coefs[2] < coefs[0] and coefs[2] < coefs[1]
+
+    def test_regularization_shrinks(self, binary_data):
+        X, y = binary_data
+        weak = LogisticRegression(alpha=0.01).fit(X, y)
+        strong = LogisticRegression(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_separable_data_converges(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegression(alpha=0.1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+
+class TestMulticlass:
+    def test_one_vs_rest_accuracy(self, multiclass_data):
+        X, y = multiclass_data
+        model = LogisticRegression(alpha=0.1).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_coef_per_class(self, multiclass_data):
+        X, y = multiclass_data
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_.shape == (3, 2)
+
+    def test_string_labels_round_trip(self, multiclass_data):
+        X, y = multiclass_data
+        predictions = LogisticRegression().fit(X, y).predict(X)
+        assert set(predictions) <= {"a", "b", "c"}
+
+    def test_proba_shape_and_normalization(self, multiclass_data):
+        X, y = multiclass_data
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        assert proba.shape == (120, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_nonnegative(self, multiclass_data):
+        X, y = multiclass_data
+        model = LogisticRegression().fit(X, y)
+        assert model.feature_importances_.shape == (2,)
+        assert np.all(model.feature_importances_ >= 0)
+
+
+class TestValidation:
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError, match="two classes"):
+            LogisticRegression().fit([[1.0], [2.0]], [1, 1])
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValidationError):
+            LogisticRegression(alpha=-1).fit([[1.0], [2.0]], [0, 1])

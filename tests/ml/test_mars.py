@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import MARSRegressor
+from repro.ml.mars import _BasisFunction, _Hinge, _gcv
+
+
+class TestHinges:
+    def test_positive_hinge(self):
+        hinge = _Hinge(variable=0, knot=2.0, sign=+1)
+        X = np.array([[1.0], [3.0]])
+        np.testing.assert_allclose(hinge.evaluate(X), [0.0, 1.0])
+
+    def test_negative_hinge(self):
+        hinge = _Hinge(variable=0, knot=2.0, sign=-1)
+        X = np.array([[1.0], [3.0]])
+        np.testing.assert_allclose(hinge.evaluate(X), [1.0, 0.0])
+
+    def test_intercept_basis(self):
+        basis = _BasisFunction()
+        np.testing.assert_allclose(basis.evaluate(np.ones((4, 2))), 1.0)
+        assert basis.degree == 0
+
+    def test_product_basis(self):
+        basis = _BasisFunction(
+            ( _Hinge(0, 0.0, +1), _Hinge(1, 0.0, +1) )
+        )
+        X = np.array([[2.0, 3.0], [-1.0, 5.0]])
+        np.testing.assert_allclose(basis.evaluate(X), [6.0, 0.0])
+        assert basis.uses_variable(0) and basis.uses_variable(1)
+        assert not basis.uses_variable(2)
+
+
+class TestGCV:
+    def test_penalizes_terms(self):
+        low = _gcv(rss=10.0, n_samples=100, n_terms=2, penalty=3.0)
+        high = _gcv(rss=10.0, n_samples=100, n_terms=10, penalty=3.0)
+        assert high > low
+
+    def test_infinite_when_saturated(self):
+        assert _gcv(1.0, n_samples=10, n_terms=10, penalty=3.0) == np.inf
+
+
+class TestMARSRegressor:
+    def test_piecewise_linear_recovered(self, rng):
+        x = rng.uniform(-2, 2, size=200)
+        y = np.maximum(0, x - 0.5) * 3.0 + 1.0
+        model = MARSRegressor(max_terms=7).fit(x.reshape(-1, 1), y)
+        assert model.score(x.reshape(-1, 1), y) > 0.99
+
+    def test_pruning_keeps_few_terms_for_linear(self, rng):
+        x = rng.uniform(0, 1, size=100)
+        y = 2.0 * x + 0.01 * rng.normal(size=100)
+        model = MARSRegressor(max_terms=11).fit(x.reshape(-1, 1), y)
+        assert model.n_terms_ <= 5
+
+    def test_additive_two_features(self, rng):
+        X = rng.uniform(-1, 1, size=(200, 2))
+        y = np.abs(X[:, 0]) + 2 * np.maximum(0, X[:, 1])
+        model = MARSRegressor(max_terms=11).fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_interactions_enabled(self, rng):
+        X = rng.uniform(0, 1, size=(250, 2))
+        y = X[:, 0] * X[:, 1]
+        additive = MARSRegressor(max_terms=11, max_interaction=1).fit(X, y)
+        interactive = MARSRegressor(max_terms=11, max_interaction=2).fit(X, y)
+        assert interactive.score(X, y) >= additive.score(X, y) - 1e-6
+
+    def test_constant_target(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        model = MARSRegressor().fit(X, np.full(20, 5.0))
+        np.testing.assert_allclose(model.predict(X), 5.0, atol=1e-8)
+        assert model.n_terms_ == 1
+
+    def test_gcv_attribute_set(self, rng):
+        X = rng.uniform(size=(50, 1))
+        model = MARSRegressor().fit(X, X.ravel())
+        assert np.isfinite(model.gcv_)
+
+    def test_feature_mismatch(self, rng):
+        X = rng.uniform(size=(50, 2))
+        model = MARSRegressor().fit(X, X[:, 0])
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((3, 5)))
+
+    def test_invalid_max_terms(self, rng):
+        X = rng.uniform(size=(10, 1))
+        with pytest.raises(ValidationError):
+            MARSRegressor(max_terms=0).fit(X, X.ravel())

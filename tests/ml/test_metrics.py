@@ -1,0 +1,127 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.metrics import (
+    absolute_percentage_errors,
+    accuracy_score,
+    average_precision,
+    dcg,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_average_precision,
+    mean_squared_error,
+    ndcg,
+    normalized_rmse,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestRegressionMetrics:
+    def test_mse_zero_for_exact(self):
+        assert mean_squared_error([1, 2], [1, 2]) == 0.0
+
+    def test_mse_known_value(self):
+        assert mean_squared_error([0, 0], [3, 4]) == pytest.approx(12.5)
+
+    def test_rmse_is_sqrt_mse(self):
+        assert root_mean_squared_error([0, 0], [3, 4]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_nrmse_normalizes_by_range(self):
+        y_true = [0.0, 10.0]
+        y_pred = [1.0, 9.0]
+        assert normalized_rmse(y_true, y_pred) == pytest.approx(0.1)
+
+    def test_nrmse_scale_invariance(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.array([1.1, 2.2, 2.7])
+        assert normalized_rmse(y_true * 100, y_pred * 100) == pytest.approx(
+            normalized_rmse(y_true, y_pred)
+        )
+
+    def test_nrmse_flat_target_stays_finite(self):
+        assert np.isfinite(normalized_rmse([5.0, 5.0], [6.0, 6.0]))
+
+    def test_mae(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == 1.5
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error([10, 20], [11, 18]) == (
+            pytest.approx(0.1)
+        )
+
+    def test_mape_zero_target_raises(self):
+        with pytest.raises(ValidationError, match="zero"):
+            mean_absolute_percentage_error([0, 1], [1, 1])
+
+    def test_ape_per_observation(self):
+        np.testing.assert_allclose(
+            absolute_percentage_errors([10, 20], [11, 18]), [0.1, 0.1]
+        )
+
+    def test_r2_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r2_mean_prediction_is_zero(self):
+        assert r2_score([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2, 2], [2, 2]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            mean_squared_error([1, 2], [1, 2, 3])
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy_score(["a", "b", "a"], ["a", "b", "b"]) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+
+class TestRankingMetrics:
+    def test_average_precision_perfect(self):
+        assert average_precision([1, 1, 0, 0]) == 1.0
+
+    def test_average_precision_worst(self):
+        # Relevant items at the end.
+        value = average_precision([0, 0, 1])
+        assert value == pytest.approx(1 / 3)
+
+    def test_average_precision_known(self):
+        # Relevant at positions 1 and 3: (1/1 + 2/3) / 2.
+        assert average_precision([1, 0, 1]) == pytest.approx((1 + 2 / 3) / 2)
+
+    def test_no_relevant_items_gives_one(self):
+        assert average_precision([0, 0, 0]) == 1.0
+
+    def test_map_averages(self):
+        value = mean_average_precision([[1, 0], [0, 1]])
+        assert value == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_dcg_order_matters(self):
+        assert dcg([3, 2, 1]) > dcg([1, 2, 3])
+
+    def test_dcg_known_value(self):
+        expected = 3 + 2 / np.log2(3) + 1 / np.log2(4)
+        assert dcg([3, 2, 1]) == pytest.approx(expected)
+
+    def test_ndcg_perfect_order(self):
+        assert ndcg([3, 2, 1]) == pytest.approx(1.0)
+
+    def test_ndcg_worst_order_below_one(self):
+        assert ndcg([1, 2, 3]) < 1.0
+
+    def test_ndcg_all_zero_gains(self):
+        assert ndcg([0, 0, 0]) == 1.0
+
+    def test_ndcg_k_truncation(self):
+        assert ndcg([0, 3], k=1) == 0.0

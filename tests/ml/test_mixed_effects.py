@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import LinearMixedEffectsModel
+
+
+@pytest.fixture
+def grouped_data(rng):
+    """Three groups sharing a slope but with distinct intercepts."""
+    n_per_group = 40
+    slopes = 2.0
+    intercepts = {0: 0.0, 1: 5.0, 2: -5.0}
+    X, y, groups = [], [], []
+    for g, intercept in intercepts.items():
+        x = rng.uniform(0, 10, size=n_per_group)
+        X.append(x)
+        y.append(intercept + slopes * x + 0.1 * rng.normal(size=n_per_group))
+        groups.extend([g] * n_per_group)
+    return (
+        np.concatenate(X).reshape(-1, 1),
+        np.concatenate(y),
+        np.asarray(groups),
+    )
+
+
+class TestRandomIntercepts:
+    def test_fixed_slope_recovered(self, grouped_data):
+        X, y, groups = grouped_data
+        model = LinearMixedEffectsModel(random_slopes=False)
+        model.fit(X, y, groups=groups)
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_group_effects_ordering(self, grouped_data):
+        X, y, groups = grouped_data
+        model = LinearMixedEffectsModel(random_slopes=False)
+        model.fit(X, y, groups=groups)
+        intercept_effects = {
+            g: model.random_effects_[g][0] for g in (0, 1, 2)
+        }
+        assert intercept_effects[1] > intercept_effects[0] > intercept_effects[2]
+
+    def test_predictions_with_groups_beat_without(self, grouped_data):
+        X, y, groups = grouped_data
+        model = LinearMixedEffectsModel(random_slopes=False)
+        model.fit(X, y, groups=groups)
+        with_groups = np.mean((model.predict(X, groups=groups) - y) ** 2)
+        without = np.mean((model.predict(X) - y) ** 2)
+        assert with_groups < without
+
+    def test_unseen_group_falls_back_to_fixed_effects(self, grouped_data):
+        X, y, groups = grouped_data
+        model = LinearMixedEffectsModel(random_slopes=False)
+        model.fit(X, y, groups=groups)
+        fixed = model.predict(X[:5])
+        unseen = model.predict(X[:5], groups=np.full(5, 99))
+        np.testing.assert_allclose(fixed, unseen)
+
+    def test_single_group_degenerates_to_ols(self, rng):
+        X = rng.normal(size=(60, 1))
+        y = 3.0 * X.ravel() + 1.0 + 0.05 * rng.normal(size=60)
+        model = LinearMixedEffectsModel(random_slopes=False).fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0, abs=0.1)
+        assert model.intercept_ == pytest.approx(1.0, abs=0.1)
+
+
+class TestRandomSlopes:
+    def test_slope_variation_captured(self, rng):
+        X, y, groups = [], [], []
+        for g, slope in enumerate([1.0, 2.0, 3.0]):
+            x = rng.uniform(0, 5, size=50)
+            X.append(x)
+            y.append(slope * x + 0.05 * rng.normal(size=50))
+            groups.extend([g] * 50)
+        X = np.concatenate(X).reshape(-1, 1)
+        y = np.concatenate(y)
+        groups = np.asarray(groups)
+        model = LinearMixedEffectsModel(random_slopes=True)
+        model.fit(X, y, groups=groups)
+        predictions = model.predict(X, groups=groups)
+        assert np.mean((predictions - y) ** 2) < 0.5
+
+    def test_sigma2_positive(self, grouped_data):
+        X, y, groups = grouped_data
+        model = LinearMixedEffectsModel().fit(X, y, groups=groups)
+        assert model.sigma2_ > 0
+
+    def test_variance_ratios_shape(self, grouped_data):
+        X, y, groups = grouped_data
+        model = LinearMixedEffectsModel(random_slopes=True)
+        model.fit(X, y, groups=groups)
+        assert model.variance_ratios_.shape == (2,)  # intercept + 1 slope
+
+
+class TestValidation:
+    def test_feature_mismatch_at_predict(self, grouped_data):
+        X, y, groups = grouped_data
+        model = LinearMixedEffectsModel(random_slopes=False)
+        model.fit(X, y, groups=groups)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((3, 4)))
+
+    def test_groups_length_mismatch(self, grouped_data):
+        X, y, _ = grouped_data
+        with pytest.raises(ValidationError):
+            LinearMixedEffectsModel().fit(X, y, groups=np.zeros(3))

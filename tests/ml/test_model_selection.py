@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import KFold, LinearRegression, Ridge, cross_val_score, train_test_split
+from repro.ml.metrics import r2_score
+
+
+class TestKFold:
+    def test_partition_covers_everything(self):
+        folds = list(KFold(5).split(np.arange(23)))
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == list(range(23))
+
+    def test_folds_disjoint_from_train(self):
+        for train, test in KFold(4).split(np.arange(20)):
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 20
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in KFold(5).split(np.arange(23))]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shuffle_reproducible(self):
+        a = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=1).split(np.arange(9))]
+        b = [t.tolist() for _, t in KFold(3, shuffle=True, random_state=1).split(np.arange(9))]
+        assert a == b
+
+    def test_shuffle_changes_order(self):
+        plain = [t.tolist() for _, t in KFold(3).split(np.arange(30))]
+        shuffled = [
+            t.tolist()
+            for _, t in KFold(3, shuffle=True, random_state=0).split(np.arange(30))
+        ]
+        assert plain != shuffled
+
+    def test_too_many_splits(self):
+        with pytest.raises(ValidationError):
+            list(KFold(5).split(np.arange(3)))
+
+    def test_min_two_splits(self):
+        with pytest.raises(ValidationError):
+            KFold(1)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = rng.normal(size=40)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert X_te.shape[0] == 10
+        assert X_tr.shape[0] == 30
+        assert y_tr.shape[0] == 30 and y_te.shape[0] == 10
+
+    def test_no_overlap(self, rng):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.arange(20, dtype=float)
+        X_tr, X_te, _, _ = train_test_split(X, y, random_state=0)
+        assert set(X_tr.ravel()) & set(X_te.ravel()) == set()
+
+    def test_invalid_test_size(self, rng):
+        X = rng.normal(size=(10, 1))
+        with pytest.raises(ValidationError):
+            train_test_split(X, X.ravel(), test_size=1.5)
+
+
+class TestCrossValScore:
+    def test_default_nrmse_near_zero_for_clean_linear(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X @ np.array([1.0, 2.0])
+        scores = cross_val_score(LinearRegression(), X, y)
+        assert scores.shape == (5,)
+        assert scores.max() < 0.01
+
+    def test_custom_scorer(self, rng):
+        X = rng.normal(size=(60, 1))
+        y = 2 * X.ravel()
+        scores = cross_val_score(LinearRegression(), X, y, scorer=r2_score)
+        assert np.all(scores > 0.99)
+
+    def test_estimator_not_mutated(self, rng):
+        X = rng.normal(size=(30, 1))
+        y = X.ravel()
+        estimator = Ridge(alpha=0.1)
+        cross_val_score(estimator, X, y, cv=3)
+        assert not hasattr(estimator, "coef_")
+
+    def test_custom_cv_object(self, rng):
+        X = rng.normal(size=(30, 1))
+        y = X.ravel()
+        scores = cross_val_score(LinearRegression(), X, y, cv=KFold(3))
+        assert scores.shape == (3,)

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import MLPRegressor
+
+
+class TestMLPRegressor:
+    def test_fits_linear_function(self, rng):
+        X = rng.normal(size=(150, 2))
+        y = X @ np.array([1.0, -2.0]) + 0.5
+        model = MLPRegressor((32, 32), max_iter=400, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_fits_nonlinear_function(self, rng):
+        X = rng.uniform(-2, 2, size=(200, 1))
+        y = np.sin(2 * X.ravel())
+        model = MLPRegressor((64, 64), max_iter=600, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_loss_curve_decreases(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = MLPRegressor((16,), max_iter=100, random_state=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_early_stopping_limits_iterations(self, rng):
+        X = rng.normal(size=(50, 1))
+        y = np.zeros(50)  # trivially learnable
+        model = MLPRegressor(
+            (8,),
+            max_iter=2000,
+            learning_rate=0.05,
+            n_iter_no_change=5,
+            tol=1e-4,
+            random_state=0,
+        ).fit(X, y)
+        assert model.n_iter_ < 2000
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = X[:, 0] + X[:, 1]
+        a = MLPRegressor((8,), max_iter=50, random_state=2).fit(X, y).predict(X)
+        b = MLPRegressor((8,), max_iter=50, random_state=2).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_minibatch_training(self, rng):
+        X = rng.normal(size=(128, 2))
+        y = X[:, 0]
+        model = MLPRegressor(
+            (16,), max_iter=100, batch_size=32, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_unscaled_target_underfits_raw_throughput(self, rng):
+        # The Table 6 "NNet" configuration: raw thousands-scale targets.
+        X = rng.uniform(2, 16, size=(30, 1))
+        y = 400.0 * X.ravel()
+        raw = MLPRegressor(
+            (100,) * 6, max_iter=80, standardize_target=False, random_state=0
+        ).fit(X, y)
+        scaled = MLPRegressor(
+            (100,) * 6, max_iter=80, random_state=0
+        ).fit(X, y)
+        assert scaled.score(X, y) > raw.score(X, y)
+
+    def test_invalid_learning_rate(self, rng):
+        X = rng.normal(size=(10, 1))
+        with pytest.raises(ValidationError):
+            MLPRegressor(learning_rate=0.0).fit(X, X.ravel())
+
+    def test_invalid_hidden_width(self, rng):
+        X = rng.normal(size=(10, 1))
+        with pytest.raises(ValidationError):
+            MLPRegressor((0,)).fit(X, X.ravel())
+
+    def test_feature_mismatch_at_predict(self, rng):
+        X = rng.normal(size=(30, 2))
+        model = MLPRegressor((8,), max_iter=20, random_state=0).fit(X, X[:, 0])
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((3, 5)))

@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the ML substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import KFold, Lasso, LinearRegression, MinMaxScaler, StandardScaler
+from repro.ml.metrics import (
+    mean_squared_error,
+    ndcg,
+    normalized_rmse,
+    r2_score,
+)
+from repro.utils.stats import rank_from_scores
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def matrices(draw, min_rows=2, max_rows=20, min_cols=1, max_cols=5):
+    rows = draw(st.integers(min_rows, max_rows))
+    cols = draw(st.integers(min_cols, max_cols))
+    return draw(
+        arrays(np.float64, (rows, cols), elements=finite_floats)
+    )
+
+
+class TestScalerProperties:
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_output_in_unit_interval(self, X):
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.all(scaled >= -1e-9) and np.all(scaled <= 1 + 1e-9)
+
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_minmax_inverse_round_trip(self, X):
+        scaler = MinMaxScaler().fit(X)
+        restored = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(restored, X, atol=1e-6 * (1 + np.abs(X).max()))
+
+    @given(matrices(min_rows=3))
+    @settings(max_examples=40, deadline=None)
+    def test_standard_scaler_idempotent_statistics(self, X):
+        scaled = StandardScaler().fit_transform(X)
+        # Non-constant columns end up standardized; constant columns at 0.
+        stds = scaled.std(axis=0)
+        assert np.all((np.isclose(stds, 1.0, atol=1e-6)) | (stds < 1e-9))
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.float64, 8, elements=finite_floats),
+        arrays(np.float64, 8, elements=finite_floats),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mse_symmetry(self, a, b):
+        assert mean_squared_error(a, b) == pytest.approx(
+            mean_squared_error(b, a)
+        )
+
+    @given(arrays(np.float64, 10, elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_prediction_zero_error(self, y):
+        assert mean_squared_error(y, y) == 0.0
+        assert normalized_rmse(y, y) == 0.0
+
+    @given(
+        arrays(
+            np.float64,
+            6,
+            elements=st.floats(min_value=0, max_value=10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ndcg_in_unit_interval(self, gains):
+        value = ndcg(gains)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(arrays(np.float64, 12, elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_r2_upper_bound(self, y):
+        assert r2_score(y, y) in (0.0, 1.0)  # constant target scores 0
+
+
+class TestRankingProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ranks_are_permutation(self, scores):
+        ranks = rank_from_scores(scores)
+        assert sorted(ranks) == list(range(1, scores.size + 1))
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=2, max_size=15, unique=True),
+        st.sampled_from([0.5, 2.0, 4.0, 8.0]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rank_invariant_to_positive_scaling(self, scores, factor):
+        # Power-of-two factors on well-separated integers keep float
+        # comparisons exact, so the ordering (and hence the ranks) must
+        # survive the scaling.
+        values = np.asarray(scores, dtype=float)
+        baseline = rank_from_scores(values)
+        scaled = rank_from_scores(values * factor)
+        np.testing.assert_array_equal(baseline, scaled)
+
+
+class TestSplitterProperties:
+    @given(st.integers(4, 60), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_kfold_partitions(self, n_samples, n_splits):
+        if n_splits > n_samples:
+            return
+        folds = list(KFold(n_splits).split(np.arange(n_samples)))
+        covered = np.concatenate([test for _, test in folds])
+        assert sorted(covered.tolist()) == list(range(n_samples))
+        for train, test in folds:
+            assert set(train).isdisjoint(test)
+
+
+class TestModelProperties:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_ols_residuals_orthogonal_to_design(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        model = LinearRegression().fit(X, y)
+        residuals = y - model.predict(X)
+        # Normal equations: X' r = 0 (and sum r = 0 with intercept).
+        np.testing.assert_allclose(X.T @ residuals, 0.0, atol=1e-8)
+        assert residuals.sum() == pytest.approx(0.0, abs=1e-8)
+
+    @given(st.integers(0, 1000), st.floats(0.01, 1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_lasso_never_beats_ols_on_training_mse(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 3))
+        y = rng.normal(size=40)
+        ols_mse = mean_squared_error(y, LinearRegression().fit(X, y).predict(X))
+        lasso_mse = mean_squared_error(y, Lasso(alpha=alpha).fit(X, y).predict(X))
+        assert lasso_mse >= ols_mse - 1e-9

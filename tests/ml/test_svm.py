@@ -1,0 +1,120 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import SVR
+
+
+@pytest.fixture
+def linear_1d(rng):
+    X = rng.uniform(-3, 3, size=(60, 1))
+    y = 2.0 * X.ravel() + 1.0 + 0.02 * rng.normal(size=60)
+    return X, y
+
+
+class TestLinearKernel:
+    def test_recovers_linear_function(self, linear_1d):
+        X, y = linear_1d
+        model = SVR(C=10.0, epsilon=0.01, kernel="linear", random_state=0)
+        model.fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_predictions_within_tube(self, linear_1d):
+        X, y = linear_1d
+        model = SVR(C=100.0, epsilon=0.2, kernel="linear", random_state=0)
+        model.fit(X, y)
+        residuals = np.abs(model.predict(X) - y)
+        # With ample C nearly all residuals sit inside the epsilon tube
+        # (standardized-target units are rescaled back by predict).
+        assert np.quantile(residuals, 0.9) < 0.2 * y.std() * 2
+
+    def test_support_vectors_subset(self, linear_1d):
+        X, y = linear_1d
+        model = SVR(C=10.0, epsilon=0.3, kernel="linear", random_state=0)
+        model.fit(X, y)
+        assert 0 < model.support_.size <= X.shape[0]
+
+    def test_beta_respects_box_and_sum(self, linear_1d):
+        X, y = linear_1d
+        model = SVR(C=5.0, epsilon=0.05, kernel="linear", random_state=0)
+        model.fit(X, y)
+        assert np.all(np.abs(model.beta_) <= 5.0 + 1e-9)
+        assert abs(model.beta_.sum()) < 1e-6
+
+
+class TestRBF:
+    def test_fits_sine(self, rng):
+        X = rng.uniform(0, 2 * np.pi, size=(100, 1))
+        y = np.sin(X.ravel())
+        model = SVR(C=10.0, epsilon=0.02, kernel="rbf", random_state=0)
+        model.fit(X, y)
+        assert model.score(X, y) > 0.97
+
+    def test_gamma_scale_default(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = X[:, 0]
+        model = SVR(kernel="rbf", random_state=0).fit(X, y)
+        assert model._gamma > 0
+
+    def test_explicit_gamma(self, rng):
+        X = rng.normal(size=(30, 1))
+        y = X.ravel()
+        model = SVR(kernel="rbf", gamma=0.5, random_state=0).fit(X, y)
+        assert model._gamma == 0.5
+
+
+class TestPoly:
+    def test_quadratic_fit(self, rng):
+        X = rng.uniform(-1, 1, size=(80, 1))
+        y = X.ravel() ** 2
+        model = SVR(
+            C=50.0, epsilon=0.01, kernel="poly", degree=2, coef0=1.0,
+            random_state=0,
+        ).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+
+class TestScaleHandling:
+    def test_raw_throughput_scale(self, rng):
+        # Targets in the thousands, like real throughput values.
+        X = rng.uniform(2, 16, size=(40, 1))
+        y = 300.0 * X.ravel() + 50 * rng.normal(size=40)
+        model = SVR(C=10.0, epsilon=0.1, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_standardize_target_off_degrades_raw_scale(self, rng):
+        X = rng.uniform(2, 16, size=(40, 1))
+        y = 300.0 * X.ravel()
+        raw = SVR(
+            C=10.0, epsilon=0.1, standardize_target=False, random_state=0
+        ).fit(X, y)
+        scaled = SVR(C=10.0, epsilon=0.1, random_state=0).fit(X, y)
+        assert scaled.score(X, y) > raw.score(X, y)
+
+
+class TestValidation:
+    def test_invalid_C(self, linear_1d):
+        X, y = linear_1d
+        with pytest.raises(ValidationError):
+            SVR(C=0.0).fit(X, y)
+
+    def test_negative_epsilon(self, linear_1d):
+        X, y = linear_1d
+        with pytest.raises(ValidationError):
+            SVR(epsilon=-0.1).fit(X, y)
+
+    def test_unknown_kernel(self, linear_1d):
+        X, y = linear_1d
+        with pytest.raises(ValidationError, match="kernel"):
+            SVR(kernel="sigmoid").fit(X, y)
+
+    def test_bad_gamma_string(self, linear_1d):
+        X, y = linear_1d
+        with pytest.raises(ValidationError, match="gamma"):
+            SVR(gamma="auto").fit(X, y)
+
+    def test_deterministic(self, linear_1d):
+        X, y = linear_1d
+        a = SVR(random_state=1).fit(X, y).predict(X)
+        b = SVR(random_state=1).fit(X, y).predict(X)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,123 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture
+def step_data():
+    """A perfect single-split regression problem."""
+    X = np.arange(20, dtype=float).reshape(-1, 1)
+    y = np.where(X.ravel() < 10, 1.0, 5.0)
+    return X, y
+
+
+class TestRegressorBasics:
+    def test_single_split_learned_exactly(self, step_data):
+        X, y = step_data
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+        assert model.node_count_ == 3
+
+    def test_threshold_between_points(self, step_data):
+        X, y = step_data
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        root = model._builder.nodes[0]
+        assert 9.0 <= root.threshold <= 10.0
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.depth_ <= 3
+
+    def test_full_tree_memorizes(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.normal(size=50)
+        model = DecisionTreeRegressor().fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.normal(size=(40, 1))
+        y = rng.normal(size=40)
+        model = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+        leaves = [n for n in model._builder.nodes if n.feature == -1]
+        assert all(leaf.n_samples >= 10 for leaf in leaves)
+
+    def test_constant_target_is_single_leaf(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        model = DecisionTreeRegressor().fit(X, np.ones(10))
+        assert model.node_count_ == 1
+
+    def test_feature_importances_identify_signal(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = np.where(X[:, 1] > 0, 2.0, -2.0)
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert np.argmax(model.feature_importances_) == 1
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_predict_feature_mismatch(self, step_data):
+        X, y = step_data
+        model = DecisionTreeRegressor().fit(X, y)
+        with pytest.raises(ValidationError):
+            model.predict(np.ones((3, 2)))
+
+    def test_invalid_params(self, step_data):
+        X, y = step_data
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor(max_depth=0).fit(X, y)
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor(min_samples_split=1).fit(X, y)
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor(min_samples_leaf=0).fit(X, y)
+
+
+class TestClassifier:
+    @pytest.fixture
+    def blobs(self, rng):
+        X = np.vstack(
+            [rng.normal([0, 0], 0.5, (50, 2)), rng.normal([3, 3], 0.5, (50, 2))]
+        )
+        y = np.repeat(["low", "high"], 50)
+        return X, y
+
+    def test_separable_blobs(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_classes_attribute(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier().fit(X, y)
+        assert set(model.classes_) == {"low", "high"}
+
+    def test_proba_rows_sum_to_one(self, blobs):
+        X, y = blobs
+        proba = DecisionTreeClassifier(max_depth=2).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_three_classes(self, rng):
+        X = np.vstack(
+            [
+                rng.normal([0, 0], 0.4, (30, 2)),
+                rng.normal([4, 0], 0.4, (30, 2)),
+                rng.normal([0, 4], 0.4, (30, 2)),
+            ]
+        )
+        y = np.repeat([0, 1, 2], 30)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_max_features_subsampling_runs(self, blobs):
+        X, y = blobs
+        model = DecisionTreeClassifier(
+            max_depth=3, max_features=1, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.6
+
+    def test_deterministic_with_seed(self, blobs):
+        X, y = blobs
+        a = DecisionTreeClassifier(max_features=1, random_state=5).fit(X, y)
+        b = DecisionTreeClassifier(max_features=1, random_state=5).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))

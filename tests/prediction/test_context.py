@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.prediction.context import (
+    PairwiseModelSet,
+    PairwiseScalingModel,
+    SingleScalingModel,
+)
+
+
+@pytest.fixture
+def paired_observations(rng):
+    """Source/target observations with a true scaling factor of 2.2."""
+    y_source = 1000.0 * np.exp(rng.normal(0, 0.05, 30))
+    y_target = 2.2 * y_source * np.exp(rng.normal(0, 0.05, 30))
+    return y_source, y_target
+
+
+class TestSingleScalingModel:
+    def test_fit_predict_round_trip(self, rng):
+        cpus = np.repeat([2.0, 4.0, 8.0, 16.0], 8)
+        y = 300 * cpus**0.8 * np.exp(rng.normal(0, 0.03, cpus.size))
+        model = SingleScalingModel("Regression").fit(cpus, y)
+        predictions = model.predict(np.array([2.0, 16.0]))
+        assert predictions[1] > predictions[0]
+
+    def test_sqrt_basis_captures_concavity(self, rng):
+        cpus = np.repeat([2.0, 4.0, 8.0, 16.0], 10)
+        y = 1000 * (1 / (0.2 + 0.8 / cpus))  # Amdahl-shaped
+        model = SingleScalingModel("Regression").fit(cpus, y)
+        predictions = model.predict(np.array([2.0, 4.0, 8.0, 16.0]))
+        truth = 1000 * (1 / (0.2 + 0.8 / np.array([2.0, 4.0, 8.0, 16.0])))
+        assert np.max(np.abs(predictions - truth) / truth) < 0.1
+
+    def test_lmm_strategy_accepts_groups(self, rng):
+        cpus = np.repeat([2.0, 4.0], 15)
+        groups = np.tile(np.repeat([0, 1, 2], 5), 2)
+        y = 100 * cpus + 10 * groups
+        model = SingleScalingModel("LMM").fit(cpus, y, groups=groups)
+        predictions = model.predict(cpus, groups=groups)
+        assert np.mean((predictions - y) ** 2) < 25.0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            SingleScalingModel().predict([4.0])
+
+
+class TestPairwiseScalingModel:
+    def test_learns_scaling_factor(self, paired_observations):
+        y_source, y_target = paired_observations
+        model = PairwiseScalingModel("Regression").fit(y_source, y_target)
+        assert model.scaling_factor() == pytest.approx(2.2, rel=0.1)
+
+    def test_predict_on_same_workload(self, paired_observations):
+        y_source, y_target = paired_observations
+        model = PairwiseScalingModel("SVM").fit(y_source, y_target)
+        predictions = model.predict(y_source)
+        relative = np.abs(predictions - y_target) / y_target
+        assert np.median(relative) < 0.15
+
+    def test_transfer_is_scale_free(self, paired_observations, rng):
+        y_source, y_target = paired_observations
+        model = PairwiseScalingModel("Regression").fit(y_source, y_target)
+        # A different workload, 8x the throughput, same scaling behaviour.
+        other = 8000.0 * np.exp(rng.normal(0, 0.05, 20))
+        transferred = model.transfer(other)
+        assert transferred.mean() == pytest.approx(2.2 * other.mean(), rel=0.1)
+
+    def test_transfer_requires_normalization(self, paired_observations):
+        y_source, y_target = paired_observations
+        model = PairwiseScalingModel("Regression", normalize=False)
+        model.fit(y_source, y_target)
+        with pytest.raises(ValidationError, match="normalize"):
+            model.transfer(y_source)
+
+    def test_lmm_pairwise_with_groups(self, paired_observations):
+        y_source, y_target = paired_observations
+        groups = np.repeat([0, 1, 2], 10)
+        model = PairwiseScalingModel("LMM").fit(
+            y_source, y_target, groups=groups
+        )
+        predictions = model.predict(y_source, groups=groups)
+        assert predictions.shape == (30,)
+
+    def test_non_positive_source_rejected(self):
+        with pytest.raises(ValidationError):
+            PairwiseScalingModel().fit([0.0, 0.0], [1.0, 1.0])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            PairwiseScalingModel().predict([1.0])
+
+
+class TestPairwiseModelSet:
+    @pytest.fixture
+    def observations(self, rng):
+        base = 1000.0 * np.exp(rng.normal(0, 0.05, 24))
+        return {
+            "2cpu": base,
+            "4cpu": 1.6 * base * np.exp(rng.normal(0, 0.04, 24)),
+            "8cpu": 2.3 * base * np.exp(rng.normal(0, 0.04, 24)),
+        }
+
+    def test_all_upward_pairs_fitted(self, observations):
+        model_set = PairwiseModelSet("Regression").fit(
+            observations, cpu_counts={"2cpu": 2, "4cpu": 4, "8cpu": 8}
+        )
+        assert model_set.pairs == [
+            ("2cpu", "4cpu"),
+            ("2cpu", "8cpu"),
+            ("4cpu", "8cpu"),
+        ]
+
+    def test_factors_ordered(self, observations):
+        model_set = PairwiseModelSet("Regression").fit(
+            observations, cpu_counts={"2cpu": 2, "4cpu": 4, "8cpu": 8}
+        )
+        f24 = model_set.model("2cpu", "4cpu").scaling_factor()
+        f28 = model_set.model("2cpu", "8cpu").scaling_factor()
+        assert f28 > f24 > 1.0
+
+    def test_missing_pair_raises(self, observations):
+        model_set = PairwiseModelSet("Regression").fit(
+            observations, cpu_counts={"2cpu": 2, "4cpu": 4, "8cpu": 8}
+        )
+        with pytest.raises(ValidationError, match="no model"):
+            model_set.model("8cpu", "2cpu")
+
+    def test_needs_two_skus(self, observations):
+        with pytest.raises(ValidationError):
+            PairwiseModelSet().fit({"2cpu": observations["2cpu"]})

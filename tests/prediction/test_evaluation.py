@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.prediction.baseline import InverseLinearBaseline
+from repro.prediction.evaluation import (
+    build_scaling_dataset,
+    evaluate_baseline,
+    evaluate_pairwise_strategy,
+    evaluate_single_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def tpcc_dataset(scaling_repo):
+    return build_scaling_dataset(scaling_repo, "tpcc", 8, random_state=0)
+
+
+class TestInverseLinearBaseline:
+    def test_factor(self):
+        assert InverseLinearBaseline(2, 8).factor == 4.0
+
+    def test_predict_scales(self):
+        baseline = InverseLinearBaseline(2, 4)
+        np.testing.assert_allclose(
+            baseline.predict([100.0, 200.0]), [200.0, 400.0]
+        )
+
+    def test_invalid_cpu_counts(self):
+        with pytest.raises(ValidationError):
+            InverseLinearBaseline(0, 4)
+
+
+class TestBuildScalingDataset:
+    def test_thirty_observations_per_sku(self, tpcc_dataset):
+        for name in tpcc_dataset.sku_names:
+            assert tpcc_dataset.observations[name].shape == (30,)
+            assert tpcc_dataset.groups[name].shape == (30,)
+
+    def test_sku_ordering_ascending(self, tpcc_dataset):
+        cpus = [tpcc_dataset.cpu_counts[n] for n in tpcc_dataset.sku_names]
+        assert cpus == [2, 4, 8, 16]
+
+    def test_six_upward_pairs(self, tpcc_dataset):
+        assert len(tpcc_dataset.upward_pairs()) == 6
+
+    def test_groups_encode_data_groups(self, tpcc_dataset):
+        groups = tpcc_dataset.groups[tpcc_dataset.sku_names[0]]
+        assert set(groups.tolist()) == {0, 1, 2}
+
+    def test_throughput_increases_with_cpus(self, tpcc_dataset):
+        means = [
+            tpcc_dataset.observations[name].mean()
+            for name in tpcc_dataset.sku_names
+        ]
+        assert means == sorted(means)
+
+    def test_pooled_shapes(self, tpcc_dataset):
+        cpus, throughput, groups = tpcc_dataset.pooled()
+        assert cpus.shape == throughput.shape == groups.shape == (120,)
+
+    def test_missing_workload_rejected(self, scaling_repo):
+        with pytest.raises(ValidationError):
+            build_scaling_dataset(scaling_repo, "ycsb", 8)
+
+
+class TestStrategyEvaluation:
+    def test_pairwise_regression_reasonable(self, tpcc_dataset):
+        score = evaluate_pairwise_strategy(
+            tpcc_dataset, "Regression", random_state=0
+        )
+        assert score.context == "pairwise"
+        assert 0.1 < score.mean_nrmse < 1.0
+        assert score.mean_training_time_s >= 0.0
+
+    def test_single_regression_reasonable(self, tpcc_dataset):
+        score = evaluate_single_strategy(
+            tpcc_dataset, "Regression", random_state=0
+        )
+        assert score.context == "single"
+        assert 0.1 < score.mean_nrmse < 1.5
+
+    def test_baseline_much_worse_than_models(self, tpcc_dataset):
+        baseline = evaluate_baseline(tpcc_dataset)
+        model = evaluate_pairwise_strategy(
+            tpcc_dataset, "Regression", random_state=0
+        ).mean_nrmse
+        assert baseline > 3 * model
+
+    def test_lmm_consumes_groups(self, tpcc_dataset):
+        score = evaluate_pairwise_strategy(tpcc_dataset, "LMM", random_state=0)
+        assert np.isfinite(score.mean_nrmse)
+
+    def test_deterministic_given_seed(self, tpcc_dataset):
+        a = evaluate_pairwise_strategy(
+            tpcc_dataset, "Regression", random_state=3
+        ).mean_nrmse
+        b = evaluate_pairwise_strategy(
+            tpcc_dataset, "Regression", random_state=3
+        ).mean_nrmse
+        assert a == b

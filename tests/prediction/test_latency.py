@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.prediction.latency import (
+    latency_prediction_errors,
+    per_txn_scaling_factors,
+    workload_scaling_factor,
+)
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    systematic_subexperiments,
+    workload_by_name,
+)
+
+
+@pytest.fixture(scope="module")
+def latency_setup():
+    workload = workload_by_name("ycsb")
+    runner = ExperimentRunner(workload, random_state=5)
+    source_sku = SKU(cpus=2, memory_gb=32.0)
+    target_sku = SKU(cpus=8, memory_gb=32.0)
+    train_source = runner.run_repetitions(
+        source_sku, terminals=32, duration_s=1800.0
+    )
+    train_target = runner.run_repetitions(
+        target_sku, terminals=32, duration_s=1800.0
+    )
+    test_source = systematic_subexperiments(
+        runner.run(source_sku, terminals=32, run_index=9, duration_s=1800.0)
+    )
+    test_target = systematic_subexperiments(
+        runner.run(target_sku, terminals=32, run_index=9, duration_s=1800.0)
+    )
+    return train_source, train_target, test_source, test_target
+
+
+class TestScalingFactors:
+    def test_workload_factor_below_one_for_upscale(self, latency_setup):
+        train_source, train_target, _, _ = latency_setup
+        factor = workload_scaling_factor(train_source, train_target)
+        assert 0.0 < factor < 1.0  # latency shrinks with more CPUs
+
+    def test_per_txn_factors_cover_all_types(self, latency_setup):
+        train_source, train_target, _, _ = latency_setup
+        factors = per_txn_scaling_factors(train_source, train_target)
+        assert set(factors) == set(train_source[0].per_txn_latency_ms)
+        assert all(f > 0 for f in factors.values())
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValidationError):
+            workload_scaling_factor([], [])
+
+
+class TestFigure1Shape:
+    def test_workload_level_beats_per_txn(self, latency_setup):
+        """The paper's Example 1: per-query predictions are much worse."""
+        errors = latency_prediction_errors(*latency_setup)
+        workload_ape = errors.workload_mean_ape()
+        per_txn = errors.per_txn_mean_ape()
+        assert workload_ape < 0.08
+        assert min(per_txn.values()) > workload_ape
+        assert max(per_txn.values()) > 3 * workload_ape
+
+    def test_ten_predictions_per_granularity(self, latency_setup):
+        errors = latency_prediction_errors(*latency_setup)
+        assert errors.workload_ape.shape == (10,)
+        for ape in errors.per_txn_ape.values():
+            assert ape.shape == (10,)
+
+    def test_weighted_rollup_worse_than_workload_level(self, latency_setup):
+        errors = latency_prediction_errors(*latency_setup)
+        assert errors.aggregated_per_txn_ape.mean() > errors.workload_mean_ape()
+
+    def test_mismatched_test_pairs_rejected(self, latency_setup):
+        train_source, train_target, test_source, test_target = latency_setup
+        with pytest.raises(ValidationError):
+            latency_prediction_errors(
+                train_source, train_target, test_source[:3], test_target[:5]
+            )

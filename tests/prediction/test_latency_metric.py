@@ -1,0 +1,84 @@
+"""Latency-metric scaling datasets (the other Section 6.1.2 target)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.prediction import (
+    PairwiseScalingModel,
+    build_scaling_dataset,
+    evaluate_baseline,
+    evaluate_pairwise_strategy,
+)
+
+
+@pytest.fixture(scope="module")
+def latency_dataset(scaling_repo):
+    return build_scaling_dataset(
+        scaling_repo, "tpcc", 8, metric="latency", random_state=0
+    )
+
+
+@pytest.fixture(scope="module")
+def throughput_dataset(scaling_repo):
+    return build_scaling_dataset(
+        scaling_repo, "tpcc", 8, metric="throughput", random_state=0
+    )
+
+
+class TestLatencyDataset:
+    def test_metric_recorded(self, latency_dataset):
+        assert latency_dataset.metric == "latency"
+
+    def test_latency_decreases_with_cpus(self, latency_dataset):
+        means = [
+            latency_dataset.observations[name].mean()
+            for name in latency_dataset.sku_names
+        ]
+        assert means == sorted(means, reverse=True)
+
+    def test_reciprocal_of_throughput(
+        self, latency_dataset, throughput_dataset
+    ):
+        name = latency_dataset.sku_names[0]
+        latency = latency_dataset.observations[name]
+        throughput = throughput_dataset.observations[name]
+        np.testing.assert_allclose(latency, 8 / throughput * 1000.0)
+
+    def test_invalid_metric(self, scaling_repo):
+        with pytest.raises(ValidationError, match="metric"):
+            build_scaling_dataset(scaling_repo, "tpcc", 8, metric="iops")
+
+
+class TestLatencyModeling:
+    def test_pairwise_model_learns_downscaling_factor(self, latency_dataset):
+        source = latency_dataset.sku_names[0]
+        target = latency_dataset.sku_names[-1]
+        model = PairwiseScalingModel("Regression").fit(
+            latency_dataset.observations[source],
+            latency_dataset.observations[target],
+        )
+        # Upgrading 2 -> 16 CPUs shrinks latency: factor well below 1.
+        assert model.scaling_factor() < 0.7
+
+    def test_cv_nrmse_finite_and_plausible(self, latency_dataset):
+        score = evaluate_pairwise_strategy(
+            latency_dataset, "Regression", random_state=0
+        )
+        assert 0.05 < score.mean_nrmse < 1.0
+
+    def test_baseline_divides_for_latency(self, latency_dataset):
+        # The naive latency baseline is wrong (real scaling is sub-linear)
+        # but must at least predict a *decrease*.
+        baseline_nrmse = evaluate_baseline(latency_dataset)
+        model_nrmse = evaluate_pairwise_strategy(
+            latency_dataset, "Regression", random_state=0
+        ).mean_nrmse
+        assert baseline_nrmse > model_nrmse
+
+    def test_latency_and_throughput_baselines_differ(
+        self, latency_dataset, throughput_dataset
+    ):
+        assert evaluate_baseline(latency_dataset) != pytest.approx(
+            evaluate_baseline(throughput_dataset)
+        )

@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.prediction import (
+    RidgelinePredictor,
+    build_scaling_dataset,
+    recommend_sku,
+)
+from repro.workloads import SKU, run_experiments, workload_by_name
+
+
+@pytest.fixture
+def two_resource_data(rng):
+    """Throughput = min(900*cpus, 150*memory) + noise over a grid."""
+    cpus, memory = np.meshgrid([2.0, 4.0, 8.0, 16.0], [16.0, 32.0, 64.0])
+    cpus, memory = cpus.ravel(), memory.ravel()
+    cpus = np.repeat(cpus, 4)
+    memory = np.repeat(memory, 4)
+    truth = np.minimum(900 * cpus, 150 * memory)
+    y = truth * np.exp(rng.normal(0, 0.02, truth.size))
+    return cpus, memory, y, truth
+
+
+class TestRidgeline:
+    def test_predicts_min_of_resources(self, two_resource_data):
+        cpus, memory, y, truth = two_resource_data
+        model = RidgelinePredictor().fit(cpus, memory, y)
+        predictions = model.predict(cpus, memory)
+        relative = np.abs(predictions - truth) / truth
+        assert np.median(relative) < 0.15
+
+    def test_binding_resource_identification(self, two_resource_data):
+        cpus, memory, y, _ = two_resource_data
+        model = RidgelinePredictor().fit(cpus, memory, y)
+        # 16 CPUs with 16 GB: memory-starved; 2 CPUs with 64 GB: CPU-bound.
+        assert model.binding_resource(16.0, 16.0) == "memory"
+        assert model.binding_resource(2.0, 64.0) == "cpu"
+
+    def test_memory_upgrade_helps_only_when_memory_bound(
+        self, two_resource_data
+    ):
+        cpus, memory, y, _ = two_resource_data
+        model = RidgelinePredictor().fit(cpus, memory, y)
+        memory_bound = model.predict([16.0], [16.0])[0]
+        upgraded = model.predict([16.0], [64.0])[0]
+        assert upgraded > memory_bound * 1.3
+
+    def test_needs_two_levels_per_dimension(self, rng):
+        with pytest.raises(ValidationError):
+            RidgelinePredictor().fit(
+                [2.0, 2.0, 2.0], [16.0, 32.0, 64.0], [1.0, 2.0, 3.0]
+            )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RidgelinePredictor().predict([2.0], [16.0])
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValidationError):
+            RidgelinePredictor(binding_quantile=0.0)
+
+
+class TestRecommendSKU:
+    @pytest.fixture(scope="class")
+    def recommendation_setup(self):
+        workload = workload_by_name("ycsb")
+        skus = [SKU(cpus=c, memory_gb=32.0) for c in (2, 4, 8, 16)]
+        repo = run_experiments(
+            [workload], skus,
+            terminals_for=lambda w: (32,),
+            duration_s=1200.0, random_state=3,
+        )
+        dataset = build_scaling_dataset(repo, "ycsb", 32, random_state=0)
+        prices = {s.name: float(100 * s.cpus) for s in skus}
+        sku_map = {s.name: s for s in skus}
+        return workload, dataset, prices, sku_map
+
+    def test_cheapest_feasible_chosen(self, recommendation_setup):
+        workload, dataset, prices, sku_map = recommendation_setup
+        result = recommend_sku(
+            workload, dataset, "2cpu-32gb",
+            target_throughput=4500.0, prices=prices, terminals=32,
+            skus=sku_map,
+        )
+        assert result.feasible
+        feasible = [
+            a for a in result.assessments if a.meets(result.target_throughput)
+        ]
+        assert result.chosen.price == min(a.price for a in feasible)
+
+    def test_unreachable_target(self, recommendation_setup):
+        workload, dataset, prices, sku_map = recommendation_setup
+        result = recommend_sku(
+            workload, dataset, "2cpu-32gb",
+            target_throughput=10**7, prices=prices, terminals=32,
+            skus=sku_map,
+        )
+        assert not result.feasible
+        assert result.chosen is None
+
+    def test_ceiling_caps_predictions(self, recommendation_setup):
+        workload, dataset, prices, sku_map = recommendation_setup
+        result = recommend_sku(
+            workload, dataset, "2cpu-32gb",
+            target_throughput=1000.0, prices=prices, terminals=32,
+            skus=sku_map,
+        )
+        for assessment in result.assessments:
+            assert assessment.effective_throughput <= assessment.ceiling
+
+    def test_missing_current_sku(self, recommendation_setup):
+        workload, dataset, prices, sku_map = recommendation_setup
+        with pytest.raises(ValidationError, match="current SKU"):
+            recommend_sku(
+                workload, dataset, "64cpu-32gb",
+                target_throughput=100.0, prices=prices, terminals=32,
+                skus=sku_map,
+            )
+
+    def test_invalid_target(self, recommendation_setup):
+        workload, dataset, prices, sku_map = recommendation_setup
+        with pytest.raises(ValidationError, match="target"):
+            recommend_sku(
+                workload, dataset, "2cpu-32gb",
+                target_throughput=0.0, prices=prices, terminals=32,
+                skus=sku_map,
+            )

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.prediction.roofline import RooflinePredictor
+
+
+@pytest.fixture
+def figure12_data():
+    """Compute-bound at 1-3 CPUs, ceiling at 3000 beyond (Figure 12)."""
+    cpus = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    throughput = np.minimum(1000.0 * cpus, 3000.0)
+    return cpus, throughput
+
+
+class TestRooflinePredictor:
+    def test_linear_model_overshoots_ceiling(self, figure12_data):
+        cpus, throughput = figure12_data
+        model = RooflinePredictor(ceiling=3000.0).fit(cpus, throughput)
+        linear_at_5 = model.predict_linear(np.array([5.0]))[0]
+        assert linear_at_5 > 3000.0  # the Figure 12 mistake
+
+    def test_capped_prediction_correct(self, figure12_data):
+        cpus, throughput = figure12_data
+        model = RooflinePredictor(ceiling=3000.0).fit(cpus, throughput)
+        np.testing.assert_allclose(
+            model.predict(np.array([4.0, 5.0, 8.0])), 3000.0
+        )
+
+    def test_compute_bound_region_linear(self, figure12_data):
+        cpus, throughput = figure12_data
+        model = RooflinePredictor(ceiling=3000.0).fit(cpus, throughput)
+        np.testing.assert_allclose(
+            model.predict(np.array([1.0, 2.0])), [1000.0, 2000.0], rtol=1e-6
+        )
+
+    def test_ceiling_estimated_from_data(self, figure12_data):
+        cpus, throughput = figure12_data
+        model = RooflinePredictor().fit(cpus, throughput)
+        assert model.ceiling_ == pytest.approx(3000.0)
+
+    def test_saturation_point(self, figure12_data):
+        cpus, throughput = figure12_data
+        model = RooflinePredictor(ceiling=3000.0).fit(cpus, throughput)
+        assert model.saturation_point() == pytest.approx(3.0, rel=0.05)
+
+    def test_flat_data_saturation_infinite(self):
+        cpus = np.array([1.0, 2.0, 3.0])
+        flat = np.full(3, 100.0)
+        model = RooflinePredictor(ceiling=100.0).fit(cpus, flat)
+        assert model.saturation_point() == float("inf")
+
+    def test_invalid_ceiling(self):
+        with pytest.raises(ValidationError):
+            RooflinePredictor(ceiling=0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RooflinePredictor().predict([2.0])
+
+    def test_roofline_beats_plain_linear_out_of_sample(self, figure12_data):
+        cpus, throughput = figure12_data
+        model = RooflinePredictor(ceiling=3000.0).fit(cpus, throughput)
+        test_cpus = np.array([6.0, 8.0])
+        truth = np.array([3000.0, 3000.0])
+        capped_error = np.abs(model.predict(test_cpus) - truth).max()
+        linear_error = np.abs(model.predict_linear(test_cpus) - truth).max()
+        assert capped_error < linear_error

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.prediction.strategies import (
+    STRATEGY_NAMES,
+    GroupedLMMAdapter,
+    make_strategy,
+    strategy_uses_groups,
+)
+
+
+class TestRegistry:
+    def test_table6_names(self):
+        assert STRATEGY_NAMES == (
+            "Regression",
+            "SVM",
+            "LMM",
+            "GB",
+            "MARS",
+            "NNet",
+        )
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_all_strategies_instantiate(self, name):
+        model = make_strategy(name)
+        assert hasattr(model, "fit") and hasattr(model, "predict")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValidationError):
+            make_strategy("XGBoost")
+
+    def test_only_lmm_uses_groups(self):
+        assert strategy_uses_groups("LMM")
+        for name in STRATEGY_NAMES:
+            if name != "LMM":
+                assert not strategy_uses_groups(name)
+
+
+class TestStrategyBehaviour:
+    @pytest.mark.parametrize("name", ["Regression", "SVM", "GB", "MARS"])
+    def test_simple_strategies_fit_scaling_curve(self, name, rng):
+        cpus = np.repeat([2.0, 4.0, 8.0, 16.0], 6)
+        y = 100 * cpus**0.7 * np.exp(rng.normal(0, 0.03, cpus.size))
+        model = make_strategy(name, random_state=0)
+        model.fit(cpus.reshape(-1, 1), y)
+        predictions = model.predict(cpus.reshape(-1, 1))
+        relative_error = np.abs(predictions - y) / y
+        assert np.median(relative_error) < 0.15
+
+    def test_lmm_adapter_consumes_group_column(self, rng):
+        x = np.tile(np.repeat([1.0, 2.0, 4.0], 10), 2)
+        groups = np.repeat([0.0, 1.0], 30)
+        y = 10 * x + np.where(groups == 0, 0.0, 5.0)
+        X = np.column_stack([x, groups])
+        adapter = GroupedLMMAdapter().fit(X, y)
+        predictions = adapter.predict(X)
+        assert np.mean((predictions - y) ** 2) < 1.0
+
+    def test_lmm_adapter_needs_group_column(self, rng):
+        with pytest.raises(ValidationError, match="group column"):
+            GroupedLMMAdapter().fit(rng.normal(size=(10, 1)), rng.normal(size=10))
+
+    def test_nnet_on_raw_scale_is_poor(self, rng):
+        """The Table 6 NNet pathology: raw throughput targets underfit."""
+        cpus = np.repeat([2.0, 4.0, 8.0, 16.0], 6)
+        y = 400 * cpus**0.7
+        nnet = make_strategy("NNet", random_state=0)
+        nnet.fit(cpus.reshape(-1, 1), y)
+        gb = make_strategy("GB", random_state=0)
+        gb.fit(cpus.reshape(-1, 1), y)
+        nnet_err = np.abs(nnet.predict(cpus.reshape(-1, 1)) - y).mean()
+        gb_err = np.abs(gb.predict(cpus.reshape(-1, 1)) - y).mean()
+        assert nnet_err > 3 * gb_err

@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.prediction.uncertainty import (
+    pairwise_prediction_interval,
+    single_prediction_interval,
+)
+
+
+@pytest.fixture
+def pair_data(rng):
+    y_source = 1000.0 * np.exp(rng.normal(0, 0.05, 40))
+    y_target = 2.0 * y_source * np.exp(rng.normal(0, 0.05, 40))
+    return y_source, y_target
+
+
+class TestPairwiseInterval:
+    def test_interval_brackets_point_prediction(self, pair_data):
+        y_source, y_target = pair_data
+        interval = pairwise_prediction_interval(
+            "Regression", y_source, y_target, y_source[:5],
+            n_bootstrap=50, random_state=0,
+        )
+        assert np.all(interval.lower <= interval.prediction + 1e-9)
+        assert np.all(interval.prediction <= interval.upper + 1e-9)
+
+    def test_interval_contains_truth_mostly(self, pair_data):
+        y_source, y_target = pair_data
+        query = y_source[:20]
+        truth = 2.0 * query
+        interval = pairwise_prediction_interval(
+            "Regression", y_source, y_target, query,
+            confidence=0.95, n_bootstrap=100, random_state=0,
+        )
+        assert interval.contains(truth).mean() > 0.5
+
+    def test_width_shrinks_with_confidence(self, pair_data):
+        y_source, y_target = pair_data
+        narrow = pairwise_prediction_interval(
+            "Regression", y_source, y_target, y_source[:3],
+            confidence=0.5, n_bootstrap=100, random_state=0,
+        )
+        wide = pairwise_prediction_interval(
+            "Regression", y_source, y_target, y_source[:3],
+            confidence=0.99, n_bootstrap=100, random_state=0,
+        )
+        assert np.all(narrow.width <= wide.width + 1e-9)
+
+    def test_noisier_data_wider_interval(self, rng):
+        y_source = 1000.0 * np.exp(rng.normal(0, 0.05, 40))
+        quiet = 2.0 * y_source * np.exp(rng.normal(0, 0.02, 40))
+        loud = 2.0 * y_source * np.exp(rng.normal(0, 0.3, 40))
+        query = y_source[:5]
+        w_quiet = pairwise_prediction_interval(
+            "Regression", y_source, quiet, query,
+            n_bootstrap=80, random_state=0,
+        ).width.mean()
+        w_loud = pairwise_prediction_interval(
+            "Regression", y_source, loud, query,
+            n_bootstrap=80, random_state=0,
+        ).width.mean()
+        assert w_loud > w_quiet
+
+    def test_deterministic(self, pair_data):
+        y_source, y_target = pair_data
+        a = pairwise_prediction_interval(
+            "Regression", y_source, y_target, y_source[:2],
+            n_bootstrap=30, random_state=7,
+        )
+        b = pairwise_prediction_interval(
+            "Regression", y_source, y_target, y_source[:2],
+            n_bootstrap=30, random_state=7,
+        )
+        np.testing.assert_array_equal(a.lower, b.lower)
+        np.testing.assert_array_equal(a.upper, b.upper)
+
+    def test_invalid_confidence(self, pair_data):
+        y_source, y_target = pair_data
+        with pytest.raises(ValidationError):
+            pairwise_prediction_interval(
+                "Regression", y_source, y_target, y_source[:2],
+                confidence=1.5,
+            )
+
+    def test_minimum_bootstrap(self, pair_data):
+        y_source, y_target = pair_data
+        with pytest.raises(ValidationError):
+            pairwise_prediction_interval(
+                "Regression", y_source, y_target, y_source[:2],
+                n_bootstrap=5,
+            )
+
+
+class TestSingleInterval:
+    def test_brackets_and_monotone_curve(self, rng):
+        cpus = np.repeat([2.0, 4.0, 8.0, 16.0], 8)
+        throughput = 400 * cpus**0.8 * np.exp(rng.normal(0, 0.05, cpus.size))
+        interval = single_prediction_interval(
+            "Regression", cpus, throughput, np.array([2.0, 8.0, 16.0]),
+            n_bootstrap=60, random_state=0,
+        )
+        assert np.all(interval.lower <= interval.upper)
+        assert interval.prediction[0] < interval.prediction[2]
+
+    def test_groups_supported_for_lmm(self, rng):
+        cpus = np.tile(np.repeat([2.0, 4.0, 8.0], 6), 1)
+        groups = np.tile(np.repeat([0, 1, 2], 2), 3)
+        throughput = 300 * cpus + 50 * groups
+        interval = single_prediction_interval(
+            "LMM", cpus, throughput, np.array([4.0]),
+            groups=groups, n_bootstrap=20, random_state=0,
+        )
+        assert np.isfinite(interval.prediction).all()

@@ -1,0 +1,88 @@
+"""Exact reproduction of the Appendix A worked examples (Tables 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.similarity.representations import equi_width_cumulative_histogram
+
+#: Table 7a — query plan matrix: 3 queries x 4 features.
+PLAN_EXAMPLE = {
+    "f0_i": [63.0, 9.0, 134.0],
+    "f1_i": [1.0, 1.0, 23.4],
+    "f2_i": [0.0, 1.0, 4.0],
+    "f3_i": [1.0, 0.0, 0.0],
+}
+
+#: Table 7b — resource utilization matrix: 3 features x 4 timestamps.
+RESOURCE_EXAMPLE = {
+    "f0_j": [32.02, 25.23, 20.65, 25.47],
+    "f1_j": [175.0, 66.0, 35.0, 27.0],
+    "f2_j": [0.07, 0.069, 0.07, 0.07],
+}
+
+#: Table 8 — the paper's 3-bin cumulative histograms of the same data.
+TABLE8 = {
+    "f0_i": [1 / 3, 2 / 3, 1.0],
+    "f1_i": [2 / 3, 2 / 3, 1.0],
+    "f2_i": [2 / 3, 2 / 3, 1.0],
+    "f3_i": [2 / 3, 2 / 3, 1.0],
+    "f0_j": [1 / 4, 3 / 4, 1.0],
+    "f1_j": [3 / 4, 3 / 4, 1.0],
+    "f2_j": [1 / 4, 1 / 4, 1.0],
+}
+
+
+class TestTable8:
+    @pytest.mark.parametrize("feature", sorted(PLAN_EXAMPLE))
+    def test_plan_feature_histograms(self, feature):
+        values = PLAN_EXAMPLE[feature]
+        histogram = equi_width_cumulative_histogram(values, 3)
+        np.testing.assert_allclose(histogram, TABLE8[feature], atol=1e-9)
+
+    @pytest.mark.parametrize("feature", sorted(RESOURCE_EXAMPLE))
+    def test_resource_feature_histograms(self, feature):
+        values = RESOURCE_EXAMPLE[feature]
+        histogram = equi_width_cumulative_histogram(values, 3)
+        np.testing.assert_allclose(histogram, TABLE8[feature], atol=1e-9)
+
+
+class TestHistogramHelper:
+    def test_last_bin_always_one(self, rng):
+        histogram = equi_width_cumulative_histogram(rng.normal(size=50), 10)
+        assert histogram[-1] == pytest.approx(1.0)
+
+    def test_monotone_non_decreasing(self, rng):
+        histogram = equi_width_cumulative_histogram(rng.normal(size=50), 10)
+        assert np.all(np.diff(histogram) >= -1e-12)
+
+    def test_constant_values_single_mass(self):
+        histogram = equi_width_cumulative_histogram([5.0, 5.0, 5.0], 4)
+        np.testing.assert_allclose(histogram, 1.0)
+
+    def test_explicit_range_clips(self):
+        histogram = equi_width_cumulative_histogram(
+            [0.0, 10.0], 2, low=0.0, high=1.0
+        )
+        # The value 10 clips into the top bin of [0, 1].
+        np.testing.assert_allclose(histogram, [0.5, 1.0])
+
+    def test_appendix_h1_h2_h3_shape_ordering(self):
+        """The motivating H1/H2/H3 example of Appendix A."""
+        h1 = np.repeat([0], 5)  # all mass in bin 1 -> values near 0.0
+        h2 = np.repeat([1], 5)  # all mass in bin 2
+        h3 = np.repeat([4], 5)  # all mass in bin 5
+        c = {
+            name: equi_width_cumulative_histogram(v, 5, low=0, high=5)
+            for name, v in (("h1", h1), ("h2", h2), ("h3", h3))
+        }
+        near = np.abs(c["h1"] - c["h2"]).sum()
+        far = np.abs(c["h1"] - c["h3"]).sum()
+        assert near == pytest.approx(1.0)
+        assert far == pytest.approx(4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            equi_width_cumulative_histogram([], 3)
+        with pytest.raises(ValidationError):
+            equi_width_cumulative_histogram([1.0], 0)

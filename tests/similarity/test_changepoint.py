@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.similarity.changepoint import bayesian_changepoints, segment_bounds
+
+
+def shifted_series(rng, means, segment_length=40, noise=0.5):
+    parts = [
+        rng.normal(mean, noise, size=segment_length) for mean in means
+    ]
+    return np.concatenate(parts)
+
+
+class TestBCPD:
+    def test_detects_single_shift(self, rng):
+        series = shifted_series(rng, [0.0, 8.0])
+        changepoints = bayesian_changepoints(series)
+        assert len(changepoints) >= 1
+        assert any(30 <= cp <= 50 for cp in changepoints)
+
+    def test_detects_two_shifts(self, rng):
+        series = shifted_series(rng, [0.0, 10.0, -10.0])
+        changepoints = bayesian_changepoints(series)
+        assert len(changepoints) >= 2
+
+    def test_stationary_series_few_changepoints(self, rng):
+        series = rng.normal(0.0, 1.0, size=150)
+        assert len(bayesian_changepoints(series)) <= 2
+
+    def test_constant_series_no_changepoints(self):
+        assert bayesian_changepoints(np.ones(100)) == []
+
+    def test_short_series_no_changepoints(self, rng):
+        assert bayesian_changepoints(rng.normal(size=6)) == []
+
+    def test_min_segment_spacing(self, rng):
+        series = shifted_series(rng, [0.0, 6.0, 0.0, 6.0], segment_length=30)
+        changepoints = bayesian_changepoints(series, min_segment=8)
+        gaps = np.diff([0, *changepoints])
+        assert np.all(gaps >= 8)
+
+    def test_scale_invariance(self, rng):
+        series = shifted_series(rng, [0.0, 5.0])
+        a = bayesian_changepoints(series)
+        b = bayesian_changepoints(series * 1000.0)
+        assert a == b
+
+    def test_invalid_hazard(self, rng):
+        with pytest.raises(ValidationError):
+            bayesian_changepoints(rng.normal(size=50), hazard=1.5)
+
+    def test_max_changepoints_cap(self, rng):
+        series = shifted_series(
+            rng, [0, 8, 0, 8, 0, 8, 0, 8, 0, 8], segment_length=20
+        )
+        changepoints = bayesian_changepoints(series, max_changepoints=3)
+        assert len(changepoints) <= 3
+
+
+class TestSegmentBounds:
+    def test_no_changepoints_single_segment(self):
+        assert segment_bounds(10, []) == [(0, 10)]
+
+    def test_segments_partition_range(self):
+        bounds = segment_bounds(100, [30, 60])
+        assert bounds == [(0, 30), (30, 60), (60, 100)]
+
+    def test_duplicate_changepoints_collapsed(self):
+        assert segment_bounds(10, [5, 5]) == [(0, 5), (5, 10)]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValidationError):
+            segment_bounds(0, [])

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.similarity import (
+    RepresentationBuilder,
+    adjusted_rand_index,
+    cluster_purity,
+    cluster_workloads,
+    distance_matrix,
+)
+from repro.similarity.evaluation import representation_matrices
+from repro.similarity.measures import get_measure
+
+
+@pytest.fixture(scope="module")
+def corpus_distances(small_corpus):
+    mini = small_corpus.filter(lambda r: r.subsample_index in (0, 1, 2))
+    builder = RepresentationBuilder().fit(mini)
+    matrices = representation_matrices(mini, builder, "hist")
+    D = distance_matrix(matrices, get_measure("L2,1"))
+    return mini, D
+
+
+class TestClusterWorkloads:
+    def test_recovers_workload_identity(self, corpus_distances):
+        corpus, D = corpus_distances
+        result = cluster_workloads(D, n_clusters=5)
+        purity = cluster_purity(result.labels, corpus.labels())
+        assert purity > 0.9
+
+    def test_kmedoids_method(self, corpus_distances):
+        corpus, D = corpus_distances
+        result = cluster_workloads(D, n_clusters=5, method="kmedoids")
+        assert cluster_purity(result.labels, corpus.labels()) > 0.7
+
+    def test_coarser_clustering_merges_nearest_workloads(
+        self, corpus_distances
+    ):
+        """With one cluster fewer than there are workloads, the merged pair
+        is the pair with the smallest mean cross-workload distance."""
+        from repro.similarity import pairwise_workload_distances
+
+        corpus, D = corpus_distances
+        labels = np.asarray(corpus.labels())
+        names = corpus.workload_names()
+        stats = pairwise_workload_distances(D, labels)
+        nearest_pair = min(
+            (
+                (stats[(a, b)][0], a, b)
+                for i, a in enumerate(names)
+                for b in names[i + 1 :]
+            )
+        )[1:]
+        result = cluster_workloads(D, n_clusters=len(names) - 1)
+        merged = {
+            name: set(result.labels[labels == name].tolist())
+            for name in names
+        }
+        assert merged[nearest_pair[0]] == merged[nearest_pair[1]]
+
+    def test_groups_accessor(self, corpus_distances):
+        corpus, D = corpus_distances
+        result = cluster_workloads(D, n_clusters=5)
+        groups = result.groups(corpus.labels())
+        assert sum(len(v) for v in groups.values()) == len(corpus)
+
+    def test_unknown_method(self, corpus_distances):
+        _, D = corpus_distances
+        with pytest.raises(ValidationError):
+            cluster_workloads(D, 3, method="spectral")
+
+
+class TestPurityAndARI:
+    def test_perfect_purity(self):
+        assert cluster_purity([0, 0, 1, 1], ["a", "a", "b", "b"]) == 1.0
+
+    def test_single_cluster_purity_is_majority(self):
+        assert cluster_purity([0, 0, 0, 0], ["a", "a", "a", "b"]) == 0.75
+
+    def test_ari_identical(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_ari_label_permutation_invariant(self, rng):
+        labels = rng.integers(0, 3, size=40)
+        permuted = (labels + 1) % 3
+        assert adjusted_rand_index(labels, permuted) == pytest.approx(1.0)
+
+    def test_ari_random_near_zero(self, rng):
+        a = rng.integers(0, 3, size=500)
+        b = rng.integers(0, 3, size=500)
+        assert abs(adjusted_rand_index(a, b)) < 0.1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            cluster_purity([0, 1], ["a"])

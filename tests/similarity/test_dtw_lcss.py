@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.similarity.dtw import dtw_distance, multivariate_dtw
+from repro.similarity.lcss import lcss_distance, multivariate_lcss
+
+
+class TestUnivariateDTW:
+    def test_identical_series_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert dtw_distance(a, a) == 0.0
+
+    def test_bounded_by_euclidean_for_equal_lengths(self, rng):
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        assert dtw_distance(a, b) <= np.linalg.norm(a - b) + 1e-12
+
+    def test_warps_shifted_series(self):
+        a = np.array([0.0, 0, 1, 2, 1, 0, 0])
+        b = np.array([0.0, 1, 2, 1, 0, 0, 0])  # same shape, shifted
+        assert dtw_distance(a, b) < np.linalg.norm(a - b)
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=12)
+        b = rng.normal(size=15)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_hand_computed_example(self):
+        # a=[0, 1], b=[0, 1, 1]: perfect alignment exists.
+        assert dtw_distance([0.0, 1.0], [0.0, 1.0, 1.0]) == 0.0
+
+    def test_window_constraint_tightens(self, rng):
+        a = rng.normal(size=30)
+        b = rng.normal(size=30)
+        unconstrained = dtw_distance(a, b)
+        constrained = dtw_distance(a, b, window=2)
+        assert constrained >= unconstrained - 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            dtw_distance([], [1.0])
+
+
+class TestMultivariateDTW:
+    def test_dependent_equals_univariate_for_one_dim(self, rng):
+        a = rng.normal(size=10)
+        b = rng.normal(size=12)
+        assert multivariate_dtw(
+            a[:, None], b[:, None], strategy="dependent"
+        ) == pytest.approx(dtw_distance(a, b))
+
+    def test_independent_sums_dimensions(self, rng):
+        A = rng.normal(size=(10, 3))
+        B = rng.normal(size=(12, 3))
+        expected = sum(
+            dtw_distance(A[:, k], B[:, k]) for k in range(3)
+        )
+        assert multivariate_dtw(A, B, strategy="independent") == (
+            pytest.approx(expected)
+        )
+
+    def test_strategies_differ_on_correlated_dims(self, rng):
+        A = rng.normal(size=(15, 2))
+        B = rng.normal(size=(15, 2))
+        dep = multivariate_dtw(A, B, strategy="dependent")
+        ind = multivariate_dtw(A, B, strategy="independent")
+        assert dep != pytest.approx(ind)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            multivariate_dtw(rng.normal(size=(5, 2)), rng.normal(size=(5, 3)))
+
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValidationError):
+            multivariate_dtw(
+                rng.normal(size=(5, 2)),
+                rng.normal(size=(5, 2)),
+                strategy="both",
+            )
+
+
+class TestLCSS:
+    def test_identical_zero_distance(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert lcss_distance(a, a, epsilon=0.01) == 0.0
+
+    def test_disjoint_max_distance(self):
+        a = np.zeros(5)
+        b = np.full(5, 100.0)
+        assert lcss_distance(a, b, epsilon=0.1) == 1.0
+
+    def test_subsequence_detected(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([9.0, 1.0, 9.0, 2.0, 9.0, 3.0, 9.0, 4.0])
+        assert lcss_distance(a, b, epsilon=0.01) == 0.0
+
+    def test_epsilon_widens_matches(self):
+        a = np.arange(10, dtype=float)  # spacing 1.0 rules out cross matches
+        b = a + 0.05
+        assert lcss_distance(a, b, epsilon=0.1) == 0.0
+        assert lcss_distance(a, b, epsilon=0.01) == 1.0
+
+    def test_distance_in_unit_interval(self, rng):
+        a = rng.normal(size=10)
+        b = rng.normal(size=14)
+        assert 0.0 <= lcss_distance(a, b, epsilon=0.2) <= 1.0
+
+    def test_delta_window_restricts(self):
+        a = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 0.0, 0.0, 1.0])
+        assert lcss_distance(a, b, epsilon=0.01, delta=1) > lcss_distance(
+            a, b, epsilon=0.01
+        ) - 1e-12
+
+    def test_multivariate_dependent_requires_all_dims(self, rng):
+        A = np.column_stack([np.zeros(6), np.zeros(6)])
+        B = np.column_stack([np.zeros(6), np.full(6, 5.0)])
+        # Dimension 2 never matches, so no dependent matches exist.
+        assert multivariate_lcss(A, B, strategy="dependent", epsilon=0.1) == 1.0
+        # Independent averaging still credits dimension 1.
+        assert multivariate_lcss(
+            A, B, strategy="independent", epsilon=0.1
+        ) == pytest.approx(0.5)
+
+    def test_multivariate_dimension_mismatch(self, rng):
+        with pytest.raises(ValidationError):
+            multivariate_lcss(
+                rng.normal(size=(5, 2)), rng.normal(size=(5, 3))
+            )
+
+    def test_negative_epsilon_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            lcss_distance(rng.normal(size=5), rng.normal(size=5), epsilon=-1)
+
+    def test_univariate_wrapper_rejects_matrices(self, rng):
+        with pytest.raises(ValidationError):
+            lcss_distance(rng.normal(size=(5, 2)), rng.normal(size=(5, 2)))

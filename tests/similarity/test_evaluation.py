@@ -1,0 +1,175 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.similarity import (
+    RepresentationBuilder,
+    distance_matrix,
+    evaluate_measure,
+    knn_accuracy,
+    pairwise_workload_distances,
+    ranking_mean_average_precision,
+    ranking_ndcg,
+)
+from repro.similarity.evaluation import normalized_distances, representation_matrices
+from repro.similarity.measures import default_measures, get_measure, measure_registry
+
+
+@pytest.fixture(scope="module")
+def mini_corpus(small_corpus):
+    """A lighter slice: 2 sub-experiments per workload/terminal setting."""
+    return small_corpus.filter(lambda r: r.subsample_index in (0, 1))
+
+
+@pytest.fixture(scope="module")
+def builder(mini_corpus):
+    return RepresentationBuilder().fit(mini_corpus)
+
+
+class TestMeasureRegistry:
+    def test_registry_contents(self):
+        names = set(measure_registry())
+        assert {"L2,1", "L1,1", "Fro", "Canb", "Chi2", "Corr"} <= names
+        assert {"Dependent-DTW", "Independent-DTW"} <= names
+        assert {"Dependent-LCSS", "Independent-LCSS"} <= names
+
+    def test_norms_apply_everywhere(self):
+        spec = get_measure("L2,1")
+        assert set(spec.representations) == {"mts", "hist", "phase"}
+
+    def test_elastic_measures_mts_only(self):
+        assert get_measure("Dependent-DTW").representations == ("mts",)
+
+    def test_default_measures_filtered(self):
+        hist_measures = {m.name for m in default_measures("hist")}
+        assert "Dependent-DTW" not in hist_measures
+        assert "L2,1" in hist_measures
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValidationError):
+            get_measure("Wasserstein")
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self, mini_corpus, builder):
+        matrices = representation_matrices(mini_corpus, builder, "hist")
+        D = distance_matrix(matrices, get_measure("L2,1"))
+        assert D.shape == (len(mini_corpus),) * 2
+        np.testing.assert_allclose(D, D.T)
+        np.testing.assert_allclose(np.diag(D), 0.0)
+
+    def test_normalized_in_unit_interval(self, mini_corpus, builder):
+        matrices = representation_matrices(mini_corpus, builder, "hist")
+        D = normalized_distances(
+            distance_matrix(matrices, get_measure("L1,1"))
+        )
+        assert D.max() <= 1.0 + 1e-12 and D.min() >= 0.0
+
+
+class TestRankingScores:
+    def test_knn_accuracy_perfect_clusters(self):
+        D = np.array(
+            [
+                [0.0, 0.1, 5.0, 5.0],
+                [0.1, 0.0, 5.0, 5.0],
+                [5.0, 5.0, 0.0, 0.1],
+                [5.0, 5.0, 0.1, 0.0],
+            ]
+        )
+        assert knn_accuracy(D, ["a", "a", "b", "b"]) == 1.0
+
+    def test_knn_accuracy_confused_clusters(self):
+        D = np.array(
+            [
+                [0.0, 5.0, 0.1],
+                [5.0, 0.0, 5.0],
+                [0.1, 5.0, 0.0],
+            ]
+        )
+        # Rows 0 and 2 pick each other (wrong labels); row 1's tie breaks
+        # to index 0, which happens to share its label.
+        assert knn_accuracy(D, ["a", "a", "b"]) == pytest.approx(1 / 3)
+
+    def test_map_perfect(self):
+        D = np.array(
+            [
+                [0.0, 0.1, 5.0],
+                [0.1, 0.0, 5.0],
+                [5.0, 5.0, 0.0],
+            ]
+        )
+        assert ranking_mean_average_precision(D, ["a", "a", "b"]) == 1.0
+
+    def test_ndcg_rewards_type_similarity(self):
+        labels = ["w1", "w2", "w3"]
+        types = ["analytical", "analytical", "transactional"]
+        good = np.array(
+            [
+                [0.0, 1.0, 2.0],
+                [1.0, 0.0, 2.0],
+                [2.0, 2.0, 0.0],
+            ]
+        )
+        bad = np.array(
+            [
+                [0.0, 2.0, 1.0],
+                [2.0, 0.0, 1.0],
+                [1.0, 2.0, 0.0],
+            ]
+        )
+        assert ranking_ndcg(good, labels, types) > ranking_ndcg(
+            bad, labels, types
+        )
+
+    def test_label_alignment_validated(self):
+        with pytest.raises(ValidationError):
+            knn_accuracy(np.zeros((3, 3)), ["a", "b"])
+
+    def test_single_experiment_rejected(self):
+        with pytest.raises(ValidationError):
+            knn_accuracy(np.zeros((1, 1)), ["a"])
+
+
+class TestPairwiseWorkloadDistances:
+    def test_keys_cover_all_pairs(self, mini_corpus, builder):
+        matrices = representation_matrices(mini_corpus, builder, "hist")
+        D = distance_matrix(matrices, get_measure("L2,1"))
+        stats = pairwise_workload_distances(D, mini_corpus.labels())
+        names = set(mini_corpus.labels())
+        assert set(stats) == {(a, b) for a in names for b in names}
+
+    def test_self_distance_smallest(self, mini_corpus, builder):
+        matrices = representation_matrices(mini_corpus, builder, "hist")
+        D = distance_matrix(matrices, get_measure("L2,1"))
+        stats = pairwise_workload_distances(D, mini_corpus.labels())
+        for name in set(mini_corpus.labels()):
+            self_mean = stats[(name, name)][0]
+            others = [
+                stats[(name, other)][0]
+                for other in set(mini_corpus.labels())
+                if other != name
+            ]
+            assert self_mean < min(others)
+
+
+class TestEvaluateMeasure:
+    def test_hist_l21_strong_on_corpus(self, mini_corpus, builder):
+        result = evaluate_measure(
+            mini_corpus, builder, "hist", get_measure("L2,1")
+        )
+        assert result.knn_accuracy > 0.9
+        assert result.mean_average_precision > 0.8
+        assert result.ndcg > 0.8
+        assert result.n_features == 29
+
+    def test_incompatible_combination_rejected(self, mini_corpus, builder):
+        with pytest.raises(ValidationError):
+            evaluate_measure(
+                mini_corpus, builder, "hist", get_measure("Dependent-DTW")
+            )
+
+    def test_perfect_reliability_flag(self, mini_corpus, builder):
+        result = evaluate_measure(
+            mini_corpus, builder, "hist", get_measure("L2,1")
+        )
+        assert result.perfect_reliability == (result.knn_accuracy >= 1.0)

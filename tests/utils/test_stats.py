@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.stats import describe, rank_from_scores, weighted_mean
+
+
+class TestDescribe:
+    def test_basic_statistics(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.count == 4
+        assert summary.variance == pytest.approx(1.25)
+        assert summary.std == pytest.approx(np.sqrt(1.25))
+
+    def test_single_value(self):
+        summary = describe([7.0])
+        assert summary.std == 0.0
+        assert summary.mean == 7.0
+
+
+class TestRankFromScores:
+    def test_descending_default(self):
+        ranks = rank_from_scores([0.1, 0.9, 0.5])
+        np.testing.assert_array_equal(ranks, [3, 1, 2])
+
+    def test_ascending(self):
+        ranks = rank_from_scores([0.1, 0.9, 0.5], descending=False)
+        np.testing.assert_array_equal(ranks, [1, 3, 2])
+
+    def test_ties_break_by_index(self):
+        ranks = rank_from_scores([1.0, 1.0, 0.0])
+        np.testing.assert_array_equal(ranks, [1, 2, 3])
+
+    def test_is_permutation(self):
+        ranks = rank_from_scores(np.random.default_rng(0).normal(size=20))
+        assert sorted(ranks) == list(range(1, 21))
+
+
+class TestWeightedMean:
+    def test_uniform_weights(self):
+        assert weighted_mean([1, 2, 3], [1, 1, 1]) == 2.0
+
+    def test_weighting(self):
+        assert weighted_mean([0, 10], [3, 1]) == 2.5
+
+    def test_zero_total_raises(self):
+        with pytest.raises(ValidationError, match="positive"):
+            weighted_mean([1, 2], [0, 0])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            weighted_mean([1, 2], [2, -1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError, match="align"):
+            weighted_mean([1, 2, 3], [1, 1])

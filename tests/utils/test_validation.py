@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_consistent_length,
+    check_feature_matrix,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheck1d:
+    def test_list_coerced(self):
+        out = check_1d([1, 2, 3])
+        assert out.dtype == float
+        assert out.shape == (3,)
+
+    def test_squeezes_column_vector(self):
+        assert check_1d(np.ones((3, 1))).shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            check_1d(np.ones((2, 2)))
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_1d([])
+
+    def test_allow_empty(self):
+        assert check_1d([], allow_empty=True).size == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_1d([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="infinite|NaN"):
+            check_1d([1.0, np.inf])
+
+
+class TestCheck2d:
+    def test_promotes_1d_to_column(self):
+        assert check_2d([1, 2, 3]).shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_2d(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_2d(np.empty((0, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_2d([[1.0, np.nan]])
+
+
+class TestConsistentLength:
+    def test_consistent_passes(self):
+        check_consistent_length(np.ones(3), np.zeros(3))
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(ValidationError, match="inconsistent"):
+            check_consistent_length(np.ones(3), np.zeros(4))
+
+    def test_none_ignored(self):
+        check_consistent_length(np.ones(3), None)
+
+
+class TestFeatureMatrix:
+    def test_pair_validated(self):
+        X, y = check_feature_matrix([[1, 2], [3, 4]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.shape == (2,)
+
+    def test_y_none(self):
+        X, y = check_feature_matrix([[1.0]], None)
+        assert y is None
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            check_feature_matrix([[1], [2]], [0, 1, 2])
+
+    def test_y_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_feature_matrix([[1], [2]], [0.0, np.nan])
+
+
+class TestScalars:
+    def test_positive_int_passes(self):
+        assert check_positive_int(3, "k") == 3
+
+    def test_positive_int_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, "k", minimum=2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "k")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, "k")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0, "p") == 0.0
+        assert check_probability(1, "p") == 1.0
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")

@@ -1,0 +1,112 @@
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.catalog import (
+    WORKLOAD_NAMES,
+    production_workload,
+    standard_workloads,
+    tpcc,
+    tpcds,
+    tpch,
+    twitter,
+    workload_by_name,
+    ycsb,
+)
+from repro.workloads.spec import WorkloadType
+
+
+class TestTable1Schema:
+    """Schema statistics per Table 1 of the paper."""
+
+    def test_tpcc(self):
+        spec = tpcc()
+        assert (spec.tables, spec.columns, spec.indexes) == (9, 92, 1)
+        assert spec.n_transaction_types == 5
+        assert spec.workload_type is WorkloadType.TRANSACTIONAL
+        assert spec.read_only_fraction == pytest.approx(0.08)
+
+    def test_tpch(self):
+        spec = tpch()
+        assert (spec.tables, spec.columns, spec.indexes) == (8, 61, 23)
+        assert spec.n_transaction_types == 22
+        assert spec.workload_type is WorkloadType.ANALYTICAL
+        assert spec.read_only_fraction == pytest.approx(1.0)
+
+    def test_tpcds(self):
+        spec = tpcds()
+        assert (spec.tables, spec.columns, spec.indexes) == (24, 425, 0)
+        assert spec.n_transaction_types == 99
+        assert spec.read_only_fraction == pytest.approx(1.0)
+
+    def test_twitter(self):
+        spec = twitter()
+        assert (spec.tables, spec.columns, spec.indexes) == (5, 18, 4)
+        assert spec.n_transaction_types == 5
+        # 99% read-only per Table 1 (footnote: treated as analytical).
+        assert spec.read_only_fraction == pytest.approx(0.99)
+        assert spec.workload_type is WorkloadType.ANALYTICAL
+
+    def test_ycsb(self):
+        spec = ycsb()
+        assert (spec.tables, spec.columns, spec.indexes) == (1, 11, 0)
+        # Six operation types (the Example 1 mixture).
+        assert spec.n_transaction_types == 6
+        assert spec.read_only_fraction == pytest.approx(0.50)
+        assert spec.workload_type is WorkloadType.MIXED
+
+    def test_production_workload(self):
+        spec = production_workload()
+        assert spec.n_transaction_types >= 500
+        assert spec.workload_type is WorkloadType.MIXED
+        assert spec.read_only_fraction > 0.85  # "mostly" read-only
+
+
+class TestCatalogAccess:
+    def test_workload_by_name(self):
+        for name in WORKLOAD_NAMES:
+            assert workload_by_name(name).name == name
+
+    def test_case_insensitive(self):
+        assert workload_by_name("TPCC").name == "tpcc"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown workload"):
+            workload_by_name("oracle")
+
+    def test_standard_workloads_excludes_pw(self):
+        names = {w.name for w in standard_workloads()}
+        assert names == {"tpcc", "tpch", "tpcds", "twitter", "ycsb"}
+
+    def test_deterministic_generation(self):
+        a = tpch()
+        b = tpch()
+        assert [t.cpu_ms for t in a.transactions] == [
+            t.cpu_ms for t in b.transactions
+        ]
+
+    def test_pw_minimum_statements_enforced(self):
+        with pytest.raises(ValidationError, match="500"):
+            production_workload(n_statements=100)
+
+
+class TestWorkloadCharacter:
+    def test_analytical_queries_are_heavy(self):
+        light = twitter().mix_mean("cpu_ms")
+        heavy = tpch().mix_mean("cpu_ms")
+        # "Analytical workload queries can be several orders of magnitude
+        # slower" (Section 2).
+        assert heavy / light > 1000
+
+    def test_twitter_rows_are_small(self):
+        assert twitter().mix_mean("row_size_bytes") < 200
+
+    def test_ycsb_rows_are_wide(self):
+        assert ycsb().mix_mean("row_size_bytes") > 1000
+
+    def test_tpch_memory_hungry(self):
+        assert tpch().mix_mean("memory_grant_mb") > 100
+
+    def test_contention_ordering(self):
+        # Hot-key Twitter and write-heavy TPC-C contend; TPC-H does not.
+        assert twitter().contention_factor > tpch().contention_factor
+        assert tpcc().contention_factor > tpch().contention_factor

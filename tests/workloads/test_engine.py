@@ -1,0 +1,235 @@
+"""Tests of the simulated DBMS engine components."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.catalog import tpcc, tpch, twitter, ycsb
+from repro.workloads.engine.bufferpool import BufferPoolModel
+from repro.workloads.engine.cpu import CPUModel, amdahl_speedup
+from repro.workloads.engine.execution import ExecutionEngine
+from repro.workloads.engine.lockmanager import LockManagerModel
+from repro.workloads.engine.roofline import hardware_ceilings, saturation_cpus
+from repro.workloads.sku import SKU
+
+
+def sku(cpus=8, memory_gb=32.0):
+    return SKU(cpus=cpus, memory_gb=memory_gb)
+
+
+class TestAmdahl:
+    def test_single_cpu_no_speedup(self):
+        assert amdahl_speedup(1, 0.9) == pytest.approx(1.0)
+
+    def test_fully_serial_never_speeds_up(self):
+        assert amdahl_speedup(16, 0.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # p=0.5, 2 cpus: 1 / (0.5 + 0.25) = 4/3.
+        assert amdahl_speedup(2, 0.5) == pytest.approx(4 / 3)
+
+    def test_monotone_in_cpus(self):
+        speedups = [amdahl_speedup(c, 0.9) for c in (1, 2, 4, 8, 16)]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] < 16  # strictly sub-linear
+
+    def test_bounded_by_serial_fraction(self):
+        assert amdahl_speedup(10**6, 0.9) < 1 / (1 - 0.9) + 1e-6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            amdahl_speedup(0, 0.5)
+        with pytest.raises(ValidationError):
+            amdahl_speedup(4, 1.0)
+
+
+class TestCPUModel:
+    def test_throughput_bound_monotone_in_cpus(self):
+        model = CPUModel(tpcc())
+        bounds = [model.throughput_bound(sku(c), 32) for c in (2, 4, 8, 16)]
+        assert bounds == sorted(bounds)
+
+    def test_terminal_cap_reduces_speedup(self):
+        model = CPUModel(tpcc())
+        few = model.speedup(sku(16), 2)
+        many = model.speedup(sku(16), 32)
+        assert few < many
+
+    def test_single_terminal_analytical_uses_cores(self):
+        model = CPUModel(tpch())
+        assert model.speedup(sku(16), 1) > 4.0
+
+    def test_invalid_terminals(self):
+        with pytest.raises(ValidationError):
+            CPUModel(tpcc()).speedup(sku(), 0)
+
+
+class TestBufferPool:
+    def test_fitting_working_set_no_misses(self):
+        model = BufferPoolModel(tpcc(), sku(memory_gb=64.0))
+        assert model.miss_ratio() == 0.0
+
+    def test_oversized_working_set_misses(self):
+        model = BufferPoolModel(ycsb(), sku(memory_gb=32.0))
+        assert 0.0 < model.miss_ratio() < 1.0
+
+    def test_more_memory_fewer_misses(self):
+        small = BufferPoolModel(ycsb(), sku(memory_gb=32.0)).miss_ratio()
+        large = BufferPoolModel(ycsb(), sku(memory_gb=64.0)).miss_ratio()
+        assert large < small
+
+    def test_skew_attenuates_misses(self):
+        from dataclasses import replace
+
+        uniform = replace(ycsb(), access_skew=0.0)
+        skewed = replace(ycsb(), access_skew=0.9)
+        miss_uniform = BufferPoolModel(uniform, sku(memory_gb=32.0)).miss_ratio()
+        miss_skewed = BufferPoolModel(skewed, sku(memory_gb=32.0)).miss_ratio()
+        assert miss_skewed < miss_uniform
+
+    def test_sequential_scans_stall_less_than_random(self):
+        # TPC-H reads orders of magnitude more pages than Twitter but its
+        # sequential prefetch keeps the per-page stall tiny.
+        tpch_model = BufferPoolModel(tpch(), sku(memory_gb=16.0))
+        twitter_model = BufferPoolModel(twitter(), sku(memory_gb=4.0))
+        tpch_stall_per_read = tpch_model.io_stall_seconds_per_txn() / max(
+            tpch_model.physical_reads_per_txn(), 1e-9
+        )
+        twitter_stall_per_read = (
+            twitter_model.io_stall_seconds_per_txn()
+            / max(twitter_model.physical_reads_per_txn(), 1e-9)
+        )
+        assert tpch_stall_per_read < twitter_stall_per_read
+
+    def test_write_amortization_below_logical(self):
+        model = BufferPoolModel(tpcc(), sku())
+        assert model.physical_writes_per_txn() < tpcc().mix_mean(
+            "logical_writes"
+        )
+
+    def test_memory_utilization_bounds(self):
+        for workload in (tpcc(), tpch(), ycsb()):
+            value = BufferPoolModel(workload, sku()).memory_utilization()
+            assert 0.0 <= value <= 1.0
+
+    def test_spill_factor_at_least_one(self):
+        assert BufferPoolModel(tpch(), sku(memory_gb=8.0)).spill_factor() >= 1.0
+
+
+class TestLockManager:
+    def test_serial_run_no_conflicts(self):
+        assert LockManagerModel(tpcc()).conflict_probability(1) == 0.0
+
+    def test_conflicts_grow_with_concurrency(self):
+        model = LockManagerModel(tpcc())
+        probs = [model.conflict_probability(n) for n in (2, 8, 32)]
+        assert probs == sorted(probs)
+
+    def test_read_only_workload_conflicts_less(self):
+        write_heavy = LockManagerModel(tpcc()).conflict_probability(32)
+        read_only = LockManagerModel(tpch()).conflict_probability(32)
+        assert read_only < write_heavy
+
+    def test_wait_inflation_at_least_one(self):
+        model = LockManagerModel(twitter())
+        for n in (1, 4, 32):
+            assert model.wait_inflation(n) >= 1.0
+
+    def test_probability_capped(self):
+        assert LockManagerModel(tpcc()).conflict_probability(10**6) <= 0.85
+
+
+class TestExecutionEngine:
+    def test_cpu_scaling_shapes(self):
+        """The headline scaling behaviours the paper relies on."""
+        curves = {}
+        for workload in (tpcc(), twitter(), tpch()):
+            engine = ExecutionEngine(workload)
+            terminals = 1 if workload.name == "tpch" else 32
+            curves[workload.name] = [
+                engine.steady_state(sku(c), terminals, noisy=False).throughput
+                for c in (2, 4, 8, 16)
+            ]
+        for name, curve in curves.items():
+            assert curve == sorted(curve), name  # throughput non-decreasing
+        # Twitter saturates hard (hot-key latching); TPC-H scales furthest.
+        gain = {n: c[-1] / c[0] for n, c in curves.items()}
+        assert gain["twitter"] < gain["tpcc"] < gain["tpch"] < 8.0
+
+    def test_interference_groups_ordered(self):
+        engine = ExecutionEngine(tpcc())
+        values = [
+            engine.steady_state(sku(), 8, data_group=g, noisy=False).throughput
+            for g in (0, 1, 2)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_noise_is_reproducible(self):
+        engine = ExecutionEngine(tpcc())
+        a = engine.steady_state(sku(), 8, random_state=1).throughput
+        b = engine.steady_state(sku(), 8, random_state=1).throughput
+        assert a == b
+
+    def test_latency_consistent_with_interactive_law(self):
+        engine = ExecutionEngine(tpcc())
+        op = engine.steady_state(sku(), 8, noisy=False)
+        assert op.latency_ms == pytest.approx(8 / op.throughput * 1000.0)
+
+    def test_utilizations_bounded(self):
+        for workload in (tpcc(), twitter(), ycsb(), tpch()):
+            terminals = 1 if workload.name == "tpch" else 8
+            op = ExecutionEngine(workload).steady_state(
+                sku(), terminals, noisy=False
+            )
+            assert 0.0 <= op.cpu_utilization <= 1.0
+            assert 0.0 <= op.cpu_effective <= op.cpu_utilization
+            assert 0.0 <= op.memory_utilization <= 1.0
+            assert op.iops >= 0.0
+
+    def test_read_write_ratio_separates_types(self):
+        analytical = ExecutionEngine(tpch()).steady_state(sku(), 1, noisy=False)
+        transactional = ExecutionEngine(tpcc()).steady_state(
+            sku(), 8, noisy=False
+        )
+        assert analytical.read_write_ratio > 100 * transactional.read_write_ratio
+
+    def test_per_txn_latencies_cover_all_types(self):
+        op = ExecutionEngine(tpcc()).steady_state(sku(), 8, noisy=False)
+        assert set(op.per_txn_latency_ms) == {
+            t.name for t in tpcc().transactions
+        }
+
+    def test_weighted_per_txn_latency_near_aggregate(self):
+        workload = tpcc()
+        op = ExecutionEngine(workload).steady_state(sku(), 8, noisy=False)
+        weights = workload.weights
+        rollup = sum(
+            w * op.per_txn_latency_ms[t.name]
+            for w, t in zip(weights, workload.transactions)
+        )
+        assert rollup == pytest.approx(op.latency_ms, rel=0.05)
+
+    def test_bottleneck_reported(self):
+        op = ExecutionEngine(tpcc()).steady_state(sku(), 8, noisy=False)
+        assert op.bottleneck in ("cpu", "io", "concurrency")
+        assert op.bounds[op.bottleneck] == min(op.bounds.values())
+
+
+class TestRoofline:
+    def test_ceilings_consistent_with_engine(self):
+        ceilings = hardware_ceilings(tpcc(), sku(), 8)
+        engine_bounds = ExecutionEngine(tpcc()).throughput_bounds(sku(), 8)
+        assert ceilings.cpu_bound == pytest.approx(engine_bounds["cpu"])
+        assert ceilings.effective == pytest.approx(min(engine_bounds.values()))
+
+    def test_compute_bound_at_low_cpus(self):
+        assert hardware_ceilings(tpcc(), sku(cpus=2), 32).compute_bound
+
+    def test_saturation_point_exists_for_capped_workload(self):
+        point = saturation_cpus(ycsb(), memory_gb=32.0, terminals=32)
+        assert 2 < point < 64
+
+    def test_saturation_monotone_in_memory(self):
+        low = saturation_cpus(ycsb(), memory_gb=32.0, terminals=8)
+        high = saturation_cpus(ycsb(), memory_gb=96.0, terminals=8)
+        assert high >= low

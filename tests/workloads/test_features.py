@@ -1,0 +1,59 @@
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.features import (
+    ALL_FEATURES,
+    PLAN_FEATURES,
+    RESOURCE_FEATURES,
+    feature_index,
+    feature_kind,
+    plan_indices,
+    resource_indices,
+)
+
+
+class TestRegistry:
+    def test_counts_match_paper(self):
+        # Table 2: 7 resource channels + 22 plan statistics = 29 features.
+        assert len(RESOURCE_FEATURES) == 7
+        assert len(PLAN_FEATURES) == 22
+        assert len(ALL_FEATURES) == 29
+
+    def test_no_duplicates(self):
+        assert len(set(ALL_FEATURES)) == 29
+
+    def test_resource_first_ordering(self):
+        assert ALL_FEATURES[:7] == RESOURCE_FEATURES
+        assert ALL_FEATURES[7:] == PLAN_FEATURES
+
+    def test_key_paper_features_present(self):
+        for name in (
+            "CPU_UTILIZATION",
+            "LOCK_WAIT_ABS",
+            "AvgRowSize",
+            "CachedPlanSize",
+            "TableCardinality",
+            "EstimatedAvailableDegreeOfParallelism",
+        ):
+            assert name in ALL_FEATURES
+
+
+class TestLookups:
+    def test_feature_index_round_trip(self):
+        for i, name in enumerate(ALL_FEATURES):
+            assert feature_index(name) == i
+
+    def test_feature_index_unknown(self):
+        with pytest.raises(ValidationError, match="unknown feature"):
+            feature_index("NotAFeature")
+
+    def test_feature_kind(self):
+        assert feature_kind("CPU_UTILIZATION") == "resource"
+        assert feature_kind("AvgRowSize") == "plan"
+
+    def test_feature_kind_unknown(self):
+        with pytest.raises(ValidationError):
+            feature_kind("Nope")
+
+    def test_index_partitions(self):
+        assert sorted(resource_indices() + plan_indices()) == list(range(29))

@@ -1,0 +1,90 @@
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads import SKU, workload_by_name
+from repro.workloads.catalog import tpcc, tpch, ycsb
+from repro.workloads.engine import ExecutionEngine, LogManagerModel
+
+
+class TestLogVolume:
+    def test_read_only_workload_logs_nothing(self):
+        model = LogManagerModel(tpch())
+        assert model.bytes_logged_per_txn() == 0.0
+        assert model.throughput_bound(SKU(cpus=4, memory_gb=32.0)) == float(
+            "inf"
+        )
+
+    def test_write_heavy_workload_logs_kilobytes(self):
+        model = LogManagerModel(tpcc())
+        bytes_per_txn = model.bytes_logged_per_txn()
+        assert 1000 < bytes_per_txn < 50000
+
+    def test_volume_scales_with_throughput(self):
+        model = LogManagerModel(tpcc())
+        assert model.log_volume_mb_s(2000) == pytest.approx(
+            2 * model.log_volume_mb_s(1000)
+        )
+
+
+class TestLogBound:
+    def test_not_binding_on_default_skus(self):
+        """The paper's SKUs never log-bind the standard benchmarks —
+        calibration-critical: Table 6 results must stay CPU/contention
+        limited."""
+        for workload in (tpcc(), ycsb()):
+            engine = ExecutionEngine(workload)
+            for cpus in (2, 16):
+                op = engine.steady_state(
+                    SKU(cpus=cpus, memory_gb=32.0), 32, noisy=False
+                )
+                assert op.bottleneck != "log"
+                assert op.bounds["log"] > op.throughput
+
+    def test_throttled_log_binds(self):
+        """A log-throttled cloud tier caps write throughput."""
+        workload = tpcc()
+        engine = ExecutionEngine(workload)
+        throttled = SKU(cpus=16, memory_gb=32.0, log_bandwidth_mb_s=2.0)
+        op = engine.steady_state(throttled, 32, noisy=False)
+        assert op.bottleneck == "log"
+        unthrottled = engine.steady_state(
+            SKU(cpus=16, memory_gb=32.0), 32, noisy=False
+        )
+        assert op.throughput < unthrottled.throughput
+
+    def test_bandwidth_scales_bound(self):
+        model = LogManagerModel(tpcc())
+        slow = model.throughput_bound(
+            SKU(cpus=4, memory_gb=32.0, log_bandwidth_mb_s=10.0)
+        )
+        fast = model.throughput_bound(
+            SKU(cpus=4, memory_gb=32.0, log_bandwidth_mb_s=100.0)
+        )
+        assert fast == pytest.approx(10 * slow)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValidationError, match="log_bandwidth"):
+            SKU(cpus=2, memory_gb=8.0, log_bandwidth_mb_s=0.0)
+
+    def test_ceilings_include_log(self):
+        from repro.workloads.engine import hardware_ceilings
+
+        ceilings = hardware_ceilings(
+            tpcc(), SKU(cpus=16, memory_gb=32.0, log_bandwidth_mb_s=2.0), 32
+        )
+        assert ceilings.log_bound < ceilings.cpu_bound
+        assert ceilings.ceiling == ceilings.log_bound
+
+    def test_repository_round_trip_preserves_bandwidth(self, tmp_path):
+        from repro.workloads import ExperimentRepository, ExperimentRunner
+
+        runner = ExperimentRunner(workload_by_name("tpcc"), random_state=0)
+        result = runner.run(
+            SKU(cpus=4, memory_gb=32.0, log_bandwidth_mb_s=55.0),
+            terminals=4,
+            duration_s=600.0,
+        )
+        path = tmp_path / "r.json"
+        ExperimentRepository([result]).save(path)
+        loaded = ExperimentRepository.load(path)
+        assert loaded[0].sku.log_bandwidth_mb_s == 55.0

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.catalog import tpcc, tpch, ycsb
+from repro.workloads.engine import ExecutionEngine
+from repro.workloads.mixer import blend_workloads, reweight_workload
+from repro.workloads.sku import SKU
+from repro.workloads.spec import WorkloadType
+
+
+class TestReweight:
+    def test_subset_and_weights(self):
+        custom = reweight_workload(
+            ycsb(), {"ReadRecord": 3.0, "ScanRecord": 1.0}
+        )
+        assert custom.n_transaction_types == 2
+        np.testing.assert_allclose(custom.weights, [0.75, 0.25])
+
+    def test_name_defaults_to_suffix(self):
+        assert reweight_workload(ycsb(), {"ReadRecord": 1.0}).name == (
+            "ycsb-custom"
+        )
+
+    def test_read_only_fraction_shifts(self):
+        read_heavy = reweight_workload(
+            ycsb(), {"ReadRecord": 9.0, "UpdateRecord": 1.0}
+        )
+        assert read_heavy.read_only_fraction == pytest.approx(0.9)
+
+    def test_unknown_transaction(self):
+        with pytest.raises(ValidationError, match="unknown transactions"):
+            reweight_workload(ycsb(), {"Nope": 1.0})
+
+    def test_non_positive_weight(self):
+        with pytest.raises(ValidationError, match="positive"):
+            reweight_workload(ycsb(), {"ReadRecord": 0.0})
+
+    def test_runs_in_engine(self):
+        custom = reweight_workload(
+            ycsb(), {"ReadRecord": 1.0, "UpdateRecord": 1.0}, name="rw-mix"
+        )
+        op = ExecutionEngine(custom).steady_state(
+            SKU(cpus=4, memory_gb=32.0), 8, noisy=False
+        )
+        assert op.throughput > 0
+
+
+class TestBlend:
+    def test_transaction_union_with_prefixes(self):
+        blend = blend_workloads([(tpcc(), 1.0), (ycsb(), 1.0)])
+        names = {t.name for t in blend.transactions}
+        assert "tpcc:NewOrder" in names
+        assert "ycsb:ReadRecord" in names
+        assert blend.n_transaction_types == 11
+
+    def test_share_weighting(self):
+        heavy_tpcc = blend_workloads([(tpcc(), 3.0), (ycsb(), 1.0)])
+        tpcc_weight = sum(
+            w for t, w in zip(heavy_tpcc.transactions, heavy_tpcc.weights)
+            if t.name.startswith("tpcc:")
+        )
+        assert tpcc_weight == pytest.approx(0.75)
+
+    def test_scalar_properties_averaged(self):
+        blend = blend_workloads([(tpcc(), 1.0), (tpch(), 1.0)])
+        expected = 0.5 * (tpcc().working_set_gb + tpch().working_set_gb)
+        assert blend.working_set_gb == pytest.approx(expected)
+
+    def test_type_inference(self):
+        analytical = blend_workloads([(tpch(), 1.0)])
+        assert analytical.workload_type is WorkloadType.ANALYTICAL
+        transactional = blend_workloads([(tpcc(), 1.0)])
+        assert transactional.workload_type is WorkloadType.TRANSACTIONAL
+        mixed = blend_workloads([(tpcc(), 1.0), (tpch(), 1.0)])
+        assert mixed.workload_type is WorkloadType.MIXED
+
+    def test_explicit_type_respected(self):
+        blend = blend_workloads(
+            [(tpcc(), 1.0)], workload_type=WorkloadType.MIXED
+        )
+        assert blend.workload_type is WorkloadType.MIXED
+
+    def test_empty_components(self):
+        with pytest.raises(ValidationError):
+            blend_workloads([])
+
+    def test_non_positive_share(self):
+        with pytest.raises(ValidationError):
+            blend_workloads([(tpcc(), 0.0)])
+
+    def test_blend_runs_end_to_end(self):
+        blend = blend_workloads(
+            [(tpcc(), 1.0), (ycsb(), 1.0)], name="htap"
+        )
+        from repro.workloads.runner import ExperimentRunner
+
+        result = ExperimentRunner(blend, random_state=0).run(
+            SKU(cpus=8, memory_gb=32.0), terminals=8, duration_s=600.0
+        )
+        assert result.workload_name == "htap"
+        assert result.plan_matrix.shape[0] == 11 * 3

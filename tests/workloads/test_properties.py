@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for workload-substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import SKU, workload_by_name
+from repro.workloads.engine import ExecutionEngine, amdahl_speedup
+from repro.workloads.engine.bufferpool import BufferPoolModel
+from repro.workloads.engine.lockmanager import LockManagerModel
+from repro.workloads.sampling import augmented_throughputs, systematic_subexperiments
+
+WORKLOAD_NAMES = st.sampled_from(["tpcc", "twitter", "ycsb", "tpch"])
+
+
+class TestEngineMonotonicity:
+    @given(
+        WORKLOAD_NAMES,
+        st.integers(1, 5),
+        st.integers(1, 32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_throughput_never_decreases_with_cpus(
+        self, name, cpu_exponent, terminals
+    ):
+        workload = workload_by_name(name)
+        engine = ExecutionEngine(workload)
+        low = engine.steady_state(
+            SKU(cpus=2**cpu_exponent, memory_gb=32.0), terminals, noisy=False
+        ).throughput
+        high = engine.steady_state(
+            SKU(cpus=2 ** (cpu_exponent + 1), memory_gb=32.0),
+            terminals,
+            noisy=False,
+        ).throughput
+        assert high >= low - 1e-9
+
+    @given(WORKLOAD_NAMES, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_throughput_never_decreases_with_memory(self, name, step):
+        workload = workload_by_name(name)
+        engine = ExecutionEngine(workload)
+        low = engine.steady_state(
+            SKU(cpus=8, memory_gb=8.0 * step), 8, noisy=False
+        ).throughput
+        high = engine.steady_state(
+            SKU(cpus=8, memory_gb=8.0 * (step + 1)), 8, noisy=False
+        ).throughput
+        assert high >= low - 1e-9
+
+    @given(WORKLOAD_NAMES, st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_sublinear_scaling(self, name, cpus):
+        """Doubling CPUs never more than doubles throughput."""
+        workload = workload_by_name(name)
+        engine = ExecutionEngine(workload)
+        base = engine.steady_state(
+            SKU(cpus=cpus, memory_gb=32.0), 32, noisy=False
+        ).throughput
+        doubled = engine.steady_state(
+            SKU(cpus=2 * cpus, memory_gb=32.0), 32, noisy=False
+        ).throughput
+        assert doubled <= 2 * base + 1e-6
+
+
+class TestComponentModels:
+    @given(st.integers(1, 128), st.floats(0.0, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_amdahl_bounds(self, cpus, parallel_fraction):
+        speedup = amdahl_speedup(cpus, parallel_fraction)
+        assert 1.0 - 1e-12 <= speedup <= cpus + 1e-9
+
+    @given(WORKLOAD_NAMES, st.floats(4.0, 256.0))
+    @settings(max_examples=40, deadline=None)
+    def test_miss_ratio_in_unit_interval(self, name, memory_gb):
+        model = BufferPoolModel(
+            workload_by_name(name), SKU(cpus=4, memory_gb=memory_gb)
+        )
+        assert 0.0 <= model.miss_ratio() <= 1.0
+
+    @given(WORKLOAD_NAMES, st.integers(1, 256))
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_probability_bounds(self, name, terminals):
+        model = LockManagerModel(workload_by_name(name))
+        probability = model.conflict_probability(terminals)
+        assert 0.0 <= probability <= 0.85
+        assert model.wait_inflation(terminals) >= 1.0
+
+
+class TestSamplingProperties:
+    @given(st.integers(2, 12))
+    @settings(max_examples=10, deadline=None)
+    def test_subexperiments_partition_samples(self, tpcc_run, n_subexperiments):
+        subs = systematic_subexperiments(
+            tpcc_run, n_subexperiments=n_subexperiments
+        )
+        total = sum(s.n_samples for s in subs)
+        assert total == tpcc_run.n_samples
+        reassembled = np.sort(
+            np.concatenate([s.throughput_series for s in subs])
+        )
+        np.testing.assert_allclose(
+            reassembled, np.sort(tpcc_run.throughput_series)
+        )
+
+    @given(st.integers(0, 10**6), st.floats(0.05, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_augmented_values_within_series_range(
+        self, tpcc_run, seed, fraction
+    ):
+        values = augmented_throughputs(
+            tpcc_run, fraction=fraction, random_state=seed
+        )
+        assert values.min() >= tpcc_run.throughput_series.min() - 1e-9
+        assert values.max() <= tpcc_run.throughput_series.max() + 1e-9

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads import ExperimentRunner, SKU, workload_by_name
+from repro.workloads.features import ALL_FEATURES
+
+
+class TestExperimentResult:
+    def test_telemetry_shapes(self, tpcc_run):
+        assert tpcc_run.resource_series.shape == (360, 7)
+        assert tpcc_run.throughput_series.shape == (360,)
+        assert tpcc_run.plan_matrix.shape == (15, 22)
+
+    def test_feature_vector_ordering(self, tpcc_run):
+        vector = tpcc_run.feature_vector()
+        assert vector.shape == (29,)
+        np.testing.assert_allclose(vector[:7], tpcc_run.resource_means())
+        np.testing.assert_allclose(vector[7:], tpcc_run.plan_means())
+
+    def test_feature_samples_lookup(self, tpcc_run):
+        for name in ALL_FEATURES:
+            samples = tpcc_run.feature_samples(name)
+            assert samples.ndim == 1 and samples.size > 0
+
+    def test_feature_samples_unknown(self, tpcc_run):
+        with pytest.raises(ValidationError):
+            tpcc_run.feature_samples("Bogus")
+
+    def test_experiment_id_format(self, tpcc_run):
+        assert tpcc_run.experiment_id == "tpcc@8cpu-32gbx8t-r0g0"
+
+    def test_latency_series_inverse_of_throughput(self, tpcc_run):
+        latency = tpcc_run.latency_series_ms()
+        np.testing.assert_allclose(
+            latency, 8 / tpcc_run.throughput_series * 1000.0
+        )
+
+    def test_per_txn_weights_normalized(self, tpcc_run):
+        assert sum(tpcc_run.per_txn_weights.values()) == pytest.approx(1.0)
+
+
+class TestExperimentRunner:
+    def test_duration_controls_samples(self):
+        runner = ExperimentRunner(workload_by_name("twitter"), random_state=0)
+        result = runner.run(
+            SKU(cpus=4, memory_gb=32.0), terminals=8, duration_s=600.0
+        )
+        assert result.n_samples == 60
+
+    def test_throughput_series_centers_on_steady_state(self, tpcc_run):
+        # Ignore the warmup ramp at the start.
+        steady = tpcc_run.throughput_series[30:]
+        assert steady.mean() == pytest.approx(tpcc_run.throughput, rel=0.1)
+
+    def test_repetitions_assign_data_groups(self):
+        runner = ExperimentRunner(workload_by_name("twitter"), random_state=0)
+        runs = runner.run_repetitions(
+            SKU(cpus=4, memory_gb=32.0), terminals=8, duration_s=600.0
+        )
+        assert [r.data_group for r in runs] == [0, 1, 2]
+        assert [r.run_index for r in runs] == [0, 1, 2]
+
+    def test_runner_seed_reproducible(self):
+        sku = SKU(cpus=4, memory_gb=32.0)
+        a = ExperimentRunner(workload_by_name("tpcc"), random_state=5).run(
+            sku, terminals=8, duration_s=600.0
+        )
+        b = ExperimentRunner(workload_by_name("tpcc"), random_state=5).run(
+            sku, terminals=8, duration_s=600.0
+        )
+        np.testing.assert_array_equal(a.resource_series, b.resource_series)
+        assert a.throughput == b.throughput
+
+    def test_invalid_duration(self):
+        runner = ExperimentRunner(workload_by_name("tpcc"))
+        with pytest.raises(ValidationError):
+            runner.run(SKU(cpus=2, memory_gb=32.0), duration_s=0.0)
+
+    def test_plan_observations_parameter(self):
+        runner = ExperimentRunner(workload_by_name("tpcc"), random_state=0)
+        result = runner.run(
+            SKU(cpus=2, memory_gb=32.0),
+            terminals=4,
+            duration_s=600.0,
+            plan_observations=5,
+        )
+        assert result.plan_matrix.shape[0] == 25

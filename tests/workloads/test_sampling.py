@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.sampling import (
+    augmented_throughputs,
+    random_downsample,
+    systematic_subexperiments,
+)
+
+
+class TestSystematicSubexperiments:
+    def test_count_and_indices(self, tpcc_run):
+        subs = systematic_subexperiments(tpcc_run, n_subexperiments=10)
+        assert len(subs) == 10
+        assert [s.subsample_index for s in subs] == list(range(10))
+
+    def test_resource_samples_partitioned(self, tpcc_run):
+        subs = systematic_subexperiments(tpcc_run, n_subexperiments=10)
+        total = sum(s.n_samples for s in subs)
+        assert total == tpcc_run.n_samples
+        reassembled = np.concatenate(
+            [s.resource_series[:, 0] for s in subs]
+        )
+        assert sorted(reassembled) == sorted(tpcc_run.resource_series[:, 0])
+
+    def test_each_subexperiment_sees_every_query_once(self, tpcc_run):
+        subs = systematic_subexperiments(tpcc_run)
+        for sub in subs:
+            assert sorted(sub.plan_txn_names) == sorted(
+                set(tpcc_run.plan_txn_names)
+            )
+            assert sub.plan_matrix.shape[0] == 5
+
+    def test_throughput_near_parent(self, tpcc_run):
+        subs = systematic_subexperiments(tpcc_run)
+        for sub in subs:
+            assert sub.throughput == pytest.approx(tpcc_run.throughput, rel=0.3)
+
+    def test_subexperiments_differ(self, tpcc_run):
+        subs = systematic_subexperiments(tpcc_run)
+        throughputs = {round(s.throughput, 6) for s in subs}
+        assert len(throughputs) > 1
+
+    def test_deterministic(self, tpcc_run):
+        a = systematic_subexperiments(tpcc_run)
+        b = systematic_subexperiments(tpcc_run)
+        for sub_a, sub_b in zip(a, b):
+            assert sub_a.latency_ms == sub_b.latency_ms
+            assert sub_a.per_txn_latency_ms == sub_b.per_txn_latency_ms
+
+    def test_per_txn_latency_noisier_than_workload(self, tpcc_run):
+        """The Figure 1 asymmetry: per-type estimates vary more."""
+        subs = systematic_subexperiments(tpcc_run)
+        workload_cv = np.std([s.latency_ms for s in subs]) / np.mean(
+            [s.latency_ms for s in subs]
+        )
+        name = tpcc_run.plan_txn_names[0]
+        txn_cv = np.std(
+            [s.per_txn_latency_ms[name] for s in subs]
+        ) / np.mean([s.per_txn_latency_ms[name] for s in subs])
+        assert txn_cv > workload_cv
+
+    def test_too_many_subexperiments(self, tpcc_run):
+        with pytest.raises(ValidationError):
+            systematic_subexperiments(tpcc_run, n_subexperiments=10**6)
+
+    def test_invalid_count(self, tpcc_run):
+        with pytest.raises(ValidationError):
+            systematic_subexperiments(tpcc_run, n_subexperiments=0)
+
+
+class TestRandomDownsample:
+    def test_series_count_and_size(self, tpcc_run):
+        series = random_downsample(
+            tpcc_run, n_series=10, fraction=0.1, random_state=0
+        )
+        assert len(series) == 10
+        assert all(s.size == 36 for s in series)
+
+    def test_values_come_from_parent(self, tpcc_run):
+        series = random_downsample(tpcc_run, random_state=0)
+        parent = set(tpcc_run.throughput_series.tolist())
+        for s in series:
+            assert set(s.tolist()) <= parent
+
+    def test_without_replacement(self, tpcc_run):
+        series = random_downsample(
+            tpcc_run, n_series=1, fraction=0.5, random_state=0
+        )[0]
+        assert len(series) == len(set(series.tolist()))
+
+    def test_invalid_fraction(self, tpcc_run):
+        with pytest.raises(ValidationError):
+            random_downsample(tpcc_run, fraction=0.0)
+
+    def test_full_fraction_is_whole_series(self, tpcc_run):
+        series = random_downsample(
+            tpcc_run, n_series=1, fraction=1.0, random_state=0
+        )[0]
+        assert series.size == tpcc_run.throughput_series.size
+
+
+class TestAugmentedThroughputs:
+    def test_thirty_points_from_three_runs(self, tpcc_run):
+        values = augmented_throughputs(tpcc_run, n_series=10, random_state=0)
+        assert values.shape == (10,)
+
+    def test_centered_on_run_throughput(self, tpcc_run):
+        values = augmented_throughputs(tpcc_run, random_state=0)
+        assert values.mean() == pytest.approx(tpcc_run.throughput, rel=0.15)
+
+    def test_observations_spread(self, tpcc_run):
+        values = augmented_throughputs(tpcc_run, random_state=0)
+        assert values.std() / values.mean() > 0.01
+
+    def test_seed_controls_augmentation(self, tpcc_run):
+        a = augmented_throughputs(tpcc_run, random_state=1)
+        b = augmented_throughputs(tpcc_run, random_state=1)
+        np.testing.assert_array_equal(a, b)
+        c = augmented_throughputs(tpcc_run, random_state=2)
+        assert not np.array_equal(a, c)

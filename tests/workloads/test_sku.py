@@ -1,0 +1,50 @@
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.sku import (
+    SKU,
+    paper_cpu_skus,
+    production_sku,
+    sku_s1,
+    sku_s2,
+)
+
+
+class TestSKU:
+    def test_default_name(self):
+        assert SKU(cpus=4, memory_gb=32.0).name == "4cpu-32gb"
+
+    def test_custom_name(self):
+        assert SKU(cpus=4, memory_gb=32.0, name="custom").name == "custom"
+
+    def test_frozen(self):
+        sku = SKU(cpus=2, memory_gb=8.0)
+        with pytest.raises(AttributeError):
+            sku.cpus = 4
+
+    def test_invalid_cpus(self):
+        with pytest.raises(ValidationError):
+            SKU(cpus=0, memory_gb=8.0)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValidationError):
+            SKU(cpus=1, memory_gb=0.0)
+
+    def test_invalid_iops(self):
+        with pytest.raises(ValidationError):
+            SKU(cpus=1, memory_gb=8.0, iops_capacity=-1)
+
+
+class TestCatalog:
+    def test_paper_skus_cpu_counts(self):
+        assert [s.cpus for s in paper_cpu_skus()] == [2, 4, 8, 16]
+
+    def test_paper_skus_fixed_memory(self):
+        assert {s.memory_gb for s in paper_cpu_skus()} == {32.0}
+
+    def test_s1_s2_match_section_6_2_3(self):
+        assert (sku_s1().cpus, sku_s1().memory_gb) == (4, 32.0)
+        assert (sku_s2().cpus, sku_s2().memory_gb) == (8, 64.0)
+
+    def test_production_sku_is_80_vcores(self):
+        assert production_sku().cpus == 80

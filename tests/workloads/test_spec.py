@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.spec import TransactionType, WorkloadSpec, WorkloadType
+
+
+def make_txn(**overrides):
+    defaults = dict(
+        name="t",
+        weight=1.0,
+        read_only=True,
+        cpu_ms=1.0,
+        logical_reads=10,
+        logical_writes=0,
+        rows_touched=5,
+        rows_scanned=5,
+        row_size_bytes=100,
+        table_cardinality=1e6,
+        plan_complexity=2.0,
+        memory_grant_mb=1.0,
+        locks_acquired=3,
+    )
+    defaults.update(overrides)
+    return TransactionType(**defaults)
+
+
+def make_workload(transactions):
+    return WorkloadSpec(
+        name="w",
+        workload_type=WorkloadType.MIXED,
+        tables=1,
+        columns=5,
+        indexes=0,
+        transactions=tuple(transactions),
+        working_set_gb=10.0,
+        parallel_fraction=0.8,
+        contention_factor=0.2,
+    )
+
+
+class TestTransactionType:
+    def test_valid_construction(self):
+        assert make_txn().name == "t"
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValidationError, match="weight"):
+            make_txn(weight=0.0)
+
+    def test_zero_cpu_rejected(self):
+        with pytest.raises(ValidationError, match="cpu_ms"):
+            make_txn(cpu_ms=0.0)
+
+    def test_read_only_with_writes_rejected(self):
+        with pytest.raises(ValidationError, match="read_only"):
+            make_txn(read_only=True, logical_writes=5)
+
+    def test_hot_spot_bounds(self):
+        with pytest.raises(ValidationError, match="hot_spot"):
+            make_txn(hot_spot_affinity=1.5)
+
+
+class TestWorkloadSpec:
+    def test_weights_normalized(self):
+        spec = make_workload(
+            [make_txn(name="a", weight=3.0), make_txn(name="b", weight=1.0)]
+        )
+        np.testing.assert_allclose(spec.weights, [0.75, 0.25])
+
+    def test_read_only_fraction(self):
+        spec = make_workload(
+            [
+                make_txn(name="r", weight=1.0, read_only=True),
+                make_txn(
+                    name="w", weight=1.0, read_only=False, logical_writes=3
+                ),
+            ]
+        )
+        assert spec.read_only_fraction == pytest.approx(0.5)
+
+    def test_mix_mean(self):
+        spec = make_workload(
+            [
+                make_txn(name="a", weight=1.0, cpu_ms=1.0),
+                make_txn(name="b", weight=1.0, cpu_ms=3.0),
+            ]
+        )
+        assert spec.mix_mean("cpu_ms") == pytest.approx(2.0)
+
+    def test_transaction_lookup(self):
+        spec = make_workload([make_txn(name="x")])
+        assert spec.transaction("x").name == "x"
+        with pytest.raises(ValidationError, match="no transaction"):
+            spec.transaction("missing")
+
+    def test_empty_transactions_rejected(self):
+        with pytest.raises(ValidationError, match="no transactions"):
+            make_workload([])
+
+    def test_parallel_fraction_bounds(self):
+        with pytest.raises(ValidationError, match="parallel_fraction"):
+            WorkloadSpec(
+                name="w",
+                workload_type=WorkloadType.MIXED,
+                tables=1,
+                columns=1,
+                indexes=0,
+                transactions=(make_txn(),),
+                working_set_gb=1.0,
+                parallel_fraction=1.0,
+                contention_factor=0.0,
+            )
+
+    def test_access_skew_bounds(self):
+        with pytest.raises(ValidationError, match="access_skew"):
+            WorkloadSpec(
+                name="w",
+                workload_type=WorkloadType.MIXED,
+                tables=1,
+                columns=1,
+                indexes=0,
+                transactions=(make_txn(),),
+                working_set_gb=1.0,
+                parallel_fraction=0.5,
+                contention_factor=0.0,
+                access_skew=2.0,
+            )
+
+    def test_n_transaction_types(self):
+        spec = make_workload([make_txn(name=f"t{i}") for i in range(4)])
+        assert spec.n_transaction_types == 4

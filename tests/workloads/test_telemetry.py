@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads.catalog import tpcc, tpch
+from repro.workloads.engine.execution import ExecutionEngine
+from repro.workloads.features import RESOURCE_FEATURES
+from repro.workloads.sku import SKU
+from repro.workloads.telemetry import TelemetrySampler
+
+
+@pytest.fixture(scope="module")
+def tpcc_series():
+    workload = tpcc()
+    op = ExecutionEngine(workload).steady_state(
+        SKU(cpus=8, memory_gb=32.0), 8, noisy=False
+    )
+    sampler = TelemetrySampler(workload)
+    return op, sampler.sample(op, n_samples=360, random_state=0)
+
+
+class TestSample:
+    def test_shape(self, tpcc_series):
+        _, series = tpcc_series
+        assert series.shape == (360, 7)
+
+    def test_non_negative(self, tpcc_series):
+        _, series = tpcc_series
+        assert np.all(series >= 0)
+
+    def test_percent_channels_capped(self, tpcc_series):
+        _, series = tpcc_series
+        for name in ("CPU_UTILIZATION", "CPU_EFFECTIVE", "MEM_UTILIZATION"):
+            column = series[:, RESOURCE_FEATURES.index(name)]
+            assert column.max() <= 100.0
+
+    def test_tracks_operating_point(self, tpcc_series):
+        op, series = tpcc_series
+        cpu = series[:, RESOURCE_FEATURES.index("CPU_UTILIZATION")]
+        assert cpu.mean() == pytest.approx(op.cpu_utilization * 100.0, rel=0.25)
+        iops = series[:, RESOURCE_FEATURES.index("IOPS_TOTAL")]
+        assert iops.mean() == pytest.approx(op.iops, rel=0.5)
+
+    def test_warmup_ramp_visible(self, tpcc_series):
+        _, series = tpcc_series
+        cpu = series[:, RESOURCE_FEATURES.index("CPU_UTILIZATION")]
+        assert cpu[:5].mean() < cpu[50:100].mean()
+
+    def test_reproducible(self, tpcc_series):
+        op, _ = tpcc_series
+        sampler = TelemetrySampler(tpcc())
+        a = sampler.sample(op, n_samples=100, random_state=3)
+        b = sampler.sample(op, n_samples=100, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_minimum_samples_enforced(self, tpcc_series):
+        op, _ = tpcc_series
+        with pytest.raises(ValidationError):
+            TelemetrySampler(tpcc()).sample(op, n_samples=2)
+
+
+class TestLockWaitBursts:
+    def test_lock_wait_dominated_by_environment(self):
+        """LOCK_WAIT_ABS must have huge variance but carry little workload
+        signal — the Table 3 variance trap."""
+        column = RESOURCE_FEATURES.index("LOCK_WAIT_ABS")
+        means = {"tpcc": [], "tpch": []}
+        for workload, key in ((tpcc(), "tpcc"), (tpch(), "tpch")):
+            terminals = 1 if key == "tpch" else 8
+            op = ExecutionEngine(workload).steady_state(
+                SKU(cpus=8, memory_gb=32.0), terminals, noisy=False
+            )
+            sampler = TelemetrySampler(workload)
+            for seed in range(12):
+                series = sampler.sample(op, n_samples=120, random_state=seed)
+                means[key].append(series[:, column].mean())
+        # Across runs the calm/stormy lottery makes both workloads span the
+        # same wide range: distributions overlap heavily.
+        assert max(means["tpch"]) > min(means["tpcc"])
+        assert max(means["tpcc"]) > min(means["tpch"])
+
+    def test_bimodal_burst_rates(self):
+        workload = tpcc()
+        op = ExecutionEngine(workload).steady_state(
+            SKU(cpus=8, memory_gb=32.0), 8, noisy=False
+        )
+        sampler = TelemetrySampler(workload)
+        column = RESOURCE_FEATURES.index("LOCK_WAIT_ABS")
+        burst_fractions = []
+        for seed in range(16):
+            series = sampler.sample(op, n_samples=200, random_state=seed)
+            burst_fractions.append(
+                float(np.mean(series[:, column] > 1000.0))
+            )
+        # Some runs are calm (few bursts), others stormy (mostly bursts).
+        assert min(burst_fractions) < 0.3
+        assert max(burst_fractions) > 0.6
+
+
+class TestCheckpointWave:
+    def test_write_heavy_iops_burstier(self):
+        column = RESOURCE_FEATURES.index("IOPS_TOTAL")
+        ratios = {}
+        for workload in (tpcc(), tpch()):
+            terminals = 1 if workload.name == "tpch" else 8
+            op = ExecutionEngine(workload).steady_state(
+                SKU(cpus=8, memory_gb=32.0), terminals, noisy=False
+            )
+            series = TelemetrySampler(workload).sample(
+                op, n_samples=360, random_state=1
+            )
+            values = series[:, column]
+            ratios[workload.name] = values.std() / values.mean()
+        assert ratios["tpcc"] > ratios["tpch"]

@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads import SKU
+from repro.workloads.features import PLAN_FEATURES, RESOURCE_FEATURES
+from repro.workloads.sampling import systematic_subexperiments
+from repro.workloads.traces import (
+    experiment_from_traces,
+    plan_rows_from_csv,
+    plan_rows_to_csv,
+    resource_series_from_csv,
+    resource_series_to_csv,
+)
+
+
+@pytest.fixture
+def raw_traces(rng):
+    resource = np.abs(rng.normal(50, 10, size=(40, len(RESOURCE_FEATURES))))
+    plans = np.abs(rng.normal(100, 20, size=(6, len(PLAN_FEATURES))))
+    names = ["q1", "q2", "q3", "q1", "q2", "q3"]
+    throughput = np.abs(rng.normal(500, 30, size=40)) + 1
+    return resource, plans, names, throughput
+
+
+class TestExperimentFromTraces:
+    def test_builds_first_class_result(self, raw_traces):
+        resource, plans, names, throughput = raw_traces
+        result = experiment_from_traces(
+            workload_name="mytrace",
+            workload_type="mixed",
+            sku=SKU(cpus=8, memory_gb=32.0),
+            terminals=16,
+            resource_series=resource,
+            plan_rows=plans,
+            plan_txn_names=names,
+            throughput_series=throughput,
+        )
+        assert result.workload_name == "mytrace"
+        assert result.metadata["source"] == "trace"
+        assert result.feature_vector().shape == (29,)
+        assert result.throughput == pytest.approx(throughput.mean())
+
+    def test_feeds_subexperiment_expansion(self, raw_traces):
+        resource, plans, names, throughput = raw_traces
+        result = experiment_from_traces(
+            workload_name="mytrace", workload_type="mixed",
+            sku=SKU(cpus=8, memory_gb=32.0), terminals=16,
+            resource_series=resource, plan_rows=plans,
+            plan_txn_names=names, throughput_series=throughput,
+        )
+        subs = systematic_subexperiments(result, n_subexperiments=4)
+        assert len(subs) == 4
+        assert all(s.plan_matrix.shape[0] == 3 for s in subs)
+
+    def test_default_throughput_series(self, raw_traces):
+        resource, plans, names, _ = raw_traces
+        result = experiment_from_traces(
+            workload_name="t", workload_type="mixed",
+            sku=SKU(cpus=2, memory_gb=8.0), terminals=4,
+            resource_series=resource, plan_rows=plans, plan_txn_names=names,
+        )
+        assert result.throughput_series.shape == (40,)
+
+    def test_default_weights_from_row_counts(self, raw_traces):
+        resource, plans, names, throughput = raw_traces
+        result = experiment_from_traces(
+            workload_name="t", workload_type="mixed",
+            sku=SKU(cpus=2, memory_gb=8.0), terminals=4,
+            resource_series=resource, plan_rows=plans,
+            plan_txn_names=names, throughput_series=throughput,
+        )
+        assert result.per_txn_weights == {
+            "q1": pytest.approx(1 / 3),
+            "q2": pytest.approx(1 / 3),
+            "q3": pytest.approx(1 / 3),
+        }
+
+    def test_wrong_resource_width(self, raw_traces):
+        _, plans, names, _ = raw_traces
+        with pytest.raises(ValidationError, match="resource_series"):
+            experiment_from_traces(
+                workload_name="t", workload_type="mixed",
+                sku=SKU(cpus=2, memory_gb=8.0), terminals=4,
+                resource_series=np.ones((10, 5)),
+                plan_rows=plans, plan_txn_names=names,
+            )
+
+    def test_name_row_mismatch(self, raw_traces):
+        resource, plans, _, _ = raw_traces
+        with pytest.raises(ValidationError, match="plan_txn_names"):
+            experiment_from_traces(
+                workload_name="t", workload_type="mixed",
+                sku=SKU(cpus=2, memory_gb=8.0), terminals=4,
+                resource_series=resource, plan_rows=plans,
+                plan_txn_names=["only-one"],
+            )
+
+    def test_nan_rejected(self, raw_traces):
+        resource, plans, names, _ = raw_traces
+        resource = resource.copy()
+        resource[0, 0] = np.nan
+        with pytest.raises(ValidationError, match="NaN"):
+            experiment_from_traces(
+                workload_name="t", workload_type="mixed",
+                sku=SKU(cpus=2, memory_gb=8.0), terminals=4,
+                resource_series=resource, plan_rows=plans,
+                plan_txn_names=names,
+            )
+
+
+class TestCSVRoundTrip:
+    def test_resource_round_trip(self, tpcc_run, tmp_path):
+        path = tmp_path / "resource.csv"
+        resource_series_to_csv(tpcc_run, path)
+        restored = resource_series_from_csv(path)
+        np.testing.assert_allclose(restored, tpcc_run.resource_series)
+
+    def test_plan_round_trip(self, tpcc_run, tmp_path):
+        path = tmp_path / "plans.csv"
+        plan_rows_to_csv(tpcc_run, path)
+        matrix, names = plan_rows_from_csv(path)
+        np.testing.assert_allclose(matrix, tpcc_run.plan_matrix)
+        assert names == tpcc_run.plan_txn_names
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="cannot read"):
+            resource_series_from_csv(tmp_path / "nope.csv")
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValidationError, match="schema"):
+            resource_series_from_csv(path)
+
+    def test_non_numeric_cell(self, tmp_path, tpcc_run):
+        path = tmp_path / "resource.csv"
+        resource_series_to_csv(tpcc_run, path)
+        lines = path.read_text().splitlines()
+        cells = lines[1].split(",")
+        cells[1] = "oops"
+        lines[1] = ",".join(cells)
+        path.write_text("\n".join(lines))
+        with pytest.raises(ValidationError, match="non-numeric"):
+            resource_series_from_csv(path)
+
+    def test_empty_data(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        from repro.workloads.features import RESOURCE_FEATURES
+
+        path.write_text(",".join(["timestamp_s", *RESOURCE_FEATURES]) + "\n")
+        with pytest.raises(ValidationError, match="no data rows"):
+            resource_series_from_csv(path)
