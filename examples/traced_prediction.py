@@ -1,0 +1,91 @@
+"""Observability: trace a prediction, export metrics, keep the manifest.
+
+Run with ``python examples/traced_prediction.py``.
+
+This re-runs the migration scenario from ``end_to_end_prediction.py``
+with the `repro.obs` layer switched on:
+1. install an enabled Tracer and a fresh MetricsRegistry;
+2. run the full pipeline and print the span tree (wall vs CPU time);
+3. write a Chrome trace, a Prometheus metrics snapshot, and the
+   run-provenance manifest next to this script.
+"""
+
+from __future__ import annotations
+
+import logging
+from pathlib import Path
+
+from repro.core import PipelineConfig, WorkloadPredictionPipeline
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    set_metrics,
+    set_tracer,
+)
+from repro.workloads import SKU, run_experiments, workload_by_name
+
+
+def main() -> None:
+    configure_logging(logging.INFO)  # pipeline progress -> stderr
+
+    source = SKU(cpus=2, memory_gb=32.0)
+    target = SKU(cpus=8, memory_gb=32.0)
+
+    print("simulating reference + customer workloads ...")
+    references = run_experiments(
+        [workload_by_name(n) for n in ("tpcc", "twitter", "tpch")],
+        [source, target],
+        random_state=42,
+    )
+    customer = run_experiments(
+        [workload_by_name("ycsb")], [source],
+        terminals_for=lambda w: (32,), random_state=77,
+    )
+
+    # --- 1. switch observability on ----------------------------------------
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(metrics)
+    try:
+        # --- 2. run the pipeline under the tracer --------------------------
+        pipeline = WorkloadPredictionPipeline(PipelineConfig())
+        report = pipeline.predict_scaling(references, customer, source, target)
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
+
+    print("\n" + report.summary())
+
+    print("\nspan tree (wall vs CPU):")
+    print(tracer.render())
+
+    print("recorded metric series:")
+    for name in metrics.names():
+        print(f"  {name}")
+
+    # --- 3. export artifacts ------------------------------------------------
+    out = Path(__file__).resolve().parent
+    trace_path = out / "traced_prediction.trace.json"
+    metrics_path = out / "traced_prediction.metrics.prom"
+    manifest_path = out / "traced_prediction.manifest.json"
+
+    trace_path.write_text(tracer.to_chrome_json())
+    metrics_path.write_text(metrics.to_prometheus())
+    report.manifest.save(manifest_path)
+
+    print(f"\ntrace    -> {trace_path.name}  (open in chrome://tracing)")
+    print(f"metrics  -> {metrics_path.name}")
+    print(f"manifest -> {manifest_path.name}")
+    print(
+        "manifest stage timings: "
+        + ", ".join(
+            f"{stage}={seconds * 1e3:.1f}ms"
+            for stage, seconds in report.manifest.stage_timings_s.items()
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

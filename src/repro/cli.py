@@ -12,15 +12,31 @@ Four subcommands mirror the pipeline stages:
 
 Every subcommand reads/writes the JSON repository format of
 :class:`repro.workloads.repository.ExperimentRepository`.
+
+Observability flags are accepted by every subcommand: ``--log-level``
+routes the library's structured logs to stderr, ``--trace-out`` records
+a Chrome ``trace_event`` file of the run (open it in ``chrome://tracing``
+or Perfetto), and ``--metrics-out`` writes the metric snapshot of the
+invocation as JSON.  Actual results stay on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core import PipelineConfig, WorkloadPredictionPipeline
 from repro.exceptions import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_metrics,
+    set_metrics,
+    set_tracer,
+)
 from repro.workloads import (
     SKU,
     ExperimentRepository,
@@ -30,16 +46,38 @@ from repro.workloads import (
 from repro.workloads.catalog import WORKLOAD_NAMES
 from repro.workloads.features import ALL_FEATURES
 
+logger = get_logger(__name__)
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Database workload prediction pipeline (EDBT 2025 repro)",
     )
+    obs = argparse.ArgumentParser(add_help=False)
+    group = obs.add_argument_group("observability")
+    group.add_argument(
+        "--log-level", default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="stderr log verbosity for the repro logger hierarchy",
+    )
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON of this invocation",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the invocation's metrics snapshot as JSON",
+    )
+    group.add_argument(
+        "--metrics-format", default="json", choices=("json", "prometheus"),
+        help="serialization for --metrics-out",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser(
-        "simulate", help="run experiments and save a repository"
+        "simulate", help="run experiments and save a repository",
+        parents=[obs],
     )
     simulate.add_argument(
         "--workload", required=True, choices=WORKLOAD_NAMES
@@ -56,13 +94,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append to an existing repository file",
     )
 
-    select = sub.add_parser("select", help="rank features on a repository")
+    select = sub.add_parser(
+        "select", help="rank features on a repository", parents=[obs]
+    )
     select.add_argument("--corpus", required=True)
     select.add_argument("--strategy", default="RFE LogReg")
     select.add_argument("--top-k", type=int, default=7)
 
     similarity = sub.add_parser(
-        "similarity", help="evaluate a similarity method on a repository"
+        "similarity", help="evaluate a similarity method on a repository",
+        parents=[obs],
     )
     similarity.add_argument("--corpus", required=True)
     similarity.add_argument(
@@ -75,7 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     predict = sub.add_parser(
-        "predict", help="end-to-end scaling prediction"
+        "predict", help="end-to-end scaling prediction", parents=[obs]
+    )
+    predict.add_argument(
+        "--manifest-out", default=None, metavar="PATH",
+        help="write the prediction's RunManifest (provenance) as JSON",
     )
     predict.add_argument("--references", required=True)
     predict.add_argument("--target", required=True)
@@ -89,7 +134,8 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--top-k", type=int, default=7)
 
     cluster = sub.add_parser(
-        "cluster", help="group a repository's experiments by similarity"
+        "cluster", help="group a repository's experiments by similarity",
+        parents=[obs],
     )
     cluster.add_argument("--corpus", required=True)
     cluster.add_argument("--clusters", type=int, default=3)
@@ -124,7 +170,7 @@ def _cmd_simulate(args) -> int:
             f"bottleneck {result.bottleneck}"
         )
     repository.save(args.out)
-    print(f"saved {len(repository)} experiments to {args.out}")
+    logger.info("saved %d experiments to %s", len(repository), args.out)
     return 0
 
 
@@ -134,10 +180,10 @@ def _cmd_select(args) -> int:
     corpus = ExperimentRepository.load(args.corpus)
     registry = strategy_registry()
     if args.strategy not in registry:
-        print(
-            f"unknown strategy {args.strategy!r}; known: "
-            f"{', '.join(sorted(registry))}",
-            file=sys.stderr,
+        logger.error(
+            "unknown strategy %r; known: %s",
+            args.strategy,
+            ", ".join(sorted(registry)),
         )
         return 2
     selector = registry[args.strategy]()
@@ -188,6 +234,9 @@ def _cmd_predict(args) -> int:
     pipeline = WorkloadPredictionPipeline(config)
     report = pipeline.predict_scaling(references, target, source, target_sku)
     print(report.summary())
+    if args.manifest_out and report.manifest is not None:
+        report.manifest.save(args.manifest_out)
+        logger.info("wrote run manifest to %s", args.manifest_out)
     return 0
 
 
@@ -232,13 +281,47 @@ _COMMANDS = {
 
 
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    One invocation is one observed run: a fresh metrics registry (and,
+    with ``--trace-out``, a fresh enabled tracer) is installed for the
+    duration of the command, its exports are written on the way out, and
+    the previous global instruments are restored.
+    """
     args = _build_parser().parse_args(argv)
+    configure_logging(args.log_level)
+    tracer = Tracer(enabled=bool(args.trace_out))
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(MetricsRegistry())
     try:
-        return _COMMANDS[args.command](args)
+        with tracer.span(f"cli.{args.command}"):
+            code = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        code = 1
+    finally:
+        try:
+            if args.trace_out:
+                Path(args.trace_out).write_text(tracer.to_chrome_json())
+                logger.info("wrote trace to %s", args.trace_out)
+            if args.metrics_out:
+                registry = get_metrics()
+                if args.metrics_format == "prometheus":
+                    Path(args.metrics_out).write_text(
+                        registry.to_prometheus()
+                    )
+                else:
+                    Path(args.metrics_out).write_text(
+                        registry.to_json(indent=2)
+                    )
+                logger.info("wrote metrics to %s", args.metrics_out)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            code = 1
+        finally:
+            set_tracer(previous_tracer)
+            set_metrics(previous_metrics)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

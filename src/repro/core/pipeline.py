@@ -14,12 +14,19 @@ and a *new* target workload observed only on the source SKU, the pipeline:
 
 from __future__ import annotations
 
+import time
+from dataclasses import asdict
+
 import numpy as np
 
 from repro.core.config import PipelineConfig
 from repro.core.report import PredictionReport, SimilarityRanking
 from repro.exceptions import PipelineError, ValidationError
 from repro.features.evaluation import strategy_registry
+from repro.obs.logging import get_logger
+from repro.obs.metrics import LATENCY_MS_BUCKETS, get_metrics
+from repro.obs.provenance import RunManifest
+from repro.obs.tracing import span
 from repro.prediction.context import PairwiseScalingModel, SingleScalingModel
 from repro.prediction.evaluation import build_scaling_dataset
 from repro.similarity.evaluation import (
@@ -35,6 +42,8 @@ from repro.workloads.features import ALL_FEATURES, PLAN_FEATURES, RESOURCE_FEATU
 from repro.workloads.repository import ExperimentRepository
 from repro.workloads.sampling import augmented_throughputs
 from repro.workloads.sku import SKU
+
+logger = get_logger(__name__)
 
 
 class WorkloadPredictionPipeline:
@@ -66,14 +75,34 @@ class WorkloadPredictionPipeline:
                 f"unknown selection strategy "
                 f"{self.config.selection_strategy!r}"
             ) from None
-        scope = self._scope_indices()
-        X = references.feature_matrix()[:, scope]
-        labels = references.labels()
-        selector = factory()
-        selector.fit(X, labels)
-        k = min(self.config.top_k, len(scope))
-        chosen = selector.top_k(k)
-        return tuple(ALL_FEATURES[scope[i]] for i in chosen)
+        with span(
+            "pipeline.select_features",
+            attrs={
+                "strategy": self.config.selection_strategy,
+                "scope": self.config.feature_scope,
+                "top_k": self.config.top_k,
+            },
+        ):
+            scope = self._scope_indices()
+            X = references.feature_matrix()[:, scope]
+            labels = references.labels()
+            selector = factory()
+            started = time.perf_counter()
+            with span("features.selector.fit", attrs={"n_rows": X.shape[0]}):
+                selector.fit(X, labels)
+            get_metrics().histogram("features.selector.fit_seconds").observe(
+                time.perf_counter() - started
+            )
+            k = min(self.config.top_k, len(scope))
+            chosen = selector.top_k(k)
+        features = tuple(ALL_FEATURES[scope[i]] for i in chosen)
+        logger.debug(
+            "selected %d features with %s: %s",
+            len(features),
+            self.config.selection_strategy,
+            ", ".join(features),
+        )
+        return features
 
     # -- similarity stage -----------------------------------------------------------
     def rank_similarity(
@@ -85,28 +114,56 @@ class WorkloadPredictionPipeline:
         """Rank reference workloads by mean distance to the target."""
         if len(target) == 0 or len(references) == 0:
             raise ValidationError("references and target must be non-empty")
+        if not features:
+            raise ValidationError("similarity needs at least one feature")
+        missing = [name for name in features if name not in ALL_FEATURES]
+        if missing:
+            raise ValidationError(
+                f"unknown feature(s) requested for similarity: "
+                f"{', '.join(repr(name) for name in missing)}; "
+                f"features must come from the telemetry registry "
+                f"(repro.workloads.features.ALL_FEATURES)"
+            )
         target_names = set(r.workload_name for r in target)
         if len(target_names) != 1:
             raise ValidationError(
                 f"target must contain one workload, got {sorted(target_names)}"
             )
         target_name = target_names.pop()
-        combined = ExperimentRepository(list(references) + list(target))
-        builder = RepresentationBuilder(features).fit(combined)
-        matrices = representation_matrices(
-            combined, builder, self.config.representation, features=features
+        with span(
+            "pipeline.rank_similarity",
+            attrs={
+                "target": target_name,
+                "n_references": len(references),
+                "n_features": len(features),
+                "representation": self.config.representation,
+                "measure": self.config.measure,
+            },
+        ):
+            combined = ExperimentRepository(list(references) + list(target))
+            builder = RepresentationBuilder(features).fit(combined)
+            matrices = representation_matrices(
+                combined, builder, self.config.representation,
+                features=features,
+            )
+            D = normalized_distances(
+                distance_matrix(matrices, get_measure(self.config.measure))
+            )
+            labels = np.asarray([r.workload_name for r in combined])
+            target_rows = np.flatnonzero(labels == target_name)
+            distances: dict[str, float] = {}
+            for reference in references.workload_names():
+                columns = np.flatnonzero(labels == reference)
+                block = D[np.ix_(target_rows, columns)]
+                distances[reference] = float(block.mean())
+        get_metrics().counter("similarity.rankings_total").inc()
+        ranking = SimilarityRanking(target=target_name, distances=distances)
+        logger.debug(
+            "similarity ranking for %s: %s",
+            target_name,
+            ", ".join(f"{n}={d:.3f}" for n, d in ranking.ordered),
         )
-        D = normalized_distances(
-            distance_matrix(matrices, get_measure(self.config.measure))
-        )
-        labels = np.asarray([r.workload_name for r in combined])
-        target_rows = np.flatnonzero(labels == target_name)
-        distances: dict[str, float] = {}
-        for reference in references.workload_names():
-            columns = np.flatnonzero(labels == reference)
-            block = D[np.ix_(target_rows, columns)]
-            distances[reference] = float(block.mean())
-        return SimilarityRanking(target=target_name, distances=distances)
+        return ranking
 
     # -- scaling stage ---------------------------------------------------------------
     def _reference_scaling_model(
@@ -185,47 +242,120 @@ class WorkloadPredictionPipeline:
         ref_source = references.by_sku(source_sku)
         if len(ref_source) == 0:
             raise PipelineError("references contain no runs on the source SKU")
-        ref_subexp = expand_subexperiments(
-            ref_source, n_subexperiments=n_subexperiments
-        )
-        target_subexp = expand_subexperiments(
-            target_source, n_subexperiments=n_subexperiments
-        )
-        features = self.select_features(ref_subexp)
-        ranking = self.rank_similarity(ref_subexp, target_subexp, features)
-        reference_name = ranking.nearest
-
-        model = self._reference_scaling_model(
-            references, reference_name, source_sku, target_sku
-        )
-        rng = as_generator(self.config.random_state)
-        target_obs = np.concatenate(
-            [
-                augmented_throughputs(
-                    run, random_state=int(rng.integers(0, 2**62))
+        started = time.perf_counter()
+        timings: dict[str, float] = {}
+        with span(
+            "pipeline.predict",
+            attrs={
+                "source_sku": source_sku.name,
+                "target_sku": target_sku.name,
+                "n_references": len(references),
+            },
+        ):
+            with span("pipeline.stage.prepare"):
+                ref_subexp = expand_subexperiments(
+                    ref_source, n_subexperiments=n_subexperiments
                 )
-                for run in target_source
-            ]
-        )
-        if isinstance(model, PairwiseScalingModel):
-            predicted = model.transfer(target_obs)
-        else:
-            factors = model.predict(
-                np.full(target_obs.size, float(target_sku.cpus)),
-                groups=np.zeros(target_obs.size),
-            )
-            predicted = factors * float(target_obs.mean())
+                target_subexp = expand_subexperiments(
+                    target_source, n_subexperiments=n_subexperiments
+                )
+            timings["prepare"] = time.perf_counter() - started
 
-        actual = None
-        if target_validation is not None and len(target_validation) > 0:
-            actual = np.concatenate(
-                [
-                    augmented_throughputs(
-                        run, random_state=int(rng.integers(0, 2**62))
+            stage_start = time.perf_counter()
+            with span("pipeline.stage.select_features"):
+                features = self.select_features(ref_subexp)
+            timings["select_features"] = time.perf_counter() - stage_start
+
+            stage_start = time.perf_counter()
+            with span("pipeline.stage.rank_similarity"):
+                ranking = self.rank_similarity(
+                    ref_subexp, target_subexp, features
+                )
+                reference_name = ranking.nearest
+            timings["rank_similarity"] = time.perf_counter() - stage_start
+
+            stage_start = time.perf_counter()
+            with span(
+                "pipeline.stage.predict_scaling",
+                attrs={
+                    "reference": reference_name,
+                    "strategy": self.config.scaling_strategy,
+                    "context": self.config.scaling_context,
+                },
+            ):
+                model = self._reference_scaling_model(
+                    references, reference_name, source_sku, target_sku
+                )
+                rng = as_generator(self.config.random_state)
+                target_obs = np.concatenate(
+                    [
+                        augmented_throughputs(
+                            run, random_state=int(rng.integers(0, 2**62))
+                        )
+                        for run in target_source
+                    ]
+                )
+                if isinstance(model, PairwiseScalingModel):
+                    predicted = model.transfer(target_obs)
+                else:
+                    factors = model.predict(
+                        np.full(target_obs.size, float(target_sku.cpus)),
+                        groups=np.zeros(target_obs.size),
                     )
-                    for run in target_validation
-                ]
+                    predicted = factors * float(target_obs.mean())
+            timings["predict_scaling"] = time.perf_counter() - stage_start
+
+            actual = None
+            if target_validation is not None and len(target_validation) > 0:
+                actual = np.concatenate(
+                    [
+                        augmented_throughputs(
+                            run, random_state=int(rng.integers(0, 2**62))
+                        )
+                        for run in target_validation
+                    ]
+                )
+        timings["total"] = time.perf_counter() - started
+
+        metrics = get_metrics()
+        metrics.counter("pipeline.predictions_total").inc()
+        metrics.counter("pipeline.predicted_observations_total").inc(
+            predicted.size
+        )
+        metrics.histogram(
+            "pipeline.predict.latency_ms", buckets=LATENCY_MS_BUCKETS
+        ).observe(timings["total"] * 1000.0)
+        for stage in ("select_features", "rank_similarity", "predict_scaling"):
+            metrics.histogram(f"pipeline.stage.{stage}.seconds").observe(
+                timings[stage]
             )
+        logger.info(
+            "predicted %s on %s from %s via %s in %.2f s",
+            ranking.target,
+            target_sku.name,
+            source_sku.name,
+            reference_name,
+            timings["total"],
+        )
+        manifest = RunManifest(
+            pipeline_config=asdict(self.config),
+            selected_features=features,
+            similarity_ranking=dict(ranking.distances),
+            reference_workload=reference_name,
+            stage_timings_s=timings,
+            metrics=metrics.snapshot(),
+            random_seed=self.config.random_state,
+            extra={
+                "source_sku": source_sku.name,
+                "target_sku": target_sku.name,
+                "n_reference_experiments": len(references),
+                "n_target_experiments": len(target_source),
+                "n_subexperiments": n_subexperiments,
+                "experiment_metadata": [
+                    dict(run.metadata) for run in target_source
+                ],
+            },
+        )
         return PredictionReport(
             target_workload=ranking.target,
             source_sku=source_sku.name,
@@ -241,4 +371,5 @@ class WorkloadPredictionPipeline:
                 "representation": self.config.representation,
                 "measure": self.config.measure,
             },
+            manifest=manifest,
         )

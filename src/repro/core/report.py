@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs.provenance import RunManifest
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,10 @@ class PredictionReport:
     predicted_throughput: np.ndarray
     actual_throughput: np.ndarray | None = None
     details: dict = field(default_factory=dict)
+    #: Provenance of the run that produced this report (stage timings,
+    #: metric snapshot, library versions, seed); ``None`` when the report
+    #: was constructed outside the end-to-end pipeline.
+    manifest: RunManifest | None = None
 
     @property
     def predicted_mean(self) -> float:

@@ -29,6 +29,8 @@ from repro.features.wrappers import (
     RecursiveFeatureElimination,
     SequentialFeatureSelector,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
 from repro.similarity.evaluation import (
     distance_matrix,
     knn_accuracy,
@@ -60,13 +62,19 @@ def knn_feature_subset_accuracy(
     if np.any(indices < 0) or np.any(indices >= len(ALL_FEATURES)):
         raise ValidationError("feature indices out of range")
     names = [ALL_FEATURES[i] for i in indices]
-    if builder is None:
-        builder = RepresentationBuilder().fit(corpus)
-    matrices = representation_matrices(
-        corpus, builder, representation, features=names
-    )
-    D = distance_matrix(matrices, get_measure(measure_name))
-    return knn_accuracy(D, [r.workload_name for r in corpus])
+    with span(
+        "features.subset_accuracy",
+        attrs={"n_features": len(names), "measure": measure_name},
+    ):
+        if builder is None:
+            builder = RepresentationBuilder().fit(corpus)
+        matrices = representation_matrices(
+            corpus, builder, representation, features=names
+        )
+        D = distance_matrix(matrices, get_measure(measure_name))
+        accuracy = knn_accuracy(D, [r.workload_name for r in corpus])
+    get_metrics().counter("features.subset_evaluations_total").inc()
+    return accuracy
 
 
 def strategy_registry(*, fast_only: bool = False) -> dict:

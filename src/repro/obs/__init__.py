@@ -1,0 +1,54 @@
+"""Observability layer: tracing, metrics, logging, and run provenance.
+
+The layer is deliberately stdlib-only (``logging``, ``time``,
+``contextvars``, ``json``) and defaults to *disabled*: the global tracer
+is a no-op whose per-span overhead is well under a microsecond, and
+metric instruments are plain attribute updates, so instrumented hot
+paths run at full speed unless a caller opts in.
+
+Four cooperating pieces:
+
+- :mod:`repro.obs.tracing` — nested wall/CPU-time spans with console and
+  Chrome ``trace_event`` (Perfetto) exports;
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with JSON and Prometheus-text exposition;
+- :mod:`repro.obs.logging` — structured ``logging`` configuration under
+  the ``repro`` logger hierarchy;
+- :mod:`repro.obs.provenance` — the :class:`RunManifest` that records
+  what a pipeline run actually did (config, features, ranking, timings,
+  metric snapshot, library versions, seed).
+"""
+
+from __future__ import annotations
+
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.provenance import RunManifest, library_versions
+from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_metrics",
+    "set_metrics",
+    "RunManifest",
+    "library_versions",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]

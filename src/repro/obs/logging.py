@@ -1,0 +1,71 @@
+"""Structured logging for the ``repro`` package.
+
+Library modules obtain loggers with ``get_logger(__name__)`` — all of
+them live under the ``repro`` logger hierarchy, which carries a
+``NullHandler`` by default so the library is silent unless an
+application (or the CLI) calls :func:`configure_logging`.
+
+The configured handler resolves ``sys.stderr`` at emit time rather than
+capturing it once, so output follows stream redirection (pytest's
+``capsys``, daemon re-exec, etc.).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to whatever ``sys.stderr`` is at emit time."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirror logging's policy
+            self.handleError(record)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__`` from library modules (already rooted at ``repro``);
+    any other name is nested beneath the root so one ``configure_logging``
+    call governs everything.
+    """
+    if not name or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if not name.startswith(_ROOT_NAME + "."):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+# Silence-by-default: applications opt into output.
+get_logger().addHandler(logging.NullHandler())
+
+
+def configure_logging(level: int | str = "WARNING") -> logging.Logger:
+    """Route ``repro`` logs to stderr at ``level``; idempotent.
+
+    Returns the root ``repro`` logger.  Repeated calls only adjust the
+    level — exactly one stderr handler is ever installed.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = get_logger()
+    root.setLevel(level)
+    if not any(
+        isinstance(handler, _DynamicStderrHandler)
+        for handler in root.handlers
+    ):
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        root.addHandler(handler)
+    return root

@@ -1,0 +1,124 @@
+"""Run provenance: what a pipeline run actually did, as one JSON document.
+
+Debugging a bad prediction requires knowing which features were
+selected, which reference workload won the similarity ranking, how long
+each stage took, and under which library versions and seed the run
+executed.  :class:`RunManifest` captures all of that;
+:class:`repro.core.report.PredictionReport` carries one and the CLI can
+write it next to the trace and metrics files.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+
+#: Manifest schema version, bumped on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+def library_versions() -> dict[str, str]:
+    """Versions of the interpreter and the numeric stack."""
+    import numpy
+    import scipy
+
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "repro": __version__,
+    }
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record of one end-to-end pipeline run.
+
+    Attributes
+    ----------
+    pipeline_config:
+        The :class:`~repro.core.config.PipelineConfig` as a dictionary.
+    selected_features:
+        Feature names the selection stage chose.
+    similarity_ranking:
+        Mean normalized distance per reference workload.
+    reference_workload:
+        The reference whose scaling model was transferred.
+    stage_timings_s:
+        Wall seconds per pipeline stage.
+    metrics:
+        A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` taken when
+        the run finished.
+    versions:
+        Interpreter and library versions (see :func:`library_versions`).
+    random_seed:
+        The pipeline's RNG seed.
+    extra:
+        Free-form context (SKUs, corpus sizes, experiment metadata, ...).
+    """
+
+    pipeline_config: dict
+    selected_features: tuple[str, ...]
+    similarity_ranking: dict[str, float]
+    reference_workload: str | None
+    stage_timings_s: dict[str, float]
+    metrics: dict = field(default_factory=dict)
+    versions: dict = field(default_factory=library_versions)
+    random_seed: int | None = None
+    created_unix: float = field(default_factory=time.time)
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["selected_features"] = list(self.selected_features)
+        payload["manifest_version"] = MANIFEST_VERSION
+        return payload
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> None:
+        """Write the manifest as JSON to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        try:
+            return cls(
+                pipeline_config=dict(payload["pipeline_config"]),
+                selected_features=tuple(payload["selected_features"]),
+                similarity_ranking={
+                    str(k): float(v)
+                    for k, v in payload["similarity_ranking"].items()
+                },
+                reference_workload=payload.get("reference_workload"),
+                stage_timings_s={
+                    str(k): float(v)
+                    for k, v in payload["stage_timings_s"].items()
+                },
+                metrics=dict(payload.get("metrics", {})),
+                versions=dict(payload.get("versions", {})),
+                random_seed=payload.get("random_seed"),
+                created_unix=float(payload.get("created_unix", 0.0)),
+                extra=dict(payload.get("extra", {})),
+            )
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed run manifest: {exc}"
+            ) from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Read a manifest previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())

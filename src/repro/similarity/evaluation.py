@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.ml.metrics import mean_average_precision, ndcg
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
 from repro.similarity.measures import MeasureSpec
 from repro.similarity.representations import RepresentationBuilder
 
@@ -52,17 +54,22 @@ def distance_matrix(
     n = len(matrices)
     D = np.zeros((n, n))
     elastic = measure.name.endswith(("DTW", "LCSS"))
-    for i in range(n):
-        for j in range(i + 1, n):
-            A, B = matrices[i], matrices[j]
-            if not elastic and A.shape != B.shape:
-                rows = min(A.shape[0], B.shape[0])
-                if A.shape[1] != B.shape[1]:
-                    raise ValidationError(
-                        "representations have different feature dimensions"
-                    )
-                A, B = A[:rows], B[:rows]
-            D[i, j] = D[j, i] = measure(A, B)
+    with span(
+        "similarity.distance_matrix",
+        attrs={"n_experiments": n, "measure": measure.name},
+    ):
+        for i in range(n):
+            for j in range(i + 1, n):
+                A, B = matrices[i], matrices[j]
+                if not elastic and A.shape != B.shape:
+                    rows = min(A.shape[0], B.shape[0])
+                    if A.shape[1] != B.shape[1]:
+                        raise ValidationError(
+                            "representations have different feature dimensions"
+                        )
+                    A, B = A[:rows], B[:rows]
+                D[i, j] = D[j, i] = measure(A, B)
+    get_metrics().counter("similarity.pairs_computed").inc(n * (n - 1) // 2)
     return D
 
 
@@ -184,18 +191,22 @@ def evaluate_measure(
             f"measure {measure.name!r} does not support representation "
             f"{representation!r}"
         )
-    matrices = representation_matrices(
-        corpus, builder, representation, features=features
-    )
-    D = distance_matrix(matrices, measure)
-    labels = [r.workload_name for r in corpus]
-    types = [r.workload_type for r in corpus]
-    n_features = matrices[0].shape[1]
-    return SimilarityEvaluation(
-        representation=representation,
-        measure=measure.name,
-        n_features=n_features,
-        knn_accuracy=knn_accuracy(D, labels),
-        mean_average_precision=ranking_mean_average_precision(D, labels),
-        ndcg=ranking_ndcg(D, labels, types),
-    )
+    with span(
+        "similarity.evaluate_measure",
+        attrs={"representation": representation, "measure": measure.name},
+    ):
+        matrices = representation_matrices(
+            corpus, builder, representation, features=features
+        )
+        D = distance_matrix(matrices, measure)
+        labels = [r.workload_name for r in corpus]
+        types = [r.workload_type for r in corpus]
+        evaluation = SimilarityEvaluation(
+            representation=representation,
+            measure=measure.name,
+            n_features=matrices[0].shape[1],
+            knn_accuracy=knn_accuracy(D, labels),
+            mean_average_precision=ranking_mean_average_precision(D, labels),
+            ndcg=ranking_ndcg(D, labels, types),
+        )
+    return evaluation

@@ -22,6 +22,7 @@ Three behaviours matter for the downstream studies:
 
 from __future__ import annotations
 
+from repro.obs.metrics import get_metrics
 from repro.workloads.spec import TransactionType, WorkloadSpec
 from repro.workloads.sku import SKU
 
@@ -85,6 +86,9 @@ class BufferPoolModel:
 
     def io_per_txn(self) -> float:
         """Total physical IO operations per transaction (IOPS accounting)."""
+        metrics = get_metrics()
+        metrics.gauge("engine.bufferpool.hit_rate").set(1.0 - self.miss_ratio())
+        metrics.counter("engine.bufferpool.evaluations_total").inc()
         return self.physical_reads_per_txn() + self.physical_writes_per_txn()
 
     # -- critical-path stalls --------------------------------------------------

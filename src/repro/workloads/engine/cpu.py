@@ -12,6 +12,7 @@ cannot help.
 from __future__ import annotations
 
 from repro.exceptions import ValidationError
+from repro.obs.metrics import get_metrics
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.sku import SKU
 
@@ -62,4 +63,8 @@ class CPUModel:
 
     def throughput_bound(self, sku: SKU, terminals: int) -> float:
         """Maximum transactions/second the CPUs can sustain."""
-        return self.speedup(sku, terminals) / self.cpu_seconds_per_txn()
+        speedup = self.speedup(sku, terminals)
+        metrics = get_metrics()
+        metrics.gauge("engine.cpu.amdahl_speedup").set(speedup)
+        metrics.counter("engine.cpu.bound_evaluations_total").inc()
+        return speedup / self.cpu_seconds_per_txn()

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs.metrics import get_metrics
 from repro.utils.rng import RandomState, as_generator
 from repro.workloads.engine.bufferpool import BufferPoolModel
 from repro.workloads.engine.cpu import CPUModel
@@ -119,6 +120,9 @@ class ExecutionEngine:
         bounds = self.throughput_bounds(sku, terminals, interference=interference)
         bottleneck = min(bounds, key=bounds.get)
         throughput = bounds[bottleneck]
+        metrics = get_metrics()
+        metrics.counter("engine.steady_states_total").inc()
+        metrics.counter(f"engine.bottleneck.{bottleneck}").inc()
         if noisy:
             throughput *= float(
                 np.exp(rng.normal(0.0, self.workload.base_noise))
@@ -138,6 +142,7 @@ class ExecutionEngine:
         io_per_txn = buffer_model.io_per_txn() * buffer_model.spill_factor()
         reads_per_s = throughput * self.workload.mix_mean("logical_reads")
         writes_per_s = throughput * self.workload.mix_mean("logical_writes")
+        metrics.gauge("engine.cpu.utilization").set(utilization)
         return OperatingPoint(
             throughput=float(throughput),
             latency_ms=float(latency_ms),

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -46,8 +47,11 @@ class LockManagerModel:
         base = self.workload.contention_factor * (
             0.15 * conflict_mass + 0.1 * hot
         )
-        probability = base * np.log2(terminals)
-        return float(min(probability, 0.85))
+        probability = float(min(base * np.log2(terminals), 0.85))
+        get_metrics().gauge("engine.lockmanager.conflict_probability").set(
+            probability
+        )
+        return probability
 
     def wait_inflation(self, terminals: int) -> float:
         """Latency multiplier from blocked time (1.0 = no contention)."""

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
 from repro.utils.rng import RandomState, as_generator
 from repro.workloads.engine.bufferpool import BufferPoolModel
 from repro.workloads.features import PLAN_FEATURES
@@ -106,9 +108,19 @@ class QueryPlanner:
         rng = as_generator(random_state)
         rows = []
         names = []
-        for _ in range(observations_per_query):
-            for txn in self.workload.transactions:
-                observed = self.plan_row(txn, rng)
-                rows.append([observed[f] for f in PLAN_FEATURES])
-                names.append(txn.name)
+        with span(
+            "planner.observe_plans",
+            attrs={
+                "workload": self.workload.name,
+                "observations_per_query": observations_per_query,
+            },
+        ):
+            for _ in range(observations_per_query):
+                for txn in self.workload.transactions:
+                    observed = self.plan_row(txn, rng)
+                    rows.append([observed[f] for f in PLAN_FEATURES])
+                    names.append(txn.name)
+        get_metrics().counter("engine.planner.plans_observed_total").inc(
+            len(rows)
+        )
         return np.asarray(rows, dtype=float), names

@@ -15,8 +15,12 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.exceptions import RepositoryError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
 from repro.workloads.runner import ExperimentResult
 from repro.workloads.sku import SKU
+
+logger = get_logger(__name__)
 
 
 def _result_to_dict(result: ExperimentResult) -> dict:
@@ -160,6 +164,10 @@ class ExperimentRepository:
             path.write_text(json.dumps(payload))
         except OSError as exc:
             raise RepositoryError(f"cannot write {path}: {exc}") from exc
+        get_metrics().counter("repository.experiments_saved_total").inc(
+            len(self._results)
+        )
+        logger.debug("saved %d experiments to %s", len(self._results), path)
 
     @classmethod
     def load(cls, path: str | Path) -> "ExperimentRepository":
@@ -174,4 +182,8 @@ class ExperimentRepository:
         if not isinstance(payload, dict) or "experiments" not in payload:
             raise RepositoryError(f"{path} is not an experiment repository file")
         results = [_result_from_dict(entry) for entry in payload["experiments"]]
+        get_metrics().counter("repository.experiments_loaded_total").inc(
+            len(results)
+        )
+        logger.debug("loaded %d experiments from %s", len(results), path)
         return cls(results)

@@ -13,7 +13,11 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import __version__ as engine_version
 from repro.exceptions import ValidationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
 from repro.utils.rng import RandomState, as_generator
 from repro.workloads.engine.execution import ExecutionEngine, OperatingPoint
 from repro.workloads.engine.planner import QueryPlanner
@@ -21,6 +25,8 @@ from repro.workloads.features import PLAN_FEATURES, RESOURCE_FEATURES
 from repro.workloads.spec import WorkloadSpec
 from repro.workloads.sku import SKU
 from repro.workloads.telemetry import TelemetrySampler
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -137,17 +143,38 @@ class ExperimentRunner:
         if duration_s <= 0 or sample_interval_s <= 0:
             raise ValidationError("duration and sample interval must be positive")
         n_samples = max(4, int(round(duration_s / sample_interval_s)))
-        rng = as_generator(int(self._rng.integers(0, 2**62)))
-        op = self.engine.steady_state(
-            sku, terminals, data_group=data_group, random_state=rng
-        )
-        resource_series = self.telemetry.sample(
-            op, n_samples=n_samples, random_state=rng
-        )
-        throughput_series = self._throughput_series(op, n_samples, rng)
-        planner = QueryPlanner(self.workload, sku)
-        plan_matrix, plan_names = planner.observe_plans(
-            observations_per_query=plan_observations, random_state=rng
+        run_seed = int(self._rng.integers(0, 2**62))
+        rng = as_generator(run_seed)
+        with span(
+            "runner.experiment",
+            attrs={
+                "workload": self.workload.name,
+                "sku": sku.name,
+                "terminals": terminals,
+                "run_index": run_index,
+            },
+        ):
+            with span("engine.steady_state"):
+                op = self.engine.steady_state(
+                    sku, terminals, data_group=data_group, random_state=rng
+                )
+            with span("telemetry.sample", attrs={"n_samples": n_samples}):
+                resource_series = self.telemetry.sample(
+                    op, n_samples=n_samples, random_state=rng
+                )
+            throughput_series = self._throughput_series(op, n_samples, rng)
+            planner = QueryPlanner(self.workload, sku)
+            plan_matrix, plan_names = planner.observe_plans(
+                observations_per_query=plan_observations, random_state=rng
+            )
+        get_metrics().counter("runner.experiments_total").inc()
+        logger.debug(
+            "experiment %s@%s x%dt: %.1f txn/s, bottleneck %s",
+            self.workload.name,
+            sku.name,
+            terminals,
+            op.throughput,
+            op.bottleneck,
         )
         weights = {
             txn.name: float(weight)
@@ -170,6 +197,13 @@ class ExperimentRunner:
             per_txn_latency_ms=dict(op.per_txn_latency_ms),
             per_txn_weights=weights,
             bottleneck=op.bottleneck,
+            metadata={
+                "engine_version": engine_version,
+                "sample_interval_s": float(sample_interval_s),
+                "duration_s": float(duration_s),
+                "seed": run_seed,
+                "plan_observations": int(plan_observations),
+            },
         )
 
     def _throughput_series(

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs.metrics import get_metrics
 from repro.utils.rng import RandomState, as_generator
 from repro.workloads.engine.execution import OperatingPoint
 from repro.workloads.features import RESOURCE_FEATURES
@@ -160,6 +161,9 @@ class TelemetrySampler:
             if name in ("CPU_UTILIZATION", "CPU_EFFECTIVE", "MEM_UTILIZATION"):
                 values = np.clip(values, 0.0, 100.0)
             series[:, column] = np.maximum(values, 0.0)
+        get_metrics().counter("telemetry.samples_total").inc(
+            n_samples * len(RESOURCE_FEATURES)
+        )
         return series
 
     def _lock_wait_bursts(

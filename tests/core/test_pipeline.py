@@ -77,6 +77,26 @@ class TestSimilarityStage:
         with pytest.raises(ValidationError, match="one workload"):
             pipeline.rank_similarity(refs, refs, ("AvgRowSize",))
 
+    def test_unknown_feature_named_in_error(
+        self, two_sku_references, ycsb_source
+    ):
+        pipeline = WorkloadPredictionPipeline()
+        refs = expand_subexperiments(two_sku_references.by_sku(SOURCE))
+        target = expand_subexperiments(ycsb_source)
+        with pytest.raises(ValidationError, match="'NotAFeature'"):
+            pipeline.rank_similarity(
+                refs, target, ("AvgRowSize", "NotAFeature")
+            )
+
+    def test_empty_feature_selection_rejected(
+        self, two_sku_references, ycsb_source
+    ):
+        pipeline = WorkloadPredictionPipeline()
+        refs = expand_subexperiments(two_sku_references.by_sku(SOURCE))
+        target = expand_subexperiments(ycsb_source)
+        with pytest.raises(ValidationError, match="at least one feature"):
+            pipeline.rank_similarity(refs, target, ())
+
 
 class TestEndToEnd:
     def test_full_prediction_report(
@@ -134,3 +154,64 @@ class TestEndToEnd:
                 SKU(cpus=64, memory_gb=32.0),
                 TARGET,
             )
+
+
+class TestProvenance:
+    def test_report_carries_manifest(self, two_sku_references, ycsb_source):
+        pipeline = WorkloadPredictionPipeline()
+        report = pipeline.predict_scaling(
+            two_sku_references, ycsb_source, SOURCE, TARGET
+        )
+        manifest = report.manifest
+        assert manifest is not None
+        assert manifest.selected_features == report.selected_features
+        assert manifest.reference_workload == report.reference_workload
+        assert manifest.similarity_ranking == report.similarity.distances
+        assert set(manifest.stage_timings_s) == {
+            "prepare", "select_features", "rank_similarity",
+            "predict_scaling", "total",
+        }
+        assert all(t >= 0.0 for t in manifest.stage_timings_s.values())
+        assert manifest.random_seed == pipeline.config.random_state
+        assert manifest.pipeline_config["selection_strategy"] == "RFE LogReg"
+        assert manifest.versions["repro"]
+        assert manifest.extra["source_sku"] == SOURCE.name
+        # Simulator provenance flows through into the manifest.
+        assert all(
+            meta["engine_version"]
+            for meta in manifest.extra["experiment_metadata"]
+        )
+
+    def test_manifest_round_trips(self, two_sku_references, ycsb_source):
+        from repro.obs import RunManifest
+
+        pipeline = WorkloadPredictionPipeline()
+        report = pipeline.predict_scaling(
+            two_sku_references, ycsb_source, SOURCE, TARGET
+        )
+        restored = RunManifest.from_json(report.manifest.to_json())
+        assert restored == report.manifest
+
+    def test_pipeline_spans_nest_under_predict(
+        self, two_sku_references, ycsb_source
+    ):
+        from repro.obs import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            WorkloadPredictionPipeline().predict_scaling(
+                two_sku_references, ycsb_source, SOURCE, TARGET
+            )
+        finally:
+            set_tracer(previous)
+        (root,) = tracer.roots
+        assert root.name == "pipeline.predict"
+        stages = [child.name for child in root.children]
+        assert stages == [
+            "pipeline.stage.prepare",
+            "pipeline.stage.select_features",
+            "pipeline.stage.rank_similarity",
+            "pipeline.stage.predict_scaling",
+        ]
+        assert root.wall_ms >= max(c.wall_ms for c in root.children)

@@ -1,0 +1,125 @@
+"""Metrics registry: instruments, bucket semantics, and exports."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValidationError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        h.observe(1.0)  # == first bound -> first bucket (le semantics)
+        h.observe(1.0001)  # just above -> second bucket
+        h.observe(5.0)  # == last bound -> last finite bucket
+        h.observe(7.0)  # above all bounds -> +Inf bucket
+        assert h.counts == [1, 1, 1, 1]
+        assert h.cumulative_counts() == [1, 2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(14.0001)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValidationError, match="at least one"):
+            Histogram("h", buckets=())
+
+    def test_snapshot_shape(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["type"] == "histogram"
+        assert snap["buckets"] == [1.0, 2.0]
+        assert snap["counts"] == [1, 0, 0]
+        assert snap["count"] == 1
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("metric.x")
+        with pytest.raises(ValidationError, match="is a counter"):
+            registry.gauge("metric.x")
+
+    def test_snapshot_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a.total").inc(3)
+        registry.gauge("b.level").set(0.5)
+        registry.histogram("c.seconds", buckets=(1.0,)).observe(0.2)
+        decoded = json.loads(registry.to_json())
+        assert decoded["a.total"] == {"type": "counter", "value": 3.0}
+        assert decoded["b.level"]["value"] == 0.5
+        assert decoded["c.seconds"]["counts"] == [1, 0]
+        assert registry.names() == ["a.total", "b.level", "c.seconds"]
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert "a" not in registry
+        assert registry.snapshot() == {}
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.steady_states_total").inc(2)
+        registry.gauge("engine.bufferpool.hit_rate").set(0.75)
+        h = registry.histogram("predict.latency_ms", buckets=(10.0, 100.0))
+        h.observe(5.0)
+        h.observe(250.0)
+        text = registry.to_prometheus()
+        assert "# TYPE engine_steady_states_total counter" in text
+        assert "engine_steady_states_total 2" in text
+        assert "engine_bufferpool_hit_rate 0.75" in text
+        assert 'predict_latency_ms_bucket{le="10"} 1' in text
+        assert 'predict_latency_ms_bucket{le="+Inf"} 2' in text
+        assert "predict_latency_ms_sum 255" in text
+        assert "predict_latency_ms_count 2" in text
+        assert text.endswith("\n")
+
+
+class TestGlobalRegistry:
+    def test_set_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_metrics(fresh)
+        try:
+            get_metrics().counter("only.here").inc()
+            assert "only.here" in fresh
+            assert "only.here" not in previous
+        finally:
+            set_metrics(previous)
+        assert get_metrics() is previous

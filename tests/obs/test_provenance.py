@@ -1,0 +1,84 @@
+"""RunManifest round-trips and experiment metadata provenance."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.exceptions import ValidationError
+from repro.obs.provenance import MANIFEST_VERSION, RunManifest, library_versions
+from repro.workloads import SKU, ExperimentRepository, ExperimentRunner, workload_by_name
+
+
+def make_manifest() -> RunManifest:
+    return RunManifest(
+        pipeline_config={"selection_strategy": "RFE LogReg", "top_k": 7},
+        selected_features=("AvgRowSize", "CompileCPU"),
+        similarity_ranking={"tpcc": 0.1, "tpch": 0.9},
+        reference_workload="tpcc",
+        stage_timings_s={"select_features": 0.5, "total": 1.25},
+        metrics={"pipeline.predictions_total": {"type": "counter", "value": 1}},
+        random_seed=17,
+        extra={"source_sku": "2cpu-32gb"},
+    )
+
+
+class TestRunManifest:
+    def test_versions_populated_by_default(self):
+        versions = library_versions()
+        assert versions["repro"] == __version__
+        assert set(versions) >= {"python", "numpy", "scipy", "repro"}
+        assert make_manifest().versions["repro"] == __version__
+
+    def test_json_round_trip(self):
+        manifest = make_manifest()
+        restored = RunManifest.from_json(manifest.to_json())
+        assert restored == manifest
+
+    def test_to_dict_is_json_serializable(self):
+        payload = make_manifest().to_dict()
+        assert payload["manifest_version"] == MANIFEST_VERSION
+        assert payload["selected_features"] == ["AvgRowSize", "CompileCPU"]
+        json.dumps(payload)  # must not raise
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = make_manifest()
+        manifest.save(path)
+        assert RunManifest.load(path) == manifest
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValidationError, match="malformed run manifest"):
+            RunManifest.from_dict({"selected_features": ["x"]})
+
+
+class TestExperimentMetadata:
+    @pytest.fixture(scope="class")
+    def run(self):
+        runner = ExperimentRunner(workload_by_name("ycsb"), random_state=5)
+        return runner.run(
+            SKU(cpus=4, memory_gb=32.0),
+            terminals=8,
+            duration_s=600.0,
+            sample_interval_s=10.0,
+        )
+
+    def test_runner_populates_metadata(self, run):
+        assert run.metadata["engine_version"] == __version__
+        assert run.metadata["sample_interval_s"] == 10.0
+        assert run.metadata["duration_s"] == 600.0
+        assert isinstance(run.metadata["seed"], int)
+        assert run.metadata["plan_observations"] == 3
+
+    def test_metadata_round_trips_through_repository(self, run, tmp_path):
+        path = tmp_path / "repo.json"
+        repository = ExperimentRepository([run])
+        repository.save(path)
+        (loaded,) = list(ExperimentRepository.load(path))
+        assert loaded.metadata == run.metadata
+
+    def test_seed_differs_between_runs(self):
+        runner = ExperimentRunner(workload_by_name("ycsb"), random_state=5)
+        first = runner.run(SKU(cpus=4, memory_gb=32.0), duration_s=600.0)
+        second = runner.run(SKU(cpus=4, memory_gb=32.0), duration_s=600.0)
+        assert first.metadata["seed"] != second.metadata["seed"]

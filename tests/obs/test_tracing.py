@@ -1,0 +1,160 @@
+"""Tracer behaviour: nesting, timing, exports, and no-op overhead."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.tracing import Tracer, get_tracer, set_tracer, span
+
+
+class TestSpanTree:
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        roots = tracer.roots
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_wall_time_measured(self):
+        tracer = Tracer()
+        with tracer.span("sleepy"):
+            time.sleep(0.02)
+        root = tracer.roots[0]
+        assert root.wall_ms >= 15.0
+        assert root.cpu_ms >= 0.0
+        # Sleeping burns almost no CPU.
+        assert root.cpu_ms < root.wall_ms
+
+    def test_child_contained_in_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                time.sleep(0.005)
+        parent, child = tracer.roots[0], tracer.roots[0].children[0]
+        assert parent.start_wall_ns <= child.start_wall_ns
+        assert child.end_wall_ns <= parent.end_wall_ns
+        assert parent.wall_ms >= child.wall_ms
+
+    def test_attrs_and_set_attr(self):
+        tracer = Tracer()
+        with tracer.span("op", attrs={"k": 1}) as current:
+            current.set_attr("late", "v")
+        assert tracer.roots[0].attrs == {"k": 1, "late": "v"}
+
+    def test_exception_recorded_and_stack_unwound(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise RuntimeError("boom")
+        outer = tracer.roots[0]
+        failing = outer.children[0]
+        assert failing.attrs["error"] == "RuntimeError"
+        assert failing.end_wall_ns >= failing.start_wall_ns
+        # A new span after the failure is a fresh root, not a child.
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["outer", "after"]
+
+    def test_to_tree_and_clear(self):
+        tracer = Tracer()
+        with tracer.span("a", attrs={"x": 2}):
+            with tracer.span("b"):
+                pass
+        (tree,) = tracer.to_tree()
+        assert tree["name"] == "a"
+        assert tree["attrs"] == {"x": 2}
+        assert tree["children"][0]["name"] == "b"
+        assert tree["wall_ms"] >= 0.0
+        tracer.clear()
+        assert tracer.roots == []
+
+    def test_render_is_indented(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("nested"):
+                pass
+        text = tracer.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  nested")
+        assert "wall" in lines[0] and "cpu" in lines[0]
+
+
+class TestChromeExport:
+    def test_schema(self):
+        tracer = Tracer()
+        with tracer.span("pipeline.predict", attrs={"n": 3}):
+            with tracer.span("pipeline.stage.select_features"):
+                pass
+        payload = json.loads(tracer.to_chrome_json())
+        events = payload["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert set(event) >= {
+                "name", "cat", "ph", "ts", "dur", "pid", "tid", "args",
+            }
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        parent = next(e for e in events if e["name"] == "pipeline.predict")
+        child = next(
+            e for e in events if e["name"] == "pipeline.stage.select_features"
+        )
+        assert parent["cat"] == "pipeline"
+        assert parent["args"]["n"] == "3"
+        # Child event is contained in its parent on the timeline.
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+
+    def test_empty_trace_is_valid(self):
+        payload = json.loads(Tracer().to_chrome_json())
+        assert payload["traceEvents"] == []
+
+
+class TestGlobalTracer:
+    def test_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_set_and_restore(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with span("via.global"):
+                pass
+            assert [r.name for r in tracer.roots] == ["via.global"]
+        finally:
+            set_tracer(previous)
+        with span("after.restore"):
+            pass
+        assert [r.name for r in tracer.roots] == ["via.global"]
+
+    def test_disabled_span_overhead_under_5us(self):
+        n = 50_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with span("noop"):
+                pass
+        per_span = (time.perf_counter() - start) / n
+        assert per_span < 5e-6
+
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+        assert tracer.roots == []

@@ -1,5 +1,7 @@
 """CLI tests: every subcommand end to end through main()."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -194,3 +196,141 @@ class TestPredict:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def prediction_inputs(tmp_path_factory):
+    """Reference + target repository files for predict-command tests."""
+    root = tmp_path_factory.mktemp("obs")
+    refs = root / "refs.json"
+    for i, workload in enumerate(("tpcc", "twitter")):
+        for cpus in ("2", "8"):
+            args = [
+                "simulate", "--workload", workload, "--cpus", cpus,
+                "--terminals", "8", "--runs", "2", "--duration-s", "900",
+                "--seed", str(i), "--out", str(refs),
+            ]
+            if refs.exists():
+                args.append("--append")
+            assert main(args) == 0
+    target = root / "target.json"
+    assert main(
+        [
+            "simulate", "--workload", "ycsb", "--cpus", "2",
+            "--terminals", "32", "--runs", "2", "--duration-s", "900",
+            "--out", str(target),
+        ]
+    ) == 0
+    return refs, target
+
+
+class TestObservabilityFlags:
+    def test_predict_writes_trace_metrics_manifest(
+        self, prediction_inputs, tmp_path, capsys
+    ):
+        refs, target = prediction_inputs
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "predict", "--references", str(refs),
+                "--target", str(target),
+                "--source-cpus", "2", "--target-cpus", "8",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+                "--manifest-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        assert "Predicted throughput" in capsys.readouterr().out
+
+        # Chrome trace_event schema with nested spans for all stages.
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"]
+        names = [event["name"] for event in events]
+        assert "cli.predict" in names
+        assert "pipeline.predict" in names
+        for stage in ("select_features", "rank_similarity", "predict_scaling"):
+            assert f"pipeline.stage.{stage}" in names
+        assert all(
+            event["ph"] == "X" and event["dur"] >= 0.0 for event in events
+        )
+
+        # Metrics snapshot with at least 8 distinct series.
+        metrics = json.loads(metrics_path.read_text())
+        assert len(metrics) >= 8
+        assert metrics["pipeline.predictions_total"]["value"] == 1.0
+        assert metrics["similarity.pairs_computed"]["value"] > 0
+        assert metrics["pipeline.predict.latency_ms"]["count"] == 1
+
+        # Manifest parses back into a RunManifest.
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.reference_workload
+        assert manifest.stage_timings_s["total"] > 0.0
+
+    def test_simulate_records_engine_metrics(
+        self, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate", "--workload", "tpcc", "--runs", "1",
+                "--duration-s", "600", "--out", str(tmp_path / "r.json"),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["runner.experiments_total"]["value"] == 1.0
+        for name in (
+            "engine.steady_states_total",
+            "engine.bufferpool.hit_rate",
+            "engine.cpu.amdahl_speedup",
+            "engine.lockmanager.conflict_probability",
+            "engine.planner.plans_observed_total",
+            "telemetry.samples_total",
+        ):
+            assert name in metrics
+
+    def test_prometheus_format(self, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "simulate", "--workload", "ycsb", "--runs", "1",
+                "--duration-s", "600", "--out", str(tmp_path / "r.json"),
+                "--metrics-out", str(metrics_path),
+                "--metrics-format", "prometheus",
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE runner_experiments_total counter" in text
+
+    def test_log_level_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate", "--workload", "ycsb", "--runs", "1",
+                "--duration-s", "600", "--out", str(tmp_path / "r.json"),
+                "--log-level", "INFO",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "saved 1 experiments" in err
+
+    def test_trace_disabled_by_default(self, prediction_inputs, capsys):
+        from repro.obs import get_tracer
+
+        refs, target = prediction_inputs
+        assert main(
+            [
+                "predict", "--references", str(refs),
+                "--target", str(target),
+                "--source-cpus", "2", "--target-cpus", "8",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert get_tracer().enabled is False
