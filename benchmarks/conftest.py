@@ -4,9 +4,21 @@ Every benchmark regenerates one table or figure of the paper; the corpora
 here mirror the paper's experiment grids (Section 2.1) and are built once
 per session.  Each benchmark prints the reproduced rows/series next to the
 paper's reported values so the shape comparison is immediate.
+
+Corpus generation dominates the suite's wall-clock time, so the builders
+honor two environment knobs (results are bit-identical either way — see
+``docs/performance.md``):
+
+- ``REPRO_JOBS``    — worker processes for grid execution (``0`` = one
+  per CPU);
+- ``REPRO_CACHE_DIR`` — content-addressed experiment cache shared across
+  sessions; a second benchmark run rebuilds every corpus from disk
+  without executing the simulator at all.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -19,6 +31,21 @@ from repro.workloads import (
 )
 
 
+def bench_jobs() -> int | None:
+    """Worker count for corpus builds (``REPRO_JOBS``, default serial)."""
+    raw = os.environ.get("REPRO_JOBS")
+    return int(raw) if raw else None
+
+
+def bench_cache() -> str | None:
+    """Cache directory for corpus builds (``REPRO_CACHE_DIR``)."""
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
+#: Keyword arguments threading the env knobs into every corpus build.
+GRID_KWARGS = dict(jobs=bench_jobs(), cache=bench_cache())
+
+
 def print_header(title: str) -> None:
     print()
     print("=" * 78)
@@ -29,7 +56,7 @@ def print_header(title: str) -> None:
 @pytest.fixture(scope="session")
 def corpus_16cpu():
     """Sections 4/5 corpus: five workloads at 16 CPUs, 330 observations."""
-    return paper_corpus(cpus=16, random_state=0)
+    return paper_corpus(cpus=16, random_state=0, **GRID_KWARGS)
 
 
 @pytest.fixture(scope="session")
@@ -47,6 +74,7 @@ def table4_corpus():
         [SKU(cpus=16, memory_gb=32.0)],
         terminals_for=lambda w: (1,) if w.name == "tpch" else (8,),
         random_state=1,
+        **GRID_KWARGS,
     )
     return expand_subexperiments(full)
 
@@ -54,7 +82,9 @@ def table4_corpus():
 @pytest.fixture(scope="session")
 def scaling_repo():
     """Section 6 corpus: TPC-C, Twitter, TPC-H across 2/4/8/16 CPUs."""
-    return scaling_corpus(["tpcc", "twitter", "tpch"], random_state=7)
+    return scaling_corpus(
+        ["tpcc", "twitter", "tpch"], random_state=7, **GRID_KWARGS
+    )
 
 
 @pytest.fixture(scope="session")
@@ -64,6 +94,7 @@ def two_sku_references():
         [workload_by_name(n) for n in ("tpcc", "twitter", "tpch")],
         [SKU(cpus=2, memory_gb=32.0), SKU(cpus=8, memory_gb=32.0)],
         random_state=42,
+        **GRID_KWARGS,
     )
 
 
@@ -74,6 +105,7 @@ def ycsb_2cpu():
         [SKU(cpus=2, memory_gb=32.0)],
         terminals_for=lambda w: (32,),
         random_state=77,
+        **GRID_KWARGS,
     )
 
 
@@ -84,4 +116,5 @@ def ycsb_8cpu():
         [SKU(cpus=8, memory_gb=32.0)],
         terminals_for=lambda w: (32,),
         random_state=78,
+        **GRID_KWARGS,
     )

@@ -1,0 +1,91 @@
+"""Grid-executor benchmarks: parallel speedup and cache hit-path parity.
+
+Not a paper figure — this bench guards the corpus-generation machinery
+every other benchmark sits on: a cold parallel build of the scaling
+corpus must beat serial when real cores are available, and the cache's
+hit path must return bit-identical corpora while executing zero
+simulator runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.workloads import repositories_equal, scaling_corpus
+
+#: Scaled-down Section 6 grid: real sampling counts, shorter runs.
+CORPUS_KWARGS = dict(
+    workload_names=["tpcc", "twitter", "tpch"],
+    n_runs=2,
+    duration_s=900.0,
+    random_state=7,
+)
+
+
+def build(**kw):
+    return scaling_corpus(**CORPUS_KWARGS, **kw)
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs at least 2 CPUs",
+)
+def test_parallel_build_beats_serial():
+    """Cold parallel build of the scaling corpus is faster on 2 workers."""
+    start = time.perf_counter()
+    serial = build(jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = build(jobs=2)
+    parallel_s = time.perf_counter() - start
+
+    print_header("Grid executor: cold scaling-corpus build")
+    speedup = serial_s / parallel_s
+    print(f"serial    : {serial_s:7.2f}s")
+    print(f"2 workers : {parallel_s:7.2f}s   speedup x{speedup:.2f}")
+    assert repositories_equal(serial, parallel), (
+        "parallel corpus diverged from serial"
+    )
+    assert parallel_s < serial_s, (
+        f"parallel build not faster: {parallel_s:.2f}s vs {serial_s:.2f}s"
+    )
+
+
+@pytest.mark.slow
+def test_cache_hit_path_equivalence(tmp_path):
+    """Cache enabled (cold, then warm) and disabled all agree bit-for-bit.
+
+    This is the check the scheduled CI job exercises at full benchmark
+    scale: enabling the cache must never change corpus contents, and a
+    warm rebuild must not execute the simulator at all.
+    """
+    previous = set_metrics(MetricsRegistry())
+    try:
+        cold = build(cache=tmp_path)
+
+        set_metrics(registry := MetricsRegistry())
+        warm = build(cache=tmp_path)
+        warm_runs = registry.counter("runner.experiments_total").value
+        warm_hits = registry.counter("corpus_cache.hits_total").value
+
+        no_cache = build()
+    finally:
+        set_metrics(previous)
+
+    print_header("Grid executor: cache hit-path equivalence")
+    print(f"experiments             : {len(cold)}")
+    print(f"warm-rebuild executions : {int(warm_runs)} (want 0)")
+    print(f"warm-rebuild cache hits : {int(warm_hits)}")
+    assert warm_runs == 0, "warm rebuild executed the simulator"
+    assert warm_hits == len(cold)
+    assert repositories_equal(cold, warm), "hit path diverged from cold build"
+    assert repositories_equal(cold, no_cache), (
+        "cached build diverged from uncached build"
+    )

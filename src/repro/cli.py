@@ -1,17 +1,25 @@
 """Command-line interface for the workload-prediction pipeline.
 
-Four subcommands mirror the pipeline stages:
+Five subcommands mirror the pipeline stages:
 
 - ``repro simulate`` — run (simulated) experiments and save them to a
   repository file;
+- ``repro corpus`` — build one of the paper's standard corpora (grid
+  execution with ``--jobs`` workers and an optional on-disk cache);
 - ``repro select`` — rank telemetry features on a repository;
 - ``repro similarity`` — 1-NN / mAP / NDCG of a representation+measure
   combination on a repository;
 - ``repro predict`` — end-to-end scaling prediction from a reference
   repository and a target repository.
 
-Every subcommand reads/writes the JSON repository format of
-:class:`repro.workloads.repository.ExperimentRepository`.
+Every subcommand reads/writes the repository formats of
+:class:`repro.workloads.repository.ExperimentRepository`: JSON, or the
+compact ``.npz`` archive when the path ends in ``.npz``.
+
+Experiment-producing subcommands accept ``--jobs N`` (parallel grid
+execution over N worker processes; results are bit-identical to serial),
+``--cache-dir PATH`` (content-addressed result cache, also settable via
+the ``REPRO_CACHE_DIR`` environment variable), and ``--no-cache``.
 
 Observability flags are accepted by every subcommand: ``--log-level``
 routes the library's structured logs to stderr, ``--trace-out`` records
@@ -23,13 +31,16 @@ invocation as JSON.  Actual results stay on stdout.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro.core import PipelineConfig, WorkloadPredictionPipeline
 from repro.exceptions import ReproError
 from repro.obs import (
     MetricsRegistry,
+    RunManifest,
     Tracer,
     configure_logging,
     get_logger,
@@ -40,13 +51,34 @@ from repro.obs import (
 from repro.workloads import (
     SKU,
     ExperimentRepository,
-    ExperimentRunner,
+    run_experiments,
     workload_by_name,
 )
 from repro.workloads.catalog import WORKLOAD_NAMES
 from repro.workloads.features import ALL_FEATURES
 
 logger = get_logger(__name__)
+
+
+def _load_repository(path: str | Path) -> ExperimentRepository:
+    """Load a repository, dispatching on the file extension."""
+    if str(path).endswith(".npz"):
+        return ExperimentRepository.load_npz(path)
+    return ExperimentRepository.load(path)
+
+
+def _save_repository(repository: ExperimentRepository, path: str | Path) -> None:
+    if str(path).endswith(".npz"):
+        repository.save_npz(path)
+    else:
+        repository.save(path)
+
+
+def _resolve_cache_dir(args) -> str | None:
+    """The cache directory to use, honoring ``--no-cache`` and the env."""
+    if args.no_cache:
+        return None
+    return args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,11 +105,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-format", default="json", choices=("json", "prometheus"),
         help="serialization for --metrics-out",
     )
+    grid = argparse.ArgumentParser(add_help=False)
+    grid_group = grid.add_argument_group("grid execution")
+    grid_group.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for grid execution (0 = one per CPU; "
+        "results are bit-identical to serial)",
+    )
+    grid_group.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed experiment cache directory "
+        "(default: $REPRO_CACHE_DIR if set)",
+    )
+    grid_group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the experiment cache even if a directory is configured",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser(
         "simulate", help="run experiments and save a repository",
-        parents=[obs],
+        parents=[obs, grid],
     )
     simulate.add_argument(
         "--workload", required=True, choices=WORKLOAD_NAMES
@@ -88,10 +136,38 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--runs", type=int, default=3)
     simulate.add_argument("--duration-s", type=float, default=3600.0)
     simulate.add_argument("--seed", type=int, default=0)
-    simulate.add_argument("--out", required=True, help="output JSON path")
+    simulate.add_argument(
+        "--out", required=True, help="output path (.json or .npz)"
+    )
     simulate.add_argument(
         "--append", action="store_true",
         help="append to an existing repository file",
+    )
+
+    corpus = sub.add_parser(
+        "corpus", help="build one of the paper's standard corpora",
+        parents=[obs, grid],
+    )
+    corpus.add_argument(
+        "--kind", default="scaling",
+        choices=("paper", "scaling", "production"),
+        help="which standard corpus to build (Sections 4/5, 6, or 5.2.3)",
+    )
+    corpus.add_argument("--cpus", type=int, default=16,
+                        help="SKU size for --kind paper")
+    corpus.add_argument("--runs", type=int, default=3)
+    corpus.add_argument("--duration-s", type=float, default=3600.0)
+    corpus.add_argument("--sample-interval-s", type=float, default=10.0)
+    corpus.add_argument(
+        "--seed", type=int, default=None,
+        help="corpus random_state (default: the paper's per-corpus seed)",
+    )
+    corpus.add_argument(
+        "--out", required=True, help="output path (.json or .npz)"
+    )
+    corpus.add_argument(
+        "--manifest-out", default=None, metavar="PATH",
+        help="write the build's RunManifest (provenance) as JSON",
     )
 
     select = sub.add_parser(
@@ -149,35 +225,100 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_simulate(args) -> int:
     workload = workload_by_name(args.workload)
-    runner = ExperimentRunner(workload, random_state=args.seed)
     sku = SKU(cpus=args.cpus, memory_gb=args.memory_gb)
     if args.append:
-        repository = ExperimentRepository.load(args.out)
+        repository = _load_repository(args.out)
     else:
         repository = ExperimentRepository()
-    for run in range(args.runs):
-        result = runner.run(
-            sku,
-            terminals=args.terminals,
-            run_index=run,
-            data_group=run,
-            duration_s=args.duration_s,
-        )
+    built = run_experiments(
+        [workload],
+        [sku],
+        terminals_for=lambda w: (args.terminals,),
+        n_runs=args.runs,
+        duration_s=args.duration_s,
+        random_state=args.seed,
+        jobs=args.jobs,
+        cache=_resolve_cache_dir(args),
+    )
+    for result in built:
         repository.add(result)
         print(
             f"{result.experiment_id}: {result.throughput:.1f} txn/s, "
             f"latency {result.latency_ms:.2f} ms, "
             f"bottleneck {result.bottleneck}"
         )
-    repository.save(args.out)
+    _save_repository(repository, args.out)
     logger.info("saved %d experiments to %s", len(repository), args.out)
+    return 0
+
+
+#: The paper's per-corpus default seeds (kept in sync with
+#: :mod:`repro.workloads.corpus`).
+_CORPUS_SEEDS = {"paper": 0, "scaling": 7, "production": 11}
+
+
+def _cmd_corpus(args) -> int:
+    from repro.workloads import paper_corpus, production_corpus, scaling_corpus
+
+    seed = _CORPUS_SEEDS[args.kind] if args.seed is None else args.seed
+    cache_dir = _resolve_cache_dir(args)
+    common = dict(
+        n_runs=args.runs,
+        duration_s=args.duration_s,
+        sample_interval_s=args.sample_interval_s,
+        random_state=seed,
+        jobs=args.jobs,
+        cache=cache_dir,
+    )
+    start = time.perf_counter()
+    if args.kind == "paper":
+        repository = paper_corpus(cpus=args.cpus, **common)
+    elif args.kind == "scaling":
+        repository = scaling_corpus(**common)
+    else:
+        repository = production_corpus(**common)
+    elapsed = time.perf_counter() - start
+    _save_repository(repository, args.out)
+    metrics = get_metrics()
+    workers = int(metrics.gauge("gridexec.workers").value)
+    hits = int(metrics.counter("corpus_cache.hits_total").value)
+    misses = int(metrics.counter("corpus_cache.misses_total").value)
+    print(
+        f"{args.kind} corpus: {len(repository)} experiments in "
+        f"{elapsed:.1f}s ({workers} worker{'s' if workers != 1 else ''}, "
+        f"{hits} cache hits, {misses} misses)"
+    )
+    if args.manifest_out:
+        manifest = RunManifest(
+            pipeline_config={},
+            selected_features=(),
+            similarity_ranking={},
+            reference_workload=None,
+            stage_timings_s={"corpus": elapsed},
+            metrics=metrics.snapshot(),
+            random_seed=seed,
+            extra={
+                "command": "corpus",
+                "kind": args.kind,
+                "n_experiments": len(repository),
+                "grid": {
+                    "workers": workers,
+                    "jobs_requested": args.jobs,
+                    "cache_dir": cache_dir and str(cache_dir),
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                },
+            },
+        )
+        manifest.save(args.manifest_out)
+        logger.info("wrote run manifest to %s", args.manifest_out)
     return 0
 
 
 def _cmd_select(args) -> int:
     from repro.features import strategy_registry
 
-    corpus = ExperimentRepository.load(args.corpus)
+    corpus = _load_repository(args.corpus)
     registry = strategy_registry()
     if args.strategy not in registry:
         logger.error(
@@ -198,7 +339,7 @@ def _cmd_similarity(args) -> int:
     from repro.similarity import RepresentationBuilder, evaluate_measure
     from repro.similarity.measures import get_measure
 
-    corpus = ExperimentRepository.load(args.corpus)
+    corpus = _load_repository(args.corpus)
     features = (
         tuple(name.strip() for name in args.features.split(","))
         if args.features
@@ -222,8 +363,8 @@ def _cmd_similarity(args) -> int:
 
 
 def _cmd_predict(args) -> int:
-    references = ExperimentRepository.load(args.references)
-    target = ExperimentRepository.load(args.target)
+    references = _load_repository(args.references)
+    target = _load_repository(args.target)
     source = SKU(cpus=args.source_cpus, memory_gb=args.memory_gb)
     target_sku = SKU(cpus=args.target_cpus, memory_gb=args.memory_gb)
     config = PipelineConfig(
@@ -251,7 +392,7 @@ def _cmd_cluster(args) -> int:
     from repro.similarity.evaluation import representation_matrices
     from repro.similarity.measures import get_measure
 
-    corpus = ExperimentRepository.load(args.corpus)
+    corpus = _load_repository(args.corpus)
     builder = RepresentationBuilder().fit(corpus)
     matrices = representation_matrices(corpus, builder, "hist")
     D = distance_matrix(matrices, get_measure(args.measure))
@@ -273,6 +414,7 @@ def _cmd_cluster(args) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "corpus": _cmd_corpus,
     "select": _cmd_select,
     "similarity": _cmd_similarity,
     "predict": _cmd_predict,

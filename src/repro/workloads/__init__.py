@@ -37,12 +37,23 @@ from repro.workloads.catalog import (
     ycsb,
 )
 from repro.workloads.runner import ExperimentResult, ExperimentRunner
+from repro.workloads.gridexec import (
+    GridReport,
+    GridTask,
+    enumerate_grid,
+    execute_grid,
+)
+from repro.workloads.cache import CorpusCache, task_fingerprint
 from repro.workloads.sampling import (
     augmented_throughputs,
     random_downsample,
     systematic_subexperiments,
 )
-from repro.workloads.repository import ExperimentRepository
+from repro.workloads.repository import (
+    ExperimentRepository,
+    repositories_equal,
+    results_equal,
+)
 from repro.workloads.corpus import (
     expand_subexperiments,
     paper_corpus,
@@ -84,10 +95,18 @@ __all__ = [
     "production_workload",
     "ExperimentResult",
     "ExperimentRunner",
+    "GridReport",
+    "GridTask",
+    "enumerate_grid",
+    "execute_grid",
+    "CorpusCache",
+    "task_fingerprint",
     "systematic_subexperiments",
     "random_downsample",
     "augmented_throughputs",
     "ExperimentRepository",
+    "repositories_equal",
+    "results_equal",
     "run_experiments",
     "expand_subexperiments",
     "paper_corpus",

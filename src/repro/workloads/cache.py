@@ -1,0 +1,202 @@
+"""Content-addressed on-disk cache for simulated experiment results.
+
+Corpus generation is deterministic: an experiment is a pure function of
+(workload spec, SKU, run configuration, RNG seed, engine version).  The
+cache exploits that by addressing each result with the SHA-256 of a
+canonical JSON rendering of exactly those inputs — so a repeated corpus
+build short-circuits to disk reads, while *any* change to the workload
+definition, the hardware, the run configuration, the seed derivation, or
+the engine itself (via the version string baked into the key) produces a
+different address and transparently invalidates the entry.
+
+Entries are stored in two files under a fan-out directory layout
+(``<root>/<key[:2]>/<key>.npz`` + ``<key>.json``): the ``.npz`` member
+holds the three bulky arrays in native binary form, the JSON sidecar
+holds every scalar field plus provenance (engine version, task id).
+Writes are atomic (temp file + rename); corrupt or partially written
+entries are treated as misses and never poison a build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__ as engine_version
+from repro.exceptions import RepositoryError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.workloads.repository import (
+    _result_from_dict,
+    _result_to_dict,
+    ensure_finite,
+)
+from repro.workloads.runner import ExperimentResult
+
+logger = get_logger(__name__)
+
+#: Bump on incompatible changes to the on-disk entry layout.
+CACHE_FORMAT_VERSION = 1
+
+
+def task_fingerprint(task, *, version: str | None = None) -> str:
+    """Stable SHA-256 key of one grid task.
+
+    The fingerprint covers everything the simulator's output depends on:
+    the full workload spec (every transaction cost profile), the SKU, the
+    run configuration, the pre-drawn seed, and the engine version.  The
+    task's grid ``index`` is deliberately excluded — the same experiment
+    reached through a different grid shape is still the same experiment.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "engine_version": version or engine_version,
+        "workload": asdict(task.workload),
+        "sku": asdict(task.sku),
+        "terminals": int(task.terminals),
+        "run_index": int(task.run_index),
+        "data_group": int(task.data_group),
+        "duration_s": float(task.duration_s),
+        "sample_interval_s": float(task.sample_interval_s),
+        "plan_observations": int(task.plan_observations),
+        "seed": int(task.seed),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CorpusCache:
+    """Content-addressed store of :class:`ExperimentResult` entries."""
+
+    def __init__(self, root: str | Path, *, version: str | None = None):
+        self.root = Path(root)
+        self.version = version or engine_version
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ----------------------------------------------------------
+    def task_key(self, task) -> str:
+        """The cache key of a :class:`~repro.workloads.gridexec.GridTask`."""
+        return task_fingerprint(task, version=self.version)
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        shard = self.root / key[:2]
+        return shard / f"{key}.npz", shard / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        npz_path, json_path = self._paths(key)
+        return npz_path.exists() and json_path.exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.npz"))
+
+    # -- entry IO ------------------------------------------------------------
+    def get(self, key: str) -> ExperimentResult | None:
+        """The cached result under ``key``, or ``None`` on miss.
+
+        Corrupt entries (truncated writes, schema drift) count as misses:
+        they are logged, counted under ``corpus_cache.corrupt_total``, and
+        the caller simply recomputes.
+        """
+        metrics = get_metrics()
+        npz_path, json_path = self._paths(key)
+        if not (npz_path.exists() and json_path.exists()):
+            metrics.counter("corpus_cache.misses_total").inc()
+            return None
+        try:
+            sidecar = json.loads(json_path.read_text())
+            payload = dict(sidecar["scalars"])
+            with np.load(npz_path, allow_pickle=False) as archive:
+                payload["resource_series"] = archive["resource_series"]
+                payload["throughput_series"] = archive["throughput_series"]
+                payload["plan_matrix"] = archive["plan_matrix"]
+            result = _result_from_dict(payload)
+        except (OSError, KeyError, ValueError, RepositoryError,
+                json.JSONDecodeError, zipfile.BadZipFile) as exc:
+            logger.warning("corrupt cache entry %s: %s", key, exc)
+            metrics.counter("corpus_cache.corrupt_total").inc()
+            metrics.counter("corpus_cache.misses_total").inc()
+            return None
+        metrics.counter("corpus_cache.hits_total").inc()
+        return result
+
+    def put(self, key: str, result: ExperimentResult) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        ensure_finite(result)
+        npz_path, json_path = self._paths(key)
+        npz_path.parent.mkdir(parents=True, exist_ok=True)
+        sidecar = {
+            "version": CACHE_FORMAT_VERSION,
+            "engine_version": self.version,
+            "key": key,
+            "experiment_id": result.experiment_id,
+            "scalars": _result_to_dict(result, arrays=False),
+        }
+        _atomic_write_bytes(
+            json_path, json.dumps(sidecar).encode("utf-8")
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=npz_path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    resource_series=result.resource_series,
+                    throughput_series=result.throughput_series,
+                    plan_matrix=result.plan_matrix,
+                )
+            os.replace(tmp, npz_path)
+        except OSError as exc:
+            _unlink_quietly(tmp)
+            raise RepositoryError(
+                f"cannot write cache entry {key}: {exc}"
+            ) from exc
+        get_metrics().counter("corpus_cache.writes_total").inc()
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for npz_path in self.root.glob("??/*.npz"):
+            _unlink_quietly(npz_path)
+            _unlink_quietly(npz_path.with_suffix(".json"))
+            removed += 1
+        return removed
+
+
+def as_cache(cache: "CorpusCache | str | Path | None") -> CorpusCache | None:
+    """Normalize a cache argument: ``None``, a directory, or a cache."""
+    if cache is None or isinstance(cache, CorpusCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return CorpusCache(cache)
+    raise TypeError(
+        "cache must be None, a path, or a CorpusCache, "
+        f"got {type(cache).__name__}"
+    )
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=path.suffix
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except OSError as exc:
+        _unlink_quietly(tmp)
+        raise RepositoryError(f"cannot write {path}: {exc}") from exc
+
+
+def _unlink_quietly(path: str | Path) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

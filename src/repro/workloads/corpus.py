@@ -15,17 +15,24 @@ rely on:
 
 from __future__ import annotations
 
-from repro.utils.rng import RandomState, spawn_generators
+from pathlib import Path
+
+from repro.utils.rng import RandomState
+from repro.workloads.cache import CorpusCache, as_cache
 from repro.workloads.catalog import (
     production_workload,
     standard_workloads,
     workload_by_name,
 )
+from repro.workloads.gridexec import enumerate_grid, execute_grid
 from repro.workloads.repository import ExperimentRepository
-from repro.workloads.runner import ExperimentRunner
 from repro.workloads.sampling import systematic_subexperiments
 from repro.workloads.sku import SKU, paper_cpu_skus, production_sku
 from repro.workloads.spec import WorkloadSpec
+
+#: Type accepted everywhere a cache can be supplied: an existing
+#: :class:`CorpusCache`, a directory to create one in, or ``None``.
+CacheLike = CorpusCache | str | Path | None
 
 #: Concurrency levels of Section 2.1: all workloads except the serial
 #: analytical ones run with 4, 8, and 32 terminals.
@@ -48,26 +55,30 @@ def run_experiments(
     duration_s: float = 3600.0,
     sample_interval_s: float = 10.0,
     random_state: RandomState = 0,
+    jobs: int | None = None,
+    cache: CacheLike = None,
 ) -> ExperimentRepository:
-    """Run the full (workload x SKU x terminals x run) grid."""
-    repository = ExperimentRepository()
-    generators = spawn_generators(random_state, len(workloads))
-    for workload, rng in zip(workloads, generators):
-        runner = ExperimentRunner(workload, random_state=rng)
-        for sku in skus:
-            for terminals in terminals_for(workload):
-                for run in range(n_runs):
-                    repository.add(
-                        runner.run(
-                            sku,
-                            terminals=terminals,
-                            run_index=run,
-                            data_group=run,
-                            duration_s=duration_s,
-                            sample_interval_s=sample_interval_s,
-                        )
-                    )
-    return repository
+    """Run the full (workload x SKU x terminals x run) grid.
+
+    The grid is enumerated up front with per-task seeds pre-drawn in
+    serial order (see :mod:`repro.workloads.gridexec`), so the result is
+    bit-identical for any ``jobs`` value: ``None``/``1`` executes
+    in-process, ``N > 1`` fans out over ``N`` worker processes, ``0``
+    uses one worker per CPU.  ``cache`` (a directory or a
+    :class:`~repro.workloads.cache.CorpusCache`) short-circuits tasks
+    whose results were already computed by an earlier build.
+    """
+    tasks = enumerate_grid(
+        workloads,
+        skus,
+        terminals_for=terminals_for,
+        n_runs=n_runs,
+        duration_s=duration_s,
+        sample_interval_s=sample_interval_s,
+        random_state=random_state,
+    )
+    results = execute_grid(tasks, jobs=jobs, cache=as_cache(cache))
+    return ExperimentRepository(list(results))
 
 
 def expand_subexperiments(
@@ -91,6 +102,8 @@ def paper_corpus(
     duration_s: float = 3600.0,
     sample_interval_s: float = 10.0,
     random_state: RandomState = 0,
+    jobs: int | None = None,
+    cache: CacheLike = None,
 ) -> ExperimentRepository:
     """The Sections 4/5 corpus on one hardware setting.
 
@@ -107,6 +120,8 @@ def paper_corpus(
         duration_s=duration_s,
         sample_interval_s=sample_interval_s,
         random_state=random_state,
+        jobs=jobs,
+        cache=cache,
     )
     return expand_subexperiments(full, n_subexperiments=n_subexperiments)
 
@@ -120,6 +135,8 @@ def scaling_corpus(
     duration_s: float = 3600.0,
     sample_interval_s: float = 10.0,
     random_state: RandomState = 7,
+    jobs: int | None = None,
+    cache: CacheLike = None,
 ) -> ExperimentRepository:
     """The Section 6 corpus: workloads across the CPU-scaling SKUs."""
     if workload_names is None:
@@ -135,6 +152,8 @@ def scaling_corpus(
         duration_s=duration_s,
         sample_interval_s=sample_interval_s,
         random_state=random_state,
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -145,6 +164,8 @@ def production_corpus(
     duration_s: float = 3600.0,
     sample_interval_s: float = 10.0,
     random_state: RandomState = 11,
+    jobs: int | None = None,
+    cache: CacheLike = None,
 ) -> ExperimentRepository:
     """PW and the four reference workloads on the 80-vCore instance.
 
@@ -175,5 +196,7 @@ def production_corpus(
         duration_s=duration_s,
         sample_interval_s=sample_interval_s,
         random_state=random_state,
+        jobs=jobs,
+        cache=cache,
     )
     return expand_subexperiments(full, n_subexperiments=n_subexperiments)

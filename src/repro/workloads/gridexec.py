@@ -1,0 +1,282 @@
+"""Deterministic parallel execution of experiment grids.
+
+:func:`repro.workloads.corpus.run_experiments` used to walk the
+(workload x SKU x terminals x run) grid serially, one simulator call at a
+time — the dominant wall-clock cost of every benchmark figure.  This
+module splits that walk into two phases so the second can be distributed:
+
+1. :func:`enumerate_grid` materializes the full grid as
+   :class:`GridTask` values **and pre-draws every task's RNG seed** in
+   the exact order the serial loop would have drawn them (one
+   ``integers(0, 2**62)`` call per task from the workload's spawned
+   generator).  Seed derivation is therefore a pure function of the
+   corpus-level ``random_state`` and the grid shape.
+2. :func:`execute_grid` runs the tasks — in-process, or fanned out over a
+   ``ProcessPoolExecutor`` — and reassembles results in grid order.
+
+Because each task carries its own pre-drawn seed and the simulator
+components (engine, telemetry sampler, planner) keep no mutable state
+between runs, a parallel build is **bit-identical** to a serial one: the
+determinism suite (``tests/workloads/test_gridexec.py``) asserts exact
+array equality between ``jobs=1`` and ``jobs=4`` builds.
+
+An optional content-addressed :class:`repro.workloads.cache.CorpusCache`
+short-circuits tasks whose results are already on disk; only cache
+misses are executed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
+from repro.utils.rng import RandomState, spawn_generators
+from repro.workloads.runner import ExperimentResult, ExperimentRunner
+from repro.workloads.sku import SKU
+from repro.workloads.spec import WorkloadSpec
+
+logger = get_logger(__name__)
+
+#: Seeds are drawn uniformly from ``[0, 2**62)`` — the same range the
+#: runner itself uses when no explicit seed is supplied.
+SEED_BOUND = 2**62
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One fully specified experiment of a grid, with its RNG seed.
+
+    A task is self-contained and picklable: a worker process needs
+    nothing beyond the task to reproduce the experiment bit-exactly.
+    ``index`` is the task's position in serial grid order, which is also
+    the order results are returned in.
+    """
+
+    index: int
+    workload: WorkloadSpec
+    sku: SKU
+    terminals: int
+    run_index: int
+    data_group: int
+    duration_s: float
+    sample_interval_s: float
+    plan_observations: int
+    seed: int
+
+    @property
+    def task_id(self) -> str:
+        """Human-readable identity (mirrors ``experiment_id``)."""
+        return (
+            f"{self.workload.name}@{self.sku.name}"
+            f"x{self.terminals}t-r{self.run_index}g{self.data_group}"
+        )
+
+
+@dataclass(frozen=True)
+class GridReport:
+    """What one :func:`execute_grid` call actually did."""
+
+    n_tasks: int
+    n_workers: int
+    n_executed: int
+    cache_hits: int
+    cache_misses: int
+    elapsed_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n_tasks": self.n_tasks,
+            "n_workers": self.n_workers,
+            "n_executed": self.n_executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class GridResults(list):
+    """Results in grid order, carrying the :class:`GridReport`."""
+
+    report: GridReport | None = None
+
+
+def enumerate_grid(
+    workloads: list[WorkloadSpec],
+    skus: list[SKU],
+    *,
+    terminals_for,
+    n_runs: int,
+    duration_s: float,
+    sample_interval_s: float,
+    random_state: RandomState,
+    plan_observations: int = 3,
+) -> list[GridTask]:
+    """Materialize the (workload x SKU x terminals x run) grid.
+
+    Per-task seeds reproduce the serial draw order exactly: each workload
+    gets one spawned generator, and tasks consume one ``integers`` draw
+    each in (SKU, terminals, run) nested-loop order.
+    """
+    if n_runs < 1:
+        raise ValidationError(f"n_runs must be >= 1, got {n_runs}")
+    tasks: list[GridTask] = []
+    generators = spawn_generators(random_state, len(workloads))
+    for workload, rng in zip(workloads, generators):
+        for sku in skus:
+            for terminals in terminals_for(workload):
+                for run in range(n_runs):
+                    tasks.append(
+                        GridTask(
+                            index=len(tasks),
+                            workload=workload,
+                            sku=sku,
+                            terminals=terminals,
+                            run_index=run,
+                            data_group=run,
+                            duration_s=duration_s,
+                            sample_interval_s=sample_interval_s,
+                            plan_observations=plan_observations,
+                            seed=int(rng.integers(0, SEED_BOUND)),
+                        )
+                    )
+    return tasks
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value to a positive worker count.
+
+    ``None``/``1`` mean serial in-process execution, ``0`` means one
+    worker per CPU, and anything negative is rejected.
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ValidationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _run_task(task: GridTask) -> ExperimentResult:
+    """Execute one grid task; the unit of work shipped to workers."""
+    runner = ExperimentRunner(task.workload)
+    return runner.run(
+        task.sku,
+        terminals=task.terminals,
+        run_index=task.run_index,
+        data_group=task.data_group,
+        duration_s=task.duration_s,
+        sample_interval_s=task.sample_interval_s,
+        plan_observations=task.plan_observations,
+        seed=task.seed,
+    )
+
+
+def execute_grid(
+    tasks: list[GridTask],
+    *,
+    jobs: int | None = None,
+    cache=None,
+) -> GridResults:
+    """Run every task and return results in task order.
+
+    ``cache`` is anything implementing the
+    :class:`~repro.workloads.cache.CorpusCache` protocol (``task_key`` /
+    ``get`` / ``put``); hits skip execution entirely.  With ``jobs > 1``
+    the cache misses are fanned out over a ``ProcessPoolExecutor``; if
+    the pool cannot be created (restricted environments) execution falls
+    back to serial with a warning rather than failing the build.
+    """
+    metrics = get_metrics()
+    n_workers = resolve_jobs(jobs)
+    results: GridResults = GridResults([None] * len(tasks))
+    pending: list[tuple[int, GridTask]] = []
+    hits = 0
+    start = time.perf_counter()
+    with span(
+        "gridexec.grid",
+        attrs={"tasks": len(tasks), "workers": n_workers},
+    ):
+        if cache is None:
+            pending = list(enumerate(tasks))
+        else:
+            for position, task in enumerate(tasks):
+                cached = cache.get(cache.task_key(task))
+                if cached is None:
+                    pending.append((position, task))
+                else:
+                    results[position] = cached
+                    hits += 1
+        if n_workers > 1 and len(pending) > 1:
+            executed = _execute_parallel(pending, results, n_workers, cache)
+        else:
+            n_workers = 1
+            executed = _execute_serial(pending, results, cache)
+    metrics.gauge("gridexec.workers").set(n_workers)
+    metrics.counter("gridexec.tasks_total").inc(len(tasks))
+    elapsed = time.perf_counter() - start
+    results.report = GridReport(
+        n_tasks=len(tasks),
+        n_workers=n_workers,
+        n_executed=executed,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        elapsed_s=elapsed,
+    )
+    logger.debug(
+        "grid: %d tasks, %d workers, %d hits, %d executed in %.2fs",
+        len(tasks), n_workers, hits, executed, elapsed,
+    )
+    return results
+
+
+def _execute_serial(pending, results, cache) -> int:
+    for position, task in pending:
+        with span("gridexec.task", attrs={"task": task.task_id}):
+            result = _run_task(task)
+        if cache is not None:
+            cache.put(cache.task_key(task), result)
+        results[position] = result
+    return len(pending)
+
+
+def _execute_parallel(pending, results, n_workers, cache) -> int:
+    """Fan pending tasks out over a process pool, serial on failure."""
+    try:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+    except (OSError, PermissionError, ValueError) as exc:
+        logger.warning(
+            "process pool unavailable (%s); falling back to serial", exc
+        )
+        return _execute_serial(pending, results, cache)
+    metrics = get_metrics()
+    try:
+        futures = {
+            pool.submit(_run_task, task): (position, task)
+            for position, task in pending
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                position, task = futures[future]
+                with span(
+                    "gridexec.task.collect", attrs={"task": task.task_id}
+                ):
+                    result = future.result()
+                # Worker-side metric increments die with the worker
+                # process; account for the execution here instead.
+                metrics.counter("runner.experiments_total").inc()
+                if cache is not None:
+                    cache.put(cache.task_key(task), result)
+                results[position] = result
+    finally:
+        pool.shutdown(wait=True)
+    return len(pending)

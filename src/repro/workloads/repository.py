@@ -1,9 +1,13 @@
-"""Experiment repository: an in-memory collection with JSON persistence.
+"""Experiment repository: an in-memory collection with persistence.
 
 The prediction pipeline consumes *collections* of experiments (reference
 workloads observed across SKUs).  The repository provides filtered views
-(by workload, SKU, terminals) and round-trips to a JSON file so expensive
-simulated corpora can be cached between benchmark runs.
+(by workload, SKU, terminals) and round-trips to disk so expensive
+simulated corpora can be cached between benchmark runs.  Two formats are
+supported: a human-readable JSON file (:meth:`ExperimentRepository.save`)
+and a compact ``.npz`` archive (:meth:`ExperimentRepository.save_npz`)
+that stores the bulky time-series/plan arrays in binary — typically an
+order of magnitude smaller and faster to parse than the row-by-row JSON.
 """
 
 from __future__ import annotations
@@ -22,9 +26,38 @@ from repro.workloads.sku import SKU
 
 logger = get_logger(__name__)
 
+#: The bulky array-valued fields, stored out-of-band by the npz formats.
+ARRAY_FIELDS = ("resource_series", "throughput_series", "plan_matrix")
 
-def _result_to_dict(result: ExperimentResult) -> dict:
-    return {
+
+def ensure_finite(result: ExperimentResult) -> None:
+    """Reject results carrying NaN/Inf before they reach disk.
+
+    Non-finite values in a persisted corpus poison every downstream
+    statistic silently (means, distances, CV scores), so both persistence
+    formats and the corpus cache refuse to store them.
+    """
+    for name in ARRAY_FIELDS:
+        if not np.all(np.isfinite(getattr(result, name))):
+            raise RepositoryError(
+                f"experiment {result.experiment_id}: non-finite values "
+                f"in {name}"
+            )
+    scalars = {
+        "throughput": result.throughput,
+        "latency_ms": result.latency_ms,
+        **{f"latency[{k}]": v for k, v in result.per_txn_latency_ms.items()},
+        **{f"weight[{k}]": v for k, v in result.per_txn_weights.items()},
+    }
+    for name, value in scalars.items():
+        if not np.isfinite(value):
+            raise RepositoryError(
+                f"experiment {result.experiment_id}: non-finite {name}"
+            )
+
+
+def _result_to_dict(result: ExperimentResult, *, arrays: bool = True) -> dict:
+    payload = {
         "workload_name": result.workload_name,
         "workload_type": result.workload_type,
         "sku": {
@@ -38,9 +71,6 @@ def _result_to_dict(result: ExperimentResult) -> dict:
         "run_index": result.run_index,
         "data_group": result.data_group,
         "sample_interval_s": result.sample_interval_s,
-        "resource_series": result.resource_series.tolist(),
-        "throughput_series": result.throughput_series.tolist(),
-        "plan_matrix": result.plan_matrix.tolist(),
         "plan_txn_names": list(result.plan_txn_names),
         "throughput": result.throughput,
         "latency_ms": result.latency_ms,
@@ -50,6 +80,11 @@ def _result_to_dict(result: ExperimentResult) -> dict:
         "subsample_index": result.subsample_index,
         "metadata": dict(result.metadata),
     }
+    if arrays:
+        payload["resource_series"] = result.resource_series.tolist()
+        payload["throughput_series"] = result.throughput_series.tolist()
+        payload["plan_matrix"] = result.plan_matrix.tolist()
+    return payload
 
 
 def _result_from_dict(payload: dict) -> ExperimentResult:
@@ -156,6 +191,8 @@ class ExperimentRepository:
     def save(self, path: str | Path) -> None:
         """Serialize all experiments to a JSON file."""
         path = Path(path)
+        for result in self._results:
+            ensure_finite(result)
         payload = {
             "version": 1,
             "experiments": [_result_to_dict(r) for r in self._results],
@@ -187,3 +224,109 @@ class ExperimentRepository:
         )
         logger.debug("loaded %d experiments from %s", len(results), path)
         return cls(results)
+
+    def save_npz(self, path: str | Path) -> None:
+        """Serialize all experiments to a compact ``.npz`` archive.
+
+        Scalar fields travel as one JSON document inside the archive; the
+        three array fields of each experiment are stored as native numpy
+        arrays (``resource_0``, ``throughput_0``, ``plan_0``, ...), which
+        preserves dtype and shape exactly — including empty dimensions the
+        JSON format cannot represent.
+        """
+        path = Path(path)
+        for result in self._results:
+            ensure_finite(result)
+        arrays: dict[str, np.ndarray] = {}
+        meta = []
+        for i, result in enumerate(self._results):
+            meta.append(_result_to_dict(result, arrays=False))
+            arrays[f"resource_{i}"] = result.resource_series
+            arrays[f"throughput_{i}"] = result.throughput_series
+            arrays[f"plan_{i}"] = result.plan_matrix
+        header = {"version": 1, "n_experiments": len(self._results),
+                  "experiments": meta}
+        arrays["meta"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        try:
+            with path.open("wb") as handle:
+                np.savez_compressed(handle, **arrays)
+        except OSError as exc:
+            raise RepositoryError(f"cannot write {path}: {exc}") from exc
+        get_metrics().counter("repository.experiments_saved_total").inc(
+            len(self._results)
+        )
+        logger.debug(
+            "saved %d experiments to %s (npz)", len(self._results), path
+        )
+
+    @classmethod
+    def load_npz(cls, path: str | Path) -> "ExperimentRepository":
+        """Load a repository previously written by :meth:`save_npz`."""
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if "meta" not in archive.files:
+                    raise RepositoryError(
+                        f"{path} is not an experiment repository archive"
+                    )
+                header = json.loads(bytes(archive["meta"]).decode("utf-8"))
+                results = []
+                for i, entry in enumerate(header["experiments"]):
+                    payload = dict(entry)
+                    payload["resource_series"] = archive[f"resource_{i}"]
+                    payload["throughput_series"] = archive[f"throughput_{i}"]
+                    payload["plan_matrix"] = archive[f"plan_{i}"]
+                    results.append(_result_from_dict(payload))
+        except OSError as exc:
+            raise RepositoryError(f"cannot read {path}: {exc}") from exc
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            raise RepositoryError(f"{path} is corrupt: {exc}") from exc
+        get_metrics().counter("repository.experiments_loaded_total").inc(
+            len(results)
+        )
+        logger.debug(
+            "loaded %d experiments from %s (npz)", len(results), path
+        )
+        return cls(results)
+
+
+def results_equal(a: ExperimentResult, b: ExperimentResult) -> bool:
+    """Exact (bit-level) equality of two experiment results.
+
+    Arrays must match element-for-element with identical shapes; every
+    scalar, mapping, and metadata field must compare equal.  This is the
+    equivalence the determinism suite asserts between serial and parallel
+    corpus builds and between persistence formats.
+    """
+    for name in ARRAY_FIELDS:
+        x, y = getattr(a, name), getattr(b, name)
+        if x.shape != y.shape or not np.array_equal(x, y):
+            return False
+    return (
+        a.workload_name == b.workload_name
+        and a.workload_type == b.workload_type
+        and a.sku == b.sku
+        and a.terminals == b.terminals
+        and a.run_index == b.run_index
+        and a.data_group == b.data_group
+        and a.sample_interval_s == b.sample_interval_s
+        and list(a.plan_txn_names) == list(b.plan_txn_names)
+        and a.throughput == b.throughput
+        and a.latency_ms == b.latency_ms
+        and a.per_txn_latency_ms == b.per_txn_latency_ms
+        and a.per_txn_weights == b.per_txn_weights
+        and a.bottleneck == b.bottleneck
+        and a.subsample_index == b.subsample_index
+        and a.metadata == b.metadata
+    )
+
+
+def repositories_equal(
+    a: "ExperimentRepository", b: "ExperimentRepository"
+) -> bool:
+    """Exact equality of two repositories, including result order."""
+    if len(a) != len(b):
+        return False
+    return all(results_equal(x, y) for x, y in zip(a, b))

@@ -138,12 +138,19 @@ class ExperimentRunner:
         duration_s: float = 3600.0,
         sample_interval_s: float = 10.0,
         plan_observations: int = 3,
+        seed: int | None = None,
     ) -> ExperimentResult:
-        """Execute one experiment and collect all telemetry."""
+        """Execute one experiment and collect all telemetry.
+
+        ``seed`` pins the run's RNG stream explicitly; when ``None`` the
+        runner draws the next seed from its own generator, so a sequence
+        of calls with pre-drawn seeds (the grid executor's scheme) is
+        bit-identical to the same sequence of seedless calls.
+        """
         if duration_s <= 0 or sample_interval_s <= 0:
             raise ValidationError("duration and sample interval must be positive")
         n_samples = max(4, int(round(duration_s / sample_interval_s)))
-        run_seed = int(self._rng.integers(0, 2**62))
+        run_seed = int(self._rng.integers(0, 2**62)) if seed is None else int(seed)
         rng = as_generator(run_seed)
         with span(
             "runner.experiment",
@@ -240,6 +247,7 @@ class ExperimentRunner:
         n_runs: int = 3,
         duration_s: float = 3600.0,
         sample_interval_s: float = 10.0,
+        plan_observations: int = 3,
     ) -> list[ExperimentResult]:
         """Repeat an experiment ``n_runs`` times, one per data group."""
         return [
@@ -250,6 +258,7 @@ class ExperimentRunner:
                 data_group=run,
                 duration_s=duration_s,
                 sample_interval_s=sample_interval_s,
+                plan_observations=plan_observations,
             )
             for run in range(n_runs)
         ]

@@ -1,0 +1,119 @@
+"""Builders for the golden-regression fixtures under ``tests/golden/``.
+
+Each builder runs a small, fully seeded slice of the pipeline and
+returns a JSON-serializable summary of numbers the paper's figures and
+tables are derived from: per-experiment feature vectors and throughput,
+and the NRMSE of a seeded mini prediction pipeline.  The committed JSON
+files pin those numbers; ``tests/test_golden_regression.py`` asserts the
+current engine still produces them to within 1e-12 (exactly, for
+integers and strings).
+
+Regenerate after an *intentional* engine change with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and review the diff like any other behavioural change — a golden shift
+means every previously produced corpus and paper number shifts with it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.prediction.evaluation import (
+    build_scaling_dataset,
+    evaluate_baseline,
+    evaluate_pairwise_strategy,
+)
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    run_experiments,
+    workload_by_name,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def _experiment_summary(result) -> dict:
+    return {
+        "experiment_id": result.experiment_id,
+        "seed": result.metadata["seed"],
+        "throughput": result.throughput,
+        "latency_ms": result.latency_ms,
+        "bottleneck": result.bottleneck,
+        "n_samples": result.n_samples,
+        "feature_vector": result.feature_vector().tolist(),
+    }
+
+
+def tpcc_run_summary() -> dict:
+    """One fully seeded TPC-C experiment (runner-level golden)."""
+    runner = ExperimentRunner(workload_by_name("tpcc"), random_state=3)
+    result = runner.run(
+        SKU(cpus=8, memory_gb=32.0), terminals=8, duration_s=600.0
+    )
+    return _experiment_summary(result)
+
+
+def mini_corpus_summary() -> dict:
+    """A small two-workload grid (corpus-level golden).
+
+    Covers the seed-derivation scheme end to end: any change to
+    ``spawn_generators``, grid enumeration order, or per-task seeding
+    shifts these numbers.
+    """
+    repository = run_experiments(
+        [workload_by_name("tpcc"), workload_by_name("tpch")],
+        [SKU(cpus=4, memory_gb=32.0)],
+        terminals_for=lambda w: (1,) if w.name == "tpch" else (2,),
+        n_runs=2,
+        duration_s=300.0,
+        random_state=123,
+    )
+    return {"experiments": [_experiment_summary(r) for r in repository]}
+
+
+def mini_pipeline_nrmse() -> dict:
+    """NRMSE of a seeded mini scaling-prediction pipeline (Table 6 path)."""
+    repository = run_experiments(
+        [workload_by_name("tpcc")],
+        [SKU(cpus=2, memory_gb=32.0), SKU(cpus=4, memory_gb=32.0)],
+        terminals_for=lambda w: (4,),
+        n_runs=3,
+        duration_s=600.0,
+        random_state=7,
+    )
+    dataset = build_scaling_dataset(
+        repository, "tpcc", 4, n_series=5, random_state=0
+    )
+    score = evaluate_pairwise_strategy(
+        dataset, "Regression", cv=3, random_state=0
+    )
+    return {
+        "workload": "tpcc",
+        "strategy": score.strategy,
+        "context": score.context,
+        "mean_nrmse": score.mean_nrmse,
+        "baseline_nrmse": evaluate_baseline(dataset),
+    }
+
+
+#: Golden file name -> builder.
+BUILDERS = {
+    "tpcc_run_summary.json": tpcc_run_summary,
+    "mini_corpus_summary.json": mini_corpus_summary,
+    "mini_pipeline_nrmse.json": mini_pipeline_nrmse,
+}
+
+
+def regenerate(directory: Path | None = None) -> list[Path]:
+    """Write every golden file; returns the paths written."""
+    directory = directory or GOLDEN_DIR
+    written = []
+    for name, builder in BUILDERS.items():
+        path = directory / name
+        path.write_text(json.dumps(builder(), indent=2, sort_keys=True))
+        written.append(path)
+    return written

@@ -1,0 +1,19 @@
+"""Regenerate the golden-regression fixtures (see ``builders.py``).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1].parent))
+
+from tests.golden.builders import regenerate  # noqa: E402
+
+if __name__ == "__main__":
+    for path in regenerate():
+        print(f"wrote {path}")

@@ -1,0 +1,63 @@
+"""Golden-regression suite: the engine must keep producing paper numbers.
+
+The JSON fixtures under ``tests/golden/`` pin summaries of seeded runs
+(feature vectors, throughput, NRMSE of a mini prediction pipeline).  A
+failure here means an engine change shifted the numbers every figure and
+table is derived from — either fix the regression, or regenerate the
+fixtures (``PYTHONPATH=src python tests/golden/regenerate.py``) and
+justify the shift in review.
+
+Float comparisons allow 1e-12 absolute/relative tolerance (JSON round
+trips are exact; the slack only covers libm differences across
+platforms); strings and integers must match exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from tests.golden.builders import BUILDERS, GOLDEN_DIR
+
+ATOL = 1e-12
+RTOL = 1e-12
+
+
+def assert_matches(actual, expected, path="$"):
+    """Recursively compare a produced summary against its golden copy."""
+    assert type(actual) is type(expected) or (
+        isinstance(actual, (int, float)) and isinstance(expected, (int, float))
+    ), f"{path}: type {type(actual).__name__} != {type(expected).__name__}"
+    if isinstance(expected, dict):
+        assert actual.keys() == expected.keys(), f"{path}: key mismatch"
+        for key in expected:
+            assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert len(actual) == len(expected), f"{path}: length mismatch"
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, bool) or not isinstance(expected, (int, float)):
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+    else:
+        assert math.isclose(
+            actual, expected, rel_tol=RTOL, abs_tol=ATOL
+        ), f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_golden(name):
+    golden_path = GOLDEN_DIR / name
+    assert golden_path.exists(), (
+        f"missing golden fixture {name}; run tests/golden/regenerate.py"
+    )
+    expected = json.loads(golden_path.read_text())
+    actual = BUILDERS[name]()
+    assert_matches(actual, expected)
+
+
+def test_golden_files_have_no_strays():
+    """Every committed golden file is covered by a builder."""
+    committed = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(BUILDERS)

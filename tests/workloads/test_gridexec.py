@@ -1,0 +1,188 @@
+"""Determinism and correctness of the parallel grid executor.
+
+The suite locks down the property the whole optimisation rests on: a
+corpus built in parallel is **bit-identical** to one built serially with
+the same ``random_state``.  Everything here uses tiny grids (short
+durations, few runs) so the equivalence proofs stay inside the fast PR
+gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    enumerate_grid,
+    execute_grid,
+    repositories_equal,
+    results_equal,
+    run_experiments,
+    workload_by_name,
+)
+from repro.workloads.corpus import default_terminals
+from repro.workloads.gridexec import GridTask, resolve_jobs
+
+WORKLOADS = ["tpcc", "tpch"]
+SKUS = [SKU(cpus=4, memory_gb=32.0), SKU(cpus=8, memory_gb=32.0)]
+
+
+def small_grid(random_state=123):
+    return dict(
+        workloads=[workload_by_name(n) for n in WORKLOADS],
+        skus=SKUS,
+        terminals_for=lambda w: (1,) if w.name == "tpch" else (2, 4),
+        n_runs=2,
+        duration_s=120.0,
+        random_state=random_state,
+    )
+
+
+def build(jobs=None, random_state=123):
+    kw = small_grid(random_state)
+    return run_experiments(
+        kw.pop("workloads"), kw.pop("skus"), jobs=jobs, **kw
+    )
+
+
+class TestEnumerateGrid:
+    def test_grid_shape_and_order(self):
+        kw = small_grid()
+        tasks = enumerate_grid(
+            kw["workloads"], kw["skus"],
+            terminals_for=kw["terminals_for"], n_runs=2,
+            duration_s=120.0, sample_interval_s=10.0, random_state=123,
+        )
+        # tpcc: 2 SKUs x 2 terminal levels x 2 runs; tpch: 2 x 1 x 2.
+        assert len(tasks) == 8 + 4
+        assert [t.index for t in tasks] == list(range(12))
+        assert tasks[0].workload.name == "tpcc"
+        assert tasks[-1].workload.name == "tpch"
+        # Runs iterate fastest, then terminals, then SKUs.
+        assert (tasks[0].run_index, tasks[1].run_index) == (0, 1)
+        assert tasks[0].terminals == tasks[1].terminals
+
+    def test_seeds_are_deterministic_and_distinct(self):
+        kw = small_grid()
+        common = dict(
+            terminals_for=kw["terminals_for"], n_runs=2,
+            duration_s=120.0, sample_interval_s=10.0,
+        )
+        a = enumerate_grid(kw["workloads"], kw["skus"],
+                           random_state=123, **common)
+        b = enumerate_grid(kw["workloads"], kw["skus"],
+                           random_state=123, **common)
+        c = enumerate_grid(kw["workloads"], kw["skus"],
+                           random_state=124, **common)
+        assert [t.seed for t in a] == [t.seed for t in b]
+        assert [t.seed for t in a] != [t.seed for t in c]
+        assert len({t.seed for t in a}) == len(a)
+
+    def test_rejects_zero_runs(self):
+        kw = small_grid()
+        with pytest.raises(ValidationError):
+            enumerate_grid(
+                kw["workloads"], kw["skus"],
+                terminals_for=default_terminals, n_runs=0,
+                duration_s=120.0, sample_interval_s=10.0, random_state=0,
+            )
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_jobs(-2)
+
+
+class TestDeterminismEquivalence:
+    """Serial, jobs=1, and jobs=4 builds are bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return build(jobs=None)
+
+    def test_jobs1_bit_identical_to_serial(self, serial):
+        assert repositories_equal(serial, build(jobs=1))
+
+    def test_jobs4_bit_identical_to_serial(self, serial):
+        parallel = build(jobs=4)
+        assert repositories_equal(serial, parallel)
+
+    def test_experiment_id_sets_identical(self, serial):
+        parallel = build(jobs=4)
+        assert [r.experiment_id for r in serial] == [
+            r.experiment_id for r in parallel
+        ]
+
+    def test_seeds_recorded_in_metadata_match(self, serial):
+        parallel = build(jobs=4)
+        assert [r.metadata["seed"] for r in serial] == [
+            r.metadata["seed"] for r in parallel
+        ]
+
+    def test_different_random_state_differs(self, serial):
+        other = build(jobs=None, random_state=321)
+        assert not repositories_equal(serial, other)
+
+
+class TestExecuteGrid:
+    def test_results_in_task_order(self):
+        kw = small_grid()
+        tasks = enumerate_grid(
+            kw["workloads"], kw["skus"],
+            terminals_for=kw["terminals_for"], n_runs=2,
+            duration_s=120.0, sample_interval_s=10.0, random_state=123,
+        )
+        results = execute_grid(tasks, jobs=None)
+        assert len(results) == len(tasks)
+        for task, result in zip(tasks, results):
+            assert result.workload_name == task.workload.name
+            assert result.terminals == task.terminals
+            assert result.run_index == task.run_index
+            assert result.metadata["seed"] == task.seed
+
+    def test_report_attached(self):
+        kw = small_grid()
+        tasks = enumerate_grid(
+            kw["workloads"], kw["skus"],
+            terminals_for=lambda w: (1,), n_runs=1,
+            duration_s=60.0, sample_interval_s=10.0, random_state=9,
+        )
+        results = execute_grid(tasks, jobs=1)
+        report = results.report
+        assert report.n_tasks == len(tasks)
+        assert report.n_workers == 1
+        assert report.n_executed == len(tasks)
+        assert report.cache_hits == 0
+        assert report.to_dict()["n_tasks"] == len(tasks)
+
+    def test_explicit_seed_matches_runner_draw(self):
+        """A task's pre-drawn seed reproduces the runner's own draw."""
+        workload = workload_by_name("twitter")
+        sku = SKUS[0]
+        implicit = ExperimentRunner(workload, random_state=77).run(
+            sku, terminals=4, duration_s=120.0
+        )
+        explicit = ExperimentRunner(workload).run(
+            sku, terminals=4, duration_s=120.0,
+            seed=implicit.metadata["seed"],
+        )
+        assert results_equal(implicit, explicit)
+
+    def test_task_id_matches_experiment_id(self):
+        task = GridTask(
+            index=0, workload=workload_by_name("tpcc"), sku=SKUS[0],
+            terminals=2, run_index=1, data_group=1, duration_s=60.0,
+            sample_interval_s=10.0, plan_observations=3, seed=42,
+        )
+        results = execute_grid([task])
+        assert results[0].experiment_id == task.task_id

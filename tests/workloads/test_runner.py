@@ -86,3 +86,27 @@ class TestExperimentRunner:
             plan_observations=5,
         )
         assert result.plan_matrix.shape[0] == 25
+
+    def test_repetitions_forward_plan_observations(self):
+        """``run_repetitions`` must not silently drop ``plan_observations``."""
+        runner = ExperimentRunner(workload_by_name("tpcc"), random_state=0)
+        runs = runner.run_repetitions(
+            SKU(cpus=2, memory_gb=32.0),
+            terminals=4,
+            n_runs=2,
+            duration_s=600.0,
+            plan_observations=5,
+        )
+        assert all(r.plan_matrix.shape[0] == 25 for r in runs)
+        assert all(r.metadata["plan_observations"] == 5 for r in runs)
+
+    def test_explicit_seed_overrides_internal_stream(self):
+        sku = SKU(cpus=4, memory_gb=32.0)
+        a = ExperimentRunner(workload_by_name("tpcc"), random_state=1).run(
+            sku, terminals=8, duration_s=600.0, seed=999
+        )
+        b = ExperimentRunner(workload_by_name("tpcc"), random_state=2).run(
+            sku, terminals=8, duration_s=600.0, seed=999
+        )
+        np.testing.assert_array_equal(a.resource_series, b.resource_series)
+        assert a.metadata["seed"] == 999
