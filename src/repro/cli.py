@@ -6,6 +6,8 @@ Five subcommands mirror the pipeline stages:
   repository file;
 - ``repro corpus`` — build one of the paper's standard corpora (grid
   execution with ``--jobs`` workers and an optional on-disk cache);
+  ``--verify``/``--repair`` sweep that cache for corrupt or orphaned
+  entries instead of building;
 - ``repro select`` — rank telemetry features on a repository;
 - ``repro similarity`` — 1-NN / mAP / NDCG of a representation+measure
   combination on a repository;
@@ -163,11 +165,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="corpus random_state (default: the paper's per-corpus seed)",
     )
     corpus.add_argument(
-        "--out", required=True, help="output path (.json or .npz)"
+        "--out", default=None, help="output path (.json or .npz)"
     )
     corpus.add_argument(
         "--manifest-out", default=None, metavar="PATH",
         help="write the build's RunManifest (provenance) as JSON",
+    )
+    corpus.add_argument(
+        "--verify", action="store_true",
+        help="verify the integrity of the experiment cache instead of "
+        "building (exit 1 if corrupt or orphaned entries are found)",
+    )
+    corpus.add_argument(
+        "--repair", action="store_true",
+        help="like --verify, but delete damaged entries so the next "
+        "build recomputes them",
     )
 
     select = sub.add_parser(
@@ -257,11 +269,42 @@ def _cmd_simulate(args) -> int:
 _CORPUS_SEEDS = {"paper": 0, "scaling": 7, "production": 11}
 
 
+def _cmd_corpus_verify(args, cache_dir) -> int:
+    from repro.workloads import CorpusCache
+
+    if cache_dir is None:
+        print(
+            "error: --verify/--repair needs a cache directory "
+            "(--cache-dir or $REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    outcome = CorpusCache(cache_dir).verify(repair=args.repair)
+    print(
+        f"cache {cache_dir}: {outcome.n_ok}/{outcome.n_entries} entries ok, "
+        f"{len(outcome.corrupt)} corrupt, {len(outcome.orphaned)} orphaned"
+        f"{' (repaired)' if args.repair and not outcome.clean else ''}"
+    )
+    for key in outcome.corrupt:
+        print(f"  corrupt : {key}")
+    for path in outcome.orphaned:
+        print(f"  orphaned: {path}")
+    if outcome.clean or args.repair:
+        return 0
+    return 1
+
+
 def _cmd_corpus(args) -> int:
     from repro.workloads import paper_corpus, production_corpus, scaling_corpus
 
     seed = _CORPUS_SEEDS[args.kind] if args.seed is None else args.seed
     cache_dir = _resolve_cache_dir(args)
+    if args.verify or args.repair:
+        return _cmd_corpus_verify(args, cache_dir)
+    if not args.out:
+        print("error: --out is required when building a corpus",
+              file=sys.stderr)
+        return 2
     common = dict(
         n_runs=args.runs,
         duration_s=args.duration_s,
@@ -283,11 +326,20 @@ def _cmd_corpus(args) -> int:
     workers = int(metrics.gauge("gridexec.workers").value)
     hits = int(metrics.counter("corpus_cache.hits_total").value)
     misses = int(metrics.counter("corpus_cache.misses_total").value)
+    retried = int(metrics.counter("gridexec.retries_total").value)
+    quarantined = int(metrics.counter("gridexec.quarantined_total").value)
+    resumed = int(metrics.counter("gridexec.resumed_total").value)
     print(
         f"{args.kind} corpus: {len(repository)} experiments in "
         f"{elapsed:.1f}s ({workers} worker{'s' if workers != 1 else ''}, "
-        f"{hits} cache hits, {misses} misses)"
+        f"{hits} cache hits, {misses} misses, {resumed} resumed)"
     )
+    if quarantined:
+        print(
+            f"warning: {quarantined} task(s) quarantined after retries; "
+            "the corpus is incomplete (see the log for task ids)",
+            file=sys.stderr,
+        )
     if args.manifest_out:
         manifest = RunManifest(
             pipeline_config={},
@@ -307,6 +359,9 @@ def _cmd_corpus(args) -> int:
                     "cache_dir": cache_dir and str(cache_dir),
                     "cache_hits": hits,
                     "cache_misses": misses,
+                    "retried": retried,
+                    "quarantined": quarantined,
+                    "resumed": resumed,
                 },
             },
         )

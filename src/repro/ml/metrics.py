@@ -37,14 +37,25 @@ def normalized_rmse(y_true, y_pred) -> float:
     This is the paper's headline prediction metric (Table 6).  When the
     observed range is zero (a perfectly flat target), the RMSE is normalized
     by ``max(|y_true|, 1)`` instead so that the metric stays finite and
-    still reflects relative error.
+    still reflects relative error.  A range that is non-zero but
+    vanishingly small relative to the target's magnitude is rejected: the
+    near-zero denominator would amplify any error into an arbitrarily
+    large score that reads as signal but is pure floating-point noise.
     """
     y_true, y_pred = _paired(y_true, y_pred)
     span = float(np.max(y_true) - np.min(y_true))
     rmse = root_mean_squared_error(y_true, y_pred)
+    if rmse == 0.0:
+        return 0.0
     if span <= 0:
         scale = max(float(np.max(np.abs(y_true))), 1.0)
         return rmse / scale
+    if span < max(float(np.max(np.abs(y_true))), 1.0) * 1e-9:
+        raise ValidationError(
+            f"y_true is near-constant (range {span:.3e}); NRMSE would be "
+            "dominated by the vanishing denominator — use RMSE or a "
+            "magnitude-normalized metric for (near-)flat targets"
+        )
     return rmse / span
 
 

@@ -110,6 +110,17 @@ def build_scaling_dataset(
                 random_state=int(rng.integers(0, 2**62)),
             )
             if metric == "latency":
+                # The response-time law divides by throughput; a
+                # down-sampled window with zero mean throughput would
+                # yield an infinite latency that silently poisons every
+                # NRMSE computed downstream.
+                degenerate = int(np.sum(samples <= 0.0))
+                if degenerate:
+                    raise ValidationError(
+                        f"cannot convert throughput to latency for "
+                        f"{run.experiment_id}: {degenerate} down-sampled "
+                        f"window(s) have non-positive mean throughput"
+                    )
                 samples = run.terminals / samples * 1000.0
             values.append(samples)
             value_groups.append(np.full(samples.size, run.data_group))
@@ -142,6 +153,29 @@ class StrategyScore:
     mean_training_time_s: float
 
 
+def _check_evaluable(dataset: ScalingDataset, cv: int | None = None) -> None:
+    """Reject datasets that would score as a silent NaN.
+
+    A single-SKU dataset has no upward pairs, so ``np.mean([])`` would
+    produce a NaN score; a dataset with fewer observation slots than CV
+    folds cannot be split.  Both are caller errors and deserve a typed
+    exception rather than a NaN propagating into Table 6.
+    """
+    if not dataset.upward_pairs():
+        raise ValidationError(
+            f"dataset for workload={dataset.workload!r} has "
+            f"{len(dataset.sku_names)} SKU(s); scaling evaluation needs at "
+            "least two to form an upward pair"
+        )
+    if cv is not None:
+        n_slots = len(next(iter(dataset.observations.values())))
+        if n_slots < cv:
+            raise ValidationError(
+                f"cannot split {n_slots} observation slot(s) into {cv} "
+                "cross-validation folds; reduce cv or add runs/down-samples"
+            )
+
+
 def evaluate_pairwise_strategy(
     dataset: ScalingDataset,
     strategy: str,
@@ -153,18 +187,22 @@ def evaluate_pairwise_strategy(
 
     Folds are drawn over the aligned observation *slots* (run x
     down-sample), so the same execution context never appears in both the
-    train and test side of one pair.
+    train and test side of one pair.  Each pair draws two *independent*
+    seeds — one for fold shuffling, one for model randomness — so fold
+    assignment is decoupled from stochastic model internals.
     """
     rng = as_generator(random_state)
+    _check_evaluable(dataset, cv)
     all_scores, all_times = [], []
     for source, target in dataset.upward_pairs():
         y_source = dataset.observations[source]
         y_target = dataset.observations[target]
         pair_groups = dataset.groups[source]
-        seed = int(rng.integers(0, 2**31))
-        splitter = KFold(cv, shuffle=True, random_state=seed)
+        fold_seed = int(rng.integers(0, 2**31))
+        model_seed = int(rng.integers(0, 2**31))
+        splitter = KFold(cv, shuffle=True, random_state=fold_seed)
         for train_idx, test_idx in splitter.split(y_source):
-            model = PairwiseScalingModel(strategy, random_state=seed)
+            model = PairwiseScalingModel(strategy, random_state=model_seed)
             start = time.perf_counter()
             model.fit(
                 y_source[train_idx],
@@ -199,6 +237,7 @@ def evaluate_single_strategy(
     pair's held-out target observations — and averaged over the six pairs,
     making the value directly comparable to the pairwise context.
     """
+    _check_evaluable(dataset, cv)
     n_slots = len(next(iter(dataset.observations.values())))
     scores, times = [], []
     splitter = KFold(cv, shuffle=True, random_state=random_state)
@@ -239,6 +278,7 @@ def evaluate_baseline(dataset: ScalingDataset) -> float:
     latency data it divides (the paper's "if the number of CPUs increases
     from 2 to 4, the latency reduces by half").
     """
+    _check_evaluable(dataset)
     scores = []
     for source, target in dataset.upward_pairs():
         if dataset.metric == "latency":

@@ -40,10 +40,24 @@ from repro.workloads.runner import ExperimentResult, ExperimentRunner
 from repro.workloads.gridexec import (
     GridReport,
     GridTask,
+    ResumeJournal,
+    RetryPolicy,
     enumerate_grid,
     execute_grid,
 )
-from repro.workloads.cache import CorpusCache, task_fingerprint
+from repro.workloads.cache import (
+    CacheVerification,
+    CorpusCache,
+    task_fingerprint,
+)
+from repro.workloads.faults import (
+    FaultPlan,
+    KillSwitch,
+    TaskExceptionInjector,
+    TelemetryFaultInjector,
+    TornWriteInjector,
+    WorkerDeathInjector,
+)
 from repro.workloads.sampling import (
     augmented_throughputs,
     random_downsample,
@@ -97,10 +111,19 @@ __all__ = [
     "ExperimentRunner",
     "GridReport",
     "GridTask",
+    "ResumeJournal",
+    "RetryPolicy",
     "enumerate_grid",
     "execute_grid",
+    "CacheVerification",
     "CorpusCache",
     "task_fingerprint",
+    "FaultPlan",
+    "KillSwitch",
+    "TaskExceptionInjector",
+    "TelemetryFaultInjector",
+    "TornWriteInjector",
+    "WorkerDeathInjector",
     "systematic_subexperiments",
     "random_downsample",
     "augmented_throughputs",

@@ -13,8 +13,12 @@ Entries are stored in two files under a fan-out directory layout
 (``<root>/<key[:2]>/<key>.npz`` + ``<key>.json``): the ``.npz`` member
 holds the three bulky arrays in native binary form, the JSON sidecar
 holds every scalar field plus provenance (engine version, task id).
-Writes are atomic (temp file + rename); corrupt or partially written
-entries are treated as misses and never poison a build.
+Writes are atomic (temp file + rename) and land payload-first — the
+``.npz`` before the sidecar — so a crash between the two files leaves an
+orphaned payload that lookups (which require both files) treat as a
+miss.  Corrupt or partially written entries never poison a build, and
+:meth:`CorpusCache.verify` sweeps the whole store for checksum-level
+damage and orphans (``repro corpus --verify`` / ``--repair``).
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ import json
 import os
 import tempfile
 import zipfile
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 import numpy as np
@@ -85,16 +89,25 @@ class CorpusCache:
         """The cache key of a :class:`~repro.workloads.gridexec.GridTask`."""
         return task_fingerprint(task, version=self.version)
 
-    def _paths(self, key: str) -> tuple[Path, Path]:
+    def entry_paths(self, key: str) -> tuple[Path, Path]:
+        """``(payload, sidecar)`` paths an entry under ``key`` occupies."""
         shard = self.root / key[:2]
         return shard / f"{key}.npz", shard / f"{key}.json"
 
+    # Historical name, kept for callers predating ``entry_paths``.
+    _paths = entry_paths
+
     def __contains__(self, key: str) -> bool:
-        npz_path, json_path = self._paths(key)
+        npz_path, json_path = self.entry_paths(key)
         return npz_path.exists() and json_path.exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.npz"))
+        """Number of *complete* entries (payload and sidecar present)."""
+        return sum(
+            1
+            for npz_path in self.root.glob("??/*.npz")
+            if npz_path.with_suffix(".json").exists()
+        )
 
     # -- entry IO ------------------------------------------------------------
     def get(self, key: str) -> ExperimentResult | None:
@@ -105,18 +118,12 @@ class CorpusCache:
         the caller simply recomputes.
         """
         metrics = get_metrics()
-        npz_path, json_path = self._paths(key)
+        npz_path, json_path = self.entry_paths(key)
         if not (npz_path.exists() and json_path.exists()):
             metrics.counter("corpus_cache.misses_total").inc()
             return None
         try:
-            sidecar = json.loads(json_path.read_text())
-            payload = dict(sidecar["scalars"])
-            with np.load(npz_path, allow_pickle=False) as archive:
-                payload["resource_series"] = archive["resource_series"]
-                payload["throughput_series"] = archive["throughput_series"]
-                payload["plan_matrix"] = archive["plan_matrix"]
-            result = _result_from_dict(payload)
+            result = self._read_entry(npz_path, json_path)
         except (OSError, KeyError, ValueError, RepositoryError,
                 json.JSONDecodeError, zipfile.BadZipFile) as exc:
             logger.warning("corrupt cache entry %s: %s", key, exc)
@@ -126,21 +133,29 @@ class CorpusCache:
         metrics.counter("corpus_cache.hits_total").inc()
         return result
 
+    def _read_entry(self, npz_path: Path, json_path: Path) -> ExperimentResult:
+        """Deserialize one entry; raises on any corruption."""
+        sidecar = json.loads(json_path.read_text())
+        payload = dict(sidecar["scalars"])
+        with np.load(npz_path, allow_pickle=False) as archive:
+            payload["resource_series"] = archive["resource_series"]
+            payload["throughput_series"] = archive["throughput_series"]
+            payload["plan_matrix"] = archive["plan_matrix"]
+        return _result_from_dict(payload)
+
     def put(self, key: str, result: ExperimentResult) -> None:
-        """Store ``result`` under ``key`` atomically."""
+        """Store ``result`` under ``key`` atomically, payload first.
+
+        The ``.npz`` payload lands before the JSON sidecar: a crash
+        between the two writes leaves an orphaned payload, which every
+        lookup (requiring *both* files) treats as a miss and which
+        :meth:`clear`/:meth:`verify` sweep.  The historical
+        sidecar-first order left an orphaned *sidecar* that ``clear()``
+        and ``__len__`` (globbing only ``*.npz``) never saw.
+        """
         ensure_finite(result)
-        npz_path, json_path = self._paths(key)
+        npz_path, json_path = self.entry_paths(key)
         npz_path.parent.mkdir(parents=True, exist_ok=True)
-        sidecar = {
-            "version": CACHE_FORMAT_VERSION,
-            "engine_version": self.version,
-            "key": key,
-            "experiment_id": result.experiment_id,
-            "scalars": _result_to_dict(result, arrays=False),
-        }
-        _atomic_write_bytes(
-            json_path, json.dumps(sidecar).encode("utf-8")
-        )
         fd, tmp = tempfile.mkstemp(
             dir=npz_path.parent, prefix=".tmp-", suffix=".npz"
         )
@@ -158,16 +173,125 @@ class CorpusCache:
             raise RepositoryError(
                 f"cannot write cache entry {key}: {exc}"
             ) from exc
+        sidecar = {
+            "version": CACHE_FORMAT_VERSION,
+            "engine_version": self.version,
+            "key": key,
+            "experiment_id": result.experiment_id,
+            "scalars": _result_to_dict(result, arrays=False),
+        }
+        _atomic_write_bytes(
+            json_path, json.dumps(sidecar).encode("utf-8")
+        )
         get_metrics().counter("corpus_cache.writes_total").inc()
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of entries removed."""
-        removed = 0
-        for npz_path in self.root.glob("??/*.npz"):
-            _unlink_quietly(npz_path)
-            _unlink_quietly(npz_path.with_suffix(".json"))
-            removed += 1
-        return removed
+        """Delete every entry, sweeping orphans of both kinds.
+
+        Returns the number of distinct entries (stems) removed; an
+        orphaned payload or sidecar counts as one entry, as does a
+        leftover atomic-write temp file.
+        """
+        removed: set[Path] = set()
+        for pattern in ("??/*.npz", "??/*.json"):
+            for path in self.root.glob(pattern):
+                removed.add(path.with_suffix(""))
+                _unlink_quietly(path)
+        for tmp in self.root.glob("??/.tmp-*"):
+            removed.add(tmp)
+            _unlink_quietly(tmp)
+        return len(removed)
+
+    # -- integrity ----------------------------------------------------------
+    def verify(self, *, repair: bool = False) -> "CacheVerification":
+        """Sweep the store for corrupt entries and orphaned files.
+
+        Every complete entry is fully deserialized (zip CRC, JSON
+        parse, schema check, finiteness) and its sidecar key is checked
+        against the file name; payloads or sidecars missing their
+        counterpart — the signature of a torn write — and leftover
+        atomic-write temp files are reported as orphans.  With
+        ``repair=True`` everything damaged is deleted, turning it into
+        an ordinary miss for the next build.
+        """
+        metrics = get_metrics()
+        corrupt: list[str] = []
+        orphaned: list[str] = []
+        n_entries = 0
+        n_ok = 0
+        shards = sorted(
+            path for path in self.root.iterdir()
+            if path.is_dir() and len(path.name) == 2
+        ) if self.root.exists() else []
+        for shard in shards:
+            for tmp in sorted(shard.glob(".tmp-*")):
+                orphaned.append(str(tmp.relative_to(self.root)))
+                if repair:
+                    _unlink_quietly(tmp)
+            payloads = {p.stem: p for p in shard.glob("*.npz")}
+            sidecars = {p.stem: p for p in shard.glob("*.json")}
+            for stem in sorted(set(payloads) | set(sidecars)):
+                npz_path = payloads.get(stem)
+                json_path = sidecars.get(stem)
+                if npz_path is None or json_path is None:
+                    present = npz_path or json_path
+                    orphaned.append(str(present.relative_to(self.root)))
+                    if repair:
+                        _unlink_quietly(present)
+                    continue
+                n_entries += 1
+                try:
+                    result = self._read_entry(npz_path, json_path)
+                    ensure_finite(result)
+                    sidecar = json.loads(json_path.read_text())
+                    if sidecar.get("key") != stem:
+                        raise RepositoryError(
+                            f"sidecar key {sidecar.get('key')!r} does not "
+                            f"match file name"
+                        )
+                except (OSError, KeyError, ValueError, RepositoryError,
+                        json.JSONDecodeError, zipfile.BadZipFile) as exc:
+                    logger.warning("verify: corrupt entry %s: %s", stem, exc)
+                    corrupt.append(stem)
+                    if repair:
+                        _unlink_quietly(npz_path)
+                        _unlink_quietly(json_path)
+                else:
+                    n_ok += 1
+        metrics.counter("corpus_cache.verify_corrupt_total").inc(len(corrupt))
+        metrics.counter("corpus_cache.verify_orphans_total").inc(len(orphaned))
+        return CacheVerification(
+            n_entries=n_entries,
+            n_ok=n_ok,
+            corrupt=tuple(corrupt),
+            orphaned=tuple(orphaned),
+            repaired=repair,
+        )
+
+
+@dataclass(frozen=True)
+class CacheVerification:
+    """Outcome of one :meth:`CorpusCache.verify` sweep."""
+
+    n_entries: int
+    n_ok: int
+    corrupt: tuple  # entry keys that failed deserialization
+    orphaned: tuple  # root-relative paths missing their counterpart
+    repaired: bool
+
+    @property
+    def clean(self) -> bool:
+        """Whether the sweep found nothing wrong."""
+        return not self.corrupt and not self.orphaned
+
+    def to_dict(self) -> dict:
+        return {
+            "n_entries": self.n_entries,
+            "n_ok": self.n_ok,
+            "corrupt": list(self.corrupt),
+            "orphaned": list(self.orphaned),
+            "repaired": self.repaired,
+        }
 
 
 def as_cache(cache: "CorpusCache | str | Path | None") -> CorpusCache | None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.obs.logging import get_logger
 from repro.utils.rng import RandomState
 from repro.workloads.cache import CorpusCache, as_cache
 from repro.workloads.catalog import (
@@ -29,6 +30,8 @@ from repro.workloads.repository import ExperimentRepository
 from repro.workloads.sampling import systematic_subexperiments
 from repro.workloads.sku import SKU, paper_cpu_skus, production_sku
 from repro.workloads.spec import WorkloadSpec
+
+logger = get_logger(__name__)
 
 #: Type accepted everywhere a cache can be supplied: an existing
 #: :class:`CorpusCache`, a directory to create one in, or ``None``.
@@ -57,6 +60,8 @@ def run_experiments(
     random_state: RandomState = 0,
     jobs: int | None = None,
     cache: CacheLike = None,
+    retry=None,
+    faults=None,
 ) -> ExperimentRepository:
     """Run the full (workload x SKU x terminals x run) grid.
 
@@ -67,6 +72,13 @@ def run_experiments(
     uses one worker per CPU.  ``cache`` (a directory or a
     :class:`~repro.workloads.cache.CorpusCache`) short-circuits tasks
     whose results were already computed by an earlier build.
+
+    ``retry`` (a :class:`~repro.workloads.gridexec.RetryPolicy` or an
+    attempt count) and ``faults`` (a
+    :class:`~repro.workloads.faults.FaultPlan`) pass through to
+    :func:`~repro.workloads.gridexec.execute_grid`.  Tasks that exhaust
+    their retries are quarantined rather than aborting the build: the
+    repository simply lacks those experiments, and a warning names them.
     """
     tasks = enumerate_grid(
         workloads,
@@ -77,8 +89,19 @@ def run_experiments(
         sample_interval_s=sample_interval_s,
         random_state=random_state,
     )
-    results = execute_grid(tasks, jobs=jobs, cache=as_cache(cache))
-    return ExperimentRepository(list(results))
+    results = execute_grid(
+        tasks, jobs=jobs, cache=as_cache(cache), retry=retry, faults=faults
+    )
+    report = results.report
+    if report is not None and report.n_quarantined:
+        logger.warning(
+            "corpus build quarantined %d of %d tasks; repository is "
+            "incomplete: %s",
+            report.n_quarantined,
+            report.n_tasks,
+            ", ".join(task_id for task_id, _ in report.quarantined),
+        )
+    return ExperimentRepository([r for r in results if r is not None])
 
 
 def expand_subexperiments(

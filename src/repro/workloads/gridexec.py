@@ -23,20 +23,43 @@ array equality between ``jobs=1`` and ``jobs=4`` builds.
 An optional content-addressed :class:`repro.workloads.cache.CorpusCache`
 short-circuits tasks whose results are already on disk; only cache
 misses are executed.
+
+Execution is crash-safe (``tests/workloads/test_faults.py``):
+
+- every task gets up to :attr:`RetryPolicy.max_attempts` attempts with
+  capped exponential backoff between them;
+- tasks that keep failing are **quarantined** — recorded on the
+  :class:`GridReport` instead of aborting the build;
+- a dead worker process (broken pool) triggers a pool rebuild and a
+  resubmission of the unfinished tasks, with one final serial attempt
+  before anything is quarantined for pool breakage it may not have
+  caused;
+- every completed task fingerprint is appended to a
+  :class:`ResumeJournal` (``journal.jsonl`` in the cache directory), so
+  a build killed mid-flight resumes with zero re-simulation of finished
+  tasks and reports how many it resumed.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.exceptions import ValidationError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import span
 from repro.utils.rng import RandomState, spawn_generators
+from repro.workloads.repository import ensure_finite
 from repro.workloads.runner import ExperimentResult, ExperimentRunner
 from repro.workloads.sku import SKU
 from repro.workloads.spec import WorkloadSpec
@@ -79,6 +102,140 @@ class GridTask:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry budget with capped exponential backoff.
+
+    ``max_attempts`` counts attempts, not retries: the default of 3
+    means one initial attempt plus up to two retries.  The ``n``-th
+    retry sleeps ``min(backoff_cap_s, backoff_base_s * 2**(n-1))``;
+    a zero base disables sleeping entirely (what tests use).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 5.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValidationError("backoff durations must be >= 0")
+
+    def delay_s(self, retry_number: int) -> float:
+        """Seconds to sleep before retry ``retry_number`` (1-based)."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * 2 ** (max(retry_number, 1) - 1),
+        )
+
+
+def as_retry_policy(retry: "RetryPolicy | int | None") -> RetryPolicy:
+    """Normalize a retry argument: ``None``, an attempt count, or a policy."""
+    if retry is None:
+        return RetryPolicy()
+    if isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, int):
+        return RetryPolicy(max_attempts=retry)
+    raise TypeError(
+        "retry must be None, an int, or a RetryPolicy, "
+        f"got {type(retry).__name__}"
+    )
+
+
+class ResumeJournal:
+    """Append-only JSONL record of completed task fingerprints.
+
+    One line per completed task (``{"key": ..., "task_id": ...}``),
+    appended after the result is safely in the cache.  Appends are a
+    single small write, and loading tolerates a torn final line — the
+    worst a SIGKILL can leave behind — so an interrupted build's journal
+    is always usable for resume accounting.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._keys: set[str] = set()
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            logger.warning("cannot read journal %s: %s", self.path, exc)
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn tail from an interrupted append; everything
+                # before it is intact.
+                logger.warning(
+                    "journal %s: skipping torn line %r", self.path, line[:40]
+                )
+                continue
+            key = entry.get("key") if isinstance(entry, dict) else None
+            if isinstance(key, str):
+                self._keys.add(key)
+
+    def keys(self) -> frozenset:
+        """The fingerprints of every journaled (completed) task."""
+        return frozenset(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def record(self, key: str, task_id: str = "") -> None:
+        """Append ``key`` to the journal (idempotent per journal object)."""
+        if key in self._keys:
+            return
+        self._keys.add(key)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            line = json.dumps({"key": key, "task_id": task_id}) + "\n"
+            with self.path.open("a+b") as handle:
+                # A torn tail from an earlier kill has no newline; heal
+                # it so this append starts a fresh parseable line.
+                handle.seek(0, os.SEEK_END)
+                if handle.tell():
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                handle.write(line.encode("utf-8"))
+                handle.flush()
+        except OSError as exc:
+            # The journal is an accounting aid, not a correctness
+            # requirement (the cache itself carries the results).
+            logger.warning("cannot append to journal %s: %s", self.path, exc)
+
+
+def _resolve_journal(journal, cache) -> ResumeJournal | None:
+    """Normalize the journal argument; default to one in the cache root."""
+    if journal is False:
+        return None
+    if isinstance(journal, ResumeJournal):
+        return journal
+    if journal is not None:
+        return ResumeJournal(journal)
+    root = getattr(cache, "root", None)
+    if root is None:
+        return None
+    return ResumeJournal(Path(root) / "journal.jsonl")
+
+
+@dataclass(frozen=True)
 class GridReport:
     """What one :func:`execute_grid` call actually did."""
 
@@ -88,6 +245,11 @@ class GridReport:
     cache_hits: int
     cache_misses: int
     elapsed_s: float
+    n_retried: int = 0
+    n_quarantined: int = 0
+    n_resumed: int = 0
+    #: ``(task_id, reason)`` pairs for tasks that exhausted their retries.
+    quarantined: tuple = ()
 
     def to_dict(self) -> dict:
         return {
@@ -97,11 +259,20 @@ class GridReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "elapsed_s": self.elapsed_s,
+            "n_retried": self.n_retried,
+            "n_quarantined": self.n_quarantined,
+            "n_resumed": self.n_resumed,
+            "quarantined": [list(item) for item in self.quarantined],
         }
 
 
 class GridResults(list):
-    """Results in grid order, carrying the :class:`GridReport`."""
+    """Results in grid order, carrying the :class:`GridReport`.
+
+    Positions of quarantined tasks hold ``None``; consumers that need a
+    dense collection (e.g. ``run_experiments``) drop them and surface
+    the quarantine list from the report.
+    """
 
     report: GridReport | None = None
 
@@ -179,11 +350,56 @@ def _run_task(task: GridTask) -> ExperimentResult:
     )
 
 
+def _run_task_faulted(task: GridTask, attempt: int, faults,
+                      in_worker: bool) -> ExperimentResult:
+    """Execute one task with fault hooks; ships to workers when parallel."""
+    if faults is not None:
+        faults.before_run(task, attempt, in_worker=in_worker)
+    result = _run_task(task)
+    if faults is not None:
+        result = faults.mutate_result(task, attempt, result)
+    return result
+
+
+def _store_result(cache, key, task, attempt, result, faults, journal) -> None:
+    """Persist a validated result: cache write, fault hook, journal line.
+
+    A failed cache write is logged and counted, never fatal — the result
+    is already in memory and the cache is only an optimization.
+    """
+    if cache is not None and key is not None:
+        try:
+            cache.put(key, result)
+        except Exception as exc:
+            logger.warning(
+                "cache write failed for %s: %s", task.task_id, exc
+            )
+            get_metrics().counter("corpus_cache.write_errors_total").inc()
+        else:
+            if faults is not None:
+                faults.after_put(cache, key, task, attempt)
+    if journal is not None and key is not None:
+        journal.record(key, task.task_id)
+
+
+def _quarantine(quarantined: list, task: GridTask, exc: BaseException) -> None:
+    reason = f"{type(exc).__name__}: {exc}"
+    quarantined.append((task.task_id, reason))
+    get_metrics().counter("gridexec.quarantined_total").inc()
+    logger.error(
+        "task %s quarantined after exhausting retries: %s",
+        task.task_id, reason,
+    )
+
+
 def execute_grid(
     tasks: list[GridTask],
     *,
     jobs: int | None = None,
     cache=None,
+    retry: "RetryPolicy | int | None" = None,
+    faults=None,
+    journal=None,
 ) -> GridResults:
     """Run every task and return results in task order.
 
@@ -193,34 +409,59 @@ def execute_grid(
     the cache misses are fanned out over a ``ProcessPoolExecutor``; if
     the pool cannot be created (restricted environments) execution falls
     back to serial with a warning rather than failing the build.
+
+    ``retry`` (a :class:`RetryPolicy`, an attempt count, or ``None`` for
+    the defaults) bounds per-task attempts; tasks that keep failing are
+    quarantined on the report, with ``None`` at their result position.
+    ``faults`` (a :class:`~repro.workloads.faults.FaultPlan`) injects
+    deterministic failures for testing.  ``journal`` is a
+    :class:`ResumeJournal`, a path, ``False`` to disable, or ``None`` to
+    derive ``journal.jsonl`` inside the cache directory.
     """
     metrics = get_metrics()
+    retry = as_retry_policy(retry)
     n_workers = resolve_jobs(jobs)
+    journal = _resolve_journal(journal, cache)
+    journaled = journal.keys() if journal is not None else frozenset()
     results: GridResults = GridResults([None] * len(tasks))
-    pending: list[tuple[int, GridTask]] = []
+    pending: list[tuple[int, GridTask, str | None]] = []
     hits = 0
+    resumed = 0
     start = time.perf_counter()
     with span(
         "gridexec.grid",
         attrs={"tasks": len(tasks), "workers": n_workers},
     ):
         if cache is None:
-            pending = list(enumerate(tasks))
+            pending = [(position, task, None)
+                       for position, task in enumerate(tasks)]
         else:
             for position, task in enumerate(tasks):
-                cached = cache.get(cache.task_key(task))
+                key = cache.task_key(task)
+                cached = cache.get(key)
                 if cached is None:
-                    pending.append((position, task))
+                    pending.append((position, task, key))
                 else:
                     results[position] = cached
                     hits += 1
+                    if key in journaled:
+                        resumed += 1
+                    elif journal is not None:
+                        journal.record(key, task.task_id)
         if n_workers > 1 and len(pending) > 1:
-            executed = _execute_parallel(pending, results, n_workers, cache)
+            executed, retried, quarantined = _execute_parallel(
+                pending, results, n_workers, cache, retry, faults, journal
+            )
         else:
             n_workers = 1
-            executed = _execute_serial(pending, results, cache)
+            executed, retried, quarantined = _execute_serial(
+                [(p, t, k, 0) for p, t, k in pending],
+                results, cache, retry, faults, journal,
+            )
     metrics.gauge("gridexec.workers").set(n_workers)
     metrics.counter("gridexec.tasks_total").inc(len(tasks))
+    if resumed:
+        metrics.counter("gridexec.resumed_total").inc(resumed)
     elapsed = time.perf_counter() - start
     results.report = GridReport(
         n_tasks=len(tasks),
@@ -229,54 +470,208 @@ def execute_grid(
         cache_hits=hits,
         cache_misses=len(pending),
         elapsed_s=elapsed,
+        n_retried=retried,
+        n_quarantined=len(quarantined),
+        n_resumed=resumed,
+        quarantined=tuple(quarantined),
     )
     logger.debug(
-        "grid: %d tasks, %d workers, %d hits, %d executed in %.2fs",
-        len(tasks), n_workers, hits, executed, elapsed,
+        "grid: %d tasks, %d workers, %d hits (%d resumed), %d executed, "
+        "%d retried, %d quarantined in %.2fs",
+        len(tasks), n_workers, hits, resumed, executed, retried,
+        len(quarantined), elapsed,
     )
     return results
 
 
-def _execute_serial(pending, results, cache) -> int:
-    for position, task in pending:
-        with span("gridexec.task", attrs={"task": task.task_id}):
-            result = _run_task(task)
-        if cache is not None:
-            cache.put(cache.task_key(task), result)
-        results[position] = result
-    return len(pending)
-
-
-def _execute_parallel(pending, results, n_workers, cache) -> int:
-    """Fan pending tasks out over a process pool, serial on failure."""
-    try:
-        pool = ProcessPoolExecutor(max_workers=n_workers)
-    except (OSError, PermissionError, ValueError) as exc:
-        logger.warning(
-            "process pool unavailable (%s); falling back to serial", exc
-        )
-        return _execute_serial(pending, results, cache)
+def _execute_serial(
+    items, results, cache, retry, faults, journal
+) -> tuple[int, int, list]:
+    """Run ``(position, task, key, first_attempt)`` items in-process."""
     metrics = get_metrics()
-    try:
-        futures = {
-            pool.submit(_run_task, task): (position, task)
-            for position, task in pending
-        }
-        outstanding = set(futures)
-        while outstanding:
-            done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in done:
-                position, task = futures[future]
+    executed = 0
+    retried = 0
+    quarantined: list = []
+    for position, task, key, first_attempt in items:
+        attempt = first_attempt
+        while True:
+            try:
                 with span(
-                    "gridexec.task.collect", attrs={"task": task.task_id}
+                    "gridexec.task",
+                    attrs={"task": task.task_id, "attempt": attempt},
                 ):
-                    result = future.result()
-                # Worker-side metric increments die with the worker
-                # process; account for the execution here instead.
-                metrics.counter("runner.experiments_total").inc()
-                if cache is not None:
-                    cache.put(cache.task_key(task), result)
-                results[position] = result
-    finally:
-        pool.shutdown(wait=True)
-    return len(pending)
+                    result = _run_task_faulted(
+                        task, attempt, faults, in_worker=False
+                    )
+                ensure_finite(result)
+            except Exception as exc:
+                attempt += 1
+                if attempt < retry.max_attempts:
+                    retried += 1
+                    metrics.counter("gridexec.retries_total").inc()
+                    logger.warning(
+                        "task %s attempt %d failed (%s: %s); retrying",
+                        task.task_id, attempt - 1, type(exc).__name__, exc,
+                    )
+                    _sleep_backoff(retry, attempt - first_attempt)
+                    continue
+                _quarantine(quarantined, task, exc)
+                break
+            _store_result(cache, key, task, attempt, result, faults, journal)
+            results[position] = result
+            executed += 1
+            if faults is not None:
+                faults.after_task(task)
+            break
+    return executed, retried, quarantined
+
+
+def _sleep_backoff(retry: RetryPolicy, retry_number: int) -> None:
+    delay = retry.delay_s(retry_number)
+    if delay > 0:
+        time.sleep(delay)
+
+
+def _execute_parallel(
+    pending, results, n_workers, cache, retry, faults, journal
+) -> tuple[int, int, list]:
+    """Fan pending tasks out over a process pool.
+
+    The pool is rebuilt when a worker dies (the pool object is unusable
+    after a ``BrokenProcessPool``); unfinished tasks are resubmitted with
+    an incremented attempt.  Because pool breakage cannot be attributed
+    to a single task, tasks whose attempts are exhausted *by breakage*
+    get one final serial attempt — in-process, where a crashing task can
+    be identified — before quarantine.  If no pool can be created at
+    all, everything runs serially with a warning.
+    """
+    metrics = get_metrics()
+    queue = [(position, task, key, 0) for position, task, key in pending]
+    executed = 0
+    retried = 0
+    quarantined: list = []
+    last_chance: list = []  # exhausted by pool breakage; retried serially
+
+    while queue:
+        try:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        except (OSError, PermissionError, ValueError) as exc:
+            logger.warning(
+                "process pool unavailable (%s); falling back to serial", exc
+            )
+            e, r, q = _execute_serial(
+                queue, results, cache, retry, faults, journal
+            )
+            return executed + e, retried + r, quarantined + q
+        broken = False
+        futures: dict = {}
+        handled: set = set()
+        requeue: list = []
+        try:
+            try:
+                for item in queue:
+                    position, task, key, attempt = item
+                    futures[pool.submit(
+                        _run_task_faulted, task, attempt, faults, True
+                    )] = item
+            except BrokenExecutor:
+                broken = True
+            queue = []
+            outstanding = set(futures)
+            while outstanding and not broken:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    handled.add(future)
+                    position, task, key, attempt = futures[future]
+                    try:
+                        with span(
+                            "gridexec.task.collect",
+                            attrs={"task": task.task_id, "attempt": attempt},
+                        ):
+                            result = future.result()
+                        ensure_finite(result)
+                    except BrokenExecutor:
+                        # The worker executing *some* task died; this
+                        # future is collateral.  Requeue and rebuild.
+                        broken = True
+                        requeue.append((position, task, key, attempt + 1))
+                        continue
+                    except Exception as exc:
+                        next_attempt = attempt + 1
+                        if next_attempt < retry.max_attempts:
+                            retried += 1
+                            metrics.counter("gridexec.retries_total").inc()
+                            logger.warning(
+                                "task %s attempt %d failed (%s: %s); "
+                                "retrying",
+                                task.task_id, attempt,
+                                type(exc).__name__, exc,
+                            )
+                            _sleep_backoff(retry, next_attempt)
+                            try:
+                                new = pool.submit(
+                                    _run_task_faulted, task, next_attempt,
+                                    faults, True,
+                                )
+                            except BrokenExecutor:
+                                broken = True
+                                requeue.append(
+                                    (position, task, key, next_attempt)
+                                )
+                            else:
+                                futures[new] = (
+                                    position, task, key, next_attempt
+                                )
+                                outstanding.add(new)
+                        else:
+                            _quarantine(quarantined, task, exc)
+                        continue
+                    # Worker-side metric increments die with the worker
+                    # process; account for the execution here instead.
+                    metrics.counter("runner.experiments_total").inc()
+                    _store_result(
+                        cache, key, task, attempt, result, faults, journal
+                    )
+                    results[position] = result
+                    executed += 1
+                    if faults is not None:
+                        faults.after_task(task)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if broken:
+            metrics.counter("gridexec.pool_rebuilds_total").inc()
+            for future, item in futures.items():
+                if future in handled:
+                    continue
+                position, task, key, attempt = item
+                requeue.append((position, task, key, attempt + 1))
+            for position, task, key, attempt in requeue:
+                retried += 1
+                metrics.counter("gridexec.retries_total").inc()
+                if attempt < retry.max_attempts:
+                    queue.append((position, task, key, attempt))
+                else:
+                    # Cannot know whether this task killed the pool;
+                    # give it one attributable in-process attempt.
+                    last_chance.append((position, task, key, attempt))
+            if queue or last_chance:
+                logger.warning(
+                    "worker pool broke; rebuilding (%d tasks requeued, "
+                    "%d falling back to serial)",
+                    len(queue), len(last_chance),
+                )
+
+    if last_chance:
+        final_policy = RetryPolicy(
+            max_attempts=max(a for _, _, _, a in last_chance) + 1,
+            backoff_base_s=0.0,
+        )
+        e, r, q = _execute_serial(
+            last_chance, results, cache, final_policy, faults, journal
+        )
+        executed += e
+        retried += r
+        quarantined += q
+    return executed, retried, quarantined

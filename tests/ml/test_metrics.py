@@ -45,6 +45,22 @@ class TestRegressionMetrics:
     def test_nrmse_flat_target_stays_finite(self):
         assert np.isfinite(normalized_rmse([5.0, 5.0], [6.0, 6.0]))
 
+    def test_nrmse_perfect_prediction_is_zero_even_when_flat(self):
+        assert normalized_rmse([5.0, 5.0], [5.0, 5.0]) == 0.0
+        near_flat = [1e6, 1e6 + 1e-7]
+        assert normalized_rmse(near_flat, near_flat) == 0.0
+
+    def test_nrmse_near_constant_target_rejected(self):
+        """A vanishing (but non-zero) range would amplify any error into
+        floating-point noise masquerading as a huge score."""
+        y_true = [1e6, 1e6 + 1e-7]
+        with pytest.raises(ValidationError, match="near-constant"):
+            normalized_rmse(y_true, [1e6, 1e6])
+
+    def test_nrmse_small_but_sane_range_still_works(self):
+        # A small absolute range on a small-magnitude target is fine.
+        assert np.isfinite(normalized_rmse([0.0, 1e-6], [0.0, 2e-6]))
+
     def test_mae(self):
         assert mean_absolute_error([1, 2], [2, 4]) == 1.5
 

@@ -4,6 +4,7 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.prediction.baseline import InverseLinearBaseline
 from repro.prediction.evaluation import (
+    ScalingDataset,
     build_scaling_dataset,
     evaluate_baseline,
     evaluate_pairwise_strategy,
@@ -14,6 +15,24 @@ from repro.prediction.evaluation import (
 @pytest.fixture(scope="module")
 def tpcc_dataset(scaling_repo):
     return build_scaling_dataset(scaling_repo, "tpcc", 8, random_state=0)
+
+
+def toy_dataset(sku_names=("s2", "s4"), n_slots=10):
+    """A hand-built dataset small enough to hit the degenerate guards."""
+    cpu = {"s2": 2, "s4": 4}
+    return ScalingDataset(
+        workload="toy",
+        terminals=4,
+        sku_names=list(sku_names),
+        cpu_counts={name: cpu[name] for name in sku_names},
+        observations={
+            name: np.linspace(100.0, 200.0, n_slots) * cpu[name]
+            for name in sku_names
+        },
+        groups={
+            name: np.zeros(n_slots, dtype=int) for name in sku_names
+        },
+    )
 
 
 class TestInverseLinearBaseline:
@@ -99,3 +118,106 @@ class TestStrategyEvaluation:
             tpcc_dataset, "Regression", random_state=3
         ).mean_nrmse
         assert a == b
+
+    def test_fold_and_model_seeds_are_independent(
+        self, tpcc_dataset, monkeypatch
+    ):
+        """Regression: one seed used to drive both the KFold shuffle and
+        the model's random_state, coupling fold assignment to stochastic
+        model internals."""
+        from repro.prediction import evaluation as evaluation_module
+
+        fold_seeds, model_seeds = [], []
+        real_kfold = evaluation_module.KFold
+        real_model = evaluation_module.PairwiseScalingModel
+
+        class RecordingKFold(real_kfold):
+            def __init__(self, n_splits, shuffle=False, random_state=None):
+                fold_seeds.append(random_state)
+                super().__init__(
+                    n_splits, shuffle=shuffle, random_state=random_state
+                )
+
+        class RecordingModel(real_model):
+            def __init__(self, strategy, random_state=None):
+                model_seeds.append(random_state)
+                super().__init__(strategy, random_state=random_state)
+
+        monkeypatch.setattr(evaluation_module, "KFold", RecordingKFold)
+        monkeypatch.setattr(
+            evaluation_module, "PairwiseScalingModel", RecordingModel
+        )
+        evaluation_module.evaluate_pairwise_strategy(
+            tpcc_dataset, "Regression", cv=5, random_state=0
+        )
+        assert len(fold_seeds) == 6  # one KFold per upward pair
+        assert len(model_seeds) == 6 * 5  # one model per fold
+        for pair, fold_seed in enumerate(fold_seeds):
+            pair_model_seeds = set(model_seeds[pair * 5 : (pair + 1) * 5])
+            assert len(pair_model_seeds) == 1  # stable across folds
+            assert pair_model_seeds.pop() != fold_seed
+
+
+class TestDegenerateInputs:
+    def test_latency_conversion_rejects_zero_throughput_windows(self):
+        """Regression: ``terminals / samples`` divided by zero silently,
+        poisoning every downstream NRMSE with inf."""
+        from repro.workloads import (
+            SKU,
+            ExperimentRepository,
+            run_experiments,
+            workload_by_name,
+        )
+        from repro.workloads.runner import clone_with
+
+        repo = run_experiments(
+            [workload_by_name("tpcc")],
+            [SKU(cpus=2, memory_gb=32.0), SKU(cpus=4, memory_gb=32.0)],
+            terminals_for=lambda w: (4,),
+            n_runs=1,
+            duration_s=300.0,
+            random_state=5,
+        )
+        results = list(repo)
+        zeroed = clone_with(
+            results[0],
+            throughput_series=np.zeros_like(results[0].throughput_series),
+        )
+        broken = ExperimentRepository([zeroed] + results[1:])
+        with pytest.raises(ValidationError, match="non-positive mean"):
+            build_scaling_dataset(
+                broken, "tpcc", 4, metric="latency", n_series=3
+            )
+
+    def test_latency_metric_builds_finite_dataset(self, scaling_repo):
+        dataset = build_scaling_dataset(
+            scaling_repo, "tpcc", 8, metric="latency", random_state=0
+        )
+        assert dataset.metric == "latency"
+        for name in dataset.sku_names:
+            values = dataset.observations[name]
+            assert np.isfinite(values).all()
+            assert (values > 0).all()
+
+    def test_single_sku_dataset_rejected(self):
+        """np.mean over zero pairs used to emit a silent NaN score."""
+        lonely = toy_dataset(sku_names=("s2",))
+        with pytest.raises(ValidationError, match="at least two"):
+            evaluate_pairwise_strategy(lonely, "Regression")
+        with pytest.raises(ValidationError, match="at least two"):
+            evaluate_single_strategy(lonely, "Regression")
+        with pytest.raises(ValidationError, match="at least two"):
+            evaluate_baseline(lonely)
+
+    def test_fewer_slots_than_folds_rejected(self):
+        sparse = toy_dataset(n_slots=3)
+        with pytest.raises(ValidationError, match="folds"):
+            evaluate_pairwise_strategy(sparse, "Regression", cv=5)
+        with pytest.raises(ValidationError, match="folds"):
+            evaluate_single_strategy(sparse, "Regression", cv=5)
+
+    def test_enough_slots_still_evaluates(self):
+        score = evaluate_pairwise_strategy(
+            toy_dataset(n_slots=10), "Regression", cv=5, random_state=0
+        )
+        assert np.isfinite(score.mean_nrmse)

@@ -66,6 +66,66 @@ class TestSimulate:
         assert "txn/s" in out and "bottleneck" in out
 
 
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        """One cached paper-corpus build shared by the class."""
+        root = tmp_path_factory.mktemp("corpus")
+        out = root / "paper.npz"
+        cache_dir = root / "cache"
+        code = main(
+            [
+                "corpus", "--kind", "paper", "--runs", "1",
+                "--duration-s", "300", "--out", str(out),
+                "--cache-dir", str(cache_dir),
+                "--manifest-out", str(root / "manifest.json"),
+            ]
+        )
+        assert code == 0
+        return out, cache_dir, root / "manifest.json"
+
+    def test_build_writes_repository_and_manifest(self, built, capsys):
+        out, cache_dir, manifest_path = built
+        assert len(ExperimentRepository.load_npz(out)) > 0
+        grid = json.loads(manifest_path.read_text())["extra"]["grid"]
+        assert grid["quarantined"] == 0
+        assert grid["retried"] == 0
+        assert "resumed" in grid
+
+    def test_build_requires_out(self, capsys):
+        assert main(["corpus", "--kind", "paper", "--no-cache"]) == 2
+        assert "--out is required" in capsys.readouterr().err
+
+    def test_verify_requires_cache_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["corpus", "--verify"]) == 2
+        assert "cache directory" in capsys.readouterr().err
+
+    def test_verify_clean_cache(self, built, capsys):
+        _, cache_dir, _ = built
+        code = main(
+            ["corpus", "--verify", "--cache-dir", str(cache_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 corrupt, 0 orphaned" in out
+
+    def test_verify_then_repair_damaged_cache(self, built, capsys):
+        _, cache_dir, _ = built
+        victim = next(cache_dir.glob("??/*.npz"))
+        victim.write_bytes(b"bit rot")
+        assert main(
+            ["corpus", "--verify", "--cache-dir", str(cache_dir)]
+        ) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+        assert main(
+            ["corpus", "--repair", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert main(
+            ["corpus", "--verify", "--cache-dir", str(cache_dir)]
+        ) == 0
+
+
 class TestSelect:
     def test_ranks_features(self, mixed_corpus_file, capsys):
         code = main(

@@ -142,6 +142,48 @@ class TestCorpusCache:
         assert cache.clear() == len(tasks)
         assert len(cache) == 0
 
+    def test_put_writes_payload_before_sidecar(self, tmp_path, monkeypatch):
+        """Regression for the sidecar-first write-ordering bug.
+
+        A crash between the two writes of ``put`` must leave an orphaned
+        *payload* (invisible to lookups, swept by ``clear``), never an
+        orphaned sidecar that ``clear()`` and ``__len__`` — which used to
+        glob only ``*.npz`` — could not see.
+        """
+        cache = CorpusCache(tmp_path)
+        task = tiny_tasks()[0]
+        result = execute_grid([task])[0]
+        key = cache.task_key(task)
+
+        import repro.workloads.cache as cache_module
+
+        def crash(path, data):
+            raise KeyboardInterrupt("simulated kill between the two writes")
+
+        monkeypatch.setattr(cache_module, "_atomic_write_bytes", crash)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put(key, result)
+        npz_path, json_path = cache.entry_paths(key)
+        assert npz_path.exists() and not json_path.exists()
+        # The torn entry is a miss, not a visible entry...
+        assert key not in cache
+        assert len(cache) == 0
+        assert cache.get(key) is None
+        # ...and clear() sweeps it rather than leaking it.
+        assert cache.clear() == 1
+        assert not npz_path.exists()
+
+    def test_clear_sweeps_orphaned_sidecars_too(self, tmp_path):
+        cache = CorpusCache(tmp_path)
+        tasks = tiny_tasks()
+        for task, result in zip(tasks, execute_grid(tasks)):
+            cache.put(cache.task_key(task), result)
+        npz_path, _ = cache.entry_paths(cache.task_key(tasks[0]))
+        npz_path.unlink()  # leaves an orphaned sidecar
+        assert len(cache) == len(tasks) - 1
+        assert cache.clear() == len(tasks)
+        assert list(tmp_path.glob("??/*")) == []
+
     def test_as_cache_normalization(self, tmp_path):
         assert as_cache(None) is None
         cache = CorpusCache(tmp_path)
@@ -150,6 +192,85 @@ class TestCorpusCache:
         assert isinstance(as_cache(str(tmp_path)), CorpusCache)
         with pytest.raises(TypeError):
             as_cache(42)
+
+
+class TestCacheVerify:
+    def populate(self, tmp_path):
+        cache = CorpusCache(tmp_path)
+        tasks = tiny_tasks()
+        for task, result in zip(tasks, execute_grid(tasks, journal=False)):
+            cache.put(cache.task_key(task), result)
+        return cache, tasks
+
+    def test_clean_store_verifies_clean(self, tmp_path):
+        cache, tasks = self.populate(tmp_path)
+        outcome = cache.verify()
+        assert outcome.clean
+        assert outcome.n_entries == outcome.n_ok == len(tasks)
+        assert not outcome.repaired
+        assert outcome.to_dict()["corrupt"] == []
+
+    def test_verify_classifies_damage(self, tmp_path, fresh_metrics):
+        cache, tasks = self.populate(tmp_path)
+        keys = [cache.task_key(t) for t in tasks]
+        corrupt_npz, _ = cache.entry_paths(keys[0])
+        corrupt_npz.write_bytes(b"not a zip archive")
+        orphan_npz, orphan_json = cache.entry_paths(keys[1])
+        orphan_json.unlink()  # orphaned payload
+        outcome = cache.verify()
+        assert outcome.corrupt == (keys[0],)
+        assert [path.split("/")[-1] for path in outcome.orphaned] == [
+            f"{keys[1]}.npz"
+        ]
+        # The orphan is not an entry; the corrupt one is, and is not ok.
+        assert outcome.n_entries == len(tasks) - 1
+        assert outcome.n_ok == len(tasks) - 2
+        assert not outcome.clean
+        assert (
+            fresh_metrics.counter("corpus_cache.verify_corrupt_total").value
+            == 1
+        )
+        assert (
+            fresh_metrics.counter("corpus_cache.verify_orphans_total").value
+            == 1
+        )
+        # Without repair nothing is deleted.
+        assert corrupt_npz.exists() and orphan_npz.exists()
+
+    def test_verify_flags_mismatched_sidecar_key(self, tmp_path):
+        cache, tasks = self.populate(tmp_path)
+        key_a, key_b = (cache.task_key(t) for t in tasks[:2])
+        # Swap entry A's files under entry B's name: each deserializes
+        # fine but the sidecar no longer matches its address.
+        for src, dst in zip(cache.entry_paths(key_a), cache.entry_paths(key_b)):
+            dst.write_bytes(src.read_bytes())
+        outcome = cache.verify()
+        assert key_b in outcome.corrupt
+
+    def test_verify_flags_leftover_tempfiles(self, tmp_path):
+        cache, tasks = self.populate(tmp_path)
+        shard = next(p for p in tmp_path.iterdir() if p.is_dir())
+        stray = shard / ".tmp-abandoned.npz"
+        stray.write_bytes(b"half a write")
+        outcome = cache.verify()
+        assert any(".tmp-" in path for path in outcome.orphaned)
+        cache.verify(repair=True)
+        assert not stray.exists()
+
+    def test_repair_deletes_only_the_damage(self, tmp_path):
+        cache, tasks = self.populate(tmp_path)
+        keys = [cache.task_key(t) for t in tasks]
+        npz_path, json_path = cache.entry_paths(keys[0])
+        json_path.write_text("{torn")
+        outcome = cache.verify(repair=True)
+        assert outcome.repaired
+        assert outcome.corrupt == (keys[0],)
+        assert not npz_path.exists() and not json_path.exists()
+        assert len(cache) == len(tasks) - 1
+        assert cache.verify().clean
+
+    def test_empty_cache_is_clean(self, tmp_path):
+        assert CorpusCache(tmp_path).verify().clean
 
 
 class TestCachedGridExecution:
