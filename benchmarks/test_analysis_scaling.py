@@ -1,0 +1,223 @@
+"""Analysis-path benchmarks: parallel distances, cache, pruning, ensembles.
+
+Not a paper figure — this bench guards the fast analysis path layered on
+top of the corpus machinery (see ``docs/performance.md``):
+
+- the parallel pairwise-distance engine must return the bit-identical
+  matrix at any worker count, and beat serial when real cores exist;
+- a warm distance cache must recompute zero pairs;
+- lower-bound pruned 1-NN must match the full-matrix answer while
+  skipping a measurable fraction of the dynamic programs;
+- parallel random-forest fits must reproduce the serial trees exactly.
+
+Timings and speedups are written to ``BENCH_analysis.json`` (path
+overridable via ``REPRO_BENCH_OUT``) so the scheduled CI job can archive
+them as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.ml import RandomForestRegressor
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.similarity import (
+    DistanceCache,
+    RepresentationBuilder,
+    distance_matrix,
+    knn_accuracy,
+    knn_accuracy_pruned,
+)
+from repro.similarity.evaluation import representation_matrices
+from repro.similarity.measures import get_measure
+
+pytestmark = pytest.mark.slow
+
+#: Pairwise work is quadratic; a 30-experiment slice (435 DTW programs)
+#: keeps serial baselines tractable while still dominating pool overhead.
+N_MATRICES = 30
+
+RESULTS: dict[str, dict] = {}
+
+
+def bench_out() -> str:
+    return os.environ.get("REPRO_BENCH_OUT", "BENCH_analysis.json")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    if RESULTS:
+        with open(bench_out(), "w") as handle:
+            json.dump(RESULTS, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {bench_out()}")
+
+
+@pytest.fixture(scope="module")
+def analysis_matrices(table4_corpus):
+    corpus = list(table4_corpus)[:N_MATRICES]
+    builder = RepresentationBuilder().fit(table4_corpus)
+    matrices = representation_matrices(
+        type(table4_corpus)(corpus), builder, "mts"
+    )
+    labels = [r.workload_name for r in corpus]
+    return matrices, labels
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def test_parallel_distance_engine(analysis_matrices):
+    """jobs=4 matches serial bit-for-bit; faster when cores exist."""
+    matrices, _ = analysis_matrices
+    measure = get_measure("Dependent-DTW")
+    serial, serial_s = timed(lambda: distance_matrix(matrices, measure))
+    parallel, parallel_s = timed(
+        lambda: distance_matrix(matrices, measure, jobs=4)
+    )
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+
+    print_header("Analysis path: parallel pairwise distances (Dep-DTW)")
+    n = len(matrices)
+    print(f"pairs     : {n * (n - 1) // 2}")
+    print(f"serial    : {serial_s:7.2f}s")
+    print(f"4 workers : {parallel_s:7.2f}s   speedup x{speedup:.2f}"
+          f"   ({cores} cores)")
+    RESULTS["parallel_distance"] = {
+        "n_matrices": n,
+        "n_pairs": n * (n - 1) // 2,
+        "serial_s": serial_s,
+        "jobs4_s": parallel_s,
+        "speedup": speedup,
+        "cpu_count": cores,
+        "bit_identical": bool(np.array_equal(serial, parallel)),
+    }
+    assert np.array_equal(serial, parallel), (
+        "parallel distance matrix diverged from serial"
+    )
+    if cores >= 4:
+        assert speedup >= 3.0, (
+            f"expected >=3x speedup on {cores} cores, got x{speedup:.2f}"
+        )
+
+
+def test_distance_cache_cold_vs_warm(analysis_matrices, tmp_path_factory):
+    """A warm cache recomputes zero pairs and returns the same matrix."""
+    matrices, _ = analysis_matrices
+    measure = get_measure("L2,1")
+    cache_dir = tmp_path_factory.mktemp("distcache")
+    previous = set_metrics(MetricsRegistry())
+    try:
+        cold, cold_s = timed(
+            lambda: distance_matrix(
+                matrices, measure, cache=DistanceCache(cache_dir)
+            )
+        )
+        set_metrics(registry := MetricsRegistry())
+        warm, warm_s = timed(
+            lambda: distance_matrix(
+                matrices, measure, cache=DistanceCache(cache_dir)
+            )
+        )
+        warm_computed = registry.counter("similarity.pairs_computed").value
+        warm_hits = registry.counter("distance_cache.hits_total").value
+    finally:
+        set_metrics(previous)
+
+    print_header("Analysis path: distance cache cold vs warm (L2,1)")
+    print(f"cold          : {cold_s:7.3f}s")
+    print(f"warm          : {warm_s:7.3f}s")
+    print(f"warm computes : {int(warm_computed)} (want 0)")
+    print(f"warm hits     : {int(warm_hits)}")
+    RESULTS["distance_cache"] = {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_pairs_computed": int(warm_computed),
+        "warm_hits": int(warm_hits),
+    }
+    assert warm_computed == 0, "warm cache recomputed pairs"
+    n = len(matrices)
+    assert warm_hits == n * (n - 1) // 2
+    assert np.array_equal(cold, warm), "cache hit path diverged"
+
+
+def test_pruned_knn_exactness_and_skip_rate(analysis_matrices):
+    """Pruned 1-NN equals the full-matrix answer, skipping real work."""
+    matrices, labels = analysis_matrices
+    measure = get_measure("Dependent-DTW")
+    previous = set_metrics(MetricsRegistry())
+    try:
+        D, full_s = timed(lambda: distance_matrix(matrices, measure))
+        full_acc = knn_accuracy(D, np.asarray(labels))
+        set_metrics(registry := MetricsRegistry())
+        pruned_acc, pruned_s = timed(
+            lambda: knn_accuracy_pruned(matrices, labels, measure)
+        )
+        pruned_pairs = registry.counter(
+            "similarity.pairs_pruned_total"
+        ).value
+    finally:
+        set_metrics(previous)
+    n = len(matrices)
+    scanned = n * (n - 1)  # 1-NN scans ordered pairs, not the triangle
+    skip_rate = pruned_pairs / scanned
+
+    print_header("Analysis path: lower-bound pruned 1-NN (Dep-DTW)")
+    print(f"full matrix : {full_s:7.2f}s   accuracy {full_acc:.3f}")
+    print(f"pruned      : {pruned_s:7.2f}s   accuracy {pruned_acc:.3f}")
+    print(f"pruned pairs: {int(pruned_pairs)}/{scanned}"
+          f"   ({skip_rate:.0%} skipped or abandoned)")
+    RESULTS["pruned_knn"] = {
+        "full_matrix_s": full_s,
+        "pruned_s": pruned_s,
+        "accuracy": pruned_acc,
+        "pairs_pruned": int(pruned_pairs),
+        "pairs_scanned": scanned,
+        "skip_rate": skip_rate,
+    }
+    assert pruned_acc == full_acc, "pruned 1-NN diverged from full matrix"
+    assert pruned_pairs > 0, "lower bounds pruned nothing"
+
+
+def test_parallel_forest_fit(table4_corpus):
+    """Parallel forest fit reproduces the serial model exactly."""
+    X = table4_corpus.feature_matrix()
+    y = X[:, 0] * 2.0 + X[:, 1]
+
+    def fit(jobs):
+        return RandomForestRegressor(
+            200, random_state=0, jobs=jobs
+        ).fit(X, y)
+
+    serial, serial_s = timed(lambda: fit(None))
+    parallel, parallel_s = timed(lambda: fit(4))
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+
+    print_header("Analysis path: parallel random-forest fit (200 trees)")
+    print(f"serial    : {serial_s:7.2f}s")
+    print(f"4 workers : {parallel_s:7.2f}s   speedup x{speedup:.2f}"
+          f"   ({cores} cores)")
+    RESULTS["parallel_forest"] = {
+        "n_trees": 200,
+        "serial_s": serial_s,
+        "jobs4_s": parallel_s,
+        "speedup": speedup,
+        "cpu_count": cores,
+    }
+    np.testing.assert_array_equal(
+        serial.predict(X), parallel.predict(X)
+    )
+    np.testing.assert_array_equal(
+        serial.feature_importances_, parallel.feature_importances_
+    )

@@ -22,6 +22,10 @@ Experiment-producing subcommands accept ``--jobs N`` (parallel grid
 execution over N worker processes; results are bit-identical to serial),
 ``--cache-dir PATH`` (content-addressed result cache, also settable via
 the ``REPRO_CACHE_DIR`` environment variable), and ``--no-cache``.
+Analysis subcommands (``similarity``, ``cluster``, ``predict``) accept
+``--jobs N`` (parallel pairwise-distance computation, bit-identical to
+serial) and ``--distance-cache PATH`` (content-addressed distance cache,
+also settable via ``REPRO_DISTANCE_CACHE``).
 
 Observability flags are accepted by every subcommand: ``--log-level``
 routes the library's structured logs to stderr, ``--trace-out`` records
@@ -83,6 +87,15 @@ def _resolve_cache_dir(args) -> str | None:
     return args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
 
 
+def _resolve_distance_cache(args) -> str | None:
+    """The pairwise-distance cache directory (flag, then env)."""
+    return (
+        args.distance_cache
+        or os.environ.get("REPRO_DISTANCE_CACHE")
+        or None
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,6 +135,18 @@ def _build_parser() -> argparse.ArgumentParser:
     grid_group.add_argument(
         "--no-cache", action="store_true",
         help="disable the experiment cache even if a directory is configured",
+    )
+    analysis = argparse.ArgumentParser(add_help=False)
+    analysis_group = analysis.add_argument_group("analysis execution")
+    analysis_group.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for pairwise-distance computation "
+        "(0 = one per CPU; results are bit-identical to serial)",
+    )
+    analysis_group.add_argument(
+        "--distance-cache", default=None, metavar="PATH",
+        help="content-addressed pairwise-distance cache directory "
+        "(default: $REPRO_DISTANCE_CACHE if set)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -191,7 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     similarity = sub.add_parser(
         "similarity", help="evaluate a similarity method on a repository",
-        parents=[obs],
+        parents=[obs, analysis],
     )
     similarity.add_argument("--corpus", required=True)
     similarity.add_argument(
@@ -204,7 +229,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     predict = sub.add_parser(
-        "predict", help="end-to-end scaling prediction", parents=[obs]
+        "predict", help="end-to-end scaling prediction",
+        parents=[obs, analysis],
     )
     predict.add_argument(
         "--manifest-out", default=None, metavar="PATH",
@@ -223,7 +249,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cluster = sub.add_parser(
         "cluster", help="group a repository's experiments by similarity",
-        parents=[obs],
+        parents=[obs, analysis],
     )
     cluster.add_argument("--corpus", required=True)
     cluster.add_argument("--clusters", type=int, default=3)
@@ -407,6 +433,8 @@ def _cmd_similarity(args) -> int:
         args.representation,
         get_measure(args.measure),
         features=features,
+        jobs=args.jobs,
+        cache=_resolve_distance_cache(args),
     )
     print(f"representation : {outcome.representation}")
     print(f"measure        : {outcome.measure}")
@@ -426,6 +454,8 @@ def _cmd_predict(args) -> int:
         scaling_strategy=args.strategy,
         scaling_context=args.context,
         top_k=args.top_k,
+        jobs=args.jobs,
+        distance_cache=_resolve_distance_cache(args),
     )
     pipeline = WorkloadPredictionPipeline(config)
     report = pipeline.predict_scaling(references, target, source, target_sku)
@@ -450,7 +480,10 @@ def _cmd_cluster(args) -> int:
     corpus = _load_repository(args.corpus)
     builder = RepresentationBuilder().fit(corpus)
     matrices = representation_matrices(corpus, builder, "hist")
-    D = distance_matrix(matrices, get_measure(args.measure))
+    D = distance_matrix(
+        matrices, get_measure(args.measure),
+        jobs=args.jobs, cache=_resolve_distance_cache(args),
+    )
     result = cluster_workloads(
         D, n_clusters=args.clusters, method=args.method
     )

@@ -37,6 +37,13 @@ class PipelineConfig:
         Modeling strategy (Table 6) and context ('pairwise' or 'single').
     random_state:
         Seed for the stochastic components.
+    jobs:
+        Worker count for the parallel analysis paths (pairwise distances);
+        ``None``/``1`` serial, ``0`` one worker per CPU.  Output is
+        bit-identical at any value.
+    distance_cache:
+        Directory for the content-addressed pairwise-distance cache
+        (kept as a path string so configs serialize into manifests).
     """
 
     selection_strategy: str = "RFE LogReg"
@@ -47,11 +54,15 @@ class PipelineConfig:
     scaling_strategy: str = "SVM"
     scaling_context: str = "pairwise"
     random_state: int = 0
+    jobs: int | None = None
+    distance_cache: str | None = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if self.top_k < 1:
             raise ValidationError(f"top_k must be >= 1, got {self.top_k}")
+        if self.jobs is not None and self.jobs < 0:
+            raise ValidationError(f"jobs must be >= 0, got {self.jobs}")
         if self.feature_scope not in FEATURE_SCOPES:
             raise ValidationError(
                 f"feature_scope must be one of {FEATURE_SCOPES}, "

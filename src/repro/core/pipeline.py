@@ -147,7 +147,12 @@ class WorkloadPredictionPipeline:
                 features=features,
             )
             D = normalized_distances(
-                distance_matrix(matrices, get_measure(self.config.measure))
+                distance_matrix(
+                    matrices,
+                    get_measure(self.config.measure),
+                    jobs=self.config.jobs,
+                    cache=self.config.distance_cache,
+                )
             )
             labels = np.asarray([r.workload_name for r in combined])
             target_rows = np.flatnonzero(labels == target_name)

@@ -48,6 +48,8 @@ def knn_feature_subset_accuracy(
     builder: RepresentationBuilder | None = None,
     representation: str = "hist",
     measure_name: str = "L2,1",
+    jobs: int | None = None,
+    distance_cache=None,
 ) -> float:
     """1-NN workload accuracy using only the given features.
 
@@ -55,6 +57,9 @@ def knn_feature_subset_accuracy(
     :data:`repro.workloads.features.ALL_FEATURES`.  A pre-fitted
     ``builder`` can be passed to amortize range fitting across many calls
     (the Table 3 sweep evaluates dozens of subsets on one corpus).
+    ``jobs`` and ``distance_cache`` are forwarded to
+    :func:`~repro.similarity.evaluation.distance_matrix` — the sweep
+    re-evaluates overlapping subsets, so shared pairs hit the cache.
     """
     indices = np.asarray(feature_indices, dtype=int)
     if indices.size == 0:
@@ -71,7 +76,10 @@ def knn_feature_subset_accuracy(
         matrices = representation_matrices(
             corpus, builder, representation, features=names
         )
-        D = distance_matrix(matrices, get_measure(measure_name))
+        D = distance_matrix(
+            matrices, get_measure(measure_name),
+            jobs=jobs, cache=distance_cache,
+        )
         accuracy = knn_accuracy(D, [r.workload_name for r in corpus])
     get_metrics().counter("features.subset_evaluations_total").inc()
     return accuracy

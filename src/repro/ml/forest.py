@@ -2,17 +2,34 @@
 
 The embedded feature-selection strategy of Section 4.1.2 reads the
 forest-averaged impurity importances (``feature_importances_``).
+
+``fit`` accepts ``jobs`` (constructor parameter) to fan per-tree builds
+out over a ``ProcessPoolExecutor``.  Parallel fits are **bit-identical**
+to serial ones: the parent draws every bootstrap sample from the
+pre-spawned per-tree generators *before* dispatch — preserving the
+serial draw order — and ships each (sample, mutated generator) pair to
+a worker, so the split-feature subsampling inside the tree consumes
+exactly the stream it would have seen serially.
+``tests/ml/test_parallel_ensembles.py`` asserts identical trees,
+importances, and predictions.
 """
 
 from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
 from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import check_2d, check_consistent_length, check_positive_int
+
+logger = get_logger(__name__)
 
 
 def _resolve_max_features(max_features, n_features: int, default: str) -> int | None:
@@ -33,6 +50,20 @@ def _resolve_max_features(max_features, n_features: int, default: str) -> int | 
     return check_positive_int(max_features, "max_features")
 
 
+def _fit_tree_batch(tree_cls, tree_params, X, y, samples, rngs):
+    """Fit one batch of trees; the unit of work shipped to pool workers.
+
+    The serial path calls the same function with a single batch, so
+    parallel and serial fits run identical code on identical inputs.
+    """
+    trees = []
+    for sample, rng in zip(samples, rngs):
+        tree = tree_cls(**tree_params, random_state=rng)
+        tree.fit(X[sample], y[sample])
+        trees.append(tree)
+    return trees
+
+
 class _BaseForest(BaseEstimator):
     def __init__(
         self,
@@ -44,6 +75,7 @@ class _BaseForest(BaseEstimator):
         max_features: int | str | None = None,
         bootstrap: bool = True,
         random_state: RandomState = None,
+        jobs: int | None = None,
     ):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -52,20 +84,60 @@ class _BaseForest(BaseEstimator):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.jobs = jobs
 
-    def _fit_trees(self, X: np.ndarray, y: np.ndarray, tree_factory) -> None:
+    def _fit_trees(
+        self, X: np.ndarray, y: np.ndarray, tree_cls, tree_params: dict
+    ) -> None:
         check_positive_int(self.n_estimators, "n_estimators")
         generators = spawn_generators(self.random_state, self.n_estimators)
-        self.estimators_ = []
         n_samples = X.shape[0]
+        # Bootstrap samples are drawn by the parent, in the serial order,
+        # *before* any dispatch; each worker receives the already-mutated
+        # generator and consumes the rest of its stream exactly as the
+        # serial path would.
+        samples = []
         for rng in generators:
             if self.bootstrap:
-                sample = rng.integers(0, n_samples, size=n_samples)
+                samples.append(rng.integers(0, n_samples, size=n_samples))
             else:
-                sample = np.arange(n_samples)
-            tree = tree_factory(rng)
-            tree.fit(X[sample], y[sample])
-            self.estimators_.append(tree)
+                samples.append(np.arange(n_samples))
+        n_workers = min(resolve_jobs(self.jobs), self.n_estimators)
+        self.estimators_ = None
+        if n_workers > 1:
+            bounds = np.array_split(np.arange(self.n_estimators), n_workers)
+            try:
+                pool = ProcessPoolExecutor(max_workers=n_workers)
+            except POOL_UNAVAILABLE_ERRORS as exc:
+                logger.warning(
+                    "process pool unavailable (%s); fitting trees serially",
+                    exc,
+                )
+            else:
+                with pool:
+                    futures = [
+                        pool.submit(
+                            _fit_tree_batch,
+                            tree_cls,
+                            tree_params,
+                            X,
+                            y,
+                            [samples[i] for i in batch],
+                            [generators[i] for i in batch],
+                        )
+                        for batch in bounds
+                        if batch.size
+                    ]
+                    self.estimators_ = [
+                        tree
+                        for future in futures
+                        for tree in future.result()
+                    ]
+        if self.estimators_ is None:
+            self.estimators_ = _fit_tree_batch(
+                tree_cls, tree_params, X, y, samples, generators
+            )
+        get_metrics().counter("ml.trees_fit_total").inc(self.n_estimators)
 
     @property
     def feature_importances_(self) -> np.ndarray:
@@ -88,17 +160,17 @@ class RandomForestRegressor(_BaseForest, RegressorMixin):
         check_consistent_length(X, y)
         self._n_features = X.shape[1]
         resolved = _resolve_max_features(self.max_features, X.shape[1], "third")
-
-        def factory(rng):
-            return DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=resolved,
-                random_state=rng,
-            )
-
-        self._fit_trees(X, y, factory)
+        self._fit_trees(
+            X,
+            y,
+            DecisionTreeRegressor,
+            {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": resolved,
+            },
+        )
         return self
 
     def predict(self, X) -> np.ndarray:
@@ -118,17 +190,17 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
         self.classes_ = np.unique(y)
         self._n_features = X.shape[1]
         resolved = _resolve_max_features(self.max_features, X.shape[1], "sqrt")
-
-        def factory(rng):
-            return DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=resolved,
-                random_state=rng,
-            )
-
-        self._fit_trees(X, y, factory)
+        self._fit_trees(
+            X,
+            y,
+            DecisionTreeClassifier,
+            {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": resolved,
+            },
+        )
         return self
 
     def predict_proba(self, X) -> np.ndarray:

@@ -40,7 +40,25 @@ class _Split:
 
 
 class _TreeBuilder:
-    """Shared recursive builder for both tree flavours."""
+    """Shared recursive builder for both tree flavours.
+
+    Nodes operate on *index* subsets of the training matrix instead of
+    sliced copies — the per-node values are identical, so fitted trees
+    are bit-identical to the historical slicing builder, but no X/y
+    copies are made while recursing.  An optional ``presorted`` matrix
+    (stable argsort of each full-X column) lets boosting skip the
+    per-node sorts: filtering a full-column stable order down to a
+    node's rows reproduces the stable argsort of the subset exactly,
+    *provided* the node's indices are strictly increasing — true when
+    the tree is fitted on the full row range, as boosting stages with
+    ``subsample == 1.0`` are.
+
+    After :meth:`build`, :meth:`finalize` packs the nodes into
+    struct-of-arrays form (feature/threshold/left/right/value arrays)
+    so prediction is an iterative vectorized apply, and drops the X/y
+    references so fitted trees pickle small (parallel forests ship them
+    between processes).
+    """
 
     def __init__(
         self,
@@ -62,6 +80,16 @@ class _TreeBuilder:
         self.n_classes = n_classes
         self.nodes: list[_Node] = []
         self.importances: np.ndarray | None = None
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._presorted: np.ndarray | None = None
+        self._node_mask: np.ndarray | None = None
+        self._local_position: np.ndarray | None = None
+        self._feature: np.ndarray | None = None
+        self._threshold: np.ndarray | None = None
+        self._left: np.ndarray | None = None
+        self._right: np.ndarray | None = None
+        self._values: np.ndarray | None = None
 
     # -- impurity helpers --------------------------------------------------
     def _node_impurity_total(self, y: np.ndarray) -> float:
@@ -82,10 +110,15 @@ class _TreeBuilder:
         return counts.astype(float)
 
     def _best_split_for_feature(
-        self, column: np.ndarray, y: np.ndarray, parent_impurity: float
+        self,
+        column: np.ndarray,
+        y: np.ndarray,
+        parent_impurity: float,
+        order: np.ndarray | None = None,
     ) -> tuple[float, float] | None:
         """Best (gain, threshold) for one feature, or None if unsplittable."""
-        order = np.argsort(column, kind="stable")
+        if order is None:
+            order = np.argsort(column, kind="stable")
         sorted_x = column[order]
         sorted_y = y[order]
         n = sorted_y.size
@@ -128,20 +161,48 @@ class _TreeBuilder:
         threshold = 0.5 * (sorted_x[pos - 1] + sorted_x[pos])
         return float(gains[best]), float(threshold)
 
-    def _find_split(self, X: np.ndarray, y: np.ndarray) -> _Split | None:
+    def _feature_order(
+        self, indices: np.ndarray, feature: int
+    ) -> np.ndarray | None:
+        """Local stable sort order for one node/feature pair, via presort.
+
+        Returns ``None`` when no presort is available (the caller sorts).
+        The full-column stable order, filtered to the node's rows, lists
+        them by ``(value, global index)``; because node indices are
+        strictly increasing, that equals ``(value, local position)`` —
+        exactly the stable argsort of the subset.
+        """
+        if self._presorted is None:
+            return None
+        ordered_global = self._presorted[
+            self._node_mask[self._presorted[:, feature]], feature
+        ]
+        return self._local_position[ordered_global]
+
+    def _find_split(self, indices: np.ndarray) -> _Split | None:
+        y = self._y[indices]
         parent_impurity = self._node_impurity_total(y)
         if parent_impurity <= 1e-12:
             return None
-        n_features = X.shape[1]
+        n_features = self._X.shape[1]
         if self.max_features is not None and self.max_features < n_features:
             candidates = self.rng.choice(
                 n_features, size=self.max_features, replace=False
             )
         else:
             candidates = np.arange(n_features)
+        if self._presorted is not None:
+            self._node_mask[:] = False
+            self._node_mask[indices] = True
+            self._local_position[indices] = np.arange(indices.size)
         best: tuple[float, int, float] | None = None  # (gain, feature, threshold)
         for feature in candidates:
-            result = self._best_split_for_feature(X[:, feature], y, parent_impurity)
+            result = self._best_split_for_feature(
+                self._X[indices, feature],
+                y,
+                parent_impurity,
+                order=self._feature_order(indices, feature),
+            )
             if result is None:
                 continue
             gain, threshold = result
@@ -150,54 +211,95 @@ class _TreeBuilder:
         if best is None:
             return None
         gain, feature, threshold = best
-        left_mask = X[:, feature] <= threshold
+        left_mask = self._X[indices, feature] <= threshold
         return _Split(feature, threshold, gain, left_mask)
 
-    def build(self, X: np.ndarray, y: np.ndarray) -> None:
+    def build(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        presorted: np.ndarray | None = None,
+    ) -> None:
         self.importances = np.zeros(X.shape[1])
-        self._build_node(X, y, depth=0)
+        self._X = X
+        self._y = y
+        if presorted is not None and presorted.shape != X.shape:
+            raise ValidationError(
+                "presorted index matrix must match the shape of X"
+            )
+        self._presorted = presorted
+        if presorted is not None:
+            self._node_mask = np.zeros(X.shape[0], dtype=bool)
+            self._local_position = np.empty(X.shape[0], dtype=np.intp)
+        self._build_node(np.arange(X.shape[0]), depth=0)
+        self.finalize()
 
-    def _build_node(self, X: np.ndarray, y: np.ndarray, depth: int) -> int:
+    def _build_node(self, indices: np.ndarray, depth: int) -> int:
         index = len(self.nodes)
-        node = _Node(n_samples=y.size)
+        node = _Node(n_samples=indices.size)
         self.nodes.append(node)
         at_depth_limit = self.max_depth is not None and depth >= self.max_depth
         if (
             at_depth_limit
-            or y.size < self.min_samples_split
-            or y.size < 2 * self.min_samples_leaf
+            or indices.size < self.min_samples_split
+            or indices.size < 2 * self.min_samples_leaf
         ):
-            node.value = self._leaf_value(y)
+            node.value = self._leaf_value(self._y[indices])
             return index
-        split = self._find_split(X, y)
+        split = self._find_split(indices)
         if split is None:
-            node.value = self._leaf_value(y)
+            node.value = self._leaf_value(self._y[indices])
             return index
         node.feature = split.feature
         node.threshold = split.threshold
         self.importances[split.feature] += split.gain
         left_mask = split.left_mask
-        node.left = self._build_node(X[left_mask], y[left_mask], depth + 1)
-        node.right = self._build_node(X[~left_mask], y[~left_mask], depth + 1)
+        node.left = self._build_node(indices[left_mask], depth + 1)
+        node.right = self._build_node(indices[~left_mask], depth + 1)
         return index
 
-    def predict_values(self, X: np.ndarray) -> np.ndarray:
-        """Leaf values for each row; shape ``(n_samples, value_dim)``."""
-        n_samples = X.shape[0]
+    def finalize(self) -> None:
+        """Pack nodes struct-of-arrays and drop training-data references."""
+        self._X = None
+        self._y = None
+        self._presorted = None
+        self._node_mask = None
+        self._local_position = None
+        n_nodes = len(self.nodes)
         value_dim = 1 if self.criterion == "mse" else self.n_classes
-        output = np.empty((n_samples, value_dim))
-        # Iterative routing: vectorized per-level partition of row indices.
-        stack = [(0, np.arange(n_samples))]
-        while stack:
-            node_index, rows = stack.pop()
-            node = self.nodes[node_index]
+        self._feature = np.full(n_nodes, -1, dtype=np.intp)
+        self._threshold = np.zeros(n_nodes)
+        self._left = np.full(n_nodes, -1, dtype=np.intp)
+        self._right = np.full(n_nodes, -1, dtype=np.intp)
+        self._values = np.zeros((n_nodes, value_dim))
+        for position, node in enumerate(self.nodes):
             if node.feature == -1:
-                output[rows] = node.value
-                continue
-            go_left = X[rows, node.feature] <= node.threshold
-            stack.append((node.left, rows[go_left]))
-            stack.append((node.right, rows[~go_left]))
-        return output
+                self._values[position] = node.value
+            else:
+                self._feature[position] = node.feature
+                self._threshold[position] = node.threshold
+                self._left[position] = node.left
+                self._right[position] = node.right
+
+    def predict_values(self, X: np.ndarray) -> np.ndarray:
+        """Leaf values for each row; shape ``(n_samples, value_dim)``.
+
+        Iterative vectorized apply over the struct-of-arrays layout: all
+        rows advance one tree level per step, rows that reach a leaf drop
+        out, so the loop runs ``depth`` times instead of once per row.
+        """
+        node = np.zeros(X.shape[0], dtype=np.intp)
+        active = np.flatnonzero(self._feature[node] >= 0)
+        while active.size:
+            current = node[active]
+            go_left = (
+                X[active, self._feature[current]] <= self._threshold[current]
+            )
+            node[active] = np.where(
+                go_left, self._left[current], self._right[current]
+            )
+            active = active[self._feature[node[active]] >= 0]
+        return self._values[node]
 
 
 class _BaseDecisionTree(BaseEstimator):
@@ -285,7 +387,11 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
             random_state=random_state,
         )
 
-    def fit(self, X, y) -> "DecisionTreeRegressor":
+    def fit(self, X, y, *, presorted=None) -> "DecisionTreeRegressor":
+        """Fit the tree; ``presorted`` is an optional per-column stable
+        argsort of ``X`` (see :class:`_TreeBuilder` — boosting reuses one
+        across rounds).  Fitted splits are identical with or without it.
+        """
         X = check_2d(X, "X")
         y = np.asarray(y, dtype=float).ravel()
         check_consistent_length(X, y)
@@ -299,7 +405,7 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
             max_features=self.max_features,
             rng=as_generator(self.random_state),
         )
-        self._builder.build(X, y)
+        self._builder.build(X, y, presorted=presorted)
         return self
 
     def predict(self, X) -> np.ndarray:

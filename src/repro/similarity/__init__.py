@@ -27,7 +27,18 @@ from repro.similarity.norms import (
 )
 from repro.similarity.changepoint import bayesian_changepoints, segment_bounds
 from repro.similarity.representations import RepresentationBuilder
-from repro.similarity.dtw import dtw_distance, multivariate_dtw
+from repro.similarity.distcache import (
+    DistanceCache,
+    as_distance_cache,
+    matrix_digest,
+    pair_key,
+)
+from repro.similarity.dtw import (
+    dtw_distance,
+    lb_keogh,
+    lb_kim,
+    multivariate_dtw,
+)
 from repro.similarity.lcss import lcss_distance, multivariate_lcss
 from repro.similarity.measures import (
     MeasureSpec,
@@ -43,6 +54,7 @@ from repro.similarity.clustering import (
 from repro.similarity.robustness import (
     RobustnessProfile,
     perturb_experiment,
+    robustness_profiles,
     robustness_under_noise,
 )
 from repro.similarity.evaluation import (
@@ -54,6 +66,7 @@ from repro.similarity.evaluation import (
     ranking_mean_average_precision,
     ranking_ndcg,
 )
+from repro.similarity.pruning import knn_accuracy_pruned, nearest_neighbor
 
 __all__ = [
     "NORMS",
@@ -87,4 +100,13 @@ __all__ = [
     "RobustnessProfile",
     "perturb_experiment",
     "robustness_under_noise",
+    "robustness_profiles",
+    "DistanceCache",
+    "as_distance_cache",
+    "matrix_digest",
+    "pair_key",
+    "lb_kim",
+    "lb_keogh",
+    "knn_accuracy_pruned",
+    "nearest_neighbor",
 ]

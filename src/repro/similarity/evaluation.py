@@ -13,16 +13,40 @@
 
 from __future__ import annotations
 
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.ml.metrics import mean_average_precision, ndcg
+from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import span
-from repro.similarity.measures import MeasureSpec
+from repro.similarity.distcache import (
+    DistanceCache,
+    as_distance_cache,
+    matrix_digest,
+    pair_key,
+)
+from repro.similarity.dtw import _dtw_from_cost, batch_dependent_costs
+from repro.similarity.measures import MeasureSpec, _dtw_dependent
 from repro.similarity.representations import RepresentationBuilder
+from repro.utils.parallel import (
+    POOL_UNAVAILABLE_ERRORS,
+    chunk_bounds,
+    resolve_jobs,
+)
+
+logger = get_logger(__name__)
+
+#: Target number of chunks the miss list is split into.  The chunk
+#: layout is a pure function of the miss count — never of the worker
+#: count — so any ``jobs`` value walks identical chunks in identical
+#: order and the assembled matrix is bit-identical to serial.
+PAIR_CHUNK_TARGET = 64
 
 
 def representation_matrices(
@@ -42,35 +66,180 @@ def representation_matrices(
     return matrices
 
 
-def distance_matrix(
-    matrices: list[np.ndarray], measure: MeasureSpec
-) -> np.ndarray:
-    """Symmetric pairwise distance matrix over representation matrices.
+def _is_elastic(measure: MeasureSpec) -> bool:
+    return measure.name.endswith(("DTW", "LCSS"))
+
+
+def _prepare_pair(
+    A: np.ndarray, B: np.ndarray, elastic: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Align one pair for a measure that needs equal shapes.
 
     MTS windows can differ in length between experiments; norm measures
     need aligned shapes, so pairs are truncated to their common prefix.
     Elastic measures (DTW/LCSS) handle unequal lengths natively.
     """
+    if not elastic and A.shape != B.shape:
+        if A.shape[1] != B.shape[1]:
+            raise ValidationError(
+                "representations have different feature dimensions"
+            )
+        rows = min(A.shape[0], B.shape[0])
+        A, B = A[:rows], B[:rows]
+    return A, B
+
+
+def _compute_pair_chunk(
+    sub_matrices: list[np.ndarray],
+    local_pairs: list[tuple[int, int]],
+    measure: MeasureSpec,
+) -> tuple[list[float], list[float]]:
+    """Distances (plus per-pair seconds) for one chunk of pairs.
+
+    This is the unit of work shipped to pool workers, and the exact same
+    function the serial path calls — which is what makes parallel output
+    bit-identical to serial.  When the measure is Dependent-DTW and every
+    matrix in the chunk has the same shape, the local-cost matrices for
+    all pairs are built in one batched contraction
+    (:func:`~repro.similarity.dtw.batch_dependent_costs`, bit-identical
+    per slice to the per-pair path) before the dynamic programs run.
+    """
+    elastic = _is_elastic(measure)
+    costs = None
+    if measure.func is _dtw_dependent and local_pairs:
+        shapes = {sub_matrices[k].shape for pair in local_pairs for k in pair}
+        if len(shapes) == 1:
+            stack_a = np.stack([sub_matrices[i] for i, _ in local_pairs])
+            stack_b = np.stack([sub_matrices[j] for _, j in local_pairs])
+            costs = batch_dependent_costs(stack_a, stack_b)
+    values: list[float] = []
+    seconds: list[float] = []
+    for position, (i, j) in enumerate(local_pairs):
+        start = time.perf_counter()
+        if costs is not None:
+            value = _dtw_from_cost(costs[position], None)
+        else:
+            A, B = _prepare_pair(sub_matrices[i], sub_matrices[j], elastic)
+            value = float(measure(A, B))
+        seconds.append(time.perf_counter() - start)
+        values.append(value)
+    return values, seconds
+
+
+def _chunk_payload(
+    matrices: list[np.ndarray], pair_chunk: list[tuple[int, int]]
+) -> tuple[list[np.ndarray], list[tuple[int, int]]]:
+    """Restrict ``matrices`` to the ones a chunk references.
+
+    Workers receive only the matrices their pairs touch (with the pair
+    indices remapped), so fan-out cost scales with the chunk, not the
+    corpus.
+    """
+    ids = sorted({k for pair in pair_chunk for k in pair})
+    local = {k: position for position, k in enumerate(ids)}
+    sub = [matrices[k] for k in ids]
+    local_pairs = [(local[i], local[j]) for i, j in pair_chunk]
+    return sub, local_pairs
+
+
+def distance_matrix(
+    matrices: list[np.ndarray],
+    measure: MeasureSpec,
+    *,
+    jobs: int | None = None,
+    cache: "DistanceCache | str | None" = None,
+) -> np.ndarray:
+    """Symmetric pairwise distance matrix over representation matrices.
+
+    The upper-triangle pairs are scheduled in deterministic chunks;
+    ``jobs`` fans the chunks out over a ``ProcessPoolExecutor``
+    (``None``/``1`` serial, ``0`` one worker per CPU) with a serial
+    fallback when no pool can be created.  Chunk layout depends only on
+    the pair list, so **parallel output is bit-identical to serial** —
+    ``tests/similarity/test_parallel_distance.py`` asserts exact array
+    equality.
+
+    ``cache`` (a :class:`~repro.similarity.distcache.DistanceCache` or a
+    directory path) memoizes each pair under a content address — sweeps
+    that share matrices (robustness levels, repeated sessions) only
+    compute the pairs they have not seen.
+    """
     n = len(matrices)
     D = np.zeros((n, n))
-    elastic = measure.name.endswith(("DTW", "LCSS"))
+    cache = as_distance_cache(cache)
+    n_workers = resolve_jobs(jobs)
+    metrics = get_metrics()
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
     with span(
         "similarity.distance_matrix",
-        attrs={"n_experiments": n, "measure": measure.name},
+        attrs={
+            "n_experiments": n,
+            "measure": measure.name,
+            "workers": n_workers,
+        },
     ):
-        for i in range(n):
-            for j in range(i + 1, n):
-                A, B = matrices[i], matrices[j]
-                if not elastic and A.shape != B.shape:
-                    rows = min(A.shape[0], B.shape[0])
-                    if A.shape[1] != B.shape[1]:
-                        raise ValidationError(
-                            "representations have different feature dimensions"
-                        )
-                    A, B = A[:rows], B[:rows]
-                D[i, j] = D[j, i] = measure(A, B)
-    get_metrics().counter("similarity.pairs_computed").inc(n * (n - 1) // 2)
+        misses: list[tuple[int, int]] = []
+        keys: dict[tuple[int, int], str] = {}
+        if cache is not None and pairs:
+            digests = [matrix_digest(M) for M in matrices]
+            for i, j in pairs:
+                key = pair_key(digests[i], digests[j], measure.name)
+                keys[(i, j)] = key
+                value = cache.get(key)
+                if value is None:
+                    misses.append((i, j))
+                else:
+                    D[i, j] = D[j, i] = value
+        else:
+            misses = pairs
+        chunk_size = max(1, math.ceil(len(misses) / PAIR_CHUNK_TARGET))
+        chunks = [
+            misses[start:stop]
+            for start, stop in chunk_bounds(len(misses), chunk_size)
+        ]
+        outputs = _run_pair_chunks(matrices, chunks, measure, n_workers)
+        histogram = metrics.histogram("similarity.pair_seconds")
+        for chunk, (values, seconds) in zip(chunks, outputs):
+            for (i, j), value, elapsed in zip(chunk, values, seconds):
+                D[i, j] = D[j, i] = value
+                histogram.observe(elapsed)
+                if cache is not None:
+                    cache.put(keys[(i, j)], value)
+    metrics.counter("similarity.pairs_computed").inc(len(misses))
     return D
+
+
+def _run_pair_chunks(
+    matrices: list[np.ndarray],
+    chunks: list[list[tuple[int, int]]],
+    measure: MeasureSpec,
+    n_workers: int,
+) -> list[tuple[list[float], list[float]]]:
+    """Run pair chunks serially or over a pool; results in chunk order."""
+    if n_workers > 1 and len(chunks) > 1:
+        try:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        except POOL_UNAVAILABLE_ERRORS as exc:
+            logger.warning(
+                "process pool unavailable (%s); computing distances "
+                "serially",
+                exc,
+            )
+        else:
+            with pool:
+                futures = [
+                    pool.submit(
+                        _compute_pair_chunk,
+                        *_chunk_payload(matrices, chunk),
+                        measure,
+                    )
+                    for chunk in chunks
+                ]
+                return [future.result() for future in futures]
+    return [
+        _compute_pair_chunk(*_chunk_payload(matrices, chunk), measure)
+        for chunk in chunks
+    ]
 
 
 def normalized_distances(D: np.ndarray) -> np.ndarray:
@@ -184,8 +353,13 @@ def evaluate_measure(
     measure: MeasureSpec,
     *,
     features=None,
+    jobs: int | None = None,
+    cache: "DistanceCache | str | None" = None,
 ) -> SimilarityEvaluation:
-    """Full evaluation of one method combination on a corpus."""
+    """Full evaluation of one method combination on a corpus.
+
+    ``jobs`` and ``cache`` are forwarded to :func:`distance_matrix`.
+    """
     if representation not in measure.representations:
         raise ValidationError(
             f"measure {measure.name!r} does not support representation "
@@ -198,7 +372,7 @@ def evaluate_measure(
         matrices = representation_matrices(
             corpus, builder, representation, features=features
         )
-        D = distance_matrix(matrices, measure)
+        D = distance_matrix(matrices, measure, jobs=jobs, cache=cache)
         labels = [r.workload_name for r in corpus]
         types = [r.workload_type for r in corpus]
         evaluation = SimilarityEvaluation(

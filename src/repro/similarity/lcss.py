@@ -28,7 +28,9 @@ def _lcss_length(
     matches = np.all(
         np.abs(A[:, None, :] - B[None, :, :]) <= epsilon, axis=2
     )
-    if delta is not None:
+    if delta is not None and delta < max(m, n) - 1:
+        # A wider delta admits every (i, j) pair; masking would change
+        # nothing, so skip building the index grids entirely.
         i_idx = np.arange(m)[:, None]
         j_idx = np.arange(n)[None, :]
         matches = matches & (np.abs(i_idx - j_idx) <= delta)

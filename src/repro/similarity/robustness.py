@@ -140,19 +140,41 @@ def robustness_under_noise(
     noise_levels=(0.05, 0.15, 0.3),
     perturbation: str = "noise",
     random_state: RandomState = 0,
+    jobs: int | None = None,
+    cache=None,
+    clean: tuple | None = None,
 ) -> RobustnessProfile:
     """Measure 1-NN accuracy as perturbations of one kind intensify.
 
     ``perturbation`` is ``"noise"``, ``"outliers"``, or ``"missing"``; the
     values in ``noise_levels`` are the corresponding sigma/fractions.
+
+    ``jobs`` and ``cache`` are forwarded to every
+    :func:`~repro.similarity.evaluation.distance_matrix` call; with a
+    cache, a repeated sweep (same corpus and seed) recomputes zero
+    pairs.  ``clean`` is an optional precomputed
+    ``(clean_matrices, D_clean)`` pair — :func:`robustness_profiles`
+    uses it to build the clean baseline once across perturbation kinds
+    instead of once per kind.
     """
     if perturbation not in ("noise", "outliers", "missing"):
         raise ValidationError(f"unknown perturbation {perturbation!r}")
     labels = [r.workload_name for r in corpus]
-    clean_matrices = representation_matrices(
-        corpus, builder, representation, features=features
-    )
-    D_clean = distance_matrix(clean_matrices, measure)
+    if clean is None:
+        clean_matrices = representation_matrices(
+            corpus, builder, representation, features=features
+        )
+        D_clean = distance_matrix(
+            clean_matrices, measure, jobs=jobs, cache=cache
+        )
+    else:
+        clean_matrices, D_clean = clean
+        if len(clean_matrices) != len(corpus) or D_clean.shape[0] != len(
+            corpus
+        ):
+            raise ValidationError(
+                "precomputed clean baseline does not match the corpus"
+            )
     clean_accuracy = knn_accuracy(D_clean, labels)
     rng = as_generator(random_state)
     accuracy_by_level: dict[float, float] = {}
@@ -174,7 +196,7 @@ def robustness_under_noise(
         matrices = representation_matrices(
             perturbed, builder, representation, features=features
         )
-        D = distance_matrix(matrices, measure)
+        D = distance_matrix(matrices, measure, jobs=jobs, cache=cache)
         accuracy_by_level[float(level)] = knn_accuracy(D, labels)
         distortion_by_level[float(level)] = distance_distortion(D_clean, D)
     return RobustnessProfile(
@@ -184,3 +206,48 @@ def robustness_under_noise(
         accuracy_by_level=accuracy_by_level,
         distortion_by_level=distortion_by_level,
     )
+
+
+def robustness_profiles(
+    corpus,
+    builder: RepresentationBuilder,
+    representation: str,
+    measure: MeasureSpec,
+    *,
+    features=None,
+    noise_levels=(0.05, 0.15, 0.3),
+    perturbations=("noise", "outliers", "missing"),
+    random_state: RandomState = 0,
+    jobs: int | None = None,
+    cache=None,
+) -> dict[str, RobustnessProfile]:
+    """Robustness profiles for several perturbation kinds at once.
+
+    The clean representation matrices and their distance matrix are
+    built exactly once and shared across kinds (the historical per-kind
+    sweep rebuilt them for every call).  Each kind is seeded with the
+    same ``random_state``, so every returned profile is identical to a
+    standalone :func:`robustness_under_noise` call for that kind.
+    """
+    if not perturbations:
+        raise ValidationError("perturbations must not be empty")
+    clean_matrices = representation_matrices(
+        corpus, builder, representation, features=features
+    )
+    D_clean = distance_matrix(clean_matrices, measure, jobs=jobs, cache=cache)
+    return {
+        perturbation: robustness_under_noise(
+            corpus,
+            builder,
+            representation,
+            measure,
+            features=features,
+            noise_levels=noise_levels,
+            perturbation=perturbation,
+            random_state=random_state,
+            jobs=jobs,
+            cache=cache,
+            clean=(clean_matrices, D_clean),
+        )
+        for perturbation in perturbations
+    }

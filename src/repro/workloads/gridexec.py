@@ -58,6 +58,7 @@ from repro.exceptions import ValidationError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import span
+from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
 from repro.utils.rng import RandomState, spawn_generators
 from repro.workloads.repository import ensure_finite
 from repro.workloads.runner import ExperimentResult, ExperimentRunner
@@ -319,20 +320,10 @@ def enumerate_grid(
     return tasks
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value to a positive worker count.
-
-    ``None``/``1`` mean serial in-process execution, ``0`` means one
-    worker per CPU, and anything negative is rejected.
-    """
-    if jobs is None:
-        return 1
-    jobs = int(jobs)
-    if jobs < 0:
-        raise ValidationError(f"jobs must be >= 0, got {jobs}")
-    if jobs == 0:
-        return os.cpu_count() or 1
-    return jobs
+__all__ = [  # resolve_jobs moved to repro.utils.parallel; re-exported here
+    "GridTask", "RetryPolicy", "ResumeJournal", "GridReport", "GridResults",
+    "enumerate_grid", "execute_grid", "resolve_jobs", "as_retry_policy",
+]
 
 
 def _run_task(task: GridTask) -> ExperimentResult:
@@ -555,7 +546,7 @@ def _execute_parallel(
     while queue:
         try:
             pool = ProcessPoolExecutor(max_workers=n_workers)
-        except (OSError, PermissionError, ValueError) as exc:
+        except POOL_UNAVAILABLE_ERRORS as exc:
             logger.warning(
                 "process pool unavailable (%s); falling back to serial", exc
             )
