@@ -53,6 +53,34 @@ def print_header(title: str) -> None:
     print("=" * 78)
 
 
+def scaling_record(
+    serial_s: float, parallel_s: float, jobs: int
+) -> dict:
+    """An honest serial-vs-parallel timing record for BENCH_*.json.
+
+    On runners with fewer cores than requested workers, a "speedup"
+    below 1.0 measures pool overhead, not the parallel path — reporting
+    it as a speedup misleads anyone reading the artifact.  The record
+    therefore carries the worker count actually usable and only includes
+    a ``speedup`` key when at least two real cores backed the pool;
+    otherwise it sets ``insufficient_cores`` instead.
+    """
+    cores = os.cpu_count() or 1
+    usable = min(jobs, cores)
+    record = {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "jobs_requested": jobs,
+        "jobs_usable": usable,
+        "cpu_count": cores,
+    }
+    if usable >= 2:
+        record["speedup"] = serial_s / parallel_s
+    else:
+        record["insufficient_cores"] = True
+    return record
+
+
 @pytest.fixture(scope="session")
 def corpus_16cpu():
     """Sections 4/5 corpus: five workloads at 16 CPUs, 330 observations."""

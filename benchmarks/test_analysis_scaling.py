@@ -24,7 +24,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_header
+from benchmarks.conftest import print_header, scaling_record
 from repro.ml import RandomForestRegressor
 from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.similarity import (
@@ -84,30 +84,32 @@ def test_parallel_distance_engine(analysis_matrices):
     parallel, parallel_s = timed(
         lambda: distance_matrix(matrices, measure, jobs=4)
     )
-    speedup = serial_s / parallel_s
-    cores = os.cpu_count() or 1
+    record = scaling_record(serial_s, parallel_s, jobs=4)
+    cores = record["cpu_count"]
 
     print_header("Analysis path: parallel pairwise distances (Dep-DTW)")
     n = len(matrices)
     print(f"pairs     : {n * (n - 1) // 2}")
     print(f"serial    : {serial_s:7.2f}s")
-    print(f"4 workers : {parallel_s:7.2f}s   speedup x{speedup:.2f}"
-          f"   ({cores} cores)")
+    if "speedup" in record:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"speedup x{record['speedup']:.2f}   ({cores} cores)")
+    else:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"(insufficient cores for a speedup: {cores})")
     RESULTS["parallel_distance"] = {
         "n_matrices": n,
         "n_pairs": n * (n - 1) // 2,
-        "serial_s": serial_s,
-        "jobs4_s": parallel_s,
-        "speedup": speedup,
-        "cpu_count": cores,
         "bit_identical": bool(np.array_equal(serial, parallel)),
+        **record,
     }
     assert np.array_equal(serial, parallel), (
         "parallel distance matrix diverged from serial"
     )
     if cores >= 4:
-        assert speedup >= 3.0, (
-            f"expected >=3x speedup on {cores} cores, got x{speedup:.2f}"
+        assert record["speedup"] >= 3.0, (
+            f"expected >=3x speedup on {cores} cores, "
+            f"got x{record['speedup']:.2f}"
         )
 
 
@@ -201,20 +203,18 @@ def test_parallel_forest_fit(table4_corpus):
 
     serial, serial_s = timed(lambda: fit(None))
     parallel, parallel_s = timed(lambda: fit(4))
-    speedup = serial_s / parallel_s
-    cores = os.cpu_count() or 1
+    record = scaling_record(serial_s, parallel_s, jobs=4)
+    cores = record["cpu_count"]
 
     print_header("Analysis path: parallel random-forest fit (200 trees)")
     print(f"serial    : {serial_s:7.2f}s")
-    print(f"4 workers : {parallel_s:7.2f}s   speedup x{speedup:.2f}"
-          f"   ({cores} cores)")
-    RESULTS["parallel_forest"] = {
-        "n_trees": 200,
-        "serial_s": serial_s,
-        "jobs4_s": parallel_s,
-        "speedup": speedup,
-        "cpu_count": cores,
-    }
+    if "speedup" in record:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"speedup x{record['speedup']:.2f}   ({cores} cores)")
+    else:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"(insufficient cores for a speedup: {cores})")
+    RESULTS["parallel_forest"] = {"n_trees": 200, **record}
     np.testing.assert_array_equal(
         serial.predict(X), parallel.predict(X)
     )

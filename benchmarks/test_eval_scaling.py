@@ -1,0 +1,221 @@
+"""Evaluation-path benchmarks: parallel fit grids and the fit cache.
+
+Not a paper figure — this bench guards the evaluation fast path layered
+on top of the model-fitting machinery (see ``docs/performance.md``):
+
+- parallel SFS must select the bit-identical feature order at any worker
+  count, and beat serial when real cores exist;
+- a warm fit cache must perform zero model fits while returning the
+  same selection / the same NRMSE;
+- the parallel Table 5/6 strategy grid must reproduce the serial scores
+  exactly, cold and warm.
+
+Timings are written to ``BENCH_eval.json`` (path overridable via
+``REPRO_BENCH_EVAL_OUT``) so the scheduled CI job can archive them as an
+artifact.  Records follow the honest-speedup convention of
+:func:`benchmarks.conftest.scaling_record`: single-core runners report
+``insufficient_cores`` instead of a sub-1.0 "speedup".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import GRID_KWARGS, print_header, scaling_record
+from repro.features import SequentialFeatureSelector
+from repro.ml.fitexec import FitCache
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.prediction import build_scaling_dataset, evaluate_pairwise_strategy
+from repro.workloads import SKU, run_experiments, workload_by_name
+
+pytestmark = pytest.mark.slow
+
+#: SFS is O(d^2) model fits; eight features (36 candidate subsets, three
+#: folds each) keep the serial baseline tractable while still dominating
+#: pool startup overhead.
+N_FEATURES = 8
+
+RESULTS: dict[str, dict] = {}
+
+
+def bench_out() -> str:
+    return os.environ.get("REPRO_BENCH_EVAL_OUT", "BENCH_eval.json")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    if RESULTS:
+        with open(bench_out(), "w") as handle:
+            json.dump(RESULTS, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {bench_out()}")
+
+
+@pytest.fixture(scope="module")
+def selection_data():
+    """A small labeled feature matrix for the wrapper-selection benches."""
+    corpus = run_experiments(
+        [workload_by_name(n) for n in ("tpcc", "twitter")],
+        [SKU(cpus=8, memory_gb=32.0)],
+        terminals_for=lambda w: (4, 8),
+        random_state=5,
+        **GRID_KWARGS,
+    )
+    return corpus.feature_matrix()[:, :N_FEATURES], corpus.labels()
+
+
+@pytest.fixture(scope="module")
+def eval_dataset():
+    """A three-SKU TPC-C scaling dataset for the strategy-grid benches."""
+    repo = run_experiments(
+        [workload_by_name("tpcc")],
+        [SKU(cpus=c, memory_gb=32.0) for c in (2, 4, 8)],
+        terminals_for=lambda w: (4,),
+        random_state=9,
+        **GRID_KWARGS,
+    )
+    return build_scaling_dataset(repo, "tpcc", 4, random_state=0)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def fits_total(registry: MetricsRegistry) -> int:
+    return int(registry.counter("ml.fits_total").value)
+
+
+def test_parallel_sfs_bit_identity(selection_data):
+    """jobs=4 SFS selects the bit-identical order; faster on real cores."""
+    X, y = selection_data
+
+    def select(jobs):
+        return SequentialFeatureSelector("linear", jobs=jobs).fit(X, y)
+
+    serial, serial_s = timed(lambda: select(None))
+    parallel, parallel_s = timed(lambda: select(4))
+    record = scaling_record(serial_s, parallel_s, jobs=4)
+    cores = record["cpu_count"]
+
+    print_header("Evaluation path: parallel forward SFS (linear)")
+    print(f"features  : {X.shape[1]}  ({X.shape[0]} rows)")
+    print(f"serial    : {serial_s:7.2f}s")
+    if "speedup" in record:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"speedup x{record['speedup']:.2f}   ({cores} cores)")
+    else:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"(insufficient cores for a speedup: {cores})")
+    RESULTS["parallel_sfs"] = {
+        "n_features": int(X.shape[1]),
+        "n_rows": int(X.shape[0]),
+        "bit_identical": bool(
+            np.array_equal(serial.ranking_, parallel.ranking_)
+        ),
+        **record,
+    }
+    assert np.array_equal(serial.ranking_, parallel.ranking_), (
+        "parallel SFS diverged from serial"
+    )
+
+
+def test_sfs_fit_cache_cold_vs_warm(selection_data, tmp_path_factory):
+    """A warm fit cache re-runs the selection with zero model fits."""
+    X, y = selection_data
+    cache_dir = tmp_path_factory.mktemp("fitcache")
+    previous = set_metrics(MetricsRegistry())
+    try:
+        cold, cold_s = timed(
+            lambda: SequentialFeatureSelector(
+                "linear", fit_cache=FitCache(cache_dir)
+            ).fit(X, y)
+        )
+        cold_fits = fits_total(get_metrics())
+        set_metrics(registry := MetricsRegistry())
+        warm, warm_s = timed(
+            lambda: SequentialFeatureSelector(
+                "linear", fit_cache=FitCache(cache_dir)
+            ).fit(X, y)
+        )
+        warm_fits = fits_total(registry)
+        warm_hits = int(registry.counter("fit_cache.hits_total").value)
+    finally:
+        set_metrics(previous)
+
+    print_header("Evaluation path: fit cache cold vs warm (forward SFS)")
+    print(f"cold       : {cold_s:7.2f}s   ({cold_fits} model fits)")
+    print(f"warm       : {warm_s:7.2f}s   ({warm_fits} model fits, want 0)")
+    print(f"warm hits  : {warm_hits}")
+    RESULTS["sfs_fit_cache"] = {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_fits": cold_fits,
+        "warm_fits": warm_fits,
+        "warm_hits": warm_hits,
+    }
+    assert warm_fits == 0, "warm fit cache still fitted models"
+    assert warm_hits > 0
+    assert np.array_equal(cold.ranking_, warm.ranking_), (
+        "fit-cache hit path diverged"
+    )
+
+
+def test_parallel_strategy_grid(eval_dataset, tmp_path_factory):
+    """Parallel + cached Table 5/6 cells reproduce serial NRMSE exactly."""
+    cache_dir = tmp_path_factory.mktemp("fitcache")
+    serial, serial_s = timed(
+        lambda: evaluate_pairwise_strategy(
+            eval_dataset, "Regression", random_state=0
+        )
+    )
+    parallel, parallel_s = timed(
+        lambda: evaluate_pairwise_strategy(
+            eval_dataset, "Regression", random_state=0, jobs=4
+        )
+    )
+    record = scaling_record(serial_s, parallel_s, jobs=4)
+
+    previous = set_metrics(MetricsRegistry())
+    try:
+        cold, cold_s = timed(
+            lambda: evaluate_pairwise_strategy(
+                eval_dataset, "Regression", random_state=0,
+                fit_cache=FitCache(cache_dir),
+            )
+        )
+        set_metrics(registry := MetricsRegistry())
+        warm, warm_s = timed(
+            lambda: evaluate_pairwise_strategy(
+                eval_dataset, "Regression", random_state=0,
+                fit_cache=FitCache(cache_dir),
+            )
+        )
+        warm_fits = fits_total(registry)
+    finally:
+        set_metrics(previous)
+
+    print_header("Evaluation path: pairwise strategy grid (Regression)")
+    print(f"serial    : {serial_s:7.2f}s   NRMSE {serial.mean_nrmse:.4f}")
+    print(f"4 workers : {parallel_s:7.2f}s")
+    print(f"cold cache: {cold_s:7.2f}s")
+    print(f"warm cache: {warm_s:7.2f}s   ({warm_fits} model fits, want 0)")
+    RESULTS["strategy_grid"] = {
+        "mean_nrmse": serial.mean_nrmse,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_fits": warm_fits,
+        **record,
+    }
+    assert parallel.mean_nrmse == serial.mean_nrmse, (
+        "parallel strategy grid diverged from serial"
+    )
+    assert cold.mean_nrmse == serial.mean_nrmse
+    assert warm.mean_nrmse == serial.mean_nrmse
+    assert warm_fits == 0, "warm fit cache still fitted models"

@@ -25,7 +25,12 @@ the ``REPRO_CACHE_DIR`` environment variable), and ``--no-cache``.
 Analysis subcommands (``similarity``, ``cluster``, ``predict``) accept
 ``--jobs N`` (parallel pairwise-distance computation, bit-identical to
 serial) and ``--distance-cache PATH`` (content-addressed distance cache,
-also settable via ``REPRO_DISTANCE_CACHE``).
+also settable via ``REPRO_DISTANCE_CACHE``).  ``select`` and ``predict``
+additionally accept ``--fit-cache PATH`` (content-addressed model-fit
+cache, also settable via ``REPRO_FIT_CACHE``): a warm re-run of wrapper
+feature selection or strategy evaluation performs zero model fits, and
+``select --jobs N`` fans SFS candidate subsets over N workers with
+bit-identical output.
 
 Observability flags are accepted by every subcommand: ``--log-level``
 routes the library's structured logs to stderr, ``--trace-out`` records
@@ -94,6 +99,11 @@ def _resolve_distance_cache(args) -> str | None:
         or os.environ.get("REPRO_DISTANCE_CACHE")
         or None
     )
+
+
+def _resolve_fit_cache(args) -> str | None:
+    """The model-fit cache directory (flag, then env)."""
+    return args.fit_cache or os.environ.get("REPRO_FIT_CACHE") or None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -213,6 +223,16 @@ def _build_parser() -> argparse.ArgumentParser:
     select.add_argument("--corpus", required=True)
     select.add_argument("--strategy", default="RFE LogReg")
     select.add_argument("--top-k", type=int, default=7)
+    select.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for wrapper-selection candidate fits "
+        "(0 = one per CPU; results are bit-identical to serial)",
+    )
+    select.add_argument(
+        "--fit-cache", default=None, metavar="PATH",
+        help="content-addressed model-fit cache directory "
+        "(default: $REPRO_FIT_CACHE if set)",
+    )
 
     similarity = sub.add_parser(
         "similarity", help="evaluate a similarity method on a repository",
@@ -246,6 +266,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--context", default="pairwise", choices=("pairwise", "single")
     )
     predict.add_argument("--top-k", type=int, default=7)
+    predict.add_argument(
+        "--fit-cache", default=None, metavar="PATH",
+        help="content-addressed model-fit cache directory "
+        "(default: $REPRO_FIT_CACHE if set)",
+    )
 
     cluster = sub.add_parser(
         "cluster", help="group a repository's experiments by similarity",
@@ -409,6 +434,12 @@ def _cmd_select(args) -> int:
         )
         return 2
     selector = registry[args.strategy]()
+    # Wrapper selectors ride the evaluation fast path; other strategies
+    # have no such knobs.
+    if hasattr(selector, "jobs"):
+        selector.jobs = args.jobs
+    if hasattr(selector, "fit_cache"):
+        selector.fit_cache = _resolve_fit_cache(args)
     selector.fit(corpus.feature_matrix(), corpus.labels())
     print(f"top-{args.top_k} features by {args.strategy}:")
     for rank, index in enumerate(selector.top_k(args.top_k), start=1):
@@ -456,6 +487,7 @@ def _cmd_predict(args) -> int:
         top_k=args.top_k,
         jobs=args.jobs,
         distance_cache=_resolve_distance_cache(args),
+        fit_cache=_resolve_fit_cache(args),
     )
     pipeline = WorkloadPredictionPipeline(config)
     report = pipeline.predict_scaling(references, target, source, target_sku)

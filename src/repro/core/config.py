@@ -44,6 +44,12 @@ class PipelineConfig:
     distance_cache:
         Directory for the content-addressed pairwise-distance cache
         (kept as a path string so configs serialize into manifests).
+    fit_cache:
+        Directory for the content-addressed fit cache
+        (:class:`repro.ml.fitexec.FitCache`) behind the evaluation fast
+        path; warm re-runs of feature selection and strategy evaluation
+        perform zero model fits.  Kept as a path string so configs
+        serialize into manifests.
     """
 
     selection_strategy: str = "RFE LogReg"
@@ -56,6 +62,7 @@ class PipelineConfig:
     random_state: int = 0
     jobs: int | None = None
     distance_cache: str | None = None
+    fit_cache: str | None = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self):

@@ -87,6 +87,12 @@ class WorkloadPredictionPipeline:
             X = references.feature_matrix()[:, scope]
             labels = references.labels()
             selector = factory()
+            # Wrapper selectors ride the evaluation fast path; filter and
+            # embedded strategies have no such knobs and ignore them.
+            if hasattr(selector, "jobs"):
+                selector.jobs = self.config.jobs
+            if hasattr(selector, "fit_cache"):
+                selector.fit_cache = self.config.fit_cache
             started = time.perf_counter()
             with span("features.selector.fit", attrs={"n_rows": X.shape[0]}):
                 selector.fit(X, labels)

@@ -47,9 +47,12 @@ from repro.features.aggregation import (
 )
 from repro.features.decomposition import PCA, TruncatedSVD
 from repro.features.stability import (
+    StabilityReport,
+    bootstrap_rankings,
     consensus_stability_curve,
     jaccard_similarity,
     selection_stability,
+    stability_selection,
 )
 from repro.features.evaluation import (
     classify_accuracy_curve,
@@ -80,6 +83,9 @@ __all__ = [
     "jaccard_similarity",
     "selection_stability",
     "consensus_stability_curve",
+    "bootstrap_rankings",
+    "stability_selection",
+    "StabilityReport",
     "knn_feature_subset_accuracy",
     "classify_accuracy_curve",
     "strategy_registry",

@@ -9,6 +9,20 @@ integer rank per feature — the rank-based output class of Section 4.2.
 The estimator is chosen by name, matching the paper's variants: ``linear``
 (least squares on integer-encoded labels), ``dectree`` (CART classifier),
 and ``logreg`` (L2 logistic regression).
+
+Wrappers are the most expensive strategies of Table 3 (O(d²) model fits),
+so both ride the evaluation fast path (:mod:`repro.ml.fitexec`):
+
+- ``jobs`` fans the independent candidate subsets of each SFS greedy
+  step over a process pool.  Candidate scores are computed by the exact
+  same worker function serially and in parallel and the greedy argmax
+  walks them in the serial order, so the selected feature order is
+  **bit-identical at any worker count**.  (RFE accepts ``jobs`` for API
+  symmetry, but its elimination steps are inherently sequential — one
+  fit per step — so the knob has no effect there.)
+- ``fit_cache`` memoizes each candidate's CV score (and each RFE step's
+  importance vector) under a content address; a warm re-run of a
+  selection performs zero model fits.
 """
 
 from __future__ import annotations
@@ -18,6 +32,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.features.base import RankBasedSelector, encode_labels
 from repro.ml.base import clone
+from repro.ml.fitexec import as_fit_cache, count_fits, fit_key, run_units
 from repro.ml.linear import LinearRegression
 from repro.ml.logistic import LogisticRegression
 from repro.ml.model_selection import KFold
@@ -39,6 +54,15 @@ def _make_estimator(name: str):
     )
 
 
+def _estimator_params(name: str) -> dict:
+    """Canonicalized constructor parameters, for fit-cache keying."""
+    if name == "linear":
+        return {}
+    if name == "dectree":
+        return {"max_depth": 6, "random_state": 0}
+    return {"alpha": 1.0, "max_iter": 50}
+
+
 def _estimator_is_regressor(name: str) -> bool:
     return name == "linear"
 
@@ -51,6 +75,32 @@ def _importances(model, name: str) -> np.ndarray:
     return model.feature_importances_  # logreg: L2 norm of class coefs
 
 
+def _sfs_cv_score(unit) -> tuple[float, int]:
+    """Mean CV score of one candidate subset: ``(score, n_fits)``.
+
+    This is the unit of work shipped to pool workers, and the exact same
+    function the serial path calls — which is what makes parallel SFS
+    bit-identical to serial.  Fit counts are returned (not published)
+    because workers run with their own metrics registries; the parent
+    aggregates them into ``ml.fits_total``.
+    """
+    subset, target, estimator, cv = unit
+    scores = []
+    n_fits = 0
+    splitter = KFold(cv, shuffle=True, random_state=0)
+    for train_idx, test_idx in splitter.split(subset):
+        model = clone(_make_estimator(estimator))
+        n_fits += 1
+        try:
+            model.fit(subset[train_idx], target[train_idx])
+        except Exception:
+            # A degenerate fold (e.g. one class only) scores worst.
+            scores.append(-np.inf)
+            continue
+        scores.append(model.score(subset[test_idx], target[test_idx]))
+    return float(np.mean(scores)), n_fits
+
+
 class RecursiveFeatureElimination(RankBasedSelector):
     """RFE: drop the least important feature until none remain.
 
@@ -59,7 +109,14 @@ class RecursiveFeatureElimination(RankBasedSelector):
     comparable across telemetry units.
     """
 
-    def __init__(self, estimator: str = "logreg", *, step: int = 1):
+    def __init__(
+        self,
+        estimator: str = "logreg",
+        *,
+        step: int = 1,
+        jobs: int | None = None,
+        fit_cache=None,
+    ):
         if estimator not in ESTIMATOR_NAMES:
             raise ValidationError(
                 f"unknown estimator {estimator!r}; expected {ESTIMATOR_NAMES}"
@@ -68,13 +125,42 @@ class RecursiveFeatureElimination(RankBasedSelector):
             raise ValidationError(f"step must be >= 1, got {step}")
         self.estimator = estimator
         self.step = step
+        self.jobs = jobs  # accepted for API symmetry; RFE is sequential
+        self.fit_cache = fit_cache
         self.name = f"RFE {estimator}"
+
+    def _step_importances(
+        self, subset: np.ndarray, target, codes: np.ndarray, cache
+    ) -> np.ndarray:
+        """Importances of one elimination step, memoized by content."""
+        key = None
+        if cache is not None:
+            key = fit_key(
+                estimator=self.estimator,
+                params=_estimator_params(self.estimator),
+                arrays={"X": subset, "y": codes},
+                fold="rfe",
+                scorer="importances",
+            )
+            value = cache.get(key)
+            if value is not None:
+                return np.asarray(value, dtype=float)
+        model = _make_estimator(self.estimator)
+        model.fit(subset, target)
+        count_fits(1)
+        importances = np.asarray(
+            _importances(model, self.estimator), dtype=float
+        )
+        if cache is not None:
+            cache.put(key, [float(value) for value in importances])
+        return importances
 
     def fit(self, X, y) -> "RecursiveFeatureElimination":
         X, y = self._validate(X, y)
         Xs = StandardScaler().fit_transform(X)
         codes, _ = encode_labels(y)
         target = codes.astype(float) if _estimator_is_regressor(self.estimator) else y
+        cache = as_fit_cache(self.fit_cache)
         remaining = list(range(X.shape[1]))
         ranking = np.zeros(X.shape[1], dtype=int)
         next_rank = X.shape[1]
@@ -82,9 +168,9 @@ class RecursiveFeatureElimination(RankBasedSelector):
             if len(remaining) == 1:
                 ranking[remaining[0]] = 1
                 break
-            model = _make_estimator(self.estimator)
-            model.fit(Xs[:, remaining], target)
-            importances = _importances(model, self.estimator)
+            importances = self._step_importances(
+                Xs[:, remaining], target, codes, cache
+            )
             n_drop = min(self.step, len(remaining) - 1)
             drop_positions = np.argsort(importances, kind="stable")[:n_drop]
             # Drop the least important; assign them the worst open ranks.
@@ -111,6 +197,8 @@ class SequentialFeatureSelector(RankBasedSelector):
         *,
         direction: str = "forward",
         cv: int = 3,
+        jobs: int | None = None,
+        fit_cache=None,
     ):
         if estimator not in ESTIMATOR_NAMES:
             raise ValidationError(
@@ -125,6 +213,8 @@ class SequentialFeatureSelector(RankBasedSelector):
         self.estimator = estimator
         self.direction = direction
         self.cv = cv
+        self.jobs = jobs
+        self.fit_cache = fit_cache
         prefix = "Fw" if direction == "forward" else "Bw"
         self.name = f"{prefix} SFS {estimator}"
 
@@ -132,19 +222,60 @@ class SequentialFeatureSelector(RankBasedSelector):
         self, X: np.ndarray, target: np.ndarray, columns: list[int]
     ) -> float:
         """Mean CV score of the estimator restricted to ``columns``."""
-        subset = X[:, columns]
-        scores = []
-        splitter = KFold(self.cv, shuffle=True, random_state=0)
-        for train_idx, test_idx in splitter.split(subset):
-            model = clone(_make_estimator(self.estimator))
-            try:
-                model.fit(subset[train_idx], target[train_idx])
-            except Exception:
-                # A degenerate fold (e.g. one class only) scores worst.
-                scores.append(-np.inf)
-                continue
-            scores.append(model.score(subset[test_idx], target[test_idx]))
-        return float(np.mean(scores))
+        score, n_fits = _sfs_cv_score(
+            (X[:, columns], target, self.estimator, self.cv)
+        )
+        count_fits(n_fits)
+        return score
+
+    def _candidate_scores(
+        self,
+        X: np.ndarray,
+        target: np.ndarray,
+        codes: np.ndarray,
+        candidates: list[list[int]],
+    ) -> list[float]:
+        """CV scores of one greedy step's candidate subsets, in order.
+
+        The candidates are independent, so cache misses fan out over
+        :func:`~repro.ml.fitexec.run_units`; results come back in
+        candidate order and the caller's argmax walks them serially, so
+        the chosen feature is identical at any worker count.
+        """
+        cache = as_fit_cache(self.fit_cache)
+        scores: list[float | None] = [None] * len(candidates)
+        keys: list[str | None] = [None] * len(candidates)
+        units, positions = [], []
+        for position, columns in enumerate(candidates):
+            subset = X[:, columns]
+            if cache is not None:
+                key = fit_key(
+                    estimator=self.estimator,
+                    params=_estimator_params(self.estimator),
+                    arrays={"X": subset, "y": codes},
+                    seed=0,
+                    fold=f"kfold:{self.cv}:shuffle",
+                    scorer="cv_mean",
+                )
+                keys[position] = key
+                value = cache.get(key)
+                if value is not None:
+                    scores[position] = float(value)
+                    continue
+            units.append((subset, target, self.estimator, self.cv))
+            positions.append(position)
+        outputs = run_units(
+            _sfs_cv_score, units, jobs=self.jobs,
+            label=f"sfs:{self.estimator}",
+        )
+        total_fits = 0
+        for position, (score, n_fits) in zip(positions, outputs):
+            scores[position] = score
+            total_fits += n_fits
+            if cache is not None:
+                cache.put(keys[position], score)
+        count_fits(total_fits)
+        return scores
 
     def fit(self, X, y) -> "SequentialFeatureSelector":
         X, y = self._validate(X, y)
@@ -157,30 +288,35 @@ class SequentialFeatureSelector(RankBasedSelector):
         )
         n_features = X.shape[1]
         if self.direction == "forward":
-            order = self._forward_order(Xs, target, n_features)
+            order = self._forward_order(Xs, target, codes, n_features)
         else:
-            order = self._backward_order(Xs, target, n_features)
+            order = self._backward_order(Xs, target, codes, n_features)
         ranking = np.zeros(n_features, dtype=int)
         for rank, feature in enumerate(order, start=1):
             ranking[feature] = rank
         self.ranking_ = ranking
         return self
 
-    def _forward_order(self, X, target, n_features: int) -> list[int]:
+    def _forward_order(
+        self, X, target, codes, n_features: int
+    ) -> list[int]:
         """Features in the order the greedy forward pass adds them."""
         selected: list[int] = []
         remaining = list(range(n_features))
         while remaining:
+            candidates = [selected + [feature] for feature in remaining]
+            scores = self._candidate_scores(X, target, codes, candidates)
             best_feature, best_score = None, -np.inf
-            for feature in remaining:
-                score = self._cv_score(X, target, selected + [feature])
+            for feature, score in zip(remaining, scores):
                 if score > best_score:
                     best_score, best_feature = score, feature
             selected.append(best_feature)
             remaining.remove(best_feature)
         return selected
 
-    def _backward_order(self, X, target, n_features: int) -> list[int]:
+    def _backward_order(
+        self, X, target, codes, n_features: int
+    ) -> list[int]:
         """Importance order from greedy backward elimination.
 
         The feature removed first mattered least (worst rank); the final
@@ -189,10 +325,12 @@ class SequentialFeatureSelector(RankBasedSelector):
         remaining = list(range(n_features))
         removal_order: list[int] = []
         while len(remaining) > 1:
+            candidates = [
+                [f for f in remaining if f != feature] for feature in remaining
+            ]
+            scores = self._candidate_scores(X, target, codes, candidates)
             best_feature, best_score = None, -np.inf
-            for feature in remaining:
-                candidate = [f for f in remaining if f != feature]
-                score = self._cv_score(X, target, candidate)
+            for feature, score in zip(remaining, scores):
                 if score > best_score:
                     best_score, best_feature = score, feature
             removal_order.append(best_feature)

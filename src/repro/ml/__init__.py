@@ -15,6 +15,9 @@ the same algorithm families implemented directly on numpy/scipy:
 - :mod:`repro.ml.model_selection` / :mod:`repro.ml.metrics` — cross
   validation and the paper's evaluation metrics (NRMSE, MAPE, mAP, NDCG).
 - :mod:`repro.ml.information` — entropy, mutual information, and fANOVA.
+- :mod:`repro.ml.fitexec` — the shared fit/score executor and the
+  content-addressed :class:`~repro.ml.fitexec.FitCache` behind the
+  evaluation fast path (wrapper selection, stability, Table 5/6 grids).
 """
 
 from repro.ml.base import BaseEstimator, RegressorMixin, ClassifierMixin, clone
@@ -37,6 +40,7 @@ from repro.ml.mixed_effects import LinearMixedEffectsModel
 from repro.ml.neural import MLPRegressor
 from repro.ml.model_selection import KFold, cross_val_score, train_test_split
 from repro.ml.cluster import KMeans, KMedoids, agglomerative_labels
+from repro.ml.fitexec import FitCache, as_fit_cache, fit_key, run_units
 
 __all__ = [
     "BaseEstimator",
@@ -67,4 +71,8 @@ __all__ = [
     "KMeans",
     "KMedoids",
     "agglomerative_labels",
+    "FitCache",
+    "as_fit_cache",
+    "fit_key",
+    "run_units",
 ]

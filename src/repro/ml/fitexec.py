@@ -1,0 +1,269 @@
+"""Shared fit/score execution: parallel unit fan-out and a content-addressed fit cache.
+
+The expensive evaluation stages — wrapper feature selection (SFS greedy
+steps, RFE refits), stability-selection bootstrap repetitions, and the
+cross-validated prediction-strategy grids of Tables 5–6 — all reduce to
+the same shape of work: many *independent* fit/score units whose results
+are pure functions of their inputs.  This module provides the two shared
+pieces they build on:
+
+- :func:`run_units` evaluates a list of picklable units with a
+  module-level worker function, serially or over a
+  ``ProcessPoolExecutor``.  The *same* worker function runs on both
+  paths and results come back in submission order, so parallel output is
+  bit-identical to serial (the contract every parallel engine in this
+  repo honours; see ``docs/performance.md``).
+- :class:`FitCache` memoizes unit results under a content address
+  (:func:`fit_key`): SHA-256 over the input arrays' shapes and bytes,
+  the estimator name and canonicalized parameters, the seed(s), the fold
+  spec, and the scorer.  A warm re-run of an SFS selection or a
+  Table 5/6 grid therefore performs **zero** model fits.
+
+Storage follows the :class:`~repro.similarity.distcache.DistanceCache`
+discipline: one append-only JSONL file, torn tails healed before
+appending, corrupt lines counted (``fit_cache.corrupt_total``) but never
+fatal, and non-finite values never persisted.  Cached values round-trip
+exactly (``repr``-based JSON floats), which is what keeps warm-cache
+runs bit-identical to cold ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
+from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
+
+logger = get_logger(__name__)
+
+#: Bump when the key derivation or the on-disk layout changes; every
+#: existing entry stops being addressable.
+FIT_CACHE_FORMAT_VERSION = 1
+
+
+def array_digest(values) -> str:
+    """SHA-256 content address of an array (shape plus float64 bytes)."""
+    arr = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    digest = hashlib.sha256()
+    digest.update(repr(arr.shape).encode("utf-8"))
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def fit_key(
+    *,
+    estimator: str,
+    arrays: dict,
+    params: dict | None = None,
+    seed=None,
+    fold: str | None = None,
+    scorer: str | None = None,
+) -> str:
+    """Cache key for one fit/score unit.
+
+    ``arrays`` maps role names (``"X"``, ``"y"``, ``"groups"`` …) to the
+    arrays the unit consumes; each is digested by content, so any change
+    to the data changes the key.  ``params`` must be a JSON-serializable
+    description of the estimator configuration, ``seed`` an int or a
+    list of ints, ``fold`` a string describing the CV split scheme, and
+    ``scorer`` the scoring function's name.
+    """
+    payload = json.dumps(
+        {
+            "format": FIT_CACHE_FORMAT_VERSION,
+            "estimator": estimator,
+            "params": params or {},
+            "seed": seed,
+            "fold": fold,
+            "scorer": scorer,
+            "arrays": {
+                name: array_digest(value)
+                for name, value in sorted(arrays.items())
+            },
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _all_finite(value) -> bool:
+    """True when every number in a scalar/list/dict tree is finite."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return math.isfinite(value)
+    if isinstance(value, list):
+        return all(_all_finite(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _all_finite(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+class FitCache:
+    """On-disk memo of fit/score results, keyed by :func:`fit_key`.
+
+    Values are finite floats, or (nested) lists/str-keyed dicts of them —
+    a CV score, an importance vector, a grid cell's fold scores.  The
+    entry set is held in memory and mirrored to ``fits.jsonl`` under
+    ``root``; ``get``/``put`` publish ``fit_cache.hits_total`` /
+    ``fit_cache.misses_total`` through :mod:`repro.obs`.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).expanduser()
+        self.path = self.root / "fits.jsonl"
+        self._entries: dict[str, object] = {}
+        self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            logger.warning("cannot read fit cache %s: %s", self.path, exc)
+            return
+        corrupt = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt += 1
+                continue
+            key = entry.get("key") if isinstance(entry, dict) else None
+            value = entry.get("value") if isinstance(entry, dict) else None
+            if isinstance(key, str) and _all_finite(value):
+                self._entries[key] = value
+            else:
+                corrupt += 1
+        if corrupt:
+            get_metrics().counter("fit_cache.corrupt_total").inc(corrupt)
+            logger.warning(
+                "fit cache %s: skipped %d corrupt line(s)", self.path, corrupt
+            )
+
+    def get(self, key: str):
+        """The cached value for ``key``, or ``None`` on a miss."""
+        value = self._entries.get(key)
+        if value is None:
+            get_metrics().counter("fit_cache.misses_total").inc()
+            return None
+        get_metrics().counter("fit_cache.hits_total").inc()
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Record a computed result (idempotent per cache object).
+
+        Non-finite values are never persisted — a ``-inf`` from a
+        degenerate fold is a sentinel, not a reusable result.  Append
+        failures are logged and swallowed: the cache is an optimization,
+        not a correctness requirement.
+        """
+        if not _all_finite(value):
+            return
+        if key in self._entries:
+            return
+        self._entries[key] = value
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            line = json.dumps({"key": key, "value": value}) + "\n"
+            with self.path.open("a+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell():
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                handle.write(line.encode("utf-8"))
+                handle.flush()
+        except OSError as exc:
+            logger.warning("cannot append to fit cache %s: %s", self.path, exc)
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        self._entries.clear()
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError as exc:
+            logger.warning("cannot remove fit cache %s: %s", self.path, exc)
+
+
+def as_fit_cache(cache: "FitCache | str | Path | None") -> FitCache | None:
+    """Normalize a cache argument: ``None``, a directory, or a cache."""
+    if cache is None or isinstance(cache, FitCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return FitCache(cache)
+    raise TypeError(
+        "fit_cache must be None, a path, or a FitCache, "
+        f"got {type(cache).__name__}"
+    )
+
+
+def count_fits(n: int) -> None:
+    """Publish ``n`` model fits to ``ml.fits_total``.
+
+    Workers run in their own processes with their own metrics registries,
+    so they *return* fit counts and the parent publishes them — serial
+    and parallel runs report identical totals.
+    """
+    if n:
+        get_metrics().counter("ml.fits_total").inc(n)
+
+
+def run_units(
+    worker: Callable,
+    units: Sequence,
+    *,
+    jobs: int | None = None,
+    label: str = "fitexec",
+) -> list:
+    """Evaluate independent fit/score units; results in unit order.
+
+    ``worker`` must be a module-level (picklable) function taking one
+    unit.  ``jobs`` follows the repo-wide convention (``None``/``1``
+    serial, ``0`` one worker per CPU); when no pool can be created the
+    units run serially with a warning.  The exact same worker function
+    runs on both paths, which is what makes parallel output bit-identical
+    to serial.
+    """
+    units = list(units)
+    n_workers = resolve_jobs(jobs)
+    with span(
+        "ml.fitexec",
+        attrs={"label": label, "n_units": len(units), "workers": n_workers},
+    ):
+        if n_workers > 1 and len(units) > 1:
+            try:
+                pool = ProcessPoolExecutor(max_workers=n_workers)
+            except POOL_UNAVAILABLE_ERRORS as exc:
+                logger.warning(
+                    "process pool unavailable (%s); evaluating %s "
+                    "units serially",
+                    exc,
+                    label,
+                )
+            else:
+                with pool:
+                    futures = [pool.submit(worker, unit) for unit in units]
+                    return [future.result() for future in futures]
+        return [worker(unit) for unit in units]

@@ -4,6 +4,17 @@ The methodology follows Section 6.2: each workload setting contributes 30
 throughput observations per SKU (3 runs x 10 random down-samples); models
 are scored by 5-fold cross validation; pairwise results average the NRMSE
 over the six upward scaling pairs among the 2/4/8/16-CPU SKUs.
+
+Both evaluators ride the evaluation fast path (:mod:`repro.ml.fitexec`):
+the (source SKU, target SKU) pairs of the pairwise context and the CV
+folds of the single context are independent fit/score units.  ``jobs``
+fans them over a process pool — per-pair seeds are derived parent-side
+in serial pair order, so output is **bit-identical at any worker
+count** — and ``fit_cache`` memoizes each unit's fold scores under a
+content address, so a warm re-run of a Table 5/6 grid performs zero
+model fits.  (Cached entries also carry the originally measured
+training times; ``mean_training_time_s`` is a wall-clock observation
+and is outside the bit-identical contract.)
 """
 
 from __future__ import annotations
@@ -14,8 +25,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.ml.fitexec import as_fit_cache, count_fits, fit_key, run_units
 from repro.ml.metrics import normalized_rmse
 from repro.ml.model_selection import KFold
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import span
 from repro.prediction.baseline import InverseLinearBaseline
 from repro.prediction.context import PairwiseScalingModel, SingleScalingModel
 from repro.utils.rng import RandomState, as_generator, spawn_generators
@@ -176,12 +190,46 @@ def _check_evaluable(dataset: ScalingDataset, cv: int | None = None) -> None:
             )
 
 
+def _pairwise_pair_unit(unit) -> tuple[list[float], list[float], int]:
+    """All CV folds of one upward SKU pair: ``(scores, times, n_fits)``.
+
+    The unit of work shipped to pool workers — and the exact same
+    function the serial path calls, which is what keeps parallel grids
+    bit-identical to serial.  Fit counts are returned, not published:
+    workers run with their own metrics registries and the parent
+    aggregates into ``ml.fits_total``.
+    """
+    y_source, y_target, pair_groups, strategy, cv, fold_seed, model_seed = unit
+    scores, times = [], []
+    n_fits = 0
+    splitter = KFold(cv, shuffle=True, random_state=fold_seed)
+    for train_idx, test_idx in splitter.split(y_source):
+        model = PairwiseScalingModel(strategy, random_state=model_seed)
+        start = time.perf_counter()
+        model.fit(
+            y_source[train_idx],
+            y_target[train_idx],
+            groups=pair_groups[train_idx],
+        )
+        times.append(float(time.perf_counter() - start))
+        n_fits += 1
+        predictions = model.predict(
+            y_source[test_idx], groups=pair_groups[test_idx]
+        )
+        scores.append(
+            float(normalized_rmse(y_target[test_idx], predictions))
+        )
+    return scores, times, n_fits
+
+
 def evaluate_pairwise_strategy(
     dataset: ScalingDataset,
     strategy: str,
     *,
     cv: int = 5,
     random_state: RandomState = 0,
+    jobs: int | None = None,
+    fit_cache=None,
 ) -> StrategyScore:
     """Mean CV NRMSE over the upward SKU pairs (Table 6, pairwise block).
 
@@ -189,31 +237,77 @@ def evaluate_pairwise_strategy(
     down-sample), so the same execution context never appears in both the
     train and test side of one pair.  Each pair draws two *independent*
     seeds — one for fold shuffling, one for model randomness — so fold
-    assignment is decoupled from stochastic model internals.
+    assignment is decoupled from stochastic model internals.  Seeds are
+    derived parent-side in serial pair order before any unit runs, so
+    ``jobs`` cannot change a single output bit; ``fit_cache`` memoizes
+    each pair's fold scores by content, so a warm re-run fits nothing.
     """
     rng = as_generator(random_state)
     _check_evaluable(dataset, cv)
-    all_scores, all_times = [], []
-    for source, target in dataset.upward_pairs():
-        y_source = dataset.observations[source]
-        y_target = dataset.observations[target]
-        pair_groups = dataset.groups[source]
+    pairs = dataset.upward_pairs()
+    # Seed derivation stays in the exact serial draw order (fold seed,
+    # then model seed, per pair) so results match the serial history.
+    seeds = []
+    for _ in pairs:
         fold_seed = int(rng.integers(0, 2**31))
         model_seed = int(rng.integers(0, 2**31))
-        splitter = KFold(cv, shuffle=True, random_state=fold_seed)
-        for train_idx, test_idx in splitter.split(y_source):
-            model = PairwiseScalingModel(strategy, random_state=model_seed)
-            start = time.perf_counter()
-            model.fit(
-                y_source[train_idx],
-                y_target[train_idx],
-                groups=pair_groups[train_idx],
+        seeds.append((fold_seed, model_seed))
+    cache = as_fit_cache(fit_cache)
+    with span(
+        "prediction.evaluate_pairwise",
+        attrs={"strategy": strategy, "n_pairs": len(pairs), "cv": cv},
+    ):
+        results: list[tuple[list[float], list[float]] | None]
+        results = [None] * len(pairs)
+        keys: list[str | None] = [None] * len(pairs)
+        units, positions = [], []
+        for position, ((source, target), (fold_seed, model_seed)) in enumerate(
+            zip(pairs, seeds)
+        ):
+            y_source = dataset.observations[source]
+            y_target = dataset.observations[target]
+            pair_groups = dataset.groups[source]
+            if cache is not None:
+                key = fit_key(
+                    estimator=f"pairwise:{strategy}",
+                    arrays={
+                        "y_source": y_source,
+                        "y_target": y_target,
+                        "groups": pair_groups,
+                    },
+                    seed=[fold_seed, model_seed],
+                    fold=f"kfold:{cv}:shuffle",
+                    scorer="nrmse",
+                )
+                keys[position] = key
+                value = cache.get(key)
+                if value is not None:
+                    results[position] = (
+                        [float(s) for s in value["scores"]],
+                        [float(t) for t in value["times"]],
+                    )
+                    continue
+            units.append(
+                (
+                    y_source, y_target, pair_groups,
+                    strategy, cv, fold_seed, model_seed,
+                )
             )
-            all_times.append(time.perf_counter() - start)
-            predictions = model.predict(
-                y_source[test_idx], groups=pair_groups[test_idx]
-            )
-            all_scores.append(normalized_rmse(y_target[test_idx], predictions))
+            positions.append(position)
+        outputs = run_units(
+            _pairwise_pair_unit, units, jobs=jobs,
+            label=f"pairwise:{strategy}",
+        )
+        total_fits = 0
+        for position, (scores, times, n_fits) in zip(positions, outputs):
+            results[position] = (scores, times)
+            total_fits += n_fits
+            if cache is not None:
+                cache.put(keys[position], {"scores": scores, "times": times})
+        count_fits(total_fits)
+    get_metrics().counter("evaluation.cells_total").inc(len(pairs) * cv)
+    all_scores = [score for scores, _ in results for score in scores]
+    all_times = [elapsed for _, times in results for elapsed in times]
     return StrategyScore(
         strategy=strategy,
         context="pairwise",
@@ -222,12 +316,50 @@ def evaluate_pairwise_strategy(
     )
 
 
+def _single_fold_unit(unit) -> tuple[list[float], list[float], int]:
+    """One CV fold of the single context: ``(scores, times, n_fits)``.
+
+    Fits one pooled model on the fold's training slots and scores it per
+    upward pair — the same function serially and in workers, so parallel
+    output is bit-identical to serial.
+    """
+    (
+        sku_names, cpu_counts, observations, obs_groups,
+        pairs, strategy, model_seed, train_slots, test_slots,
+    ) = unit
+    cpus, throughput, groups = [], [], []
+    for name in sku_names:
+        y = observations[name][train_slots]
+        cpus.append(np.full(y.size, cpu_counts[name], dtype=float))
+        throughput.append(y)
+        groups.append(obs_groups[name][train_slots])
+    model = SingleScalingModel(strategy, random_state=model_seed)
+    start = time.perf_counter()
+    model.fit(
+        np.concatenate(cpus),
+        np.concatenate(throughput),
+        groups=np.concatenate(groups),
+    )
+    elapsed = float(time.perf_counter() - start)
+    scores = []
+    for _, target in pairs:
+        actual = observations[target][test_slots]
+        predictions = model.predict(
+            np.full(actual.size, cpu_counts[target], dtype=float),
+            groups=obs_groups[target][test_slots],
+        )
+        scores.append(float(normalized_rmse(actual, predictions)))
+    return scores, [elapsed], 1
+
+
 def evaluate_single_strategy(
     dataset: ScalingDataset,
     strategy: str,
     *,
     cv: int = 5,
     random_state: RandomState = 0,
+    jobs: int | None = None,
+    fit_cache=None,
 ) -> StrategyScore:
     """CV NRMSE of one model over all SKUs (Table 6, single block).
 
@@ -236,8 +368,95 @@ def evaluate_single_strategy(
     pair — the prediction at the target SKU's CPU count against that
     pair's held-out target observations — and averaged over the six pairs,
     making the value directly comparable to the pairwise context.
+
+    With an integer ``random_state`` the CV folds are independent units:
+    ``jobs`` fans them over a process pool (splits are computed
+    parent-side, so output is bit-identical at any worker count) and
+    ``fit_cache`` memoizes each fold's pair scores.  A generator
+    ``random_state`` threads shared state through every fold, so it
+    keeps the legacy serial path and ignores both knobs.
     """
     _check_evaluable(dataset, cv)
+    n_slots = len(next(iter(dataset.observations.values())))
+    pairs = dataset.upward_pairs()
+    if not isinstance(random_state, (int, np.integer)):
+        return _evaluate_single_serial(dataset, strategy, cv, random_state)
+    model_seed = int(random_state)
+    splitter = KFold(cv, shuffle=True, random_state=model_seed)
+    folds = list(splitter.split(np.arange(n_slots)))
+    cache = as_fit_cache(fit_cache)
+    with span(
+        "prediction.evaluate_single",
+        attrs={"strategy": strategy, "n_pairs": len(pairs), "cv": cv},
+    ):
+        results: list[tuple[list[float], list[float]] | None]
+        results = [None] * len(folds)
+        keys: list[str | None] = [None] * len(folds)
+        units, positions = [], []
+        for position, (train_slots, test_slots) in enumerate(folds):
+            if cache is not None:
+                arrays = {"train": train_slots, "test": test_slots}
+                for name in dataset.sku_names:
+                    arrays[f"obs:{name}"] = dataset.observations[name]
+                    arrays[f"groups:{name}"] = dataset.groups[name]
+                key = fit_key(
+                    estimator=f"single:{strategy}",
+                    params={
+                        "sku_order": list(dataset.sku_names),
+                        "cpu_counts": {
+                            name: int(dataset.cpu_counts[name])
+                            for name in dataset.sku_names
+                        },
+                    },
+                    arrays=arrays,
+                    seed=model_seed,
+                    fold=f"kfold:{cv}:shuffle",
+                    scorer="nrmse",
+                )
+                keys[position] = key
+                value = cache.get(key)
+                if value is not None:
+                    results[position] = (
+                        [float(s) for s in value["scores"]],
+                        [float(t) for t in value["times"]],
+                    )
+                    continue
+            units.append(
+                (
+                    list(dataset.sku_names), dict(dataset.cpu_counts),
+                    dataset.observations, dataset.groups,
+                    pairs, strategy, model_seed, train_slots, test_slots,
+                )
+            )
+            positions.append(position)
+        outputs = run_units(
+            _single_fold_unit, units, jobs=jobs,
+            label=f"single:{strategy}",
+        )
+        total_fits = 0
+        for position, (fold_scores, times, n_fits) in zip(positions, outputs):
+            results[position] = (fold_scores, times)
+            total_fits += n_fits
+            if cache is not None:
+                cache.put(
+                    keys[position], {"scores": fold_scores, "times": times}
+                )
+        count_fits(total_fits)
+    get_metrics().counter("evaluation.cells_total").inc(len(folds) * len(pairs))
+    scores = [score for fold_scores, _ in results for score in fold_scores]
+    times = [elapsed for _, fold_times in results for elapsed in fold_times]
+    return StrategyScore(
+        strategy=strategy,
+        context="single",
+        mean_nrmse=float(np.mean(scores)),
+        mean_training_time_s=float(np.mean(times)),
+    )
+
+
+def _evaluate_single_serial(
+    dataset: ScalingDataset, strategy: str, cv: int, random_state
+) -> StrategyScore:
+    """Legacy path for generator seeds: state is shared across folds."""
     n_slots = len(next(iter(dataset.observations.values())))
     scores, times = [], []
     splitter = KFold(cv, shuffle=True, random_state=random_state)
@@ -256,6 +475,7 @@ def evaluate_single_strategy(
             groups=np.concatenate(groups),
         )
         times.append(time.perf_counter() - start)
+        count_fits(1)
         for _, target in dataset.upward_pairs():
             actual = dataset.observations[target][test_slots]
             predictions = model.predict(

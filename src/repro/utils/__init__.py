@@ -10,6 +10,7 @@ from repro.utils.validation import (
     check_probability,
 )
 from repro.utils.stats import (
+    ar1_lognormal_noise,
     describe,
     rank_from_scores,
     weighted_mean,
@@ -24,6 +25,7 @@ __all__ = [
     "check_feature_matrix",
     "check_positive_int",
     "check_probability",
+    "ar1_lognormal_noise",
     "describe",
     "rank_from_scores",
     "weighted_mean",

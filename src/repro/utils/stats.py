@@ -50,6 +50,33 @@ def rank_from_scores(scores, *, descending: bool = True) -> np.ndarray:
     return ranks
 
 
+def ar1_lognormal_noise(
+    n_samples: int, *, rho: float, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Multiplicative AR(1) log-noise with stationary scale ``sigma``.
+
+    The log-domain process is ``x[t] = rho * x[t-1] + e[t]`` with the
+    innovation variance chosen so the stationary standard deviation is
+    exactly ``sigma``; the returned series is ``exp(x)``.
+
+    Draw order is part of the contract (the innovations vector first,
+    then the initial stationary normal) — telemetry and runner series
+    generated before this helper existed must stay bit-identical.  The
+    recurrence stays an explicit loop for the same reason: a vectorized
+    scan would change floating-point rounding.
+    """
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
+    if not 0.0 <= rho < 1.0:
+        raise ValidationError(f"rho must be in [0, 1), got {rho}")
+    innovations = rng.normal(0.0, sigma * np.sqrt(1 - rho**2), n_samples)
+    log_noise = np.empty(n_samples)
+    log_noise[0] = rng.normal(0.0, sigma)
+    for t in range(1, n_samples):
+        log_noise[t] = rho * log_noise[t - 1] + innovations[t]
+    return np.exp(log_noise)
+
+
 def weighted_mean(values, weights) -> float:
     """Weighted arithmetic mean with validation of weight positivity."""
     vals = check_1d(values, "values")

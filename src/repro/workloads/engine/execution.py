@@ -61,6 +61,21 @@ class ExecutionEngine:
         self.cpu_model = CPUModel(workload)
         self.lock_model = LockManagerModel(workload)
         self.log_model = LogManagerModel(workload)
+        self._buffer_models: dict[SKU, BufferPoolModel] = {}
+
+    def buffer_model(self, sku: SKU) -> BufferPoolModel:
+        """The buffer-pool model for ``sku``, built once per engine.
+
+        BufferPoolModel is stateless given its constructor arguments and
+        SKU is frozen, so memoizing per SKU is safe and saves rebuilding
+        the model on every bound/operating-point computation.
+        """
+        model = self._buffer_models.get(sku)
+        if model is None:
+            model = self._buffer_models[sku] = BufferPoolModel(
+                self.workload, sku
+            )
+        return model
 
     # -- bounds ---------------------------------------------------------------
     def throughput_bounds(
@@ -69,7 +84,7 @@ class ExecutionEngine:
         """The three capacity bounds (transactions/second), pre-noise."""
         if terminals < 1:
             raise ValidationError(f"terminals must be >= 1, got {terminals}")
-        buffer_model = BufferPoolModel(self.workload, sku)
+        buffer_model = self.buffer_model(sku)
         cpu_bound = self.cpu_model.throughput_bound(sku, terminals) * interference
         io_per_txn = buffer_model.io_per_txn() * buffer_model.spill_factor()
         io_bound = sku.iops_capacity / max(io_per_txn, 1e-9)
@@ -87,7 +102,7 @@ class ExecutionEngine:
     ) -> float:
         """Contention-inflated per-transaction service time."""
         per_stream_cores = max(1, sku.cpus // max(terminals, 1))
-        stream_speedup = CPUModel(self.workload).speedup(
+        stream_speedup = self.cpu_model.speedup(
             SKU(cpus=per_stream_cores, memory_gb=sku.memory_gb,
                 iops_capacity=sku.iops_capacity),
             1,
@@ -130,7 +145,7 @@ class ExecutionEngine:
         throughput = max(throughput, 1e-9)
         latency_ms = terminals / throughput * 1000.0
 
-        buffer_model = BufferPoolModel(self.workload, sku)
+        buffer_model = self.buffer_model(sku)
         per_txn_latency = self._per_txn_latencies(
             sku, terminals, latency_ms, buffer_model, rng if noisy else None
         )

@@ -19,6 +19,7 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import span
 from repro.utils.rng import RandomState, as_generator
+from repro.utils.stats import ar1_lognormal_noise
 from repro.workloads.engine.execution import ExecutionEngine, OperatingPoint
 from repro.workloads.engine.planner import QueryPlanner
 from repro.workloads.features import PLAN_FEATURES, RESOURCE_FEATURES
@@ -226,18 +227,14 @@ class ExperimentRunner:
         puts the irreducible NRMSE floor of Table 6 near the paper's ~0.27.
         """
         rho, sigma = 0.3, 0.45
-        innovations = rng.normal(0.0, sigma * np.sqrt(1 - rho**2), n_samples)
-        log_noise = np.empty(n_samples)
-        log_noise[0] = rng.normal(0.0, sigma)
-        for t in range(1, n_samples):
-            log_noise[t] = rho * log_noise[t - 1] + innovations[t]
+        noise = ar1_lognormal_noise(n_samples, rho=rho, sigma=sigma, rng=rng)
         warmup_len = max(1, n_samples // 16)
         ramp = np.ones(n_samples)
         ramp[:warmup_len] = np.linspace(0.7, 1.0, warmup_len)
         # Divide out the lognormal mean bias exp(sigma^2 / 2) so the series
         # average stays centered on the steady-state throughput.
         bias = np.exp(sigma**2 / 2.0)
-        return op.throughput * ramp * np.exp(log_noise) / bias
+        return op.throughput * ramp * noise / bias
 
     def run_repetitions(
         self,

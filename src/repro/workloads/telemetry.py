@@ -23,6 +23,7 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.obs.metrics import get_metrics
 from repro.utils.rng import RandomState, as_generator
+from repro.utils.stats import ar1_lognormal_noise
 from repro.workloads.engine.execution import OperatingPoint
 from repro.workloads.features import RESOURCE_FEATURES
 from repro.workloads.spec import WorkloadSpec
@@ -120,13 +121,7 @@ class TelemetrySampler:
         self, n_samples: int, sigma: float, rng: np.random.Generator
     ) -> np.ndarray:
         """Multiplicative AR(1) log-noise with stationary scale ``sigma``."""
-        rho = 0.55
-        innovations = rng.normal(0.0, sigma * np.sqrt(1 - rho**2), n_samples)
-        log_noise = np.empty(n_samples)
-        log_noise[0] = rng.normal(0.0, sigma)
-        for t in range(1, n_samples):
-            log_noise[t] = rho * log_noise[t - 1] + innovations[t]
-        return np.exp(log_noise)
+        return ar1_lognormal_noise(n_samples, rho=0.55, sigma=sigma, rng=rng)
 
     def sample(
         self,

@@ -1,0 +1,103 @@
+"""Bit-identity and fit-cache behaviour of the wrapper fast path."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    RecursiveFeatureElimination,
+    SequentialFeatureSelector,
+)
+from repro.ml.fitexec import FitCache
+from repro.obs.metrics import MetricsRegistry, set_metrics
+
+
+@pytest.fixture(scope="module")
+def selection_data():
+    rng = np.random.default_rng(11)
+    n = 40
+    labels = np.array(["a", "b"] * (n // 2))
+    codes = (labels == "b").astype(float)
+    X = rng.normal(size=(n, 6))
+    X[:, 0] += 3.0 * codes  # informative
+    X[:, 3] += 1.5 * codes  # weakly informative
+    return X, labels
+
+
+@pytest.fixture()
+def metrics():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+class TestParallelSFS:
+    @pytest.mark.parametrize("estimator", ["linear", "logreg"])
+    @pytest.mark.parametrize("direction", ["forward", "backward"])
+    def test_bit_identical_at_any_worker_count(
+        self, selection_data, estimator, direction
+    ):
+        X, y = selection_data
+        rankings = [
+            SequentialFeatureSelector(
+                estimator, direction=direction, jobs=jobs
+            ).fit(X, y).ranking_
+            for jobs in (None, 1, 4)
+        ]
+        assert np.array_equal(rankings[0], rankings[1])
+        assert np.array_equal(rankings[0], rankings[2])
+
+    def test_warm_cache_fits_nothing(
+        self, selection_data, tmp_path, metrics
+    ):
+        X, y = selection_data
+        cache = FitCache(tmp_path)
+        cold = SequentialFeatureSelector(
+            "linear", fit_cache=cache
+        ).fit(X, y)
+        assert metrics.counter("ml.fits_total").value > 0
+        set_metrics(warm_registry := MetricsRegistry())
+        try:
+            warm = SequentialFeatureSelector(
+                "linear", fit_cache=FitCache(tmp_path)
+            ).fit(X, y)
+        finally:
+            set_metrics(metrics)
+        assert warm_registry.counter("ml.fits_total").value == 0
+        assert warm_registry.counter("fit_cache.hits_total").value > 0
+        assert np.array_equal(cold.ranking_, warm.ranking_)
+
+    def test_cache_matches_uncached(self, selection_data, tmp_path, metrics):
+        X, y = selection_data
+        plain = SequentialFeatureSelector("logreg").fit(X, y)
+        cached = SequentialFeatureSelector(
+            "logreg", fit_cache=FitCache(tmp_path)
+        ).fit(X, y)
+        assert np.array_equal(plain.ranking_, cached.ranking_)
+
+
+class TestRFEFitCache:
+    def test_warm_cache_fits_nothing(
+        self, selection_data, tmp_path, metrics
+    ):
+        X, y = selection_data
+        cold = RecursiveFeatureElimination(
+            "logreg", fit_cache=FitCache(tmp_path)
+        ).fit(X, y)
+        set_metrics(warm_registry := MetricsRegistry())
+        try:
+            warm = RecursiveFeatureElimination(
+                "logreg", fit_cache=FitCache(tmp_path)
+            ).fit(X, y)
+        finally:
+            set_metrics(metrics)
+        assert warm_registry.counter("ml.fits_total").value == 0
+        assert np.array_equal(cold.ranking_, warm.ranking_)
+
+    def test_cache_matches_uncached(self, selection_data, tmp_path, metrics):
+        X, y = selection_data
+        plain = RecursiveFeatureElimination("dectree").fit(X, y)
+        cached = RecursiveFeatureElimination(
+            "dectree", fit_cache=FitCache(tmp_path)
+        ).fit(X, y)
+        assert np.array_equal(plain.ranking_, cached.ranking_)

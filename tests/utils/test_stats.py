@@ -2,7 +2,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.utils.stats import describe, rank_from_scores, weighted_mean
+from repro.utils.stats import (
+    ar1_lognormal_noise,
+    describe,
+    rank_from_scores,
+    weighted_mean,
+)
 
 
 class TestDescribe:
@@ -58,3 +63,51 @@ class TestWeightedMean:
     def test_shape_mismatch(self):
         with pytest.raises(ValidationError, match="align"):
             weighted_mean([1, 2, 3], [1, 1])
+
+
+class TestAR1LognormalNoise:
+    def test_matches_reference_loop_bit_for_bit(self):
+        """The shared helper must reproduce the original inline loops.
+
+        Telemetry and throughput series generated before the helper
+        existed pinned this exact draw order (innovations vector first,
+        then the initial stationary normal); golden corpora depend on it.
+        """
+        rho, sigma, n = 0.55, 0.3, 128
+        rng = np.random.default_rng(42)
+        innovations = rng.normal(0.0, sigma * np.sqrt(1 - rho**2), n)
+        log_noise = np.empty(n)
+        log_noise[0] = rng.normal(0.0, sigma)
+        for t in range(1, n):
+            log_noise[t] = rho * log_noise[t - 1] + innovations[t]
+        expected = np.exp(log_noise)
+        actual = ar1_lognormal_noise(
+            n, rho=rho, sigma=sigma, rng=np.random.default_rng(42)
+        )
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_stationary_scale(self):
+        rng = np.random.default_rng(0)
+        noise = ar1_lognormal_noise(100_000, rho=0.3, sigma=0.45, rng=rng)
+        assert np.std(np.log(noise)) == pytest.approx(0.45, rel=0.02)
+
+    def test_positive(self):
+        noise = ar1_lognormal_noise(
+            500, rho=0.9, sigma=1.0, rng=np.random.default_rng(1)
+        )
+        assert (noise > 0).all()
+
+    def test_single_sample(self):
+        noise = ar1_lognormal_noise(
+            1, rho=0.5, sigma=0.2, rng=np.random.default_rng(2)
+        )
+        assert noise.shape == (1,)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError, match="n_samples"):
+            ar1_lognormal_noise(0, rho=0.5, sigma=0.1, rng=rng)
+        with pytest.raises(ValidationError, match="rho"):
+            ar1_lognormal_noise(5, rho=1.0, sigma=0.1, rng=rng)
+        with pytest.raises(ValidationError, match="rho"):
+            ar1_lognormal_noise(5, rho=-0.1, sigma=0.1, rng=rng)

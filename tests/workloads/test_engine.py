@@ -214,6 +214,27 @@ class TestExecutionEngine:
         assert op.bottleneck in ("cpu", "io", "concurrency")
         assert op.bounds[op.bottleneck] == min(op.bounds.values())
 
+    def test_buffer_model_memoized_per_sku(self):
+        engine = ExecutionEngine(tpcc())
+        small, large = sku(cpus=4), sku(cpus=16)
+        assert engine.buffer_model(small) is engine.buffer_model(small)
+        assert engine.buffer_model(small) is not engine.buffer_model(large)
+        # Memoization must not leak across (equal-valued) SKU instances
+        # by identity: SKU is frozen, so equal SKUs share one model.
+        assert engine.buffer_model(sku(cpus=4)) is engine.buffer_model(small)
+
+    def test_memoized_models_match_fresh_construction(self):
+        """Engine-held models must not change any operating point."""
+        engine = ExecutionEngine(tpcc())
+        reference = ExecutionEngine(tpcc())
+        for cpus in (2, 8, 16):
+            a = engine.steady_state(sku(cpus=cpus), 8, random_state=5)
+            b = reference.steady_state(sku(cpus=cpus), 8, random_state=5)
+            assert a.throughput == b.throughput
+            assert a.latency_ms == b.latency_ms
+            assert a.bounds == b.bounds
+            assert a.per_txn_latency_ms == b.per_txn_latency_ms
+
 
 class TestRoofline:
     def test_ceilings_consistent_with_engine(self):
