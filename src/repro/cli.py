@@ -32,16 +32,25 @@ feature selection or strategy evaluation performs zero model fits, and
 ``select --jobs N`` fans SFS candidate subsets over N workers with
 bit-identical output.
 
-Observability flags are accepted by every subcommand: ``--log-level``
-routes the library's structured logs to stderr, ``--trace-out`` records
-a Chrome ``trace_event`` file of the run (open it in ``chrome://tracing``
-or Perfetto), and ``--metrics-out`` writes the metric snapshot of the
-invocation as JSON.  Actual results stay on stdout.
+Observability flags are accepted by every pipeline subcommand:
+``--log-level`` routes the library's structured logs to stderr,
+``--trace-out`` records a Chrome ``trace_event`` file of the run (open
+it in ``chrome://tracing`` or Perfetto), ``--metrics-out`` writes the
+metric snapshot of the invocation as JSON, and ``--ledger`` (or
+``$REPRO_LEDGER``) appends one row per invocation to the persistent run
+ledger.  Actual results stay on stdout.
+
+The ``repro obs`` subcommand reads those artifacts back: ``obs report``
+(per-stage wall/CPU, critical path, cache hit rates), ``obs ledger``
+(run history), ``obs diff`` (newest run vs its rolling baseline), and
+``obs check-bench`` (``BENCH_*.json`` regression gate).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import os
 import sys
 import time
@@ -106,6 +115,15 @@ def _resolve_fit_cache(args) -> str | None:
     return args.fit_cache or os.environ.get("REPRO_FIT_CACHE") or None
 
 
+def _resolve_ledger(args) -> str | None:
+    """The run-ledger path (flag, then ``$REPRO_LEDGER``)."""
+    return (
+        getattr(args, "ledger", None)
+        or os.environ.get("REPRO_LEDGER")
+        or None
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -129,6 +147,12 @@ def _build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--metrics-format", default="json", choices=("json", "prometheus"),
         help="serialization for --metrics-out",
+    )
+    group.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append one row describing this invocation to the run "
+        "ledger (a .jsonl file or a directory; default: $REPRO_LEDGER "
+        "if set); inspect it with 'repro obs'",
     )
     grid = argparse.ArgumentParser(add_help=False)
     grid_group = grid.add_argument_group("grid execution")
@@ -283,6 +307,112 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("agglomerative", "kmedoids"),
     )
     cluster.add_argument("--measure", default="L2,1")
+
+    # "obs" reads observability artifacts back; it deliberately does NOT
+    # inherit the obs parent parser (its sub-subcommands define their own
+    # --ledger, and an obs run should never append to the ledger).
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="cross-run observability: profile reports, run ledger, "
+        "regression checks",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    report = obs_sub.add_parser(
+        "report",
+        help="profile one run: per-stage wall/CPU, critical path, "
+        "cache hit rates",
+    )
+    report.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="run ledger to read (default: $REPRO_LEDGER if set)",
+    )
+    report.add_argument(
+        "--run", type=int, default=-1, metavar="INDEX",
+        help="ledger row to profile (Python indexing; default: newest)",
+    )
+    report.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="profile a --trace-out Chrome trace file instead of a "
+        "ledger row",
+    )
+    report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many self-time entries to show",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    ledger_cmd = obs_sub.add_parser(
+        "ledger", help="list recorded runs, oldest first"
+    )
+    ledger_cmd.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="run ledger to read (default: $REPRO_LEDGER if set)",
+    )
+    ledger_cmd.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most the newest N runs",
+    )
+    ledger_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="compare the newest run against its rolling baseline "
+        "(same command and options); exit 1 on regression",
+    )
+    diff.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="run ledger to read (default: $REPRO_LEDGER if set)",
+    )
+    diff.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="REL",
+        help="relative tolerance band around the baseline mean",
+    )
+    diff.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="how many earlier comparable runs form the baseline",
+    )
+    diff.add_argument(
+        "--min-baseline", type=int, default=1, metavar="N",
+        help="skip leaves with fewer baseline values than this",
+    )
+    diff.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    check = obs_sub.add_parser(
+        "check-bench",
+        help="compare BENCH_*.json files against baselines; "
+        "exit 1 on regression",
+    )
+    check.add_argument(
+        "current", nargs="+",
+        help="current benchmark JSON file(s) to check",
+    )
+    check.add_argument(
+        "--baseline", action="append", default=[], metavar="PATH",
+        help="baseline file, or directory holding files with the same "
+        "names as the current ones (repeatable)",
+    )
+    check.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="REL",
+        help="relative tolerance band around the baseline mean",
+    )
+    check.add_argument(
+        "--abs-floor", type=float, default=0.02, metavar="ABS",
+        help="absolute slack added to every tolerance band",
+    )
+    check.add_argument(
+        "--min-baseline", type=int, default=1, metavar="N",
+        help="skip leaves with fewer baseline values than this",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     return parser
 
 
@@ -532,6 +662,227 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _require_obs_ledger(args) -> str | None:
+    path = _resolve_ledger(args)
+    if path is None:
+        print(
+            "error: no ledger given (--ledger or $REPRO_LEDGER)",
+            file=sys.stderr,
+        )
+    return path
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs import ProfileReport, RunLedger, tree_from_chrome
+
+    if args.trace:
+        try:
+            chrome = json.loads(Path(args.trace).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"error: cannot read trace {args.trace}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        report = ProfileReport.from_tree(
+            tree_from_chrome(chrome), top=args.top
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0
+    path = _require_obs_ledger(args)
+    if path is None:
+        return 2
+    rows = RunLedger(path).rows()
+    if not rows:
+        print(f"error: ledger {path} has no rows", file=sys.stderr)
+        return 2
+    try:
+        row = rows[args.run]
+    except IndexError:
+        print(
+            f"error: ledger has {len(rows)} row(s); "
+            f"--run {args.run} is out of range",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(row, indent=2))
+        return 0
+    when = time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.localtime(row.get("ts_unix", 0))
+    )
+    print(f"run     : {row.get('command')}  ({' '.join(row.get('argv', []))})")
+    print(f"when    : {when}")
+    print(
+        f"exit    : {row.get('exit_code')}   "
+        f"wall {row.get('elapsed_s', 0.0):.3f} s   "
+        f"cpu {row.get('cpu_s', 0.0):.3f} s"
+    )
+    for family, entry in sorted(row.get("caches", {}).items()):
+        print(
+            f"cache   : {family}  hit rate {entry['hit_rate'] * 100:.1f}%"
+            f"  ({int(entry['hits'])} hits / {int(entry['misses'])} misses"
+            f", {int(entry['corrupt'])} corrupt)"
+        )
+    profile = row.get("profile")
+    if profile:
+        report = ProfileReport.from_dict(profile)
+    else:
+        report = ProfileReport(
+            total_wall_s=row.get("elapsed_s", 0.0),
+            total_cpu_s=row.get("cpu_s", 0.0),
+            stages=row.get("stages", {}),
+        )
+    print()
+    print(report.render())
+    return 0
+
+
+def _cmd_obs_ledger(args) -> int:
+    from repro.obs import RunLedger
+
+    path = _require_obs_ledger(args)
+    if path is None:
+        return 2
+    rows = RunLedger(path).rows()
+    shown = rows[-args.limit:] if args.limit > 0 else rows
+    if args.json:
+        print(json.dumps(shown, indent=2))
+        return 0
+    print(f"ledger {path}: {len(rows)} run(s)")
+    first = len(rows) - len(shown)
+    for index, row in enumerate(shown, start=first):
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(row.get("ts_unix", 0))
+        )
+        caches = row.get("caches", {})
+        cache_note = "  ".join(
+            f"{family} {entry['hit_rate'] * 100:.0f}%"
+            for family, entry in sorted(caches.items())
+        )
+        print(
+            f"  [{index}] {when}  {row.get('command', '?'):<10} "
+            f"exit {row.get('exit_code', '?')}  "
+            f"wall {row.get('elapsed_s', 0.0):8.3f} s"
+            + (f"  {cache_note}" if cache_note else "")
+        )
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    from repro.obs import RunLedger, diff_rows
+
+    path = _require_obs_ledger(args)
+    if path is None:
+        return 2
+    rows = RunLedger(path).rows()
+    if not rows:
+        print(f"error: ledger {path} has no rows", file=sys.stderr)
+        return 2
+    verdict = diff_rows(
+        rows[-1],
+        rows[:-1],
+        rel_tol=args.tolerance,
+        window=args.window,
+        min_baseline=args.min_baseline,
+    )
+    if args.json:
+        print(json.dumps(verdict.to_dict(), indent=2))
+    else:
+        print(verdict.render())
+        if verdict.compared == 0:
+            print(
+                "  (no comparable earlier runs: a baseline needs the "
+                "same command and options)"
+            )
+    return 0 if verdict.ok else 1
+
+
+def _load_bench_doc(path: Path) -> dict | None:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(doc, dict):
+        print(f"error: {path} is not a JSON object", file=sys.stderr)
+        return None
+    return doc
+
+
+def _cmd_obs_check_bench(args) -> int:
+    from repro.obs import check_bench
+
+    if not args.baseline:
+        print(
+            "error: at least one --baseline file or directory is required",
+            file=sys.stderr,
+        )
+        return 2
+    verdicts: dict[str, object] = {}
+    ok = True
+    for current_path in args.current:
+        current = _load_bench_doc(Path(current_path))
+        if current is None:
+            return 2
+        baselines = []
+        for base in args.baseline:
+            base = Path(base)
+            if base.is_dir():
+                candidate = base / Path(current_path).name
+                if candidate.exists():
+                    doc = _load_bench_doc(candidate)
+                    if doc is None:
+                        return 2
+                    baselines.append(doc)
+            elif base.name == Path(current_path).name or len(args.current) == 1:
+                doc = _load_bench_doc(base)
+                if doc is None:
+                    return 2
+                baselines.append(doc)
+        if not baselines:
+            print(
+                f"error: no baseline found for {current_path}",
+                file=sys.stderr,
+            )
+            return 2
+        verdict = check_bench(
+            current,
+            baselines,
+            rel_tol=args.tolerance,
+            abs_floor=args.abs_floor,
+            min_baseline=args.min_baseline,
+        )
+        verdicts[current_path] = verdict
+        ok = ok and verdict.ok
+    if args.json:
+        print(
+            json.dumps(
+                {path: v.to_dict() for path, v in verdicts.items()},
+                indent=2,
+            )
+        )
+    else:
+        for path, verdict in verdicts.items():
+            print(f"{path}:")
+            for line in verdict.render().splitlines():
+                print(f"  {line}")
+    return 0 if ok else 1
+
+
+def _cmd_obs(args) -> int:
+    handlers = {
+        "report": _cmd_obs_report,
+        "ledger": _cmd_obs_ledger,
+        "diff": _cmd_obs_diff,
+        "check-bench": _cmd_obs_check_bench,
+    }
+    return handlers[args.obs_command](args)
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "corpus": _cmd_corpus,
@@ -539,22 +890,84 @@ _COMMANDS = {
     "similarity": _cmd_similarity,
     "predict": _cmd_predict,
     "cluster": _cmd_cluster,
+    "obs": _cmd_obs,
 }
+
+
+#: argparse attributes that do not affect what a run computes; excluded
+#: from the ledger's ``config_fingerprint`` so observability flags never
+#: split the baseline history.
+_LEDGER_VOLATILE_OPTIONS = frozenset(
+    {"command", "log_level", "trace_out", "metrics_out", "metrics_format",
+     "ledger"}
+)
+
+
+def _append_ledger(
+    ledger_path: str,
+    args,
+    argv: list[str],
+    code: int,
+    elapsed_s: float,
+    cpu_s: float,
+    tracer: Tracer,
+) -> None:
+    """Record this invocation as one row of the persistent run ledger."""
+    from repro.obs import ProfileReport, RunLedger, build_row
+
+    options = {
+        key: value
+        for key, value in vars(args).items()
+        if key not in _LEDGER_VOLATILE_OPTIONS
+    }
+    tree = tracer.to_tree()
+    manifest_digest = None
+    manifest_out = getattr(args, "manifest_out", None)
+    if manifest_out:
+        try:
+            manifest_digest = hashlib.sha256(
+                Path(manifest_out).read_bytes()
+            ).hexdigest()
+        except OSError:
+            pass
+    row = build_row(
+        command=args.command,
+        argv=argv,
+        options=options,
+        exit_code=code,
+        elapsed_s=elapsed_s,
+        cpu_s=cpu_s,
+        metrics_snapshot=get_metrics().snapshot(),
+        tree=tree,
+        profile=ProfileReport.from_tree(tree).to_dict() if tree else None,
+        manifest_digest=manifest_digest,
+    )
+    ledger = RunLedger(ledger_path)
+    ledger.append(row)
+    logger.info("appended run to ledger %s", ledger.path)
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code.
 
-    One invocation is one observed run: a fresh metrics registry (and,
-    with ``--trace-out``, a fresh enabled tracer) is installed for the
-    duration of the command, its exports are written on the way out, and
-    the previous global instruments are restored.
+    One invocation is one observed run: a fresh metrics registry (and a
+    fresh enabled tracer when ``--trace-out`` or a ledger is configured)
+    is installed for the duration of the command, its exports are written
+    — and the ledger row appended — on the way out, and the previous
+    global instruments are restored.  ``repro obs`` itself is read-only:
+    it never traces or appends.
     """
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
     args = _build_parser().parse_args(argv)
-    configure_logging(args.log_level)
-    tracer = Tracer(enabled=bool(args.trace_out))
+    configure_logging(getattr(args, "log_level", "WARNING"))
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    ledger_path = _resolve_ledger(args) if args.command != "obs" else None
+    tracer = Tracer(enabled=bool(trace_out) or ledger_path is not None)
     previous_tracer = set_tracer(tracer)
     previous_metrics = set_metrics(MetricsRegistry())
+    start_wall = time.perf_counter()
+    start_cpu = time.process_time()
     try:
         with tracer.span(f"cli.{args.command}"):
             code = _COMMANDS[args.command](args)
@@ -562,21 +975,28 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         code = 1
     finally:
+        elapsed_s = time.perf_counter() - start_wall
+        cpu_s = time.process_time() - start_cpu
         try:
-            if args.trace_out:
-                Path(args.trace_out).write_text(tracer.to_chrome_json())
-                logger.info("wrote trace to %s", args.trace_out)
-            if args.metrics_out:
+            if trace_out:
+                Path(trace_out).write_text(tracer.to_chrome_json())
+                logger.info("wrote trace to %s", trace_out)
+            if metrics_out:
                 registry = get_metrics()
                 if args.metrics_format == "prometheus":
-                    Path(args.metrics_out).write_text(
+                    Path(metrics_out).write_text(
                         registry.to_prometheus()
                     )
                 else:
-                    Path(args.metrics_out).write_text(
+                    Path(metrics_out).write_text(
                         registry.to_json(indent=2)
                     )
-                logger.info("wrote metrics to %s", args.metrics_out)
+                logger.info("wrote metrics to %s", metrics_out)
+            if ledger_path is not None:
+                _append_ledger(
+                    ledger_path, args, raw_argv, code, elapsed_s, cpu_s,
+                    tracer,
+                )
         except OSError as exc:
             print(f"error: {exc}", file=sys.stderr)
             code = 1
@@ -587,4 +1007,13 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # A downstream head/pager closed stdout mid-print.  Redirect
+        # stdout at the descriptor level so interpreter shutdown does
+        # not raise again on flush, and exit with the conventional
+        # 128 + SIGPIPE code instead of a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141
+    sys.exit(code)

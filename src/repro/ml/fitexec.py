@@ -41,7 +41,8 @@ import numpy as np
 
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.tracing import span
+from repro.obs.telemetry import capture_telemetry, merge_snapshot
+from repro.obs.tracing import get_tracer, span
 from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
 
 logger = get_logger(__name__)
@@ -230,6 +231,20 @@ def count_fits(n: int) -> None:
         get_metrics().counter("ml.fits_total").inc(n)
 
 
+def _unit_body(worker: Callable, unit, index: int, label: str):
+    with span("ml.fitexec.unit", attrs={"label": label, "unit": index}):
+        return worker(unit)
+
+
+def _run_unit_captured(
+    worker: Callable, unit, index: int, label: str, tracing: bool
+):
+    """One unit under telemetry capture; the wrapper shipped to workers."""
+    return capture_telemetry(
+        _unit_body, worker, unit, index, label, tracing=tracing
+    )
+
+
 def run_units(
     worker: Callable,
     units: Sequence,
@@ -245,9 +260,16 @@ def run_units(
     units run serially with a warning.  The exact same worker function
     runs on both paths, which is what makes parallel output bit-identical
     to serial.
+
+    Every unit runs under :func:`repro.obs.telemetry.capture_telemetry`
+    and its snapshot is merged back **in submission order** (the order
+    results are consumed in on both paths), so any metrics or spans a
+    unit records — e.g. nested ensemble fits — survive worker processes
+    and match a serial run exactly.
     """
     units = list(units)
     n_workers = resolve_jobs(jobs)
+    tracing = get_tracer().enabled
     with span(
         "ml.fitexec",
         attrs={"label": label, "n_units": len(units), "workers": n_workers},
@@ -264,6 +286,24 @@ def run_units(
                 )
             else:
                 with pool:
-                    futures = [pool.submit(worker, unit) for unit in units]
-                    return [future.result() for future in futures]
-        return [worker(unit) for unit in units]
+                    futures = [
+                        pool.submit(
+                            _run_unit_captured, worker, unit, index,
+                            label, tracing,
+                        )
+                        for index, unit in enumerate(units)
+                    ]
+                    outputs = []
+                    for future in futures:
+                        result, telemetry = future.result()
+                        merge_snapshot(telemetry)
+                        outputs.append(result)
+                    return outputs
+        outputs = []
+        for index, unit in enumerate(units):
+            result, telemetry = _run_unit_captured(
+                worker, unit, index, label, tracing
+            )
+            merge_snapshot(telemetry)
+            outputs.append(result)
+        return outputs

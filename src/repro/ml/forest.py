@@ -25,11 +25,19 @@ from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
+from repro.obs.telemetry import capture_telemetry, merge_snapshot
+from repro.obs.tracing import get_tracer, span
 from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
 from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import check_2d, check_consistent_length, check_positive_int
 
 logger = get_logger(__name__)
+
+#: Target number of tree batches a forest fit is split into.  The batch
+#: layout is a pure function of ``n_estimators`` — never of the worker
+#: count — so serial and parallel fits walk identical batches in
+#: identical order and their telemetry (span trees included) matches.
+FOREST_BATCH_TARGET = 16
 
 
 def _resolve_max_features(max_features, n_features: int, default: str) -> int | None:
@@ -62,6 +70,33 @@ def _fit_tree_batch(tree_cls, tree_params, X, y, samples, rngs):
         tree.fit(X[sample], y[sample])
         trees.append(tree)
     return trees
+
+
+def _fit_tree_batch_body(
+    tree_cls, tree_params, X, y, samples, rngs, batch_index
+):
+    with span(
+        "ml.fit_tree_batch",
+        attrs={"batch": batch_index, "n_trees": len(samples)},
+    ):
+        return _fit_tree_batch(tree_cls, tree_params, X, y, samples, rngs)
+
+
+def _fit_tree_batch_captured(
+    tree_cls, tree_params, X, y, samples, rngs, batch_index, tracing
+):
+    """One tree batch under telemetry capture; shipped to pool workers."""
+    return capture_telemetry(
+        _fit_tree_batch_body,
+        tree_cls,
+        tree_params,
+        X,
+        y,
+        samples,
+        rngs,
+        batch_index,
+        tracing=tracing,
+    )
 
 
 class _BaseForest(BaseEstimator):
@@ -103,9 +138,33 @@ class _BaseForest(BaseEstimator):
             else:
                 samples.append(np.arange(n_samples))
         n_workers = min(resolve_jobs(self.jobs), self.n_estimators)
+        # The batch layout depends only on n_estimators, so the span
+        # tree recorded per batch is identical at any worker count.
+        batches = [
+            batch
+            for batch in np.array_split(
+                np.arange(self.n_estimators),
+                min(FOREST_BATCH_TARGET, self.n_estimators),
+            )
+            if batch.size
+        ]
+        tracing = get_tracer().enabled
+        with span(
+            "ml.forest.fit",
+            attrs={"n_estimators": self.n_estimators, "workers": n_workers},
+        ):
+            self._dispatch_batches(
+                X, y, tree_cls, tree_params, samples, generators,
+                batches, n_workers, tracing,
+            )
+        get_metrics().counter("ml.trees_fit_total").inc(self.n_estimators)
+
+    def _dispatch_batches(
+        self, X, y, tree_cls, tree_params, samples, generators,
+        batches, n_workers, tracing,
+    ) -> None:
         self.estimators_ = None
         if n_workers > 1:
-            bounds = np.array_split(np.arange(self.n_estimators), n_workers)
             try:
                 pool = ProcessPoolExecutor(max_workers=n_workers)
             except POOL_UNAVAILABLE_ERRORS as exc:
@@ -117,27 +176,38 @@ class _BaseForest(BaseEstimator):
                 with pool:
                     futures = [
                         pool.submit(
-                            _fit_tree_batch,
+                            _fit_tree_batch_captured,
                             tree_cls,
                             tree_params,
                             X,
                             y,
                             [samples[i] for i in batch],
                             [generators[i] for i in batch],
+                            index,
+                            tracing,
                         )
-                        for batch in bounds
-                        if batch.size
+                        for index, batch in enumerate(batches)
                     ]
-                    self.estimators_ = [
-                        tree
-                        for future in futures
-                        for tree in future.result()
-                    ]
+                    self.estimators_ = []
+                    for future in futures:
+                        trees, telemetry = future.result()
+                        merge_snapshot(telemetry)
+                        self.estimators_.extend(trees)
         if self.estimators_ is None:
-            self.estimators_ = _fit_tree_batch(
-                tree_cls, tree_params, X, y, samples, generators
-            )
-        get_metrics().counter("ml.trees_fit_total").inc(self.n_estimators)
+            self.estimators_ = []
+            for index, batch in enumerate(batches):
+                trees, telemetry = _fit_tree_batch_captured(
+                    tree_cls,
+                    tree_params,
+                    X,
+                    y,
+                    [samples[i] for i in batch],
+                    [generators[i] for i in batch],
+                    index,
+                    tracing,
+                )
+                merge_snapshot(telemetry)
+                self.estimators_.extend(trees)
 
     @property
     def feature_importances_(self) -> np.ndarray:

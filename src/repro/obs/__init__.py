@@ -6,7 +6,7 @@ is a no-op whose per-span overhead is well under a microsecond, and
 metric instruments are plain attribute updates, so instrumented hot
 paths run at full speed unless a caller opts in.
 
-Four cooperating pieces:
+Cooperating pieces:
 
 - :mod:`repro.obs.tracing` — nested wall/CPU-time spans with console and
   Chrome ``trace_event`` (Perfetto) exports;
@@ -16,11 +16,30 @@ Four cooperating pieces:
   the ``repro`` logger hierarchy;
 - :mod:`repro.obs.provenance` — the :class:`RunManifest` that records
   what a pipeline run actually did (config, features, ranking, timings,
-  metric snapshot, library versions, seed).
+  metric snapshot, library versions, seed);
+- :mod:`repro.obs.telemetry` — worker-side capture of metrics/spans with
+  deterministic parent-side merge, so pool workers' telemetry matches a
+  serial run exactly;
+- :mod:`repro.obs.ledger` — the persistent per-invocation run ledger
+  (append-only JSONL, torn tails healed);
+- :mod:`repro.obs.profile` — critical-path and self-time analysis over
+  span trees;
+- :mod:`repro.obs.regress` — bench/ledger regression detection against
+  rolling baselines.
 """
 
 from __future__ import annotations
 
+from repro.obs.ledger import (
+    LEDGER_VERSION,
+    RunLedger,
+    build_row,
+    cache_stats,
+    condense_metrics,
+    config_fingerprint,
+    resolve_ledger_path,
+    stage_times,
+)
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -28,10 +47,31 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
     get_metrics,
     set_metrics,
 )
+from repro.obs.profile import (
+    ProfileReport,
+    aggregate_spans,
+    critical_path,
+    pool_sections,
+    self_time_top,
+    tree_from_chrome,
+)
 from repro.obs.provenance import RunManifest, library_versions
+from repro.obs.regress import Finding, Verdict, check_bench, diff_rows
+from repro.obs.telemetry import (
+    TELEMETRY_VERSION,
+    TelemetryCapture,
+    TelemetrySnapshot,
+    capture_telemetry,
+    comparable_snapshot,
+    export_spans,
+    merge_snapshot,
+    tree_shape,
+)
 from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
 
 __all__ = [
@@ -42,6 +82,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "escape_help",
+    "escape_label_value",
     "get_metrics",
     "set_metrics",
     "RunManifest",
@@ -51,4 +93,30 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "span",
+    "TELEMETRY_VERSION",
+    "TelemetryCapture",
+    "TelemetrySnapshot",
+    "capture_telemetry",
+    "comparable_snapshot",
+    "export_spans",
+    "merge_snapshot",
+    "tree_shape",
+    "LEDGER_VERSION",
+    "RunLedger",
+    "build_row",
+    "cache_stats",
+    "condense_metrics",
+    "config_fingerprint",
+    "resolve_ledger_path",
+    "stage_times",
+    "ProfileReport",
+    "aggregate_spans",
+    "critical_path",
+    "pool_sections",
+    "self_time_top",
+    "tree_from_chrome",
+    "Finding",
+    "Verdict",
+    "check_bench",
+    "diff_rows",
 ]

@@ -188,6 +188,40 @@ class MetricsRegistry:
         with self._lock:
             self._instruments.clear()
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, gauges take the snapshot's value (last write
+        wins, so merging snapshots in submission order reproduces a
+        serial run's final gauge values), and histograms merge
+        bucket-wise — which requires identical bucket bounds.  Merging
+        a snapshot entry into an instrument of a different type raises
+        :class:`~repro.exceptions.ValidationError`, as does an unknown
+        entry type.
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                buckets = tuple(float(b) for b in entry["buckets"])
+                histogram = self.histogram(name, buckets=buckets)
+                if histogram.buckets != buckets:
+                    raise ValidationError(
+                        f"histogram {name!r} bucket mismatch: "
+                        f"{histogram.buckets} != {buckets}"
+                    )
+                for position, count in enumerate(entry["counts"]):
+                    histogram.counts[position] += count
+                histogram.sum += entry["sum"]
+                histogram.count += entry["count"]
+            else:
+                raise ValidationError(
+                    f"cannot merge metric {name!r} of type {kind!r}"
+                )
+
     # -- exports ---------------------------------------------------------------
     def snapshot(self) -> dict:
         """All instruments as one JSON-serializable mapping."""
@@ -206,7 +240,9 @@ class MetricsRegistry:
             instrument = self._instruments[name]
             metric = _prometheus_name(name)
             if instrument.help:
-                lines.append(f"# HELP {metric} {instrument.help}")
+                lines.append(
+                    f"# HELP {metric} {escape_help(instrument.help)}"
+                )
             if isinstance(instrument, Counter):
                 lines.append(f"# TYPE {metric} counter")
                 lines.append(f"{metric} {_fmt(instrument.value)}")
@@ -217,9 +253,8 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {metric} histogram")
                 cumulative = instrument.cumulative_counts()
                 for bound, count in zip(instrument.buckets, cumulative):
-                    lines.append(
-                        f'{metric}_bucket{{le="{_fmt(bound)}"}} {count}'
-                    )
+                    le = escape_label_value(_fmt(bound))
+                    lines.append(f'{metric}_bucket{{le="{le}"}} {count}')
                 lines.append(
                     f'{metric}_bucket{{le="+Inf"}} {cumulative[-1]}'
                 )
@@ -232,6 +267,26 @@ def _prometheus_name(name: str) -> str:
     """Map dotted metric names onto the Prometheus charset."""
     return "".join(
         ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the text exposition format.
+
+    The format (version 0.0.4) requires ``\\`` and line feeds escaped in
+    help text; quotes are legal there and stay verbatim.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Label values additionally need ``"`` escaped, since they are
+    double-quoted in the output.
+    """
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
     )
 
 

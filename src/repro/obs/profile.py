@@ -1,0 +1,275 @@
+"""Profile analysis over span trees: critical path, self time, pool split.
+
+Consumes the span trees produced by :meth:`repro.obs.tracing.Tracer.to_tree`
+(or reconstructed from a Chrome trace file via :func:`tree_from_chrome`)
+and answers "where did the time go?":
+
+- :func:`aggregate_spans` — per-span-name totals: wall, CPU, *self* time
+  (wall minus the wall of direct children), and call count.
+- :func:`critical_path` — the chain of heaviest spans from the heaviest
+  root down; the sequence of operations that bounded the run's wall
+  time.
+- :func:`pool_sections` — for every span carrying a ``workers``
+  attribute (the parallel engines all record one), the split between
+  worker compute (children's wall) and pool overhead (everything else:
+  pickling, scheduling, result collection).
+
+:class:`ProfileReport` bundles the three into one object with a stable
+``to_dict()`` (stored in ledger rows) and a human ``render()`` (what
+``repro obs report`` prints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.ledger import stage_times
+
+
+def _walk(tree: list[dict]):
+    """Depth-first iteration over every node of a span tree."""
+    stack = list(tree)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.get("children", ()))
+
+
+def aggregate_spans(tree: list[dict]) -> dict:
+    """Per-span-name totals over a span tree.
+
+    Returns ``{name: {"wall_s", "cpu_s", "self_s", "count"}}`` where
+    ``self_s`` is the span's wall time minus its direct children's —
+    the time spent in the span's own code.  Grafted worker spans carry
+    serialized (sequential) layouts, so totals are additive.
+    """
+    out: dict[str, dict] = {}
+    for node in _walk(tree):
+        wall_s = node.get("wall_ms", 0.0) / 1e3
+        cpu_s = node.get("cpu_ms", 0.0) / 1e3
+        child_wall_s = sum(
+            child.get("wall_ms", 0.0) / 1e3
+            for child in node.get("children", ())
+        )
+        entry = out.setdefault(
+            node["name"],
+            {"wall_s": 0.0, "cpu_s": 0.0, "self_s": 0.0, "count": 0},
+        )
+        entry["wall_s"] += wall_s
+        entry["cpu_s"] += cpu_s
+        entry["self_s"] += max(0.0, wall_s - child_wall_s)
+        entry["count"] += 1
+    return out
+
+
+def self_time_top(tree: list[dict], n: int = 10) -> list[dict]:
+    """The ``n`` span names with the most self time, heaviest first."""
+    totals = aggregate_spans(tree)
+    ranked = sorted(
+        (
+            {"name": name, **entry}
+            for name, entry in totals.items()
+        ),
+        key=lambda entry: (-entry["self_s"], entry["name"]),
+    )
+    return ranked[:n]
+
+
+def critical_path(tree: list[dict]) -> list[dict]:
+    """The heaviest-child chain from the heaviest root downward.
+
+    Each element is ``{"name", "wall_s", "cpu_s", "share"}`` where
+    ``share`` is the span's wall time as a fraction of the path root's.
+    This greedy walk is the standard critical-path approximation for a
+    span tree: at every level, the child that bounded the parent's wall
+    time.
+    """
+    if not tree:
+        return []
+    node = max(tree, key=lambda item: item.get("wall_ms", 0.0))
+    root_wall = node.get("wall_ms", 0.0) or 1.0
+    path = []
+    while node is not None:
+        wall_ms = node.get("wall_ms", 0.0)
+        path.append(
+            {
+                "name": node["name"],
+                "wall_s": wall_ms / 1e3,
+                "cpu_s": node.get("cpu_ms", 0.0) / 1e3,
+                "share": wall_ms / root_wall,
+            }
+        )
+        children = node.get("children", ())
+        node = (
+            max(children, key=lambda item: item.get("wall_ms", 0.0))
+            if children
+            else None
+        )
+    return path
+
+
+def pool_sections(tree: list[dict]) -> list[dict]:
+    """Compute-vs-overhead split for every parallel section.
+
+    A parallel section is any span with a ``workers`` attribute (the
+    convention all the pool engines follow).  ``busy_s`` is the summed
+    wall time of its direct children — the grafted worker spans —
+    and ``overhead_s`` is everything else inside the section: payload
+    pickling, pool startup, scheduling, and result collection.
+    """
+    sections = []
+    for node in _walk(tree):
+        attrs = node.get("attrs", {})
+        if "workers" not in attrs:
+            continue
+        wall_s = node.get("wall_ms", 0.0) / 1e3
+        busy_s = sum(
+            child.get("wall_ms", 0.0) / 1e3
+            for child in node.get("children", ())
+        )
+        sections.append(
+            {
+                "name": node["name"],
+                "workers": attrs["workers"],
+                "wall_s": wall_s,
+                "busy_s": busy_s,
+                "overhead_s": max(0.0, wall_s - busy_s),
+            }
+        )
+    sections.sort(key=lambda entry: (-entry["wall_s"], entry["name"]))
+    return sections
+
+
+def tree_from_chrome(chrome: dict) -> list[dict]:
+    """Best-effort span tree reconstruction from a Chrome trace document.
+
+    Inverts :meth:`repro.obs.tracing.Tracer.to_chrome_trace`: complete
+    (``"ph": "X"``) events are nested by interval containment per
+    ``(pid, tid)`` lane.  Exact for serial traces; for traces with
+    grafted worker spans the sequential layout keeps siblings disjoint,
+    so containment still reconstructs the original structure.
+    """
+    roots: list[dict] = []
+    lanes: dict[tuple, list] = {}
+    events = [
+        event
+        for event in chrome.get("traceEvents", ())
+        if event.get("ph") == "X"
+    ]
+    events.sort(key=lambda event: (event.get("ts", 0.0), -event.get("dur", 0.0)))
+    for event in events:
+        args = dict(event.get("args", {}))
+        cpu_ms = float(args.pop("cpu_ms", 0.0))
+        node = {
+            "name": event.get("name", ""),
+            "attrs": args,
+            "wall_ms": event.get("dur", 0.0) / 1e3,
+            "cpu_ms": cpu_ms,
+            "children": [],
+        }
+        start = event.get("ts", 0.0)
+        end = start + event.get("dur", 0.0)
+        lane = lanes.setdefault(
+            (event.get("pid", 0), event.get("tid", 0)), []
+        )
+        # Pop finished enclosing intervals, then nest under the top.
+        while lane and end > lane[-1][1] + 1e-6:
+            lane.pop()
+        if lane:
+            lane[-1][2]["children"].append(node)
+        else:
+            roots.append(node)
+        lane.append((start, end, node))
+    return roots
+
+
+@dataclass
+class ProfileReport:
+    """One run's profile: stages, critical path, hot spots, pool split."""
+
+    total_wall_s: float = 0.0
+    total_cpu_s: float = 0.0
+    stages: dict = field(default_factory=dict)
+    critical_path: list = field(default_factory=list)
+    top_self: list = field(default_factory=list)
+    pools: list = field(default_factory=list)
+
+    @classmethod
+    def from_tree(cls, tree: list[dict], *, top: int = 10) -> "ProfileReport":
+        return cls(
+            total_wall_s=sum(
+                node.get("wall_ms", 0.0) / 1e3 for node in tree
+            ),
+            total_cpu_s=sum(
+                node.get("cpu_ms", 0.0) / 1e3 for node in tree
+            ),
+            stages=stage_times(tree),
+            critical_path=critical_path(tree),
+            top_self=self_time_top(tree, top),
+            pools=pool_sections(tree),
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProfileReport":
+        return cls(
+            total_wall_s=payload.get("total_wall_s", 0.0),
+            total_cpu_s=payload.get("total_cpu_s", 0.0),
+            stages=payload.get("stages", {}),
+            critical_path=payload.get("critical_path", []),
+            top_self=payload.get("top_self", []),
+            pools=payload.get("pools", []),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "total_wall_s": self.total_wall_s,
+            "total_cpu_s": self.total_cpu_s,
+            "stages": self.stages,
+            "critical_path": self.critical_path,
+            "top_self": self.top_self,
+            "pools": self.pools,
+        }
+
+    def render(self) -> str:
+        """Human-readable report (what ``repro obs report`` prints)."""
+        lines = [
+            f"total  wall {self.total_wall_s:.3f} s  "
+            f"cpu {self.total_cpu_s:.3f} s"
+        ]
+        if self.stages:
+            lines.append("")
+            lines.append("stages (wall / cpu):")
+            ranked = sorted(
+                self.stages.items(), key=lambda item: -item[1]["wall_s"]
+            )
+            for name, entry in ranked:
+                lines.append(
+                    f"  {name:<40} {entry['wall_s']:>9.3f} s  "
+                    f"{entry['cpu_s']:>9.3f} s  x{entry.get('count', 1)}"
+                )
+        if self.critical_path:
+            lines.append("")
+            lines.append("critical path:")
+            for entry in self.critical_path:
+                lines.append(
+                    f"  {entry['name']:<40} {entry['wall_s']:>9.3f} s  "
+                    f"{entry['share'] * 100:>5.1f}%"
+                )
+        if self.top_self:
+            lines.append("")
+            lines.append("top self time:")
+            for entry in self.top_self:
+                lines.append(
+                    f"  {entry['name']:<40} {entry['self_s']:>9.3f} s  "
+                    f"x{entry['count']}"
+                )
+        if self.pools:
+            lines.append("")
+            lines.append("parallel sections (compute / overhead):")
+            for entry in self.pools:
+                lines.append(
+                    f"  {entry['name']:<40} workers {entry['workers']:>3}  "
+                    f"{entry['busy_s']:>9.3f} s / "
+                    f"{entry['overhead_s']:.3f} s"
+                )
+        return "\n".join(lines)

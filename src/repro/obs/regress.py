@@ -1,0 +1,343 @@
+"""Bench-regression detection: current numbers vs a rolling baseline.
+
+Compares one "current" document — a ``BENCH_*.json`` benchmark file or a
+ledger row — against a set of baseline documents of the same shape, with
+tolerance bands, and produces a machine-readable
+:class:`Verdict` (``repro obs check-bench`` exits non-zero when any
+finding is a regression).
+
+Leaves are classified by *name*, following the conventions the repo's
+benchmark writers and metric names already use:
+
+- **lower-is-better** — timing suffixes (``_s``, ``_ms``, ``_seconds``)
+  and loss-like tokens (``nrmse``, ``misses``, ``latency``,
+  ``overhead``);
+- **higher-is-better** — quality tokens (``accuracy``, ``hit``,
+  ``skip_rate``, ``speedup``, ``ndcg``, ``precision``);
+- **zero-expected** — warm-cache counters (``warm_fits``,
+  ``warm_pairs_computed``) and anything ``corrupt``: any non-zero
+  current value is a regression regardless of baseline;
+- **booleans** — a flip from an all-true baseline to ``False``
+  (e.g. ``bit_identical``) is a regression.
+
+Unclassifiable leaves are skipped, not guessed.  Sections flagged
+``insufficient_cores`` (the benchmark scripts set it when the host
+cannot exercise real parallelism) skip their timing comparisons, which
+would otherwise flap on small CI runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+#: Leaf names where any non-zero current value is a regression.
+ZERO_EXPECTED = ("warm_fits", "warm_pairs_computed")
+
+#: Name tokens marking a leaf as lower-is-better.
+LOWER_BETTER_TOKENS = ("nrmse", "misses", "latency", "overhead")
+
+#: Name suffixes marking a leaf as a timing (lower-is-better).
+TIME_SUFFIXES = ("_s", "_ms", "_seconds")
+
+#: Name tokens marking a leaf as higher-is-better.
+HIGHER_BETTER_TOKENS = (
+    "accuracy", "hit", "skip_rate", "speedup", "ndcg", "precision",
+)
+
+
+def classify(name: str) -> str | None:
+    """Direction of a numeric leaf: ``lower``/``higher``/``zero``/None.
+
+    The *leaf* part of a dotted path decides; precedence is
+    zero-expected, then lower-is-better, then higher-is-better.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf in ZERO_EXPECTED or "corrupt" in leaf:
+        return "zero"
+    if leaf.endswith(TIME_SUFFIXES) or any(
+        token in leaf for token in LOWER_BETTER_TOKENS
+    ):
+        return "lower"
+    if any(token in leaf for token in HIGHER_BETTER_TOKENS):
+        return "higher"
+    return None
+
+
+def is_timing(name: str) -> bool:
+    """True when the leaf is a wall/CPU-time measurement."""
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf.endswith(TIME_SUFFIXES) or "speedup" in leaf
+
+
+def flatten(doc: dict, prefix: str = "") -> dict:
+    """Numeric and boolean leaves of a nested dict, as dotted paths."""
+    out: dict = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(flatten(value, path))
+        elif isinstance(value, bool) or isinstance(value, (int, float)):
+            out[path] = value
+    return out
+
+
+def _insufficient_sections(*docs: dict) -> set[str]:
+    """Dotted paths of sections flagged ``insufficient_cores`` anywhere."""
+    flagged: set[str] = set()
+    for doc in docs:
+        for path, value in flatten(doc).items():
+            if path.rsplit(".", 1)[-1] == "insufficient_cores" and value:
+                flagged.add(path.rsplit(".", 1)[0] if "." in path else "")
+    return flagged
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One leaf's comparison outcome."""
+
+    name: str
+    kind: str  # "regression" | "improvement"
+    current: float
+    baseline: float | None
+    threshold: float | None
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "current": self.current,
+            "baseline": self.baseline,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Verdict:
+    """The outcome of one current-vs-baseline comparison."""
+
+    compared: int = 0
+    skipped: int = 0
+    findings: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding is a regression."""
+        return not self.regressions
+
+    @property
+    def regressions(self) -> list:
+        return [f for f in self.findings if f.kind == "regression"]
+
+    @property
+    def improvements(self) -> list:
+        return [f for f in self.findings if f.kind == "improvement"]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "compared": self.compared,
+            "skipped": self.skipped,
+            "regressions": [f.to_dict() for f in self.regressions],
+            "improvements": [f.to_dict() for f in self.improvements],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'OK' if self.ok else 'REGRESSION'}  "
+            f"compared {self.compared} leaves, skipped {self.skipped}"
+        ]
+        for finding in self.regressions:
+            lines.append(f"  REGRESSION  {finding.message}")
+        for finding in self.improvements:
+            lines.append(f"  improvement {finding.message}")
+        return "\n".join(lines)
+
+
+def check_bench(
+    current: dict,
+    baselines: list[dict],
+    *,
+    rel_tol: float = 0.25,
+    abs_floor: float = 0.02,
+    min_baseline: int = 1,
+) -> Verdict:
+    """Compare a current document against baseline documents.
+
+    ``rel_tol`` is the relative tolerance band around the baseline mean
+    and ``abs_floor`` an absolute slack added on top — sub-hundredth-of-
+    a-second jitter never trips a timing comparison.  Leaves present in
+    the current document but missing from every baseline (or vice versa)
+    are skipped, as are leaves with fewer than ``min_baseline`` baseline
+    values and timing leaves inside ``insufficient_cores`` sections.
+    """
+    verdict = Verdict()
+    current_leaves = flatten(current)
+    baseline_leaves = [flatten(doc) for doc in baselines]
+    flagged = _insufficient_sections(current, *baselines)
+
+    for name in sorted(current_leaves):
+        value = current_leaves[name]
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf == "insufficient_cores":
+            continue
+        section = name.rsplit(".", 1)[0] if "." in name else ""
+        if section in flagged and is_timing(name):
+            verdict.skipped += 1
+            continue
+
+        if isinstance(value, bool):
+            history = [
+                doc[name] for doc in baseline_leaves
+                if isinstance(doc.get(name), bool)
+            ]
+            if len(history) < min_baseline:
+                verdict.skipped += 1
+                continue
+            verdict.compared += 1
+            if all(history) and not value:
+                verdict.findings.append(
+                    Finding(
+                        name=name,
+                        kind="regression",
+                        current=0.0,
+                        baseline=1.0,
+                        threshold=None,
+                        message=f"{name} flipped to False "
+                        f"(baseline all True)",
+                    )
+                )
+            continue
+
+        direction = classify(name)
+        if direction is None:
+            verdict.skipped += 1
+            continue
+
+        if direction == "zero":
+            verdict.compared += 1
+            if value > 0:
+                verdict.findings.append(
+                    Finding(
+                        name=name,
+                        kind="regression",
+                        current=float(value),
+                        baseline=0.0,
+                        threshold=0.0,
+                        message=f"{name} = {value} (expected 0)",
+                    )
+                )
+            continue
+
+        history = [
+            float(doc[name]) for doc in baseline_leaves
+            if isinstance(doc.get(name), (int, float))
+            and not isinstance(doc.get(name), bool)
+        ]
+        if len(history) < min_baseline:
+            verdict.skipped += 1
+            continue
+        verdict.compared += 1
+        base = mean(history)
+        value = float(value)
+        if direction == "lower":
+            threshold = base * (1.0 + rel_tol) + abs_floor
+            if value > threshold:
+                verdict.findings.append(
+                    Finding(
+                        name=name,
+                        kind="regression",
+                        current=value,
+                        baseline=base,
+                        threshold=threshold,
+                        message=f"{name} = {value:.4g} > "
+                        f"{threshold:.4g} (baseline {base:.4g})",
+                    )
+                )
+            elif value < base * (1.0 - rel_tol) - abs_floor:
+                verdict.findings.append(
+                    Finding(
+                        name=name,
+                        kind="improvement",
+                        current=value,
+                        baseline=base,
+                        threshold=threshold,
+                        message=f"{name} = {value:.4g} "
+                        f"(baseline {base:.4g})",
+                    )
+                )
+        else:  # higher is better
+            threshold = base * (1.0 - rel_tol) - abs_floor
+            if value < threshold:
+                verdict.findings.append(
+                    Finding(
+                        name=name,
+                        kind="regression",
+                        current=value,
+                        baseline=base,
+                        threshold=threshold,
+                        message=f"{name} = {value:.4g} < "
+                        f"{threshold:.4g} (baseline {base:.4g})",
+                    )
+                )
+            elif value > base * (1.0 + rel_tol) + abs_floor:
+                verdict.findings.append(
+                    Finding(
+                        name=name,
+                        kind="improvement",
+                        current=value,
+                        baseline=base,
+                        threshold=threshold,
+                        message=f"{name} = {value:.4g} "
+                        f"(baseline {base:.4g})",
+                    )
+                )
+    return verdict
+
+
+def _ledger_projection(row: dict) -> dict:
+    """The regression-relevant view of a ledger row."""
+    doc: dict = {
+        "elapsed_s": row.get("elapsed_s", 0.0),
+        "cpu_s": row.get("cpu_s", 0.0),
+        "stages": {
+            name: {"wall_s": entry.get("wall_s", 0.0)}
+            for name, entry in row.get("stages", {}).items()
+        },
+        "caches": row.get("caches", {}),
+    }
+    return doc
+
+
+def diff_rows(
+    current: dict,
+    history: list[dict],
+    *,
+    rel_tol: float = 0.25,
+    abs_floor: float = 0.05,
+    window: int = 5,
+    min_baseline: int = 1,
+) -> Verdict:
+    """Compare the newest ledger row against its rolling baseline.
+
+    Baselines are the newest ``window`` earlier rows with the same
+    ``config_fingerprint`` (same command, same resolved options) — rows
+    of a different configuration are never comparable.
+    """
+    fingerprint = current.get("config_fingerprint")
+    comparable = [
+        row for row in history
+        if row is not current
+        and row.get("config_fingerprint") == fingerprint
+        and row.get("exit_code", 0) == 0
+    ]
+    baselines = comparable[-window:]
+    return check_bench(
+        _ledger_projection(current),
+        [_ledger_projection(row) for row in baselines],
+        rel_tol=rel_tol,
+        abs_floor=abs_floor,
+        min_baseline=min_baseline,
+    )

@@ -1,0 +1,218 @@
+"""Worker-side telemetry capture with deterministic parent-side merge.
+
+Every parallel engine in this repo (grid execution, fit/score units,
+distance-matrix chunks, per-tree forest batches) promises *results*
+bit-identical to serial — but spans and counters recorded inside a pool
+worker used to die with the worker's process-local registries.  This
+module closes that gap:
+
+- :class:`TelemetryCapture` installs a fresh
+  :class:`~repro.obs.metrics.MetricsRegistry` and
+  :class:`~repro.obs.tracing.Tracer` as the process globals for the
+  duration of one unit of work and snapshots them on the way out.  The
+  **same** capture wrapper runs on the serial and the parallel path, so
+  both produce identical :class:`TelemetrySnapshot` values.
+- :func:`merge_snapshot` folds a snapshot back into the parent's
+  registry (counters add, gauges last-write-wins, histograms merge
+  bucket-wise) and grafts the captured span subtree under the parent's
+  current span.  Parents merge snapshots **in submission order**, never
+  completion order, so a ``jobs=N`` run's telemetry equals the serial
+  run's exactly.
+
+The merge contract (enforced by
+``tests/obs/test_merge_determinism.py``): after stripping the
+explicitly *volatile* content — the worker-count gauge/attribute and
+histogram bucket contents, which record wall-clock durations — the
+metric snapshot and the span-tree shape of a run are identical at any
+worker count.  :func:`comparable_snapshot` and :func:`tree_shape`
+compute exactly that comparable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.tracing import Tracer, get_tracer, set_tracer
+
+#: Bump when the snapshot payload layout changes.
+TELEMETRY_VERSION = 1
+
+#: Metric names whose values legitimately differ with the worker count.
+VOLATILE_METRICS = frozenset({"gridexec.workers"})
+
+#: Span attributes whose values legitimately differ with the worker count.
+VOLATILE_ATTRS = frozenset({"workers"})
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """What one captured unit of work recorded.
+
+    ``metrics`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    mapping; ``spans`` is a tuple of span payloads (``name``, ``attrs``,
+    ``start_rel_ns`` relative to the capture origin, ``wall_ns``,
+    ``cpu_ns``, ``children``).  Instances are picklable and small enough
+    to ship back from a pool worker alongside the unit's result.
+    """
+
+    metrics: dict
+    spans: tuple = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "telemetry_version": TELEMETRY_VERSION,
+            "metrics": dict(self.metrics),
+            "spans": list(self.spans),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TelemetrySnapshot":
+        return cls(
+            metrics=dict(payload.get("metrics", {})),
+            spans=tuple(payload.get("spans", ())),
+        )
+
+
+def _span_payload(span, origin_ns: int) -> dict:
+    """One span (and its subtree) as a plain shippable payload."""
+    return {
+        "name": span.name,
+        "attrs": dict(span.attrs),
+        "start_rel_ns": span.start_wall_ns - origin_ns,
+        "wall_ns": span.end_wall_ns - span.start_wall_ns,
+        "cpu_ns": span.end_cpu_ns - span.start_cpu_ns,
+        "children": [
+            _span_payload(child, origin_ns) for child in span.children
+        ],
+    }
+
+
+def export_spans(tracer: Tracer) -> list[dict]:
+    """Every root span of ``tracer`` as a payload for :func:`merge_snapshot`."""
+    origin = tracer.origin_wall_ns
+    return [_span_payload(root, origin) for root in tracer.roots]
+
+
+class TelemetryCapture:
+    """Context manager scoping the global registry/tracer to one unit.
+
+    On entry, a fresh registry (and a tracer, enabled iff ``tracing``)
+    replace the process globals; on exit the previous globals are
+    restored — even when the body raised — and :attr:`snapshot` holds
+    what the unit recorded.  Captures nest: a captured region that runs
+    another captured region merges the inner snapshot into its own
+    scoped registry.
+    """
+
+    def __init__(self, *, tracing: bool = False):
+        self.tracing = bool(tracing)
+        self.snapshot: TelemetrySnapshot | None = None
+        self._registry: MetricsRegistry | None = None
+        self._tracer: Tracer | None = None
+        self._previous_registry: MetricsRegistry | None = None
+        self._previous_tracer: Tracer | None = None
+
+    def __enter__(self) -> "TelemetryCapture":
+        self._registry = MetricsRegistry()
+        self._tracer = Tracer(enabled=self.tracing)
+        self._previous_registry = set_metrics(self._registry)
+        self._previous_tracer = set_tracer(self._tracer)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_metrics(self._previous_registry)
+        set_tracer(self._previous_tracer)
+        self.snapshot = TelemetrySnapshot(
+            metrics=self._registry.snapshot(),
+            spans=tuple(export_spans(self._tracer)),
+        )
+        return False
+
+
+def capture_telemetry(
+    fn: Callable, *args: Any, tracing: bool = False, **kwargs: Any
+) -> tuple[Any, TelemetrySnapshot]:
+    """Run ``fn(*args, **kwargs)`` under capture; return (result, snapshot).
+
+    This is the wrapper pool workers run; the serial path calls the same
+    function in-process, which is what makes captured telemetry
+    identical on both paths.  If ``fn`` raises, the exception propagates
+    (after the globals are restored) and no snapshot is returned: the
+    telemetry of a failed attempt is dropped on the serial and the
+    parallel path alike.
+    """
+    with TelemetryCapture(tracing=tracing) as capture:
+        result = fn(*args, **kwargs)
+    return result, capture.snapshot
+
+
+def merge_snapshot(
+    snapshot: TelemetrySnapshot,
+    *,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> None:
+    """Fold one captured snapshot into the parent's telemetry.
+
+    Metrics merge into ``metrics`` (default: the global registry) —
+    counters add, gauges take the snapshot's value (so merging in
+    submission order reproduces the serial last-write), histograms merge
+    bucket-wise.  Captured spans are grafted under the parent tracer's
+    current span, laid out sequentially after its existing children
+    (exactly where they would sit in a serial run).
+    """
+    registry = metrics if metrics is not None else get_metrics()
+    registry.merge_snapshot(snapshot.metrics)
+    target = tracer if tracer is not None else get_tracer()
+    if target.enabled and snapshot.spans:
+        target.attach(snapshot.spans)
+
+
+def comparable_snapshot(
+    metrics_snapshot: dict, *, exclude: frozenset = VOLATILE_METRICS
+) -> dict:
+    """The worker-count-independent view of a metrics snapshot.
+
+    Histograms are reduced to their observation ``count`` — the count is
+    deterministic, the observed values are wall-clock durations — and
+    the metrics named in ``exclude`` are dropped.  Two runs of the same
+    work at any ``jobs`` value produce equal comparable snapshots.
+    """
+    out: dict = {}
+    for name, entry in metrics_snapshot.items():
+        if name in exclude:
+            continue
+        if entry.get("type") == "histogram":
+            out[name] = {"type": "histogram", "count": entry["count"]}
+        else:
+            out[name] = {"type": entry["type"], "value": entry["value"]}
+    return out
+
+
+def tree_shape(
+    tree: list, *, exclude_attrs: frozenset = VOLATILE_ATTRS
+) -> list:
+    """The timing-free shape of a span tree (or span payload list).
+
+    Accepts either :meth:`~repro.obs.tracing.Tracer.to_tree` dicts or
+    the payloads carried by a :class:`TelemetrySnapshot`; strips wall
+    and CPU durations plus the attributes named in ``exclude_attrs``,
+    leaving only names, deterministic attributes, and structure.
+    """
+
+    def shape(node: dict) -> dict:
+        return {
+            "name": node["name"],
+            "attrs": {
+                key: value
+                for key, value in node.get("attrs", {}).items()
+                if key not in exclude_attrs
+            },
+            "children": [
+                shape(child) for child in node.get("children", ())
+            ],
+        }
+
+    return [shape(node) for node in tree]

@@ -86,12 +86,21 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # Finalization must survive any unwind: timing is recorded first,
+        # and the context-variable reset cannot be skipped by the error
+        # bookkeeping, so a span whose body raised still carries complete
+        # wall/CPU durations into to_tree()/Chrome exports.
         self.end_wall_ns = time.perf_counter_ns()
         self.end_cpu_ns = time.process_time_ns()
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
-        self._tracer._current.reset(self._token)
-        self._token = None
+            if exc is not None:
+                message = str(exc)
+                if message:
+                    self.attrs.setdefault("error_message", message[:200])
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+            self._token = None
         return False
 
     def set_attr(self, key: str, value: Any) -> None:
@@ -146,6 +155,52 @@ class Tracer:
     def roots(self) -> list[Span]:
         """Top-level spans recorded so far."""
         return list(self._roots)
+
+    @property
+    def origin_wall_ns(self) -> int:
+        """The tracer's creation timestamp (``perf_counter_ns`` domain)."""
+        return self._origin_wall_ns
+
+    def attach(self, payloads) -> None:
+        """Graft captured span payloads under the current span.
+
+        ``payloads`` is what :func:`repro.obs.telemetry.export_spans`
+        produced in a worker (or a serial capture).  Worker clocks are
+        not comparable with the parent's, so grafted roots are laid out
+        *sequentially*: each starts where the previous sibling ended —
+        exactly where it would sit in a serial run — while a payload's
+        internal child offsets are preserved verbatim.  Grafting is a
+        no-op on a disabled tracer.
+        """
+        if not self.enabled or not payloads:
+            return
+        parent = self._current.get()
+        siblings = parent.children if parent is not None else self._roots
+        if siblings:
+            cursor = siblings[-1].end_wall_ns
+        elif parent is not None:
+            cursor = parent.start_wall_ns
+        else:
+            cursor = self._origin_wall_ns
+        for payload in payloads:
+            node = self._materialize(
+                payload, cursor - int(payload.get("start_rel_ns", 0))
+            )
+            siblings.append(node)
+            cursor = node.end_wall_ns
+
+    def _materialize(self, payload: dict, shift_ns: int) -> Span:
+        """Rebuild one payload subtree as Span objects at a time shift."""
+        node = Span(self, payload["name"], payload.get("attrs"))
+        node.start_wall_ns = shift_ns + int(payload.get("start_rel_ns", 0))
+        node.end_wall_ns = node.start_wall_ns + int(payload.get("wall_ns", 0))
+        node.start_cpu_ns = 0
+        node.end_cpu_ns = int(payload.get("cpu_ns", 0))
+        node.children = [
+            self._materialize(child, shift_ns)
+            for child in payload.get("children", ())
+        ]
+        return node
 
     def clear(self) -> None:
         """Drop all recorded spans."""

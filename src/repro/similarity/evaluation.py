@@ -24,7 +24,8 @@ from repro.exceptions import ValidationError
 from repro.ml.metrics import mean_average_precision, ndcg
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.tracing import span
+from repro.obs.telemetry import capture_telemetry, merge_snapshot
+from repro.obs.tracing import get_tracer, span
 from repro.similarity.distcache import (
     DistanceCache,
     as_distance_cache,
@@ -126,6 +127,37 @@ def _compute_pair_chunk(
     return values, seconds
 
 
+def _pair_chunk_body(
+    sub_matrices: list[np.ndarray],
+    local_pairs: list[tuple[int, int]],
+    measure: MeasureSpec,
+    chunk_index: int,
+) -> tuple[list[float], list[float]]:
+    with span(
+        "similarity.pair_chunk",
+        attrs={"chunk": chunk_index, "pairs": len(local_pairs)},
+    ):
+        return _compute_pair_chunk(sub_matrices, local_pairs, measure)
+
+
+def _compute_pair_chunk_captured(
+    sub_matrices: list[np.ndarray],
+    local_pairs: list[tuple[int, int]],
+    measure: MeasureSpec,
+    chunk_index: int,
+    tracing: bool,
+):
+    """One chunk under telemetry capture; the wrapper shipped to workers."""
+    return capture_telemetry(
+        _pair_chunk_body,
+        sub_matrices,
+        local_pairs,
+        measure,
+        chunk_index,
+        tracing=tracing,
+    )
+
+
 def _chunk_payload(
     matrices: list[np.ndarray], pair_chunk: list[tuple[int, int]]
 ) -> tuple[list[np.ndarray], list[tuple[int, int]]]:
@@ -215,7 +247,13 @@ def _run_pair_chunks(
     measure: MeasureSpec,
     n_workers: int,
 ) -> list[tuple[list[float], list[float]]]:
-    """Run pair chunks serially or over a pool; results in chunk order."""
+    """Run pair chunks serially or over a pool; results in chunk order.
+
+    Each chunk runs under telemetry capture and its snapshot is merged
+    back in chunk order on both paths, so spans recorded inside workers
+    match a serial run exactly.
+    """
+    tracing = get_tracer().enabled
     if n_workers > 1 and len(chunks) > 1:
         try:
             pool = ProcessPoolExecutor(max_workers=n_workers)
@@ -229,17 +267,28 @@ def _run_pair_chunks(
             with pool:
                 futures = [
                     pool.submit(
-                        _compute_pair_chunk,
+                        _compute_pair_chunk_captured,
                         *_chunk_payload(matrices, chunk),
                         measure,
+                        index,
+                        tracing,
                     )
-                    for chunk in chunks
+                    for index, chunk in enumerate(chunks)
                 ]
-                return [future.result() for future in futures]
-    return [
-        _compute_pair_chunk(*_chunk_payload(matrices, chunk), measure)
-        for chunk in chunks
-    ]
+                outputs = []
+                for future in futures:
+                    result, telemetry = future.result()
+                    merge_snapshot(telemetry)
+                    outputs.append(result)
+                return outputs
+    outputs = []
+    for index, chunk in enumerate(chunks):
+        result, telemetry = _compute_pair_chunk_captured(
+            *_chunk_payload(matrices, chunk), measure, index, tracing
+        )
+        merge_snapshot(telemetry)
+        outputs.append(result)
+    return outputs
 
 
 def normalized_distances(D: np.ndarray) -> np.ndarray:

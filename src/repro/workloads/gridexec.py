@@ -20,6 +20,13 @@ between runs, a parallel build is **bit-identical** to a serial one: the
 determinism suite (``tests/workloads/test_gridexec.py``) asserts exact
 array equality between ``jobs=1`` and ``jobs=4`` builds.
 
+Telemetry follows the same contract: every task runs under
+:func:`repro.obs.telemetry.capture_telemetry` on the serial and the
+parallel path alike, and the parent merges the per-task snapshots in
+task order — so metric totals, gauge values, and grafted span subtrees
+match a serial run at any worker count (the engine/runner series are no
+longer lost with worker processes).
+
 An optional content-addressed :class:`repro.workloads.cache.CorpusCache`
 short-circuits tasks whose results are already on disk; only cache
 misses are executed.
@@ -57,7 +64,8 @@ from pathlib import Path
 from repro.exceptions import ValidationError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.tracing import span
+from repro.obs.telemetry import capture_telemetry, merge_snapshot
+from repro.obs.tracing import get_tracer, span
 from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
 from repro.utils.rng import RandomState, spawn_generators
 from repro.workloads.repository import ensure_finite
@@ -352,6 +360,27 @@ def _run_task_faulted(task: GridTask, attempt: int, faults,
     return result
 
 
+def _task_body(task: GridTask, attempt: int, faults, in_worker: bool):
+    with span(
+        "gridexec.task", attrs={"task": task.task_id, "attempt": attempt}
+    ):
+        return _run_task_faulted(task, attempt, faults, in_worker)
+
+
+def _run_task_captured(task: GridTask, attempt: int, faults,
+                       in_worker: bool, tracing: bool):
+    """One task under telemetry capture; the unit shipped to workers.
+
+    Returns ``(result, TelemetrySnapshot)``.  The serial path calls the
+    same function in-process, so both paths capture identical telemetry;
+    the parent merges snapshots in task order (see
+    :mod:`repro.obs.telemetry`).
+    """
+    return capture_telemetry(
+        _task_body, task, attempt, faults, in_worker, tracing=tracing
+    )
+
+
 def _store_result(cache, key, task, attempt, result, faults, journal) -> None:
     """Persist a validated result: cache write, fault hook, journal line.
 
@@ -483,17 +512,14 @@ def _execute_serial(
     executed = 0
     retried = 0
     quarantined: list = []
+    tracing = get_tracer().enabled
     for position, task, key, first_attempt in items:
         attempt = first_attempt
         while True:
             try:
-                with span(
-                    "gridexec.task",
-                    attrs={"task": task.task_id, "attempt": attempt},
-                ):
-                    result = _run_task_faulted(
-                        task, attempt, faults, in_worker=False
-                    )
+                result, telemetry = _run_task_captured(
+                    task, attempt, faults, False, tracing
+                )
                 ensure_finite(result)
             except Exception as exc:
                 attempt += 1
@@ -508,6 +534,9 @@ def _execute_serial(
                     continue
                 _quarantine(quarantined, task, exc)
                 break
+            # Telemetry is merged only for accepted attempts, right when
+            # the result is accepted — position order, same as parallel.
+            merge_snapshot(telemetry)
             _store_result(cache, key, task, attempt, result, faults, journal)
             results[position] = result
             executed += 1
@@ -537,11 +566,16 @@ def _execute_parallel(
     all, everything runs serially with a warning.
     """
     metrics = get_metrics()
+    tracing = get_tracer().enabled
     queue = [(position, task, key, 0) for position, task, key in pending]
     executed = 0
     retried = 0
     quarantined: list = []
     last_chance: list = []  # exhausted by pool breakage; retried serially
+    #: Snapshot of the accepted attempt per position; merged in position
+    #: order at the end so telemetry matches a serial run regardless of
+    #: the order futures completed in.
+    snapshots: dict[int, object] = {}
 
     while queue:
         try:
@@ -550,6 +584,7 @@ def _execute_parallel(
             logger.warning(
                 "process pool unavailable (%s); falling back to serial", exc
             )
+            _merge_position_snapshots(snapshots)
             e, r, q = _execute_serial(
                 queue, results, cache, retry, faults, journal
             )
@@ -563,7 +598,8 @@ def _execute_parallel(
                 for item in queue:
                     position, task, key, attempt = item
                     futures[pool.submit(
-                        _run_task_faulted, task, attempt, faults, True
+                        _run_task_captured, task, attempt, faults, True,
+                        tracing,
                     )] = item
             except BrokenExecutor:
                 broken = True
@@ -577,11 +613,7 @@ def _execute_parallel(
                     handled.add(future)
                     position, task, key, attempt = futures[future]
                     try:
-                        with span(
-                            "gridexec.task.collect",
-                            attrs={"task": task.task_id, "attempt": attempt},
-                        ):
-                            result = future.result()
+                        result, telemetry = future.result()
                         ensure_finite(result)
                     except BrokenExecutor:
                         # The worker executing *some* task died; this
@@ -603,8 +635,8 @@ def _execute_parallel(
                             _sleep_backoff(retry, next_attempt)
                             try:
                                 new = pool.submit(
-                                    _run_task_faulted, task, next_attempt,
-                                    faults, True,
+                                    _run_task_captured, task, next_attempt,
+                                    faults, True, tracing,
                                 )
                             except BrokenExecutor:
                                 broken = True
@@ -619,9 +651,9 @@ def _execute_parallel(
                         else:
                             _quarantine(quarantined, task, exc)
                         continue
-                    # Worker-side metric increments die with the worker
-                    # process; account for the execution here instead.
-                    metrics.counter("runner.experiments_total").inc()
+                    # Worker-side metric/span increments come back in the
+                    # snapshot; hold it for the position-ordered merge.
+                    snapshots[position] = telemetry
                     _store_result(
                         cache, key, task, attempt, result, faults, journal
                     )
@@ -654,6 +686,7 @@ def _execute_parallel(
                     len(queue), len(last_chance),
                 )
 
+    _merge_position_snapshots(snapshots)
     if last_chance:
         final_policy = RetryPolicy(
             max_attempts=max(a for _, _, _, a in last_chance) + 1,
@@ -666,3 +699,10 @@ def _execute_parallel(
         retried += r
         quarantined += q
     return executed, retried, quarantined
+
+
+def _merge_position_snapshots(snapshots: dict) -> None:
+    """Merge collected worker snapshots in task (position) order."""
+    for position in sorted(snapshots):
+        merge_snapshot(snapshots[position])
+    snapshots.clear()

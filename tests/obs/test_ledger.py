@@ -1,0 +1,167 @@
+"""Run ledger: append/read round trips, torn tails, row assembly."""
+
+import json
+
+from repro.obs.ledger import (
+    LEDGER_VERSION,
+    RunLedger,
+    build_row,
+    cache_stats,
+    condense_metrics,
+    config_fingerprint,
+    resolve_ledger_path,
+    stage_times,
+)
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+
+
+class TestPathResolution:
+    def test_jsonl_path_used_directly(self, tmp_path):
+        target = tmp_path / "runs.jsonl"
+        assert resolve_ledger_path(target) == target
+
+    def test_directory_gets_default_name(self, tmp_path):
+        assert resolve_ledger_path(tmp_path) == tmp_path / "ledger.jsonl"
+
+
+class TestConfigFingerprint:
+    def test_stable_under_key_order(self):
+        a = config_fingerprint("similarity", {"x": 1, "y": "z"})
+        b = config_fingerprint("similarity", {"y": "z", "x": 1})
+        assert a == b
+
+    def test_changes_with_options_and_command(self):
+        base = config_fingerprint("similarity", {"jobs": 1})
+        assert base != config_fingerprint("similarity", {"jobs": 4})
+        assert base != config_fingerprint("cluster", {"jobs": 1})
+
+    def test_handles_non_json_values(self):
+        # Path-like and other objects are stringified, not fatal.
+        from pathlib import Path
+
+        assert config_fingerprint("c", {"out": Path("/tmp/x")})
+
+
+class TestRowHelpers:
+    def test_condense_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.2)
+        condensed = condense_metrics(registry.snapshot())
+        assert condensed["c"] == {"type": "counter", "value": 3.0}
+        assert condensed["g"] == {"type": "gauge", "value": 1.5}
+        assert condensed["h"] == {
+            "type": "histogram", "count": 1, "sum": 0.2,
+        }
+
+    def test_cache_stats(self):
+        registry = MetricsRegistry()
+        registry.counter("distance_cache.hits_total").inc(3)
+        registry.counter("distance_cache.misses_total").inc(1)
+        registry.counter("fit_cache.corrupt_total").inc(2)
+        stats = cache_stats(registry.snapshot())
+        assert stats["distance_cache"]["hits"] == 3.0
+        assert stats["distance_cache"]["hit_rate"] == 0.75
+        assert stats["fit_cache"]["corrupt"] == 2.0
+        assert stats["fit_cache"]["hit_rate"] == 0.0
+        # Families with no activity are omitted entirely.
+        assert "corpus_cache" not in stats
+
+    def test_stage_times_unwraps_cli_root(self):
+        tree = [
+            {
+                "name": "cli.similarity",
+                "wall_ms": 100.0,
+                "cpu_ms": 90.0,
+                "children": [
+                    {"name": "stage.a", "wall_ms": 60.0, "cpu_ms": 50.0,
+                     "children": []},
+                    {"name": "stage.a", "wall_ms": 20.0, "cpu_ms": 20.0,
+                     "children": []},
+                    {"name": "stage.b", "wall_ms": 10.0, "cpu_ms": 10.0,
+                     "children": []},
+                ],
+            }
+        ]
+        stages = stage_times(tree)
+        assert stages["stage.a"]["wall_s"] == 0.08
+        assert stages["stage.a"]["count"] == 2
+        assert stages["stage.b"]["cpu_s"] == 0.01
+
+    def test_build_row_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("fit_cache.hits_total").inc(2)
+        row = build_row(
+            command="select",
+            argv=["select", "--corpus", "c.json"],
+            options={"corpus": "c.json"},
+            exit_code=0,
+            elapsed_s=1.25,
+            cpu_s=1.0,
+            metrics_snapshot=registry.snapshot(),
+            manifest_digest="abc123",
+        )
+        assert row["ledger_version"] == LEDGER_VERSION
+        assert row["command"] == "select"
+        assert row["exit_code"] == 0
+        assert row["caches"]["fit_cache"]["hits"] == 2.0
+        assert row["manifest_digest"] == "abc123"
+        assert row["config_fingerprint"] == config_fingerprint(
+            "select", {"corpus": "c.json"}
+        )
+        # Rows must be JSON-serializable as written.
+        json.dumps(row)
+
+
+class TestRunLedger:
+    def _row(self, **overrides):
+        row = build_row(
+            command="simulate", argv=["simulate"], options={},
+            exit_code=0, elapsed_s=0.1, cpu_s=0.1,
+        )
+        row.update(overrides)
+        return row
+
+    def test_append_and_read_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(self._row(elapsed_s=1.0))
+        ledger.append(self._row(elapsed_s=2.0))
+        rows = ledger.rows()
+        assert [row["elapsed_s"] for row in rows] == [1.0, 2.0]
+        assert ledger.last()["elapsed_s"] == 2.0
+        assert len(ledger) == 2
+
+    def test_persists_across_instances(self, tmp_path):
+        RunLedger(tmp_path).append(self._row())
+        RunLedger(tmp_path).append(self._row())
+        assert len(RunLedger(tmp_path).rows()) == 2
+
+    def test_torn_tail_healed_on_append(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(self._row(elapsed_s=1.0))
+        # Simulate a crash mid-append: a torn, newline-less tail.
+        with ledger.path.open("ab") as handle:
+            handle.write(b'{"ledger_version": 1, "elapsed')
+        ledger.append(self._row(elapsed_s=2.0))
+        rows = ledger.rows()
+        assert [row["elapsed_s"] for row in rows] == [1.0, 2.0]
+
+    def test_corrupt_lines_counted_not_fatal(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(self._row())
+        with ledger.path.open("a") as handle:
+            handle.write("not json\n")
+            handle.write('{"no_version_marker": true}\n')
+        registry = MetricsRegistry()
+        previous = set_metrics(registry)
+        try:
+            assert len(ledger.rows()) == 1
+            assert get_metrics().counter("ledger.corrupt_total").value == 2.0
+        finally:
+            set_metrics(previous)
+
+    def test_empty_and_missing_ledger(self, tmp_path):
+        ledger = RunLedger(tmp_path / "never-written")
+        assert ledger.rows() == []
+        assert ledger.last() is None

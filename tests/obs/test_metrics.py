@@ -8,6 +8,8 @@ from repro.exceptions import ValidationError
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
     get_metrics,
     set_metrics,
 )
@@ -110,6 +112,57 @@ class TestRegistry:
         assert "predict_latency_ms_sum 255" in text
         assert "predict_latency_ms_count 2" in text
         assert text.endswith("\n")
+
+
+class TestPrometheusHardening:
+    def test_escape_help_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+        # Quotes are legal in help text and stay verbatim.
+        assert escape_help('say "hi"') == 'say "hi"'
+
+    def test_escape_label_value_quotes_too(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_help_line_is_escaped_and_precedes_type(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "tricky.total", help='count of "tricky"\nthings \\ stuff'
+        ).inc()
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+        assert lines[0] == (
+            '# HELP tricky_total count of "tricky"\\nthings \\\\ stuff'
+        )
+        assert lines[1] == "# TYPE tricky_total counter"
+        assert lines[2] == "tricky_total 1"
+        # The escaped newline must not split the exposition line.
+        assert len(lines) == 3
+
+    def test_help_omitted_when_empty(self):
+        registry = MetricsRegistry()
+        registry.gauge("plain.level").set(1.0)
+        assert "# HELP" not in registry.to_prometheus()
+
+    def test_dotted_and_odd_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.fit-cache.hits total").inc()
+        text = registry.to_prometheus()
+        assert "# TYPE engine_fit_cache_hits_total counter" in text
+        assert "engine_fit_cache_hits_total 1" in text
+
+    def test_histogram_help_type_then_series(self):
+        registry = MetricsRegistry()
+        h = registry.histogram(
+            "lat.ms", buckets=(1.0,), help="request latency"
+        )
+        h.observe(0.5)
+        lines = registry.to_prometheus().splitlines()
+        assert lines[0] == "# HELP lat_ms request latency"
+        assert lines[1] == "# TYPE lat_ms histogram"
+        assert lines[2] == 'lat_ms_bucket{le="1"} 1'
+        assert lines[3] == 'lat_ms_bucket{le="+Inf"} 1'
+        assert lines[4].startswith("lat_ms_sum ")
+        assert lines[5] == "lat_ms_count 1"
 
 
 class TestGlobalRegistry:

@@ -1,0 +1,148 @@
+"""Profile analysis: aggregation, critical path, pool split, Chrome round trip."""
+
+import json
+
+from pytest import approx
+
+from repro.obs.profile import (
+    ProfileReport,
+    aggregate_spans,
+    critical_path,
+    pool_sections,
+    self_time_top,
+    tree_from_chrome,
+)
+from repro.obs.tracing import Tracer
+
+
+def _node(name, wall_ms, cpu_ms=0.0, attrs=None, children=()):
+    return {
+        "name": name,
+        "attrs": dict(attrs or {}),
+        "wall_ms": wall_ms,
+        "cpu_ms": cpu_ms,
+        "children": list(children),
+    }
+
+
+SAMPLE = [
+    _node(
+        "cli.similarity", 100.0, 90.0,
+        children=[
+            _node(
+                "similarity.distance_matrix", 80.0, 70.0,
+                attrs={"workers": 4},
+                children=[
+                    _node("similarity.pair_chunk", 30.0, 30.0),
+                    _node("similarity.pair_chunk", 40.0, 40.0),
+                ],
+            ),
+            _node("similarity.rank", 10.0, 10.0),
+        ],
+    )
+]
+
+
+class TestAggregation:
+    def test_totals_and_self_time(self):
+        totals = aggregate_spans(SAMPLE)
+        chunk = totals["similarity.pair_chunk"]
+        assert chunk["count"] == 2
+        assert chunk["wall_s"] == approx(0.07)
+        matrix = totals["similarity.distance_matrix"]
+        # 80 ms wall minus 70 ms of children = 10 ms self.
+        assert matrix["self_s"] == approx(0.01)
+        root = totals["cli.similarity"]
+        assert root["self_s"] == approx(0.01)
+
+    def test_self_time_top_ranked(self):
+        top = self_time_top(SAMPLE, 2)
+        assert len(top) == 2
+        assert top[0]["name"] == "similarity.pair_chunk"
+        assert top[0]["self_s"] >= top[1]["self_s"]
+
+    def test_empty_tree(self):
+        assert aggregate_spans([]) == {}
+        assert self_time_top([]) == []
+
+
+class TestCriticalPath:
+    def test_follows_heaviest_children(self):
+        path = critical_path(SAMPLE)
+        assert [entry["name"] for entry in path] == [
+            "cli.similarity",
+            "similarity.distance_matrix",
+            "similarity.pair_chunk",
+        ]
+        assert path[0]["share"] == 1.0
+        assert path[1]["share"] == approx(0.8)
+        # The 40 ms chunk wins over the 30 ms one.
+        assert path[2]["wall_s"] == approx(0.04)
+
+    def test_empty(self):
+        assert critical_path([]) == []
+
+
+class TestPoolSections:
+    def test_compute_vs_overhead(self):
+        (section,) = pool_sections(SAMPLE)
+        assert section["name"] == "similarity.distance_matrix"
+        assert section["workers"] == 4
+        assert section["busy_s"] == approx(0.07)
+        assert section["overhead_s"] == approx(0.01)
+
+
+class TestChromeRoundTrip:
+    def test_reconstructs_tracer_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", attrs={"k": "v"}):
+            with tracer.span("child.a"):
+                pass
+            with tracer.span("child.b"):
+                with tracer.span("leaf"):
+                    pass
+        rebuilt = tree_from_chrome(tracer.to_chrome_trace())
+        (root,) = rebuilt
+        assert root["name"] == "outer"
+        assert root["attrs"]["k"] == "v"
+        assert [c["name"] for c in root["children"]] == ["child.a", "child.b"]
+        assert root["children"][1]["children"][0]["name"] == "leaf"
+        # Durations survive (µs -> ms) and cpu_ms is lifted out of args.
+        assert root["wall_ms"] >= 0.0
+        assert "cpu_ms" not in root["attrs"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        rebuilt = tree_from_chrome(tracer.to_chrome_trace())
+        assert [node["name"] for node in rebuilt] == ["first", "second"]
+
+    def test_ignores_non_complete_events(self):
+        doc = {"traceEvents": [{"name": "m", "ph": "M"}]}
+        assert tree_from_chrome(doc) == []
+
+
+class TestProfileReport:
+    def test_from_tree_and_dict_round_trip(self):
+        report = ProfileReport.from_tree(SAMPLE, top=3)
+        assert report.total_wall_s == approx(0.1)
+        assert report.stages["similarity.distance_matrix"]["wall_s"] == approx(0.08)
+        clone = ProfileReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert clone.to_dict() == report.to_dict()
+
+    def test_render_mentions_all_sections(self):
+        text = ProfileReport.from_tree(SAMPLE).render()
+        assert "stages (wall / cpu):" in text
+        assert "critical path:" in text
+        assert "top self time:" in text
+        assert "parallel sections" in text
+        assert "similarity.distance_matrix" in text
+
+    def test_render_empty(self):
+        text = ProfileReport().render()
+        assert text.startswith("total")

@@ -1,0 +1,227 @@
+"""Regression detection: classification, tolerance bands, verdicts."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.ledger import build_row
+from repro.obs.regress import (
+    check_bench,
+    classify,
+    diff_rows,
+    flatten,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("serial_s", "lower"),
+            ("distance_cache.warm_s", "lower"),
+            ("latency_ms", "lower"),
+            ("fit_seconds", "lower"),
+            ("strategy_grid.mean_nrmse", "lower"),
+            ("caches.fit_cache.misses", "lower"),
+            ("pruned_knn.accuracy", "higher"),
+            ("caches.distance_cache.hit_rate", "higher"),
+            ("pruned_knn.skip_rate", "higher"),
+            ("speedup", "higher"),
+            ("sfs_fit_cache.warm_fits", "zero"),
+            ("distance_cache.warm_pairs_computed", "zero"),
+            ("caches.fit_cache.corrupt", "zero"),
+            ("jobs_requested", None),
+            ("cpu_count", None),
+        ],
+    )
+    def test_direction_by_leaf_name(self, name, expected):
+        assert classify(name) == expected
+
+
+class TestFlatten:
+    def test_nested_paths_and_types(self):
+        doc = {"a": {"b_s": 1.5, "ok": True}, "n": 3, "skip": "text"}
+        flat = flatten(doc)
+        assert flat == {"a.b_s": 1.5, "a.ok": True, "n": 3}
+        assert isinstance(flat["a.ok"], bool)
+
+
+class TestCheckBench:
+    def test_identical_docs_are_ok(self):
+        doc = {"sect": {"cold_s": 1.0, "accuracy": 0.9, "warm_fits": 0}}
+        verdict = check_bench(doc, [doc])
+        assert verdict.ok
+        assert verdict.compared == 3
+        assert verdict.findings == []
+
+    def test_timing_regression_detected(self):
+        base = {"sect": {"warm_s": 1.0}}
+        verdict = check_bench({"sect": {"warm_s": 2.0}}, [base])
+        assert not verdict.ok
+        (finding,) = verdict.regressions
+        assert finding.name == "sect.warm_s"
+        assert finding.current == 2.0
+
+    def test_timing_within_band_passes(self):
+        base = {"sect": {"warm_s": 1.0}}
+        verdict = check_bench({"sect": {"warm_s": 1.2}}, [base])
+        assert verdict.ok
+
+    def test_abs_floor_absorbs_tiny_jitter(self):
+        # 5 ms vs 1 ms is 5x relative but far below the absolute floor.
+        verdict = check_bench(
+            {"sect": {"warm_s": 0.005}}, [{"sect": {"warm_s": 0.001}}]
+        )
+        assert verdict.ok
+
+    def test_quality_regression_detected(self):
+        verdict = check_bench(
+            {"sect": {"accuracy": 0.4}}, [{"sect": {"accuracy": 1.0}}]
+        )
+        assert not verdict.ok
+
+    def test_improvement_reported_not_failing(self):
+        verdict = check_bench(
+            {"sect": {"warm_s": 0.2}}, [{"sect": {"warm_s": 10.0}}]
+        )
+        assert verdict.ok
+        assert len(verdict.improvements) == 1
+
+    def test_zero_expected_nonzero_fails_without_baseline_value(self):
+        verdict = check_bench(
+            {"sect": {"warm_fits": 4}}, [{"sect": {"other": 1}}]
+        )
+        assert not verdict.ok
+
+    def test_bool_flip_fails(self):
+        verdict = check_bench(
+            {"sect": {"bit_identical": False}},
+            [{"sect": {"bit_identical": True}}],
+        )
+        assert not verdict.ok
+
+    def test_bool_true_passes(self):
+        verdict = check_bench(
+            {"sect": {"bit_identical": True}},
+            [{"sect": {"bit_identical": True}}],
+        )
+        assert verdict.ok
+
+    def test_insufficient_cores_skips_timings(self):
+        base = {
+            "parallel": {
+                "insufficient_cores": False,
+                "serial_s": 1.0,
+                "bit_identical": True,
+            }
+        }
+        current = {
+            "parallel": {
+                "insufficient_cores": True,
+                "serial_s": 50.0,  # would regress, but the host is tiny
+                "bit_identical": True,
+            }
+        }
+        verdict = check_bench(current, baselines=[base])
+        assert verdict.ok
+        assert verdict.skipped >= 1
+
+    def test_mean_over_multiple_baselines(self):
+        baselines = [{"t_s": 1.0}, {"t_s": 3.0}]  # mean 2.0
+        assert check_bench({"t_s": 2.4}, baselines).ok
+        assert not check_bench({"t_s": 2.8}, baselines).ok
+
+    def test_min_baseline_skips_sparse_history(self):
+        verdict = check_bench(
+            {"t_s": 100.0}, [{"t_s": 1.0}], min_baseline=2
+        )
+        assert verdict.ok
+        assert verdict.compared == 0
+        assert verdict.skipped == 1
+
+    def test_unclassifiable_leaves_skipped(self):
+        verdict = check_bench({"n_pairs": 9}, [{"n_pairs": 5}])
+        assert verdict.ok
+        assert verdict.compared == 0
+
+    def test_verdict_to_dict_and_render(self):
+        verdict = check_bench(
+            {"sect": {"warm_s": 9.0}}, [{"sect": {"warm_s": 1.0}}]
+        )
+        payload = verdict.to_dict()
+        assert payload["ok"] is False
+        assert payload["regressions"][0]["name"] == "sect.warm_s"
+        assert "REGRESSION" in verdict.render()
+
+    @pytest.mark.parametrize(
+        "name", ["BENCH_analysis.json", "BENCH_eval.json"]
+    )
+    def test_committed_bench_files_pass_against_themselves(self, name):
+        doc = json.loads((REPO_ROOT / name).read_text())
+        verdict = check_bench(doc, [doc])
+        assert verdict.ok, verdict.render()
+        assert verdict.compared > 0
+
+
+class TestDiffRows:
+    def _row(self, elapsed_s, *, options=None, exit_code=0, stages=None):
+        registry_snapshot = {}
+        row = build_row(
+            command="similarity",
+            argv=["similarity"],
+            options=options or {"corpus": "c.json"},
+            exit_code=exit_code,
+            elapsed_s=elapsed_s,
+            cpu_s=elapsed_s,
+            metrics_snapshot=registry_snapshot,
+            tree=[
+                {
+                    "name": "cli.similarity",
+                    "wall_ms": elapsed_s * 1e3,
+                    "cpu_ms": elapsed_s * 1e3,
+                    "children": [
+                        {
+                            "name": "similarity.distance_matrix",
+                            "wall_ms": (stages or elapsed_s * 0.8) * 1e3,
+                            "cpu_ms": 0.0,
+                            "children": [],
+                        }
+                    ],
+                }
+            ],
+        )
+        return row
+
+    def test_stable_history_is_ok(self):
+        history = [self._row(1.0), self._row(1.1)]
+        verdict = diff_rows(self._row(1.05), history)
+        assert verdict.ok
+        assert verdict.compared > 0
+
+    def test_slowdown_is_regression(self):
+        history = [self._row(1.0), self._row(1.0)]
+        verdict = diff_rows(self._row(3.0), history)
+        assert not verdict.ok
+        names = [finding.name for finding in verdict.regressions]
+        assert "elapsed_s" in names
+        assert "stages.similarity.distance_matrix.wall_s" in names
+
+    def test_different_config_not_comparable(self):
+        history = [self._row(1.0, options={"corpus": "other.json"})]
+        verdict = diff_rows(self._row(50.0), history)
+        assert verdict.ok
+        assert verdict.compared == 0
+
+    def test_failed_runs_excluded_from_baseline(self):
+        history = [self._row(0.01, exit_code=1), self._row(1.0)]
+        verdict = diff_rows(self._row(1.05), history)
+        assert verdict.ok
+
+    def test_window_limits_baseline(self):
+        history = [self._row(10.0)] + [self._row(1.0) for _ in range(5)]
+        # The old slow run falls outside the window of 5.
+        verdict = diff_rows(self._row(2.0), history, window=5)
+        assert not verdict.ok

@@ -1,0 +1,243 @@
+"""Worker telemetry capture: scoping, snapshots, merge, grafting."""
+
+import pickle
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.obs.tracing import Tracer, get_tracer, set_tracer, span
+from repro.obs.telemetry import (
+    TelemetryCapture,
+    TelemetrySnapshot,
+    capture_telemetry,
+    comparable_snapshot,
+    export_spans,
+    merge_snapshot,
+    tree_shape,
+)
+
+
+class TestTelemetryCapture:
+    def test_scopes_the_global_registry(self):
+        outer = MetricsRegistry()
+        previous = set_metrics(outer)
+        try:
+            with TelemetryCapture() as capture:
+                get_metrics().counter("inner.total").inc(3)
+            assert get_metrics() is outer
+            assert "inner.total" not in outer
+            assert capture.snapshot.metrics["inner.total"]["value"] == 3.0
+        finally:
+            set_metrics(previous)
+
+    def test_restores_on_exception(self):
+        outer_metrics = get_metrics()
+        outer_tracer = get_tracer()
+        with pytest.raises(RuntimeError):
+            with TelemetryCapture(tracing=True):
+                get_metrics().counter("doomed").inc()
+                raise RuntimeError("boom")
+        assert get_metrics() is outer_metrics
+        assert get_tracer() is outer_tracer
+
+    def test_captures_spans_when_tracing(self):
+        with TelemetryCapture(tracing=True) as capture:
+            with span("unit.work", attrs={"k": 1}):
+                with span("unit.inner"):
+                    pass
+        (payload,) = capture.snapshot.spans
+        assert payload["name"] == "unit.work"
+        assert payload["attrs"] == {"k": 1}
+        assert payload["wall_ns"] >= 0
+        assert payload["children"][0]["name"] == "unit.inner"
+
+    def test_no_spans_when_not_tracing(self):
+        with TelemetryCapture(tracing=False) as capture:
+            with span("invisible"):
+                pass
+        assert capture.snapshot.spans == ()
+
+
+class TestCaptureTelemetry:
+    def test_returns_result_and_snapshot(self):
+        def work(x):
+            get_metrics().counter("work.total").inc()
+            return x * 2
+
+        result, snapshot = capture_telemetry(work, 21)
+        assert result == 42
+        assert snapshot.metrics["work.total"]["value"] == 1.0
+
+    def test_exception_propagates_and_restores(self):
+        previous = get_metrics()
+
+        def explode():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            capture_telemetry(explode)
+        assert get_metrics() is previous
+
+    def test_snapshot_is_picklable(self):
+        def work():
+            get_metrics().counter("a").inc()
+            get_metrics().histogram("h", buckets=(1.0,)).observe(0.5)
+            with span("s", attrs={"n": 2}):
+                pass
+            return None
+
+        _, snapshot = capture_telemetry(work, tracing=True)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone == snapshot
+        assert clone.metrics["a"]["value"] == 1.0
+
+
+class TestMergeSnapshot:
+    def test_counters_add_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        registry.gauge("g").set(1.0)
+        snapshot = TelemetrySnapshot(
+            metrics={
+                "c": {"type": "counter", "value": 2.0},
+                "g": {"type": "gauge", "value": 7.0},
+            }
+        )
+        merge_snapshot(snapshot, metrics=registry)
+        assert registry.counter("c").value == 3.0
+        assert registry.gauge("g").value == 7.0
+
+    def test_histograms_merge_bucketwise(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        snapshot = TelemetrySnapshot(
+            metrics={
+                "h": {
+                    "type": "histogram",
+                    "buckets": [1.0, 2.0],
+                    "counts": [0, 1, 1],
+                    "sum": 4.5,
+                    "count": 2,
+                }
+            }
+        )
+        merge_snapshot(snapshot, metrics=registry)
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.0)
+
+    def test_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = TelemetrySnapshot(
+            metrics={
+                "h": {
+                    "type": "histogram",
+                    "buckets": [5.0],
+                    "counts": [1, 0],
+                    "sum": 1.0,
+                    "count": 1,
+                }
+            }
+        )
+        with pytest.raises(ValidationError, match="bucket mismatch"):
+            merge_snapshot(snapshot, metrics=registry)
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValidationError, match="cannot merge"):
+            merge_snapshot(
+                TelemetrySnapshot(metrics={"x": {"type": "summary"}}),
+                metrics=MetricsRegistry(),
+            )
+
+    def test_grafts_spans_under_current(self):
+        def work():
+            with span("worker.op"):
+                with span("worker.leaf"):
+                    pass
+
+        _, snapshot = capture_telemetry(work, tracing=True)
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            merge_snapshot(snapshot, metrics=MetricsRegistry(), tracer=tracer)
+        (root,) = tracer.roots
+        (grafted,) = root.children
+        assert grafted.name == "worker.op"
+        assert grafted.children[0].name == "worker.leaf"
+        # Grafted spans stay inside the parent's interval and keep
+        # child containment after the time shift.
+        assert root.start_wall_ns <= grafted.start_wall_ns
+        assert grafted.start_wall_ns <= grafted.children[0].start_wall_ns
+        assert grafted.children[0].end_wall_ns <= grafted.end_wall_ns
+
+    def test_sequential_graft_layout(self):
+        def work(name):
+            with span(name):
+                pass
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            for name in ("first", "second"):
+                _, snapshot = capture_telemetry(work, name, tracing=True)
+                merge_snapshot(
+                    snapshot, metrics=MetricsRegistry(), tracer=tracer
+                )
+        first, second = tracer.roots[0].children
+        assert first.name == "first" and second.name == "second"
+        # Siblings are laid out sequentially, never overlapping.
+        assert second.start_wall_ns >= first.end_wall_ns
+
+    def test_graft_noop_on_disabled_tracer(self):
+        def work():
+            with span("w"):
+                pass
+
+        _, snapshot = capture_telemetry(work, tracing=True)
+        tracer = Tracer(enabled=False)
+        merge_snapshot(snapshot, metrics=MetricsRegistry(), tracer=tracer)
+        assert tracer.roots == []
+
+
+class TestComparableViews:
+    def test_histograms_reduce_to_counts(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.123)
+        registry.counter("c").inc(2)
+        view = comparable_snapshot(registry.snapshot())
+        assert view["h"] == {"type": "histogram", "count": 1}
+        assert view["c"] == {"type": "counter", "value": 2.0}
+
+    def test_volatile_metrics_dropped(self):
+        registry = MetricsRegistry()
+        registry.gauge("gridexec.workers").set(4)
+        registry.counter("gridexec.tasks_total").inc()
+        view = comparable_snapshot(registry.snapshot())
+        assert "gridexec.workers" not in view
+        assert "gridexec.tasks_total" in view
+
+    def test_tree_shape_strips_timing_and_workers(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("grid", attrs={"workers": 4, "tasks": 2}):
+            with tracer.span("task", attrs={"task": "a"}):
+                pass
+        shape = tree_shape(tracer.to_tree())
+        assert shape == [
+            {
+                "name": "grid",
+                "attrs": {"tasks": 2},
+                "children": [
+                    {"name": "task", "attrs": {"task": "a"}, "children": []}
+                ],
+            }
+        ]
+
+    def test_tree_shape_accepts_payloads(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("op", attrs={"workers": 1}):
+            pass
+        payloads = export_spans(tracer)
+        assert tree_shape(payloads) == [
+            {"name": "op", "attrs": {}, "children": []}
+        ]

@@ -72,6 +72,35 @@ class TestSpanTree:
             pass
         assert [r.name for r in tracer.roots] == ["outer", "after"]
 
+    def test_nested_unwind_finalizes_every_span(self):
+        # Regression: an exception unwinding through several spans must
+        # finalize each one — end times recorded, error attrs set — so
+        # failed runs still export complete, well-formed traces.
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("middle"):
+                    with tracer.span("inner"):
+                        raise ValueError("x" * 500)
+        outer = tracer.roots[0]
+        middle = outer.children[0]
+        inner = middle.children[0]
+        for node in (outer, middle, inner):
+            assert node.attrs["error"] == "ValueError"
+            assert node.end_wall_ns >= node.start_wall_ns
+            # Messages are truncated so huge payloads never bloat traces.
+            assert len(node.attrs["error_message"]) <= 200
+        # Containment still holds after the unwind.
+        assert inner.end_wall_ns <= middle.end_wall_ns <= outer.end_wall_ns
+        # The error attrs survive both export paths.
+        (tree,) = tracer.to_tree()
+        assert tree["attrs"]["error"] == "ValueError"
+        assert tree["children"][0]["children"][0]["attrs"]["error"] == (
+            "ValueError"
+        )
+        events = json.loads(tracer.to_chrome_json())["traceEvents"]
+        assert all(e["args"]["error"] == "ValueError" for e in events)
+
     def test_to_tree_and_clear(self):
         tracer = Tracer()
         with tracer.span("a", attrs={"x": 2}):

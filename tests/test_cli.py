@@ -1,11 +1,14 @@
 """CLI tests: every subcommand end to end through main()."""
 
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _build_parser, main
 from repro.workloads import ExperimentRepository
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture(scope="module")
@@ -394,3 +397,209 @@ class TestObservabilityFlags:
         ) == 0
         capsys.readouterr()
         assert get_tracer().enabled is False
+
+
+#: Minimal valid argv per pipeline subcommand (file args need not exist:
+#: parity tests only parse, they never run the command).
+PIPELINE_ARGV = {
+    "simulate": ["simulate", "--workload", "ycsb", "--out", "r.json"],
+    "corpus": ["corpus", "--kind", "paper", "--out", "c.npz"],
+    "select": ["select", "--corpus", "c.json"],
+    "similarity": ["similarity", "--corpus", "c.json"],
+    "cluster": ["cluster", "--corpus", "c.json"],
+    "predict": [
+        "predict", "--references", "r.json", "--target", "t.json",
+        "--source-cpus", "2", "--target-cpus", "8",
+    ],
+}
+
+
+class TestObservabilityFlagParity:
+    """Every pipeline subcommand accepts the full observability flag set."""
+
+    @pytest.mark.parametrize("command", sorted(PIPELINE_ARGV))
+    def test_accepts_all_observability_flags(self, command):
+        argv = PIPELINE_ARGV[command] + [
+            "--log-level", "INFO",
+            "--trace-out", "trace.json",
+            "--metrics-out", "metrics.json",
+            "--metrics-format", "prometheus",
+            "--ledger", "runs.jsonl",
+        ]
+        args = _build_parser().parse_args(argv)
+        assert args.command == command
+        assert args.log_level == "INFO"
+        assert args.trace_out == "trace.json"
+        assert args.metrics_out == "metrics.json"
+        assert args.metrics_format == "prometheus"
+        assert args.ledger == "runs.jsonl"
+
+    @pytest.mark.parametrize("command", sorted(PIPELINE_ARGV))
+    def test_observability_flags_default_off(self, command):
+        args = _build_parser().parse_args(PIPELINE_ARGV[command])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+        assert args.ledger is None
+
+
+class TestObsCommand:
+    @pytest.fixture()
+    def ledger_file(self, tmp_path):
+        """A ledger with three identical simulate runs recorded."""
+        ledger = tmp_path / "runs.jsonl"
+        for _ in range(3):
+            assert main(
+                [
+                    "simulate", "--workload", "ycsb", "--runs", "1",
+                    "--duration-s", "600",
+                    "--out", str(tmp_path / "r.json"),
+                    "--ledger", str(ledger),
+                ]
+            ) == 0
+        return ledger
+
+    def test_ledger_lists_runs_across_invocations(self, ledger_file, capsys):
+        assert main(["obs", "ledger", "--ledger", str(ledger_file)]) == 0
+        out = capsys.readouterr().out
+        assert "3 run(s)" in out
+        assert out.count("simulate") == 3
+        assert out.count("exit 0") == 3
+
+    def test_ledger_json_and_limit(self, ledger_file, capsys):
+        assert main(
+            ["obs", "ledger", "--ledger", str(ledger_file),
+             "--limit", "2", "--json"]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert all(row["command"] == "simulate" for row in rows)
+
+    def test_report_prints_profile(self, ledger_file, capsys):
+        assert main(["obs", "report", "--ledger", str(ledger_file)]) == 0
+        out = capsys.readouterr().out
+        assert "run     : simulate" in out
+        assert "exit    : 0" in out
+        assert "total" in out
+
+    def test_report_json_row(self, ledger_file, capsys):
+        assert main(
+            ["obs", "report", "--ledger", str(ledger_file), "--json"]
+        ) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["command"] == "simulate"
+        assert row["exit_code"] == 0
+        assert row["profile"]["total_wall_s"] > 0.0
+
+    def test_report_run_out_of_range(self, ledger_file, capsys):
+        assert main(
+            ["obs", "report", "--ledger", str(ledger_file), "--run", "9"]
+        ) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_report_from_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(
+            [
+                "simulate", "--workload", "ycsb", "--runs", "1",
+                "--duration-s", "600", "--out", str(tmp_path / "r.json"),
+                "--trace-out", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "stages (wall / cpu):" in out
+        assert "critical path:" in out
+
+    def test_report_without_ledger_is_usage_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        assert main(["obs", "report"]) == 2
+        assert "no ledger given" in capsys.readouterr().err
+
+    def test_diff_stable_runs_pass(self, ledger_file, capsys):
+        code = main(
+            ["obs", "diff", "--ledger", str(ledger_file),
+             "--tolerance", "5.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "OK" in out
+
+    def test_diff_empty_ledger_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["obs", "diff", "--ledger", str(tmp_path / "none.jsonl")]
+        ) == 2
+        assert "no rows" in capsys.readouterr().err
+
+    def test_env_var_ledger_default(self, tmp_path, capsys, monkeypatch):
+        ledger = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger))
+        assert main(
+            [
+                "simulate", "--workload", "ycsb", "--runs", "1",
+                "--duration-s", "600", "--out", str(tmp_path / "r.json"),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert ledger.exists()
+        assert main(["obs", "ledger"]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+
+class TestObsCheckBench:
+    @pytest.mark.parametrize(
+        "name", ["BENCH_analysis.json", "BENCH_eval.json"]
+    )
+    def test_committed_bench_files_pass(self, name, capsys):
+        code = main(
+            [
+                "obs", "check-bench", str(REPO_ROOT / name),
+                "--baseline", str(REPO_ROOT),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "OK" in out
+
+    def test_synthetic_regression_fails(self, tmp_path, capsys):
+        (tmp_path / "base.json").write_text(json.dumps(
+            {"sect": {"warm_s": 1.0, "bit_identical": True}}
+        ))
+        (tmp_path / "cur.json").write_text(json.dumps(
+            {"sect": {"warm_s": 10.0, "bit_identical": False}}
+        ))
+        code = main(
+            [
+                "obs", "check-bench", str(tmp_path / "cur.json"),
+                "--baseline", str(tmp_path / "base.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out
+        assert "sect.warm_s" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        doc = tmp_path / "b.json"
+        doc.write_text(json.dumps({"sect": {"cold_s": 1.0}}))
+        assert main(
+            ["obs", "check-bench", str(doc), "--baseline", str(doc),
+             "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[str(doc)]["ok"] is True
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        doc = tmp_path / "b.json"
+        doc.write_text("{}")
+        assert main(["obs", "check-bench", str(doc)]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_unreadable_current_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            [
+                "obs", "check-bench", str(tmp_path / "missing.json"),
+                "--baseline", str(tmp_path),
+            ]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
