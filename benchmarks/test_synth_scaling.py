@@ -1,0 +1,131 @@
+"""Synthesis-path benchmarks: sampler throughput and clone fitting cost.
+
+Not a paper figure — this bench guards the workload synthesizer
+(``repro synth``, see ``docs/synthesis.md``):
+
+- the spec-space sampler must stay cheap (thousands of specs per
+  second) and bit-identical at any ``jobs=`` value;
+- trace-fitting every catalog workload must verify within the declared
+  decade tolerances, with the refinement loop staying near zero
+  iterations (the planner/engine inversion starting close is what keeps
+  synthesis fast).
+
+Timings are written to ``BENCH_synth.json`` (path overridable via
+``REPRO_BENCH_SYNTH_OUT``) so the scheduled CI job can archive them and
+``repro obs check-bench`` can compare against the committed baseline:
+``sample_s``/``synth_s`` regress on slowdowns, the ``all_passed`` /
+``bit_identical`` booleans regress on any flip to ``False``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import GRID_KWARGS, print_header
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    sample_specs,
+    synthesize_clone,
+    workload_by_name,
+)
+from repro.workloads.catalog import WORKLOAD_NAMES
+
+pytestmark = pytest.mark.slow
+
+#: Enough draws to dominate interpreter startup noise while keeping the
+#: bench in the sub-second range.
+N_SPECS = 256
+
+RESULTS: dict[str, dict] = {}
+
+
+def bench_out() -> str:
+    return os.environ.get("REPRO_BENCH_SYNTH_OUT", "BENCH_synth.json")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    if RESULTS:
+        with open(bench_out(), "w") as handle:
+            json.dump(RESULTS, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {bench_out()}")
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def test_sampler_throughput():
+    """Spec-space sampling: throughput and jobs-invariance."""
+    specs, sample_s = timed(lambda: sample_specs(N_SPECS, seed=0))
+    fanned, _ = timed(lambda: sample_specs(N_SPECS, seed=0, jobs=4))
+    per_sec = N_SPECS / sample_s
+
+    print_header("Synthesis path: spec-space sampler")
+    print(f"specs     : {N_SPECS}")
+    print(f"sampled   : {sample_s:7.3f}s   ({per_sec:,.0f} specs/sec)")
+    print(f"jobs=4    : bit-identical {specs == fanned}")
+    RESULTS["sampler"] = {
+        "n_specs": N_SPECS,
+        "sample_s": sample_s,
+        "specs_per_sec": per_sec,
+        "bit_identical": specs == fanned,
+    }
+
+
+def test_clone_synthesis_all_catalog_workloads():
+    """Trace-fit a clone of every catalog workload; verify each one."""
+    synth_s_total = 0.0
+    refine_iters = 0
+    passed = 0
+    per_workload: dict[str, dict] = {}
+
+    print_header("Synthesis path: catalog clone fitting + verification")
+    for name in WORKLOAD_NAMES:
+        runner = ExperimentRunner(workload_by_name(name), random_state=123)
+        template = runner.run(
+            SKU(cpus=16, memory_gb=32.0),
+            terminals=1 if name in ("tpch", "tpcds") else 8,
+            duration_s=600.0,
+            seed=42,
+        )
+        result, synth_s = timed(
+            lambda: synthesize_clone(template, seed=7, **GRID_KWARGS)
+        )
+        report = result.report
+        synth_s_total += synth_s
+        refine_iters += result.refine_iterations
+        passed += int(report.passed)
+        per_workload[name] = {
+            "synth_s": synth_s,
+            "refine_iters": result.refine_iterations,
+            "residual": result.residual,
+        }
+        print(
+            f"{name:8s}: {synth_s:6.3f}s   "
+            f"{result.refine_iterations} refine iter(s)   "
+            f"residual {result.residual:.2f}x   "
+            f"{'pass' if report.passed else 'FAIL'}"
+        )
+
+    pass_rate = passed / len(WORKLOAD_NAMES)
+    print(f"total     : {synth_s_total:6.3f}s   "
+          f"verify pass rate {pass_rate:.0%}   "
+          f"{refine_iters} refine iteration(s)")
+    RESULTS["clone_synthesis"] = {
+        "n_workloads": len(WORKLOAD_NAMES),
+        "synth_s": synth_s_total,
+        "verify_pass_rate": pass_rate,
+        "all_passed": passed == len(WORKLOAD_NAMES),
+        "refine_iters": refine_iters,
+        "per_workload": per_workload,
+    }
+    assert passed == len(WORKLOAD_NAMES)

@@ -12,7 +12,12 @@ Five subcommands mirror the pipeline stages:
 - ``repro similarity`` — 1-NN / mAP / NDCG of a representation+measure
   combination on a repository;
 - ``repro predict`` — end-to-end scaling prediction from a reference
-  repository and a target repository.
+  repository and a target repository;
+- ``repro synth`` — synthesize workload specs, either sampled from the
+  seeded spec space (``--count``) or fitted to an exported telemetry
+  corpus entry (``--template``/``--workload``); ``--verify`` simulates
+  each spec and checks every property target within tolerance (see
+  ``docs/synthesis.md``).
 
 Every subcommand reads/writes the repository formats of
 :class:`repro.workloads.repository.ExperimentRepository`: JSON, or the
@@ -307,6 +312,65 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("agglomerative", "kmedoids"),
     )
     cluster.add_argument("--measure", default="L2,1")
+
+    synth = sub.add_parser(
+        "synth",
+        help="synthesize workload specs (spec-space sampling or "
+        "trace fitting) with property-matching verification",
+        parents=[obs, grid],
+    )
+    mode = synth.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="sample N specs from the seeded spec space",
+    )
+    mode.add_argument(
+        "--template", default=None, metavar="PATH",
+        help="repository file to clone a workload from (trace fitting)",
+    )
+    synth.add_argument(
+        "--workload", default=None,
+        help="template workload name (required when the --template "
+        "repository holds several workloads)",
+    )
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument(
+        "--name", default=None,
+        help="name for the synthesized clone (default: <template>-clone)",
+    )
+    synth.add_argument("--cpus", type=int, default=16,
+                       help="verification SKU (sampler mode)")
+    synth.add_argument("--memory-gb", type=float, default=32.0)
+    synth.add_argument("--terminals", type=int, default=8)
+    synth.add_argument("--duration-s", type=float, default=600.0)
+    synth.add_argument("--sample-interval-s", type=float, default=10.0)
+    synth.add_argument(
+        "--max-refine-iters", type=int, default=8,
+        help="refinement-loop iteration budget (trace fitting)",
+    )
+    synth.add_argument(
+        "--verify", action="store_true",
+        help="simulate each synthesized spec and check every property "
+        "target within tolerance (exit 1 on any failure)",
+    )
+    synth.add_argument("--verify-runs", type=int, default=2)
+    synth.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the synthesized specs as JSON",
+    )
+    synth.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the verification reports as JSON",
+    )
+    synth.add_argument(
+        "--simulate-out", default=None, metavar="PATH",
+        help="run the synthesized specs through the engine and save the "
+        "resulting repository (.json or .npz); honors --jobs/--cache-dir",
+    )
+    synth.add_argument(
+        "--simulate-runs", type=int, default=3,
+        help="repetitions per spec for --simulate-out",
+    )
 
     # "obs" reads observability artifacts back; it deliberately does NOT
     # inherit the obs parent parser (its sub-subcommands define their own
@@ -662,6 +726,120 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_synth(args) -> int:
+    from repro.workloads import run_experiments
+    from repro.workloads.synth import (
+        RefineSettings,
+        SynthesisContext,
+        calibration_targets,
+        sample_specs,
+        synthesize_clone,
+        verify_synthesis,
+    )
+
+    cache_dir = _resolve_cache_dir(args)
+    specs = []
+    reports = []
+    if args.count is not None:
+        if args.count < 1:
+            print("error: --count must be >= 1", file=sys.stderr)
+            return 2
+        context = SynthesisContext(
+            sku=SKU(cpus=args.cpus, memory_gb=args.memory_gb),
+            terminals=args.terminals,
+            duration_s=args.duration_s,
+            sample_interval_s=args.sample_interval_s,
+        )
+        specs = sample_specs(args.count, seed=args.seed)
+        print(
+            f"sampled {len(specs)} spec(s) from the spec space "
+            f"(seed {args.seed})"
+        )
+        if args.verify:
+            for spec in specs:
+                targets = calibration_targets(
+                    spec, context=context, seed=args.seed,
+                    jobs=args.jobs, cache=cache_dir,
+                )
+                report = verify_synthesis(
+                    spec, targets, context=context, seed=args.seed,
+                    n_runs=args.verify_runs, jobs=args.jobs, cache=cache_dir,
+                )
+                reports.append(report)
+                print(report.render())
+    else:
+        repository = _load_repository(args.template)
+        names = sorted({r.workload_name for r in repository})
+        if args.workload is None and len(names) > 1:
+            print(
+                f"error: --template holds several workloads "
+                f"({', '.join(names)}); pick one with --workload",
+                file=sys.stderr,
+            )
+            return 2
+        workload = args.workload or names[0]
+        template = [
+            r for r in repository if r.workload_name == workload
+        ]
+        if not template:
+            print(
+                f"error: no experiments for workload {workload!r} in "
+                f"{args.template} (have: {', '.join(names)})",
+                file=sys.stderr,
+            )
+            return 2
+        context = SynthesisContext.from_result(template[0])
+        result = synthesize_clone(
+            template,
+            name=args.name,
+            context=context,
+            seed=args.seed,
+            settings=RefineSettings(max_iters=args.max_refine_iters),
+            verify=args.verify,
+            verify_runs=args.verify_runs,
+            jobs=args.jobs,
+            cache=cache_dir,
+        )
+        specs = [result.spec]
+        print(
+            f"synthesized {result.spec.name!r} from {len(template)} "
+            f"{workload!r} run(s): {result.refine_iterations} refinement "
+            f"iteration(s), residual {result.residual:.2f}x tolerance"
+        )
+        if result.report is not None:
+            reports.append(result.report)
+            print(result.report.render())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps({"specs": [s.to_dict() for s in specs]}, indent=2)
+        )
+        logger.info("wrote %d spec(s) to %s", len(specs), args.out)
+    if args.report_out:
+        Path(args.report_out).write_text(
+            json.dumps([r.to_dict() for r in reports], indent=2)
+        )
+    if args.simulate_out:
+        built = run_experiments(
+            specs,
+            [context.sku],
+            terminals_for=lambda w: (context.terminals,),
+            n_runs=args.simulate_runs,
+            duration_s=context.duration_s,
+            sample_interval_s=context.sample_interval_s,
+            random_state=args.seed,
+            jobs=args.jobs,
+            cache=cache_dir,
+        )
+        _save_repository(built, args.simulate_out)
+        print(
+            f"simulated {len(built)} experiment(s) from "
+            f"{len(specs)} synthesized spec(s) -> {args.simulate_out}"
+        )
+    if args.verify and any(not report.passed for report in reports):
+        return 1
+    return 0
+
+
 def _require_obs_ledger(args) -> str | None:
     path = _resolve_ledger(args)
     if path is None:
@@ -890,6 +1068,7 @@ _COMMANDS = {
     "similarity": _cmd_similarity,
     "predict": _cmd_predict,
     "cluster": _cmd_cluster,
+    "synth": _cmd_synth,
     "obs": _cmd_obs,
 }
 

@@ -83,6 +83,28 @@ from repro.workloads.traces import (
     resource_series_to_csv,
 )
 from repro.workloads.mixer import blend_workloads, reweight_workload
+from repro.workloads.synth import (
+    DEFAULT_SPEC_SPACE,
+    PropertyCheck,
+    PropertyTarget,
+    RefineSettings,
+    SpecSpace,
+    SynthesisContext,
+    SynthesisReport,
+    SynthesisResult,
+    SynthesisTargets,
+    calibration_targets,
+    extract_targets,
+    measure_properties,
+    refine,
+    sample_spec,
+    sample_specs,
+    simulate_spec,
+    spec_from_trace,
+    synthesize,
+    synthesize_clone,
+    verify_synthesis,
+)
 
 __all__ = [
     "ALL_FEATURES",
@@ -142,4 +164,24 @@ __all__ = [
     "plan_rows_from_csv",
     "blend_workloads",
     "reweight_workload",
+    "DEFAULT_SPEC_SPACE",
+    "PropertyCheck",
+    "PropertyTarget",
+    "RefineSettings",
+    "SpecSpace",
+    "SynthesisContext",
+    "SynthesisReport",
+    "SynthesisResult",
+    "SynthesisTargets",
+    "calibration_targets",
+    "extract_targets",
+    "measure_properties",
+    "refine",
+    "sample_spec",
+    "sample_specs",
+    "simulate_spec",
+    "spec_from_trace",
+    "synthesize",
+    "synthesize_clone",
+    "verify_synthesis",
 ]

@@ -9,6 +9,7 @@ benchmark's transactions, or blends across benchmarks — as first-class
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 
 from repro.exceptions import ValidationError
@@ -32,10 +33,12 @@ def reweight_workload(
         raise ValidationError(
             f"unknown transactions for {spec.name!r}: {sorted(unknown)}"
         )
-    non_positive = [k for k, v in weights.items() if v <= 0]
-    if non_positive:
+    # NaN fails every comparison, so ``v <= 0`` alone would wave a NaN (or
+    # inf) weight through; demand finiteness as well.
+    bad = [k for k, v in weights.items() if not math.isfinite(v) or v <= 0]
+    if bad:
         raise ValidationError(
-            f"weights must be positive; offending: {sorted(non_positive)}"
+            f"weights must be positive finite numbers; offending: {sorted(bad)}"
         )
     transactions = tuple(
         replace(txn, weight=float(weights[txn.name]))
@@ -66,8 +69,10 @@ def blend_workloads(
     if not components:
         raise ValidationError("components must not be empty")
     shares = [share for _, share in components]
-    if any(share <= 0 for share in shares):
-        raise ValidationError("component shares must be positive")
+    if any(not math.isfinite(share) or share <= 0 for share in shares):
+        raise ValidationError(
+            "component shares must be positive finite numbers"
+        )
     total = float(sum(shares))
 
     transactions: list[TransactionType] = []

@@ -7,12 +7,26 @@ cost profiles, and the workload-level scalability/contention character.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import asdict, dataclass
 from enum import Enum
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+
+#: Non-negative finite cost fields shared by every transaction profile.
+_COST_FIELDS = (
+    "logical_reads",
+    "logical_writes",
+    "rows_touched",
+    "rows_scanned",
+    "row_size_bytes",
+    "table_cardinality",
+    "plan_complexity",
+    "memory_grant_mb",
+    "locks_acquired",
+)
 
 
 class WorkloadType(str, Enum):
@@ -76,14 +90,25 @@ class TransactionType:
     hot_spot_affinity: float = 0.0
 
     def __post_init__(self):
-        if self.weight <= 0:
+        # NaN fails every comparison, so ``weight <= 0`` alone would let a
+        # NaN (or inf) weight through silently; demand finiteness first.
+        if not math.isfinite(self.weight) or self.weight <= 0:
             raise ValidationError(
-                f"transaction {self.name!r}: weight must be positive"
+                f"transaction {self.name!r}: weight must be a positive finite"
+                f" number, got {self.weight!r}"
             )
-        if self.cpu_ms <= 0:
+        if not math.isfinite(self.cpu_ms) or self.cpu_ms <= 0:
             raise ValidationError(
-                f"transaction {self.name!r}: cpu_ms must be positive"
+                f"transaction {self.name!r}: cpu_ms must be a positive finite"
+                f" number, got {self.cpu_ms!r}"
             )
+        for field in _COST_FIELDS:
+            value = getattr(self, field)
+            if not math.isfinite(value) or value < 0:
+                raise ValidationError(
+                    f"transaction {self.name!r}: {field} must be a"
+                    f" non-negative finite number, got {value!r}"
+                )
         if self.read_only and self.logical_writes > 0:
             raise ValidationError(
                 f"transaction {self.name!r} is read_only but writes pages"
@@ -92,6 +117,15 @@ class TransactionType:
             raise ValidationError(
                 f"transaction {self.name!r}: hot_spot_affinity must be in [0,1]"
             )
+
+    def to_dict(self) -> dict:
+        """JSON-safe mapping with exact float round-trip via ``from_dict``."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> TransactionType:
+        """Inverse of :meth:`to_dict` (re-validating on construction)."""
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -146,14 +180,22 @@ class WorkloadSpec:
             raise ValidationError(
                 f"workload {self.name!r}: parallel_fraction must be in [0, 1)"
             )
-        if self.working_set_gb <= 0:
+        if not math.isfinite(self.working_set_gb) or self.working_set_gb <= 0:
             raise ValidationError(
-                f"workload {self.name!r}: working_set_gb must be positive"
+                f"workload {self.name!r}: working_set_gb must be a positive"
+                f" finite number, got {self.working_set_gb!r}"
             )
         if not 0.0 <= self.access_skew <= 1.0:
             raise ValidationError(
                 f"workload {self.name!r}: access_skew must be in [0, 1]"
             )
+        for field in ("contention_factor", "checkpoint_intensity", "base_noise"):
+            value = getattr(self, field)
+            if not math.isfinite(value) or value < 0:
+                raise ValidationError(
+                    f"workload {self.name!r}: {field} must be a non-negative"
+                    f" finite number, got {value!r}"
+                )
 
     # -- mix aggregates ------------------------------------------------------
     @property
@@ -189,3 +231,26 @@ class WorkloadSpec:
         raise ValidationError(
             f"workload {self.name!r} has no transaction {name!r}"
         )
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe mapping with exact float round-trip via ``from_dict``.
+
+        Floats survive ``json.dumps``/``loads`` bit-for-bit (repr round
+        trip), so ``WorkloadSpec.from_dict(json.loads(json.dumps(
+        spec.to_dict())))`` equals ``spec`` exactly.
+        """
+        payload = asdict(self)
+        payload["workload_type"] = self.workload_type.value
+        payload["transactions"] = [t.to_dict() for t in self.transactions]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> WorkloadSpec:
+        """Inverse of :meth:`to_dict` (re-validating on construction)."""
+        data = dict(payload)
+        data["workload_type"] = WorkloadType(data["workload_type"])
+        data["transactions"] = tuple(
+            TransactionType.from_dict(t) for t in data["transactions"]
+        )
+        return cls(**data)

@@ -13,7 +13,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1].parent))
 
 from tests.golden.builders import regenerate  # noqa: E402
+from tests.golden.synth_builders import regenerate_synth  # noqa: E402
 
 if __name__ == "__main__":
-    for path in regenerate():
+    for path in regenerate() + regenerate_synth():
         print(f"wrote {path}")

@@ -1,0 +1,87 @@
+"""Builders for the synthesis golden fixtures under ``tests/golden/synth/``.
+
+Each builder runs one fully seeded synthesis path end to end —
+``(seed, targets) -> spec -> verification`` — and returns a JSON-safe
+summary pinning the synthesized spec (every transaction cost field), the
+extracted targets, and the verification report.
+``tests/test_synth_golden.py`` asserts the current synthesizer still
+produces these numbers to within 1e-12, so any change to the sampler's
+draw order, the planner-inversion formulas, or the refinement loop's
+update rules surfaces as a reviewed golden diff instead of a silent
+shift in every synthesized corpus.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    SynthesisContext,
+    calibration_targets,
+    sample_spec,
+    synthesize_clone,
+    verify_synthesis,
+    workload_by_name,
+)
+
+SYNTH_GOLDEN_DIR = Path(__file__).resolve().parent / "synth"
+
+
+def sampled_spec_summary() -> dict:
+    """Sampler path: one pinned (seed, index) draw, verified against its
+    own calibration targets with disjoint seeds."""
+    spec = sample_spec(0, seed=11)
+    context = SynthesisContext(
+        sku=SKU(cpus=16, memory_gb=32.0),
+        terminals=8,
+        duration_s=300.0,
+    )
+    targets = calibration_targets(spec, context=context, seed=11)
+    report = verify_synthesis(spec, targets, context=context, seed=11)
+    return {
+        "spec": spec.to_dict(),
+        "targets": targets.to_dict(),
+        "report": report.to_dict(),
+    }
+
+
+def tpcc_clone_summary() -> dict:
+    """Trace-fitting path: a TPC-C template cloned and verified."""
+    runner = ExperimentRunner(workload_by_name("tpcc"), random_state=123)
+    template = runner.run(
+        SKU(cpus=16, memory_gb=32.0), terminals=8, duration_s=600.0, seed=42
+    )
+    result = synthesize_clone(template, seed=7)
+    return {
+        "spec": result.spec.to_dict(),
+        "targets": result.targets.to_dict(),
+        "refine_iterations": result.refine_iterations,
+        "residual": result.residual,
+        "report": result.report.to_dict(),
+    }
+
+
+#: Golden file name (under ``tests/golden/synth/``) -> builder.
+SYNTH_BUILDERS = {
+    "sampled_spec_summary.json": sampled_spec_summary,
+    "tpcc_clone_summary.json": tpcc_clone_summary,
+}
+
+
+def regenerate_synth(directory: Path | None = None) -> list[Path]:
+    """Write every synthesis golden file; returns the paths written."""
+    directory = directory or SYNTH_GOLDEN_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, builder in SYNTH_BUILDERS.items():
+        path = directory / name
+        path.write_text(json.dumps(builder(), indent=2, sort_keys=True))
+        written.append(path)
+    return written

@@ -1,0 +1,47 @@
+"""Golden-regression suite for the workload synthesizer.
+
+The JSON fixtures under ``tests/golden/synth/`` pin complete
+``(seed, targets) -> spec + verification`` outcomes for both synthesis
+paths (sampler and trace fitting).  A failure means a change shifted
+what the synthesizer produces for a fixed seed — every previously
+synthesized corpus shifts with it.  Either fix the regression or
+regenerate (``PYTHONPATH=src python tests/golden/regenerate.py``) and
+justify the diff in review.
+
+Comparison reuses the 1e-12 recursive matcher of the main golden suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.golden.synth_builders import SYNTH_BUILDERS, SYNTH_GOLDEN_DIR
+from tests.test_golden_regression import assert_matches
+
+
+@pytest.mark.parametrize("name", sorted(SYNTH_BUILDERS))
+def test_synth_golden(name):
+    golden_path = SYNTH_GOLDEN_DIR / name
+    assert golden_path.exists(), (
+        f"missing golden fixture synth/{name}; run tests/golden/regenerate.py"
+    )
+    expected = json.loads(golden_path.read_text())
+    actual = SYNTH_BUILDERS[name]()
+    assert_matches(actual, expected)
+
+
+@pytest.mark.parametrize("name", sorted(SYNTH_BUILDERS))
+def test_golden_verification_passed(name):
+    """The pinned fixtures themselves must record a passing verification;
+    a committed golden with ``passed: false`` would pin a broken state."""
+    payload = json.loads((SYNTH_GOLDEN_DIR / name).read_text())
+    assert payload["report"]["passed"] is True
+    assert all(check["passed"] for check in payload["report"]["checks"])
+
+
+def test_synth_golden_files_have_no_strays():
+    """Every committed synth golden file is covered by a builder."""
+    committed = {p.name for p in SYNTH_GOLDEN_DIR.glob("*.json")}
+    assert committed == set(SYNTH_BUILDERS)

@@ -36,6 +36,13 @@ class TestReweight:
         with pytest.raises(ValidationError, match="positive"):
             reweight_workload(ycsb(), {"ReadRecord": 0.0})
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_weight(self, bad):
+        """``v <= 0`` alone silently accepts NaN; the finite check must
+        catch it before it poisons every downstream weight average."""
+        with pytest.raises(ValidationError, match="positive finite"):
+            reweight_workload(ycsb(), {"ReadRecord": bad, "ScanRecord": 1.0})
+
     def test_runs_in_engine(self):
         custom = reweight_workload(
             ycsb(), {"ReadRecord": 1.0, "UpdateRecord": 1.0}, name="rw-mix"
@@ -88,6 +95,12 @@ class TestBlend:
     def test_non_positive_share(self):
         with pytest.raises(ValidationError):
             blend_workloads([(tpcc(), 0.0)])
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_share(self, bad):
+        """A NaN share passes ``<= 0`` and would NaN every blended knob."""
+        with pytest.raises(ValidationError, match="positive finite"):
+            blend_workloads([(tpcc(), bad), (ycsb(), 1.0)])
 
     def test_blend_runs_end_to_end(self):
         blend = blend_workloads(

@@ -47,9 +47,41 @@ class TestTransactionType:
         with pytest.raises(ValidationError, match="weight"):
             make_txn(weight=0.0)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_weight_rejected(self, bad):
+        """NaN fails every comparison, so ``<= 0`` alone would pass it."""
+        with pytest.raises(ValidationError, match="weight"):
+            make_txn(weight=bad)
+
     def test_zero_cpu_rejected(self):
         with pytest.raises(ValidationError, match="cpu_ms"):
             make_txn(cpu_ms=0.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_cpu_rejected(self, bad):
+        with pytest.raises(ValidationError, match="cpu_ms"):
+            make_txn(cpu_ms=bad)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "logical_reads",
+            "rows_touched",
+            "rows_scanned",
+            "row_size_bytes",
+            "table_cardinality",
+            "plan_complexity",
+            "memory_grant_mb",
+            "locks_acquired",
+        ],
+    )
+    def test_non_finite_cost_field_rejected(self, field):
+        with pytest.raises(ValidationError, match=field):
+            make_txn(**{field: float("nan")})
+
+    def test_negative_cost_field_rejected(self):
+        with pytest.raises(ValidationError, match="logical_reads"):
+            make_txn(logical_reads=-1.0)
 
     def test_read_only_with_writes_rejected(self):
         with pytest.raises(ValidationError, match="read_only"):
@@ -129,3 +161,61 @@ class TestWorkloadSpec:
     def test_n_transaction_types(self):
         spec = make_workload([make_txn(name=f"t{i}") for i in range(4)])
         assert spec.n_transaction_types == 4
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0])
+    def test_non_finite_working_set_rejected(self, bad):
+        kwargs = dict(
+            name="w",
+            workload_type=WorkloadType.MIXED,
+            tables=1,
+            columns=1,
+            indexes=0,
+            transactions=(make_txn(),),
+            working_set_gb=bad,
+            parallel_fraction=0.5,
+            contention_factor=0.0,
+        )
+        with pytest.raises(ValidationError, match="working_set_gb"):
+            WorkloadSpec(**kwargs)
+
+    @pytest.mark.parametrize(
+        "field", ["contention_factor", "checkpoint_intensity", "base_noise"]
+    )
+    def test_non_finite_workload_knob_rejected(self, field):
+        kwargs = dict(
+            name="w",
+            workload_type=WorkloadType.MIXED,
+            tables=1,
+            columns=1,
+            indexes=0,
+            transactions=(make_txn(),),
+            working_set_gb=1.0,
+            parallel_fraction=0.5,
+            contention_factor=0.0,
+        )
+        kwargs[field] = float("nan")
+        with pytest.raises(ValidationError, match=field):
+            WorkloadSpec(**kwargs)
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        spec = make_workload(
+            [
+                make_txn(name="a", weight=1.25, cpu_ms=0.1 + 0.2),
+                make_txn(
+                    name="b",
+                    weight=2.0,
+                    read_only=False,
+                    logical_writes=7.0,
+                    hot_spot_affinity=0.3,
+                ),
+            ]
+        )
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_revalidates(self):
+        payload = make_workload([make_txn()]).to_dict()
+        payload["transactions"][0]["weight"] = float("nan")
+        with pytest.raises(ValidationError, match="weight"):
+            WorkloadSpec.from_dict(payload)

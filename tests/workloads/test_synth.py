@@ -1,0 +1,367 @@
+"""Unit tests for the workload synthesizer (`repro.workloads.synth`).
+
+Covers property measurement and target extraction, verification report
+structure and serialization, the spec-space sampler's validation and
+telemetry plumbing, trace fitting on catalog templates, and the bounded
+refinement loop — including recovery from a deliberately mis-fitted
+starting spec.  End-to-end clone quality (all six catalog workloads
+passing verification and ranking first) lives in
+``test_synth_clone_ranking.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.workloads import (
+    SKU,
+    ExperimentRunner,
+    PropertyTarget,
+    RefineSettings,
+    SynthesisContext,
+    SynthesisReport,
+    SynthesisTargets,
+    calibration_targets,
+    extract_targets,
+    measure_properties,
+    refine,
+    results_equal,
+    sample_specs,
+    simulate_spec,
+    spec_from_trace,
+    synthesize,
+    synthesize_clone,
+    verify_synthesis,
+    workload_by_name,
+)
+from repro.workloads.features import PLAN_FEATURES, RESOURCE_FEATURES
+from repro.workloads.synth import (
+    DEFAULT_PLAN_TOLERANCE,
+    DEFAULT_RESOURCE_TOLERANCE,
+    PERF_PROPERTIES,
+    PLAN_PROPERTIES,
+    RESOURCE_PROPERTIES,
+    _seed_stream,
+    default_properties,
+    default_tolerance,
+)
+
+
+@pytest.fixture(scope="module")
+def template():
+    """One full TPC-C experiment, the synthesis template for this module."""
+    runner = ExperimentRunner(workload_by_name("tpcc"), random_state=123)
+    return runner.run(
+        SKU(cpus=16, memory_gb=32.0), terminals=8, duration_s=600.0, seed=42
+    )
+
+
+@pytest.fixture(scope="module")
+def context(template):
+    return SynthesisContext.from_result(template)
+
+
+@pytest.fixture()
+def metrics():
+    """A fresh metrics registry installed for the duration of one test."""
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    yield registry
+    set_metrics(MetricsRegistry())
+
+
+class TestPropertyRegistry:
+    def test_default_properties_cover_all_kinds(self):
+        names = default_properties()
+        assert len(names) == len(set(names))
+        assert names == (
+            tuple(f"resource:{n}" for n in RESOURCE_PROPERTIES)
+            + tuple(f"plan:{n}" for n in PLAN_PROPERTIES)
+            + tuple(f"perf:{n}" for n in PERF_PROPERTIES)
+        )
+
+    def test_lock_wait_is_not_a_property(self):
+        """The convoy-lottery channel must stay out of the contract."""
+        assert "resource:LOCK_WAIT_ABS" not in default_properties()
+
+    def test_default_tolerances_by_kind(self):
+        assert default_tolerance("resource:IOPS_TOTAL") == (
+            DEFAULT_RESOURCE_TOLERANCE
+        )
+        assert default_tolerance("plan:AvgRowSize") == DEFAULT_PLAN_TOLERANCE
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(ValidationError, match="unknown synthesis"):
+            default_tolerance("latency")
+
+
+class TestSeedStreams:
+    def test_deterministic_and_purpose_disjoint(self):
+        a = _seed_stream(5, "calibration", 4)
+        assert a == _seed_stream(5, "calibration", 4)
+        assert a != _seed_stream(5, "verify", 4)
+        assert a != _seed_stream(6, "calibration", 4)
+
+    def test_prefix_stable(self):
+        """Requesting more seeds extends the stream, never rewrites it."""
+        assert _seed_stream(1, "verify", 2) == _seed_stream(1, "verify", 5)[:2]
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError, match="seed"):
+            _seed_stream(-1, "verify", 1)
+
+
+class TestMeasureProperties:
+    def test_matches_manual_log_means(self, template):
+        measured = measure_properties(template)
+        iops = template.resource_series[
+            :, RESOURCE_FEATURES.index("IOPS_TOTAL")
+        ].mean()
+        rows = template.plan_matrix[
+            :, PLAN_FEATURES.index("StatementEstRows")
+        ].mean()
+        assert measured["resource:IOPS_TOTAL"] == pytest.approx(
+            math.log10(iops + 1e-9)
+        )
+        assert measured["plan:StatementEstRows"] == pytest.approx(
+            math.log10(rows + 1e-9)
+        )
+        assert measured["perf:throughput"] == pytest.approx(
+            math.log10(template.throughput + 1e-9)
+        )
+
+    def test_single_result_equals_singleton_list(self, template):
+        assert measure_properties(template) == measure_properties([template])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            measure_properties([])
+
+    def test_unknown_property_rejected(self, template):
+        with pytest.raises(ValidationError, match="unknown synthesis"):
+            measure_properties(template, ("resource:NOPE",))
+
+
+class TestTargets:
+    def test_property_target_validation(self):
+        with pytest.raises(ValidationError, match="finite"):
+            PropertyTarget("perf:throughput", math.nan, 0.2)
+        with pytest.raises(ValidationError, match="tolerance"):
+            PropertyTarget("perf:throughput", 1.0, 0.0)
+        with pytest.raises(ValidationError, match="tolerance"):
+            PropertyTarget("perf:throughput", 1.0, math.inf)
+
+    def test_duplicate_and_empty_rejected(self):
+        target = PropertyTarget("perf:throughput", 1.0, 0.2)
+        with pytest.raises(ValidationError, match="duplicate"):
+            SynthesisTargets(properties=(target, target))
+        with pytest.raises(ValidationError, match="at least one"):
+            SynthesisTargets(properties=())
+
+    def test_get_and_missing(self):
+        targets = SynthesisTargets(
+            properties=(PropertyTarget("perf:throughput", 1.0, 0.2),)
+        )
+        assert targets.get("perf:throughput").target == 1.0
+        with pytest.raises(ValidationError, match="no target"):
+            targets.get("resource:IOPS_TOTAL")
+
+    def test_round_trip(self, template):
+        targets = extract_targets(template)
+        clone = SynthesisTargets.from_dict(targets.to_dict())
+        assert clone == targets
+
+    def test_extract_uses_defaults_and_overrides(self, template):
+        targets = extract_targets(
+            template, tolerances={"perf:throughput": 0.05}
+        )
+        assert targets.get("perf:throughput").tolerance == 0.05
+        assert targets.get("plan:AvgRowSize").tolerance == (
+            DEFAULT_PLAN_TOLERANCE
+        )
+        measured = measure_properties(template)
+        for prop in targets.properties:
+            assert prop.target == measured[prop.name]
+
+
+class TestSynthesisContext:
+    def test_from_result_mirrors_recording_conditions(self, template):
+        context = SynthesisContext.from_result(template)
+        assert context.sku == template.sku
+        assert context.terminals == template.terminals
+        assert context.duration_s == template.metadata["duration_s"]
+        assert context.sample_interval_s == template.sample_interval_s
+
+
+class TestSimulateSpec:
+    def test_deterministic_for_fixed_seeds(self, context):
+        spec = workload_by_name("twitter")
+        a = simulate_spec(spec, context, seeds=[11, 12])
+        b = simulate_spec(spec, context, seeds=[11, 12])
+        assert len(a) == 2
+        assert all(results_equal(x, y) for x, y in zip(a, b))
+
+    def test_flows_through_corpus_cache(self, context, tmp_path, metrics):
+        """Synthesized corpora are content-addressed like any corpus."""
+        spec = workload_by_name("twitter")
+        cache_dir = tmp_path / "cache"
+        cold = simulate_spec(spec, context, seeds=[3], cache=cache_dir)
+        assert metrics.counter("corpus_cache.hits_total").value == 0
+        warm = simulate_spec(spec, context, seeds=[3], cache=cache_dir)
+        assert metrics.counter("corpus_cache.hits_total").value == 1
+        assert results_equal(cold[0], warm[0])
+
+
+class TestVerifySynthesis:
+    def test_self_targets_pass(self, template, context):
+        """A catalog workload trivially verifies against its own targets."""
+        spec = workload_by_name("tpcc")
+        targets = calibration_targets(spec, context=context, seed=5)
+        report = verify_synthesis(spec, targets, context=context, seed=5)
+        assert report.passed
+        assert report.failures == ()
+        assert report.n_runs == 2
+        assert {c.name for c in report.checks} == set(default_properties())
+
+    def test_impossible_target_fails_and_counts(
+        self, template, context, metrics
+    ):
+        targets = SynthesisTargets(
+            properties=(PropertyTarget("perf:throughput", 10.0, 0.1),)
+        )
+        spec = workload_by_name("tpcc")
+        report = verify_synthesis(spec, targets, context=context)
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert report.failures[0].error < 0
+        assert metrics.counter("synth.verify_failures_total").value == 1
+
+    def test_report_round_trip_and_render(self, template, context):
+        spec = workload_by_name("tpcc")
+        targets = calibration_targets(spec, context=context, seed=5)
+        report = verify_synthesis(spec, targets, context=context, seed=5)
+        clone = SynthesisReport.from_dict(report.to_dict())
+        assert clone == report
+        rendered = report.render()
+        assert "PASSED" in rendered
+        assert "perf:throughput" in rendered
+
+    def test_n_runs_validated(self, context):
+        targets = SynthesisTargets(
+            properties=(PropertyTarget("perf:throughput", 1.0, 0.2),)
+        )
+        with pytest.raises(ValidationError, match="n_runs"):
+            verify_synthesis(
+                workload_by_name("tpcc"), targets, context=context, n_runs=0
+            )
+
+
+class TestSampler:
+    def test_specs_generated_counter(self, metrics):
+        sample_specs(4, seed=2)
+        assert metrics.counter("synth.specs_generated_total").value == 4
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            sample_specs(-1)
+
+
+class TestSpecFromTrace:
+    def test_read_only_template_yields_read_only_clone(self):
+        runner = ExperimentRunner(workload_by_name("tpch"), random_state=123)
+        tpl = runner.run(
+            SKU(cpus=16, memory_gb=32.0),
+            terminals=1,
+            duration_s=600.0,
+            seed=42,
+        )
+        spec = spec_from_trace(tpl)
+        assert all(t.read_only for t in spec.transactions)
+        assert spec.contention_factor == 0.0
+
+    def test_mix_structure_preserved(self, template):
+        spec = spec_from_trace(template, name="copy")
+        assert spec.name == "copy"
+        original = workload_by_name("tpcc")
+        assert [t.name for t in spec.transactions] == [
+            t.name for t in original.transactions
+        ]
+        np.testing.assert_allclose(
+            spec.weights, original.weights, atol=1e-12
+        )
+        assert any(not t.read_only for t in spec.transactions)
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ValidationError, match="at least one"):
+            spec_from_trace([])
+
+
+class TestRefine:
+    def test_settings_validated(self):
+        with pytest.raises(ValidationError, match="margin"):
+            RefineSettings(margin=0.0)
+        with pytest.raises(ValidationError, match="damping"):
+            RefineSettings(damping=1.5)
+        with pytest.raises(ValidationError, match="max_iters"):
+            RefineSettings(max_iters=-1)
+
+    def test_zero_iterations_returns_input_spec(self, template, context):
+        targets = extract_targets(template)
+        spec = spec_from_trace(template)
+        best, iterations, residual = refine(
+            spec,
+            targets,
+            context=context,
+            seed=7,
+            settings=RefineSettings(max_iters=0),
+        )
+        assert best == spec
+        assert iterations == 0
+        assert math.isfinite(residual)
+
+    def test_recovers_from_misfitted_start(self, template, context, metrics):
+        """Refinement closes large deliberate errors in the initial spec."""
+        targets = extract_targets(template)
+        good = spec_from_trace(template)
+        bad = replace(
+            good,
+            transactions=tuple(
+                replace(
+                    t,
+                    cpu_ms=t.cpu_ms * 3.0,
+                    logical_writes=t.logical_writes * 0.2,
+                )
+                for t in good.transactions
+            ),
+            working_set_gb=good.working_set_gb * 5.0,
+            contention_factor=1.2,
+        )
+        result = synthesize(
+            targets, initial_spec=bad, context=context, seed=7
+        )
+        assert result.refine_iterations >= 1
+        assert result.report is not None and result.report.passed
+        assert metrics.counter("synth.refine_iters_total").value == (
+            result.refine_iterations
+        )
+
+
+class TestSynthesizeClone:
+    def test_deterministic(self, template):
+        a = synthesize_clone(template, seed=7, verify=False)
+        b = synthesize_clone(template, seed=7, verify=False)
+        assert a.spec == b.spec
+        assert a.refine_iterations == b.refine_iterations
+        assert a.residual == b.residual
+
+    def test_residual_is_within_tolerance_fraction(self, template):
+        result = synthesize_clone(template, seed=7)
+        assert result.report is not None and result.report.passed
+        for check in result.report.checks:
+            assert abs(check.error) <= check.tolerance

@@ -1,0 +1,125 @@
+"""PBench-style headline test: synthesized clones rank closest to their
+templates.
+
+For each of the six catalog workloads, record a template experiment,
+synthesize a clone from its telemetry alone (:func:`synthesize_clone`),
+and assert (a) the clone passes property verification within the declared
+decade tolerances and (b) the similarity pipeline — given the full
+six-workload reference corpus — ranks the clone nearest to its template,
+across at least two distance measures.  This is the end-to-end contract
+that makes synthesized workloads usable as pipeline inputs: a clone that
+verified but ranked elsewhere would poison similarity-based prediction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig, WorkloadPredictionPipeline
+from repro.workloads import (
+    SKU,
+    ExperimentRepository,
+    ExperimentRunner,
+    SynthesisContext,
+    expand_subexperiments,
+    synthesize_clone,
+    workload_by_name,
+)
+from repro.workloads.catalog import WORKLOAD_NAMES
+from repro.workloads.synth import (
+    PLAN_PROPERTIES,
+    RESOURCE_PROPERTIES,
+    _seed_stream,
+    simulate_spec,
+)
+
+SYNTH_SEED = 7
+
+#: The telemetry channels the synthesizer steers double as the
+#: similarity features, so ranking exercises exactly what was matched.
+FEATURES = RESOURCE_PROPERTIES + PLAN_PROPERTIES
+
+MEASURES = ("L2,1", "Canb")
+
+
+def _template(name):
+    runner = ExperimentRunner(workload_by_name(name), random_state=123)
+    return runner.run(
+        SKU(cpus=16, memory_gb=32.0),
+        terminals=1 if name in ("tpch", "tpcds") else 8,
+        duration_s=600.0,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="module")
+def templates():
+    """One recorded template experiment per catalog workload."""
+    return {name: _template(name) for name in WORKLOAD_NAMES}
+
+
+@pytest.fixture(scope="module")
+def references(templates):
+    """The six templates as a sub-experiment reference corpus."""
+    return expand_subexperiments(
+        ExperimentRepository(list(templates.values())), n_subexperiments=4
+    )
+
+
+@pytest.fixture(scope="module")
+def clones(templates):
+    """Verified synthesis results, one clone per template."""
+    return {
+        name: synthesize_clone(template, seed=SYNTH_SEED)
+        for name, template in templates.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def clone_corpora(templates, clones):
+    """Each clone simulated fresh and expanded into sub-experiments."""
+    corpora = {}
+    for name, result in clones.items():
+        context = SynthesisContext.from_result(templates[name])
+        runs = simulate_spec(
+            result.spec,
+            context,
+            seeds=_seed_stream(SYNTH_SEED, "verify", 1),
+        )
+        corpora[name] = expand_subexperiments(
+            ExperimentRepository(runs), n_subexperiments=4
+        )
+    return corpora
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_clone_passes_verification(clones, name):
+    result = clones[name]
+    report = result.report
+    assert report is not None
+    failed = ", ".join(
+        f"{c.name} (err {c.error:+.3f} dec, tol {c.tolerance})"
+        for c in report.failures
+    )
+    assert report.passed, f"clone of {name!r} missed targets: {failed}"
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_refinement_stays_bounded(clones, name):
+    """Trace fitting starts close enough that refinement stays cheap."""
+    assert clones[name].refine_iterations <= 8
+
+
+@pytest.mark.parametrize("measure", MEASURES)
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_clone_ranks_first(references, clone_corpora, name, measure):
+    pipeline = WorkloadPredictionPipeline(
+        PipelineConfig(representation="hist", measure=measure)
+    )
+    ranking = pipeline.rank_similarity(
+        references, clone_corpora[name], FEATURES
+    )
+    ordered = [workload for workload, _ in ranking.ordered]
+    assert ranking.nearest == name, (
+        f"clone of {name!r} ranked {ordered} under {measure}"
+    )

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the workload synthesizer.
+
+Three contracts over the whole sampled spec space, not just the
+hand-picked examples:
+
+- every spec the sampler draws passes :class:`WorkloadSpec` validation
+  and is well-formed (normalized weights, read-only consistency);
+- spec serialization round-trips exactly, including through JSON text;
+- sampling is index-keyed: any batch size, partitioning, or ``jobs``
+  value yields bit-identical specs for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    WorkloadSpec,
+    sample_spec,
+    sample_specs,
+    workload_by_name,
+)
+from repro.workloads.catalog import WORKLOAD_NAMES
+
+INDICES = st.integers(min_value=0, max_value=10_000)
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSampledSpecsAreValid:
+    @given(INDICES, SEEDS)
+    @settings(max_examples=60, deadline=None)
+    def test_sampled_spec_validates(self, index, seed):
+        """Construction re-runs ``__post_init__`` validation; reaching the
+        assertions below means every drawn field was in range."""
+        spec = sample_spec(index, seed=seed)
+        assert spec.name == f"synth-{seed}-{index:05d}"
+        assert spec.n_transaction_types >= 2
+        assert abs(float(spec.weights.sum()) - 1.0) < 1e-9
+        for txn in spec.transactions:
+            assert txn.read_only == (txn.logical_writes == 0.0)
+
+    @given(INDICES, SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_read_only_mix_has_no_write_knobs(self, index, seed):
+        """Checkpoint bursts and contention require writers."""
+        spec = sample_spec(index, seed=seed)
+        if all(t.read_only for t in spec.transactions):
+            assert spec.contention_factor == 0.0
+            assert spec.checkpoint_intensity == 0.0
+
+
+class TestSerializationRoundTrip:
+    @given(INDICES, SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_spec_round_trips_exactly(self, index, seed):
+        spec = sample_spec(index, seed=seed)
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    @given(INDICES, SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_survives_json_text(self, index, seed):
+        """repr round-tripping makes the JSON hop bit-exact for floats."""
+        spec = sample_spec(index, seed=seed)
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert WorkloadSpec.from_dict(payload) == spec
+
+    @given(st.sampled_from(WORKLOAD_NAMES))
+    @settings(max_examples=6, deadline=None)
+    def test_catalog_specs_round_trip_exactly(self, name):
+        spec = workload_by_name(name)
+        assert WorkloadSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+
+class TestSamplingDeterminism:
+    @given(st.integers(min_value=1, max_value=12), SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_batch_equals_per_index_draws(self, n, seed):
+        batch = sample_specs(n, seed=seed)
+        assert batch == [sample_spec(i, seed=seed) for i in range(n)]
+
+    @given(st.integers(min_value=1, max_value=12), SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_stability(self, n, seed):
+        """Growing the batch never rewrites earlier specs."""
+        assert sample_specs(n, seed=seed) == sample_specs(
+            n + 3, seed=seed
+        )[:n]
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        SEEDS,
+        st.sampled_from([None, 1, 2, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_jobs_invariance(self, n, seed, jobs):
+        """Bit-identical output at any ``jobs=`` value."""
+        assert sample_specs(n, seed=seed, jobs=jobs) == sample_specs(
+            n, seed=seed
+        )
+
+    @given(st.integers(min_value=0, max_value=100), SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_seeds_decorrelate(self, index, seed):
+        assert sample_spec(index, seed=seed) != sample_spec(
+            index, seed=seed + 1
+        )
