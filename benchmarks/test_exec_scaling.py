@@ -1,0 +1,189 @@
+"""Execution-substrate benchmarks: the mixed-stage DAG and zero-copy IPC.
+
+Not a paper figure — this bench guards the execution substrate
+(``repro.exec``, see "The execution substrate" in
+``docs/performance.md``):
+
+- the mixed-stage pipeline DAG (simulations → representation →
+  distance chunks, with fits interleaved) must produce bit-identical
+  results at jobs=1 and jobs=4;
+- shared-memory array passing must ship fewer per-task IPC bytes than
+  the pickled baseline, without changing a single output bit.
+
+Numbers are written to ``BENCH_exec.json`` (path overridable via
+``REPRO_BENCH_EXEC_OUT``) so the scheduled CI job can archive them and
+``repro obs check-bench`` can guard them.  Records follow the
+honest-speedup convention of :func:`benchmarks.conftest.scaling_record`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, scaling_record
+from repro.exec.arrays import ArrayStore
+from repro.exec.stages import pipeline_dag, run_pipeline
+from repro.similarity.measures import get_measure
+from repro.workloads import SKU, enumerate_grid, workload_by_name
+
+pytestmark = pytest.mark.slow
+
+RESULTS: dict[str, dict] = {}
+
+
+def bench_out() -> str:
+    return os.environ.get("REPRO_BENCH_EXEC_OUT", "BENCH_exec.json")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_results():
+    yield
+    if RESULTS:
+        with open(bench_out(), "w") as handle:
+            json.dump(RESULTS, handle, indent=2, sort_keys=True)
+        print(f"\nwrote {bench_out()}")
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """Three workloads, two runs each: 6 sims -> 15 distance chunks."""
+    return enumerate_grid(
+        [workload_by_name(n) for n in ("tpcc", "twitter", "ycsb")],
+        [SKU(cpus=8, memory_gb=32.0)],
+        terminals_for=lambda w: (4,),
+        n_runs=2,
+        duration_s=600.0,
+        sample_interval_s=10.0,
+        random_state=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def measure():
+    return get_measure("L2,1")
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def pipeline_identical(a, b) -> bool:
+    if not np.array_equal(a["distances"], b["distances"]):
+        return False
+    return all(
+        np.array_equal(a[key], b[key])
+        for key in ("fit:throughput", "fit:latency_ms")
+    )
+
+
+def test_mixed_stage_dag_scaling(grid, measure):
+    """jobs=4 over the mixed-stage DAG is bit-identical to jobs=1."""
+    serial, serial_s = timed(
+        lambda: run_pipeline(grid, measure=measure, jobs=1)
+    )
+    parallel, parallel_s = timed(
+        lambda: run_pipeline(grid, measure=measure, jobs=4)
+    )
+    record = scaling_record(serial_s, parallel_s, jobs=4)
+    identical = pipeline_identical(serial, parallel)
+    n_tasks = serial.report.n_tasks
+
+    print_header("Execution substrate: mixed-stage pipeline DAG")
+    print(f"tasks     : {n_tasks}  "
+          f"({len(grid)} sims, {n_tasks - len(grid) - 4} distance chunks)")
+    print(f"serial    : {serial_s:7.2f}s")
+    if "speedup" in record:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"speedup x{record['speedup']:.2f}   "
+              f"({record['cpu_count']} cores)")
+    else:
+        print(f"4 workers : {parallel_s:7.2f}s   "
+              f"(insufficient cores: {record['cpu_count']})")
+    RESULTS["mixed_stage_dag"] = {
+        "n_tasks": int(n_tasks),
+        "bit_identical": identical,
+        **record,
+    }
+    assert identical, "mixed-stage DAG diverged between jobs=1 and jobs=4"
+
+
+def test_zero_copy_ipc_bytes(grid, measure):
+    """Shared-memory refs ship orders of magnitude fewer bytes per task."""
+    results = run_pipeline(grid, measure=measure, jobs=1)
+    matrices = results["rep:hist"]
+    tasks = pipeline_dag(grid, measure=measure)
+    chunks = [
+        task.payload[1] for task in tasks if task.key.startswith("dist:")
+    ]
+    with ArrayStore() as store:
+        refs = [store.put(matrix) for matrix in matrices]
+        pickled_bytes = [
+            len(pickle.dumps((matrices, chunk, measure, i)))
+            for i, chunk in enumerate(chunks)
+        ]
+        ref_bytes = [
+            len(pickle.dumps((refs, chunk, measure, i)))
+            for i, chunk in enumerate(chunks)
+        ]
+    pickled_per_task = float(np.mean(pickled_bytes))
+    ref_per_task = float(np.mean(ref_bytes))
+    factor = pickled_per_task / ref_per_task
+
+    print_header("Execution substrate: per-task IPC bytes (distance chunk)")
+    print(f"pickled matrices : {pickled_per_task:12.0f} bytes/task")
+    print(f"shared-mem refs  : {ref_per_task:12.0f} bytes/task")
+    print(f"reduction        : x{factor:.1f}")
+    RESULTS["ipc_bytes"] = {
+        "pickled_per_task": pickled_per_task,
+        "ref_per_task": ref_per_task,
+        "reduction_factor": factor,
+        "ipc_reduced": bool(ref_per_task < pickled_per_task),
+        "n_chunks": len(chunks),
+    }
+    assert ref_per_task < pickled_per_task, (
+        "shared-memory refs did not reduce per-task IPC bytes"
+    )
+
+
+def test_pickled_vs_shared_memory_runs(grid, measure):
+    """The array backend changes IPC mechanics, never a result bit."""
+    env_key = "REPRO_EXEC_ARRAYS"
+    previous = os.environ.get(env_key)
+    try:
+        os.environ[env_key] = "off"
+        pickled, pickled_s = timed(
+            lambda: run_pipeline(grid, measure=measure, jobs=4)
+        )
+        os.environ[env_key] = "auto"
+        shared, shared_s = timed(
+            lambda: run_pipeline(grid, measure=measure, jobs=4)
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(env_key, None)
+        else:
+            os.environ[env_key] = previous
+    identical = pipeline_identical(pickled, shared)
+    cores = os.cpu_count() or 1
+
+    print_header("Execution substrate: pickled vs shared-memory passing")
+    print(f"pickled arrays   : {pickled_s:7.2f}s")
+    print(f"shared memory    : {shared_s:7.2f}s")
+    record = {
+        "pickled_s": pickled_s,
+        "shared_s": shared_s,
+        "bit_identical": identical,
+        "cpu_count": cores,
+    }
+    if cores < 2:
+        record["insufficient_cores"] = True
+    RESULTS["array_backends"] = record
+    assert identical, "array backend changed pipeline results"

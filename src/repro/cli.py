@@ -62,7 +62,7 @@ import time
 from pathlib import Path
 
 from repro.core import PipelineConfig, WorkloadPredictionPipeline
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ValidationError
 from repro.obs import (
     MetricsRegistry,
     RunManifest,
@@ -85,8 +85,23 @@ from repro.workloads.features import ALL_FEATURES
 logger = get_logger(__name__)
 
 
+class _UsageError(ReproError):
+    """A bad invocation: unknown name, missing input file, bad flags.
+
+    Exit codes follow one convention across every subcommand: ``0`` for
+    success, ``1`` for a domain failure (the command ran and the result
+    is bad — a regression detected, a corrupt cache, a failed
+    verification), ``2`` for a usage error (the command could not
+    meaningfully start).  ``argparse`` exits with 2 on its own for
+    malformed flags; this exception routes semantic usage errors —
+    unknown measure names, missing input files — to the same code.
+    """
+
+
 def _load_repository(path: str | Path) -> ExperimentRepository:
     """Load a repository, dispatching on the file extension."""
+    if not Path(path).exists():
+        raise _UsageError(f"no such repository file: {path}")
     if str(path).endswith(".npz"):
         return ExperimentRepository.load_npz(path)
     return ExperimentRepository.load(path)
@@ -621,10 +636,10 @@ def _cmd_select(args) -> int:
     corpus = _load_repository(args.corpus)
     registry = strategy_registry()
     if args.strategy not in registry:
-        logger.error(
-            "unknown strategy %r; known: %s",
-            args.strategy,
-            ", ".join(sorted(registry)),
+        print(
+            f"error: unknown strategy {args.strategy!r}; known: "
+            + ", ".join(sorted(registry)),
+            file=sys.stderr,
         )
         return 2
     selector = registry[args.strategy]()
@@ -645,6 +660,10 @@ def _cmd_similarity(args) -> int:
     from repro.similarity import RepresentationBuilder, evaluate_measure
     from repro.similarity.measures import get_measure
 
+    try:
+        measure = get_measure(args.measure)
+    except ValidationError as exc:
+        raise _UsageError(str(exc)) from exc
     corpus = _load_repository(args.corpus)
     features = (
         tuple(name.strip() for name in args.features.split(","))
@@ -656,7 +675,7 @@ def _cmd_similarity(args) -> int:
         corpus,
         builder,
         args.representation,
-        get_measure(args.measure),
+        measure,
         features=features,
         jobs=args.jobs,
         cache=_resolve_distance_cache(args),
@@ -703,11 +722,15 @@ def _cmd_cluster(args) -> int:
     from repro.similarity.evaluation import representation_matrices
     from repro.similarity.measures import get_measure
 
+    try:
+        measure = get_measure(args.measure)
+    except ValidationError as exc:
+        raise _UsageError(str(exc)) from exc
     corpus = _load_repository(args.corpus)
     builder = RepresentationBuilder().fit(corpus)
     matrices = representation_matrices(corpus, builder, "hist")
     D = distance_matrix(
-        matrices, get_measure(args.measure),
+        matrices, measure,
         jobs=args.jobs, cache=_resolve_distance_cache(args),
     )
     result = cluster_workloads(
@@ -1129,6 +1152,13 @@ def _append_ledger(
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code.
 
+    Exit codes are uniform across subcommands: ``0`` success, ``1``
+    domain failure (the command ran; the outcome is bad — failed
+    verification, detected regression, quarantined tasks left the
+    result unusable), ``2`` usage error (unknown names, missing input
+    files, malformed or missing flags — including argparse's own
+    errors).
+
     One invocation is one observed run: a fresh metrics registry (and a
     fresh enabled tracer when ``--trace-out`` or a ledger is configured)
     is installed for the duration of the command, its exports are written
@@ -1150,6 +1180,9 @@ def main(argv=None) -> int:
     try:
         with tracer.span(f"cli.{args.command}"):
             code = _COMMANDS[args.command](args)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = 1

@@ -1,0 +1,55 @@
+"""One execution substrate for every parallel stage of the pipeline.
+
+Before this package existed the repo ran four parallel executors —
+:mod:`repro.workloads.gridexec` (corpus simulation),
+:func:`repro.similarity.evaluation.distance_matrix` (pair chunks),
+:func:`repro.ml.fitexec.run_units` (fit/score units), and the forest
+tree batches — each with its own pool, retry, journal, and
+torn-tail-healing JSONL logic, and each paying full-pickle IPC for
+every array it shipped to a worker.  ``repro.exec`` factors all of that
+into one place:
+
+- :mod:`repro.exec.journal` — the single torn-tail-healing JSONL
+  append/load discipline (ResumeJournal, FitCache, DistanceCache, and
+  the run ledger all build on it), with appends that are safe under
+  *concurrent* writers, not just single-writer tails.
+- :mod:`repro.exec.arrays` — content-addressed zero-copy array passing
+  over ``multiprocessing.shared_memory`` (np.memmap spool files as the
+  fallback), so workers stop pickling full matrices.
+- :mod:`repro.exec.engine` — one task engine with the full gridexec
+  semantics: RetryPolicy, quarantine, BrokenProcessPool rebuild with a
+  last-chance serial attempt, serial fallback when no pool can be
+  created (``<label>.pool_fallback_total``), resume-journal recording,
+  and submission-order telemetry merge so serial == jobs=N bit-for-bit.
+- :mod:`repro.exec.dag` — a task-DAG scheduler on top of the engine:
+  tasks declare content-address-fingerprinted inputs/outputs and
+  dependencies, the scheduler topo-sorts them so simulation, distance
+  chunks, and model fits from *different* pipeline stages interleave in
+  one ``ProcessPoolExecutor`` instead of stage-by-stage barriers.
+- :mod:`repro.exec.stages` — ready-made DAG builders for the paper's
+  pipeline (corpus simulation → representations → distances → fits).
+
+See ``docs/performance.md`` (execution substrate section) for the DAG
+model, the fingerprint keys, and the shared-memory lifecycle.
+"""
+
+from repro.exec.arrays import ArrayRef, ArrayStore, resolve_refs
+from repro.exec.dag import DagResults, DagTask, Input, run_dag
+from repro.exec.engine import ExecReport, ExecResults, ExecTask, run_tasks
+from repro.exec.journal import append_jsonl, load_jsonl
+
+__all__ = [
+    "ArrayRef",
+    "ArrayStore",
+    "DagResults",
+    "DagTask",
+    "ExecReport",
+    "ExecResults",
+    "ExecTask",
+    "Input",
+    "append_jsonl",
+    "load_jsonl",
+    "resolve_refs",
+    "run_dag",
+    "run_tasks",
+]

@@ -1,0 +1,557 @@
+"""Task-DAG scheduling across pipeline stages, one pool for everything.
+
+The paper's workflow is a pipeline of dependent stages — corpus
+simulation → representations → distance chunks → model fits — and the
+stage-by-stage engines run each behind a barrier: every simulation must
+finish before the first distance pair is computed, every distance
+before the first fit.  :func:`run_dag` removes the barriers: tasks
+declare their dependencies (and, through ``key``, their
+content-address-fingerprinted identity), the scheduler topo-sorts the
+graph, and every task whose inputs are ready runs in **one**
+``ProcessPoolExecutor`` — a distance chunk from stage two interleaves
+with the last simulations of stage one and the first fits of stage
+three.
+
+Semantics are inherited from :mod:`repro.exec.engine` and
+:mod:`repro.workloads.gridexec`:
+
+- determinism — results and merged telemetry are bit-identical at any
+  worker count.  Cache probes happen parent-side in topological order,
+  task bodies are pure, and snapshots are merged in topological order
+  regardless of completion order;
+- per-task :class:`~repro.exec.engine.RetryPolicy` with quarantine on
+  exhaustion; every task *downstream* of a quarantined task is skipped
+  (recorded on the report), never silently wrong;
+- broken pools are rebuilt and their in-flight tasks resubmitted, with
+  a last-chance in-process attempt for tasks whose budget was
+  exhausted by breakage;
+- no pool at all falls back to serial with
+  ``<label>.pool_fallback_total``;
+- a task with a ``cache`` (anything with ``get(key)``/``put(key,
+  value)`` — the corpus/fit caches qualify) is short-circuited when its
+  fingerprint is already stored, and its computed result is persisted
+  on completion; an optional resume ``journal`` records each completed
+  fingerprint;
+- results flagged ``publish=True`` are placed in the run's
+  :class:`~repro.exec.arrays.ArrayStore` and flow to dependents as
+  zero-copy refs instead of pickled matrices.
+
+Dependent payloads reference upstream results with :class:`Input`
+placeholders, substituted parent-side at dispatch time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.exec.arrays import ArrayStore
+from repro.exec.engine import (
+    RetryPolicy,
+    _merge_indexed_snapshots,
+    _shell,
+    _sleep_backoff,
+    as_retry_policy,
+)
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.tracing import get_tracer, span
+from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class Input:
+    """Placeholder in a payload for the result of an upstream task."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class DagTask:
+    """One node of the DAG.
+
+    ``key`` is the task's identity — ideally a content-address
+    fingerprint (corpus/distance/fit cache key) so caching and resume
+    work across runs; any unique string works for uncached tasks.
+    ``fn`` must be module-level with the engine signature
+    ``fn(payload, attempt, in_worker)``; ``payload`` may contain
+    :class:`Input` placeholders and
+    :class:`~repro.exec.arrays.ArrayRef` handles.
+    """
+
+    key: str
+    fn: Callable
+    payload: object = ()
+    deps: tuple = ()
+    task_id: str = ""
+    cache: object = None
+    publish: bool = False
+    validate: Callable | None = None
+
+    @property
+    def name(self) -> str:
+        return self.task_id or self.key
+
+
+@dataclass(frozen=True)
+class DagReport:
+    """What one :func:`run_dag` call actually did."""
+
+    n_tasks: int
+    n_workers: int
+    n_executed: int
+    n_cached: int
+    elapsed_s: float
+    n_retried: int = 0
+    n_quarantined: int = 0
+    n_skipped: int = 0
+    #: ``(task name, reason)`` pairs for tasks that exhausted retries.
+    quarantined: tuple = ()
+    #: Keys skipped because an upstream task was quarantined.
+    skipped: tuple = ()
+    pool_fallbacks: int = 0
+    pool_rebuilds: int = 0
+
+
+class DagResults(dict):
+    """``key -> result`` for every task, carrying the :class:`DagReport`.
+
+    Quarantined and skipped tasks map to ``None``.
+    """
+
+    report: DagReport | None = None
+
+
+def _substitute(obj, shipped: dict):
+    """Replace :class:`Input` placeholders with upstream results."""
+    if isinstance(obj, Input):
+        return shipped[obj.key]
+    if isinstance(obj, tuple):
+        return tuple(_substitute(item, shipped) for item in obj)
+    if isinstance(obj, list):
+        return [_substitute(item, shipped) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _substitute(value, shipped) for key, value in obj.items()}
+    return obj
+
+
+def topo_order(tasks: "list[DagTask]") -> list[str]:
+    """Deterministic topological order (Kahn's, submission order first).
+
+    Validates the graph: duplicate keys, dependencies on unknown keys,
+    and cycles all raise :class:`~repro.exceptions.ValidationError`.
+    """
+    by_key: dict[str, DagTask] = {}
+    for task in tasks:
+        if task.key in by_key:
+            raise ValidationError(f"duplicate DAG task key {task.key!r}")
+        by_key[task.key] = task
+    unmet: dict[str, int] = {}
+    dependents: dict[str, list[str]] = {task.key: [] for task in tasks}
+    for task in tasks:
+        seen: set[str] = set()
+        for dep in task.deps:
+            if dep not in by_key:
+                raise ValidationError(
+                    f"task {task.key!r} depends on unknown key {dep!r}"
+                )
+            if dep in seen:
+                continue
+            seen.add(dep)
+            dependents[dep].append(task.key)
+        unmet[task.key] = len(seen)
+    ready = deque(task.key for task in tasks if unmet[task.key] == 0)
+    order: list[str] = []
+    while ready:
+        key = ready.popleft()
+        order.append(key)
+        for dependent in dependents[key]:
+            unmet[dependent] -= 1
+            if unmet[dependent] == 0:
+                ready.append(dependent)
+    if len(order) != len(tasks):
+        cyclic = sorted(set(by_key) - set(order))
+        raise ValidationError(f"DAG has a cycle involving {cyclic}")
+    return order
+
+
+@dataclass
+class _DagState:
+    """Mutable bookkeeping of one :func:`run_dag` invocation."""
+
+    tasks: dict
+    order: list
+    position: dict
+    dependents: dict
+    unmet: dict
+    retry: RetryPolicy
+    label: str
+    store: "ArrayStore | None"
+    journal: object
+    results: DagResults = field(default_factory=DagResults)
+    shipped: dict = field(default_factory=dict)
+    snapshots: dict = field(default_factory=dict)
+    ready: deque = field(default_factory=deque)
+    resolved: set = field(default_factory=set)
+    quarantined: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    retried: int = 0
+    pool_fallbacks: int = 0
+    pool_rebuilds: int = 0
+    tracing: bool = False
+
+    def complete(self, task: DagTask, result, *, from_cache: bool) -> None:
+        """Record a finished task and unblock its dependents."""
+        self.results[task.key] = result
+        value = result
+        if task.publish and self.store is not None:
+            value = _publish_arrays(result, self.store)
+        self.shipped[task.key] = value
+        self.resolved.add(task.key)
+        if from_cache:
+            self.cached += 1
+        else:
+            self.executed += 1
+            if task.cache is not None:
+                try:
+                    task.cache.put(task.key, result)
+                except Exception as exc:
+                    logger.warning(
+                        "cache write failed for %s: %s", task.name, exc
+                    )
+                    get_metrics().counter(
+                        f"{self.label}.cache_write_errors_total"
+                    ).inc()
+            if self.journal is not None:
+                self.journal.record(task.key, task.task_id)
+        for dependent in self.dependents[task.key]:
+            self.unmet[dependent] -= 1
+            if self.unmet[dependent] == 0:
+                self.ready.append(dependent)
+
+    def fail(self, task: DagTask, exc: BaseException) -> None:
+        """Quarantine ``task`` and skip everything downstream of it."""
+        reason = f"{type(exc).__name__}: {exc}"
+        self.quarantined.append((task.name, reason))
+        get_metrics().counter(f"{self.label}.quarantined_total").inc()
+        logger.error(
+            "DAG task %s quarantined after exhausting retries: %s",
+            task.name, reason,
+        )
+        self._abandon(task.key)
+        queue = deque(self.dependents[task.key])
+        while queue:
+            key = queue.popleft()
+            if key in self.resolved:
+                continue
+            self._abandon(key)
+            self.skipped.append(key)
+            logger.warning(
+                "DAG task %s skipped: upstream %s quarantined",
+                self.tasks[key].name, task.name,
+            )
+            queue.extend(self.dependents[key])
+
+    def _abandon(self, key: str) -> None:
+        self.results[key] = None
+        self.shipped[key] = None
+        self.resolved.add(key)
+
+    def count_retry(self, task: DagTask, attempt: int,
+                    exc: BaseException) -> None:
+        self.retried += 1
+        get_metrics().counter(f"{self.label}.retries_total").inc()
+        logger.warning(
+            "DAG task %s attempt %d failed (%s: %s); retrying",
+            task.name, attempt, type(exc).__name__, exc,
+        )
+
+    def payload_for(self, task: DagTask):
+        return _substitute(task.payload, self.shipped)
+
+    def run_inline(self, task: DagTask, first_attempt: int = 0) -> None:
+        """One task's full retry loop, in-process."""
+        attempt = first_attempt
+        payload = self.payload_for(task)
+        while True:
+            try:
+                result, telemetry = _shell(
+                    task.fn, payload, attempt, False, self.tracing
+                )
+                if task.validate is not None:
+                    task.validate(result)
+            except Exception as exc:
+                attempt += 1
+                if attempt < self.retry.max_attempts:
+                    self.count_retry(task, attempt - 1, exc)
+                    _sleep_backoff(self.retry, attempt - first_attempt)
+                    continue
+                self.fail(task, exc)
+                return
+            self.snapshots[self.position[task.key]] = telemetry
+            self.complete(task, result, from_cache=False)
+            return
+
+
+def _publish_arrays(result, store: ArrayStore):
+    """Swap arrays in a result for store refs (one level into lists)."""
+    if isinstance(result, np.ndarray):
+        return store.put(result)
+    if isinstance(result, (list, tuple)):
+        swapped = [
+            store.put(item) if isinstance(item, np.ndarray) else item
+            for item in result
+        ]
+        return type(result)(swapped) if isinstance(result, tuple) else swapped
+    return result
+
+
+def run_dag(
+    tasks,
+    *,
+    jobs: int | None = None,
+    retry: "RetryPolicy | int | None" = None,
+    label: str = "exec.dag",
+    store: "ArrayStore | None" = None,
+    journal=None,
+) -> DagResults:
+    """Execute a task DAG; returns ``key -> result`` plus a report.
+
+    ``jobs`` follows the repo-wide convention (``None``/``1`` serial,
+    ``0`` one worker per CPU).  ``store`` receives results of tasks
+    flagged ``publish=True`` (the caller owns its lifetime); without a
+    store, published results flow to dependents as ordinary pickled
+    values.  ``journal`` is anything with ``record(key, task_id)``.
+    """
+    tasks = list(tasks)
+    retry = as_retry_policy(retry)
+    order = topo_order(tasks)
+    by_key = {task.key: task for task in tasks}
+    position = {key: index for index, key in enumerate(order)}
+    dependents: dict[str, list[str]] = {key: [] for key in by_key}
+    unmet: dict[str, int] = {}
+    for task in tasks:
+        deps = set(task.deps)
+        unmet[task.key] = len(deps)
+        for dep in deps:
+            dependents[dep].append(task.key)
+    n_workers = resolve_jobs(jobs)
+    state = _DagState(
+        tasks=by_key, order=order, position=position, dependents=dependents,
+        unmet=unmet, retry=retry, label=label, store=store, journal=journal,
+    )
+    state.tracing = get_tracer().enabled
+    metrics = get_metrics()
+    start = time.perf_counter()
+    with span(label, attrs={"tasks": len(tasks), "workers": n_workers}):
+        # Cache probes run parent-side in topological order on every
+        # path, so hit/miss counters are identical at any worker count.
+        # A fingerprint hit completes the task without waiting for its
+        # dependencies — content addressing covers the inputs already.
+        for key in order:
+            task = by_key[key]
+            if task.cache is None:
+                continue
+            cached = task.cache.get(task.key)
+            if cached is not None:
+                state.complete(task, cached, from_cache=True)
+        runnable = [key for key in order if key not in state.resolved]
+        if n_workers > 1 and len(runnable) > 1:
+            _run_dag_parallel(state, n_workers)
+        else:
+            n_workers = 1
+            for key in runnable:
+                if key in state.resolved:
+                    continue  # skipped by an upstream quarantine
+                state.run_inline(by_key[key])
+        _merge_indexed_snapshots(state.snapshots)
+    metrics.counter(f"{label}.tasks_total").inc(len(tasks))
+    results = state.results
+    results.report = DagReport(
+        n_tasks=len(tasks),
+        n_workers=n_workers,
+        n_executed=state.executed,
+        n_cached=state.cached,
+        elapsed_s=time.perf_counter() - start,
+        n_retried=state.retried,
+        n_quarantined=len(state.quarantined),
+        n_skipped=len(state.skipped),
+        quarantined=tuple(state.quarantined),
+        skipped=tuple(sorted(state.skipped, key=position.get)),
+        pool_fallbacks=state.pool_fallbacks,
+        pool_rebuilds=state.pool_rebuilds,
+    )
+    logger.debug(
+        "dag %s: %d tasks, %d workers, %d cached, %d executed, %d retried, "
+        "%d quarantined, %d skipped in %.2fs",
+        label, len(tasks), n_workers, state.cached, state.executed,
+        state.retried, len(state.quarantined), len(state.skipped),
+        results.report.elapsed_s,
+    )
+    return results
+
+
+def _run_dag_parallel(state: _DagState, n_workers: int) -> None:
+    """Event loop: one pool, tasks dispatched the moment deps resolve."""
+    metrics = get_metrics()
+    # Tasks already unblocked by the cache pre-pass, in topo order.
+    pending = deque(
+        (state.tasks[key], 0)
+        for key in state.order
+        if key not in state.resolved and state.unmet[key] == 0
+    )
+    state.ready = deque()
+
+    while pending or state.ready:
+        pending.extend(
+            (state.tasks[key], 0) for key in _drain_ready(state)
+        )
+        if not pending:
+            break
+        try:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        except POOL_UNAVAILABLE_ERRORS as exc:
+            logger.warning(
+                "process pool unavailable (%s); %s falling back to serial",
+                exc, state.label,
+            )
+            state.pool_fallbacks += 1
+            metrics.counter(f"{state.label}.pool_fallback_total").inc()
+            _finish_dag_serial(state, pending)
+            return
+        broken = False
+        futures: dict = {}
+        handled: set = set()
+        requeue: list = []
+        try:
+            try:
+                while pending:
+                    task, attempt = pending.popleft()
+                    futures[pool.submit(
+                        _shell, task.fn, state.payload_for(task), attempt,
+                        True, state.tracing,
+                    )] = (task, attempt)
+            except BrokenExecutor:
+                broken = True
+            outstanding = set(futures)
+            while outstanding and not broken:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    handled.add(future)
+                    task, attempt = futures[future]
+                    try:
+                        result, telemetry = future.result()
+                        if task.validate is not None:
+                            task.validate(result)
+                    except BrokenExecutor:
+                        broken = True
+                        requeue.append((task, attempt + 1))
+                        continue
+                    except Exception as exc:
+                        next_attempt = attempt + 1
+                        if next_attempt < state.retry.max_attempts:
+                            state.count_retry(task, attempt, exc)
+                            _sleep_backoff(state.retry, next_attempt)
+                            try:
+                                new = pool.submit(
+                                    _shell, task.fn,
+                                    state.payload_for(task), next_attempt,
+                                    True, state.tracing,
+                                )
+                            except BrokenExecutor:
+                                broken = True
+                                requeue.append((task, next_attempt))
+                            else:
+                                futures[new] = (task, next_attempt)
+                                outstanding.add(new)
+                        else:
+                            state.fail(task, exc)
+                        continue
+                    state.snapshots[state.position[task.key]] = telemetry
+                    state.complete(task, result, from_cache=False)
+                    # Dispatch anything this completion unblocked into
+                    # the same pool — cross-stage interleaving.
+                    for key in _drain_ready(state):
+                        unblocked = state.tasks[key]
+                        try:
+                            new = pool.submit(
+                                _shell, unblocked.fn,
+                                state.payload_for(unblocked), 0, True,
+                                state.tracing,
+                            )
+                        except BrokenExecutor:
+                            broken = True
+                            requeue.append((unblocked, 1))
+                        else:
+                            futures[new] = (unblocked, 0)
+                            outstanding.add(new)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if broken:
+            state.pool_rebuilds += 1
+            metrics.counter(f"{state.label}.pool_rebuilds_total").inc()
+            for future, item in futures.items():
+                if future in handled:
+                    continue
+                task, attempt = item
+                requeue.append((task, attempt + 1))
+            for task, attempt in requeue:
+                state.retried += 1
+                metrics.counter(f"{state.label}.retries_total").inc()
+                if attempt < state.retry.max_attempts:
+                    pending.append((task, attempt))
+                else:
+                    # Cannot know whether this task killed the pool;
+                    # give it one attributable in-process attempt.
+                    state.run_inline(task, attempt)
+            if pending:
+                logger.warning(
+                    "worker pool broke; rebuilding (%d tasks requeued)",
+                    len(pending),
+                )
+
+
+def _drain_ready(state: _DagState) -> list[str]:
+    """Newly unblocked keys, topo-sorted, minus any already resolved."""
+    keys = [key for key in state.ready if key not in state.resolved]
+    state.ready.clear()
+    keys.sort(key=state.position.get)
+    return keys
+
+
+def _finish_dag_serial(state: _DagState, pending) -> None:
+    """Pool-less fallback: run every remaining task in topo order."""
+    remaining = {task.key for task, _ in pending}
+    first_attempts = {task.key: attempt for task, attempt in pending}
+    while True:
+        remaining.update(key for key in _drain_ready(state))
+        todo = sorted(
+            (key for key in remaining if key not in state.resolved),
+            key=state.position.get,
+        )
+        if not todo:
+            break
+        remaining.clear()
+        for key in todo:
+            if key in state.resolved:
+                continue
+            state.run_inline(
+                state.tasks[key], first_attempts.get(key, 0)
+            )

@@ -1,0 +1,443 @@
+"""One task engine behind every parallel stage of the pipeline.
+
+Historically each stage grew its own executor — gridexec (the richest:
+retry, quarantine, broken-pool rebuild, resume journal), fitexec,
+distance-matrix chunks, and forest tree batches (each a bare
+submit-and-consume loop with a serial fallback).  :func:`run_tasks` is
+the single engine all four now share, generalized from the gridexec
+semantics so every stage gets the full treatment:
+
+- every task gets up to :attr:`RetryPolicy.max_attempts` attempts with
+  capped exponential backoff;
+- exhausted tasks are **quarantined** (``on_error="quarantine"``:
+  recorded on the report with ``None`` at their result position) or
+  **fatal** (``on_error="raise"``: the error propagates, as the
+  fit/distance/forest engines have always behaved);
+- a dead worker (broken pool) triggers a pool rebuild and resubmission,
+  with one final attributable serial attempt before giving up on tasks
+  whose budget was exhausted *by breakage*;
+- when no pool can be created at all
+  (:data:`~repro.utils.parallel.POOL_UNAVAILABLE_ERRORS`), execution
+  falls back to serial with a warning and one increment of
+  ``<label>.pool_fallback_total`` — identical behavior and metric
+  across every engine (this used to differ between gridexec and
+  fitexec);
+- task payloads may contain :class:`~repro.exec.arrays.ArrayRef`
+  handles; the worker shell resolves them against shared memory before
+  the task body runs, on the serial and parallel paths alike.
+
+The determinism contract is inherited unchanged: task functions are
+pure, every task runs under
+:func:`~repro.obs.telemetry.capture_telemetry` on both paths, and the
+parent merges snapshots in task-index (submission) order — so results
+*and* merged telemetry are bit-identical at any worker count.
+
+A task function must be module-level (picklable) with the signature
+``fn(payload, attempt, in_worker)``; ``payload`` arrives with refs
+already resolved.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ValidationError
+from repro.exec.arrays import resolve_refs
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+from repro.obs.telemetry import capture_telemetry, merge_snapshot
+from repro.obs.tracing import get_tracer
+from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
+
+logger = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry budget with capped exponential backoff.
+
+    ``max_attempts`` counts attempts, not retries: the default of 3
+    means one initial attempt plus up to two retries.  The ``n``-th
+    retry sleeps ``min(backoff_cap_s, backoff_base_s * 2**(n-1))``;
+    a zero base disables sleeping entirely (what tests use).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 5.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValidationError("backoff durations must be >= 0")
+
+    def delay_s(self, retry_number: int) -> float:
+        """Seconds to sleep before retry ``retry_number`` (1-based)."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * 2 ** (max(retry_number, 1) - 1),
+        )
+
+
+def as_retry_policy(retry: "RetryPolicy | int | None") -> RetryPolicy:
+    """Normalize a retry argument: ``None``, an attempt count, or a policy."""
+    if retry is None:
+        return RetryPolicy()
+    if isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, int):
+        return RetryPolicy(max_attempts=retry)
+    raise TypeError(
+        "retry must be None, an int, or a RetryPolicy, "
+        f"got {type(retry).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class ExecTask:
+    """One schedulable unit: a picklable function and its payload.
+
+    ``index`` is the task's submission position — the order results are
+    returned and telemetry snapshots are merged in.  ``key`` is an
+    optional content-address fingerprint (corpus/distance/fit cache
+    key) used by callers for journaling and cache short-circuits;
+    ``task_id`` names the task in logs and quarantine records.
+    """
+
+    index: int
+    fn: Callable
+    payload: object = ()
+    key: str | None = None
+    task_id: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.task_id or f"task-{self.index}"
+
+
+@dataclass(frozen=True)
+class ExecReport:
+    """What one :func:`run_tasks` call actually did."""
+
+    n_tasks: int
+    n_workers: int
+    n_executed: int
+    elapsed_s: float
+    n_retried: int = 0
+    n_quarantined: int = 0
+    #: ``(task_id, reason)`` pairs for tasks that exhausted their retries.
+    quarantined: tuple = ()
+    pool_fallbacks: int = 0
+    pool_rebuilds: int = 0
+
+
+class ExecResults(list):
+    """Results in task-index order, carrying the :class:`ExecReport`.
+
+    Positions of quarantined tasks hold ``None``.
+    """
+
+    report: ExecReport | None = None
+
+
+def _shell(fn, payload, attempt, in_worker, tracing):
+    """The unit shipped to workers (and called in-process when serial).
+
+    Resolves shared-memory refs in the payload, then runs the task body
+    under telemetry capture; returns ``(result, TelemetrySnapshot)``.
+    """
+    payload = resolve_refs(payload)
+    return capture_telemetry(fn, payload, attempt, in_worker, tracing=tracing)
+
+
+class _Run:
+    """Mutable state of one :func:`run_tasks` invocation."""
+
+    def __init__(self, results, retry, label, on_error, validate,
+                 on_result, after_task, journal):
+        self.results = results
+        self.retry = retry
+        self.label = label
+        self.on_error = on_error
+        self.validate = validate
+        self.on_result = on_result
+        self.after_task = after_task
+        self.journal = journal
+        self.executed = 0
+        self.retried = 0
+        self.quarantined: list = []
+        self.pool_fallbacks = 0
+        self.pool_rebuilds = 0
+        self.tracing = get_tracer().enabled
+
+    def accept(self, task: ExecTask, attempt: int, result) -> None:
+        """Bookkeeping for an accepted attempt (telemetry already held)."""
+        if self.on_result is not None:
+            self.on_result(task, attempt, result)
+        if self.journal is not None and task.key is not None:
+            self.journal.record(task.key, task.task_id)
+        self.results[task.index] = result
+        self.executed += 1
+        if self.after_task is not None:
+            self.after_task(task)
+
+    def count_retry(self, task: ExecTask, attempt: int,
+                    exc: BaseException) -> None:
+        self.retried += 1
+        get_metrics().counter(f"{self.label}.retries_total").inc()
+        logger.warning(
+            "task %s attempt %d failed (%s: %s); retrying",
+            task.name, attempt, type(exc).__name__, exc,
+        )
+
+    def give_up(self, task: ExecTask, exc: BaseException) -> None:
+        """Quarantine or raise, per ``on_error``."""
+        if self.on_error == "raise":
+            raise exc
+        reason = f"{type(exc).__name__}: {exc}"
+        self.quarantined.append((task.task_id or task.name, reason))
+        get_metrics().counter(f"{self.label}.quarantined_total").inc()
+        logger.error(
+            "task %s quarantined after exhausting retries: %s",
+            task.name, reason,
+        )
+
+
+def _sleep_backoff(retry: RetryPolicy, retry_number: int) -> None:
+    delay = retry.delay_s(retry_number)
+    if delay > 0:
+        time.sleep(delay)
+
+
+def _merge_indexed_snapshots(snapshots: dict) -> None:
+    """Merge collected worker snapshots in task-index order."""
+    for index in sorted(snapshots):
+        merge_snapshot(snapshots[index])
+    snapshots.clear()
+
+
+def _run_serial(run: _Run, items, retry: RetryPolicy) -> None:
+    """Run ``(task, first_attempt)`` items in-process."""
+    for task, first_attempt in items:
+        attempt = first_attempt
+        while True:
+            try:
+                result, telemetry = _shell(
+                    task.fn, task.payload, attempt, False, run.tracing
+                )
+                if run.validate is not None:
+                    run.validate(result)
+            except Exception as exc:
+                attempt += 1
+                if attempt < retry.max_attempts:
+                    run.count_retry(task, attempt - 1, exc)
+                    _sleep_backoff(retry, attempt - first_attempt)
+                    continue
+                run.give_up(task, exc)
+                break
+            # Telemetry is merged only for accepted attempts, right when
+            # the result is accepted — index order, same as parallel.
+            merge_snapshot(telemetry)
+            run.accept(task, attempt, result)
+            break
+
+
+def _run_parallel(run: _Run, tasks, n_workers: int) -> None:
+    """Fan tasks out over a process pool (full gridexec semantics).
+
+    The pool is rebuilt when a worker dies (the pool object is unusable
+    after a ``BrokenProcessPool``); unfinished tasks are resubmitted
+    with an incremented attempt.  Because pool breakage cannot be
+    attributed to a single task, tasks whose attempts are exhausted *by
+    breakage* get one final serial attempt — in-process, where a
+    crashing task can be identified — before quarantine.  If no pool
+    can be created at all, everything runs serially with a warning and
+    one ``<label>.pool_fallback_total`` increment.
+    """
+    retry = run.retry
+    queue = [(task, 0) for task in tasks]
+    last_chance: list = []  # exhausted by pool breakage; retried serially
+    #: Snapshot of the accepted attempt per task index; merged in index
+    #: order at the end so telemetry matches a serial run regardless of
+    #: the order futures completed in.
+    snapshots: dict[int, object] = {}
+
+    while queue:
+        try:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        except POOL_UNAVAILABLE_ERRORS as exc:
+            logger.warning(
+                "process pool unavailable (%s); %s falling back to serial",
+                exc, run.label,
+            )
+            run.pool_fallbacks += 1
+            get_metrics().counter(f"{run.label}.pool_fallback_total").inc()
+            _merge_indexed_snapshots(snapshots)
+            _run_serial(run, queue, retry)
+            return
+        broken = False
+        futures: dict = {}
+        handled: set = set()
+        requeue: list = []
+        try:
+            try:
+                for item in queue:
+                    task, attempt = item
+                    futures[pool.submit(
+                        _shell, task.fn, task.payload, attempt, True,
+                        run.tracing,
+                    )] = item
+            except BrokenExecutor:
+                broken = True
+            queue = []
+            outstanding = set(futures)
+            while outstanding and not broken:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    handled.add(future)
+                    task, attempt = futures[future]
+                    try:
+                        result, telemetry = future.result()
+                        if run.validate is not None:
+                            run.validate(result)
+                    except BrokenExecutor:
+                        # The worker executing *some* task died; this
+                        # future is collateral.  Requeue and rebuild.
+                        broken = True
+                        requeue.append((task, attempt + 1))
+                        continue
+                    except Exception as exc:
+                        next_attempt = attempt + 1
+                        if next_attempt < retry.max_attempts:
+                            run.count_retry(task, attempt, exc)
+                            _sleep_backoff(retry, next_attempt)
+                            try:
+                                new = pool.submit(
+                                    _shell, task.fn, task.payload,
+                                    next_attempt, True, run.tracing,
+                                )
+                            except BrokenExecutor:
+                                broken = True
+                                requeue.append((task, next_attempt))
+                            else:
+                                futures[new] = (task, next_attempt)
+                                outstanding.add(new)
+                        else:
+                            if run.on_error == "raise":
+                                # The error will propagate: flush the
+                                # held snapshots first so completed
+                                # tasks keep their telemetry.
+                                _merge_indexed_snapshots(snapshots)
+                            run.give_up(task, exc)
+                        continue
+                    # Worker-side metric/span increments come back in
+                    # the snapshot; hold it for the index-ordered merge.
+                    snapshots[task.index] = telemetry
+                    run.accept(task, attempt, result)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if broken:
+            run.pool_rebuilds += 1
+            get_metrics().counter(f"{run.label}.pool_rebuilds_total").inc()
+            for future, item in futures.items():
+                if future in handled:
+                    continue
+                task, attempt = item
+                requeue.append((task, attempt + 1))
+            for task, attempt in requeue:
+                run.retried += 1
+                get_metrics().counter(f"{run.label}.retries_total").inc()
+                if attempt < retry.max_attempts:
+                    queue.append((task, attempt))
+                else:
+                    # Cannot know whether this task killed the pool;
+                    # give it one attributable in-process attempt.
+                    last_chance.append((task, attempt))
+            if queue or last_chance:
+                logger.warning(
+                    "worker pool broke; rebuilding (%d tasks requeued, "
+                    "%d falling back to serial)",
+                    len(queue), len(last_chance),
+                )
+
+    _merge_indexed_snapshots(snapshots)
+    if last_chance:
+        final_policy = RetryPolicy(
+            max_attempts=max(attempt for _, attempt in last_chance) + 1,
+            backoff_base_s=0.0,
+        )
+        _run_serial(run, last_chance, final_policy)
+
+
+def run_tasks(
+    tasks,
+    *,
+    jobs: int | None = None,
+    retry: "RetryPolicy | int | None" = None,
+    label: str = "exec",
+    on_error: str = "raise",
+    validate: Callable | None = None,
+    on_result: Callable | None = None,
+    after_task: Callable | None = None,
+    journal=None,
+) -> ExecResults:
+    """Run every task and return results in task-index order.
+
+    ``jobs`` follows the repo-wide convention (``None``/``1`` serial,
+    ``0`` one worker per CPU).  ``validate`` runs on each result inside
+    the retry loop (a validation failure consumes an attempt, exactly
+    like a task exception).  ``on_result(task, attempt, result)`` runs
+    on the parent for each accepted result *before* it is recorded
+    (cache writes); ``after_task(task)`` runs after.  ``journal`` is
+    anything with ``record(key, task_id)`` — each accepted task with a
+    ``key`` is journaled between ``on_result`` and ``after_task``.
+
+    ``on_error="raise"`` propagates the first exhausted failure;
+    ``"quarantine"`` records it on the report with ``None`` at the
+    task's result position.
+    """
+    tasks = list(tasks)
+    retry = as_retry_policy(retry)
+    if on_error not in ("raise", "quarantine"):
+        raise ValidationError(
+            f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+        )
+    n_workers = resolve_jobs(jobs)
+    results = ExecResults([None] * len(tasks))
+    run = _Run(
+        results, retry, label, on_error, validate, on_result, after_task,
+        journal,
+    )
+    start = time.perf_counter()
+    if n_workers > 1 and len(tasks) > 1:
+        _run_parallel(run, tasks, n_workers)
+    else:
+        n_workers = 1
+        _run_serial(run, [(task, 0) for task in tasks], retry)
+    results.report = ExecReport(
+        n_tasks=len(tasks),
+        n_workers=n_workers,
+        n_executed=run.executed,
+        elapsed_s=time.perf_counter() - start,
+        n_retried=run.retried,
+        n_quarantined=len(run.quarantined),
+        quarantined=tuple(run.quarantined),
+        pool_fallbacks=run.pool_fallbacks,
+        pool_rebuilds=run.pool_rebuilds,
+    )
+    return results

@@ -1,0 +1,105 @@
+"""The repo-wide JSONL append/load discipline, factored into one place.
+
+Four components persist append-only JSONL — the gridexec
+:class:`~repro.workloads.gridexec.ResumeJournal`, the
+:class:`~repro.ml.fitexec.FitCache`, the
+:class:`~repro.similarity.distcache.DistanceCache`, and the
+:class:`~repro.obs.ledger.RunLedger` — and each used to carry its own
+copy of the same two rituals:
+
+- **append**: heal a torn tail (a SIGKILL mid-append leaves the file
+  without a trailing newline; appending blindly would corrupt *two*
+  rows), then write the new line.
+- **load**: parse line by line, skip and count torn/corrupt lines,
+  never fail.
+
+This module is the single implementation both rituals now share, with
+one upgrade over the historical copies: :func:`append_jsonl` composes
+the healing newline and the row into **one** ``write()`` on an
+``O_APPEND`` descriptor.  POSIX serializes each append-mode write, so
+two *processes* appending to the same file concurrently can interleave
+whole rows but never bytes inside a row — the torn-tail healer used to
+assume a single writer, and interleaved partial writes from a second
+process could shred both rows (``tests/exec/test_journal.py`` drives
+multiple writer processes against one file to pin this down).  The
+worst a concurrent duplicate heal can inject is an empty line, which
+every loader skips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.logging import get_logger
+
+logger = get_logger(__name__)
+
+
+def _needs_heal(path: Path) -> bool:
+    """Whether the file ends mid-line (torn tail from an earlier kill)."""
+    try:
+        with path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return False
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+    except FileNotFoundError:
+        return False
+
+
+def append_jsonl(path: str | Path, row: dict, *, sort_keys: bool = False,
+                 label: str = "journal") -> bool:
+    """Append one JSON row to ``path``, healing a torn tail first.
+
+    The heal prefix and the row are emitted as a single append-mode
+    write, so concurrent writer processes cannot interleave inside a
+    row.  Failures are logged under ``label`` and swallowed — every
+    caller treats its JSONL as an optimization or accounting aid, never
+    a correctness requirement.  Returns whether the append happened.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(row, sort_keys=sort_keys) + "\n"
+        data = line.encode("utf-8")
+        if _needs_heal(path):
+            data = b"\n" + data
+        with path.open("ab") as handle:
+            handle.write(data)
+            handle.flush()
+    except OSError as exc:
+        logger.warning("cannot append to %s %s: %s", label, path, exc)
+        return False
+    return True
+
+
+def load_jsonl(path: str | Path, *,
+               label: str = "journal") -> tuple[list, int]:
+    """Parse every line of ``path``; returns ``(rows, n_corrupt)``.
+
+    Torn or otherwise unparseable lines are counted, not fatal — the
+    caller decides whether to publish the count as a metric.  A missing
+    or unreadable file is an empty journal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        logger.warning("cannot read %s %s: %s", label, path, exc)
+        return [], 0
+    rows: list = []
+    corrupt = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            corrupt += 1
+    return rows, corrupt

@@ -32,18 +32,17 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import os
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.exec.engine import ExecTask, run_tasks
+from repro.exec.journal import append_jsonl, load_jsonl
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.telemetry import capture_telemetry, merge_snapshot
-from repro.obs.tracing import get_tracer, span
-from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
+from repro.obs.tracing import span
+from repro.utils.parallel import resolve_jobs
 
 logger = get_logger(__name__)
 
@@ -134,23 +133,8 @@ class FitCache:
         return len(self._entries)
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
-        try:
-            lines = self.path.read_text().splitlines()
-        except OSError as exc:
-            logger.warning("cannot read fit cache %s: %s", self.path, exc)
-            return
-        corrupt = 0
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                corrupt += 1
-                continue
+        entries, corrupt = load_jsonl(self.path, label="fit cache")
+        for entry in entries:
             key = entry.get("key") if isinstance(entry, dict) else None
             value = entry.get("value") if isinstance(entry, dict) else None
             if isinstance(key, str) and _all_finite(value):
@@ -185,19 +169,8 @@ class FitCache:
         if key in self._entries:
             return
         self._entries[key] = value
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            line = json.dumps({"key": key, "value": value}) + "\n"
-            with self.path.open("a+b") as handle:
-                handle.seek(0, os.SEEK_END)
-                if handle.tell():
-                    handle.seek(-1, os.SEEK_END)
-                    if handle.read(1) != b"\n":
-                        handle.write(b"\n")
-                handle.write(line.encode("utf-8"))
-                handle.flush()
-        except OSError as exc:
-            logger.warning("cannot append to fit cache %s: %s", self.path, exc)
+        append_jsonl(self.path, {"key": key, "value": value},
+                     label="fit cache")
 
     def clear(self) -> None:
         """Drop every entry, in memory and on disk."""
@@ -236,13 +209,10 @@ def _unit_body(worker: Callable, unit, index: int, label: str):
         return worker(unit)
 
 
-def _run_unit_captured(
-    worker: Callable, unit, index: int, label: str, tracing: bool
-):
-    """One unit under telemetry capture; the wrapper shipped to workers."""
-    return capture_telemetry(
-        _unit_body, worker, unit, index, label, tracing=tracing
-    )
+def _fit_unit(payload, attempt: int, in_worker: bool):
+    """Engine adapter: unpack one ``(worker, unit, index, label)`` unit."""
+    worker, unit, index, label = payload
+    return _unit_body(worker, unit, index, label)
 
 
 def run_units(
@@ -256,10 +226,15 @@ def run_units(
 
     ``worker`` must be a module-level (picklable) function taking one
     unit.  ``jobs`` follows the repo-wide convention (``None``/``1``
-    serial, ``0`` one worker per CPU); when no pool can be created the
-    units run serially with a warning.  The exact same worker function
-    runs on both paths, which is what makes parallel output bit-identical
-    to serial.
+    serial, ``0`` one worker per CPU).  Execution rides on the shared
+    :func:`repro.exec.engine.run_tasks` engine: a unit failure
+    propagates (``on_error="raise"``, no retry budget — a fit error is
+    a bug, not a transient), a dead worker rebuilds the pool and the
+    unit gets one attributable in-process attempt, and when no pool can
+    be created the units run serially with a warning and one
+    ``ml.fitexec.pool_fallback_total`` increment.  The exact same
+    worker function runs on both paths, which is what makes parallel
+    output bit-identical to serial.
 
     Every unit runs under :func:`repro.obs.telemetry.capture_telemetry`
     and its snapshot is merged back **in submission order** (the order
@@ -269,41 +244,24 @@ def run_units(
     """
     units = list(units)
     n_workers = resolve_jobs(jobs)
-    tracing = get_tracer().enabled
     with span(
         "ml.fitexec",
         attrs={"label": label, "n_units": len(units), "workers": n_workers},
     ):
-        if n_workers > 1 and len(units) > 1:
-            try:
-                pool = ProcessPoolExecutor(max_workers=n_workers)
-            except POOL_UNAVAILABLE_ERRORS as exc:
-                logger.warning(
-                    "process pool unavailable (%s); evaluating %s "
-                    "units serially",
-                    exc,
-                    label,
-                )
-            else:
-                with pool:
-                    futures = [
-                        pool.submit(
-                            _run_unit_captured, worker, unit, index,
-                            label, tracing,
-                        )
-                        for index, unit in enumerate(units)
-                    ]
-                    outputs = []
-                    for future in futures:
-                        result, telemetry = future.result()
-                        merge_snapshot(telemetry)
-                        outputs.append(result)
-                    return outputs
-        outputs = []
-        for index, unit in enumerate(units):
-            result, telemetry = _run_unit_captured(
-                worker, unit, index, label, tracing
+        return list(
+            run_tasks(
+                [
+                    ExecTask(
+                        index=index,
+                        fn=_fit_unit,
+                        payload=(worker, unit, index, label),
+                        task_id=f"{label}[{index}]",
+                    )
+                    for index, unit in enumerate(units)
+                ],
+                jobs=jobs,
+                retry=1,
+                label="ml.fitexec",
+                on_error="raise",
             )
-            merge_snapshot(telemetry)
-            outputs.append(result)
-        return outputs
+        )

@@ -4,7 +4,10 @@ The embedded feature-selection strategy of Section 4.1.2 reads the
 forest-averaged impurity importances (``feature_importances_``).
 
 ``fit`` accepts ``jobs`` (constructor parameter) to fan per-tree builds
-out over a ``ProcessPoolExecutor``.  Parallel fits are **bit-identical**
+out over the shared :func:`repro.exec.engine.run_tasks` engine, with
+the training matrix published once into shared memory
+(:class:`repro.exec.arrays.ArrayStore`) instead of pickled per batch.
+Parallel fits are **bit-identical**
 to serial ones: the parent draws every bootstrap sample from the
 pre-spawned per-tree generators *before* dispatch — preserving the
 serial draw order — and ships each (sample, mutated generator) pair to
@@ -16,18 +19,17 @@ importances, and predictions.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.exec.arrays import ArrayStore, arrays_enabled
+from repro.exec.engine import ExecTask, run_tasks
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.telemetry import capture_telemetry, merge_snapshot
-from repro.obs.tracing import get_tracer, span
-from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
+from repro.obs.tracing import span
+from repro.utils.parallel import resolve_jobs
 from repro.utils.rng import RandomState, spawn_generators
 from repro.utils.validation import check_2d, check_consistent_length, check_positive_int
 
@@ -82,20 +84,11 @@ def _fit_tree_batch_body(
         return _fit_tree_batch(tree_cls, tree_params, X, y, samples, rngs)
 
 
-def _fit_tree_batch_captured(
-    tree_cls, tree_params, X, y, samples, rngs, batch_index, tracing
-):
-    """One tree batch under telemetry capture; shipped to pool workers."""
-    return capture_telemetry(
-        _fit_tree_batch_body,
-        tree_cls,
-        tree_params,
-        X,
-        y,
-        samples,
-        rngs,
-        batch_index,
-        tracing=tracing,
+def _tree_batch_unit(payload, attempt: int, in_worker: bool):
+    """Engine adapter: one tree batch, X/y shared-memory refs resolved."""
+    tree_cls, tree_params, X, y, samples, rngs, batch_index = payload
+    return _fit_tree_batch_body(
+        tree_cls, tree_params, X, y, samples, rngs, batch_index
     )
 
 
@@ -148,66 +141,64 @@ class _BaseForest(BaseEstimator):
             )
             if batch.size
         ]
-        tracing = get_tracer().enabled
         with span(
             "ml.forest.fit",
             attrs={"n_estimators": self.n_estimators, "workers": n_workers},
         ):
             self._dispatch_batches(
                 X, y, tree_cls, tree_params, samples, generators,
-                batches, n_workers, tracing,
+                batches, n_workers,
             )
         get_metrics().counter("ml.trees_fit_total").inc(self.n_estimators)
 
     def _dispatch_batches(
         self, X, y, tree_cls, tree_params, samples, generators,
-        batches, n_workers, tracing,
+        batches, n_workers,
     ) -> None:
-        self.estimators_ = None
-        if n_workers > 1:
-            try:
-                pool = ProcessPoolExecutor(max_workers=n_workers)
-            except POOL_UNAVAILABLE_ERRORS as exc:
-                logger.warning(
-                    "process pool unavailable (%s); fitting trees serially",
-                    exc,
-                )
+        # On the parallel path X and y are published once into shared
+        # memory and every batch ships refs, so workers stop receiving a
+        # pickled copy of the training matrix per batch.
+        store = (
+            ArrayStore()
+            if n_workers > 1 and len(batches) > 1 and arrays_enabled()
+            else None
+        )
+        try:
+            if store is not None:
+                X_ship = store.put(np.ascontiguousarray(X))
+                y_ship = store.put(np.ascontiguousarray(y))
             else:
-                with pool:
-                    futures = [
-                        pool.submit(
-                            _fit_tree_batch_captured,
-                            tree_cls,
-                            tree_params,
-                            X,
-                            y,
-                            [samples[i] for i in batch],
-                            [generators[i] for i in batch],
-                            index,
-                            tracing,
-                        )
-                        for index, batch in enumerate(batches)
-                    ]
-                    self.estimators_ = []
-                    for future in futures:
-                        trees, telemetry = future.result()
-                        merge_snapshot(telemetry)
-                        self.estimators_.extend(trees)
-        if self.estimators_ is None:
-            self.estimators_ = []
-            for index, batch in enumerate(batches):
-                trees, telemetry = _fit_tree_batch_captured(
-                    tree_cls,
-                    tree_params,
-                    X,
-                    y,
-                    [samples[i] for i in batch],
-                    [generators[i] for i in batch],
-                    index,
-                    tracing,
+                X_ship, y_ship = X, y
+            tasks = [
+                ExecTask(
+                    index=index,
+                    fn=_tree_batch_unit,
+                    payload=(
+                        tree_cls,
+                        tree_params,
+                        X_ship,
+                        y_ship,
+                        [samples[i] for i in batch],
+                        [generators[i] for i in batch],
+                        index,
+                    ),
+                    task_id=f"tree-batch-{index}",
                 )
-                merge_snapshot(telemetry)
-                self.estimators_.extend(trees)
+                for index, batch in enumerate(batches)
+            ]
+            outputs = run_tasks(
+                tasks,
+                jobs=n_workers,
+                retry=1,
+                label="ml.forest",
+                on_error="raise",
+            )
+            self.estimators_ = [
+                tree for trees in outputs for tree in trees
+            ]
+        finally:
+            if store is not None:
+                store.close()
 
     @property
     def feature_importances_(self) -> np.ndarray:

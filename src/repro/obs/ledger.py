@@ -37,11 +37,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import platform
 import time
 from pathlib import Path
 
+from repro.exec.journal import append_jsonl, load_jsonl
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
 
@@ -211,19 +211,7 @@ class RunLedger:
         is terminated before the new row is written.  Failures are logged
         and swallowed — the ledger is observability, not correctness.
         """
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            line = json.dumps(row, sort_keys=True) + "\n"
-            with self.path.open("a+b") as handle:
-                handle.seek(0, os.SEEK_END)
-                if handle.tell():
-                    handle.seek(-1, os.SEEK_END)
-                    if handle.read(1) != b"\n":
-                        handle.write(b"\n")
-                handle.write(line.encode("utf-8"))
-                handle.flush()
-        except OSError as exc:
-            logger.warning("cannot append to ledger %s: %s", self.path, exc)
+        append_jsonl(self.path, row, sort_keys=True, label="ledger")
 
     def rows(self) -> list[dict]:
         """Every readable row, oldest first.
@@ -231,24 +219,9 @@ class RunLedger:
         Corrupt lines (torn tails, truncated writes) are counted into
         ``ledger.corrupt_total`` and skipped, never fatal.
         """
-        if not self.path.exists():
-            return []
-        try:
-            lines = self.path.read_text().splitlines()
-        except OSError as exc:
-            logger.warning("cannot read ledger %s: %s", self.path, exc)
-            return []
+        entries, corrupt = load_jsonl(self.path, label="ledger")
         rows: list[dict] = []
-        corrupt = 0
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError:
-                corrupt += 1
-                continue
+        for row in entries:
             if isinstance(row, dict) and "ledger_version" in row:
                 rows.append(row)
             else:

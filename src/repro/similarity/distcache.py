@@ -20,11 +20,11 @@ entries are simply never addressed again.
 Storage
 -------
 One append-only JSONL file (``distances.jsonl``) per cache directory:
-``{"key": ..., "value": ...}`` per line.  Appends follow the
-:class:`~repro.workloads.gridexec.ResumeJournal` discipline — heal a
-torn tail before appending, tolerate torn/corrupt lines on load — so a
-killed sweep leaves a usable cache.  Corrupt or non-finite entries are
-treated as misses, never as errors.
+``{"key": ..., "value": ...}`` per line.  Appends and loads go through
+:mod:`repro.exec.journal` — heal a torn tail before appending, write
+each row atomically on an append-mode descriptor, tolerate torn/corrupt
+lines on load — so a killed sweep leaves a usable cache.  Corrupt or
+non-finite entries are treated as misses, never as errors.
 """
 
 from __future__ import annotations
@@ -32,11 +32,11 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import os
 from pathlib import Path
 
 import numpy as np
 
+from repro.exec.journal import append_jsonl, load_jsonl
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
 
@@ -91,23 +91,8 @@ class DistanceCache:
         return len(self._entries)
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
-        try:
-            lines = self.path.read_text().splitlines()
-        except OSError as exc:
-            logger.warning("cannot read distance cache %s: %s", self.path, exc)
-            return
-        corrupt = 0
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                corrupt += 1
-                continue
+        entries, corrupt = load_jsonl(self.path, label="distance cache")
+        for entry in entries:
             key = entry.get("key") if isinstance(entry, dict) else None
             value = entry.get("value") if isinstance(entry, dict) else None
             if (
@@ -149,21 +134,9 @@ class DistanceCache:
         if key in self._entries:
             return
         self._entries[key] = value
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            line = json.dumps({"key": key, "value": value}) + "\n"
-            with self.path.open("a+b") as handle:
-                handle.seek(0, os.SEEK_END)
-                if handle.tell():
-                    handle.seek(-1, os.SEEK_END)
-                    if handle.read(1) != b"\n":
-                        handle.write(b"\n")
-                handle.write(line.encode("utf-8"))
-                handle.flush()
-        except OSError as exc:
-            logger.warning(
-                "cannot append to distance cache %s: %s", self.path, exc
-            )
+        append_jsonl(
+            self.path, {"key": key, "value": value}, label="distance cache"
+        )
 
     def clear(self) -> None:
         """Drop every entry, in memory and on disk."""

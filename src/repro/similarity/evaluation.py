@@ -15,17 +15,17 @@ from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.exec.arrays import ArrayStore, arrays_enabled
+from repro.exec.engine import ExecTask, run_tasks
 from repro.ml.metrics import mean_average_precision, ndcg
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.telemetry import capture_telemetry, merge_snapshot
-from repro.obs.tracing import get_tracer, span
+from repro.obs.tracing import span
 from repro.similarity.distcache import (
     DistanceCache,
     as_distance_cache,
@@ -35,11 +35,7 @@ from repro.similarity.distcache import (
 from repro.similarity.dtw import _dtw_from_cost, batch_dependent_costs
 from repro.similarity.measures import MeasureSpec, _dtw_dependent
 from repro.similarity.representations import RepresentationBuilder
-from repro.utils.parallel import (
-    POOL_UNAVAILABLE_ERRORS,
-    chunk_bounds,
-    resolve_jobs,
-)
+from repro.utils.parallel import chunk_bounds, resolve_jobs
 
 logger = get_logger(__name__)
 
@@ -140,22 +136,10 @@ def _pair_chunk_body(
         return _compute_pair_chunk(sub_matrices, local_pairs, measure)
 
 
-def _compute_pair_chunk_captured(
-    sub_matrices: list[np.ndarray],
-    local_pairs: list[tuple[int, int]],
-    measure: MeasureSpec,
-    chunk_index: int,
-    tracing: bool,
-):
-    """One chunk under telemetry capture; the wrapper shipped to workers."""
-    return capture_telemetry(
-        _pair_chunk_body,
-        sub_matrices,
-        local_pairs,
-        measure,
-        chunk_index,
-        tracing=tracing,
-    )
+def _pair_chunk_unit(payload, attempt: int, in_worker: bool):
+    """Engine adapter: one pair chunk, shared-memory refs pre-resolved."""
+    sub_matrices, local_pairs, measure, chunk_index = payload
+    return _pair_chunk_body(sub_matrices, local_pairs, measure, chunk_index)
 
 
 def _chunk_payload(
@@ -247,48 +231,49 @@ def _run_pair_chunks(
     measure: MeasureSpec,
     n_workers: int,
 ) -> list[tuple[list[float], list[float]]]:
-    """Run pair chunks serially or over a pool; results in chunk order.
+    """Run pair chunks on the shared engine; results in chunk order.
 
     Each chunk runs under telemetry capture and its snapshot is merged
     back in chunk order on both paths, so spans recorded inside workers
-    match a serial run exactly.
+    match a serial run exactly.  On the parallel path the matrices are
+    published once into a shared-memory
+    :class:`~repro.exec.arrays.ArrayStore` and chunks ship content
+    refs, so fan-out no longer pickles a copy of each referenced
+    matrix per chunk.
     """
-    tracing = get_tracer().enabled
-    if n_workers > 1 and len(chunks) > 1:
-        try:
-            pool = ProcessPoolExecutor(max_workers=n_workers)
-        except POOL_UNAVAILABLE_ERRORS as exc:
-            logger.warning(
-                "process pool unavailable (%s); computing distances "
-                "serially",
-                exc,
-            )
+    store = (
+        ArrayStore()
+        if n_workers > 1 and len(chunks) > 1 and arrays_enabled()
+        else None
+    )
+    try:
+        if store is not None:
+            shipped = [store.put(matrix) for matrix in matrices]
         else:
-            with pool:
-                futures = [
-                    pool.submit(
-                        _compute_pair_chunk_captured,
-                        *_chunk_payload(matrices, chunk),
-                        measure,
-                        index,
-                        tracing,
-                    )
-                    for index, chunk in enumerate(chunks)
-                ]
-                outputs = []
-                for future in futures:
-                    result, telemetry = future.result()
-                    merge_snapshot(telemetry)
-                    outputs.append(result)
-                return outputs
-    outputs = []
-    for index, chunk in enumerate(chunks):
-        result, telemetry = _compute_pair_chunk_captured(
-            *_chunk_payload(matrices, chunk), measure, index, tracing
+            shipped = matrices
+        tasks = []
+        for index, chunk in enumerate(chunks):
+            sub, local_pairs = _chunk_payload(shipped, chunk)
+            tasks.append(
+                ExecTask(
+                    index=index,
+                    fn=_pair_chunk_unit,
+                    payload=(sub, local_pairs, measure, index),
+                    task_id=f"{measure.name}-chunk-{index}",
+                )
+            )
+        return list(
+            run_tasks(
+                tasks,
+                jobs=n_workers,
+                retry=1,
+                label="similarity",
+                on_error="raise",
+            )
         )
-        merge_snapshot(telemetry)
-        outputs.append(result)
-    return outputs
+    finally:
+        if store is not None:
+            store.close()
 
 
 def normalized_distances(D: np.ndarray) -> np.ndarray:

@@ -141,7 +141,12 @@ class CorpusCache:
             payload["resource_series"] = archive["resource_series"]
             payload["throughput_series"] = archive["throughput_series"]
             payload["plan_matrix"] = archive["plan_matrix"]
-        return _result_from_dict(payload)
+        result = _result_from_dict(payload)
+        # Same guard as put(): a doctored or bit-rotted entry carrying
+        # NaN/Inf must surface as a corrupt-counted miss, not poison
+        # every downstream statistic silently.
+        ensure_finite(result)
+        return result
 
     def put(self, key: str, result: ExperimentResult) -> None:
         """Store ``result`` under ``key`` atomically, payload first.

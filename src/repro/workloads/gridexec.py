@@ -11,8 +11,10 @@ module splits that walk into two phases so the second can be distributed:
    ``integers(0, 2**62)`` call per task from the workload's spawned
    generator).  Seed derivation is therefore a pure function of the
    corpus-level ``random_state`` and the grid shape.
-2. :func:`execute_grid` runs the tasks — in-process, or fanned out over a
-   ``ProcessPoolExecutor`` — and reassembles results in grid order.
+2. :func:`execute_grid` runs the tasks on the shared
+   :func:`repro.exec.engine.run_tasks` engine — in-process, or fanned
+   out over a ``ProcessPoolExecutor`` — and reassembles results in grid
+   order.
 
 Because each task carries its own pre-drawn seed and the simulator
 components (engine, telemetry sampler, planner) keep no mutable state
@@ -31,42 +33,30 @@ An optional content-addressed :class:`repro.workloads.cache.CorpusCache`
 short-circuits tasks whose results are already on disk; only cache
 misses are executed.
 
-Execution is crash-safe (``tests/workloads/test_faults.py``):
-
-- every task gets up to :attr:`RetryPolicy.max_attempts` attempts with
-  capped exponential backoff between them;
-- tasks that keep failing are **quarantined** — recorded on the
-  :class:`GridReport` instead of aborting the build;
-- a dead worker process (broken pool) triggers a pool rebuild and a
-  resubmission of the unfinished tasks, with one final serial attempt
-  before anything is quarantined for pool breakage it may not have
-  caused;
-- every completed task fingerprint is appended to a
-  :class:`ResumeJournal` (``journal.jsonl`` in the cache directory), so
-  a build killed mid-flight resumes with zero re-simulation of finished
-  tasks and reports how many it resumed.
+Execution is crash-safe (``tests/workloads/test_faults.py``); the
+mechanics — :class:`RetryPolicy` attempts with capped backoff,
+quarantine on exhaustion, broken-pool rebuild with a last-chance serial
+attempt, and the serial fallback when no pool can be created — now live
+in :mod:`repro.exec.engine` and are shared by every parallel stage.
+What stays here is the grid-specific layer: cache scanning, the
+:class:`ResumeJournal` (``journal.jsonl`` in the cache directory, so a
+build killed mid-flight resumes with zero re-simulation), and the fault
+hooks.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    wait,
-)
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.exceptions import ValidationError
+from repro.exec.engine import ExecTask, RetryPolicy, as_retry_policy, run_tasks
+from repro.exec.journal import append_jsonl, load_jsonl
 from repro.obs.logging import get_logger
 from repro.obs.metrics import get_metrics
-from repro.obs.telemetry import capture_telemetry, merge_snapshot
-from repro.obs.tracing import get_tracer, span
-from repro.utils.parallel import POOL_UNAVAILABLE_ERRORS, resolve_jobs
+from repro.obs.tracing import span
+from repro.utils.parallel import resolve_jobs
 from repro.utils.rng import RandomState, spawn_generators
 from repro.workloads.repository import ensure_finite
 from repro.workloads.runner import ExperimentResult, ExperimentRunner
@@ -110,60 +100,15 @@ class GridTask:
         )
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Per-task retry budget with capped exponential backoff.
-
-    ``max_attempts`` counts attempts, not retries: the default of 3
-    means one initial attempt plus up to two retries.  The ``n``-th
-    retry sleeps ``min(backoff_cap_s, backoff_base_s * 2**(n-1))``;
-    a zero base disables sleeping entirely (what tests use).
-    """
-
-    max_attempts: int = 3
-    backoff_base_s: float = 0.1
-    backoff_cap_s: float = 5.0
-
-    def __post_init__(self):
-        if self.max_attempts < 1:
-            raise ValidationError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
-            raise ValidationError("backoff durations must be >= 0")
-
-    def delay_s(self, retry_number: int) -> float:
-        """Seconds to sleep before retry ``retry_number`` (1-based)."""
-        if self.backoff_base_s <= 0:
-            return 0.0
-        return min(
-            self.backoff_cap_s,
-            self.backoff_base_s * 2 ** (max(retry_number, 1) - 1),
-        )
-
-
-def as_retry_policy(retry: "RetryPolicy | int | None") -> RetryPolicy:
-    """Normalize a retry argument: ``None``, an attempt count, or a policy."""
-    if retry is None:
-        return RetryPolicy()
-    if isinstance(retry, RetryPolicy):
-        return retry
-    if isinstance(retry, int):
-        return RetryPolicy(max_attempts=retry)
-    raise TypeError(
-        "retry must be None, an int, or a RetryPolicy, "
-        f"got {type(retry).__name__}"
-    )
-
-
 class ResumeJournal:
     """Append-only JSONL record of completed task fingerprints.
 
     One line per completed task (``{"key": ..., "task_id": ...}``),
-    appended after the result is safely in the cache.  Appends are a
-    single small write, and loading tolerates a torn final line — the
-    worst a SIGKILL can leave behind — so an interrupted build's journal
-    is always usable for resume accounting.
+    appended after the result is safely in the cache.  Storage rides on
+    :mod:`repro.exec.journal`: appends heal torn tails and are safe
+    under concurrent writer processes, and loading tolerates a torn
+    final line — the worst a SIGKILL can leave behind — so an
+    interrupted build's journal is always usable for resume accounting.
     """
 
     def __init__(self, path: str | Path):
@@ -172,26 +117,12 @@ class ResumeJournal:
         self._load()
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
-        try:
-            lines = self.path.read_text().splitlines()
-        except OSError as exc:
-            logger.warning("cannot read journal %s: %s", self.path, exc)
-            return
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                # A torn tail from an interrupted append; everything
-                # before it is intact.
-                logger.warning(
-                    "journal %s: skipping torn line %r", self.path, line[:40]
-                )
-                continue
+        entries, corrupt = load_jsonl(self.path, label="journal")
+        if corrupt:
+            logger.warning(
+                "journal %s: skipped %d torn line(s)", self.path, corrupt
+            )
+        for entry in entries:
             key = entry.get("key") if isinstance(entry, dict) else None
             if isinstance(key, str):
                 self._keys.add(key)
@@ -211,23 +142,9 @@ class ResumeJournal:
         if key in self._keys:
             return
         self._keys.add(key)
-        try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            line = json.dumps({"key": key, "task_id": task_id}) + "\n"
-            with self.path.open("a+b") as handle:
-                # A torn tail from an earlier kill has no newline; heal
-                # it so this append starts a fresh parseable line.
-                handle.seek(0, os.SEEK_END)
-                if handle.tell():
-                    handle.seek(-1, os.SEEK_END)
-                    if handle.read(1) != b"\n":
-                        handle.write(b"\n")
-                handle.write(line.encode("utf-8"))
-                handle.flush()
-        except OSError as exc:
-            # The journal is an accounting aid, not a correctness
-            # requirement (the cache itself carries the results).
-            logger.warning("cannot append to journal %s: %s", self.path, exc)
+        append_jsonl(
+            self.path, {"key": key, "task_id": task_id}, label="journal"
+        )
 
 
 def _resolve_journal(journal, cache) -> ResumeJournal | None:
@@ -328,7 +245,7 @@ def enumerate_grid(
     return tasks
 
 
-__all__ = [  # resolve_jobs moved to repro.utils.parallel; re-exported here
+__all__ = [  # RetryPolicy/as_retry_policy live in repro.exec.engine now
     "GridTask", "RetryPolicy", "ResumeJournal", "GridReport", "GridResults",
     "enumerate_grid", "execute_grid", "resolve_jobs", "as_retry_policy",
 ]
@@ -367,49 +284,45 @@ def _task_body(task: GridTask, attempt: int, faults, in_worker: bool):
         return _run_task_faulted(task, attempt, faults, in_worker)
 
 
-def _run_task_captured(task: GridTask, attempt: int, faults,
-                       in_worker: bool, tracing: bool):
-    """One task under telemetry capture; the unit shipped to workers.
-
-    Returns ``(result, TelemetrySnapshot)``.  The serial path calls the
-    same function in-process, so both paths capture identical telemetry;
-    the parent merges snapshots in task order (see
-    :mod:`repro.obs.telemetry`).
-    """
-    return capture_telemetry(
-        _task_body, task, attempt, faults, in_worker, tracing=tracing
-    )
+def _grid_unit(payload, attempt: int, in_worker: bool):
+    """Engine adapter: unpack ``(task, faults)`` into the task body."""
+    task, faults = payload
+    return _task_body(task, attempt, faults, in_worker)
 
 
-def _store_result(cache, key, task, attempt, result, faults, journal) -> None:
-    """Persist a validated result: cache write, fault hook, journal line.
+class _GridHooks:
+    """Parent-side engine hooks: cache writes, fault taps, accounting."""
 
-    A failed cache write is logged and counted, never fatal — the result
-    is already in memory and the cache is only an optimization.
-    """
-    if cache is not None and key is not None:
-        try:
-            cache.put(key, result)
-        except Exception as exc:
-            logger.warning(
-                "cache write failed for %s: %s", task.task_id, exc
-            )
-            get_metrics().counter("corpus_cache.write_errors_total").inc()
-        else:
-            if faults is not None:
-                faults.after_put(cache, key, task, attempt)
-    if journal is not None and key is not None:
-        journal.record(key, task.task_id)
+    def __init__(self, cache, faults):
+        self.cache = cache
+        self.faults = faults
 
+    def on_result(self, exec_task: ExecTask, attempt: int, result) -> None:
+        """Persist an accepted result before the engine journals it.
 
-def _quarantine(quarantined: list, task: GridTask, exc: BaseException) -> None:
-    reason = f"{type(exc).__name__}: {exc}"
-    quarantined.append((task.task_id, reason))
-    get_metrics().counter("gridexec.quarantined_total").inc()
-    logger.error(
-        "task %s quarantined after exhausting retries: %s",
-        task.task_id, reason,
-    )
+        A failed cache write is logged and counted, never fatal — the
+        result is already in memory and the cache is only an
+        optimization.
+        """
+        task, _ = exec_task.payload
+        if self.cache is not None and exec_task.key is not None:
+            try:
+                self.cache.put(exec_task.key, result)
+            except Exception as exc:
+                logger.warning(
+                    "cache write failed for %s: %s", task.task_id, exc
+                )
+                get_metrics().counter("corpus_cache.write_errors_total").inc()
+            else:
+                if self.faults is not None:
+                    self.faults.after_put(
+                        self.cache, exec_task.key, task, attempt
+                    )
+
+    def after_task(self, exec_task: ExecTask) -> None:
+        if self.faults is not None:
+            task, _ = exec_task.payload
+            self.faults.after_task(task)
 
 
 def execute_grid(
@@ -428,7 +341,8 @@ def execute_grid(
     ``get`` / ``put``); hits skip execution entirely.  With ``jobs > 1``
     the cache misses are fanned out over a ``ProcessPoolExecutor``; if
     the pool cannot be created (restricted environments) execution falls
-    back to serial with a warning rather than failing the build.
+    back to serial with a warning and one increment of
+    ``gridexec.pool_fallback_total`` rather than failing the build.
 
     ``retry`` (a :class:`RetryPolicy`, an attempt count, or ``None`` for
     the defaults) bounds per-task attempts; tasks that keep failing are
@@ -468,16 +382,31 @@ def execute_grid(
                         resumed += 1
                     elif journal is not None:
                         journal.record(key, task.task_id)
-        if n_workers > 1 and len(pending) > 1:
-            executed, retried, quarantined = _execute_parallel(
-                pending, results, n_workers, cache, retry, faults, journal
-            )
-        else:
-            n_workers = 1
-            executed, retried, quarantined = _execute_serial(
-                [(p, t, k, 0) for p, t, k in pending],
-                results, cache, retry, faults, journal,
-            )
+        hooks = _GridHooks(cache, faults)
+        outputs = run_tasks(
+            [
+                ExecTask(
+                    index=ordinal,
+                    fn=_grid_unit,
+                    payload=(task, faults),
+                    key=key,
+                    task_id=task.task_id,
+                )
+                for ordinal, (position, task, key) in enumerate(pending)
+            ],
+            jobs=jobs,
+            retry=retry,
+            label="gridexec",
+            on_error="quarantine",
+            validate=ensure_finite,
+            on_result=hooks.on_result,
+            after_task=hooks.after_task,
+            journal=journal,
+        )
+        for (position, task, key), result in zip(pending, outputs):
+            results[position] = result
+    report = outputs.report
+    n_workers = report.n_workers
     metrics.gauge("gridexec.workers").set(n_workers)
     metrics.counter("gridexec.tasks_total").inc(len(tasks))
     if resumed:
@@ -486,223 +415,19 @@ def execute_grid(
     results.report = GridReport(
         n_tasks=len(tasks),
         n_workers=n_workers,
-        n_executed=executed,
+        n_executed=report.n_executed,
         cache_hits=hits,
         cache_misses=len(pending),
         elapsed_s=elapsed,
-        n_retried=retried,
-        n_quarantined=len(quarantined),
+        n_retried=report.n_retried,
+        n_quarantined=report.n_quarantined,
         n_resumed=resumed,
-        quarantined=tuple(quarantined),
+        quarantined=report.quarantined,
     )
     logger.debug(
         "grid: %d tasks, %d workers, %d hits (%d resumed), %d executed, "
         "%d retried, %d quarantined in %.2fs",
-        len(tasks), n_workers, hits, resumed, executed, retried,
-        len(quarantined), elapsed,
+        len(tasks), n_workers, hits, resumed, report.n_executed,
+        report.n_retried, report.n_quarantined, elapsed,
     )
     return results
-
-
-def _execute_serial(
-    items, results, cache, retry, faults, journal
-) -> tuple[int, int, list]:
-    """Run ``(position, task, key, first_attempt)`` items in-process."""
-    metrics = get_metrics()
-    executed = 0
-    retried = 0
-    quarantined: list = []
-    tracing = get_tracer().enabled
-    for position, task, key, first_attempt in items:
-        attempt = first_attempt
-        while True:
-            try:
-                result, telemetry = _run_task_captured(
-                    task, attempt, faults, False, tracing
-                )
-                ensure_finite(result)
-            except Exception as exc:
-                attempt += 1
-                if attempt < retry.max_attempts:
-                    retried += 1
-                    metrics.counter("gridexec.retries_total").inc()
-                    logger.warning(
-                        "task %s attempt %d failed (%s: %s); retrying",
-                        task.task_id, attempt - 1, type(exc).__name__, exc,
-                    )
-                    _sleep_backoff(retry, attempt - first_attempt)
-                    continue
-                _quarantine(quarantined, task, exc)
-                break
-            # Telemetry is merged only for accepted attempts, right when
-            # the result is accepted — position order, same as parallel.
-            merge_snapshot(telemetry)
-            _store_result(cache, key, task, attempt, result, faults, journal)
-            results[position] = result
-            executed += 1
-            if faults is not None:
-                faults.after_task(task)
-            break
-    return executed, retried, quarantined
-
-
-def _sleep_backoff(retry: RetryPolicy, retry_number: int) -> None:
-    delay = retry.delay_s(retry_number)
-    if delay > 0:
-        time.sleep(delay)
-
-
-def _execute_parallel(
-    pending, results, n_workers, cache, retry, faults, journal
-) -> tuple[int, int, list]:
-    """Fan pending tasks out over a process pool.
-
-    The pool is rebuilt when a worker dies (the pool object is unusable
-    after a ``BrokenProcessPool``); unfinished tasks are resubmitted with
-    an incremented attempt.  Because pool breakage cannot be attributed
-    to a single task, tasks whose attempts are exhausted *by breakage*
-    get one final serial attempt — in-process, where a crashing task can
-    be identified — before quarantine.  If no pool can be created at
-    all, everything runs serially with a warning.
-    """
-    metrics = get_metrics()
-    tracing = get_tracer().enabled
-    queue = [(position, task, key, 0) for position, task, key in pending]
-    executed = 0
-    retried = 0
-    quarantined: list = []
-    last_chance: list = []  # exhausted by pool breakage; retried serially
-    #: Snapshot of the accepted attempt per position; merged in position
-    #: order at the end so telemetry matches a serial run regardless of
-    #: the order futures completed in.
-    snapshots: dict[int, object] = {}
-
-    while queue:
-        try:
-            pool = ProcessPoolExecutor(max_workers=n_workers)
-        except POOL_UNAVAILABLE_ERRORS as exc:
-            logger.warning(
-                "process pool unavailable (%s); falling back to serial", exc
-            )
-            _merge_position_snapshots(snapshots)
-            e, r, q = _execute_serial(
-                queue, results, cache, retry, faults, journal
-            )
-            return executed + e, retried + r, quarantined + q
-        broken = False
-        futures: dict = {}
-        handled: set = set()
-        requeue: list = []
-        try:
-            try:
-                for item in queue:
-                    position, task, key, attempt = item
-                    futures[pool.submit(
-                        _run_task_captured, task, attempt, faults, True,
-                        tracing,
-                    )] = item
-            except BrokenExecutor:
-                broken = True
-            queue = []
-            outstanding = set(futures)
-            while outstanding and not broken:
-                done, outstanding = wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    handled.add(future)
-                    position, task, key, attempt = futures[future]
-                    try:
-                        result, telemetry = future.result()
-                        ensure_finite(result)
-                    except BrokenExecutor:
-                        # The worker executing *some* task died; this
-                        # future is collateral.  Requeue and rebuild.
-                        broken = True
-                        requeue.append((position, task, key, attempt + 1))
-                        continue
-                    except Exception as exc:
-                        next_attempt = attempt + 1
-                        if next_attempt < retry.max_attempts:
-                            retried += 1
-                            metrics.counter("gridexec.retries_total").inc()
-                            logger.warning(
-                                "task %s attempt %d failed (%s: %s); "
-                                "retrying",
-                                task.task_id, attempt,
-                                type(exc).__name__, exc,
-                            )
-                            _sleep_backoff(retry, next_attempt)
-                            try:
-                                new = pool.submit(
-                                    _run_task_captured, task, next_attempt,
-                                    faults, True, tracing,
-                                )
-                            except BrokenExecutor:
-                                broken = True
-                                requeue.append(
-                                    (position, task, key, next_attempt)
-                                )
-                            else:
-                                futures[new] = (
-                                    position, task, key, next_attempt
-                                )
-                                outstanding.add(new)
-                        else:
-                            _quarantine(quarantined, task, exc)
-                        continue
-                    # Worker-side metric/span increments come back in the
-                    # snapshot; hold it for the position-ordered merge.
-                    snapshots[position] = telemetry
-                    _store_result(
-                        cache, key, task, attempt, result, faults, journal
-                    )
-                    results[position] = result
-                    executed += 1
-                    if faults is not None:
-                        faults.after_task(task)
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
-        if broken:
-            metrics.counter("gridexec.pool_rebuilds_total").inc()
-            for future, item in futures.items():
-                if future in handled:
-                    continue
-                position, task, key, attempt = item
-                requeue.append((position, task, key, attempt + 1))
-            for position, task, key, attempt in requeue:
-                retried += 1
-                metrics.counter("gridexec.retries_total").inc()
-                if attempt < retry.max_attempts:
-                    queue.append((position, task, key, attempt))
-                else:
-                    # Cannot know whether this task killed the pool;
-                    # give it one attributable in-process attempt.
-                    last_chance.append((position, task, key, attempt))
-            if queue or last_chance:
-                logger.warning(
-                    "worker pool broke; rebuilding (%d tasks requeued, "
-                    "%d falling back to serial)",
-                    len(queue), len(last_chance),
-                )
-
-    _merge_position_snapshots(snapshots)
-    if last_chance:
-        final_policy = RetryPolicy(
-            max_attempts=max(a for _, _, _, a in last_chance) + 1,
-            backoff_base_s=0.0,
-        )
-        e, r, q = _execute_serial(
-            last_chance, results, cache, final_policy, faults, journal
-        )
-        executed += e
-        retried += r
-        quarantined += q
-    return executed, retried, quarantined
-
-
-def _merge_position_snapshots(snapshots: dict) -> None:
-    """Merge collected worker snapshots in task (position) order."""
-    for position in sorted(snapshots):
-        merge_snapshot(snapshots[position])
-    snapshots.clear()

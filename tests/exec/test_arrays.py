@@ -1,0 +1,153 @@
+"""Zero-copy array passing: publish/resolve round-trips bit-for-bit."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exec.arrays import (
+    ArrayRef,
+    ArrayStore,
+    array_ref_digest,
+    arrays_enabled,
+    resolve_ref,
+    resolve_refs,
+)
+
+HAVE_DEV_SHM = Path("/dev/shm").is_dir()
+
+
+class TestEnvironmentSwitch:
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_ARRAYS", raising=False)
+        assert arrays_enabled()
+
+    def test_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_ARRAYS", "off")
+        assert not arrays_enabled()
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ArrayStore(backend="carrier-pigeon")
+
+
+class TestDigest:
+    def test_content_addressed(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert array_ref_digest(a) == array_ref_digest(a.copy())
+        assert array_ref_digest(a) != array_ref_digest(a + 1)
+
+    def test_dtype_and_shape_participate(self):
+        a = np.zeros(4, dtype=np.float64)
+        assert array_ref_digest(a) != array_ref_digest(
+            a.astype(np.float32)
+        )
+        assert array_ref_digest(a) != array_ref_digest(a.reshape(2, 2))
+
+
+@pytest.mark.parametrize(
+    "backend",
+    ["mmap"] + (["shm"] if HAVE_DEV_SHM else []),
+)
+class TestRoundTrip:
+    def test_bit_identical_and_read_only(self, backend, tmp_path):
+        rng = np.random.default_rng(7)
+        arr = rng.normal(size=(64, 9))
+        with ArrayStore(backend=backend, spool_dir=tmp_path) as store:
+            ref = store.put(arr)
+            assert ref.kind == backend
+            assert ref.nbytes == arr.nbytes
+            out = resolve_ref(ref)
+            np.testing.assert_array_equal(out, arr)
+            assert not out.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                out[0, 0] = 1.0
+
+    def test_put_dedupes_by_content(self, backend, tmp_path):
+        arr = np.ones((8, 8))
+        with ArrayStore(backend=backend, spool_dir=tmp_path) as store:
+            first = store.put(arr)
+            second = store.put(arr.copy())
+            assert first is second
+            assert len(store) == 1
+
+    def test_zero_byte_arrays_are_inline(self, backend, tmp_path):
+        with ArrayStore(backend=backend, spool_dir=tmp_path) as store:
+            ref = store.put(np.empty((0, 5)))
+            assert ref.kind == "inline"
+            assert resolve_ref(ref).shape == (0, 5)
+
+    def test_refs_are_tiny_and_picklable(self, backend, tmp_path):
+        import pickle
+
+        big = np.zeros((512, 512))
+        with ArrayStore(backend=backend, spool_dir=tmp_path) as store:
+            ref = store.put(big)
+            shipped = pickle.dumps(ref)
+            assert len(shipped) < 1024  # vs ~2 MiB pickled
+            np.testing.assert_array_equal(
+                resolve_ref(pickle.loads(shipped)), big
+            )
+
+
+@pytest.mark.skipif(not HAVE_DEV_SHM, reason="/dev/shm unavailable")
+class TestShmLifecycle:
+    def test_close_unlinks_the_segment(self):
+        store = ArrayStore(backend="shm")
+        ref = store.put(np.arange(10.0))
+        backing = Path("/dev/shm") / ref.name.lstrip("/")
+        assert backing.exists()
+        store.close()
+        assert not backing.exists()
+
+    def test_put_after_close_raises(self):
+        store = ArrayStore(backend="shm")
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put(np.arange(3.0))
+
+    def test_close_is_idempotent(self):
+        store = ArrayStore(backend="shm")
+        store.put(np.arange(3.0))
+        store.close()
+        store.close()
+
+
+class TestMmapSpool:
+    def test_own_spool_dir_removed_on_close(self):
+        store = ArrayStore(backend="mmap")
+        store.put(np.arange(6.0))
+        spool = store._spool_dir
+        assert spool is not None and spool.exists()
+        store.close()
+        assert not spool.exists()
+
+    def test_caller_spool_dir_survives_close(self, tmp_path):
+        store = ArrayStore(backend="mmap", spool_dir=tmp_path)
+        store.put(np.arange(6.0))
+        store.close()
+        assert tmp_path.exists()
+
+
+class TestResolveRefs:
+    def test_walks_nested_payloads(self, tmp_path):
+        arr = np.arange(4.0)
+        with ArrayStore(backend="mmap", spool_dir=tmp_path) as store:
+            ref = store.put(arr)
+            payload = {"deep": [(ref, "label"), {"inner": ref}], "n": 3}
+            out = resolve_refs(payload)
+            np.testing.assert_array_equal(out["deep"][0][0], arr)
+            np.testing.assert_array_equal(out["deep"][1]["inner"], arr)
+            assert out["deep"][0][1] == "label"
+            assert out["n"] == 3
+
+    def test_non_ref_values_pass_through(self):
+        payload = ([1, 2], "x", {"k": 4.5})
+        assert resolve_refs(payload) == payload
+
+    def test_unknown_kind_raises(self):
+        bad = ArrayRef("quantum", "q", (2,), "<f8", "0" * 64)
+        with pytest.raises(ValueError):
+            resolve_ref(bad)

@@ -1,0 +1,243 @@
+"""DAG scheduling: topology validation, caching, quarantine cascades."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.exec.arrays import ArrayStore
+from repro.exec.dag import DagTask, Input, run_dag, topo_order
+from repro.exec.engine import RetryPolicy
+from repro.obs.metrics import MetricsRegistry, set_metrics
+
+FAST_RETRY = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+
+
+@pytest.fixture
+def fresh_metrics():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+def _const(payload, attempt, in_worker):
+    (value,) = payload
+    return value
+
+
+def _add(payload, attempt, in_worker):
+    return sum(payload)
+
+
+def _explode(payload, attempt, in_worker):
+    raise RuntimeError("boom")
+
+
+def _total(payload, attempt, in_worker):
+    (values,) = payload
+    return float(np.sum(np.concatenate([np.ravel(v) for v in values])))
+
+
+def _matrix(payload, attempt, in_worker):
+    (n,) = payload
+    return np.arange(float(n * n)).reshape(n, n)
+
+
+def diamond():
+    """a -> (b, c) -> d: the smallest cross-stage interleaving graph."""
+    return [
+        DagTask(key="a", fn=_const, payload=(1,)),
+        DagTask(key="b", fn=_add, payload=(Input("a"), 10), deps=("a",)),
+        DagTask(key="c", fn=_add, payload=(Input("a"), 100), deps=("a",)),
+        DagTask(
+            key="d", fn=_add, payload=(Input("b"), Input("c")),
+            deps=("b", "c"),
+        ),
+    ]
+
+
+class TestTopoOrder:
+    def test_submission_order_first(self):
+        assert topo_order(diamond()) == ["a", "b", "c", "d"]
+
+    def test_duplicate_key_rejected(self):
+        tasks = [
+            DagTask(key="a", fn=_const, payload=(1,)),
+            DagTask(key="a", fn=_const, payload=(2,)),
+        ]
+        with pytest.raises(ValidationError, match="duplicate"):
+            topo_order(tasks)
+
+    def test_unknown_dependency_rejected(self):
+        tasks = [DagTask(key="a", fn=_const, payload=(1,), deps=("ghost",))]
+        with pytest.raises(ValidationError, match="unknown key"):
+            topo_order(tasks)
+
+    def test_cycle_rejected(self):
+        tasks = [
+            DagTask(key="a", fn=_const, payload=(1,), deps=("b",)),
+            DagTask(key="b", fn=_const, payload=(2,), deps=("a",)),
+        ]
+        with pytest.raises(ValidationError, match="cycle"):
+            topo_order(tasks)
+
+    def test_duplicate_deps_counted_once(self):
+        tasks = [
+            DagTask(key="a", fn=_const, payload=(1,)),
+            DagTask(key="b", fn=_add, payload=(Input("a"),),
+                    deps=("a", "a")),
+        ]
+        assert topo_order(tasks) == ["a", "b"]
+
+
+class TestRunDag:
+    @pytest.mark.parametrize("jobs", [None, 1, 4])
+    def test_inputs_flow_along_edges(self, jobs):
+        results = run_dag(diamond(), jobs=jobs)
+        assert results["a"] == 1
+        assert results["b"] == 11
+        assert results["c"] == 101
+        assert results["d"] == 112
+        assert results.report.n_executed == 4
+        assert results.report.n_cached == 0
+
+    def test_serial_and_parallel_agree(self):
+        serial = run_dag(diamond(), jobs=1)
+        parallel = run_dag(diamond(), jobs=4)
+        assert dict(serial) == dict(parallel)
+
+    def test_tasks_total_metric(self, fresh_metrics):
+        run_dag(diamond(), label="exec.dag")
+        assert (
+            fresh_metrics.counter("exec.dag.tasks_total").value == 4
+        )
+
+
+class _DictCache(dict):
+    """Minimal cache: the ``get(key)``/``put(key, value)`` protocol."""
+
+    def put(self, key, value):
+        self[key] = value
+
+
+class TestCaching:
+    @pytest.mark.parametrize("jobs", [None, 4])
+    def test_warm_run_short_circuits(self, jobs):
+        cache = _DictCache()
+        tasks = [
+            DagTask(key="a", fn=_const, payload=(7,), cache=cache),
+            DagTask(
+                key="b", fn=_add, payload=(Input("a"), 1), deps=("a",),
+                cache=cache,
+            ),
+        ]
+        cold = run_dag(tasks, jobs=jobs)
+        assert cold.report.n_executed == 2
+        assert dict(cache) == {"a": 7, "b": 8}
+        warm = run_dag(tasks, jobs=jobs)
+        assert warm.report.n_cached == 2
+        assert warm.report.n_executed == 0
+        assert dict(warm) == dict(cold)
+
+    def test_cache_hit_completes_without_waiting_for_deps(self):
+        """Content addressing covers the inputs: a fingerprint hit on a
+        downstream task must not force its (quarantined) upstream."""
+        cache = _DictCache({"b": 42})
+        tasks = [
+            DagTask(key="a", fn=_explode, payload=()),
+            DagTask(
+                key="b", fn=_add, payload=(Input("a"), 1), deps=("a",),
+                cache=cache,
+            ),
+        ]
+        results = run_dag(tasks, retry=FAST_RETRY)
+        assert results["b"] == 42
+        assert results["a"] is None
+        assert results.report.n_cached == 1
+        assert results.report.skipped == ()
+
+    def test_cache_write_failure_is_not_fatal(self, fresh_metrics):
+        class _BrokenCache:
+            def get(self, key):
+                return None
+
+            def put(self, key, value):
+                raise OSError("disk full")
+
+        tasks = [
+            DagTask(key="a", fn=_const, payload=(1,), cache=_BrokenCache())
+        ]
+        results = run_dag(tasks, label="exec.dag")
+        assert results["a"] == 1
+        assert fresh_metrics.counter(
+            "exec.dag.cache_write_errors_total"
+        ).value == 1
+
+
+class TestQuarantineCascade:
+    @pytest.mark.parametrize("jobs", [None, 4])
+    def test_downstream_of_quarantined_is_skipped(
+        self, jobs, fresh_metrics
+    ):
+        tasks = diamond()
+        tasks[1] = DagTask(
+            key="b", fn=_explode, payload=(), deps=("a",), task_id="b-task"
+        )
+        results = run_dag(tasks, jobs=jobs, retry=FAST_RETRY)
+        report = results.report
+        assert results["a"] == 1
+        assert results["b"] is None
+        assert results["c"] == 101  # independent branch still runs
+        assert results["d"] is None  # downstream of b: skipped
+        assert report.n_quarantined == 1
+        assert report.quarantined[0][0] == "b-task"
+        assert report.skipped == ("d",)
+        assert fresh_metrics.counter(
+            "exec.dag.quarantined_total"
+        ).value == 1
+
+    def test_validate_failures_quarantine(self):
+        def reject_everything(result):
+            raise ValidationError("nope")
+
+        tasks = [
+            DagTask(
+                key="a", fn=_const, payload=(1,),
+                validate=reject_everything,
+            )
+        ]
+        results = run_dag(tasks, retry=FAST_RETRY)
+        assert results["a"] is None
+        assert results.report.n_quarantined == 1
+        assert results.report.n_retried == 1
+
+
+class TestPublish:
+    @pytest.mark.parametrize("jobs", [None, 4])
+    def test_published_arrays_flow_as_refs(self, jobs, tmp_path):
+        tasks = [
+            DagTask(key="m", fn=_matrix, payload=(4,), publish=True),
+            DagTask(
+                key="sum", fn=_total, payload=([Input("m")],), deps=("m",)
+            ),
+        ]
+        with ArrayStore(backend="mmap", spool_dir=tmp_path) as store:
+            results = run_dag(tasks, jobs=jobs, store=store)
+            assert len(store) == 1  # the matrix landed in the store
+        assert results["sum"] == float(np.arange(16.0).sum())
+        # The caller-facing result stays a plain array, not a ref.
+        np.testing.assert_array_equal(
+            results["m"], np.arange(16.0).reshape(4, 4)
+        )
+
+    def test_without_store_results_pass_by_value(self):
+        tasks = [
+            DagTask(key="m", fn=_matrix, payload=(3,), publish=True),
+            DagTask(
+                key="sum", fn=_total, payload=([Input("m")],), deps=("m",)
+            ),
+        ]
+        results = run_dag(tasks, store=None)
+        assert results["sum"] == float(np.arange(9.0).sum())

@@ -1,0 +1,131 @@
+"""The shared JSONL discipline: torn-tail healing and concurrent writers.
+
+``repro.exec.journal`` is the single append/load implementation behind
+the resume journal, the fit cache, the distance cache, and the run
+ledger.  Beyond the single-writer torn-tail contract each component used
+to pin individually, this file drives **multiple writer processes**
+against one file: POSIX serializes append-mode writes, and because the
+healing newline and the row go out as one ``write()``, two processes can
+interleave whole rows but never corrupt each other's bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.exec.journal import append_jsonl, load_jsonl
+
+ROWS_PER_WRITER = 200
+
+
+class TestAppend:
+    def test_appends_one_line_per_row(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        assert append_jsonl(path, {"a": 1})
+        assert append_jsonl(path, {"b": 2})
+        assert path.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "j.jsonl"
+        assert append_jsonl(path, {"a": 1})
+        assert path.exists()
+
+    def test_sort_keys_canonicalizes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"b": 2, "a": 1}, sort_keys=True)
+        assert path.read_text() == '{"a": 1, "b": 2}\n'
+
+    def test_heals_torn_tail_before_appending(self, tmp_path):
+        """A SIGKILL mid-append leaves no trailing newline; the next
+        append must not fuse its row onto the torn one."""
+        path = tmp_path / "j.jsonl"
+        append_jsonl(path, {"a": 1})
+        with path.open("a") as handle:
+            handle.write('{"key": "torn')  # killed mid-write
+        append_jsonl(path, {"b": 2})
+        rows, corrupt = load_jsonl(path)
+        assert rows == [{"a": 1}, {"b": 2}]
+        assert corrupt == 1  # the torn row itself, now on its own line
+
+    def test_failure_is_swallowed_and_reported(self, tmp_path):
+        # The parent "directory" is a file: mkdir and open both fail.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert not append_jsonl(blocker / "j.jsonl", {"a": 1})
+
+
+class TestLoad:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_jsonl(tmp_path / "absent.jsonl") == ([], 0)
+
+    def test_counts_corrupt_lines_without_failing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n{"truncated')
+        rows, corrupt = load_jsonl(path)
+        assert rows == [{"a": 1}, {"b": 2}]
+        assert corrupt == 2
+
+    def test_skips_blank_lines(self, tmp_path):
+        """The worst a duplicate concurrent heal injects is an empty
+        line; loaders must skip it silently, not count it corrupt."""
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"a": 1}\n\n\n{"b": 2}\n')
+        assert load_jsonl(path) == ([{"a": 1}, {"b": 2}], 0)
+
+
+def _writer(path, writer_id, n_rows):
+    for sequence in range(n_rows):
+        assert append_jsonl(path, {"writer": writer_id, "seq": sequence})
+
+
+class TestConcurrentWriters:
+    """Two processes appending to one file never corrupt each other."""
+
+    @pytest.mark.parametrize("n_writers", [2, 4])
+    def test_all_rows_survive_intact(self, tmp_path, n_writers):
+        path = tmp_path / "shared.jsonl"
+        processes = [
+            multiprocessing.Process(
+                target=_writer, args=(path, writer_id, ROWS_PER_WRITER)
+            )
+            for writer_id in range(n_writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+        rows, corrupt = load_jsonl(path)
+        assert corrupt == 0
+        assert len(rows) == n_writers * ROWS_PER_WRITER
+        # Every writer's rows arrive complete and in its own order —
+        # interleaving across writers is allowed, tearing is not.
+        for writer_id in range(n_writers):
+            sequence = [
+                row["seq"] for row in rows if row["writer"] == writer_id
+            ]
+            assert sequence == list(range(ROWS_PER_WRITER))
+
+    def test_concurrent_heals_keep_file_parseable(self, tmp_path):
+        """Writers racing against a torn tail still produce a file where
+        every *valid* row parses; the torn row is the only casualty."""
+        path = tmp_path / "shared.jsonl"
+        path.write_text('{"writer": -1, "seq": 0}\n{"torn')
+        processes = [
+            multiprocessing.Process(target=_writer, args=(path, w, 50))
+            for w in range(2)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+            assert process.exitcode == 0
+        rows, corrupt = load_jsonl(path)
+        assert corrupt == 1  # the pre-torn row, healed onto its own line
+        assert len(rows) == 1 + 100
+        for line in path.read_text().splitlines():
+            if line.strip() and "torn" not in line:
+                json.loads(line)

@@ -1,0 +1,145 @@
+"""The mixed-stage pipeline DAG: bit-identical at any worker count.
+
+This is the tentpole acceptance test: one :func:`repro.exec.dag.run_dag`
+graph interleaving corpus simulations, a representation build, distance
+chunks, and model fits must produce results **and** merged telemetry
+bit-identical at jobs=1 and jobs=4, and a warm corpus cache must
+short-circuit the simulation stage entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec.stages import pipeline_dag, run_pipeline
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.obs.telemetry import comparable_snapshot, tree_shape
+from repro.obs.tracing import Tracer, set_tracer
+from repro.similarity.evaluation import distance_matrix
+from repro.similarity.measures import get_measure
+from repro.similarity.representations import RepresentationBuilder
+from repro.workloads import (
+    SKU,
+    CorpusCache,
+    enumerate_grid,
+    execute_grid,
+    workload_by_name,
+)
+
+JOBS = [1, 4]
+
+
+def tiny_grid(random_state=17):
+    return enumerate_grid(
+        [workload_by_name("tpcc"), workload_by_name("twitter")],
+        [SKU(cpus=4, memory_gb=32.0)],
+        terminals_for=lambda w: (2,),
+        n_runs=2,
+        duration_s=120.0,
+        sample_interval_s=10.0,
+        random_state=random_state,
+    )
+
+
+def observed(fn):
+    """Run ``fn`` under a fresh registry and an enabled tracer."""
+    registry, tracer = MetricsRegistry(), Tracer(enabled=True)
+    previous_registry = set_metrics(registry)
+    previous_tracer = set_tracer(tracer)
+    try:
+        result = fn()
+    finally:
+        set_metrics(previous_registry)
+        set_tracer(previous_tracer)
+    return (
+        result,
+        comparable_snapshot(registry.snapshot()),
+        tree_shape(tracer.to_tree()),
+    )
+
+
+@pytest.fixture(scope="module")
+def measure():
+    return get_measure("L2,1")
+
+
+class TestDagLayout:
+    def test_layout_is_a_pure_function_of_inputs(self, measure):
+        tasks = pipeline_dag(tiny_grid(), measure=measure)
+        keys = [task.key for task in tasks]
+        # 4 sims + 1 rep + 6 chunks (one per pair) + assemble + 2 fits.
+        assert len(tasks) == 14
+        assert sum(key.startswith("dist:") for key in keys) == 6
+        assert "distances" in keys
+        assert "rep:hist" in keys
+        assert {"fit:throughput", "fit:latency_ms"} <= set(keys)
+        again = [t.key for t in pipeline_dag(tiny_grid(), measure=measure)]
+        assert keys == again
+
+    def test_fits_do_not_depend_on_distances(self, measure):
+        """Fit tasks hang off the simulations only, so the scheduler can
+        interleave them with distance chunks instead of behind them."""
+        tasks = {t.key: t for t in pipeline_dag(tiny_grid(), measure=measure)}
+        for key, task in tasks.items():
+            if key.startswith("fit:"):
+                assert not any(
+                    dep.startswith(("dist:", "rep:")) or dep == "distances"
+                    for dep in task.deps
+                )
+
+
+class TestMixedStageDeterminism:
+    def test_results_and_telemetry_identical_across_jobs(self, measure):
+        outcomes = [
+            observed(
+                lambda j=jobs: run_pipeline(
+                    tiny_grid(), measure=measure, jobs=j
+                )
+            )
+            for jobs in JOBS
+        ]
+        results0, metrics0, shape0 = outcomes[0]
+        assert results0.report.n_quarantined == 0
+        assert results0.report.n_executed == 14
+        D0 = results0["distances"]
+        assert D0.shape == (4, 4)
+        assert np.allclose(D0, D0.T)
+        for results, metrics, shape in outcomes[1:]:
+            np.testing.assert_array_equal(results["distances"], D0)
+            for key in ("fit:throughput", "fit:latency_ms"):
+                np.testing.assert_array_equal(results[key], results0[key])
+            assert metrics == metrics0
+            assert shape == shape0
+
+    def test_distances_match_the_stagewise_path(self, measure):
+        """The DAG-assembled matrix equals the barriered reference."""
+        grid = tiny_grid()
+        results = run_pipeline(grid, measure=measure, jobs=4)
+        corpus = list(execute_grid(grid, journal=False))
+        builder = RepresentationBuilder()
+        builder.fit(corpus)
+        matrices = [builder.build(r, "hist") for r in corpus]
+        np.testing.assert_array_equal(
+            results["distances"], distance_matrix(matrices, measure)
+        )
+
+
+class TestWarmCache:
+    @pytest.mark.parametrize("jobs", JOBS)
+    def test_warm_corpus_cache_skips_every_simulation(
+        self, tmp_path, measure, jobs
+    ):
+        grid = tiny_grid()
+        cache = CorpusCache(tmp_path)
+        cold = run_pipeline(grid, measure=measure, jobs=jobs, cache=cache)
+        assert cold.report.n_cached == 0
+        assert len(cache) == len(grid)
+        warm = run_pipeline(grid, measure=measure, jobs=jobs, cache=cache)
+        assert warm.report.n_cached == len(grid)
+        assert warm.report.n_executed == 14 - len(grid)
+        np.testing.assert_array_equal(
+            warm["distances"], cold["distances"]
+        )
+        for key in ("fit:throughput", "fit:latency_ms"):
+            np.testing.assert_array_equal(warm[key], cold[key])

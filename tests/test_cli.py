@@ -172,12 +172,12 @@ class TestSimilarity:
         assert code == 0
         assert "features       : 2" in capsys.readouterr().out
 
-    def test_unknown_measure_is_handled(self, mixed_corpus_file, capsys):
+    def test_unknown_measure_is_usage_error(self, mixed_corpus_file, capsys):
         code = main(
             ["similarity", "--corpus", str(mixed_corpus_file),
              "--measure", "Hausdorff"]
         )
-        assert code == 1
+        assert code == 2
         assert "error:" in capsys.readouterr().err
 
 
@@ -203,14 +203,14 @@ class TestCluster:
         )
         assert code == 0
 
-    def test_bad_measure_reported(self, mixed_corpus_file, capsys):
+    def test_bad_measure_is_usage_error(self, mixed_corpus_file, capsys):
         code = main(
             [
                 "cluster", "--corpus", str(mixed_corpus_file),
                 "--measure", "Nope",
             ]
         )
-        assert code == 1
+        assert code == 2
         assert "error:" in capsys.readouterr().err
 
 
@@ -249,7 +249,7 @@ class TestPredict:
         assert "Predicted throughput" in out
         assert "Similarity ranking" in out
 
-    def test_missing_file_is_reported(self, tmp_path, capsys):
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
         code = main(
             [
                 "predict", "--references", str(tmp_path / "none.json"),
@@ -257,7 +257,7 @@ class TestPredict:
                 "--source-cpus", "2", "--target-cpus", "8",
             ]
         )
-        assert code == 1
+        assert code == 2
         assert "error:" in capsys.readouterr().err
 
 
@@ -549,7 +549,12 @@ class TestObsCommand:
 class TestObsCheckBench:
     @pytest.mark.parametrize(
         "name",
-        ["BENCH_analysis.json", "BENCH_eval.json", "BENCH_synth.json"],
+        [
+            "BENCH_analysis.json",
+            "BENCH_eval.json",
+            "BENCH_exec.json",
+            "BENCH_synth.json",
+        ],
     )
     def test_committed_bench_files_pass(self, name, capsys):
         code = main(
@@ -709,3 +714,76 @@ class TestSynth:
         out = capsys.readouterr().out
         assert ("FAILED" in out) == (code == 1)
         assert code in (0, 1)
+
+
+class TestExitCodeContract:
+    """Pin the repo-wide convention: 0 ok, 1 domain failure, 2 usage.
+
+    Usage errors (2): the command could not meaningfully start —
+    malformed flags (argparse's own exit), unknown registry names,
+    missing input files.  Domain failures (1): the command ran and the
+    outcome is bad.  The individual cases live next to their commands;
+    this class sweeps the cross-command matrix in one place.
+    """
+
+    def test_argparse_usage_errors_exit_2(self):
+        for argv in (
+            [],                                  # no subcommand
+            ["frobnicate"],                      # unknown subcommand
+            ["similarity"],                      # missing required flag
+            ["corpus", "--kind", "nope"],        # bad choice
+            ["simulate", "--runs", "NaN"],       # bad int
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2, argv
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["select", "--corpus", "{missing}", "--strategy", "Variance"],
+            ["similarity", "--corpus", "{missing}"],
+            ["cluster", "--corpus", "{missing}"],
+            ["predict", "--references", "{missing}",
+             "--target", "{missing}",
+             "--source-cpus", "2", "--target-cpus", "8"],
+            ["synth", "--template", "{missing}"],
+        ],
+    )
+    def test_missing_input_file_exits_2(self, argv, tmp_path, capsys):
+        missing = str(tmp_path / "nowhere.json")
+        code = main([arg.replace("{missing}", missing) for arg in argv])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_registry_names_exit_2(self, mixed_corpus_file, capsys):
+        corpus = str(mixed_corpus_file)
+        cases = [
+            ["select", "--corpus", corpus, "--strategy", "psychic"],
+            ["similarity", "--corpus", corpus, "--measure", "Hausdorff"],
+            ["cluster", "--corpus", corpus, "--measure", "Nope"],
+        ]
+        for argv in cases:
+            assert main(argv) == 2, argv
+            assert "error:" in capsys.readouterr().err
+
+    def test_domain_failure_exits_1(self, tmp_path, capsys):
+        # check-bench with a genuine regression: the command ran fine,
+        # the *result* is bad -> 1, not 2.
+        baseline = {"case": {"wall_s": 1.0}}
+        current = {"case": {"wall_s": 9.0}}
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(baseline))
+        cur = tmp_path / "cur"
+        cur.mkdir()
+        (cur / "BENCH_x.json").write_text(json.dumps(current))
+        code = main(
+            ["obs", "check-bench", str(cur / "BENCH_x.json"),
+             "--baseline", str(tmp_path), "--tolerance", "0.5"]
+        )
+        assert code == 1
+
+    def test_success_exits_0(self, mixed_corpus_file):
+        assert main(
+            ["select", "--corpus", str(mixed_corpus_file),
+             "--strategy", "Variance"]
+        ) == 0
