@@ -17,7 +17,13 @@ Five subcommands mirror the pipeline stages:
   seeded spec space (``--count``) or fitted to an exported telemetry
   corpus entry (``--template``/``--workload``); ``--verify`` simulates
   each spec and checks every property target within tolerance (see
-  ``docs/synthesis.md``).
+  ``docs/synthesis.md``);
+- ``repro serve`` — long-running HTTP/JSON prediction service over a
+  reference corpus: ``POST /v1/rank`` and ``POST /v1/predict`` answer
+  from a digest-keyed response cache, the persisted distance/fit
+  caches, or a persistent worker pool; ``{"mode": "async"}`` turns a
+  request into a journal-backed job (``GET /v1/jobs/<id>``); SIGTERM
+  drains gracefully (see ``docs/serving.md``).
 
 Every subcommand reads/writes the repository formats of
 :class:`repro.workloads.repository.ExperimentRepository`: JSON, or the
@@ -386,6 +392,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--simulate-runs", type=int, default=3,
         help="repetitions per spec for --simulate-out",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve rank/predict requests over HTTP from a warm, "
+        "cached pipeline (see docs/serving.md)",
+        parents=[obs, analysis],
+    )
+    serve.add_argument(
+        "--references", required=True,
+        help="reference corpus repository (.json or .npz), loaded once "
+        "at boot; its digest is part of every response-cache key",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port (0 picks a free port, printed at boot)",
+    )
+    serve.add_argument(
+        "--fit-cache", default=None, metavar="PATH",
+        help="content-addressed model-fit cache directory "
+        "(default: $REPRO_FIT_CACHE if set)",
+    )
+    serve.add_argument(
+        "--state-dir", default=None, metavar="PATH",
+        help="directory for the async job journal; jobs submitted "
+        "before a crash are resumed from here on restart",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1, metavar="N",
+        help="threads draining the async job queue",
+    )
+    serve.add_argument(
+        "--response-cache-size", type=int, default=1024, metavar="N",
+        help="max entries in the in-process response cache",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="seconds to wait for queued jobs on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--subexperiments", type=int, default=10, metavar="N",
+        help="systematic sub-experiments per run (the paper's 10)",
+    )
+    serve.add_argument("--strategy", default="SVM")
+    serve.add_argument(
+        "--context", default="pairwise", choices=("pairwise", "single")
+    )
+    serve.add_argument("--top-k", type=int, default=7)
+    serve.add_argument(
+        "--representation", default="hist", choices=("hist", "phase", "mts")
+    )
+    serve.add_argument("--measure", default="L2,1")
+    serve.add_argument("--seed", type=int, default=0)
 
     # "obs" reads observability artifacts back; it deliberately does NOT
     # inherit the obs parent parser (its sub-subcommands define their own
@@ -863,6 +922,72 @@ def _cmd_synth(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.exec.arrays import ArrayStore, set_ambient_store
+    from repro.exec.engine import PersistentPool, set_persistent_pool
+    from repro.serve.app import ServeApp
+    from repro.serve.protocol import file_digest
+    from repro.serve.server import make_server, serve_until_shutdown
+    from repro.serve.service import PredictionService
+    from repro.utils.parallel import resolve_jobs
+
+    references_path = Path(args.references)
+    if not references_path.exists():
+        raise _UsageError(f"no such repository file: {args.references}")
+    references = _load_repository(references_path)
+    config = PipelineConfig(
+        scaling_strategy=args.strategy,
+        scaling_context=args.context,
+        top_k=args.top_k,
+        representation=args.representation,
+        measure=args.measure,
+        random_state=args.seed,
+        jobs=args.jobs,
+        distance_cache=_resolve_distance_cache(args),
+        fit_cache=_resolve_fit_cache(args),
+    )
+    # The server's process-wide performance state: a persistent worker
+    # pool (no per-request pool spin-up) and an ambient shared-memory
+    # store the warmup pins the reference matrices into.
+    n_workers = resolve_jobs(args.jobs)
+    pool = PersistentPool(n_workers) if n_workers > 1 else None
+    previous_pool = set_persistent_pool(pool) if pool is not None else None
+    store = ArrayStore()
+    previous_store = set_ambient_store(store)
+    try:
+        service = PredictionService(
+            references, config, n_subexperiments=args.subexperiments
+        )
+        summary = service.warmup()
+        app = ServeApp(
+            service,
+            references_digest=file_digest(references_path),
+            response_cache_size=args.response_cache_size,
+            state_dir=args.state_dir,
+            job_workers=args.job_workers,
+            ledger=_resolve_ledger(args),
+        )
+        recovered = app.recover_jobs()
+        server = make_server(app, host=args.host, port=args.port)
+        print(
+            f"serving {len(references)} reference experiment(s) "
+            f"({', '.join(summary['workloads'])}) on "
+            f"http://{args.host}:{server.port}"
+            + (f"; resumed {recovered} job(s)" if recovered else ""),
+            flush=True,
+        )
+        drained = serve_until_shutdown(
+            server, drain_timeout=args.drain_timeout
+        )
+        return 0 if drained else 1
+    finally:
+        set_ambient_store(previous_store)
+        store.close()
+        if pool is not None:
+            set_persistent_pool(previous_pool)
+            pool.close()
+
+
 def _require_obs_ledger(args) -> str | None:
     path = _resolve_ledger(args)
     if path is None:
@@ -1092,6 +1217,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "cluster": _cmd_cluster,
     "synth": _cmd_synth,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
 }
 

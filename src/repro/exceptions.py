@@ -34,3 +34,7 @@ class RepositoryError(ReproError):
 
 class PipelineError(ReproError):
     """An end-to-end pipeline stage could not be executed."""
+
+
+class ServeError(ReproError):
+    """A prediction-service request was malformed or unservable."""

@@ -33,9 +33,25 @@ See ``docs/performance.md`` (execution substrate section) for the DAG
 model, the fingerprint keys, and the shared-memory lifecycle.
 """
 
-from repro.exec.arrays import ArrayRef, ArrayStore, resolve_refs
+from repro.exec.arrays import (
+    ArrayRef,
+    ArrayStore,
+    ambient_store,
+    detach_all,
+    resolve_refs,
+    set_ambient_store,
+)
 from repro.exec.dag import DagResults, DagTask, Input, run_dag
-from repro.exec.engine import ExecReport, ExecResults, ExecTask, run_tasks
+from repro.exec.engine import (
+    ExecReport,
+    ExecResults,
+    ExecTask,
+    PersistentPool,
+    get_persistent_pool,
+    persistent_pool,
+    run_tasks,
+    set_persistent_pool,
+)
 from repro.exec.journal import append_jsonl, load_jsonl
 
 __all__ = [
@@ -47,9 +63,16 @@ __all__ = [
     "ExecResults",
     "ExecTask",
     "Input",
+    "PersistentPool",
+    "ambient_store",
     "append_jsonl",
+    "detach_all",
+    "get_persistent_pool",
     "load_jsonl",
+    "persistent_pool",
     "resolve_refs",
-    "run_dag",
     "run_tasks",
+    "run_dag",
+    "set_ambient_store",
+    "set_persistent_pool",
 ]

@@ -24,10 +24,24 @@ cannot perturb the serial == jobs=N bit-for-bit contract.
 
 Lifecycle: the parent that created the store owns the segments and
 frees them on :meth:`ArrayStore.close` (the store is a context
-manager).  Worker-side attachments are views; on Linux the kernel keeps
-the backing pages alive until the last map goes away, so workers may
-outlive ``close()`` mid-shutdown without faulting on pages they still
-hold.  Workers attach by mapping the segment's ``/dev/shm`` backing
+manager).  Every live store is additionally tracked in a weak set and
+closed by an :mod:`atexit` hook, so a long-running process (the
+``repro serve`` server) that dies without unwinding its stores does not
+leak ``/dev/shm`` segments across restarts; :meth:`ArrayStore.prune`
+frees everything *except* a pinned digest set mid-flight, which is how
+a server keeps its corpus arrays published across requests without
+accumulating per-request temporaries.  Worker-side attachments are
+views; on Linux the kernel keeps the backing pages alive until the last
+map goes away, so workers may outlive ``close()`` mid-shutdown without
+faulting on pages they still hold.  A long-lived *worker* clears its
+attachment cache with :func:`detach_all`.
+
+A process may install one **ambient** store
+(:func:`set_ambient_store`): parallel stages that would otherwise
+create a throwaway store per call publish through the ambient one
+instead — and never close it.  Because :meth:`ArrayStore.put` dedupes
+by content digest, arrays shared across calls (a server's reference
+corpus) are published exactly once for the life of the store.  Workers attach by mapping the segment's ``/dev/shm`` backing
 file read-only rather than through ``SharedMemory`` — attaching is
 borrowing, not owning, and going through ``SharedMemory`` would tangle
 the borrowed segment into the ``multiprocessing`` resource tracker's
@@ -41,10 +55,12 @@ IPC benchmark uses as its baseline).
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
 import shutil
 import tempfile
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -61,6 +77,65 @@ ARRAYS_ENV = "REPRO_EXEC_ARRAYS"
 def arrays_enabled() -> bool:
     """Whether callers should publish arrays instead of pickling them."""
     return os.environ.get(ARRAYS_ENV, "auto").lower() != "off"
+
+
+#: Live stores awaiting cleanup; weak so a collected store drops out.
+_LIVE_STORES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_stores() -> None:
+    """Free every still-open store's segments at interpreter exit.
+
+    Shared-memory segments outlive their process unless unlinked; a
+    long-running server killed mid-request (or a caller that never
+    unwound its ``with`` block) would otherwise leak ``/dev/shm`` until
+    reboot.
+    """
+    for store in list(_LIVE_STORES):
+        try:
+            store.close()
+        except Exception:  # pragma: no cover - best-effort shutdown
+            pass
+
+
+#: The process-wide ambient store, when one is installed.
+_AMBIENT_STORE: "ArrayStore | None" = None
+
+
+def set_ambient_store(store: "ArrayStore | None") -> "ArrayStore | None":
+    """Install ``store`` as the process's ambient store.
+
+    While installed, parallel stages publish arrays through it instead
+    of creating (and closing) a private store per call, so content
+    shared across calls is published once.  The installer owns the
+    store's lifetime.  Returns the previously installed store.
+    """
+    global _AMBIENT_STORE
+    previous = _AMBIENT_STORE
+    _AMBIENT_STORE = store
+    return previous
+
+
+def ambient_store() -> "ArrayStore | None":
+    """The installed ambient store, or ``None``."""
+    return _AMBIENT_STORE
+
+
+def acquire_store(want: bool) -> "tuple[ArrayStore | None, bool]":
+    """The store a parallel stage should publish through, if any.
+
+    Returns ``(store, owned)``: the ambient store when one is installed
+    (``owned=False`` — the caller must not close it), otherwise a fresh
+    private store when ``want`` is true and publishing is enabled
+    (``owned=True`` — the caller closes it when the fan-out ends).
+    """
+    if not (want and arrays_enabled()):
+        return None, False
+    ambient = ambient_store()
+    if ambient is not None:
+        return ambient, False
+    return ArrayStore(), True
 
 
 @dataclass(frozen=True)
@@ -116,6 +191,7 @@ class ArrayStore:
         self._segments: dict[str, object] = {}  # digest -> SharedMemory
         self._refs: dict[str, ArrayRef] = {}
         self._closed = False
+        _LIVE_STORES.add(self)
 
     def __enter__(self) -> "ArrayStore":
         return self
@@ -123,8 +199,25 @@ class ArrayStore:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def __del__(self):  # pragma: no cover - depends on GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def __len__(self) -> int:
         return len(self._refs)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently published (shm segments + spool files)."""
+        return sum(
+            ref.nbytes for ref in self._refs.values() if ref.kind != "inline"
+        )
+
+    def digests(self) -> set:
+        """Content digests of everything currently published."""
+        return set(self._refs)
 
     def put(self, arr: np.ndarray) -> ArrayRef:
         """Publish ``arr`` and return its ref (dedup by content)."""
@@ -181,21 +274,46 @@ class ArrayStore:
         """Materialize a ref in this process (parent-side convenience)."""
         return resolve_ref(ref)
 
-    def close(self) -> None:
-        """Free every published segment and spool file."""
-        if self._closed:
-            return
-        self._closed = True
-        for shm in self._segments.values():
+    def _free(self, digest: str, ref: ArrayRef) -> None:
+        shm = self._segments.pop(digest, None)
+        if shm is not None:
             try:
                 shm.close()
                 shm.unlink()
             except OSError:
                 pass
+        elif ref.kind == "mmap":
+            try:
+                Path(ref.name).unlink()
+            except OSError:
+                pass
+
+    def prune(self, keep=()) -> int:
+        """Free every published array whose digest is not in ``keep``.
+
+        A long-lived store (a server's ambient store) pins its corpus
+        digests and prunes after each request, so per-request
+        temporaries never accumulate in ``/dev/shm``.  Returns how many
+        arrays were freed.
+        """
+        keep = set(keep)
+        victims = [d for d in self._refs if d not in keep]
+        for digest in victims:
+            self._free(digest, self._refs.pop(digest))
+        return len(victims)
+
+    def close(self) -> None:
+        """Free every published segment and spool file."""
+        if self._closed:
+            return
+        self._closed = True
+        for digest, ref in list(self._refs.items()):
+            self._free(digest, ref)
         self._segments.clear()
         if self._own_spool and self._spool_dir is not None:
             shutil.rmtree(self._spool_dir, ignore_errors=True)
         self._refs.clear()
+        _LIVE_STORES.discard(self)
 
 
 #: Per-process attachment cache: a worker executing many tasks against
@@ -249,6 +367,23 @@ def resolve_ref(ref: ArrayRef) -> np.ndarray:
     arr.flags.writeable = False
     _ATTACHED[cache_key] = arr
     return arr
+
+
+def detach_all() -> None:
+    """Drop this process's cached attachments (worker-side cleanup).
+
+    A pool worker that serves many runs against different stores would
+    otherwise keep every mapped segment alive for its whole life; a
+    long-running server recycles workers and calls this between
+    generations.
+    """
+    _ATTACHED.clear()
+    for shm in _ATTACHED_SEGMENTS.values():
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+    _ATTACHED_SEGMENTS.clear()
 
 
 def resolve_refs(obj):

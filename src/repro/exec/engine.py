@@ -39,6 +39,7 @@ already resolved.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -151,6 +152,124 @@ class ExecResults(list):
     """
 
     report: ExecReport | None = None
+
+
+class PersistentPool:
+    """A long-lived worker pool reused across :func:`run_tasks` calls.
+
+    A batch CLI run amortizes pool spin-up over thousands of tasks; a
+    server answering one request at a time cannot — forking workers and
+    re-importing numpy per request would dwarf the work itself.  While a
+    persistent pool is installed (:func:`set_persistent_pool`, or the
+    :func:`persistent_pool` context manager), every parallel
+    :func:`run_tasks` call borrows its executor instead of building one,
+    and leaves it running afterwards.
+
+    The pool is created lazily, recreated after breakage (a dead worker
+    renders a ``ProcessPoolExecutor`` unusable), and thread-safe: server
+    threads may run tasks through it concurrently —
+    ``ProcessPoolExecutor.submit`` is thread-safe, and each
+    :func:`run_tasks` call keeps its own future bookkeeping.  Worker
+    recycling is delegated to ``max_tasks_per_child``-free semantics:
+    tasks are pure, so workers live as long as the pool does.
+    """
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = int(max_workers)
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self.rebuilds = 0
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def acquire(self) -> ProcessPoolExecutor:
+        """The live executor, created on first use.
+
+        Raises the usual :data:`~repro.utils.parallel.POOL_UNAVAILABLE_ERRORS`
+        when no pool can be created; callers fall back to serial exactly
+        as they would for a private pool.
+        """
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            return self._pool
+
+    def invalidate(self, pool: ProcessPoolExecutor) -> None:
+        """Discard ``pool`` after breakage so the next acquire rebuilds.
+
+        Idempotent and race-tolerant: two concurrent runs observing the
+        same breakage both call this, the second is a no-op.
+        """
+        with self._lock:
+            if self._pool is not pool:
+                return
+            self._pool = None
+            self.rebuilds += 1
+        get_metrics().counter("exec.persistent_pool_rebuilds_total").inc()
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken-pool teardown
+            pass
+
+    def close(self) -> None:
+        """Shut the executor down; the next acquire would recreate it."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+_persistent_pool: PersistentPool | None = None
+
+
+def set_persistent_pool(
+    pool: PersistentPool | None,
+) -> PersistentPool | None:
+    """Install ``pool`` for every parallel :func:`run_tasks` call.
+
+    The installer owns the pool's lifetime (it is *not* closed when
+    replaced).  Returns the previously installed pool.
+    """
+    global _persistent_pool
+    previous = _persistent_pool
+    _persistent_pool = pool
+    return previous
+
+
+def get_persistent_pool() -> PersistentPool | None:
+    """The installed persistent pool, or ``None``."""
+    return _persistent_pool
+
+
+class persistent_pool:
+    """Context manager: install (and own) a :class:`PersistentPool`::
+
+        with persistent_pool(max_workers=4):
+            run_tasks(...)   # borrows the shared executor
+            run_tasks(...)   # no second pool spin-up
+    """
+
+    def __init__(self, max_workers: int):
+        self.pool = PersistentPool(max_workers)
+        self._previous: PersistentPool | None = None
+
+    def __enter__(self) -> PersistentPool:
+        self._previous = set_persistent_pool(self.pool)
+        return self.pool
+
+    def __exit__(self, *exc_info) -> None:
+        set_persistent_pool(self._previous)
+        self.pool.close()
 
 
 def _shell(fn, payload, attempt, in_worker, tracing):
@@ -275,9 +394,13 @@ def _run_parallel(run: _Run, tasks, n_workers: int) -> None:
     #: the order futures completed in.
     snapshots: dict[int, object] = {}
 
+    persistent = get_persistent_pool()
     while queue:
         try:
-            pool = ProcessPoolExecutor(max_workers=n_workers)
+            if persistent is not None:
+                pool = persistent.acquire()
+            else:
+                pool = ProcessPoolExecutor(max_workers=n_workers)
         except POOL_UNAVAILABLE_ERRORS as exc:
             logger.warning(
                 "process pool unavailable (%s); %s falling back to serial",
@@ -350,7 +473,10 @@ def _run_parallel(run: _Run, tasks, n_workers: int) -> None:
                     snapshots[task.index] = telemetry
                     run.accept(task, attempt, result)
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            if persistent is None:
+                pool.shutdown(wait=True, cancel_futures=True)
+            elif broken:
+                persistent.invalidate(pool)
         if broken:
             run.pool_rebuilds += 1
             get_metrics().counter(f"{run.label}.pool_rebuilds_total").inc()

@@ -41,7 +41,7 @@ import math
 
 import numpy as np
 
-from repro.exec.arrays import ArrayStore, arrays_enabled
+from repro.exec.arrays import acquire_store
 from repro.exec.dag import DagResults, DagTask, Input, run_dag
 from repro.ml.linear import Ridge
 from repro.obs.tracing import span
@@ -230,7 +230,7 @@ def run_pipeline(
         fit_targets=fit_targets,
         chunk_target=chunk_target,
     )
-    store = ArrayStore() if arrays_enabled() else None
+    store, owned = acquire_store(True)
     try:
         return run_dag(
             tasks,
@@ -240,5 +240,5 @@ def run_pipeline(
             journal=journal,
         )
     finally:
-        if store is not None:
+        if store is not None and owned:
             store.close()

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.exec.arrays import ArrayStore, arrays_enabled
+from repro.exec.arrays import acquire_store
 from repro.exec.engine import ExecTask, run_tasks
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
@@ -158,11 +158,7 @@ class _BaseForest(BaseEstimator):
         # On the parallel path X and y are published once into shared
         # memory and every batch ships refs, so workers stop receiving a
         # pickled copy of the training matrix per batch.
-        store = (
-            ArrayStore()
-            if n_workers > 1 and len(batches) > 1 and arrays_enabled()
-            else None
-        )
+        store, owned = acquire_store(n_workers > 1 and len(batches) > 1)
         try:
             if store is not None:
                 X_ship = store.put(np.ascontiguousarray(X))
@@ -197,7 +193,7 @@ class _BaseForest(BaseEstimator):
                 tree for trees in outputs for tree in trees
             ]
         finally:
-            if store is not None:
+            if store is not None and owned:
                 store.close()
 
     @property

@@ -9,10 +9,14 @@ them for the life of the process::
     metrics.histogram("pipeline.predict.latency_ms").observe(42.0)
 
 Instruments are plain Python objects whose record operations are a few
-attribute updates, cheap enough to leave permanently enabled in the
-simulator and pipeline.  The registry exports a JSON-serializable
-:meth:`MetricsRegistry.snapshot` and a Prometheus text exposition
-(:meth:`MetricsRegistry.to_prometheus`).
+attribute updates behind a per-instrument lock (record paths are hit
+concurrently by ``repro serve``'s handler threads), cheap enough to
+leave permanently enabled in the simulator and pipeline.  The registry
+exports a JSON-serializable :meth:`MetricsRegistry.snapshot` and a
+Prometheus text exposition (:meth:`MetricsRegistry.to_prometheus`);
+histograms additionally export estimated p50/p90/p99 summaries
+(:meth:`Histogram.quantile`) in both forms — the request-latency
+numbers a latency SLO is stated in.
 """
 
 from __future__ import annotations
@@ -39,12 +43,13 @@ LATENCY_MS_BUCKETS = (
 class Counter:
     """A monotonically increasing value."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -52,7 +57,8 @@ class Counter:
             raise ValidationError(
                 f"counter {self.name!r} cannot decrease (got {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"type": "counter", "value": self.value}
@@ -61,21 +67,24 @@ class Counter:
 class Gauge:
     """A value that can go up and down (last write wins)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot(self) -> dict:
         return {"type": "gauge", "value": self.value}
@@ -89,7 +98,10 @@ class Histogram:
     An observation equal to a bound lands in that bound's bucket.
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count", "_lock")
+
+    #: Quantiles exported in snapshots and the Prometheus exposition.
+    SUMMARY_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
 
     def __init__(self, name: str, buckets=DEFAULT_BUCKETS, help: str = ""):
         bounds = tuple(float(b) for b in buckets)
@@ -105,13 +117,16 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # final slot is +Inf
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        position = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[position] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative_counts(self) -> list[int]:
         """Cumulative count per bucket, ending with the +Inf total."""
@@ -121,6 +136,41 @@ class Histogram:
             out.append(total)
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Interpolates linearly inside the bucket the quantile rank falls
+        into, Prometheus ``histogram_quantile`` style: the first finite
+        bucket's lower edge is taken as ``min(0, bound)``, and a rank
+        landing in the ``+Inf`` bucket reports the last finite bound
+        (the estimate saturates — it cannot exceed instrumented range).
+        Returns ``None`` when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for position, bound in enumerate(self.buckets):
+            below = cumulative
+            cumulative += self.counts[position]
+            if cumulative >= rank and self.counts[position] > 0:
+                lower = (
+                    self.buckets[position - 1]
+                    if position
+                    else min(0.0, bound)
+                )
+                fraction = (rank - below) / self.counts[position]
+                return lower + (bound - lower) * fraction
+        return self.buckets[-1]
+
+    def summary(self) -> dict:
+        """The :data:`SUMMARY_QUANTILES` estimates, keyed ``p50``/…"""
+        return {
+            label: self.quantile(q) for q, label in self.SUMMARY_QUANTILES
+        }
+
     def snapshot(self) -> dict:
         return {
             "type": "histogram",
@@ -128,6 +178,7 @@ class Histogram:
             "counts": list(self.counts),
             "sum": self.sum,
             "count": self.count,
+            **self.summary(),
         }
 
 
@@ -260,6 +311,16 @@ class MetricsRegistry:
                 )
                 lines.append(f"{metric}_sum {_fmt(instrument.sum)}")
                 lines.append(f"{metric}_count {instrument.count}")
+                # Quantile estimates follow the _count line so existing
+                # scrape parsers (and tests pinned to the bucket/sum/
+                # count prefix) are unaffected; empty histograms have no
+                # estimate to report.
+                if instrument.count > 0:
+                    for q, _label in Histogram.SUMMARY_QUANTILES:
+                        lines.append(
+                            f'{metric}{{quantile="{_fmt(q)}"}} '
+                            f"{_fmt(instrument.quantile(q))}"
+                        )
         return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -12,8 +12,11 @@ benchmark writers and metric names already use:
 - **lower-is-better** — timing suffixes (``_s``, ``_ms``, ``_seconds``)
   and loss-like tokens (``nrmse``, ``misses``, ``latency``,
   ``overhead``);
-- **higher-is-better** — quality tokens (``accuracy``, ``hit``,
-  ``skip_rate``, ``speedup``, ``ndcg``, ``precision``);
+- **higher-is-better** — throughput-rate suffixes (``_per_s``,
+  ``_per_sec``, checked *before* the timing suffixes so
+  ``requests_per_s`` is not read as a timing) and quality tokens
+  (``accuracy``, ``hit``, ``skip_rate``, ``speedup``, ``ndcg``,
+  ``precision``);
 - **zero-expected** — warm-cache counters (``warm_fits``,
   ``warm_pairs_computed``) and anything ``corrupt``: any non-zero
   current value is a regression regardless of baseline;
@@ -40,6 +43,11 @@ LOWER_BETTER_TOKENS = ("nrmse", "misses", "latency", "overhead")
 #: Name suffixes marking a leaf as a timing (lower-is-better).
 TIME_SUFFIXES = ("_s", "_ms", "_seconds")
 
+#: Name suffixes marking a leaf as a throughput rate (higher-is-better).
+#: Checked before :data:`TIME_SUFFIXES` — ``requests_per_s`` ends in
+#: ``_s`` but more of something per second is better, not worse.
+RATE_SUFFIXES = ("_per_s", "_per_sec", "_per_second")
+
 #: Name tokens marking a leaf as higher-is-better.
 HIGHER_BETTER_TOKENS = (
     "accuracy", "hit", "skip_rate", "speedup", "ndcg", "precision",
@@ -50,11 +58,14 @@ def classify(name: str) -> str | None:
     """Direction of a numeric leaf: ``lower``/``higher``/``zero``/None.
 
     The *leaf* part of a dotted path decides; precedence is
-    zero-expected, then lower-is-better, then higher-is-better.
+    zero-expected, then rate suffixes (higher), then lower-is-better,
+    then higher-is-better tokens.
     """
     leaf = name.rsplit(".", 1)[-1]
     if leaf in ZERO_EXPECTED or "corrupt" in leaf:
         return "zero"
+    if leaf.endswith(RATE_SUFFIXES):
+        return "higher"
     if leaf.endswith(TIME_SUFFIXES) or any(
         token in leaf for token in LOWER_BETTER_TOKENS
     ):
@@ -67,6 +78,8 @@ def classify(name: str) -> str | None:
 def is_timing(name: str) -> bool:
     """True when the leaf is a wall/CPU-time measurement."""
     leaf = name.rsplit(".", 1)[-1]
+    if leaf.endswith(RATE_SUFFIXES):
+        return True
     return leaf.endswith(TIME_SUFFIXES) or "speedup" in leaf
 
 

@@ -1,0 +1,119 @@
+"""Tier 1 of the serving hot path: response cache and single-flight.
+
+The response cache is a bounded, thread-safe LRU keyed by request
+digest.  A hit answers in microseconds without touching the pipeline;
+eviction is purely by recency, and because keys are content addresses
+a stale entry is impossible — any change to the corpus, config, or
+schema changes every key (see :mod:`repro.serve.protocol`).
+
+Single-flight closes the stampede window the cache alone leaves open:
+N identical requests arriving while the answer is still being computed
+would otherwise each run the pipeline.  :class:`SingleFlight` lets the
+first request (the *leader*) compute while the other N-1 (*followers*)
+block on an event and receive the leader's result — exactly one
+pipeline execution per digest, which ``benchmarks/test_serve_scaling.py``
+pins by counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import get_metrics
+
+
+class ResponseCache:
+    """Bounded thread-safe LRU mapping request digests to responses."""
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValidationError(
+                f"response cache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, digest: str):
+        """The cached response, or ``None``; a hit refreshes recency."""
+        metrics = get_metrics()
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                metrics.counter("serve.response_cache.hits_total").inc()
+                return self._entries[digest]
+        metrics.counter("serve.response_cache.misses_total").inc()
+        return None
+
+    def put(self, digest: str, response) -> None:
+        """Insert (or refresh) an entry, evicting the least recent."""
+        with self._lock:
+            self._entries[digest] = response
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                get_metrics().counter(
+                    "serve.response_cache.evictions_total"
+                ).inc()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+
+class _Flight:
+    """One in-progress computation awaited by followers."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Coalesce concurrent identical computations down to one.
+
+    ``run(key, fn)`` returns ``(value, leader)``: the first caller for
+    a live ``key`` executes ``fn`` and is the leader; every concurrent
+    caller with the same key blocks until the leader finishes and gets
+    the same value (or the same exception, re-raised).  The flight is
+    forgotten once settled, so a *later* call with the same key
+    computes again — permanent memoization is the response cache's job,
+    not this class's.
+    """
+
+    def __init__(self):
+        self._flights: dict[str, _Flight] = {}
+        self._lock = threading.Lock()
+
+    def run(self, key: str, fn):
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            get_metrics().counter("serve.singleflight.coalesced_total").inc()
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value, True

@@ -1,0 +1,261 @@
+"""Journal-backed async job queue behind ``{"mode": "async"}``.
+
+Expensive requests should not hold an HTTP connection open for the
+length of a pipeline run.  Submitting with ``mode: "async"`` returns
+``202 Accepted`` plus a job id immediately; the computation runs on the
+queue's worker threads (through the *same* compute path as sync
+requests, so async jobs hit the response cache and single-flight
+table), and the result is fetched later from ``GET /v1/jobs/<id>``.
+
+Job ids are content addresses — ``job-<digest prefix>`` — so
+resubmitting an identical request returns the *existing* job instead
+of queueing duplicate work.
+
+Every state transition is appended to ``<state_dir>/jobs.jsonl`` via
+the torn-tail-healing :func:`repro.exec.journal.append_jsonl`
+discipline; ``done`` rows carry the result.  On restart
+:meth:`JobQueue.recover` replays the journal: finished jobs serve
+their recorded results, unfinished ones are re-enqueued and run again
+— a submitted job survives a server crash.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ServeError, ValidationError
+from repro.exec.journal import append_jsonl, load_jsonl
+from repro.obs.logging import get_logger
+from repro.obs.metrics import get_metrics
+
+logger = get_logger(__name__)
+
+#: Digest-prefix length used for job ids; 48 bits of content address is
+#: collision-free at any plausible queue size and keeps ids readable.
+JOB_ID_PREFIX_LEN = 12
+
+
+def job_id_for(digest: str) -> str:
+    """The job id for a request digest (content-addressed, idempotent)."""
+    return f"job-{digest[:JOB_ID_PREFIX_LEN]}"
+
+
+@dataclass
+class Job:
+    """One async request and its lifecycle."""
+
+    job_id: str
+    digest: str
+    endpoint: str
+    payload: dict
+    status: str = "pending"  # pending | running | done | failed
+    result: dict | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+
+    def to_dict(self) -> dict:
+        """The ``GET /v1/jobs/<id>`` response body."""
+        body = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "endpoint": self.endpoint,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+        if self.status == "done":
+            body["result"] = self.result
+        if self.status == "failed":
+            body["error"] = self.error
+        return body
+
+
+class JobQueue:
+    """Worker threads draining a journal-backed queue of jobs.
+
+    ``compute`` is called as ``compute(endpoint, payload)`` and must
+    return the response body for the request — the app passes its own
+    cached/coalesced compute path here.
+    """
+
+    def __init__(self, compute, *, state_dir=None, workers: int = 1):
+        if workers < 1:
+            raise ValidationError(f"job queue needs workers >= 1, got {workers}")
+        self._compute = compute
+        self._journal = (
+            Path(state_dir) / "jobs.jsonl" if state_dir is not None else None
+        )
+        self._jobs: dict[str, Job] = {}
+        self._queue: "queue.Queue[Job | None]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._unsettled = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-serve-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, digest: str, endpoint: str, payload: dict) -> Job:
+        """Queue one request; identical resubmission returns the old job."""
+        job_id = job_id_for(digest)
+        with self._lock:
+            if self._closed:
+                raise ServeError("job queue is shut down")
+            existing = self._jobs.get(job_id)
+            if existing is not None:
+                return existing
+            job = Job(
+                job_id=job_id, digest=digest, endpoint=endpoint,
+                payload=payload,
+            )
+            self._jobs[job_id] = job
+            self._unsettled += 1
+        self._append(
+            {
+                "event": "submit",
+                "job_id": job.job_id,
+                "digest": job.digest,
+                "endpoint": job.endpoint,
+                "payload": job.payload,
+                "submitted_at": job.submitted_at,
+            }
+        )
+        get_metrics().counter("serve.jobs.submitted_total").inc()
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    # -- recovery --------------------------------------------------------------
+    def recover(self) -> int:
+        """Replay the journal; returns how many jobs were re-enqueued.
+
+        Finished jobs come back ``done``/``failed`` with their recorded
+        results; jobs with a ``submit`` row but no settlement are
+        re-enqueued and recomputed.
+        """
+        if self._journal is None:
+            return 0
+        rows, n_corrupt = load_jsonl(self._journal, label="serve.jobs")
+        if n_corrupt:
+            get_metrics().counter("serve.jobs.journal_corrupt_total").inc(
+                n_corrupt
+            )
+        recovered: dict[str, Job] = {}
+        for row in rows:
+            job_id = row.get("job_id")
+            event = row.get("event")
+            if not job_id or not event:
+                continue
+            if event == "submit":
+                recovered[job_id] = Job(
+                    job_id=job_id,
+                    digest=row.get("digest", ""),
+                    endpoint=row.get("endpoint", ""),
+                    payload=row.get("payload", {}),
+                    submitted_at=row.get("submitted_at", 0.0),
+                )
+            elif job_id in recovered and event in ("done", "failed"):
+                job = recovered[job_id]
+                job.status = event
+                job.result = row.get("result")
+                job.error = row.get("error")
+                job.finished_at = row.get("finished_at")
+        requeued = 0
+        with self._lock:
+            for job_id, job in recovered.items():
+                if job_id in self._jobs:
+                    continue
+                self._jobs[job_id] = job
+                if job.status == "pending":
+                    self._unsettled += 1
+                    requeued += 1
+        for job in recovered.values():
+            if job.status == "pending":
+                self._queue.put(job)
+        if requeued:
+            logger.info("re-enqueued %d unfinished job(s)", requeued)
+            get_metrics().counter("serve.jobs.recovered_total").inc(requeued)
+        return requeued
+
+    # -- lifecycle -------------------------------------------------------------
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for queued work to settle, then stop the workers.
+
+        Returns ``True`` when every submitted job settled within
+        ``timeout`` seconds; either way, no new submissions are
+        accepted afterwards and the worker threads exit.
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            self._closed = True
+            while self._unsettled > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
+            drained = self._unsettled == 0
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        return drained
+
+    # -- internals -------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = "running"
+            try:
+                result = self._compute(job.endpoint, job.payload)
+            except Exception as exc:
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                job.finished_at = time.time()
+                self._append(
+                    {
+                        "event": "failed",
+                        "job_id": job.job_id,
+                        "error": job.error,
+                        "finished_at": job.finished_at,
+                    }
+                )
+                get_metrics().counter("serve.jobs.failed_total").inc()
+                logger.warning("job %s failed: %s", job.job_id, job.error)
+            else:
+                job.result = result
+                job.status = "done"
+                job.finished_at = time.time()
+                self._append(
+                    {
+                        "event": "done",
+                        "job_id": job.job_id,
+                        "result": result,
+                        "finished_at": job.finished_at,
+                    }
+                )
+                get_metrics().counter("serve.jobs.done_total").inc()
+            finally:
+                with self._idle:
+                    self._unsettled -= 1
+                    self._idle.notify_all()
+
+    def _append(self, row: dict) -> None:
+        if self._journal is not None:
+            append_jsonl(self._journal, row, label="serve.jobs")

@@ -1,0 +1,300 @@
+"""The warm pipeline: per-process state the serving hot path reuses.
+
+The batch pipeline (:class:`repro.core.pipeline.WorkloadPredictionPipeline`)
+re-derives everything per invocation.  :class:`PredictionService` hoists
+the target-independent work into a one-time warmup and keeps it hot:
+
+- **feature selection** runs once on the expanded reference corpus
+  (FitCache-backed, so a warm cache makes even the first boot cheap);
+- the **representation builder is frozen on the references**.  The
+  batch path refits normalization ranges on references+target per
+  request, which would change every reference matrix with every target
+  and defeat the distance cache; freezing on the (much larger)
+  reference corpus keeps reference matrices — and their content
+  digests — stable across requests, so cross-distance pairs hit the
+  persisted :class:`~repro.similarity.distcache.DistanceCache`.
+  Normalization is a monotone per-feature rescale, so the *ordering*
+  the ranking reads off the distances is the paper's;
+- **reference matrices** are built once and published into the ambient
+  shared-memory :class:`~repro.exec.arrays.ArrayStore` (when one is
+  installed), pinned so per-request pruning never unpublishes them —
+  distance chunks ship content refs instead of pickled matrices on
+  every request;
+- **scaling models** are memoized per (reference, source SKU, target
+  SKU): the SVM fit happens the first time a migration pair is asked
+  about, never again.
+
+Request-scoped math mirrors the batch pipeline line for line
+(fresh seeded generator per request), so serving the same request
+twice — or on servers with different worker counts — produces
+bit-identical responses.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import WorkloadPredictionPipeline
+from repro.core.report import SimilarityRanking
+from repro.exceptions import ServeError, ValidationError
+from repro.exec.arrays import ambient_store
+from repro.obs.logging import get_logger
+from repro.obs.tracing import span
+from repro.prediction.context import PairwiseScalingModel
+from repro.similarity.evaluation import (
+    cross_distance_matrix,
+    representation_matrices,
+)
+from repro.similarity.measures import get_measure
+from repro.similarity.representations import RepresentationBuilder
+from repro.utils.rng import as_generator
+from repro.workloads.corpus import expand_subexperiments
+from repro.workloads.repository import ExperimentRepository
+from repro.workloads.sampling import augmented_throughputs
+
+logger = get_logger(__name__)
+
+
+def load_references(path) -> ExperimentRepository:
+    """Load a reference corpus from ``.json`` or ``.npz``."""
+    path = str(path)
+    if path.endswith(".npz"):
+        return ExperimentRepository.load_npz(path)
+    return ExperimentRepository.load(path)
+
+
+class PredictionService:
+    """Warm pipeline state answering rank and predict requests."""
+
+    def __init__(
+        self,
+        references: ExperimentRepository,
+        config: PipelineConfig | None = None,
+        *,
+        n_subexperiments: int = 10,
+    ):
+        if len(references) == 0:
+            raise ValidationError("reference corpus must not be empty")
+        self.config = config or PipelineConfig()
+        self.references = references
+        self.n_subexperiments = n_subexperiments
+        self._pipeline = WorkloadPredictionPipeline(self.config)
+        self._measure = get_measure(self.config.measure)
+        self._models: dict = {}
+        self._models_lock = threading.Lock()
+        self._warm = False
+
+    # -- warmup ----------------------------------------------------------------
+    def warmup(self) -> dict:
+        """Run the target-independent pipeline work once.
+
+        Returns a summary dict (feature names, corpus size) for the
+        boot log and ``/healthz``.
+        """
+        with span("serve.warmup", attrs={"n_references": len(self.references)}):
+            self._ref_subexp = expand_subexperiments(
+                self.references, n_subexperiments=self.n_subexperiments
+            )
+            self.features = self._pipeline.select_features(self._ref_subexp)
+            self._builder = RepresentationBuilder(self.features).fit(
+                self._ref_subexp
+            )
+            self._ref_matrices = representation_matrices(
+                self._ref_subexp,
+                self._builder,
+                self.config.representation,
+                features=self.features,
+            )
+            self._ref_labels = np.asarray(
+                [r.workload_name for r in self._ref_subexp]
+            )
+            self._sku_by_name = {
+                r.sku.name: r.sku for r in self.references
+            }
+            # Pin the reference matrices in the ambient store (when one
+            # is installed) so every request's distance chunks ship refs
+            # to segments published exactly once at boot.
+            store = ambient_store()
+            self.pinned_digests: set = set()
+            if store is not None:
+                self.pinned_digests = {
+                    store.put(matrix).digest for matrix in self._ref_matrices
+                }
+        self._warm = True
+        logger.info(
+            "serve warmup: %d reference experiments (%d expanded), "
+            "features: %s",
+            len(self.references),
+            len(self._ref_subexp),
+            ", ".join(self.features),
+        )
+        return {
+            "workloads": sorted(self.references.workload_names()),
+            "skus": sorted(self._sku_by_name),
+            "n_experiments": len(self.references),
+            "n_expanded": len(self._ref_subexp),
+            "features": list(self.features),
+        }
+
+    def prune_temporaries(self) -> int:
+        """Free per-request arrays from the ambient store, keep pins."""
+        store = ambient_store()
+        if store is None:
+            return 0
+        return store.prune(keep=self.pinned_digests)
+
+    def _require_warm(self) -> None:
+        if not self._warm:
+            raise ServeError("service not warmed up; call warmup() first")
+
+    # -- ranking ---------------------------------------------------------------
+    def rank(self, target: ExperimentRepository) -> SimilarityRanking:
+        """Rank reference workloads by mean distance to the target."""
+        self._require_warm()
+        if len(target) == 0:
+            raise ServeError("target must contain at least one experiment")
+        target_names = {r.workload_name for r in target}
+        if len(target_names) != 1:
+            raise ServeError(
+                f"target must contain one workload, got {sorted(target_names)}"
+            )
+        target_name = target_names.pop()
+        with span("serve.rank", attrs={"target": target_name}):
+            target_subexp = expand_subexperiments(
+                target, n_subexperiments=self.n_subexperiments
+            )
+            target_matrices = representation_matrices(
+                target_subexp,
+                self._builder,
+                self.config.representation,
+                features=self.features,
+            )
+            C = cross_distance_matrix(
+                target_matrices,
+                self._ref_matrices,
+                self._measure,
+                jobs=self.config.jobs,
+                cache=self.config.distance_cache,
+            )
+            # Mean cross distance per reference workload, scaled to
+            # [0, 1] by the largest entry — the same monotone
+            # normalization the batch ranking applies.
+            peak = float(C.max())
+            if peak > 0:
+                C = C / peak
+            distances = {
+                reference: float(
+                    C[:, np.flatnonzero(self._ref_labels == reference)].mean()
+                )
+                for reference in self.references.workload_names()
+            }
+        return SimilarityRanking(target=target_name, distances=distances)
+
+    # -- prediction ------------------------------------------------------------
+    def resolve_sku(self, name: str):
+        """A reference-corpus SKU by name (400s map from ServeError)."""
+        self._require_warm()
+        try:
+            return self._sku_by_name[name]
+        except KeyError:
+            raise ServeError(
+                f"unknown SKU {name!r}; reference corpus has "
+                f"{sorted(self._sku_by_name)}"
+            ) from None
+
+    def _scaling_model(self, reference_name: str, source_sku, target_sku):
+        key = (reference_name, source_sku.name, target_sku.name)
+        with self._models_lock:
+            model = self._models.get(key)
+        if model is not None:
+            return model
+        with span(
+            "serve.fit_scaling_model",
+            attrs={
+                "reference": reference_name,
+                "source_sku": source_sku.name,
+                "target_sku": target_sku.name,
+            },
+        ):
+            model = self._pipeline._reference_scaling_model(
+                self.references, reference_name, source_sku, target_sku
+            )
+        with self._models_lock:
+            self._models.setdefault(key, model)
+        return model
+
+    def predict(
+        self,
+        target: ExperimentRepository,
+        source_sku_name: str,
+        target_sku_name: str,
+    ) -> dict:
+        """Rank, pick the nearest reference, transfer its scaling model.
+
+        Returns the JSON-ready response body; the math mirrors
+        :meth:`repro.core.pipeline.WorkloadPredictionPipeline.predict_scaling`
+        with the target-independent stages served from warm state.
+        """
+        self._require_warm()
+        source_sku = self.resolve_sku(source_sku_name)
+        target_sku = self.resolve_sku(target_sku_name)
+        ranking = self.rank(target)
+        reference_name = ranking.nearest
+        with span(
+            "serve.predict",
+            attrs={
+                "target": ranking.target,
+                "reference": reference_name,
+                "source_sku": source_sku.name,
+                "target_sku": target_sku.name,
+            },
+        ):
+            model = self._scaling_model(
+                reference_name, source_sku, target_sku
+            )
+            rng = as_generator(self.config.random_state)
+            target_obs = np.concatenate(
+                [
+                    augmented_throughputs(
+                        run, random_state=int(rng.integers(0, 2**62))
+                    )
+                    for run in target
+                ]
+            )
+            if isinstance(model, PairwiseScalingModel):
+                predicted = model.transfer(target_obs)
+            else:
+                factors = model.predict(
+                    np.full(target_obs.size, float(target_sku.cpus)),
+                    groups=np.zeros(target_obs.size),
+                )
+                predicted = factors * float(target_obs.mean())
+        return {
+            "target_workload": ranking.target,
+            "reference_workload": reference_name,
+            "source_sku": source_sku.name,
+            "target_sku": target_sku.name,
+            "ranking": {name: value for name, value in ranking.ordered},
+            "features": list(self.features),
+            "predicted_throughput": {
+                "n": int(predicted.size),
+                "mean": float(predicted.mean()),
+                "std": float(predicted.std()),
+                "p50": float(np.percentile(predicted, 50)),
+                "p90": float(np.percentile(predicted, 90)),
+                "p99": float(np.percentile(predicted, 99)),
+            },
+        }
+
+    def rank_response(self, target: ExperimentRepository) -> dict:
+        """The JSON-ready ``/v1/rank`` response body."""
+        ranking = self.rank(target)
+        return {
+            "target_workload": ranking.target,
+            "nearest": ranking.nearest,
+            "ranking": {name: value for name, value in ranking.ordered},
+            "features": list(self.features),
+        }

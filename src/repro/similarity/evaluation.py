@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
-from repro.exec.arrays import ArrayStore, arrays_enabled
+from repro.exec.arrays import acquire_store
 from repro.exec.engine import ExecTask, run_tasks
 from repro.ml.metrics import mean_average_precision, ndcg
 from repro.obs.logging import get_logger
@@ -241,11 +241,7 @@ def _run_pair_chunks(
     refs, so fan-out no longer pickles a copy of each referenced
     matrix per chunk.
     """
-    store = (
-        ArrayStore()
-        if n_workers > 1 and len(chunks) > 1 and arrays_enabled()
-        else None
-    )
+    store, owned = acquire_store(n_workers > 1 and len(chunks) > 1)
     try:
         if store is not None:
             shipped = [store.put(matrix) for matrix in matrices]
@@ -272,8 +268,77 @@ def _run_pair_chunks(
             )
         )
     finally:
-        if store is not None:
+        if store is not None and owned:
             store.close()
+
+
+def cross_distance_matrix(
+    rows: list[np.ndarray],
+    cols: list[np.ndarray],
+    measure: MeasureSpec,
+    *,
+    jobs: int | None = None,
+    cache: "DistanceCache | str | None" = None,
+) -> np.ndarray:
+    """Distances between two matrix sets: ``C[i, j] = d(rows[i], cols[j])``.
+
+    The serving hot path ranks a submitted target against a fixed
+    reference corpus, which needs only the ``len(rows) x len(cols)``
+    cross block — not the full symmetric matrix over the union that
+    :func:`distance_matrix` computes.  Chunk layout, worker fan-out, and
+    the content-addressed ``cache`` follow :func:`distance_matrix`
+    exactly, so output is bit-identical at any worker count and cached
+    pairs are shared with the batch path (the pair key is symmetric).
+    """
+    if not rows or not cols:
+        raise ValidationError("cross_distance_matrix needs non-empty sets")
+    matrices = list(rows) + list(cols)
+    offset = len(rows)
+    C = np.zeros((len(rows), len(cols)))
+    cache = as_distance_cache(cache)
+    n_workers = resolve_jobs(jobs)
+    metrics = get_metrics()
+    pairs = [
+        (i, offset + j) for i in range(len(rows)) for j in range(len(cols))
+    ]
+    with span(
+        "similarity.cross_distance_matrix",
+        attrs={
+            "n_rows": len(rows),
+            "n_cols": len(cols),
+            "measure": measure.name,
+            "workers": n_workers,
+        },
+    ):
+        misses: list[tuple[int, int]] = []
+        keys: dict[tuple[int, int], str] = {}
+        if cache is not None:
+            digests = [matrix_digest(M) for M in matrices]
+            for i, j in pairs:
+                key = pair_key(digests[i], digests[j], measure.name)
+                keys[(i, j)] = key
+                value = cache.get(key)
+                if value is None:
+                    misses.append((i, j))
+                else:
+                    C[i, j - offset] = value
+        else:
+            misses = pairs
+        chunk_size = max(1, math.ceil(len(misses) / PAIR_CHUNK_TARGET))
+        chunks = [
+            misses[start:stop]
+            for start, stop in chunk_bounds(len(misses), chunk_size)
+        ]
+        outputs = _run_pair_chunks(matrices, chunks, measure, n_workers)
+        histogram = metrics.histogram("similarity.pair_seconds")
+        for chunk, (values, seconds) in zip(chunks, outputs):
+            for (i, j), value, elapsed in zip(chunk, values, seconds):
+                C[i, j - offset] = value
+                histogram.observe(elapsed)
+                if cache is not None:
+                    cache.put(keys[(i, j)], value)
+    metrics.counter("similarity.pairs_computed").inc(len(misses))
+    return C
 
 
 def normalized_distances(D: np.ndarray) -> np.ndarray:

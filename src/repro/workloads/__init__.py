@@ -66,6 +66,8 @@ from repro.workloads.sampling import (
 from repro.workloads.repository import (
     ExperimentRepository,
     repositories_equal,
+    result_from_dict,
+    result_to_dict,
     results_equal,
 )
 from repro.workloads.corpus import (
@@ -151,6 +153,8 @@ __all__ = [
     "augmented_throughputs",
     "ExperimentRepository",
     "repositories_equal",
+    "result_from_dict",
+    "result_to_dict",
     "results_equal",
     "run_experiments",
     "expand_subexperiments",

@@ -87,6 +87,22 @@ def _result_to_dict(result: ExperimentResult, *, arrays: bool = True) -> dict:
     return payload
 
 
+def result_to_dict(result: ExperimentResult, *, arrays: bool = True) -> dict:
+    """JSON-serializable form of one experiment (the on-disk schema).
+
+    Public wrapper over the save/load wire format so other layers —
+    ``repro serve``'s request decoding in particular — round-trip
+    experiments through the exact schema the repository files use.
+    """
+    return _result_to_dict(result, arrays=arrays)
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`; raises
+    :class:`~repro.exceptions.RepositoryError` on malformed payloads."""
+    return _result_from_dict(payload)
+
+
 def _result_from_dict(payload: dict) -> ExperimentResult:
     try:
         sku = SKU(**payload["sku"])

@@ -1,0 +1,140 @@
+"""Shared-memory lifecycle for long-running processes.
+
+The server's ambient store lives for the life of the process and must
+not leak ``/dev/shm`` segments: atexit closes stores the process never
+unwound, ``prune`` frees per-request temporaries while keeping pinned
+corpus arrays, and workers can drop their attachment cache.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exec.arrays import (
+    ArrayStore,
+    _ATTACHED,
+    acquire_store,
+    ambient_store,
+    detach_all,
+    resolve_ref,
+    set_ambient_store,
+)
+
+
+def _backing_path(store, ref) -> Path | None:
+    if ref.kind == "shm":
+        return Path("/dev/shm") / ref.name.lstrip("/")
+    if ref.kind == "mmap":
+        return Path(ref.name)
+    return None
+
+
+def test_atexit_frees_segments_of_unclosed_store(tmp_path):
+    """A process that dies without close() must not leak /dev/shm."""
+    script = textwrap.dedent(
+        """
+        import numpy as np
+        from repro.exec.arrays import ArrayStore
+
+        store = ArrayStore()
+        ref = store.put(np.arange(4096, dtype=np.float64))
+        if ref.kind == "shm":
+            print(f"/dev/shm/{ref.name.lstrip('/')}")
+        else:
+            print(ref.name)
+        # Exit WITHOUT store.close(): the atexit hook must clean up.
+        """
+    )
+    root = Path(__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    backing = Path(result.stdout.strip())
+    assert not backing.exists(), f"leaked segment {backing}"
+
+
+def test_close_is_idempotent_and_frees_backing(tmp_path):
+    store = ArrayStore(spool_dir=tmp_path)
+    ref = store.put(np.ones((8, 8)))
+    backing = _backing_path(store, ref)
+    assert backing is not None and backing.exists()
+    store.close()
+    store.close()
+    assert not backing.exists()
+    with pytest.raises(RuntimeError):
+        store.put(np.zeros(2))
+
+
+def test_prune_keeps_pinned_and_frees_the_rest():
+    with ArrayStore() as store:
+        pinned = store.put(np.arange(16, dtype=np.float64))
+        doomed = store.put(np.arange(32, dtype=np.float64))
+        assert len(store) == 2
+        freed = store.prune(keep={pinned.digest})
+        assert freed == 1
+        assert store.digests() == {pinned.digest}
+        doomed_backing = _backing_path(store, doomed)
+        assert doomed_backing is None or not doomed_backing.exists()
+        # Pinned content stays resolvable and re-put dedupes to the pin.
+        np.testing.assert_array_equal(
+            resolve_ref(pinned), np.arange(16, dtype=np.float64)
+        )
+        assert store.put(np.arange(16, dtype=np.float64)).digest == pinned.digest
+    detach_all()
+
+
+def test_nbytes_tracks_published_payload():
+    with ArrayStore() as store:
+        assert store.nbytes == 0
+        store.put(np.zeros(128, dtype=np.float64))
+        assert store.nbytes == 128 * 8
+        store.put(np.zeros(0, dtype=np.float64))  # inline: no backing bytes
+        assert store.nbytes == 128 * 8
+
+
+def test_acquire_store_prefers_ambient():
+    with ArrayStore() as mine:
+        previous = set_ambient_store(mine)
+        try:
+            store, owned = acquire_store(True)
+            assert store is mine
+            assert owned is False
+        finally:
+            set_ambient_store(previous)
+
+
+def test_acquire_store_private_when_no_ambient():
+    assert ambient_store() is None
+    store, owned = acquire_store(True)
+    assert store is not None and owned is True
+    store.close()
+    assert acquire_store(False) == (None, False)
+
+
+def test_acquire_store_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_EXEC_ARRAYS", "off")
+    assert acquire_store(True) == (None, False)
+
+
+def test_detach_all_clears_attachment_cache():
+    with ArrayStore() as store:
+        ref = store.put(np.arange(10, dtype=np.int64))
+        first = resolve_ref(ref)
+        assert resolve_ref(ref) is first  # cached per process
+        assert _ATTACHED
+        detach_all()
+        assert not _ATTACHED
+        again = resolve_ref(ref)
+        assert again is not first
+        np.testing.assert_array_equal(again, first)
+    detach_all()

@@ -1,0 +1,97 @@
+"""The persistent worker pool the server keeps warm across requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.exec.engine import (
+    ExecTask,
+    PersistentPool,
+    get_persistent_pool,
+    persistent_pool,
+    run_tasks,
+    set_persistent_pool,
+)
+
+
+def _double(payload, attempt, in_worker):
+    (value,) = payload
+    return value * 2
+
+
+def tasks_for(values):
+    return [
+        ExecTask(index=i, fn=_double, payload=(v,), task_id=f"t{i}")
+        for i, v in enumerate(values)
+    ]
+
+
+def test_rejects_bad_worker_count():
+    with pytest.raises(ValidationError):
+        PersistentPool(0)
+
+
+def test_acquire_is_lazy_and_reused():
+    pool = PersistentPool(2)
+    try:
+        assert pool._pool is None  # nothing forked until first use
+        first = pool.acquire()
+        assert pool.acquire() is first
+    finally:
+        pool.close()
+
+
+def test_invalidate_replaces_executor_once():
+    pool = PersistentPool(2)
+    try:
+        first = pool.acquire()
+        pool.invalidate(first)
+        assert pool.rebuilds == 1
+        second = pool.acquire()
+        assert second is not first
+        # A stale invalidate (second racer reporting the same breakage)
+        # must not tear down the replacement.
+        pool.invalidate(first)
+        assert pool.rebuilds == 1
+        assert pool.acquire() is second
+    finally:
+        pool.close()
+
+
+def test_close_then_acquire_recreates():
+    pool = PersistentPool(1)
+    try:
+        first = pool.acquire()
+        pool.close()
+        assert pool.acquire() is not first
+    finally:
+        pool.close()
+
+
+def test_context_manager_installs_and_restores():
+    assert get_persistent_pool() is None
+    with persistent_pool(max_workers=2) as pool:
+        assert get_persistent_pool() is pool
+    assert get_persistent_pool() is None
+
+
+def test_set_persistent_pool_returns_previous():
+    mine = PersistentPool(1)
+    try:
+        assert set_persistent_pool(mine) is None
+        assert set_persistent_pool(None) is mine
+    finally:
+        mine.close()
+
+
+def test_run_tasks_borrows_installed_pool_and_keeps_it_alive():
+    values = list(range(8))
+    baseline = list(run_tasks(tasks_for(values), jobs=None))
+    with persistent_pool(max_workers=2) as pool:
+        first = list(run_tasks(tasks_for(values), jobs=2))
+        executor = pool._pool
+        assert executor is not None  # the run went through our pool
+        second = list(run_tasks(tasks_for(values), jobs=2))
+        assert pool._pool is executor  # no per-run spin-up
+    assert first == second == baseline  # bit-identical to serial

@@ -71,6 +71,50 @@ class TestHistogram:
         assert snap["count"] == 1
 
 
+class TestHistogramQuantiles:
+    def test_interpolates_within_bucket(self):
+        h = Histogram("h", buckets=(10.0,))
+        for _ in range(4):
+            h.observe(5.0)
+        # All mass in [0, 10]: rank interpolates linearly across it.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_uses_previous_bound_as_lower_edge(self):
+        h = Histogram("h", buckets=(10.0, 20.0))
+        h.observe(5.0)
+        h.observe(15.0)
+        h.observe(15.0)
+        h.observe(15.0)
+        # rank(0.5) = 2 -> one observation into the (10, 20] bucket.
+        assert h.quantile(0.5) == pytest.approx(10.0 + 10.0 / 3.0)
+
+    def test_saturates_at_last_finite_bound(self):
+        h = Histogram("h", buckets=(10.0,))
+        h.observe(500.0)  # lands in +Inf; estimate can't exceed 10
+        assert h.quantile(0.99) == 10.0
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.quantile(0.5) is None
+        assert h.summary() == {"p50": None, "p90": None, "p99": None}
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValidationError):
+            h.quantile(1.5)
+        with pytest.raises(ValidationError):
+            h.quantile(-0.1)
+
+    def test_summary_is_monotone_and_in_snapshot(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 3.0, 20.0, 50.0, 90.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["p50"] <= snap["p90"] <= snap["p99"]
+        assert snap["p50"] == h.quantile(0.5)
+
+
 class TestRegistry:
     def test_type_conflict_raises(self):
         registry = MetricsRegistry()
@@ -163,6 +207,22 @@ class TestPrometheusHardening:
         assert lines[3] == 'lat_ms_bucket{le="+Inf"} 1'
         assert lines[4].startswith("lat_ms_sum ")
         assert lines[5] == "lat_ms_count 1"
+
+    def test_histogram_quantiles_follow_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat.ms", buckets=(10.0,))
+        for _ in range(4):
+            h.observe(5.0)
+        lines = registry.to_prometheus().splitlines()
+        count_at = lines.index("lat_ms_count 4")
+        assert lines[count_at + 1] == 'lat_ms{quantile="0.5"} 5'
+        assert lines[count_at + 2] == 'lat_ms{quantile="0.9"} 9'
+        assert lines[count_at + 3] == 'lat_ms{quantile="0.99"} 9.9'
+
+    def test_empty_histogram_emits_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat.ms", buckets=(10.0,))
+        assert "quantile" not in registry.to_prometheus()
 
 
 class TestGlobalRegistry:

@@ -11,6 +11,7 @@ from repro.obs.regress import (
     classify,
     diff_rows,
     flatten,
+    is_timing,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -30,6 +31,11 @@ class TestClassify:
             ("caches.distance_cache.hit_rate", "higher"),
             ("pruned_knn.skip_rate", "higher"),
             ("speedup", "higher"),
+            ("loadgen.requests_per_s", "higher"),
+            ("warm.requests_per_sec", "higher"),
+            ("serve.p50_ms", "lower"),
+            ("serve.cold_over_warm_speedup", "higher"),
+            ("warm.hit_rate", "higher"),
             ("sfs_fit_cache.warm_fits", "zero"),
             ("distance_cache.warm_pairs_computed", "zero"),
             ("caches.fit_cache.corrupt", "zero"),
@@ -39,6 +45,13 @@ class TestClassify:
     )
     def test_direction_by_leaf_name(self, name, expected):
         assert classify(name) == expected
+
+    def test_rates_count_as_timings(self):
+        # Rates flap on loaded runners just like wall-clock timings do,
+        # so insufficient_cores must skip them too.
+        assert is_timing("loadgen.requests_per_s")
+        assert is_timing("serve.p50_ms")
+        assert not is_timing("warm.hit_rate")
 
 
 class TestFlatten:
@@ -157,7 +170,7 @@ class TestCheckBench:
         assert "REGRESSION" in verdict.render()
 
     @pytest.mark.parametrize(
-        "name", ["BENCH_analysis.json", "BENCH_eval.json"]
+        "name", ["BENCH_analysis.json", "BENCH_eval.json", "BENCH_serve.json"]
     )
     def test_committed_bench_files_pass_against_themselves(self, name):
         doc = json.loads((REPO_ROOT / name).read_text())

@@ -1,0 +1,199 @@
+"""ServeApp routing, cache tiers, async jobs, single-flight, shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.serve.app import ServeApp
+
+
+@pytest.fixture
+def fresh_metrics():
+    previous = set_metrics(MetricsRegistry())
+    yield get_metrics()
+    set_metrics(previous)
+
+
+@pytest.fixture
+def app(warm_service, tmp_path, fresh_metrics):
+    application = ServeApp(
+        warm_service, references_digest="refs-digest", state_dir=tmp_path
+    )
+    yield application
+    application.shutdown(drain_timeout=10.0)
+
+
+def rank_payload(target_payload, **extra):
+    return {"target": target_payload, **extra}
+
+
+def predict_payload(target_payload, **extra):
+    return {
+        "target": target_payload,
+        "source_sku": "s4",
+        "target_sku": "s8",
+        **extra,
+    }
+
+
+def poll_job(app, job_id, tries=200):
+    for _ in range(tries):
+        status, body, _ = app.handle("GET", f"/v1/jobs/{job_id}", None)
+        assert status == 200
+        if body["status"] in ("done", "failed"):
+            return body
+        threading.Event().wait(0.05)
+    raise AssertionError(f"job {job_id} never settled")
+
+
+class TestRoutes:
+    def test_healthz(self, app):
+        status, body, ctype = app.handle("GET", "/healthz", None)
+        assert status == 200
+        assert ctype == "application/json"
+        assert body["status"] == "ok"
+        assert body["identity"] == app.identity
+        assert set(body["references"]["workloads"]) == {"tpcc", "twitter"}
+
+    def test_metrics_is_prometheus_text(self, app):
+        app.handle("GET", "/healthz", None)
+        status, body, ctype = app.handle("GET", "/metrics", None)
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "serve_requests_total" in body
+
+    def test_unknown_route_404(self, app):
+        status, body, _ = app.handle("GET", "/v1/nope", None)
+        assert status == 404
+        assert "no route" in body["error"]
+
+    def test_unknown_job_404(self, app):
+        status, body, _ = app.handle("GET", "/v1/jobs/job-missing", None)
+        assert status == 404
+
+    def test_non_dict_body_400(self, app):
+        status, body, _ = app.handle("POST", "/v1/rank", [1, 2, 3])
+        assert status == 400
+        assert "JSON object" in body["error"]
+
+    def test_malformed_target_400(self, app):
+        status, body, _ = app.handle("POST", "/v1/rank", {"target": "nope"})
+        assert status == 400
+
+    def test_unknown_sku_400(self, app, target_payload):
+        payload = rank_payload(
+            target_payload, source_sku="s4", target_sku="s4096"
+        )
+        status, body, _ = app.handle("POST", "/v1/predict", payload)
+        assert status == 400
+        assert "s4096" in body["error"]
+
+    def test_status_counters_recorded(self, app, fresh_metrics):
+        app.handle("GET", "/healthz", None)
+        app.handle("GET", "/v1/nope", None)
+        snap = fresh_metrics.snapshot()
+        assert snap["serve.requests_total"]["value"] == 2
+        assert snap["serve.responses.2xx_total"]["value"] == 1
+        assert snap["serve.responses.4xx_total"]["value"] == 1
+        assert snap["serve.request_ms"]["count"] == 2
+
+
+class TestCacheTiers:
+    def test_cold_then_warm_rank(self, app, target_payload):
+        payload = rank_payload(target_payload)
+        status, cold, _ = app.handle("POST", "/v1/rank", payload)
+        assert status == 200
+        assert cold["meta"]["cache_tier"] == "compute"
+        assert cold["result"]["target_workload"] == "ycsb"
+        assert cold["result"]["ranking"]
+
+        status, warm, _ = app.handle("POST", "/v1/rank", payload)
+        assert status == 200
+        assert warm["meta"]["cache_tier"] == "memory"
+        assert warm["digest"] == cold["digest"]
+        assert warm["result"] == cold["result"]
+
+    def test_predict_sync(self, app, target_payload):
+        status, body, _ = app.handle(
+            "POST", "/v1/predict", predict_payload(target_payload)
+        )
+        assert status == 200
+        result = body["result"]
+        assert result["source_sku"] == "s4"
+        assert result["target_sku"] == "s8"
+        predicted = result["predicted_throughput"]
+        assert predicted["n"] > 0
+        assert predicted["p50"] > 0
+
+    def test_identity_changes_digest(
+        self, warm_service, tmp_path, target_payload, fresh_metrics
+    ):
+        payload = rank_payload(target_payload)
+        a = ServeApp(warm_service, references_digest="corpus-a")
+        b = ServeApp(warm_service, references_digest="corpus-b")
+        try:
+            _, body_a, _ = a.handle("POST", "/v1/rank", payload)
+            _, body_b, _ = b.handle("POST", "/v1/rank", payload)
+            assert body_a["digest"] != body_b["digest"]
+            assert body_a["result"] == body_b["result"]
+        finally:
+            a.shutdown(drain_timeout=10.0)
+            b.shutdown(drain_timeout=10.0)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_one_execution(
+        self, app, target_payload, fresh_metrics
+    ):
+        payload = rank_payload(target_payload)
+        responses = []
+
+        def drive():
+            responses.append(app.handle("POST", "/v1/rank", payload))
+
+        threads = [threading.Thread(target=drive) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert len(responses) == 6
+        assert all(status == 200 for status, _, _ in responses)
+        bodies = [body["result"] for _, body, _ in responses]
+        assert all(body == bodies[0] for body in bodies)
+        snap = fresh_metrics.snapshot()
+        assert snap["serve.pipeline_executions_total"]["value"] == 1
+
+
+class TestAsyncJobs:
+    def test_async_202_then_result_matches_sync(self, app, target_payload):
+        sync_payload = rank_payload(target_payload)
+        async_payload = rank_payload(target_payload, mode="async")
+
+        status, accepted, _ = app.handle("POST", "/v1/rank", async_payload)
+        assert status == 202
+        assert accepted["status"] in ("pending", "running", "done")
+        job = poll_job(app, accepted["job_id"])
+        assert job["status"] == "done"
+
+        status, sync, _ = app.handle("POST", "/v1/rank", sync_payload)
+        assert status == 200
+        # mode is volatile: the async job computed under the same digest,
+        # so the sync request was a pure response-cache hit.
+        assert sync["digest"] == accepted["digest"]
+        assert sync["meta"]["cache_tier"] == "memory"
+        assert job["result"] == sync["result"]
+
+
+class TestShutdown:
+    def test_compute_rejected_after_shutdown(self, app, target_payload):
+        assert app.shutdown(drain_timeout=10.0)
+        status, body, _ = app.handle(
+            "POST", "/v1/rank", rank_payload(target_payload)
+        )
+        assert status == 503
+        # Health stays up for orchestrators during drain.
+        status, _, _ = app.handle("GET", "/healthz", None)
+        assert status == 200

@@ -1,0 +1,125 @@
+"""Response-cache LRU semantics and single-flight coalescing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.serve.cache import ResponseCache, SingleFlight
+
+
+@pytest.fixture
+def fresh_metrics():
+    previous = set_metrics(MetricsRegistry())
+    yield get_metrics()
+    set_metrics(previous)
+
+
+class TestResponseCache:
+    def test_miss_then_hit(self, fresh_metrics):
+        cache = ResponseCache(4)
+        assert cache.get("a") is None
+        cache.put("a", {"answer": 1})
+        assert cache.get("a") == {"answer": 1}
+        snap = fresh_metrics.snapshot()
+        assert snap["serve.response_cache.hits_total"]["value"] == 1
+        assert snap["serve.response_cache.misses_total"]["value"] == 1
+
+    def test_evicts_least_recently_used(self, fresh_metrics):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now least recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        snap = fresh_metrics.snapshot()
+        assert snap["serve.response_cache.evictions_total"]["value"] == 1
+
+    def test_put_refreshes_existing(self, fresh_metrics):
+        cache = ResponseCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not a growth
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValidationError):
+            ResponseCache(0)
+
+
+class TestSingleFlight:
+    def test_serial_calls_each_compute(self, fresh_metrics):
+        flight = SingleFlight()
+        calls = []
+        value, leader = flight.run("k", lambda: calls.append(1) or "v")
+        assert (value, leader) == ("v", True)
+        value, leader = flight.run("k", lambda: calls.append(1) or "v2")
+        assert (value, leader) == ("v2", True)  # settled flights forgotten
+        assert len(calls) == 2
+
+    def test_concurrent_identical_coalesce_to_one(self, fresh_metrics):
+        flight = SingleFlight()
+        release = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                calls.append(1)
+            release.wait(5.0)
+            return "answer"
+
+        results = []
+
+        def drive():
+            results.append(flight.run("key", compute))
+
+        threads = [threading.Thread(target=drive) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Let every follower reach the wait before the leader finishes.
+        deadline = threading.Event()
+        deadline.wait(0.2)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["answer"] * 8
+        assert sum(1 for _, leader in results if leader) == 1
+        snap = fresh_metrics.snapshot()
+        assert snap["serve.singleflight.coalesced_total"]["value"] == 7
+
+    def test_leader_exception_propagates_to_followers(self, fresh_metrics):
+        flight = SingleFlight()
+        release = threading.Event()
+
+        def explode():
+            release.wait(5.0)
+            raise RuntimeError("boom")
+
+        outcomes = []
+
+        def drive():
+            try:
+                flight.run("key", explode)
+            except RuntimeError as exc:
+                outcomes.append(str(exc))
+
+        threads = [threading.Thread(target=drive) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.2)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert outcomes == ["boom"] * 4
+        # A failed flight is forgotten: the next call recomputes.
+        value, leader = flight.run("key", lambda: "recovered")
+        assert (value, leader) == ("recovered", True)

@@ -1,0 +1,156 @@
+"""Job queue: idempotent submission, journal recovery, drain."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ServeError, ValidationError
+from repro.exec.journal import append_jsonl, load_jsonl
+from repro.serve.jobs import JobQueue, job_id_for
+
+
+def make_queue(tmp_path, compute=None, workers=1):
+    if compute is None:
+        compute = lambda endpoint, payload: {"echo": payload}  # noqa: E731
+    return JobQueue(compute, state_dir=tmp_path, workers=workers)
+
+
+def settle(queue, timeout=10.0):
+    assert queue.drain(timeout=timeout)
+
+
+def test_submit_runs_to_done(tmp_path):
+    queue = make_queue(tmp_path)
+    job = queue.submit("a" * 64, "/v1/rank", {"target": [1]})
+    assert job.job_id == job_id_for("a" * 64)
+    settle(queue)
+    body = job.to_dict()
+    assert body["status"] == "done"
+    assert body["result"] == {"echo": {"target": [1]}}
+    assert body["finished_at"] is not None
+
+
+def test_resubmission_is_idempotent(tmp_path):
+    calls = []
+
+    def compute(endpoint, payload):
+        calls.append(payload)
+        return {"ok": True}
+
+    queue = make_queue(tmp_path, compute)
+    first = queue.submit("b" * 64, "/v1/rank", {"target": [1]})
+    second = queue.submit("b" * 64, "/v1/rank", {"target": [1]})
+    assert first is second
+    settle(queue)
+    assert len(calls) == 1
+    assert len(queue) == 1
+
+
+def test_failed_compute_records_error(tmp_path):
+    def explode(endpoint, payload):
+        raise RuntimeError("pipeline fell over")
+
+    queue = make_queue(tmp_path, explode)
+    job = queue.submit("c" * 64, "/v1/rank", {})
+    settle(queue)
+    body = job.to_dict()
+    assert body["status"] == "failed"
+    assert "pipeline fell over" in body["error"]
+    assert "result" not in body
+
+
+def test_journal_rows_written(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.submit("d" * 64, "/v1/rank", {"target": [2]})
+    settle(queue)
+    rows, n_corrupt = load_jsonl(tmp_path / "jobs.jsonl", label="test")
+    assert n_corrupt == 0
+    events = [row["event"] for row in rows]
+    assert events == ["submit", "done"]
+    assert rows[1]["result"] == {"echo": {"target": [2]}}
+
+
+def test_recover_serves_done_results_without_recompute(tmp_path):
+    queue = make_queue(tmp_path)
+    job = queue.submit("e" * 64, "/v1/predict", {"target": [3]})
+    settle(queue)
+
+    calls = []
+
+    def compute(endpoint, payload):
+        calls.append(payload)
+        return {"recomputed": True}
+
+    revived = make_queue(tmp_path, compute)
+    assert revived.recover() == 0  # nothing pending
+    settle(revived)
+    recovered = revived.get(job.job_id)
+    assert recovered is not None
+    assert recovered.status == "done"
+    assert recovered.result == {"echo": {"target": [3]}}
+    assert calls == []
+
+
+def test_recover_requeues_unfinished_jobs(tmp_path):
+    # A submit row with no settlement — the server died mid-compute.
+    append_jsonl(
+        tmp_path / "jobs.jsonl",
+        {
+            "event": "submit",
+            "job_id": job_id_for("f" * 64),
+            "digest": "f" * 64,
+            "endpoint": "/v1/rank",
+            "payload": {"target": [4]},
+            "submitted_at": 1.0,
+        },
+        label="test",
+    )
+    queue = make_queue(tmp_path)
+    assert queue.recover() == 1
+    settle(queue)
+    job = queue.get(job_id_for("f" * 64))
+    assert job.status == "done"
+    assert job.result == {"echo": {"target": [4]}}
+
+
+def test_recover_heals_torn_tail(tmp_path):
+    journal = tmp_path / "jobs.jsonl"
+    append_jsonl(
+        journal,
+        {
+            "event": "submit",
+            "job_id": job_id_for("9" * 64),
+            "digest": "9" * 64,
+            "endpoint": "/v1/rank",
+            "payload": {},
+            "submitted_at": 1.0,
+        },
+        label="test",
+    )
+    with journal.open("a", encoding="utf-8") as handle:
+        handle.write('{"event": "done", "job_id": "job-tr')  # torn write
+    queue = make_queue(tmp_path)
+    assert queue.recover() == 1  # intact submit survives, torn row dropped
+    settle(queue)
+
+
+def test_submit_after_drain_raises(tmp_path):
+    queue = make_queue(tmp_path)
+    settle(queue)
+    with pytest.raises(ServeError):
+        queue.submit("a" * 64, "/v1/rank", {})
+
+
+def test_rejects_bad_worker_count(tmp_path):
+    with pytest.raises(ValidationError):
+        JobQueue(lambda e, p: {}, state_dir=tmp_path, workers=0)
+
+
+def test_journal_rows_are_json_objects(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.submit("ab" * 32, "/v1/rank", {"target": [5]})
+    settle(queue)
+    for line in (tmp_path / "jobs.jsonl").read_text().splitlines():
+        assert isinstance(json.loads(line), dict)
