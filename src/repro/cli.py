@@ -428,6 +428,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="max entries in the in-process response cache",
     )
     serve.add_argument(
+        "--response-cache-bytes", type=int, default=None, metavar="BYTES",
+        help="max approximate bytes retained by the response cache "
+        "(default: unbounded; entry count still applies)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=4.0, metavar="MS",
+        help="cold-path admission window: concurrent distinct requests "
+        "arriving within this window execute as one batch",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="max cold requests per batch (1 serializes, reproducing "
+        "the pre-batching behavior)",
+    )
+    serve.add_argument(
         "--drain-timeout", type=float, default=30.0, metavar="S",
         help="seconds to wait for queued jobs on SIGTERM/SIGINT",
     )
@@ -963,9 +978,12 @@ def _cmd_serve(args) -> int:
             service,
             references_digest=file_digest(references_path),
             response_cache_size=args.response_cache_size,
+            response_cache_bytes=args.response_cache_bytes,
             state_dir=args.state_dir,
             job_workers=args.job_workers,
             ledger=_resolve_ledger(args),
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
         )
         recovered = app.recover_jobs()
         server = make_server(app, host=args.host, port=args.port)

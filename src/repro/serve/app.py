@@ -11,17 +11,21 @@ hot path:
 3. **single-flight** — concurrent identical misses coalesce onto one
    leader; followers are answered with the leader's result
    (``meta.cache_tier == "coalesced"``);
-4. **tiers 2/3** — the leader runs the warm
-   :class:`~repro.serve.service.PredictionService` under the compute
-   lock: persisted Distance/Fit caches absorb repeated sub-work, the
-   persistent worker pool runs what remains.
+4. **tiers 2/3** — leaders submit to the
+   :class:`~repro.serve.batcher.BatchScheduler`: concurrent *distinct*
+   cold requests admitted within one batch window execute as **one**
+   batch on the scheduler thread — rank targets share a single
+   multi-query kernel fan-out, predict targets walk the pruned index —
+   with persisted Distance/Fit caches absorbing repeated sub-work and
+   the persistent worker pool running what remains.
 
-The compute lock serializes tier-3 work because the engine's telemetry
-capture swaps the process-global metrics registry — safe for one
-computation at a time, not for two interleaved ones.  Scale-out is
-horizontal: multiple server processes share the same on-disk caches
-(safe under concurrent writers; pinned by
-``tests/integration/test_concurrent_caches.py``).
+The single scheduler thread serializes engine work because the
+engine's telemetry capture swaps the process-global metrics registry —
+safe for one computation at a time, not for two interleaved ones; it
+replaces PR 9's compute lock, which had the same safety property but
+none of the batching throughput.  Scale-out is horizontal: multiple
+server processes share the same on-disk caches (safe under concurrent
+writers; pinned by ``tests/integration/test_concurrent_caches.py``).
 
 Responses are enveloped as ``{"digest", "result", "meta"}`` — ``meta``
 (cache tier, timing) varies per delivery, ``result`` is the cached,
@@ -36,7 +40,6 @@ trail as a CLI run.
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.exceptions import ReproError, ServeError, ValidationError
@@ -44,6 +47,7 @@ from repro.obs.ledger import RunLedger, build_row, resolve_ledger_path
 from repro.obs.logging import get_logger
 from repro.obs.metrics import LATENCY_MS_BUCKETS, get_metrics
 from repro.obs.tracing import span
+from repro.serve.batcher import BatchScheduler
 from repro.serve.cache import ResponseCache, SingleFlight
 from repro.serve.jobs import JobQueue
 from repro.serve.protocol import (
@@ -69,20 +73,29 @@ class ServeApp:
         *,
         references_digest: str = "",
         response_cache_size: int = 1024,
+        response_cache_bytes: int | None = None,
         state_dir=None,
         job_workers: int = 1,
         ledger=None,
+        batch_window_ms: float = 4.0,
+        max_batch: int = 8,
     ):
         self.service = service
         self.identity = app_identity(
             _config_dict(service.config), references_digest
         )
-        self.response_cache = ResponseCache(response_cache_size)
+        self.response_cache = ResponseCache(
+            response_cache_size, max_bytes=response_cache_bytes
+        )
         self.single_flight = SingleFlight()
         self.jobs = JobQueue(
             self._compute_for_job, state_dir=state_dir, workers=job_workers
         )
-        self._compute_lock = threading.Lock()
+        self.batcher = BatchScheduler(
+            self._execute_batch,
+            window_ms=batch_window_ms,
+            max_batch=max_batch,
+        )
         self._ledger = (
             RunLedger(resolve_ledger_path(ledger)) if ledger else None
         )
@@ -155,6 +168,10 @@ class ServeApp:
             "config": _config_dict(self.service.config),
             "jobs": len(self.jobs),
             "response_cache_entries": len(self.response_cache),
+            "batch": {
+                "window_ms": self.batcher.window_s * 1000.0,
+                "max_batch": self.batcher.max_batch,
+            },
         }
 
     def _job_status(self, job_id: str) -> tuple[int, dict]:
@@ -196,29 +213,63 @@ class ServeApp:
         return result, "compute" if leader else "coalesced"
 
     def _compute(self, digest: str, endpoint: str, payload: dict) -> dict:
-        """Tier 2/3: run the warm pipeline, then populate tier 1."""
+        """Tier 2/3: admit to the batch scheduler, then populate tier 1."""
         started = time.perf_counter()
-        with self._compute_lock:
-            with span(
-                "serve.compute",
-                attrs={"endpoint": endpoint, "digest": digest[:12]},
-            ):
-                get_metrics().counter("serve.pipeline_executions_total").inc()
-                target = ExperimentRepository(
-                    decode_experiments(payload.get("target"), what="target")
-                )
-                if endpoint == "/v1/rank":
-                    result = self.service.rank_response(target)
-                else:
-                    result = self.service.predict(
-                        target,
-                        _require_str(payload, "source_sku"),
-                        _require_str(payload, "target_sku"),
-                    )
-                self.service.prune_temporaries()
+        get_metrics().counter("serve.pipeline_executions_total").inc()
+        result = self.batcher.submit(digest, endpoint, payload)
         self.response_cache.put(digest, result)
         self._ledger_row(endpoint, digest, time.perf_counter() - started)
         return result
+
+    def _execute_batch(self, items) -> None:
+        """One admitted batch, on the scheduler thread.
+
+        Decode and validation run per item — a malformed request in a
+        batch fails alone, exactly as it would have serially.  The
+        surviving rank targets share **one** multi-query kernel fan-out
+        (:meth:`~repro.serve.service.PredictionService.rank_prepared`,
+        bit-identical per target to ranking it alone); predict targets
+        walk the pruned reference index per item.
+        """
+        with span("serve.batch", attrs={"size": len(items)}):
+            rank_items = []
+            for item in items:
+                with span(
+                    "serve.compute",
+                    attrs={
+                        "endpoint": item.endpoint,
+                        "digest": item.digest[:12],
+                    },
+                ):
+                    try:
+                        target = ExperimentRepository(
+                            decode_experiments(
+                                item.payload.get("target"), what="target"
+                            )
+                        )
+                        if item.endpoint == "/v1/rank":
+                            item.extra = self.service.prepare_target(target)
+                            rank_items.append(item)
+                        else:
+                            item.result = self.service.predict(
+                                target,
+                                _require_str(item.payload, "source_sku"),
+                                _require_str(item.payload, "target_sku"),
+                            )
+                    except Exception as exc:
+                        item.fail(exc)
+            if rank_items:
+                try:
+                    rankings = self.service.rank_prepared(
+                        [item.extra for item in rank_items]
+                    )
+                except Exception as exc:
+                    for item in rank_items:
+                        item.fail(exc)
+                else:
+                    for item, ranking in zip(rank_items, rankings):
+                        item.result = self.service.rank_response_from(ranking)
+            self.service.prune_temporaries()
 
     def _compute_for_job(self, endpoint: str, payload: dict) -> dict:
         """The job queue's compute hook — same tiers as sync requests."""
@@ -247,7 +298,14 @@ class ServeApp:
         drained = self.jobs.drain(timeout=drain_timeout)
         if not drained:
             logger.warning("job queue did not drain within %.1fs", drain_timeout)
-        return drained
+        # Jobs drain first — queued jobs still compute through the
+        # batcher, so it must outlive them; then flush anything admitted.
+        closed = self.batcher.close(timeout=drain_timeout)
+        if not closed:
+            logger.warning(
+                "batch scheduler did not drain within %.1fs", drain_timeout
+            )
+        return drained and closed
 
 
 def _config_dict(config) -> dict:

@@ -17,6 +17,7 @@ pins by counter.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 
@@ -24,16 +25,42 @@ from repro.exceptions import ValidationError
 from repro.obs.metrics import get_metrics
 
 
-class ResponseCache:
-    """Bounded thread-safe LRU mapping request digests to responses."""
+def _entry_bytes(response) -> int:
+    """Approximate retained size: the response's compact JSON length.
 
-    def __init__(self, max_entries: int = 1024):
+    Responses are JSON-ready dicts (that is what the wire sends), so
+    the encoded length is the honest measure of what a client-visible
+    entry costs; non-JSON values (tests cache sentinels) fall back to
+    ``str`` so sizing never raises.
+    """
+    return len(
+        json.dumps(response, separators=(",", ":"), default=str).encode()
+    )
+
+
+class ResponseCache:
+    """Bounded thread-safe LRU mapping request digests to responses.
+
+    Bounded by **entry count** and optionally by **total bytes**
+    (``max_bytes``): a flood of distinct large responses — exactly what
+    a unique-payload load profile produces — evicts by recency instead
+    of growing without limit.  Every eviction, by either bound, bumps
+    ``serve.response_cache.evictions_total``.
+    """
+
+    def __init__(self, max_entries: int = 1024, *, max_bytes: int | None = None):
         if max_entries < 1:
             raise ValidationError(
                 f"response cache needs max_entries >= 1, got {max_entries}"
             )
+        if max_bytes is not None and max_bytes < 1:
+            raise ValidationError(
+                f"response cache needs max_bytes >= 1, got {max_bytes}"
+            )
         self.max_entries = max_entries
-        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        self._total_bytes = 0
         self._lock = threading.Lock()
 
     def get(self, digest: str):
@@ -43,20 +70,34 @@ class ResponseCache:
             if digest in self._entries:
                 self._entries.move_to_end(digest)
                 metrics.counter("serve.response_cache.hits_total").inc()
-                return self._entries[digest]
+                return self._entries[digest][0]
         metrics.counter("serve.response_cache.misses_total").inc()
         return None
 
     def put(self, digest: str, response) -> None:
         """Insert (or refresh) an entry, evicting the least recent."""
+        size = _entry_bytes(response) if self.max_bytes is not None else 0
         with self._lock:
-            self._entries[digest] = response
-            self._entries.move_to_end(digest)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            previous = self._entries.pop(digest, None)
+            if previous is not None:
+                self._total_bytes -= previous[1]
+            self._entries[digest] = (response, size)
+            self._total_bytes += size
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self._total_bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._total_bytes -= evicted_size
                 get_metrics().counter(
                     "serve.response_cache.evictions_total"
                 ).inc()
+
+    @property
+    def total_bytes(self) -> int:
+        """Approximate bytes retained (0 when no byte bound is set)."""
+        return self._total_bytes
 
     def __len__(self) -> int:
         return len(self._entries)

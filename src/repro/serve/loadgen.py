@@ -56,9 +56,20 @@ def http_json(
 class LoadGenerator:
     """Concurrent fixed-count load against one endpoint.
 
-    Every thread sends ``requests_per_thread`` sequential POSTs of the
-    same payload; per-request wall latencies are collected across
-    threads and summarized by :meth:`run`.
+    Every thread sends ``requests_per_thread`` sequential POSTs;
+    per-request wall latencies are collected across threads and
+    summarized by :meth:`run`.
+
+    ``unique_fraction`` mixes distinct and repeated payloads: that
+    fraction of each thread's requests carries a deterministic
+    ``loadgen_nonce`` (unique per thread x request), which changes the
+    request digest — a guaranteed response-cache miss — without
+    changing the computation the server performs.  ``0.0`` (default)
+    reproduces the old single-payload profile that measures the warm
+    path; ``1.0`` makes every request a cold one, the profile the
+    batched-scheduler benchmark drives.  The nonce schedule depends
+    only on ``(seed, thread, request index)``, so a run is exactly
+    repeatable.
     """
 
     def __init__(
@@ -68,16 +79,39 @@ class LoadGenerator:
         threads: int = 4,
         requests_per_thread: int = 10,
         timeout: float = 60.0,
+        unique_fraction: float = 0.0,
+        seed: int = 0,
     ):
         if threads < 1 or requests_per_thread < 1:
             raise ValidationError(
                 "load generator needs threads >= 1 and "
                 "requests_per_thread >= 1"
             )
+        if not 0.0 <= unique_fraction <= 1.0:
+            raise ValidationError(
+                f"unique_fraction must be in [0, 1], got {unique_fraction}"
+            )
         self.base_url = base_url.rstrip("/")
         self.threads = threads
         self.requests_per_thread = requests_per_thread
         self.timeout = timeout
+        self.unique_fraction = unique_fraction
+        self.seed = seed
+
+    def _payload_for(self, payload: dict, thread: int, index: int) -> dict:
+        """The payload one request sends — nonced when it drew 'unique'."""
+        if self.unique_fraction <= 0.0:
+            return payload
+        # Threshold draw from a per-request generator: deterministic,
+        # order-independent across threads.
+        draw = np.random.default_rng(
+            (self.seed, thread, index)
+        ).random()
+        if draw >= self.unique_fraction:
+            return payload
+        nonced = dict(payload)
+        nonced["loadgen_nonce"] = f"{self.seed}-{thread}-{index}"
+        return nonced
 
     def run(self, endpoint: str, payload: dict) -> dict:
         """Drive the load; returns the latency/throughput summary."""
@@ -87,13 +121,14 @@ class LoadGenerator:
         errors: list[str] = []
         lock = threading.Lock()
 
-        def _drive():
+        def _drive(thread: int):
             local_lat, local_status = [], []
-            for _ in range(self.requests_per_thread):
+            for index in range(self.requests_per_thread):
+                body = self._payload_for(payload, thread, index)
                 started = time.perf_counter()
                 try:
                     status, _body = http_json(
-                        "POST", url, payload, timeout=self.timeout
+                        "POST", url, body, timeout=self.timeout
                     )
                 except ServeError as exc:
                     with lock:
@@ -106,8 +141,8 @@ class LoadGenerator:
                 statuses.extend(local_status)
 
         workers = [
-            threading.Thread(target=_drive, daemon=True)
-            for _ in range(self.threads)
+            threading.Thread(target=_drive, args=(thread,), daemon=True)
+            for thread in range(self.threads)
         ]
         started = time.perf_counter()
         for worker in workers:

@@ -31,7 +31,10 @@ from repro.workloads.repository import result_from_dict, result_to_dict
 
 #: Bumped whenever the request/response schema changes shape; part of
 #: every request digest, so a schema change invalidates cached answers.
-SERVE_FORMAT_VERSION = 1
+#: v2: ``/v1/predict`` responses dropped the embedded ``"ranking"`` —
+#: prediction now finds the nearest reference through the pruned index
+#: without materializing the full ranking.
+SERVE_FORMAT_VERSION = 2
 
 #: Payload keys that select delivery, not computation; stripped before
 #: hashing so sync and async submissions of one request share a digest.

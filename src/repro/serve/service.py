@@ -44,11 +44,13 @@ from repro.exec.arrays import ambient_store
 from repro.obs.logging import get_logger
 from repro.obs.tracing import span
 from repro.prediction.context import PairwiseScalingModel
+from repro.serve.index import ReferenceIndex
 from repro.similarity.evaluation import (
-    cross_distance_matrix,
+    multi_query_cross_distances,
     representation_matrices,
 )
 from repro.similarity.measures import get_measure
+from repro.similarity.pruning import nearest_group
 from repro.similarity.representations import RepresentationBuilder
 from repro.utils.rng import as_generator
 from repro.workloads.corpus import expand_subexperiments
@@ -114,15 +116,17 @@ class PredictionService:
             self._sku_by_name = {
                 r.sku.name: r.sku for r in self.references
             }
-            # Pin the reference matrices in the ambient store (when one
-            # is installed) so every request's distance chunks ship refs
-            # to segments published exactly once at boot.
-            store = ambient_store()
-            self.pinned_digests: set = set()
-            if store is not None:
-                self.pinned_digests = {
-                    store.put(matrix).digest for matrix in self._ref_matrices
-                }
+            # Index the frozen reference side once: content digests for
+            # the distance-cache pre-pass, workload groups in corpus
+            # order, pruning envelopes/norms, and shared-memory pins so
+            # per-request fan-outs ship refs, never pickled copies.
+            self.index = ReferenceIndex.build(
+                self._ref_matrices,
+                self._ref_labels,
+                list(self.references.workload_names()),
+                self._measure,
+            )
+            self.pinned_digests = self.index.pinned_digests
         self._warm = True
         logger.info(
             "serve warmup: %d reference experiments (%d expanded), "
@@ -151,8 +155,16 @@ class PredictionService:
             raise ServeError("service not warmed up; call warmup() first")
 
     # -- ranking ---------------------------------------------------------------
-    def rank(self, target: ExperimentRepository) -> SimilarityRanking:
-        """Rank reference workloads by mean distance to the target."""
+    def prepare_target(
+        self, target: ExperimentRepository
+    ) -> tuple[str, list[np.ndarray]]:
+        """Validate and represent one target: ``(name, matrices)``.
+
+        This is the per-request half of ranking — separated from the
+        distance evaluation so the batch executor can validate each
+        admitted request individually (a malformed target fails alone)
+        before stitching the survivors into one multi-query fan-out.
+        """
         self._require_warm()
         if len(target) == 0:
             raise ServeError("target must contain at least one experiment")
@@ -162,36 +174,103 @@ class PredictionService:
                 f"target must contain one workload, got {sorted(target_names)}"
             )
         target_name = target_names.pop()
-        with span("serve.rank", attrs={"target": target_name}):
-            target_subexp = expand_subexperiments(
-                target, n_subexperiments=self.n_subexperiments
-            )
-            target_matrices = representation_matrices(
-                target_subexp,
-                self._builder,
-                self.config.representation,
-                features=self.features,
-            )
-            C = cross_distance_matrix(
-                target_matrices,
-                self._ref_matrices,
+        target_subexp = expand_subexperiments(
+            target, n_subexperiments=self.n_subexperiments
+        )
+        target_matrices = representation_matrices(
+            target_subexp,
+            self._builder,
+            self.config.representation,
+            features=self.features,
+        )
+        return target_name, target_matrices
+
+    def rank_prepared(
+        self, prepared: list[tuple[str, list[np.ndarray]]]
+    ) -> list[SimilarityRanking]:
+        """Rankings for many prepared targets from one kernel fan-out.
+
+        All queries go through
+        :func:`~repro.similarity.evaluation.multi_query_cross_distances`
+        — one chunked engine dispatch for the whole batch — and each
+        query's cross block is then normalized and aggregated with
+        exactly the arithmetic the single-target path used, so every
+        ranking is **bit-identical to ranking that target alone**
+        (pinned by ``tests/serve/test_batch_parity.py``).
+        """
+        self._require_warm()
+        if not prepared:
+            return []
+        with span(
+            "serve.rank_batch",
+            attrs={
+                "batch": len(prepared),
+                "targets": ",".join(sorted({name for name, _ in prepared})),
+            },
+        ):
+            blocks = multi_query_cross_distances(
+                [matrices for _, matrices in prepared],
+                self.index.matrices,
                 self._measure,
                 jobs=self.config.jobs,
                 cache=self.config.distance_cache,
+                col_digests=self.index.digests,
             )
-            # Mean cross distance per reference workload, scaled to
-            # [0, 1] by the largest entry — the same monotone
-            # normalization the batch ranking applies.
-            peak = float(C.max())
-            if peak > 0:
-                C = C / peak
-            distances = {
-                reference: float(
-                    C[:, np.flatnonzero(self._ref_labels == reference)].mean()
+            rankings = []
+            for (target_name, _), C in zip(prepared, blocks):
+                # Mean cross distance per reference workload, scaled to
+                # [0, 1] by the largest entry — the same monotone
+                # normalization the batch ranking applies.
+                peak = float(C.max())
+                if peak > 0:
+                    C = C / peak
+                distances = {
+                    reference: float(C[:, members].mean())
+                    for reference, members in self.index.groups
+                }
+                rankings.append(
+                    SimilarityRanking(target=target_name, distances=distances)
                 )
-                for reference in self.references.workload_names()
-            }
-        return SimilarityRanking(target=target_name, distances=distances)
+        return rankings
+
+    def rank_batch(
+        self, targets: list[ExperimentRepository]
+    ) -> list[SimilarityRanking]:
+        """Rank many targets at once (validation is per target)."""
+        return self.rank_prepared(
+            [self.prepare_target(target) for target in targets]
+        )
+
+    def rank(self, target: ExperimentRepository) -> SimilarityRanking:
+        """Rank reference workloads by mean distance to the target."""
+        return self.rank_prepared([self.prepare_target(target)])[0]
+
+    def nearest_reference(self, target_matrices: list[np.ndarray]) -> str:
+        """Nearest reference workload via the pruned group cascade.
+
+        Prediction needs only the *identity* of the nearest reference,
+        so instead of the full cross-distance matrix this walks
+        :func:`~repro.similarity.pruning.nearest_group` over the
+        precomputed index: groups whose lower-bound mean (LB_Kim +
+        precomputed LB_Keogh envelopes for Dependent-DTW, reverse
+        triangle inequality over precomputed norms for norm-induced
+        measures) already loses are skipped without one exact distance.
+        The [0, 1] peak normalization the full ranking applies is a
+        monotone rescale, so the nearest group is the same — ties
+        included, because groups are scanned in the corpus's workload
+        order with strict-improvement replacement, the same first-wins
+        rule :meth:`~repro.core.report.SimilarityRanking.nearest`
+        applies (pinned by ``tests/serve/test_index.py``).
+        """
+        self._require_warm()
+        return nearest_group(
+            target_matrices,
+            self.index.matrices,
+            self.index.groups,
+            self._measure,
+            envelopes=self.index.envelopes,
+            norms=self.index.norms,
+        )
 
     # -- prediction ------------------------------------------------------------
     def resolve_sku(self, name: str):
@@ -232,21 +311,25 @@ class PredictionService:
         source_sku_name: str,
         target_sku_name: str,
     ) -> dict:
-        """Rank, pick the nearest reference, transfer its scaling model.
+        """Find the nearest reference (pruned), transfer its scaling model.
 
         Returns the JSON-ready response body; the math mirrors
         :meth:`repro.core.pipeline.WorkloadPredictionPipeline.predict_scaling`
         with the target-independent stages served from warm state.
+        Unlike ``/v1/rank`` this never materializes the full
+        cross-distance matrix — the pruned group cascade finds the same
+        nearest reference while skipping most exact distances — so the
+        response carries no ``"ranking"`` field (format version 2).
         """
         self._require_warm()
         source_sku = self.resolve_sku(source_sku_name)
         target_sku = self.resolve_sku(target_sku_name)
-        ranking = self.rank(target)
-        reference_name = ranking.nearest
+        target_name, target_matrices = self.prepare_target(target)
+        reference_name = self.nearest_reference(target_matrices)
         with span(
             "serve.predict",
             attrs={
-                "target": ranking.target,
+                "target": target_name,
                 "reference": reference_name,
                 "source_sku": source_sku.name,
                 "target_sku": target_sku.name,
@@ -273,11 +356,10 @@ class PredictionService:
                 )
                 predicted = factors * float(target_obs.mean())
         return {
-            "target_workload": ranking.target,
+            "target_workload": target_name,
             "reference_workload": reference_name,
             "source_sku": source_sku.name,
             "target_sku": target_sku.name,
-            "ranking": {name: value for name, value in ranking.ordered},
             "features": list(self.features),
             "predicted_throughput": {
                 "n": int(predicted.size),
@@ -289,12 +371,15 @@ class PredictionService:
             },
         }
 
-    def rank_response(self, target: ExperimentRepository) -> dict:
-        """The JSON-ready ``/v1/rank`` response body."""
-        ranking = self.rank(target)
+    def rank_response_from(self, ranking: SimilarityRanking) -> dict:
+        """Format one ranking as the JSON-ready ``/v1/rank`` body."""
         return {
             "target_workload": ranking.target,
             "nearest": ranking.nearest,
             "ranking": {name: value for name, value in ranking.ordered},
             "features": list(self.features),
         }
+
+    def rank_response(self, target: ExperimentRepository) -> dict:
+        """The JSON-ready ``/v1/rank`` response body."""
+        return self.rank_response_from(self.rank(target))

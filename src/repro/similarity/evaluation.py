@@ -341,6 +341,110 @@ def cross_distance_matrix(
     return C
 
 
+def multi_query_cross_distances(
+    query_sets: list[list[np.ndarray]],
+    cols: list[np.ndarray],
+    measure: MeasureSpec,
+    *,
+    jobs: int | None = None,
+    cache: "DistanceCache | str | None" = None,
+    col_digests: list[str] | None = None,
+) -> list[np.ndarray]:
+    """Cross-distance blocks for many queries against one column set.
+
+    ``result[q]`` is bit-identical to
+    ``cross_distance_matrix(query_sets[q], cols, measure, ...)`` — each
+    per-pair value is a pure function of the pair (the batched
+    Dependent-DTW contraction is bit-identical per slice to the per-pair
+    path), so stitching every query's pairs into **one** chunked fan-out
+    cannot change any value, only the wall-clock cost: a batch of Q
+    queries x R references is one engine dispatch instead of Q
+    (``tests/similarity/test_multi_query.py`` pins the equality across
+    batch sizes and worker counts).
+
+    ``col_digests`` lets callers that froze ``cols`` ahead of time (the
+    serving :class:`~repro.serve.index.ReferenceIndex`) skip re-hashing
+    the reference matrices on every request; when given it must align
+    with ``cols``.
+    """
+    if not query_sets:
+        raise ValidationError(
+            "multi_query_cross_distances needs at least one query"
+        )
+    if any(not query for query in query_sets) or not cols:
+        raise ValidationError(
+            "multi_query_cross_distances needs non-empty sets"
+        )
+    if col_digests is not None and len(col_digests) != len(cols):
+        raise ValidationError("col_digests must align with cols")
+    matrices: list[np.ndarray] = []
+    query_offsets: list[int] = []
+    for query in query_sets:
+        query_offsets.append(len(matrices))
+        matrices.extend(query)
+    col_offset = len(matrices)
+    matrices.extend(cols)
+    results = [
+        np.zeros((len(query), len(cols))) for query in query_sets
+    ]
+    cache = as_distance_cache(cache)
+    n_workers = resolve_jobs(jobs)
+    metrics = get_metrics()
+    pairs: list[tuple[int, int]] = []
+    owner: dict[tuple[int, int], tuple[int, int, int]] = {}
+    for q, query in enumerate(query_sets):
+        base = query_offsets[q]
+        for i in range(len(query)):
+            for j in range(len(cols)):
+                pair = (base + i, col_offset + j)
+                pairs.append(pair)
+                owner[pair] = (q, i, j)
+    with span(
+        "similarity.multi_query_cross_distances",
+        attrs={
+            "n_queries": len(query_sets),
+            "n_cols": len(cols),
+            "measure": measure.name,
+            "workers": n_workers,
+        },
+    ):
+        misses: list[tuple[int, int]] = []
+        keys: dict[tuple[int, int], str] = {}
+        if cache is not None:
+            digests = [matrix_digest(M) for M in matrices[:col_offset]]
+            if col_digests is not None:
+                digests.extend(col_digests)
+            else:
+                digests.extend(matrix_digest(M) for M in cols)
+            for i, j in pairs:
+                key = pair_key(digests[i], digests[j], measure.name)
+                keys[(i, j)] = key
+                value = cache.get(key)
+                if value is None:
+                    misses.append((i, j))
+                else:
+                    q, row, col = owner[(i, j)]
+                    results[q][row, col] = value
+        else:
+            misses = pairs
+        chunk_size = max(1, math.ceil(len(misses) / PAIR_CHUNK_TARGET))
+        chunks = [
+            misses[start:stop]
+            for start, stop in chunk_bounds(len(misses), chunk_size)
+        ]
+        outputs = _run_pair_chunks(matrices, chunks, measure, n_workers)
+        histogram = metrics.histogram("similarity.pair_seconds")
+        for chunk, (values, seconds) in zip(chunks, outputs):
+            for (i, j), value, elapsed in zip(chunk, values, seconds):
+                q, row, col = owner[(i, j)]
+                results[q][row, col] = value
+                histogram.observe(elapsed)
+                if cache is not None:
+                    cache.put(keys[(i, j)], value)
+    metrics.counter("similarity.pairs_computed").inc(len(misses))
+    return results
+
+
 def normalized_distances(D: np.ndarray) -> np.ndarray:
     """Scale distances to [0, 1] by the largest off-diagonal entry."""
     D = np.asarray(D, dtype=float)

@@ -29,7 +29,12 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.obs.metrics import get_metrics
 from repro.obs.tracing import span
-from repro.similarity.dtw import lb_keogh, lb_kim, multivariate_dtw
+from repro.similarity.dtw import (
+    lb_keogh,
+    lb_keogh_from_envelope,
+    lb_kim,
+    multivariate_dtw,
+)
 from repro.similarity.evaluation import _is_elastic, _prepare_pair
 from repro.similarity.measures import (
     MeasureSpec,
@@ -100,6 +105,171 @@ def nearest_neighbor(
     if pruned:
         get_metrics().counter("similarity.pairs_pruned_total").inc(pruned)
     return best_index
+
+
+def measure_norm(measure: MeasureSpec, A: np.ndarray) -> float | None:
+    """Value of the matrix norm that induces ``measure``, or ``None``.
+
+    L2,1, L1,1, and Frobenius distances are norm-induced —
+    ``d(A, B) = N(A - B)`` — so the reverse triangle inequality
+    ``|N(A) - N(B)| <= d(A, B)`` gives a constant-time lower bound from
+    two precomputable scalars.  Canberra, Chi-square, and Correlation
+    are not norms; elastic measures compare unequal lengths.  For those
+    this returns ``None`` and callers fall back to exact evaluation.
+    """
+    if measure.name == "L2,1":
+        return float(np.sum(np.linalg.norm(A, axis=0)))
+    if measure.name == "L1,1":
+        return float(np.sum(np.abs(A)))
+    if measure.name == "Fro":
+        return float(np.linalg.norm(A))
+    return None
+
+
+def _group_lower_bounds(
+    query_matrices: list[np.ndarray],
+    candidates: list[np.ndarray],
+    indices: list[int],
+    measure: MeasureSpec,
+    envelopes,
+    norms,
+    query_norms,
+) -> np.ndarray:
+    """Per-pair lower bounds for one query-set x candidate-group block.
+
+    Every entry is ``<=`` the exact pair distance, so the block mean —
+    numpy's pairwise summation is weakly monotone element-for-element —
+    is ``<=`` the exact block mean and a bound that reaches the current
+    best proves the whole group cannot win.
+    """
+    dependent_dtw = measure.func is _dtw_dependent
+    lbs = np.zeros((len(query_matrices), len(indices)))
+    for row, A in enumerate(query_matrices):
+        for col, candidate in enumerate(indices):
+            B = candidates[candidate]
+            if dependent_dtw:
+                bound = lb_kim(A, B)
+                envelope = (
+                    envelopes[candidate] if envelopes is not None else None
+                )
+                if envelope is not None:
+                    bound = max(
+                        bound,
+                        lb_keogh_from_envelope(A, envelope[0], envelope[1]),
+                    )
+                else:
+                    bound = max(bound, lb_keogh(A, B))
+                lbs[row, col] = bound
+            elif (
+                norms is not None
+                and query_norms is not None
+                and query_norms[row] is not None
+                and norms[candidate] is not None
+                and A.shape == B.shape
+            ):
+                # Reverse triangle inequality; only valid when the exact
+                # path compares the full matrices (equal shapes — unequal
+                # ones are truncated by _prepare_pair, which the
+                # precomputed norms know nothing about).
+                lbs[row, col] = abs(query_norms[row] - norms[candidate])
+    return lbs
+
+
+def nearest_group(
+    query_matrices: list[np.ndarray],
+    candidates: list[np.ndarray],
+    groups: list[tuple[str, list[int]]],
+    measure: MeasureSpec,
+    *,
+    envelopes=None,
+    norms=None,
+) -> str:
+    """Name of the candidate group nearest to the query set.
+
+    The distance to a group is the mean over the query x member block —
+    exactly the per-reference aggregation
+    :meth:`repro.serve.service.PredictionService.rank` applies to the
+    cross-distance matrix — and groups are scanned in the given order
+    with strict-improvement replacement, reproducing the stable
+    first-wins tie-breaking of
+    :meth:`repro.core.report.SimilarityRanking.nearest` when ``groups``
+    follows the reference corpus's workload order.
+
+    The comparison happens on **raw** block means; the full path's
+    [0, 1] rescale divides every mean by the same positive peak, a
+    monotone map, so the orderings agree — including bit-exact ties,
+    which stay bit-exact after the division and resolve first-wins on
+    both paths.  The one corner where the domains can disagree is two
+    *distinct* raw means whose quotients round to the same float (needs
+    a quantized measure such as LCSS producing mathematically equal
+    means with different float roundings); continuous-valued measures
+    on real telemetry never land there.
+
+    A group whose lower-bound block mean already reaches the best mean
+    found so far is skipped without computing a single exact distance:
+    Dependent-DTW groups use the LB_Kim / LB_Keogh cascade (with
+    precomputed ``envelopes`` — pairs of per-dimension ``(lower,
+    upper)`` from :func:`~repro.similarity.dtw.keogh_envelope` — when
+    the caller indexed the candidates ahead of time), norm-induced
+    measures use the reverse triangle inequality over precomputed
+    ``norms``.  Surviving groups are evaluated exactly, so the result
+    matches the full-matrix path on every input
+    (``tests/similarity/test_pruned_group.py``).
+    """
+    if not query_matrices:
+        raise ValidationError("nearest_group needs at least one query matrix")
+    if not groups:
+        raise ValidationError("nearest_group needs at least one group")
+    if any(not indices for _, indices in groups):
+        raise ValidationError("every group needs at least one candidate")
+    use_bounds = measure.func is _dtw_dependent or any(
+        measure.name == name for name in ("L2,1", "L1,1", "Fro")
+    )
+    query_norms = None
+    if use_bounds and measure.func is not _dtw_dependent:
+        query_norms = [measure_norm(measure, A) for A in query_matrices]
+    best = np.inf
+    best_name: str | None = None
+    pruned = 0
+    with span(
+        "similarity.nearest_group",
+        attrs={
+            "n_queries": len(query_matrices),
+            "n_groups": len(groups),
+            "measure": measure.name,
+        },
+    ):
+        for name, indices in groups:
+            if use_bounds and np.isfinite(best):
+                lbs = _group_lower_bounds(
+                    query_matrices,
+                    candidates,
+                    indices,
+                    measure,
+                    envelopes,
+                    norms,
+                    query_norms,
+                )
+                if float(lbs.mean()) >= best:
+                    pruned += lbs.size
+                    continue
+            block = np.empty((len(query_matrices), len(indices)))
+            for row, A in enumerate(query_matrices):
+                for col, candidate in enumerate(indices):
+                    block[row, col] = _pair_distance(
+                        A, candidates[candidate], measure, None
+                    )
+            value = float(block.mean())
+            if value < best:
+                best = value
+                best_name = name
+    if best_name is None:
+        # Every group mean was inf/nan (degenerate inputs); mirror the
+        # full path, where sorting all-equal distances keeps corpus order.
+        best_name = groups[0][0]
+    if pruned:
+        get_metrics().counter("similarity.pairs_pruned_total").inc(pruned)
+    return best_name
 
 
 def knn_accuracy_pruned(

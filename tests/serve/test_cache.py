@@ -52,6 +52,55 @@ class TestResponseCache:
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValidationError):
             ResponseCache(0)
+        with pytest.raises(ValidationError):
+            ResponseCache(4, max_bytes=0)
+
+
+class TestByteBound:
+    def test_unbounded_by_default(self, fresh_metrics):
+        cache = ResponseCache(8)
+        for k in range(8):
+            cache.put(f"d{k}", {"blob": "x" * 1000})
+        assert len(cache) == 8
+        assert cache.total_bytes == 0  # not accounted without a bound
+
+    def test_evicts_by_recency_when_over_bytes(self, fresh_metrics):
+        entry = {"blob": "x" * 100}
+        size = len('{"blob":"' + "x" * 100 + '"}')
+        cache = ResponseCache(100, max_bytes=3 * size)
+        for k in range(6):
+            cache.put(f"d{k}", entry)
+        assert len(cache) == 3
+        assert cache.total_bytes <= 3 * size
+        assert "d5" in cache and "d3" in cache
+        assert "d0" not in cache
+        snap = fresh_metrics.snapshot()
+        assert snap["serve.response_cache.evictions_total"]["value"] == 3
+
+    def test_oversized_entry_still_cached_alone(self, fresh_metrics):
+        cache = ResponseCache(100, max_bytes=10)
+        cache.put("big", {"blob": "x" * 1000})
+        # The newest entry is never evicted on its own insert; the
+        # bound empties everything else instead.
+        assert "big" in cache
+        assert len(cache) == 1
+        cache.put("big2", {"blob": "y" * 1000})
+        assert "big" not in cache
+        assert "big2" in cache
+
+    def test_refresh_reaccounts_bytes(self, fresh_metrics):
+        cache = ResponseCache(100, max_bytes=10_000)
+        cache.put("a", {"blob": "x" * 100})
+        first = cache.total_bytes
+        cache.put("a", {"blob": "x" * 2})
+        assert cache.total_bytes < first
+        assert len(cache) == 1
+
+    def test_entry_count_still_applies(self, fresh_metrics):
+        cache = ResponseCache(2, max_bytes=10_000_000)
+        for k in range(4):
+            cache.put(f"d{k}", k)
+        assert len(cache) == 2
 
 
 class TestSingleFlight:

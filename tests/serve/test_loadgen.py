@@ -1,0 +1,86 @@
+"""LoadGenerator nonce scheduling for distinct-request load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.loadgen import LoadGenerator
+
+PAYLOAD = {"target": [{"workload": "ycsb"}]}
+
+
+def generator(**kwargs):
+    return LoadGenerator("http://127.0.0.1:0", **kwargs)
+
+
+class TestPayloadSchedule:
+    def test_fraction_zero_passes_payload_through(self):
+        gen = generator(unique_fraction=0.0)
+        assert gen._payload_for(PAYLOAD, 0, 0) is PAYLOAD
+        assert gen._payload_for(PAYLOAD, 3, 9) is PAYLOAD
+
+    def test_fraction_one_nonces_every_request(self):
+        gen = generator(unique_fraction=1.0, seed=7)
+        for thread in range(3):
+            for index in range(5):
+                body = gen._payload_for(PAYLOAD, thread, index)
+                assert body is not PAYLOAD
+                assert body["loadgen_nonce"] == f"7-{thread}-{index}"
+                assert body["target"] == PAYLOAD["target"]
+        # The original payload is never mutated.
+        assert "loadgen_nonce" not in PAYLOAD
+
+    def test_nonces_are_distinct_across_threads_and_indices(self):
+        gen = generator(unique_fraction=1.0)
+        nonces = {
+            gen._payload_for(PAYLOAD, thread, index)["loadgen_nonce"]
+            for thread in range(4)
+            for index in range(10)
+        }
+        assert len(nonces) == 40
+
+    def test_schedule_is_deterministic(self):
+        a = generator(unique_fraction=0.5, seed=3)
+        b = generator(unique_fraction=0.5, seed=3)
+        schedule_a = [
+            "loadgen_nonce" in a._payload_for(PAYLOAD, t, i)
+            for t in range(4)
+            for i in range(20)
+        ]
+        schedule_b = [
+            "loadgen_nonce" in b._payload_for(PAYLOAD, t, i)
+            for t in range(4)
+            for i in range(20)
+        ]
+        assert schedule_a == schedule_b
+        # A middling fraction yields a genuine mix.
+        assert any(schedule_a) and not all(schedule_a)
+
+    def test_seed_changes_the_schedule(self):
+        a = generator(unique_fraction=0.5, seed=0)
+        b = generator(unique_fraction=0.5, seed=1)
+        schedule_a = [
+            "loadgen_nonce" in a._payload_for(PAYLOAD, t, i)
+            for t in range(4)
+            for i in range(20)
+        ]
+        schedule_b = [
+            "loadgen_nonce" in b._payload_for(PAYLOAD, t, i)
+            for t in range(4)
+            for i in range(20)
+        ]
+        assert schedule_a != schedule_b
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1, 2.0])
+    def test_rejects_out_of_range_fraction(self, fraction):
+        with pytest.raises(ValidationError):
+            generator(unique_fraction=fraction)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValidationError):
+            generator(threads=0)
+        with pytest.raises(ValidationError):
+            generator(requests_per_thread=0)

@@ -1,0 +1,199 @@
+"""Exactness of the grouped pruned search and its precomputable bounds.
+
+``nearest_group`` must always name the group a full cross-distance
+matrix would name — ties included — while the envelope/norm helpers it
+leans on must be genuine lower bounds (and the precomputed envelope
+form bit-identical to the direct ``lb_keogh``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry, set_metrics
+from repro.similarity.dtw import (
+    keogh_envelope,
+    lb_keogh,
+    lb_keogh_from_envelope,
+)
+from repro.similarity.evaluation import cross_distance_matrix
+from repro.similarity.measures import get_measure, measure_registry
+from repro.similarity.pruning import measure_norm, nearest_group
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def series_pairs(draw, min_len=2, max_len=12, cols=2):
+    m = draw(st.integers(min_len, max_len))
+    n = draw(st.integers(min_len, max_len))
+    A = draw(arrays(np.float64, (m, cols), elements=finite))
+    B = draw(arrays(np.float64, (n, cols), elements=finite))
+    return A, B
+
+
+@pytest.fixture()
+def metrics():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+def full_path_nearest(query, candidates, groups, measure):
+    """The group the serving rank path would call nearest.
+
+    Mirrors ``PredictionService.rank`` exactly: cross block, peak
+    normalization, per-group block means, stable sort with first-wins
+    ties in group order.
+    """
+    C = cross_distance_matrix(query, candidates, measure)
+    peak = float(C.max())
+    if peak > 0:
+        C = C / peak
+    means = {
+        name: float(C[:, members].mean()) for name, members in groups
+    }
+    return sorted(means.items(), key=lambda item: item[1])[0][0]
+
+
+class TestEnvelopeHelpers:
+    @given(series_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_envelope_form_bit_identical_to_lb_keogh(self, pair):
+        A, B = pair
+        lower, upper = keogh_envelope(B)
+        assert lb_keogh_from_envelope(A, lower, upper) == lb_keogh(A, B)
+
+    def test_envelope_is_query_independent(self):
+        rng = np.random.default_rng(3)
+        B = rng.normal(size=(9, 4))
+        lower, upper = keogh_envelope(B)
+        assert lower.shape == (4,)
+        assert np.array_equal(lower, B.min(axis=0))
+        assert np.array_equal(upper, B.max(axis=0))
+
+    def test_dimension_mismatch_rejected(self):
+        lower, upper = keogh_envelope(np.zeros((4, 3)))
+        with pytest.raises(ValidationError):
+            lb_keogh_from_envelope(np.zeros((4, 2)), lower, upper)
+
+
+class TestMeasureNorm:
+    @pytest.mark.parametrize("name", ["L2,1", "L1,1", "Fro"])
+    @given(pair=series_pairs(min_len=5, max_len=5))
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_triangle_lower_bound(self, name, pair):
+        A, B = pair
+        measure = get_measure(name)
+        bound = abs(measure_norm(measure, A) - measure_norm(measure, B))
+        assert bound <= float(measure(A, B)) + 1e-9
+
+    @pytest.mark.parametrize("name", ["Canb", "Chi2", "Corr", "Dependent-DTW"])
+    def test_non_norm_measures_return_none(self, name):
+        assert measure_norm(get_measure(name), np.ones((3, 2))) is None
+
+
+class TestNearestGroupExactness:
+    @pytest.mark.parametrize(
+        "measure_name",
+        ["Dependent-DTW", "Independent-DTW", "L2,1", "L1,1", "Fro", "Canb"],
+    )
+    def test_matches_full_path_on_random_series(self, measure_name):
+        measure = get_measure(measure_name)
+        rng = np.random.default_rng(17)
+        candidates = [rng.normal(size=(10, 3)) for _ in range(9)]
+        groups = [("a", [0, 1, 2]), ("b", [3, 4, 5]), ("c", [6, 7, 8])]
+        for trial in range(6):
+            query = [
+                rng.normal(size=(10, 3))
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            full = full_path_nearest(query, candidates, groups, measure)
+            pruned = nearest_group(query, candidates, groups, measure)
+            assert pruned == full, (measure_name, trial)
+
+    def test_matches_full_path_with_precomputed_bounds(self):
+        rng = np.random.default_rng(23)
+        candidates = [rng.normal(size=(8, 3)) for _ in range(6)]
+        groups = [("a", [0, 1]), ("b", [2, 3]), ("c", [4, 5])]
+        for name in ("Dependent-DTW", "L2,1"):
+            measure = get_measure(name)
+            envelopes = [keogh_envelope(M) for M in candidates]
+            norms = [measure_norm(measure, M) for M in candidates]
+            if any(n is None for n in norms):
+                norms = None
+            for _ in range(4):
+                query = [rng.normal(size=(8, 3)) for _ in range(2)]
+                full = full_path_nearest(query, candidates, groups, measure)
+                pruned = nearest_group(
+                    query,
+                    candidates,
+                    groups,
+                    measure,
+                    envelopes=envelopes,
+                    norms=norms,
+                )
+                assert pruned == full, name
+
+    def test_every_measure_agrees_on_one_corpus(self):
+        # Unequal group sizes keep quantized measures (LCSS counts in
+        # units of 1/k) from producing two mathematically equal group
+        # means with different float roundings — the one corner where
+        # the full path's [0, 1] rescale can collapse a one-ulp raw
+        # difference into a tie the raw domain does not see (see the
+        # nearest_group docstring; bit-exact ties are covered below).
+        rng = np.random.default_rng(29)
+        candidates = [rng.uniform(0.1, 2.0, size=(7, 2)) for _ in range(6)]
+        groups = [("x", [0, 1, 2, 3]), ("y", [4, 5])]
+        query = [rng.uniform(0.1, 2.0, size=(7, 2))]
+        for name, measure in measure_registry().items():
+            full = full_path_nearest(query, candidates, groups, measure)
+            pruned = nearest_group(query, candidates, groups, measure)
+            assert pruned == full, name
+
+    def test_exact_tie_keeps_first_group(self):
+        """Duplicated groups tie bit-for-bit; first in order must win —
+        the same rule ``SimilarityRanking.nearest`` applies."""
+        rng = np.random.default_rng(31)
+        member_a = rng.normal(size=(9, 3))
+        member_b = rng.normal(size=(9, 3))
+        far = rng.normal(size=(9, 3)) + 50.0
+        candidates = [member_a, member_b, member_a, member_b, far]
+        groups = [("first", [0, 1]), ("clone", [2, 3]), ("far", [4])]
+        query = [rng.normal(size=(9, 3))]
+        for name in ("Dependent-DTW", "L2,1", "Canb"):
+            measure = get_measure(name)
+            full = full_path_nearest(query, candidates, groups, measure)
+            pruned = nearest_group(query, candidates, groups, measure)
+            assert pruned == full == "first", name
+
+    def test_prunes_groups_on_dtw(self, metrics):
+        rng = np.random.default_rng(37)
+        near = [rng.normal(size=(8, 2)) for _ in range(2)]
+        far = [rng.normal(size=(8, 2)) + 100.0 for _ in range(2)]
+        candidates = near + far
+        groups = [("near", [0, 1]), ("far", [2, 3])]
+        query = [rng.normal(size=(8, 2))]
+        measure = get_measure("Dependent-DTW")
+        assert nearest_group(query, candidates, groups, measure) == "near"
+        assert metrics.counter("similarity.pairs_pruned_total").value > 0
+
+    def test_validates_inputs(self):
+        measure = get_measure("L2,1")
+        with pytest.raises(ValidationError):
+            nearest_group([], [np.zeros((3, 2))], [("a", [0])], measure)
+        with pytest.raises(ValidationError):
+            nearest_group([np.zeros((3, 2))], [np.zeros((3, 2))], [], measure)
+        with pytest.raises(ValidationError):
+            nearest_group(
+                [np.zeros((3, 2))],
+                [np.zeros((3, 2))],
+                [("a", [])],
+                measure,
+            )
